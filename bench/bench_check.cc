@@ -1,0 +1,137 @@
+// E6 ("Fig 4"): supportability checking (Check / SSDL parsing) performance.
+//
+// Section 6.1's claim: "the parser still runs in time linear in the size of
+// the condition expression, irrespective of the number of CFG rules in the
+// source description". We benchmark Check over growing condition sizes and
+// growing grammars (the commutativity closure multiplies rule counts), and
+// report Earley items per token as the linearity witness.
+
+#include <benchmark/benchmark.h>
+
+#include "expr/condition.h"
+#include "ssdl/capability_builder.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+
+namespace gencompact {
+namespace {
+
+Schema BenchSchema() {
+  return Schema({{"a", ValueType::kString},
+                 {"b", ValueType::kString},
+                 {"n", ValueType::kInt}});
+}
+
+SourceDescription FullBooleanDescription() {
+  const Schema schema = BenchSchema();
+  CapabilityBuilder builder("src", schema);
+  const Status status = builder.AddFullBoolean(
+      "all",
+      {{"a", {CompareOp::kEq}, false, false},
+       {"b", {CompareOp::kEq}, false, false},
+       {"n", {CompareOp::kEq, CompareOp::kLt, CompareOp::kGe}, false, false}},
+      {"a", "b", "n"});
+  (void)status;
+  return builder.Build();
+}
+
+// Alternating ∧/∨ condition with `atoms` leaves.
+ConditionPtr MakeCondition(size_t atoms) {
+  std::vector<ConditionPtr> leaves;
+  for (size_t i = 0; i < atoms; ++i) {
+    leaves.push_back(ConditionNode::Atom(
+        i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "n"), CompareOp::kEq,
+        i % 3 == 2 ? Value::Int(static_cast<int64_t>(i))
+                   : Value::String("v" + std::to_string(i))));
+  }
+  // Pair up alternately to build a balanced alternating tree.
+  bool use_and = true;
+  while (leaves.size() > 1) {
+    std::vector<ConditionPtr> next;
+    for (size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(use_and
+                         ? ConditionNode::And({leaves[i], leaves[i + 1]})
+                         : ConditionNode::Or({leaves[i], leaves[i + 1]}));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+    use_and = !use_and;
+  }
+  return leaves.front();
+}
+
+void BM_CheckByConditionSize(benchmark::State& state) {
+  const SourceDescription description = FullBooleanDescription();
+  const ConditionPtr cond = MakeCondition(static_cast<size_t>(state.range(0)));
+  const size_t tokens = TokenizeCondition(*cond).size();
+  size_t items = 0;
+  for (auto _ : state) {
+    // Fresh checker each round: we measure parsing, not memoization.
+    Checker checker(&description);
+    benchmark::DoNotOptimize(checker.Check(*cond));
+    items = checker.total_earley_items();
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.counters["items_per_token"] =
+      static_cast<double>(items) / static_cast<double>(tokens);
+}
+BENCHMARK(BM_CheckByConditionSize)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CheckByGrammarSize(benchmark::State& state) {
+  // Conjunctive-form description whose closure multiplies the rule count:
+  // `segments` slots -> up to segments! permuted rules.
+  const size_t segments = static_cast<size_t>(state.range(0));
+  const Schema schema({{"a0", ValueType::kInt},
+                       {"a1", ValueType::kInt},
+                       {"a2", ValueType::kInt},
+                       {"a3", ValueType::kInt},
+                       {"a4", ValueType::kInt},
+                       {"a5", ValueType::kInt}});
+  CapabilityBuilder builder("src", schema);
+  std::vector<CapabilityBuilder::Slot> slots;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < segments; ++i) {
+    slots.push_back({"a" + std::to_string(i), {CompareOp::kEq}, false, false});
+    names.push_back("a" + std::to_string(i));
+  }
+  const Status status = builder.AddConjunctiveForm("f", slots, names);
+  (void)status;
+  const SourceDescription closed = CommutativityClosure(builder.Build());
+
+  // The probe condition: the slots in reverse order (needs the closure).
+  std::vector<ConditionPtr> atoms;
+  for (size_t i = segments; i-- > 0;) {
+    atoms.push_back(ConditionNode::Atom("a" + std::to_string(i),
+                                        CompareOp::kEq, Value::Int(1)));
+  }
+  const ConditionPtr cond = atoms.size() == 1
+                                ? atoms.front()
+                                : ConditionNode::And(std::move(atoms));
+
+  for (auto _ : state) {
+    Checker checker(&closed);
+    benchmark::DoNotOptimize(checker.Check(*cond));
+  }
+  state.counters["grammar_rules"] =
+      static_cast<double>(closed.grammar().rules().size());
+}
+BENCHMARK(BM_CheckByGrammarSize)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckMemoized(benchmark::State& state) {
+  const SourceDescription description = FullBooleanDescription();
+  const ConditionPtr cond = MakeCondition(16);
+  Checker checker(&description);
+  checker.Check(*cond);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.Check(*cond));
+  }
+}
+BENCHMARK(BM_CheckMemoized)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace gencompact
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// E9 (extension, "Fig 6"): the complex-query extension — capability-
+// sensitive bind-join vs. independent evaluation for two-source joins.
+//
+// The paper defers complex queries to [2] but positions selection queries
+// as "the building blocks of more complex queries". This benchmark shows
+// the building blocks composing: as the left side becomes more selective
+// (fewer distinct join keys), the bind-join transfers dramatically fewer
+// rows than evaluating the right side independently; with an unselective
+// left side, independent evaluation wins.
+
+#include "bench/bench_util.h"
+#include "expr/condition_parser.h"
+#include "mediator/join.h"
+#include "ssdl/capability_builder.h"
+#include "workload/datasets.h"
+
+namespace gencompact::bench {
+namespace {
+
+constexpr const char* kMakes[] = {"m00", "m01", "m02", "m03", "m04", "m05",
+                                  "m06", "m07", "m08", "m09", "m10", "m11",
+                                  "m12", "m13", "m14", "m15", "m16", "m17",
+                                  "m18", "m19"};
+
+std::unique_ptr<Catalog> BuildCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+
+  // Left: listing source, supports make/price conjunctions and download.
+  Schema cars_schema({{"make", ValueType::kString},
+                      {"model", ValueType::kString},
+                      {"price", ValueType::kInt}});
+  CapabilityBuilder cars_builder("cars", cars_schema);
+  (void)cars_builder.AddConjunctiveForm(
+      "f",
+      {{"make", {CompareOp::kEq}, true, false},
+       {"price", {CompareOp::kLt, CompareOp::kLe}, true, false}},
+      {"make", "model", "price"});
+  (void)cars_builder.AddDownload("dl", {"make", "model", "price"});
+  SourceDescription cars_desc = cars_builder.Build();
+  cars_desc.set_cost_constants(10.0, 1.0);
+
+  Rng rng(4242);
+  auto cars_table = std::make_unique<Table>("cars", cars_schema);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string make(kMakes[rng.NextIndex(20)]);
+    (void)cars_table->AppendValues(
+        {Value::String(make), Value::String(make + "_" + std::to_string(i)),
+         Value::Int(rng.NextInt(5000, 60000))});
+  }
+  (void)catalog->Register(std::move(cars_desc), std::move(cars_table));
+
+  // Right: dealer directory; make (or make list) required OR full download,
+  // so both join methods are feasible and the planner must choose by cost.
+  Schema dealers_schema({{"make", ValueType::kString},
+                         {"dealer", ValueType::kString},
+                         {"rating", ValueType::kInt}});
+  CapabilityBuilder dealers_builder("dealers", dealers_schema);
+  (void)dealers_builder.AddConjunctiveForm(
+      "f", {{"make", {CompareOp::kEq}, false, true}},
+      {"make", "dealer", "rating"});
+  (void)dealers_builder.AddDownload("dl", {"make", "dealer", "rating"});
+  SourceDescription dealers_desc = dealers_builder.Build();
+  dealers_desc.set_cost_constants(8.0, 1.0);
+
+  auto dealers_table = std::make_unique<Table>("dealers", dealers_schema);
+  for (int i = 0; i < 5000; ++i) {
+    (void)dealers_table->AppendValues(
+        {Value::String(kMakes[rng.NextIndex(20)]),
+         Value::String("d" + std::to_string(i)), Value::Int(rng.NextInt(1, 5))});
+  }
+  (void)catalog->Register(std::move(dealers_desc), std::move(dealers_table));
+  return catalog;
+}
+
+void Run() {
+  std::unique_ptr<Catalog> catalog = BuildCatalog();
+  CatalogEntry* left = *catalog->Find("cars");
+  CatalogEntry* right = *catalog->Find("dealers");
+
+  const std::vector<int> widths = {22, 13, 12, 14, 14, 12};
+  PrintRow({"left selectivity", "chosen", "queries", "rows (bind)",
+            "rows (indep)", "results"},
+           widths);
+  PrintRule(widths);
+
+  // Vary left selectivity: one make (1 key) ... no filter (20 keys).
+  struct Case {
+    const char* label;
+    const char* condition;
+  };
+  const Case kCases[] = {
+      {"1 make", "cars.make = \"m03\" and cars.price < 20000"},
+      {"price < 8000", "cars.price < 8000"},
+      {"price < 20000", "cars.price < 20000"},
+      {"all cars", "true"},
+  };
+
+  for (const Case& c : kCases) {
+    JoinQuery query;
+    query.left_source = "cars";
+    query.right_source = "dealers";
+    query.keys = {{"cars.make", "dealers.make"}};
+    const Result<ConditionPtr> cond = ParseCondition(c.condition);
+    if (!cond.ok()) continue;
+    query.condition = *cond;
+    query.select = {"dealers.dealer"};
+
+    // Cost-based choice.
+    JoinProcessor chooser(left, right);
+    const Result<JoinPlanOutcome> outcome = chooser.Plan(query);
+    const Result<RowSet> rows = chooser.Execute(query);
+
+    // Forced variants for the transfer comparison.
+    JoinOptions bind_options;
+    bind_options.force_method = JoinMethod::kBind;
+    JoinProcessor bind(left, right, bind_options);
+    const Result<RowSet> bind_rows = bind.Execute(query);
+
+    JoinOptions indep_options;
+    indep_options.force_method = JoinMethod::kIndependent;
+    JoinProcessor indep(left, right, indep_options);
+    const Result<RowSet> indep_rows = indep.Execute(query);
+
+    PrintRow(
+        {c.label,
+         outcome.ok() ? JoinMethodName(outcome->method) : "-",
+         rows.ok() ? std::to_string(chooser.stats().left.source_queries +
+                                    chooser.stats().right.source_queries)
+                   : "-",
+         bind_rows.ok() ? std::to_string(bind.stats().right.rows_transferred)
+                        : "-",
+         indep_rows.ok()
+             ? std::to_string(indep.stats().right.rows_transferred)
+             : "-",
+         rows.ok() ? std::to_string(rows->size()) : "-"},
+        widths);
+  }
+}
+
+}  // namespace
+}  // namespace gencompact::bench
+
+int main() {
+  std::printf(
+      "# E9 (extension): bind-join vs independent right-side evaluation\n\n");
+  gencompact::bench::Run();
+  std::printf(
+      "\nExpected shape: with a selective left side the bind-join moves a "
+      "small fraction of the dealer directory and is chosen; as left "
+      "selectivity vanishes the independent download becomes cheaper and "
+      "the cost model switches methods.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E8 ("Fig 5"): Minimum-Cost Set Cover solver scaling.
+//
+// Section 6.4.2: MCSC is NP-complete; the paper enumerates all 2^Q sub-plan
+// subsets and relies on PR2/PR3 to keep Q small. We benchmark the paper's
+// enumeration against our subset-DP (exact, O(2^k·Q)) and the greedy
+// fallback, over random instances.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "planner/set_cover.h"
+
+namespace gencompact {
+namespace {
+
+std::vector<SetCoverCandidate> MakeInstance(size_t k, size_t q, Rng* rng) {
+  const uint32_t universe = (uint32_t{1} << k) - 1;
+  std::vector<SetCoverCandidate> candidates;
+  candidates.reserve(q);
+  // Guarantee coverability: singletons first.
+  for (size_t i = 0; i < k && candidates.size() < q; ++i) {
+    candidates.push_back({uint32_t{1} << i,
+                          1.0 + static_cast<double>(rng->NextBelow(50)) / 10});
+  }
+  while (candidates.size() < q) {
+    candidates.push_back({1 + static_cast<uint32_t>(rng->NextBelow(universe)),
+                          1.0 + static_cast<double>(rng->NextBelow(100)) / 10});
+  }
+  return candidates;
+}
+
+void RunSolver(benchmark::State& state, SetCoverAlgorithm algorithm) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t q = static_cast<size_t>(state.range(1));
+  Rng rng(k * 1000 + q);
+  const std::vector<SetCoverCandidate> candidates = MakeInstance(k, q, &rng);
+  const uint32_t universe = (uint32_t{1} << k) - 1;
+  double cost = 0;
+  for (auto _ : state) {
+    const SetCoverResult result =
+        SolveMinCostSetCover(universe, candidates, algorithm);
+    benchmark::DoNotOptimize(result);
+    cost = result.cost;
+  }
+  state.counters["cover_cost"] = cost;
+}
+
+void BM_McscSubsetDp(benchmark::State& state) {
+  RunSolver(state, SetCoverAlgorithm::kSubsetDp);
+}
+void BM_McscEnumerate(benchmark::State& state) {
+  RunSolver(state, SetCoverAlgorithm::kEnumerate);
+}
+void BM_McscGreedy(benchmark::State& state) {
+  RunSolver(state, SetCoverAlgorithm::kGreedy);
+}
+
+// Args: {universe size k, candidate count Q}.
+static void InstanceShapes(benchmark::internal::Benchmark* b) {
+  for (int k : {4, 6, 8}) {
+    for (int q : {6, 10, 14, 18, 22}) {
+      b->Args({k, q});
+    }
+  }
+}
+
+BENCHMARK(BM_McscSubsetDp)->Apply(InstanceShapes)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_McscEnumerate)->Apply(InstanceShapes)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_McscGreedy)->Apply(InstanceShapes)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gencompact
+
+BENCHMARK_MAIN();

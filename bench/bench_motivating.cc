@@ -1,0 +1,67 @@
+// E1 ("Table 1"): the paper's two motivating examples, quantified.
+//
+// Reproduces Section 1's claims:
+//  * Bookstore (Ex. 1.1): GenCompact's two-query plan extracts fewer than 20
+//    entries; the Garlic/CNF plan extracts over 2,000; DISCO has no feasible
+//    plan; conventional (naive) optimizers ship an unsupported query.
+//  * Cars (Ex. 1.2): GenCompact uses 2 source queries; DNF uses 4 (same rows
+//    transferred); CNF transfers many more entries than necessary.
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "workload/datasets.h"
+
+namespace gencompact::bench {
+namespace {
+
+void RunDataset(const char* title, Dataset dataset) {
+  SourceHandle handle(dataset.description, dataset.table.get());
+  Source source(dataset.table.get(), &handle.description());
+
+  std::printf("\n## %s (%zu rows)\n", title, dataset.table->num_rows());
+  std::printf("Target query: SP(%s, %s)\n\n",
+              dataset.example_condition->ToString().c_str(),
+              ("{" + Join(dataset.example_attrs, ", ") + "}").c_str());
+
+  const std::vector<int> widths = {24, 9, 9, 12, 11, 11, 11};
+  PrintRow({"strategy", "feasible", "queries", "rows moved", "result", "true cost",
+            "est cost"},
+           widths);
+  PrintRule(widths);
+
+  const Result<AttributeSet> attrs =
+      handle.schema().MakeSet(dataset.example_attrs);
+  for (Strategy strategy :
+       {Strategy::kGenCompact, Strategy::kGenModular, Strategy::kCnf,
+        Strategy::kDnf, Strategy::kDisco, Strategy::kNaive}) {
+    const StrategyOutcome outcome = RunStrategy(
+        strategy, &handle, &source, dataset.example_condition, *attrs);
+    std::string feasible = outcome.feasible ? "yes" : "no";
+    if (outcome.rejected_at_source) feasible = "REJECTED";
+    PrintRow({StrategyName(strategy), feasible,
+              outcome.feasible ? std::to_string(outcome.source_queries) : "-",
+              outcome.feasible ? std::to_string(outcome.rows_transferred) : "-",
+              outcome.feasible ? std::to_string(outcome.result_rows) : "-",
+              outcome.feasible ? FormatDouble(outcome.true_cost) : "-",
+              outcome.feasible ? FormatDouble(outcome.estimated_cost) : "-"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace gencompact::bench
+
+int main() {
+  std::printf("# E1: motivating examples (paper Section 1)\n");
+  gencompact::bench::RunDataset(
+      "Example 1.1: Internet bookstore",
+      gencompact::MakeBookstore(50000, /*seed=*/42));
+  gencompact::bench::RunDataset(
+      "Example 1.2: car shopping guide",
+      gencompact::MakeCarSource(40000, /*seed=*/7));
+  std::printf(
+      "\nExpected shape: GenCompact=2 queries each; bookstore rows moved "
+      "<20 for GenCompact vs >2000 for CNF; DISCO infeasible; Naive "
+      "rejected by the source.\n");
+  return 0;
+}

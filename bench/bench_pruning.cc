@@ -1,0 +1,109 @@
+// E4 ("Fig 3"): pruning-rule effectiveness.
+//
+// Section 6.3's claim: PR1-PR3 "yield rich dividends" — they keep the
+// number of sub-plans Q handed to the MCSC solver very small without ever
+// changing the optimum. This binary ablates each rule and reports planning
+// time, sub-plans materialized, max Q, and the best cost (which must be
+// identical across rows for each query size).
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "planner/gen_compact.h"
+#include "workload/datasets.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+
+namespace gencompact::bench {
+namespace {
+
+struct AblationRow {
+  const char* label;
+  bool pr1;
+  bool pr2;
+  bool pr3;
+};
+
+void Run() {
+  constexpr AblationRow kRows[] = {
+      {"all pruning on", true, true, true},
+      {"PR1 off", false, true, true},
+      {"PR2 off", true, false, true},
+      {"PR3 off", true, true, false},
+      {"all pruning off", false, false, false},
+  };
+
+  for (size_t atoms : {4, 6, 8}) {
+    Rng rng(7700 + atoms);
+    const Schema schema({{"s1", ValueType::kString},
+                         {"s2", ValueType::kString},
+                         {"n1", ValueType::kInt},
+                         {"n2", ValueType::kInt}});
+    const std::unique_ptr<Table> table =
+        MakeRandomTable("src", schema, 1000, 12, 60, &rng);
+    RandomCapabilityOptions cap_options;
+    cap_options.download_probability = 1.0;
+    const SourceDescription description =
+        RandomCapability("src", schema, cap_options, &rng);
+    SourceHandle handle(description, table.get());
+    const std::vector<AttributeDomain> domains = ExtractDomains(*table, 6, &rng);
+
+    std::vector<ConditionPtr> conditions;
+    for (int i = 0; i < 20; ++i) {
+      RandomConditionOptions cond_options;
+      cond_options.num_atoms = atoms;
+      conditions.push_back(RandomCondition(domains, cond_options, &rng));
+    }
+    AttributeSet attrs;
+    attrs.Add(0);
+    attrs.Add(2);
+
+    std::printf("\n## %zu-atom queries (20 queries, totals)\n\n", atoms);
+    const std::vector<int> widths = {18, 12, 13, 9, 14};
+    PrintRow({"configuration", "time (ms)", "sub-plans", "max Q", "cost sum"},
+             widths);
+    PrintRule(widths);
+
+    for (const AblationRow& row : kRows) {
+      GenCompactOptions options;
+      options.ipg.pr1 = row.pr1;
+      options.ipg.pr2 = row.pr2;
+      options.ipg.pr3 = row.pr3;
+
+      double cost_sum = 0;
+      size_t subplans = 0;
+      size_t max_q = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (const ConditionPtr& cond : conditions) {
+        GenCompactPlanner planner(&handle, options);
+        const Result<PlanPtr> plan = planner.Plan(cond, attrs);
+        if (plan.ok()) cost_sum += handle.cost_model().PlanCost(**plan);
+        subplans += planner.stats().ipg.total_subplans;
+        max_q = std::max(max_q, planner.stats().ipg.max_subplans);
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      PrintRow({row.label, FormatDouble(ms, 2), std::to_string(subplans),
+                std::to_string(max_q), FormatDouble(cost_sum, 1)},
+               widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gencompact::bench
+
+int main() {
+  std::printf("# E4: pruning-rule ablation (PR1/PR2/PR3, Section 6.3)\n");
+  gencompact::bench::Run();
+  std::printf(
+      "\nExpected shape: 'cost sum' identical in every row (pruning never "
+      "loses the optimum), and 'max Q' — the sub-plan count handed to the "
+      "MCSC combination step — collapses by orders of magnitude with the "
+      "rules on. The paper solves MCSC by enumerating all 2^Q sub-plan "
+      "subsets, so Q ~ 10 (pruned) is practical while Q in the thousands "
+      "(unpruned) is impossible; our subset-DP solver (see bench_mcsc) is "
+      "immune to Q, which is why wall-clock times here stay flat.\n");
+  return 0;
+}

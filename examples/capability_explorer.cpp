@@ -1,0 +1,129 @@
+// capability_explorer: a small CLI around SSDL's Check function.
+//
+// Feed it an SSDL description and condition expressions; it reports, for
+// each condition, whether the source supports it, which attributes it can
+// export (the Check family), and what the closure adds. Handy when writing
+// a description for a new source.
+//
+// Usage:
+//   capability_explorer <description.ssdl> [condition ...]
+//   capability_explorer --demo
+//
+// With no conditions, reads one condition per line from stdin.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "expr/condition_parser.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+#include "ssdl/ssdl_parser.h"
+
+using namespace gencompact;
+
+namespace {
+
+constexpr const char* kDemoSsdl = R"(
+# Example 4.1 of the paper.
+source R(make: string, model: string, year: int,
+         color: string, price: int) {
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+constexpr const char* kDemoConditions[] = {
+    "make = \"BMW\" and price < 40000",
+    "price < 40000 and make = \"BMW\"",
+    "make = \"BMW\" and color = \"red\"",
+    "color = \"red\" or color = \"black\"",
+    "true",
+};
+
+void Report(const std::string& text, Checker* original, Checker* closed) {
+  const Result<ConditionPtr> cond = ParseCondition(text);
+  if (!cond.ok()) {
+    std::printf("  parse error: %s\n", cond.status().ToString().c_str());
+    return;
+  }
+  const Schema& schema = original->description().schema();
+  const std::vector<AttributeSet>& direct = original->Check(**cond);
+  const std::vector<AttributeSet>& reordered = closed->Check(**cond);
+  std::printf("condition: %s\n", (*cond)->ToString().c_str());
+  if (direct.empty() && reordered.empty()) {
+    std::printf("  NOT supported (in any conjunct order)\n");
+    return;
+  }
+  if (!direct.empty()) {
+    std::printf("  supported as written; exports:");
+  } else {
+    std::printf("  supported after reordering (commutativity closure); exports:");
+  }
+  for (const AttributeSet& family :
+       !direct.empty() ? direct : reordered) {
+    std::printf(" %s", family.ToString(schema).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ssdl_text;
+  std::vector<std::string> conditions;
+
+  if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    ssdl_text = kDemoSsdl;
+    for (const char* c : kDemoConditions) conditions.push_back(c);
+  } else if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ssdl_text = buffer.str();
+    for (int i = 2; i < argc; ++i) conditions.push_back(argv[i]);
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s <description.ssdl> [condition ...]\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  Result<SourceDescription> description = ParseSsdl(ssdl_text);
+  if (!description.ok()) {
+    std::fprintf(stderr, "SSDL error: %s\n",
+                 description.status().ToString().c_str());
+    return 1;
+  }
+  const SourceDescription closed_description = CommutativityClosure(*description);
+  std::printf("Loaded source '%s' %s\n", description->source_name().c_str(),
+              description->schema().ToString().c_str());
+  std::printf("%zu grammar rules (%zu after commutativity closure)\n\n",
+              description->grammar().rules().size(),
+              closed_description.grammar().rules().size());
+
+  Checker original(&*description);
+  Checker closed(&closed_description);
+
+  if (!conditions.empty()) {
+    for (const std::string& text : conditions) {
+      Report(text, &original, &closed);
+    }
+    return 0;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Report(line, &original, &closed);
+  }
+  return 0;
+}

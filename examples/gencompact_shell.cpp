@@ -1,0 +1,184 @@
+// gencompact_shell: an interactive mediator over SSDL + CSV sources.
+//
+// Usage:
+//   gencompact_shell <desc1.ssdl> <data1.csv> [<desc2.ssdl> <data2.csv> ...]
+//   gencompact_shell --demo
+//
+// Each source is an SSDL description plus a CSV file matching its schema
+// (header row required). Then type SQL at the prompt:
+//
+//   > SELECT make, model FROM cars WHERE make = "BMW" and price < 40000
+//   > EXPLAIN SELECT model FROM cars WHERE ...      -- show the plan
+//   > STRATEGY cnf                                  -- switch planner
+//   > SELECT cars.model, dealers.city FROM cars JOIN dealers
+//       ON cars.make = dealers.make WHERE ...
+//   > .sources                                      -- list sources
+//   > .quit
+//
+// The --demo mode registers the quickstart car source with a few rows.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "mediator/mediator.h"
+#include "ssdl/ssdl_parser.h"
+#include "storage/csv.h"
+
+using namespace gencompact;
+
+namespace {
+
+constexpr const char* kDemoSsdl = R"(
+source cars(make: string, model: string, year: int,
+            color: string, price: int) {
+  cost 10.0 1.0;
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+constexpr const char* kDemoCsv =
+    "make,model,year,color,price\n"
+    "BMW,318i,1996,red,21000\n"
+    "BMW,528i,1998,black,38000\n"
+    "BMW,735i,1998,silver,52000\n"
+    "Toyota,Corolla,1997,red,13000\n"
+    "Toyota,Camry,1998,blue,19000\n"
+    "Honda,Civic,1997,white,12500\n";
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status RegisterFromText(Mediator* mediator, const std::string& ssdl_text,
+                        const std::string& csv_text) {
+  GC_ASSIGN_OR_RETURN(SourceDescription description, ParseSsdl(ssdl_text));
+  GC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      LoadCsv(csv_text, description.source_name(), description.schema()));
+  std::printf("registered source '%s' %s with %zu rows\n",
+              description.source_name().c_str(),
+              description.schema().ToString().c_str(), table->num_rows());
+  return mediator->RegisterSource(std::move(description), std::move(table));
+}
+
+std::optional<Strategy> ParseStrategy(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "gencompact") return Strategy::kGenCompact;
+  if (lower == "genmodular") return Strategy::kGenModular;
+  if (lower == "cnf") return Strategy::kCnf;
+  if (lower == "dnf") return Strategy::kDnf;
+  if (lower == "disco") return Strategy::kDisco;
+  if (lower == "naive") return Strategy::kNaive;
+  return std::nullopt;
+}
+
+void RunQuery(Mediator* mediator, const std::string& sql, Strategy strategy) {
+  const Result<Mediator::QueryResult> result = mediator->Query(sql, strategy);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  size_t shown = 0;
+  for (const Row& row : result->rows.SortedRows()) {
+    if (++shown > 25) {
+      std::printf("  ... (%zu more rows)\n", result->rows.size() - 25);
+      break;
+    }
+    std::printf("  %s\n", row.ToString().c_str());
+  }
+  std::printf(
+      "-- %zu rows; %zu source queries, %llu rows transferred, true cost "
+      "%.1f\n",
+      result->rows.size(), result->exec.source_queries,
+      static_cast<unsigned long long>(result->exec.rows_transferred),
+      result->true_cost);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Mediator mediator;
+
+  if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    const Status status = RegisterFromText(&mediator, kDemoSsdl, kDemoCsv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else if (argc >= 3 && (argc - 1) % 2 == 0) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      Result<std::string> ssdl = ReadFile(argv[i]);
+      Result<std::string> csv = ReadFile(argv[i + 1]);
+      if (!ssdl.ok() || !csv.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     (!ssdl.ok() ? ssdl.status() : csv.status()).ToString().c_str());
+        return 1;
+      }
+      const Status status = RegisterFromText(&mediator, *ssdl, *csv);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s <desc.ssdl> <data.csv> [more pairs...]\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+
+  Strategy strategy = Strategy::kGenCompact;
+  std::printf("strategy: GenCompact. Type SQL, EXPLAIN <sql>, ANALYZE <sql>, STRATEGY "
+              "<name>, or .quit\n");
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    const std::string input(StripWhitespace(line));
+    if (input.empty()) {
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (input == ".quit" || input == ".exit") break;
+    if (input == ".sources") {
+      std::printf("%zu sources registered\n", mediator.catalog()->size());
+    } else if (ToLower(input.substr(0, 9)) == "strategy ") {
+      const std::optional<Strategy> parsed = ParseStrategy(
+          std::string(StripWhitespace(input.substr(9))));
+      if (parsed.has_value()) {
+        strategy = *parsed;
+        std::printf("strategy: %s\n", StrategyName(strategy));
+      } else {
+        std::printf("unknown strategy (gencompact|genmodular|cnf|dnf|disco|"
+                    "naive)\n");
+      }
+    } else if (ToLower(input.substr(0, 8)) == "explain ") {
+      const Result<std::string> text =
+          mediator.ExplainText(input.substr(8), strategy);
+      std::printf("%s", text.ok() ? text->c_str()
+                                  : (text.status().ToString() + "\n").c_str());
+    } else if (ToLower(input.substr(0, 8)) == "analyze ") {
+      const Result<std::string> text =
+          mediator.ExplainAnalyze(input.substr(8), strategy);
+      std::printf("%s", text.ok() ? text->c_str()
+                                  : (text.status().ToString() + "\n").c_str());
+    } else {
+      RunQuery(&mediator, input, strategy);
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

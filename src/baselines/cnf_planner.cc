@@ -1,0 +1,72 @@
+#include "baselines/cnf_planner.h"
+
+#include "expr/normal_forms.h"
+
+namespace gencompact {
+
+Result<PlanPtr> CnfPlanner::Plan(const ConditionPtr& condition,
+                                 const AttributeSet& attrs) {
+  Checker* checker = source_->checker();
+  const Schema& schema = source_->schema();
+
+  GC_ASSIGN_OR_RETURN(const ConditionPtr cnf, ToCnf(condition));
+  std::vector<ConditionPtr> clauses;
+  if (cnf->kind() == ConditionNode::Kind::kAnd) {
+    clauses = cnf->children();
+  } else {
+    clauses = {cnf};
+  }
+
+  // Start from every clause the source can parse at all, then greedily drop
+  // trailing clauses until the shipped conjunction is supported and exports
+  // the attributes the mediator needs for the rest.
+  std::vector<ConditionPtr> shipped;
+  std::vector<ConditionPtr> local;
+  for (const ConditionPtr& clause : clauses) {
+    if (!checker->Check(*clause).empty()) {
+      shipped.push_back(clause);
+    } else {
+      local.push_back(clause);
+    }
+  }
+
+  while (!shipped.empty()) {
+    const ConditionPtr shipped_cond =
+        ConditionNode::And(std::vector<ConditionPtr>(shipped));
+    AttributeSet needed = attrs;
+    bool attrs_ok = true;
+    for (const ConditionPtr& clause : local) {
+      const Result<AttributeSet> clause_attrs = clause->Attributes(schema);
+      if (!clause_attrs.ok()) {
+        attrs_ok = false;
+        break;
+      }
+      needed = needed.Union(clause_attrs.value());
+    }
+    if (attrs_ok && checker->Supports(*shipped_cond, needed)) {
+      if (local.empty()) {
+        return PlanNode::SourceQuery(shipped_cond, attrs);
+      }
+      return PlanNode::MediatorSp(
+          ConditionNode::And(std::vector<ConditionPtr>(local)), attrs,
+          PlanNode::SourceQuery(shipped_cond, needed));
+    }
+    local.push_back(shipped.back());
+    shipped.pop_back();
+  }
+
+  // No clause shippable: attempt to download the entire source.
+  const Result<AttributeSet> cond_attrs = condition->Attributes(schema);
+  if (cond_attrs.ok()) {
+    const AttributeSet needed = attrs.Union(cond_attrs.value());
+    const ConditionPtr true_cond = ConditionNode::True();
+    if (checker->Supports(*true_cond, needed)) {
+      return PlanNode::MediatorSp(condition, attrs,
+                                  PlanNode::SourceQuery(true_cond, needed));
+    }
+  }
+  return Status::NoFeasiblePlan(
+      "CNF strategy: no clause shippable and source not downloadable");
+}
+
+}  // namespace gencompact

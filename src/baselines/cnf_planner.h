@@ -1,0 +1,29 @@
+#ifndef GENCOMPACT_BASELINES_CNF_PLANNER_H_
+#define GENCOMPACT_BASELINES_CNF_PLANNER_H_
+
+#include "planner/strategy.h"
+
+namespace gencompact {
+
+/// Garlic-style baseline (Section 2): the condition is transformed to CNF;
+/// the conjunction of the clauses the source can evaluate is shipped as one
+/// source query and the remaining clauses are applied by the mediator. If no
+/// clause can be evaluated at the source, Garlic attempts to download the
+/// entire source. The clause-selection is greedy (drop trailing clauses
+/// until the shipped conjunction is supported with sufficient exports).
+class CnfPlanner : public PlannerStrategy {
+ public:
+  explicit CnfPlanner(SourceHandle* source) : source_(source) {}
+
+  std::string name() const override { return "CNF(Garlic)"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+ private:
+  SourceHandle* source_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_BASELINES_CNF_PLANNER_H_

@@ -1,0 +1,26 @@
+#include "baselines/disco_planner.h"
+
+namespace gencompact {
+
+Result<PlanPtr> DiscoPlanner::Plan(const ConditionPtr& condition,
+                                   const AttributeSet& attrs) {
+  Checker* checker = source_->checker();
+  if (checker->Supports(*condition, attrs)) {
+    return PlanNode::SourceQuery(condition, attrs);
+  }
+  const Result<AttributeSet> cond_attrs =
+      condition->Attributes(source_->schema());
+  if (cond_attrs.ok()) {
+    const AttributeSet needed = attrs.Union(cond_attrs.value());
+    const ConditionPtr true_cond = ConditionNode::True();
+    if (checker->Supports(*true_cond, needed)) {
+      return PlanNode::MediatorSp(condition, attrs,
+                                  PlanNode::SourceQuery(true_cond, needed));
+    }
+  }
+  return Status::NoFeasiblePlan(
+      "DISCO strategy: whole condition unsupported and source not "
+      "downloadable");
+}
+
+}  // namespace gencompact

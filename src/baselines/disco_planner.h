@@ -1,0 +1,27 @@
+#ifndef GENCOMPACT_BASELINES_DISCO_PLANNER_H_
+#define GENCOMPACT_BASELINES_DISCO_PLANNER_H_
+
+#include "planner/strategy.h"
+
+namespace gencompact {
+
+/// DISCO baseline (Section 2): never splits the condition — either the
+/// source evaluates the entire condition expression, or the mediator
+/// evaluates all of it on a full download. Fails on both motivating
+/// examples of Section 1, as the paper observes.
+class DiscoPlanner : public PlannerStrategy {
+ public:
+  explicit DiscoPlanner(SourceHandle* source) : source_(source) {}
+
+  std::string name() const override { return "DISCO"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+ private:
+  SourceHandle* source_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_BASELINES_DISCO_PLANNER_H_

@@ -1,0 +1,94 @@
+#include "baselines/dnf_planner.h"
+
+#include "expr/normal_forms.h"
+
+namespace gencompact {
+
+namespace {
+
+/// Plans one DNF disjunct (an ∧ of atoms or a single atom): ship the
+/// longest supportable prefix-by-trailing-drop conjunction, apply the rest
+/// at the mediator. Returns nullptr if nothing is shippable.
+PlanPtr PlanDisjunct(const ConditionPtr& disjunct, const AttributeSet& attrs,
+                     SourceHandle* source) {
+  Checker* checker = source->checker();
+  const Schema& schema = source->schema();
+
+  std::vector<ConditionPtr> shipped;
+  if (disjunct->kind() == ConditionNode::Kind::kAnd) {
+    shipped = disjunct->children();
+  } else {
+    shipped = {disjunct};
+  }
+  std::vector<ConditionPtr> local;
+
+  while (!shipped.empty()) {
+    const ConditionPtr shipped_cond =
+        ConditionNode::And(std::vector<ConditionPtr>(shipped));
+    AttributeSet needed = attrs;
+    bool attrs_ok = true;
+    for (const ConditionPtr& atom : local) {
+      const Result<AttributeSet> atom_attrs = atom->Attributes(schema);
+      if (!atom_attrs.ok()) {
+        attrs_ok = false;
+        break;
+      }
+      needed = needed.Union(atom_attrs.value());
+    }
+    if (attrs_ok && checker->Supports(*shipped_cond, needed)) {
+      if (local.empty()) {
+        return PlanNode::SourceQuery(shipped_cond, attrs);
+      }
+      return PlanNode::MediatorSp(
+          ConditionNode::And(std::vector<ConditionPtr>(local)), attrs,
+          PlanNode::SourceQuery(shipped_cond, needed));
+    }
+    local.insert(local.begin(), shipped.back());
+    shipped.pop_back();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PlanPtr> DnfPlanner::Plan(const ConditionPtr& condition,
+                                 const AttributeSet& attrs) {
+  GC_ASSIGN_OR_RETURN(const ConditionPtr dnf, ToDnf(condition));
+  std::vector<ConditionPtr> disjuncts;
+  if (dnf->kind() == ConditionNode::Kind::kOr) {
+    disjuncts = dnf->children();
+  } else {
+    disjuncts = {dnf};
+  }
+
+  std::vector<PlanPtr> parts;
+  parts.reserve(disjuncts.size());
+  bool all_ok = true;
+  for (const ConditionPtr& disjunct : disjuncts) {
+    PlanPtr part = PlanDisjunct(disjunct, attrs, source_);
+    if (part == nullptr) {
+      all_ok = false;
+      break;
+    }
+    parts.push_back(std::move(part));
+  }
+  if (all_ok) return PlanNode::UnionOf(std::move(parts));
+
+  // Some disjunct had no shippable part: download the whole source if the
+  // description allows it.
+  const Result<AttributeSet> cond_attrs =
+      condition->Attributes(source_->schema());
+  if (cond_attrs.ok()) {
+    const AttributeSet needed = attrs.Union(cond_attrs.value());
+    const ConditionPtr true_cond = ConditionNode::True();
+    if (source_->checker()->Supports(*true_cond, needed)) {
+      return PlanNode::MediatorSp(condition, attrs,
+                                  PlanNode::SourceQuery(true_cond, needed));
+    }
+  }
+  return Status::NoFeasiblePlan(
+      "DNF strategy: a disjunct has no shippable part and the source is not "
+      "downloadable");
+}
+
+}  // namespace gencompact

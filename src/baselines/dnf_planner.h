@@ -1,0 +1,29 @@
+#ifndef GENCOMPACT_BASELINES_DNF_PLANNER_H_
+#define GENCOMPACT_BASELINES_DNF_PLANNER_H_
+
+#include "planner/strategy.h"
+
+namespace gencompact {
+
+/// DNF baseline (Section 1): the condition is transformed to DNF and one
+/// source query is sent per disjunct, unioned by the mediator. Within a
+/// disjunct, trailing atoms that prevent supportability are moved to a
+/// mediator selection. A disjunct with no shippable part makes the strategy
+/// fall back to downloading the whole source (if possible) for the entire
+/// query.
+class DnfPlanner : public PlannerStrategy {
+ public:
+  explicit DnfPlanner(SourceHandle* source) : source_(source) {}
+
+  std::string name() const override { return "DNF"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+ private:
+  SourceHandle* source_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_BASELINES_DNF_PLANNER_H_

@@ -1,0 +1,11 @@
+#include "baselines/naive_planner.h"
+
+namespace gencompact {
+
+Result<PlanPtr> NaivePlanner::Plan(const ConditionPtr& condition,
+                                   const AttributeSet& attrs) {
+  (void)source_;
+  return PlanNode::SourceQuery(condition, attrs);
+}
+
+}  // namespace gencompact

@@ -1,0 +1,28 @@
+#ifndef GENCOMPACT_BASELINES_NAIVE_PLANNER_H_
+#define GENCOMPACT_BASELINES_NAIVE_PLANNER_H_
+
+#include "planner/strategy.h"
+
+namespace gencompact {
+
+/// Conventional-optimizer baseline (System R / DB2 / NonStop SQL, Section
+/// 2): assumes the source has full relational capability and always ships
+/// the entire condition. The returned plan may be INFEASIBLE — that is the
+/// point: the feasibility experiment (E5) counts how often such plans are
+/// rejected by the capability-enforcing source.
+class NaivePlanner : public PlannerStrategy {
+ public:
+  explicit NaivePlanner(SourceHandle* source) : source_(source) {}
+
+  std::string name() const override { return "Naive(full-relational)"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+ private:
+  SourceHandle* source_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_BASELINES_NAIVE_PLANNER_H_

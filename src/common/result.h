@@ -1,0 +1,71 @@
+#ifndef GENCOMPACT_COMMON_RESULT_H_
+#define GENCOMPACT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gencompact {
+
+/// A value-or-Status holder, in the spirit of arrow::Result / StatusOr.
+///
+/// A Result<T> is either OK and holds a T, or holds a non-OK Status. The
+/// accessors assert on misuse in debug builds; callers are expected to test
+/// ok() first (or use GC_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace gencompact
+
+/// Evaluates `expr` (a Result<T>), propagating its Status on error and
+/// otherwise binding the value to `lhs`.
+#define GC_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto GC_CONCAT_(_gc_result_, __LINE__) = (expr);     \
+  if (!GC_CONCAT_(_gc_result_, __LINE__).ok())         \
+    return GC_CONCAT_(_gc_result_, __LINE__).status(); \
+  lhs = std::move(GC_CONCAT_(_gc_result_, __LINE__)).value()
+
+#define GC_CONCAT_(a, b) GC_CONCAT_IMPL_(a, b)
+#define GC_CONCAT_IMPL_(a, b) a##b
+
+#endif  // GENCOMPACT_COMMON_RESULT_H_

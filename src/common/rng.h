@@ -1,0 +1,50 @@
+#ifndef GENCOMPACT_COMMON_RNG_H_
+#define GENCOMPACT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gencompact {
+
+/// Deterministic 64-bit PRNG (splitmix64 + xorshift mix). All workload
+/// generators take an Rng so experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bull) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Picks a uniformly random element index for a container of size n.
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBelow(n)); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      const size_t j = NextIndex(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COMMON_RNG_H_

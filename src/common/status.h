@@ -1,0 +1,78 @@
+#ifndef GENCOMPACT_COMMON_STATUS_H_
+#define GENCOMPACT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gencompact {
+
+/// Error categories used across the library. Modeled after the
+/// Status idiom used by production storage engines: no exceptions cross
+/// public API boundaries; every fallible call returns a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad condition text, bad SSDL, ...)
+  kNotFound,          ///< unknown attribute, source, nonterminal, ...
+  kUnsupported,       ///< the source cannot evaluate the query (capability)
+  kNoFeasiblePlan,    ///< the planner proved no feasible plan exists
+  kResourceExhausted, ///< a search budget (rewrites, MCSC size) was exceeded
+  kInternal,          ///< invariant violation; indicates a library bug
+};
+
+/// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NoFeasiblePlan(std::string msg) {
+    return Status(StatusCode::kNoFeasiblePlan, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace gencompact
+
+/// Propagates a non-OK Status out of the current function.
+#define GC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::gencompact::Status _gc_status = (expr);     \
+    if (!_gc_status.ok()) return _gc_status;      \
+  } while (false)
+
+#endif  // GENCOMPACT_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef GENCOMPACT_COMMON_STRINGS_H_
+#define GENCOMPACT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gencompact {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Case-sensitive substring test (the `contains` predicate of the paper's
+/// bookstore example).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view text);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COMMON_STRINGS_H_

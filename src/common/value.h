@@ -1,0 +1,81 @@
+#ifndef GENCOMPACT_COMMON_VALUE_H_
+#define GENCOMPACT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gencompact {
+
+/// Runtime type of a Value / declared type of a schema attribute.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,     ///< 64-bit signed integer
+  kDouble,  ///< IEEE double
+  kString,  ///< UTF-8 byte string
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed scalar, the unit of data flowing through the system.
+///
+/// Values are ordered within numeric types (kInt and kDouble compare
+/// numerically against each other) and within kString / kBool. Comparing
+/// incomparable types (e.g. string vs int) is defined but arbitrary
+/// (type-tag order) so Values can live in ordered containers.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: kInt/kDouble as double. Requires is_numeric().
+  double AsDouble() const;
+
+  /// Three-way comparison: negative, zero, positive. Numeric types compare
+  /// numerically across kInt/kDouble; otherwise types compare by tag first.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash consistent with operator== (numerically equal kInt/kDouble
+  /// hash alike).
+  size_t Hash() const;
+
+  /// Renders the value for display / serialization. Strings are quoted.
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COMMON_VALUE_H_

@@ -1,0 +1,7 @@
+#include "cost/cardinality.h"
+
+namespace gencompact {
+
+// CardinalityEstimator is header-only today; this TU anchors the vtable.
+
+}  // namespace gencompact

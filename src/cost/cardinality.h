@@ -1,0 +1,116 @@
+#ifndef GENCOMPACT_COST_CARDINALITY_H_
+#define GENCOMPACT_COST_CARDINALITY_H_
+
+#include <algorithm>
+
+#include "cost/selectivity.h"
+
+namespace gencompact {
+
+/// Cardinality estimation for source-query results: estimated row count of
+/// σ_cond(R). A thin interface so GenCompact stays cost-model-pluggable
+/// (Section 7: "easily adapted to ... cost models different from those
+/// presented").
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated |σ_cond(R)|.
+  virtual double EstimateRows(const ConditionNode& cond) const = 0;
+
+  /// Estimated |π_attrs(σ_cond(R))| under set semantics (source results are
+  /// deduplicated). Defaults to the selection estimate; statistics-based
+  /// implementations cap it by the product of the projected attributes'
+  /// distinct counts.
+  virtual double EstimateResultRows(const ConditionNode& cond,
+                                    const AttributeSet& attrs) const {
+    (void)attrs;
+    return EstimateRows(cond);
+  }
+};
+
+/// Statistics-based estimator over one table's TableStats.
+class StatsCardinalityEstimator : public CardinalityEstimator {
+ public:
+  /// `schema` and `stats` must outlive the estimator.
+  StatsCardinalityEstimator(const Schema* schema, const TableStats* stats,
+                            SelectivityOptions options = {})
+      : schema_(schema), stats_(stats), options_(options) {}
+
+  double EstimateRows(const ConditionNode& cond) const override {
+    return static_cast<double>(stats_->num_rows()) *
+           EstimateSelectivity(cond, *schema_, *stats_, options_);
+  }
+
+  double EstimateResultRows(const ConditionNode& cond,
+                            const AttributeSet& attrs) const override {
+    const double selected = EstimateRows(cond);
+    // Distinct-combination bound: the deduplicated projection cannot exceed
+    // the product of the projected attributes' distinct counts — and a
+    // condition that pins an attribute (equality conjunct / value list)
+    // tightens that attribute's factor further.
+    double distinct_bound = 1.0;
+    for (int index : attrs.Indices()) {
+      if (static_cast<size_t>(index) >= stats_->num_attributes()) continue;
+      const uint64_t ndv = stats_->attribute(index).num_distinct;
+      double factor = ndv == 0 ? 1.0 : static_cast<double>(ndv);
+      const std::optional<double> pinned =
+          DistinctBoundFromCondition(cond, index);
+      if (pinned.has_value()) factor = std::min(factor, *pinned);
+      distinct_bound *= factor;
+      if (distinct_bound > selected) return selected;  // no tighter
+    }
+    return std::min(selected, distinct_bound);
+  }
+
+  /// Upper bound on the number of distinct values attribute `index` can
+  /// take among rows satisfying `cond`: 1 under an equality conjunct, k
+  /// under a k-way value list, nullopt when unconstrained. Exposed for
+  /// tests.
+  std::optional<double> DistinctBoundFromCondition(const ConditionNode& cond,
+                                                   int index) const {
+    switch (cond.kind()) {
+      case ConditionNode::Kind::kTrue:
+        return std::nullopt;
+      case ConditionNode::Kind::kAtom: {
+        if (cond.atom().op != CompareOp::kEq) return std::nullopt;
+        const std::optional<int> attr = schema_->IndexOf(cond.atom().attribute);
+        if (!attr.has_value() || *attr != index) return std::nullopt;
+        return 1.0;
+      }
+      case ConditionNode::Kind::kAnd: {
+        // Any conjunct's bound applies; take the tightest.
+        std::optional<double> best;
+        for (const ConditionPtr& child : cond.children()) {
+          const std::optional<double> bound =
+              DistinctBoundFromCondition(*child, index);
+          if (bound.has_value() && (!best.has_value() || *bound < *best)) {
+            best = bound;
+          }
+        }
+        return best;
+      }
+      case ConditionNode::Kind::kOr: {
+        // Bounded only if every disjunct bounds the attribute; sum.
+        double total = 0;
+        for (const ConditionPtr& child : cond.children()) {
+          const std::optional<double> bound =
+              DistinctBoundFromCondition(*child, index);
+          if (!bound.has_value()) return std::nullopt;
+          total += *bound;
+        }
+        return total;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const Schema* schema_;
+  const TableStats* stats_;
+  SelectivityOptions options_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COST_CARDINALITY_H_

@@ -1,0 +1,129 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+
+namespace gencompact {
+
+namespace {
+
+/// Rough output-row estimate per plan node, used only by the mediator-cost
+/// extension term (k3). With the paper's model (k3 = 0) it never runs.
+double EstimateOutputRows(const PlanNode& plan, const CostModel& model) {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      return model.EstimateResultRows(*plan.condition(), plan.attrs());
+    case PlanNode::Kind::kMediatorSp: {
+      const double child = EstimateOutputRows(*plan.children().front(), model);
+      return std::min(child, model.EstimateRows(*plan.condition()));
+    }
+    case PlanNode::Kind::kUnion: {
+      double total = 0;
+      for (const PlanPtr& child : plan.children()) {
+        total += EstimateOutputRows(*child, model);
+      }
+      return total;
+    }
+    case PlanNode::Kind::kIntersect: {
+      double best = -1;
+      for (const PlanPtr& child : plan.children()) {
+        const double rows = EstimateOutputRows(*child, model);
+        best = best < 0 ? rows : std::min(best, rows);
+      }
+      return best < 0 ? 0 : best;
+    }
+    case PlanNode::Kind::kChoice: {
+      // Rows of the cheapest child (the one the cost module will pick).
+      double best_cost = -1;
+      double best_rows = 0;
+      for (const PlanPtr& child : plan.children()) {
+        const double cost = model.PlanCost(*child);
+        if (best_cost < 0 || cost < best_cost) {
+          best_cost = cost;
+          best_rows = EstimateOutputRows(*child, model);
+        }
+      }
+      return best_rows;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+double CostModel::PlanCost(const PlanNode& plan) const {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      return SourceQueryCost(*plan.condition(), plan.attrs());
+    case PlanNode::Kind::kMediatorSp: {
+      double cost = PlanCost(*plan.children().front());
+      if (mediator_k3_ > 0) {
+        cost += mediator_k3_ *
+                EstimateOutputRows(*plan.children().front(), *this);
+      }
+      return cost;
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      double cost = 0;
+      for (const PlanPtr& child : plan.children()) {
+        cost += PlanCost(*child);
+        if (mediator_k3_ > 0) {
+          cost += mediator_k3_ * EstimateOutputRows(*child, *this);
+        }
+      }
+      return cost;
+    }
+    case PlanNode::Kind::kChoice: {
+      double best = -1;
+      for (const PlanPtr& child : plan.children()) {
+        const double cost = PlanCost(*child);
+        if (best < 0 || cost < best) best = cost;
+      }
+      return best < 0 ? 0 : best;
+    }
+  }
+  return 0;
+}
+
+PlanPtr CostModel::ResolveChoices(const PlanPtr& plan) const {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      return plan;
+    case PlanNode::Kind::kMediatorSp: {
+      PlanPtr child = ResolveChoices(plan->children().front());
+      if (child == plan->children().front()) return plan;
+      return PlanNode::MediatorSp(plan->condition(), plan->attrs(),
+                                  std::move(child));
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      std::vector<PlanPtr> children;
+      children.reserve(plan->children().size());
+      bool changed = false;
+      for (const PlanPtr& child : plan->children()) {
+        PlanPtr resolved = ResolveChoices(child);
+        changed = changed || resolved != child;
+        children.push_back(std::move(resolved));
+      }
+      if (!changed) return plan;
+      return plan->kind() == PlanNode::Kind::kUnion
+                 ? PlanNode::UnionOf(std::move(children))
+                 : PlanNode::IntersectOf(std::move(children));
+    }
+    case PlanNode::Kind::kChoice: {
+      const PlanPtr* best = nullptr;
+      double best_cost = -1;
+      for (const PlanPtr& child : plan->children()) {
+        const double cost = PlanCost(*child);
+        if (best == nullptr || cost < best_cost) {
+          best = &child;
+          best_cost = cost;
+        }
+      }
+      return ResolveChoices(*best);
+    }
+  }
+  return plan;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,61 @@
+#ifndef GENCOMPACT_COST_COST_MODEL_H_
+#define GENCOMPACT_COST_COST_MODEL_H_
+
+#include "cost/cardinality.h"
+#include "plan/plan.h"
+
+namespace gencompact {
+
+/// The paper's cost model (Section 6.2, Equation 1):
+///
+///   cost(plan) = Σ over source queries sq of  k1 + k2·|result(sq)|
+///
+/// k1 and k2 are per-source constants (communication setup plus per-row
+/// transfer/processing). An optional extension term `mediator_k3` charges
+/// mediator postprocessing per input row (0 by default — exactly the paper's
+/// model; non-zero values are used by the ablation benchmark).
+class CostModel {
+ public:
+  /// `estimator` must outlive the model.
+  CostModel(double k1, double k2, const CardinalityEstimator* estimator,
+            double mediator_k3 = 0.0)
+      : k1_(k1), k2_(k2), mediator_k3_(mediator_k3), estimator_(estimator) {}
+
+  double k1() const { return k1_; }
+  double k2() const { return k2_; }
+
+  /// Estimated result rows of SP(cond, ·, R) before projection.
+  double EstimateRows(const ConditionNode& cond) const {
+    return estimator_->EstimateRows(cond);
+  }
+
+  /// Estimated result rows of SP(cond, attrs, R) — deduplicated projection.
+  double EstimateResultRows(const ConditionNode& cond,
+                            const AttributeSet& attrs) const {
+    return estimator_->EstimateResultRows(cond, attrs);
+  }
+
+  /// Cost of one source query: k1 + k2·estimated result rows.
+  double SourceQueryCost(const ConditionNode& cond,
+                         const AttributeSet& attrs) const {
+    return k1_ + k2_ * EstimateResultRows(cond, attrs);
+  }
+
+  /// Cost of a plan. Choice nodes cost the minimum over their children
+  /// (the cost module "resolves" the Choice operator, Section 5.3).
+  double PlanCost(const PlanNode& plan) const;
+
+  /// Replaces every Choice node by its cheapest child, returning a resolved
+  /// (directly executable) plan.
+  PlanPtr ResolveChoices(const PlanPtr& plan) const;
+
+ private:
+  double k1_;
+  double k2_;
+  double mediator_k3_;
+  const CardinalityEstimator* estimator_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COST_COST_MODEL_H_

@@ -1,0 +1,127 @@
+#include "cost/selectivity.h"
+
+#include <algorithm>
+
+namespace gencompact {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// Fraction of values <= bound, from the equi-depth histogram or uniform
+// interpolation.
+double FractionBelow(const AttributeStats& stats, double bound,
+                     bool inclusive) {
+  if (!stats.has_range || stats.num_non_null == 0) return 1.0 / 3.0;
+  if (bound < stats.min_value) return 0.0;
+  if (bound > stats.max_value || (inclusive && bound == stats.max_value)) {
+    return 1.0;
+  }
+  if (!stats.histogram_bounds.empty()) {
+    const size_t buckets = stats.histogram_bounds.size();
+    double prev = stats.min_value;
+    for (size_t i = 0; i < buckets; ++i) {
+      const double upper = stats.histogram_bounds[i];
+      if (bound <= upper) {
+        const double within =
+            upper > prev ? (bound - prev) / (upper - prev) : 1.0;
+        return (static_cast<double>(i) + Clamp01(within)) /
+               static_cast<double>(buckets);
+      }
+      prev = upper;
+    }
+    return 1.0;
+  }
+  if (stats.max_value == stats.min_value) return 1.0;
+  return (bound - stats.min_value) / (stats.max_value - stats.min_value);
+}
+
+double AtomSelectivity(const AtomicCondition& atom, const Schema& schema,
+                       const TableStats& stats,
+                       const SelectivityOptions& options) {
+  const std::optional<int> index = schema.IndexOf(atom.attribute);
+  if (!index.has_value() ||
+      static_cast<size_t>(*index) >= stats.num_attributes()) {
+    return options.default_equality;
+  }
+  const AttributeStats& as = stats.attribute(*index);
+  const double rows = static_cast<double>(stats.num_rows());
+  switch (atom.op) {
+    case CompareOp::kEq: {
+      if (rows == 0) return 0.0;
+      const std::optional<uint64_t> exact =
+          stats.CommonValueCount(*index, atom.constant);
+      if (exact.has_value()) return Clamp01(static_cast<double>(*exact) / rows);
+      // When the tracked common values cover every distinct value, a miss
+      // proves the constant does not occur at all.
+      if (as.common_values.size() == as.num_distinct) return 0.0;
+      if (as.num_distinct > 0) {
+        return Clamp01(1.0 / static_cast<double>(as.num_distinct));
+      }
+      return options.default_equality;
+    }
+    case CompareOp::kNe:
+      return Clamp01(1.0 - AtomSelectivity({atom.attribute, CompareOp::kEq,
+                                            atom.constant},
+                                           schema, stats, options));
+    case CompareOp::kLt:
+    case CompareOp::kLe: {
+      if (!atom.constant.is_numeric()) return options.default_inequality;
+      return Clamp01(FractionBelow(as, atom.constant.AsDouble(),
+                                   atom.op == CompareOp::kLe));
+    }
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (!atom.constant.is_numeric()) return options.default_inequality;
+      return Clamp01(1.0 - FractionBelow(as, atom.constant.AsDouble(),
+                                         atom.op == CompareOp::kGt));
+    }
+    case CompareOp::kContains:
+    case CompareOp::kStartsWith: {
+      // Estimate from the value sample when available; fall back to the
+      // configured default.
+      if (!as.sample_values.empty()) {
+        size_t matches = 0;
+        for (const Value& v : as.sample_values) {
+          if (EvalCompare(atom.op, v, atom.constant)) ++matches;
+        }
+        // Laplace-smoothed so rare predicates keep a nonzero estimate.
+        return Clamp01((static_cast<double>(matches) + 0.5) /
+                       (static_cast<double>(as.sample_values.size()) + 1.0));
+      }
+      return atom.op == CompareOp::kContains ? options.contains
+                                             : options.starts_with;
+    }
+  }
+  return options.default_equality;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ConditionNode& cond, const Schema& schema,
+                           const TableStats& stats,
+                           const SelectivityOptions& options) {
+  switch (cond.kind()) {
+    case ConditionNode::Kind::kTrue:
+      return 1.0;
+    case ConditionNode::Kind::kAtom:
+      return AtomSelectivity(cond.atom(), schema, stats, options);
+    case ConditionNode::Kind::kAnd: {
+      double s = 1.0;
+      for (const ConditionPtr& child : cond.children()) {
+        s *= EstimateSelectivity(*child, schema, stats, options);
+      }
+      return Clamp01(s);
+    }
+    case ConditionNode::Kind::kOr: {
+      double not_any = 1.0;
+      for (const ConditionPtr& child : cond.children()) {
+        not_any *= 1.0 - EstimateSelectivity(*child, schema, stats, options);
+      }
+      return Clamp01(1.0 - not_any);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace gencompact

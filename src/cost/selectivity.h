@@ -1,0 +1,31 @@
+#ifndef GENCOMPACT_COST_SELECTIVITY_H_
+#define GENCOMPACT_COST_SELECTIVITY_H_
+
+#include "expr/condition.h"
+#include "schema/schema.h"
+#include "storage/table_stats.h"
+
+namespace gencompact {
+
+/// Tunable default selectivities for predicates the statistics cannot
+/// estimate precisely.
+struct SelectivityOptions {
+  double default_equality = 0.1;     ///< eq with no ndv information
+  double default_inequality = 1.0 / 3.0;  ///< range op without numeric range
+  double contains = 0.05;
+  double starts_with = 0.02;
+};
+
+/// Estimates the fraction of rows satisfying `cond`, using per-attribute
+/// statistics under the usual independence assumptions: ∧ multiplies child
+/// selectivities; ∨ combines by inclusion–exclusion (1 - Π(1 - s_i)).
+/// Equality uses exact common-value counts when tracked, else 1/ndv; ranges
+/// use the equi-depth histogram when present, else uniform interpolation
+/// over [min, max]. Unknown attributes contribute the default selectivity.
+double EstimateSelectivity(const ConditionNode& cond, const Schema& schema,
+                           const TableStats& stats,
+                           const SelectivityOptions& options = {});
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COST_SELECTIVITY_H_

@@ -1,0 +1,53 @@
+#include "exec/executor.h"
+
+#include "expr/condition_eval.h"
+
+namespace gencompact {
+
+Result<RowSet> Executor::Execute(const PlanNode& plan) {
+  const Schema& schema = source_->table().schema();
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery: {
+      GC_ASSIGN_OR_RETURN(RowSet rows,
+                          source_->Execute(*plan.condition(), plan.attrs()));
+      ++stats_.source_queries;
+      stats_.rows_transferred += rows.size();
+      return rows;
+    }
+    case PlanNode::Kind::kMediatorSp: {
+      GC_ASSIGN_OR_RETURN(RowSet input, Execute(*plan.children().front()));
+      const RowLayout& in_layout = input.layout();
+      const RowLayout out_layout(plan.attrs(), schema.num_attributes());
+      RowSet output(out_layout);
+      for (const Row& row : input.rows()) {
+        GC_ASSIGN_OR_RETURN(
+            const bool matches,
+            EvalCondition(*plan.condition(), row, in_layout, schema));
+        if (matches) output.Insert(in_layout.Project(row, out_layout));
+      }
+      return output;
+    }
+    case PlanNode::Kind::kUnion: {
+      GC_ASSIGN_OR_RETURN(RowSet acc, Execute(*plan.children().front()));
+      for (size_t i = 1; i < plan.children().size(); ++i) {
+        GC_ASSIGN_OR_RETURN(RowSet next, Execute(*plan.children()[i]));
+        acc = RowSet::UnionOf(acc, next);
+      }
+      return acc;
+    }
+    case PlanNode::Kind::kIntersect: {
+      GC_ASSIGN_OR_RETURN(RowSet acc, Execute(*plan.children().front()));
+      for (size_t i = 1; i < plan.children().size(); ++i) {
+        GC_ASSIGN_OR_RETURN(RowSet next, Execute(*plan.children()[i]));
+        acc = RowSet::IntersectOf(acc, next);
+      }
+      return acc;
+    }
+    case PlanNode::Kind::kChoice:
+      return Status::Internal(
+          "cannot execute a plan with unresolved Choice nodes");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace gencompact

@@ -1,0 +1,45 @@
+#ifndef GENCOMPACT_EXEC_EXECUTOR_H_
+#define GENCOMPACT_EXEC_EXECUTOR_H_
+
+#include "exec/source.h"
+#include "plan/plan.h"
+
+namespace gencompact {
+
+/// Per-execution transfer statistics — the "true cost" counterpart of the
+/// estimate-based CostModel, used by the cost-model-validation experiment
+/// (E7) and the motivating-example benchmark (E1).
+struct ExecStats {
+  size_t source_queries = 0;
+  uint64_t rows_transferred = 0;  ///< rows shipped from the source
+
+  /// Equation-1 cost with the actual row counts.
+  double TrueCost(double k1, double k2) const {
+    return k1 * static_cast<double>(source_queries) +
+           k2 * static_cast<double>(rows_transferred);
+  }
+};
+
+/// Executes resolved plans against one source, performing the mediator
+/// postprocessing operations (selection, projection, union, intersection —
+/// Section 3) with set semantics.
+class Executor {
+ public:
+  /// `source` must outlive the executor.
+  explicit Executor(Source* source) : source_(source) {}
+
+  /// Runs `plan`; kUnsupported propagates if the source rejects a query
+  /// (only possible for plans produced by non-capability-aware baselines).
+  Result<RowSet> Execute(const PlanNode& plan);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  Source* source_;
+  ExecStats stats_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_EXECUTOR_H_

@@ -1,0 +1,31 @@
+#include "exec/source.h"
+
+#include "expr/condition_eval.h"
+
+namespace gencompact {
+
+Result<RowSet> Source::Execute(const ConditionNode& cond,
+                               const AttributeSet& attrs) {
+  ++stats_.queries_received;
+  if (!checker_.Supports(cond, attrs)) {
+    ++stats_.queries_rejected;
+    return Status::Unsupported("source '" + description_->source_name() +
+                               "' rejects query: SP(" + cond.ToString() + ", " +
+                               attrs.ToString(table_->schema()) + ")");
+  }
+
+  const Schema& schema = table_->schema();
+  const RowLayout full = table_->FullLayout();
+  const RowLayout projected(attrs, schema.num_attributes());
+  RowSet result(projected);
+  for (const Row& row : table_->rows()) {
+    GC_ASSIGN_OR_RETURN(const bool matches,
+                        EvalCondition(cond, row, full, schema));
+    if (matches) result.Insert(full.Project(row, projected));
+  }
+  ++stats_.queries_answered;
+  stats_.rows_returned += result.size();
+  return result;
+}
+
+}  // namespace gencompact

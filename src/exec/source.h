@@ -1,0 +1,51 @@
+#ifndef GENCOMPACT_EXEC_SOURCE_H_
+#define GENCOMPACT_EXEC_SOURCE_H_
+
+#include "common/result.h"
+#include "ssdl/check.h"
+#include "storage/row_set.h"
+#include "storage/table.h"
+
+namespace gencompact {
+
+/// A simulated Internet source: an in-memory relation behind a
+/// capability-enforcing query interface. Execute() REJECTS any SP query the
+/// SSDL description does not support — exactly like a real web form that
+/// has no field for the condition you want — which is how the test suite
+/// validates the paper's guarantee (1): plans emitted by the planners are
+/// always accepted.
+class Source {
+ public:
+  /// Both pointers must outlive the Source. `description` should be the
+  /// same (commutativity-closed) description the planner used; enforcement
+  /// against the closed description models the mediator's query "fixing"
+  /// step of Section 6.1 (see DESIGN.md).
+  Source(const Table* table, const SourceDescription* description)
+      : table_(table), description_(description), checker_(description) {}
+
+  const Table& table() const { return *table_; }
+  const SourceDescription& description() const { return *description_; }
+
+  /// Executes SP(cond, attrs, R) with set semantics, or kUnsupported if the
+  /// description does not accept the query.
+  Result<RowSet> Execute(const ConditionNode& cond, const AttributeSet& attrs);
+
+  struct Stats {
+    size_t queries_received = 0;
+    size_t queries_answered = 0;
+    size_t queries_rejected = 0;
+    uint64_t rows_returned = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  const Table* table_;
+  const SourceDescription* description_;
+  Checker checker_;
+  Stats stats_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_SOURCE_H_

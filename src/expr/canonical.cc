@@ -1,0 +1,62 @@
+#include "expr/canonical.h"
+
+namespace gencompact {
+
+namespace {
+
+// Appends `child` (already canonical) to `out`, splicing in its children if
+// it is a connector of the same kind as `kind`.
+void AppendFlattened(ConditionNode::Kind kind, const ConditionPtr& child,
+                     std::vector<ConditionPtr>* out) {
+  if (child->kind() == kind) {
+    for (const ConditionPtr& grandchild : child->children()) {
+      out->push_back(grandchild);
+    }
+  } else {
+    out->push_back(child);
+  }
+}
+
+}  // namespace
+
+ConditionPtr Canonicalize(const ConditionPtr& cond) {
+  switch (cond->kind()) {
+    case ConditionNode::Kind::kTrue:
+    case ConditionNode::Kind::kAtom:
+      return cond;
+    case ConditionNode::Kind::kAnd: {
+      std::vector<ConditionPtr> children;
+      bool all_true = true;
+      for (const ConditionPtr& child : cond->children()) {
+        const ConditionPtr canonical_child = Canonicalize(child);
+        if (canonical_child->is_true()) continue;  // true absorbed in ∧
+        all_true = false;
+        AppendFlattened(ConditionNode::Kind::kAnd, canonical_child, &children);
+      }
+      if (all_true) return ConditionNode::True();
+      return ConditionNode::And(std::move(children));
+    }
+    case ConditionNode::Kind::kOr: {
+      std::vector<ConditionPtr> children;
+      for (const ConditionPtr& child : cond->children()) {
+        const ConditionPtr canonical_child = Canonicalize(child);
+        if (canonical_child->is_true()) return ConditionNode::True();
+        AppendFlattened(ConditionNode::Kind::kOr, canonical_child, &children);
+      }
+      return ConditionNode::Or(std::move(children));
+    }
+  }
+  return cond;
+}
+
+bool IsCanonical(const ConditionNode& cond) {
+  if (!cond.is_connector()) return true;
+  for (const ConditionPtr& child : cond.children()) {
+    if (child->kind() == cond.kind()) return false;
+    if (child->is_true()) return false;
+    if (!IsCanonical(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace gencompact

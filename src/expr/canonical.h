@@ -1,0 +1,21 @@
+#ifndef GENCOMPACT_EXPR_CANONICAL_H_
+#define GENCOMPACT_EXPR_CANONICAL_H_
+
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// Converts a CT to the paper's canonical form (Section 6.4): children of
+/// every ∧ node are leaves or ∨ nodes, children of every ∨ node are leaves
+/// or ∧ nodes (i.e. nested same-kind connectors are flattened). Child order
+/// is preserved — source grammars may be order sensitive. `true` leaves are
+/// simplified (absorbed in ∧, dominating in ∨). Runs in time linear in the
+/// size of the input tree, as the paper requires.
+ConditionPtr Canonicalize(const ConditionPtr& cond);
+
+/// True iff `cond` is already in canonical form.
+bool IsCanonical(const ConditionNode& cond);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_CANONICAL_H_

@@ -1,0 +1,74 @@
+#include "expr/compare_op.h"
+
+#include "common/strings.h"
+
+namespace gencompact {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "contains";
+    case CompareOp::kStartsWith:
+      return "startswith";
+  }
+  return "?";
+}
+
+std::optional<CompareOp> ParseCompareOp(std::string_view symbol) {
+  if (symbol == "=" || symbol == "==") return CompareOp::kEq;
+  if (symbol == "!=" || symbol == "<>") return CompareOp::kNe;
+  if (symbol == "<") return CompareOp::kLt;
+  if (symbol == "<=") return CompareOp::kLe;
+  if (symbol == ">") return CompareOp::kGt;
+  if (symbol == ">=") return CompareOp::kGe;
+  if (symbol == "contains") return CompareOp::kContains;
+  if (symbol == "startswith") return CompareOp::kStartsWith;
+  return std::nullopt;
+}
+
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CompareOp::kContains:
+      return lhs.type() == ValueType::kString &&
+             rhs.type() == ValueType::kString &&
+             Contains(lhs.string_value(), rhs.string_value());
+    case CompareOp::kStartsWith:
+      return lhs.type() == ValueType::kString &&
+             rhs.type() == ValueType::kString &&
+             StartsWith(lhs.string_value(), rhs.string_value());
+    default:
+      break;
+  }
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gencompact

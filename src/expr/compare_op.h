@@ -1,0 +1,39 @@
+#ifndef GENCOMPACT_EXPR_COMPARE_OP_H_
+#define GENCOMPACT_EXPR_COMPARE_OP_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/value.h"
+
+namespace gencompact {
+
+/// Comparison predicates available in atomic conditions. `kContains` and
+/// `kStartsWith` are the string predicates web sources commonly expose
+/// (e.g. `title contains "dreams"` in the paper's bookstore example).
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,
+  kStartsWith,
+};
+
+/// Surface syntax of the operator ("=", "!=", "<", "<=", ">", ">=",
+/// "contains", "startswith").
+const char* CompareOpSymbol(CompareOp op);
+
+/// Inverse of CompareOpSymbol.
+std::optional<CompareOp> ParseCompareOp(std::string_view symbol);
+
+/// Applies `op` to (lhs, rhs). NULL operands compare false under every
+/// operator (SQL-like semantics without three-valued logic). String
+/// predicates on non-strings are false.
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_COMPARE_OP_H_

@@ -1,0 +1,154 @@
+#include "expr/condition.h"
+
+#include <cassert>
+
+namespace gencompact {
+
+std::string AtomicCondition::ToString() const {
+  std::string out = attribute;
+  out += ' ';
+  out += CompareOpSymbol(op);
+  out += ' ';
+  out += constant.ToString();
+  return out;
+}
+
+bool AtomicCondition::operator==(const AtomicCondition& other) const {
+  return attribute == other.attribute && op == other.op &&
+         constant == other.constant;
+}
+
+ConditionNode::ConditionNode(Kind kind, AtomicCondition atom,
+                             std::vector<ConditionPtr> children)
+    : kind_(kind), atom_(std::move(atom)), children_(std::move(children)) {}
+
+ConditionPtr ConditionNode::True() {
+  return ConditionPtr(new ConditionNode(Kind::kTrue, AtomicCondition{}, {}));
+}
+
+ConditionPtr ConditionNode::Atom(std::string attribute, CompareOp op,
+                                 Value constant) {
+  return Atom(AtomicCondition{std::move(attribute), op, std::move(constant)});
+}
+
+ConditionPtr ConditionNode::Atom(AtomicCondition atom) {
+  return ConditionPtr(new ConditionNode(Kind::kAtom, std::move(atom), {}));
+}
+
+ConditionPtr ConditionNode::And(std::vector<ConditionPtr> children) {
+  return Connector(Kind::kAnd, std::move(children));
+}
+
+ConditionPtr ConditionNode::Or(std::vector<ConditionPtr> children) {
+  return Connector(Kind::kOr, std::move(children));
+}
+
+ConditionPtr ConditionNode::Connector(Kind kind,
+                                      std::vector<ConditionPtr> children) {
+  assert(kind == Kind::kAnd || kind == Kind::kOr);
+  assert(!children.empty());
+  if (children.size() == 1) return children.front();
+  return ConditionPtr(
+      new ConditionNode(kind, AtomicCondition{}, std::move(children)));
+}
+
+Result<AttributeSet> ConditionNode::Attributes(const Schema& schema) const {
+  AttributeSet set;
+  switch (kind_) {
+    case Kind::kTrue:
+      return set;
+    case Kind::kAtom: {
+      GC_ASSIGN_OR_RETURN(const int index, schema.RequireIndex(atom_.attribute));
+      set.Add(index);
+      return set;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      for (const ConditionPtr& child : children_) {
+        GC_ASSIGN_OR_RETURN(const AttributeSet child_set,
+                            child->Attributes(schema));
+        set = set.Union(child_set);
+      }
+      return set;
+    }
+  }
+  return set;
+}
+
+size_t ConditionNode::CountAtoms() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return 0;
+    case Kind::kAtom:
+      return 1;
+    default: {
+      size_t n = 0;
+      for (const ConditionPtr& child : children_) n += child->CountAtoms();
+      return n;
+    }
+  }
+}
+
+size_t ConditionNode::Depth() const {
+  if (children_.empty()) return 1;
+  size_t depth = 0;
+  for (const ConditionPtr& child : children_) {
+    depth = std::max(depth, child->Depth());
+  }
+  return depth + 1;
+}
+
+const std::string& ConditionNode::ToStringCached() const {
+  if (!cached_string_.empty()) return cached_string_;
+  switch (kind_) {
+    case Kind::kTrue:
+      cached_string_ = "true";
+      break;
+    case Kind::kAtom:
+      cached_string_ = atom_.ToString();
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " and " : " or ";
+      std::string out;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        const ConditionNode& child = *children_[i];
+        if (child.is_connector()) {
+          out += '(';
+          out += child.ToStringCached();
+          out += ')';
+        } else {
+          out += child.ToStringCached();
+        }
+      }
+      cached_string_ = std::move(out);
+      break;
+    }
+  }
+  return cached_string_;
+}
+
+std::string ConditionNode::ToString() const { return ToStringCached(); }
+
+bool ConditionNode::StructurallyEquals(const ConditionNode& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtom:
+      return atom_ == other.atom_;
+    default: {
+      if (children_.size() != other.children_.size()) return false;
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (children_[i].get() != other.children_[i].get() &&
+            !children_[i]->StructurallyEquals(*other.children_[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+}
+
+}  // namespace gencompact

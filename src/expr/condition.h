@@ -1,0 +1,103 @@
+#ifndef GENCOMPACT_EXPR_CONDITION_H_
+#define GENCOMPACT_EXPR_CONDITION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "expr/compare_op.h"
+#include "schema/schema.h"
+
+namespace gencompact {
+
+/// A leaf Boolean condition: `attribute op constant`.
+struct AtomicCondition {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+
+  std::string ToString() const;
+  bool operator==(const AtomicCondition& other) const;
+};
+
+class ConditionNode;
+
+/// Conditions are immutable and shared; rewritten trees share unchanged
+/// subtrees with their originals.
+using ConditionPtr = std::shared_ptr<const ConditionNode>;
+
+/// A node of a condition tree (CT, Section 3 of the paper). Leaves are
+/// atomic conditions (or the trivially-true condition used for source
+/// downloads); interior nodes are n-ary ∧ / ∨ connectors.
+class ConditionNode {
+ public:
+  enum class Kind { kTrue, kAtom, kAnd, kOr };
+
+  /// The trivially true condition (the `SP(true, A, R)` download query).
+  static ConditionPtr True();
+
+  static ConditionPtr Atom(std::string attribute, CompareOp op, Value constant);
+  static ConditionPtr Atom(AtomicCondition atom);
+
+  /// n-ary conjunction. Requires at least one child; a single child is
+  /// returned unchanged (no degenerate connector nodes are created).
+  static ConditionPtr And(std::vector<ConditionPtr> children);
+
+  /// n-ary disjunction, same conventions as And().
+  static ConditionPtr Or(std::vector<ConditionPtr> children);
+
+  /// Connector of the given kind (kAnd/kOr); convenience for generic code.
+  static ConditionPtr Connector(Kind kind, std::vector<ConditionPtr> children);
+
+  Kind kind() const { return kind_; }
+  bool is_true() const { return kind_ == Kind::kTrue; }
+  bool is_atom() const { return kind_ == Kind::kAtom; }
+  bool is_connector() const {
+    return kind_ == Kind::kAnd || kind_ == Kind::kOr;
+  }
+
+  /// Valid only for kAtom nodes.
+  const AtomicCondition& atom() const { return atom_; }
+
+  /// Children of a connector node (empty for leaves).
+  const std::vector<ConditionPtr>& children() const { return children_; }
+
+  /// Attr(C): positions of all attributes mentioned in this subtree.
+  /// NotFound if an attribute is not in `schema`.
+  Result<AttributeSet> Attributes(const Schema& schema) const;
+
+  /// Number of atomic conditions in the subtree.
+  size_t CountAtoms() const;
+
+  /// Maximum node depth (a leaf has depth 1).
+  size_t Depth() const;
+
+  /// Infix rendering; compound children are parenthesized, e.g.
+  /// `make = "BMW" and (color = "red" or color = "black")`.
+  std::string ToString() const;
+
+  /// Exact ordered structural equality (child order matters — source
+  /// grammars may be order sensitive).
+  bool StructurallyEquals(const ConditionNode& other) const;
+
+  /// A string key such that two nodes have equal keys iff they are
+  /// structurally equal. Used for rewrite-set deduplication and memoization.
+  const std::string& StructuralKey() const { return ToStringCached(); }
+
+ private:
+  ConditionNode(Kind kind, AtomicCondition atom,
+                std::vector<ConditionPtr> children);
+
+  const std::string& ToStringCached() const;
+
+  Kind kind_;
+  AtomicCondition atom_;
+  std::vector<ConditionPtr> children_;
+  mutable std::string cached_string_;  // lazily built; nodes are immutable
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_CONDITION_H_

@@ -1,0 +1,48 @@
+#include "expr/condition_eval.h"
+
+namespace gencompact {
+
+Result<bool> EvalCondition(const ConditionNode& cond, const Row& row,
+                           const RowLayout& layout, const Schema& schema) {
+  switch (cond.kind()) {
+    case ConditionNode::Kind::kTrue:
+      return true;
+    case ConditionNode::Kind::kAtom: {
+      const AtomicCondition& atom = cond.atom();
+      GC_ASSIGN_OR_RETURN(const int index, schema.RequireIndex(atom.attribute));
+      const int slot = layout.SlotOf(index);
+      if (slot < 0) {
+        return Status::NotFound("attribute " + atom.attribute +
+                                " not present in row layout");
+      }
+      return EvalCompare(atom.op, row.value(static_cast<size_t>(slot)),
+                         atom.constant);
+    }
+    case ConditionNode::Kind::kAnd: {
+      for (const ConditionPtr& child : cond.children()) {
+        GC_ASSIGN_OR_RETURN(const bool v,
+                            EvalCondition(*child, row, layout, schema));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case ConditionNode::Kind::kOr: {
+      for (const ConditionPtr& child : cond.children()) {
+        GC_ASSIGN_OR_RETURN(const bool v,
+                            EvalCondition(*child, row, layout, schema));
+        if (v) return true;
+      }
+      return false;
+    }
+  }
+  return Status::Internal("unreachable condition kind");
+}
+
+Result<bool> ConditionCoveredBy(const ConditionNode& cond,
+                                const AttributeSet& attrs,
+                                const Schema& schema) {
+  GC_ASSIGN_OR_RETURN(const AttributeSet needed, cond.Attributes(schema));
+  return needed.IsSubsetOf(attrs);
+}
+
+}  // namespace gencompact

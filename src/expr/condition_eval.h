@@ -1,0 +1,25 @@
+#ifndef GENCOMPACT_EXPR_CONDITION_EVAL_H_
+#define GENCOMPACT_EXPR_CONDITION_EVAL_H_
+
+#include "common/result.h"
+#include "expr/condition.h"
+#include "schema/schema.h"
+#include "storage/row.h"
+
+namespace gencompact {
+
+/// Evaluates `cond` against a row laid out by `layout` for `schema`.
+/// NotFound if the condition references an attribute absent from the layout
+/// (the mediator must fetch every attribute it filters on).
+Result<bool> EvalCondition(const ConditionNode& cond, const Row& row,
+                           const RowLayout& layout, const Schema& schema);
+
+/// True iff all attributes mentioned by `cond` are available in `attrs`.
+/// Used to validate mediator-side selections before execution.
+Result<bool> ConditionCoveredBy(const ConditionNode& cond,
+                                const AttributeSet& attrs,
+                                const Schema& schema);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_CONDITION_EVAL_H_

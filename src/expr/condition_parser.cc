@@ -1,0 +1,314 @@
+#include "expr/condition_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace gencompact {
+
+namespace {
+
+struct Lexeme {
+  enum class Type { kIdent, kSymbol, kInt, kFloat, kString, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Lexeme>> Run() {
+    std::vector<Lexeme> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) break;
+      GC_ASSIGN_OR_RETURN(Lexeme lexeme, Next());
+      out.push_back(std::move(lexeme));
+    }
+    Lexeme end;
+    end.type = Lexeme::Type::kEnd;
+    end.offset = text_.size();
+    out.push_back(std::move(end));
+    return out;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Lexeme> Next() {
+    const char c = text_[pos_];
+    Lexeme lexeme;
+    lexeme.offset = pos_;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      // Identifiers may be dot-qualified ("cars.make") for the multi-source
+      // join extension.
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+      lexeme.type = Lexeme::Type::kIdent;
+      lexeme.text = std::string(text_.substr(start, pos_ - start));
+      return lexeme;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      return Number();
+    }
+    if (c == '"') return QuotedString();
+    // Multi-char symbols first.
+    static constexpr std::string_view kSymbols[] = {
+        "<=", ">=", "!=", "<>", "==", "&&", "||", "=", "<", ">",
+        "(",  ")",  "{",  "}",  ","};
+    for (std::string_view sym : kSymbols) {
+      if (text_.substr(pos_, sym.size()) == sym) {
+        lexeme.type = Lexeme::Type::kSymbol;
+        lexeme.text = std::string(sym);
+        pos_ += sym.size();
+        return lexeme;
+      }
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<Lexeme> Number() {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !is_float) {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string digits(text_.substr(start, pos_ - start));
+    Lexeme lexeme;
+    lexeme.offset = start;
+    if (is_float) {
+      lexeme.type = Lexeme::Type::kFloat;
+      lexeme.float_value = std::stod(digits);
+    } else {
+      lexeme.type = Lexeme::Type::kInt;
+      lexeme.int_value = std::stoll(digits);
+    }
+    lexeme.text = digits;
+    return lexeme;
+  }
+
+  Result<Lexeme> QuotedString() {
+    const size_t start = pos_;
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+      }
+      value += text_[pos_];
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated string literal at offset " +
+                                     std::to_string(start));
+    }
+    ++pos_;  // closing quote
+    Lexeme lexeme;
+    lexeme.type = Lexeme::Type::kString;
+    lexeme.text = std::move(value);
+    lexeme.offset = start;
+    return lexeme;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Lexeme> lexemes) : lexemes_(std::move(lexemes)) {}
+
+  Result<ConditionPtr> Parse() {
+    GC_ASSIGN_OR_RETURN(ConditionPtr cond, ParseOr());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after condition at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return cond;
+  }
+
+ private:
+  const Lexeme& Peek() const { return lexemes_[pos_]; }
+  bool AtEnd() const { return Peek().type == Lexeme::Type::kEnd; }
+  void Advance() { ++pos_; }
+
+  bool ConsumeKeyword(std::string_view word) {
+    if (Peek().type == Lexeme::Type::kIdent && Peek().text == word) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(std::string_view sym) {
+    if (Peek().type == Lexeme::Type::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<ConditionPtr> ParseOr() {
+    GC_ASSIGN_OR_RETURN(ConditionPtr first, ParseAnd());
+    std::vector<ConditionPtr> children = {std::move(first)};
+    while (ConsumeKeyword("or") || ConsumeSymbol("||")) {
+      GC_ASSIGN_OR_RETURN(ConditionPtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return ConditionNode::Or(std::move(children));
+  }
+
+  Result<ConditionPtr> ParseAnd() {
+    GC_ASSIGN_OR_RETURN(ConditionPtr first, ParseFactor());
+    std::vector<ConditionPtr> children = {std::move(first)};
+    while (ConsumeKeyword("and") || ConsumeSymbol("&&")) {
+      GC_ASSIGN_OR_RETURN(ConditionPtr next, ParseFactor());
+      children.push_back(std::move(next));
+    }
+    return ConditionNode::And(std::move(children));
+  }
+
+  Result<ConditionPtr> ParseFactor() {
+    if (ConsumeSymbol("(")) {
+      GC_ASSIGN_OR_RETURN(ConditionPtr inner, ParseOr());
+      if (!ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(Peek().offset));
+      }
+      return inner;
+    }
+    if (Peek().type != Lexeme::Type::kIdent) {
+      return Status::InvalidArgument("expected attribute name at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    if (Peek().text == "true") {
+      Advance();
+      return ConditionNode::True();
+    }
+    const std::string attribute = Peek().text;
+    Advance();
+    return ParseAtomTail(attribute);
+  }
+
+  Result<ConditionPtr> ParseAtomTail(const std::string& attribute) {
+    // `attr in { v1, v2, ... }` sugar.
+    if (Peek().type == Lexeme::Type::kIdent && Peek().text == "in") {
+      Advance();
+      if (!ConsumeSymbol("{")) {
+        return Status::InvalidArgument("expected '{' after 'in' at offset " +
+                                       std::to_string(Peek().offset));
+      }
+      std::vector<ConditionPtr> alternatives;
+      while (true) {
+        GC_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        alternatives.push_back(
+            ConditionNode::Atom(attribute, CompareOp::kEq, std::move(v)));
+        if (ConsumeSymbol(",")) continue;
+        break;
+      }
+      if (!ConsumeSymbol("}")) {
+        return Status::InvalidArgument("expected '}' closing 'in' list at offset " +
+                                       std::to_string(Peek().offset));
+      }
+      return ConditionNode::Or(std::move(alternatives));
+    }
+
+    std::string op_text;
+    if (Peek().type == Lexeme::Type::kSymbol) {
+      op_text = Peek().text;
+      Advance();
+    } else if (Peek().type == Lexeme::Type::kIdent &&
+               (Peek().text == "contains" || Peek().text == "startswith")) {
+      op_text = Peek().text;
+      Advance();
+    } else {
+      return Status::InvalidArgument("expected comparison operator at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    const std::optional<CompareOp> op = ParseCompareOp(op_text);
+    if (!op.has_value()) {
+      return Status::InvalidArgument("unknown operator '" + op_text + "'");
+    }
+    GC_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    return ConditionNode::Atom(attribute, *op, std::move(v));
+  }
+
+  Result<Value> ParseLiteral() {
+    const Lexeme& lexeme = Peek();
+    switch (lexeme.type) {
+      case Lexeme::Type::kInt: {
+        const int64_t v = lexeme.int_value;
+        Advance();
+        return Value::Int(v);
+      }
+      case Lexeme::Type::kFloat: {
+        const double v = lexeme.float_value;
+        Advance();
+        return Value::Double(v);
+      }
+      case Lexeme::Type::kString: {
+        std::string v = lexeme.text;
+        Advance();
+        return Value::String(std::move(v));
+      }
+      case Lexeme::Type::kIdent: {
+        if (lexeme.text == "true" || lexeme.text == "false") {
+          const bool v = lexeme.text == "true";
+          Advance();
+          return Value::Bool(v);
+        }
+        if (lexeme.text == "null") {
+          Advance();
+          return Value::Null();
+        }
+        return Status::InvalidArgument("expected literal, got identifier '" +
+                                       lexeme.text + "'");
+      }
+      default:
+        return Status::InvalidArgument("expected literal at offset " +
+                                       std::to_string(lexeme.offset));
+    }
+  }
+
+  std::vector<Lexeme> lexemes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConditionPtr> ParseCondition(std::string_view text) {
+  Lexer lexer(text);
+  GC_ASSIGN_OR_RETURN(std::vector<Lexeme> lexemes, lexer.Run());
+  Parser parser(std::move(lexemes));
+  return parser.Parse();
+}
+
+}  // namespace gencompact

@@ -1,0 +1,30 @@
+#ifndef GENCOMPACT_EXPR_CONDITION_PARSER_H_
+#define GENCOMPACT_EXPR_CONDITION_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// Parses condition text into a CT. Grammar (lowest precedence first):
+///
+///   expr    := term ("or" term)*
+///   term    := factor ("and" factor)*
+///   factor  := "(" expr ")" | "true" | atom
+///   atom    := ident op literal
+///            | ident "in" "{" literal ("," literal)* "}"
+///   op      := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+///            | "contains" | "startswith"
+///   literal := integer | float | quoted string | "true" | "false"
+///
+/// "&&" / "||" are accepted as synonyms for "and" / "or". The `in` form is
+/// sugar for a disjunction of equalities (the paper's car example: a form
+/// that accepts a list of values for `size`). Consecutive "and"s/"or"s build
+/// one n-ary node, so `a and b and c` is a single 3-child ∧.
+Result<ConditionPtr> ParseCondition(std::string_view text);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_CONDITION_PARSER_H_

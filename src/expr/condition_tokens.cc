@@ -1,0 +1,113 @@
+#include "expr/condition_tokens.h"
+
+namespace gencompact {
+
+std::string CondToken::ToString() const {
+  switch (type) {
+    case Type::kAttr:
+      return attr;
+    case Type::kOp:
+      return CompareOpSymbol(op);
+    case Type::kConst:
+      return value.ToString();
+    case Type::kAnd:
+      return "and";
+    case Type::kOr:
+      return "or";
+    case Type::kLParen:
+      return "(";
+    case Type::kRParen:
+      return ")";
+    case Type::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+bool CondToken::operator==(const CondToken& other) const {
+  if (type != other.type) return false;
+  switch (type) {
+    case Type::kAttr:
+      return attr == other.attr;
+    case Type::kOp:
+      return op == other.op;
+    case Type::kConst:
+      return value == other.value;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+void Emit(const ConditionNode& cond, std::vector<CondToken>* out) {
+  switch (cond.kind()) {
+    case ConditionNode::Kind::kTrue: {
+      CondToken t;
+      t.type = CondToken::Type::kTrue;
+      out->push_back(std::move(t));
+      return;
+    }
+    case ConditionNode::Kind::kAtom: {
+      const AtomicCondition& atom = cond.atom();
+      CondToken a;
+      a.type = CondToken::Type::kAttr;
+      a.attr = atom.attribute;
+      out->push_back(std::move(a));
+      CondToken o;
+      o.type = CondToken::Type::kOp;
+      o.op = atom.op;
+      out->push_back(std::move(o));
+      CondToken c;
+      c.type = CondToken::Type::kConst;
+      c.value = atom.constant;
+      out->push_back(std::move(c));
+      return;
+    }
+    case ConditionNode::Kind::kAnd:
+    case ConditionNode::Kind::kOr: {
+      const CondToken::Type sep = cond.kind() == ConditionNode::Kind::kAnd
+                                      ? CondToken::Type::kAnd
+                                      : CondToken::Type::kOr;
+      for (size_t i = 0; i < cond.children().size(); ++i) {
+        if (i > 0) {
+          CondToken s;
+          s.type = sep;
+          out->push_back(std::move(s));
+        }
+        const ConditionNode& child = *cond.children()[i];
+        if (child.is_connector()) {
+          CondToken l;
+          l.type = CondToken::Type::kLParen;
+          out->push_back(std::move(l));
+          Emit(child, out);
+          CondToken r;
+          r.type = CondToken::Type::kRParen;
+          out->push_back(std::move(r));
+        } else {
+          Emit(child, out);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CondToken> TokenizeCondition(const ConditionNode& cond) {
+  std::vector<CondToken> out;
+  Emit(cond, &out);
+  return out;
+}
+
+std::string TokensToString(const std::vector<CondToken>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace gencompact

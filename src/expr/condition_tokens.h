@@ -1,0 +1,47 @@
+#ifndef GENCOMPACT_EXPR_CONDITION_TOKENS_H_
+#define GENCOMPACT_EXPR_CONDITION_TOKENS_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// The terminal alphabet over which SSDL grammars are defined. A condition
+/// tree serializes to a CondToken sequence, and the SSDL Check function parses
+/// that sequence with the source's grammar (Section 4 of the paper).
+struct CondToken {
+  enum class Type {
+    kAttr,    ///< attribute name
+    kOp,      ///< comparison operator
+    kConst,   ///< constant value
+    kAnd,     ///< the ∧ connector
+    kOr,      ///< the ∨ connector
+    kLParen,
+    kRParen,
+    kTrue,    ///< the trivially-true condition (source download)
+  };
+
+  Type type = Type::kTrue;
+  std::string attr;  ///< for kAttr
+  CompareOp op = CompareOp::kEq;  ///< for kOp
+  Value value;       ///< for kConst
+
+  std::string ToString() const;
+  bool operator==(const CondToken& other) const;
+};
+
+/// Serializes a CT to tokens. Convention (documented for grammar authors):
+/// an atom is `attr op const`; a connector joins child serializations with
+/// `and` / `or`; compound (connector) children are wrapped in parentheses;
+/// the root is never wrapped. Child order is preserved.
+std::vector<CondToken> TokenizeCondition(const ConditionNode& cond);
+
+/// Space-joined rendering of a token sequence (for diagnostics and parse
+/// caching keys).
+std::string TokensToString(const std::vector<CondToken>& tokens);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_CONDITION_TOKENS_H_

@@ -1,0 +1,141 @@
+#include "expr/normal_forms.h"
+
+#include "expr/canonical.h"
+
+namespace gencompact {
+
+namespace {
+
+// Normal-form computation works on "term lists": a DNF is a list of terms,
+// each term a list of leaf conditions (atoms or `true`). CNF is the dual.
+using Term = std::vector<ConditionPtr>;
+using TermList = std::vector<Term>;
+
+// Computes the normal form of `cond` as a TermList. For DNF, `outer_kind` is
+// kOr (list elements are disjuncts); for CNF it is kAnd (list elements are
+// conjuncts, i.e. clauses).
+Status Normalize(const ConditionPtr& cond, ConditionNode::Kind outer_kind,
+                 size_t max_terms, TermList* out) {
+  switch (cond->kind()) {
+    case ConditionNode::Kind::kTrue:
+    case ConditionNode::Kind::kAtom:
+      *out = {Term{cond}};
+      return Status::OK();
+    case ConditionNode::Kind::kAnd:
+    case ConditionNode::Kind::kOr: {
+      // Normalize children first.
+      std::vector<TermList> child_lists;
+      child_lists.reserve(cond->children().size());
+      for (const ConditionPtr& child : cond->children()) {
+        TermList child_list;
+        GC_RETURN_IF_ERROR(Normalize(child, outer_kind, max_terms, &child_list));
+        child_lists.push_back(std::move(child_list));
+      }
+      if (cond->kind() == outer_kind) {
+        // Same connector as the outer one: concatenate term lists.
+        TermList result;
+        for (TermList& child_list : child_lists) {
+          for (Term& term : child_list) {
+            result.push_back(std::move(term));
+            if (result.size() > max_terms) {
+              return Status::ResourceExhausted(
+                  "normal form exceeds term budget");
+            }
+          }
+        }
+        *out = std::move(result);
+        return Status::OK();
+      }
+      // Opposite connector: cartesian product of the children's term lists.
+      TermList result = {Term{}};
+      for (const TermList& child_list : child_lists) {
+        TermList next;
+        for (const Term& partial : result) {
+          for (const Term& term : child_list) {
+            Term merged = partial;
+            merged.insert(merged.end(), term.begin(), term.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_terms) {
+              return Status::ResourceExhausted(
+                  "normal form exceeds term budget");
+            }
+          }
+        }
+        result = std::move(next);
+      }
+      *out = std::move(result);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable condition kind");
+}
+
+ConditionPtr BuildFromTerms(const TermList& terms,
+                            ConditionNode::Kind outer_kind) {
+  const ConditionNode::Kind inner_kind = outer_kind == ConditionNode::Kind::kOr
+                                             ? ConditionNode::Kind::kAnd
+                                             : ConditionNode::Kind::kOr;
+  std::vector<ConditionPtr> outer_children;
+  outer_children.reserve(terms.size());
+  for (const Term& term : terms) {
+    outer_children.push_back(
+        ConditionNode::Connector(inner_kind, std::vector<ConditionPtr>(term)));
+  }
+  return Canonicalize(
+      ConditionNode::Connector(outer_kind, std::move(outer_children)));
+}
+
+}  // namespace
+
+Result<ConditionPtr> ToDnf(const ConditionPtr& cond, size_t max_terms) {
+  if (cond->is_true() || cond->is_atom()) return cond;
+  TermList terms;
+  GC_RETURN_IF_ERROR(
+      Normalize(cond, ConditionNode::Kind::kOr, max_terms, &terms));
+  return BuildFromTerms(terms, ConditionNode::Kind::kOr);
+}
+
+Result<ConditionPtr> ToCnf(const ConditionPtr& cond, size_t max_terms) {
+  if (cond->is_true() || cond->is_atom()) return cond;
+  TermList terms;
+  GC_RETURN_IF_ERROR(
+      Normalize(cond, ConditionNode::Kind::kAnd, max_terms, &terms));
+  return BuildFromTerms(terms, ConditionNode::Kind::kAnd);
+}
+
+namespace {
+
+bool IsLeaf(const ConditionNode& cond) {
+  return cond.is_atom() || cond.is_true();
+}
+
+bool IsFlat(const ConditionNode& cond, ConditionNode::Kind inner_kind) {
+  if (IsLeaf(cond)) return true;
+  if (cond.kind() != inner_kind) return false;
+  for (const ConditionPtr& child : cond.children()) {
+    if (!IsLeaf(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsCnf(const ConditionNode& cond) {
+  if (IsFlat(cond, ConditionNode::Kind::kOr)) return true;
+  if (cond.kind() != ConditionNode::Kind::kAnd) return false;
+  for (const ConditionPtr& child : cond.children()) {
+    if (!IsFlat(*child, ConditionNode::Kind::kOr)) return false;
+  }
+  return true;
+}
+
+bool IsDnf(const ConditionNode& cond) {
+  if (IsFlat(cond, ConditionNode::Kind::kAnd)) return true;
+  if (cond.kind() != ConditionNode::Kind::kOr) return false;
+  for (const ConditionPtr& child : cond.children()) {
+    if (!IsFlat(*child, ConditionNode::Kind::kAnd)) return false;
+  }
+  return true;
+}
+
+}  // namespace gencompact

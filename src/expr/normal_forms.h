@@ -1,0 +1,30 @@
+#ifndef GENCOMPACT_EXPR_NORMAL_FORMS_H_
+#define GENCOMPACT_EXPR_NORMAL_FORMS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// Converts `cond` to conjunctive normal form: an ∧ of clauses, each clause
+/// an ∨ of atoms (degenerate levels collapse, so the result may be a single
+/// clause or atom). This is the transformation Garlic applies (Section 2).
+/// ResourceExhausted if the result would exceed `max_terms` clauses.
+Result<ConditionPtr> ToCnf(const ConditionPtr& cond, size_t max_terms = 4096);
+
+/// Converts `cond` to disjunctive normal form: an ∨ of terms, each term an
+/// ∧ of atoms. ResourceExhausted if the result would exceed `max_terms`
+/// terms.
+Result<ConditionPtr> ToDnf(const ConditionPtr& cond, size_t max_terms = 4096);
+
+/// True iff `cond` is an ∧ of (∨ of atoms) after canonicalization.
+bool IsCnf(const ConditionNode& cond);
+
+/// True iff `cond` is an ∨ of (∧ of atoms) after canonicalization.
+bool IsDnf(const ConditionNode& cond);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_NORMAL_FORMS_H_

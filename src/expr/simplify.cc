@@ -1,0 +1,287 @@
+#include "expr/simplify.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "expr/canonical.h"
+
+namespace gencompact {
+
+namespace {
+
+bool SameAttribute(const AtomicCondition& a, const AtomicCondition& b) {
+  return a.attribute == b.attribute;
+}
+
+bool IsPrefixOf(const Value& p, const Value& q) {
+  return p.type() == ValueType::kString && q.type() == ValueType::kString &&
+         StartsWith(q.string_value(), p.string_value());
+}
+
+bool StringContains(const Value& hay, const Value& needle) {
+  return hay.type() == ValueType::kString &&
+         needle.type() == ValueType::kString &&
+         Contains(hay.string_value(), needle.string_value());
+}
+
+}  // namespace
+
+bool AtomImplies(const AtomicCondition& a, const AtomicCondition& b) {
+  if (!SameAttribute(a, b)) return false;
+  if (a == b) return true;
+
+  // x = v implies b iff v itself satisfies b.
+  if (a.op == CompareOp::kEq) {
+    return EvalCompare(b.op, a.constant, b.constant);
+  }
+
+  const Value& v = a.constant;
+  const Value& w = b.constant;
+  switch (a.op) {
+    case CompareOp::kLt:
+      // x < v ⇒ x < w iff v <= w;  x < v ⇒ x <= w iff v <= w (dense order).
+      if (b.op == CompareOp::kLt || b.op == CompareOp::kLe) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) <= 0;
+      }
+      return false;
+    case CompareOp::kLe:
+      if (b.op == CompareOp::kLe) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) <= 0;
+      }
+      if (b.op == CompareOp::kLt) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) < 0;
+      }
+      return false;
+    case CompareOp::kGt:
+      if (b.op == CompareOp::kGt || b.op == CompareOp::kGe) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) >= 0;
+      }
+      return false;
+    case CompareOp::kGe:
+      if (b.op == CompareOp::kGe) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) >= 0;
+      }
+      if (b.op == CompareOp::kGt) {
+        return v.is_numeric() && w.is_numeric() && v.Compare(w) > 0;
+      }
+      return false;
+    case CompareOp::kStartsWith:
+      // x startswith p ⇒ x startswith q iff q prefix of p;
+      // x startswith p ⇒ x contains q if p contains q.
+      if (b.op == CompareOp::kStartsWith) return IsPrefixOf(w, v);
+      if (b.op == CompareOp::kContains) return StringContains(v, w);
+      return false;
+    case CompareOp::kContains:
+      // x contains p ⇒ x contains q if p contains q.
+      return b.op == CompareOp::kContains && StringContains(v, w);
+    default:
+      return false;
+  }
+}
+
+bool AtomsContradict(const AtomicCondition& a, const AtomicCondition& b) {
+  if (!SameAttribute(a, b)) return false;
+  // x = v: contradiction iff v fails the other predicate.
+  if (a.op == CompareOp::kEq) return !EvalCompare(b.op, a.constant, b.constant);
+  if (b.op == CompareOp::kEq) return !EvalCompare(a.op, b.constant, a.constant);
+
+  const Value& v = a.constant;
+  const Value& w = b.constant;
+  const bool numeric = v.is_numeric() && w.is_numeric();
+  const auto upper_vs_lower = [&](CompareOp upper_op, const Value& upper,
+                                  CompareOp lower_op, const Value& lower) {
+    // x (< | <=) upper  ∧  x (> | >=) lower.
+    const int c = upper.Compare(lower);
+    if (c < 0) return true;  // upper bound below lower bound
+    if (c == 0) {
+      // Equal bounds: only x == bound could work, excluded unless both
+      // inclusive.
+      return upper_op == CompareOp::kLt || lower_op == CompareOp::kGt;
+    }
+    return false;
+  };
+  if (numeric) {
+    const bool a_upper = a.op == CompareOp::kLt || a.op == CompareOp::kLe;
+    const bool b_upper = b.op == CompareOp::kLt || b.op == CompareOp::kLe;
+    const bool a_lower = a.op == CompareOp::kGt || a.op == CompareOp::kGe;
+    const bool b_lower = b.op == CompareOp::kGt || b.op == CompareOp::kGe;
+    if (a_upper && b_lower) return upper_vs_lower(a.op, v, b.op, w);
+    if (b_upper && a_lower) return upper_vs_lower(b.op, w, a.op, v);
+  }
+  if (a.op == CompareOp::kStartsWith && b.op == CompareOp::kStartsWith) {
+    // Two prefixes are jointly satisfiable only if one is a prefix of the
+    // other.
+    return !IsPrefixOf(v, w) && !IsPrefixOf(w, v);
+  }
+  return false;
+}
+
+namespace {
+
+// Conservative implication between arbitrary conditions. Sound, not
+// complete.
+bool Implies(const ConditionNode& a, const ConditionNode& b) {
+  if (b.is_true()) return true;
+  if (a.is_true()) return b.is_true();
+  if (a.is_atom() && b.is_atom()) return AtomImplies(a.atom(), b.atom());
+  if (a.StructurallyEquals(b)) return true;
+  // a implies (… ∨ b_i ∨ …) if it implies some disjunct.
+  if (b.kind() == ConditionNode::Kind::kOr) {
+    for (const ConditionPtr& child : b.children()) {
+      if (Implies(a, *child)) return true;
+    }
+  }
+  // a implies (b_1 ∧ … ∧ b_k) only if it implies all conjuncts.
+  if (b.kind() == ConditionNode::Kind::kAnd) {
+    bool all = true;
+    for (const ConditionPtr& child : b.children()) {
+      if (!Implies(a, *child)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  // (a_1 ∧ … ∧ a_k) implies b if some conjunct implies b.
+  if (a.kind() == ConditionNode::Kind::kAnd) {
+    for (const ConditionPtr& child : a.children()) {
+      if (Implies(*child, b)) return true;
+    }
+  }
+  // (a_1 ∨ … ∨ a_k) implies b only if every disjunct implies b.
+  if (a.kind() == ConditionNode::Kind::kOr) {
+    bool all = true;
+    for (const ConditionPtr& child : a.children()) {
+      if (!Implies(*child, b)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// x (< v | >= v) style tautology detection for ∨ nodes.
+bool AtomsExhaustive(const AtomicCondition& a, const AtomicCondition& b) {
+  if (!SameAttribute(a, b)) return false;
+  const Value& v = a.constant;
+  const Value& w = b.constant;
+  // ne v ∨ anything-matching-v: ne v alone misses only x == v.
+  if (a.op == CompareOp::kNe) return EvalCompare(b.op, v, w);
+  if (b.op == CompareOp::kNe) return EvalCompare(a.op, w, v);
+  if (!v.is_numeric() || !w.is_numeric()) return false;
+  const bool a_upper = a.op == CompareOp::kLt || a.op == CompareOp::kLe;
+  const bool b_upper = b.op == CompareOp::kLt || b.op == CompareOp::kLe;
+  const bool a_lower = a.op == CompareOp::kGt || a.op == CompareOp::kGe;
+  const bool b_lower = b.op == CompareOp::kGt || b.op == CompareOp::kGe;
+  const auto covers_line = [](CompareOp upper_op, const Value& upper,
+                              CompareOp lower_op, const Value& lower) {
+    // x <= upper ∨ x >= lower covers everything iff lower <= upper (with
+    // at least one bound inclusive when equal).
+    const int c = lower.Compare(upper);
+    if (c < 0) return true;
+    if (c == 0) {
+      return upper_op == CompareOp::kLe || lower_op == CompareOp::kGe;
+    }
+    return false;
+  };
+  if (a_upper && b_lower) return covers_line(a.op, v, b.op, w);
+  if (b_upper && a_lower) return covers_line(b.op, w, a.op, v);
+  return false;
+}
+
+// nullptr encodes FALSE throughout the recursion.
+ConditionPtr SimplifyRec(const ConditionPtr& cond) {
+  switch (cond->kind()) {
+    case ConditionNode::Kind::kTrue:
+    case ConditionNode::Kind::kAtom:
+      return cond;
+    case ConditionNode::Kind::kAnd:
+    case ConditionNode::Kind::kOr:
+      break;
+  }
+  const bool is_and = cond->kind() == ConditionNode::Kind::kAnd;
+
+  // Simplify children; splice same-kind connectors; fold constants.
+  std::vector<ConditionPtr> children;
+  for (const ConditionPtr& raw_child : cond->children()) {
+    ConditionPtr child = SimplifyRec(raw_child);
+    if (child == nullptr) {          // FALSE child
+      if (is_and) return nullptr;    // ∧ with FALSE is FALSE
+      continue;                      // ∨ drops it
+    }
+    if (child->is_true()) {
+      if (!is_and) return ConditionNode::True();  // ∨ with TRUE is TRUE
+      continue;                                   // ∧ drops it
+    }
+    if (child->kind() == cond->kind()) {
+      for (const ConditionPtr& grandchild : child->children()) {
+        children.push_back(grandchild);
+      }
+    } else {
+      children.push_back(child);
+    }
+  }
+  if (children.empty()) {
+    return is_and ? ConditionNode::True() : nullptr;
+  }
+
+  // Idempotence: structural dedup (keep first occurrence).
+  {
+    std::unordered_set<std::string> seen;
+    std::vector<ConditionPtr> unique;
+    for (ConditionPtr& child : children) {
+      if (seen.insert(child->StructuralKey()).second) {
+        unique.push_back(std::move(child));
+      }
+    }
+    children = std::move(unique);
+  }
+
+  // Pairwise atom reasoning: contradictions kill an ∧; exhaustive pairs
+  // make an ∨ true.
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->is_atom()) continue;
+    for (size_t j = i + 1; j < children.size(); ++j) {
+      if (!children[j]->is_atom()) continue;
+      if (is_and && AtomsContradict(children[i]->atom(), children[j]->atom())) {
+        return nullptr;
+      }
+      if (!is_and && AtomsExhaustive(children[i]->atom(), children[j]->atom())) {
+        return ConditionNode::True();
+      }
+    }
+  }
+
+  // Absorption / subsumption. In an ∧, drop X when some other child Y
+  // implies X (X is redundant). In an ∨, drop X when X implies some other
+  // child Y (X is covered). Mutual implication keeps the earliest child.
+  std::vector<bool> removed(children.size(), false);
+  for (size_t i = 0; i < children.size(); ++i) {
+    for (size_t j = 0; j < children.size() && !removed[i]; ++j) {
+      if (i == j || removed[j]) continue;
+      const bool redundant = is_and ? Implies(*children[j], *children[i])
+                                    : Implies(*children[i], *children[j]);
+      if (!redundant) continue;
+      const bool mutual = is_and ? Implies(*children[i], *children[j])
+                                 : Implies(*children[j], *children[i]);
+      if (mutual && j > i) continue;  // keep the earliest of an equal pair
+      removed[i] = true;
+    }
+  }
+  std::vector<ConditionPtr> kept;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!removed[i]) kept.push_back(children[i]);
+  }
+  if (kept.empty()) return is_and ? ConditionNode::True() : nullptr;
+  return ConditionNode::Connector(cond->kind(), std::move(kept));
+}
+
+}  // namespace
+
+ConditionPtr SimplifyCondition(const ConditionPtr& cond) {
+  return SimplifyRec(Canonicalize(cond));
+}
+
+}  // namespace gencompact

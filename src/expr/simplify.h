@@ -1,0 +1,39 @@
+#ifndef GENCOMPACT_EXPR_SIMPLIFY_H_
+#define GENCOMPACT_EXPR_SIMPLIFY_H_
+
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// Semantics-preserving condition simplification, applied before planning:
+///
+///  * canonicalization (same-kind flattening, `true` absorption);
+///  * idempotence: duplicate children of a connector are removed
+///    (C ∧ C ≡ C, C ∨ C ≡ C — structural duplicates only);
+///  * absorption: C1 ∨ (C1 ∧ C2) ≡ C1 and C1 ∧ (C1 ∨ C2) ≡ C1, where a
+///    child is absorbed if another child's condition set is a subset of its
+///    conjunct/disjunct set;
+///  * contradiction/tautology detection on comparable atom pairs over the
+///    same attribute (e.g. a = 1 ∧ a = 2 is unsatisfiable; a < 5 ∨ a >= 5
+///    is a tautology) — conservative: only constant pairs whose types are
+///    comparable are folded.
+///
+/// Smaller trees mean smaller IPG subset enumerations, so this directly
+/// reduces planning work. Simplify never changes `π_A(σ_C(R))`.
+///
+/// Returns nullptr for conditions that simplify to FALSE (unsatisfiable) —
+/// callers should answer such queries with the empty set without contacting
+/// the source. Tautologies return ConditionNode::True().
+ConditionPtr SimplifyCondition(const ConditionPtr& cond);
+
+/// True iff the pair of atoms over the same attribute can be proven
+/// jointly unsatisfiable (used by SimplifyCondition; exposed for tests).
+bool AtomsContradict(const AtomicCondition& a, const AtomicCondition& b);
+
+/// True iff atom `a` implies atom `b` (satisfying a ⇒ satisfying b), for
+/// atoms over the same attribute with comparable constants.
+bool AtomImplies(const AtomicCondition& a, const AtomicCondition& b);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_SIMPLIFY_H_

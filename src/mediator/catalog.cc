@@ -1,0 +1,33 @@
+#include "mediator/catalog.h"
+
+namespace gencompact {
+
+CatalogEntry::CatalogEntry(SourceDescription description,
+                           std::unique_ptr<Table> table,
+                           bool apply_commutativity_closure)
+    : table_(std::move(table)),
+      handle_(std::move(description), table_.get(), apply_commutativity_closure),
+      source_(table_.get(), &handle_.description()) {}
+
+Status Catalog::Register(SourceDescription description,
+                         std::unique_ptr<Table> table,
+                         bool apply_commutativity_closure) {
+  const std::string name = description.source_name();
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("source '" + name + "' already registered");
+  }
+  entries_.emplace(name, std::make_unique<CatalogEntry>(
+                             std::move(description), std::move(table),
+                             apply_commutativity_closure));
+  return Status::OK();
+}
+
+Result<CatalogEntry*> Catalog::Find(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown source: " + name);
+  }
+  return it->second.get();
+}
+
+}  // namespace gencompact

@@ -1,0 +1,54 @@
+#ifndef GENCOMPACT_MEDIATOR_CATALOG_H_
+#define GENCOMPACT_MEDIATOR_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/source.h"
+#include "planner/source_handle.h"
+
+namespace gencompact {
+
+/// A registered source: its planning handle (closed description, stats,
+/// cost model, checker) and its executable capability-enforcing wrapper.
+class CatalogEntry {
+ public:
+  CatalogEntry(SourceDescription description, std::unique_ptr<Table> table,
+               bool apply_commutativity_closure = true);
+
+  const std::string& name() const { return handle_.description().source_name(); }
+  const Schema& schema() const { return handle_.schema(); }
+  SourceHandle* handle() { return &handle_; }
+  Source* source() { return &source_; }
+  const Table& table() const { return *table_; }
+
+ private:
+  std::unique_ptr<Table> table_;
+  SourceHandle handle_;
+  Source source_;
+};
+
+/// Name → source registry for the mediator.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a source; InvalidArgument if the name is taken.
+  Status Register(SourceDescription description, std::unique_ptr<Table> table,
+                  bool apply_commutativity_closure = true);
+
+  /// Looks up a source by name; NotFound if absent.
+  Result<CatalogEntry*> Find(const std::string& name);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<CatalogEntry>> entries_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_MEDIATOR_CATALOG_H_

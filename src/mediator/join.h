@@ -1,0 +1,116 @@
+#ifndef GENCOMPACT_MEDIATOR_JOIN_H_
+#define GENCOMPACT_MEDIATOR_JOIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "mediator/catalog.h"
+#include "plan/plan.h"
+
+namespace gencompact {
+
+/// The complex-query extension sketched by the paper's Section 1 / [2]:
+/// selection queries are "the building blocks of more complex queries".
+/// This module plans and executes two-source equi-joins where each side is
+/// a capability-limited Internet source, using GenCompact for every
+/// per-source select-project building block.
+///
+/// Attribute references are dot-qualified: "cars.make", "dealers.city".
+
+/// One equi-join column pair, qualified.
+struct JoinKey {
+  std::string left;   ///< "leftsource.attr"
+  std::string right;  ///< "rightsource.attr"
+};
+
+/// A two-source join target query.
+struct JoinQuery {
+  std::string left_source;
+  std::string right_source;
+  std::vector<JoinKey> keys;          ///< at least one
+  ConditionPtr condition;             ///< over qualified attrs; may be True
+  std::vector<std::string> select;    ///< qualified; empty = all attributes
+};
+
+/// How the right side is evaluated.
+enum class JoinMethod {
+  /// Plan and execute both sides independently; hash-join at the mediator.
+  kIndependent,
+  /// Execute the left side first, then query the right side once per batch
+  /// of distinct left join values (a bind-join): the join condition is
+  /// pushed to the right source as a disjunction of equalities — exactly
+  /// the value-list shape many web forms accept.
+  kBind,
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+struct JoinPlanOutcome {
+  JoinMethod method = JoinMethod::kIndependent;
+  PlanPtr left_plan;
+  /// kIndependent: the complete right-side plan. kBind: right-side plans
+  /// are generated per value batch during execution.
+  PlanPtr right_plan;
+  /// Residual condition evaluated at the mediator on joined rows (True if
+  /// none).
+  ConditionPtr residual;
+  double estimated_cost = 0.0;
+};
+
+struct JoinExecStats {
+  ExecStats left;
+  ExecStats right;
+  size_t bind_batches = 0;
+  size_t joined_rows = 0;
+};
+
+/// Options for JoinProcessor.
+struct JoinOptions {
+  /// Distinct left-side join values per bind batch (web forms limit list
+  /// lengths).
+  size_t bind_batch_size = 8;
+  /// Consider the bind-join method at all.
+  bool enable_bind = true;
+  /// Force a method instead of costing both (for tests/benchmarks).
+  std::optional<JoinMethod> force_method;
+};
+
+/// Plans and executes two-source joins against catalog entries.
+class JoinProcessor {
+ public:
+  using Options = JoinOptions;
+
+  JoinProcessor(CatalogEntry* left, CatalogEntry* right, Options options = {})
+      : left_(left), right_(right), options_(options) {}
+
+  /// Output schema of the join: left attributes then right attributes, all
+  /// dot-qualified.
+  Result<Schema> OutputSchema(const JoinQuery& query) const;
+
+  /// Splits the condition, plans both sides, and picks the cheaper method.
+  Result<JoinPlanOutcome> Plan(const JoinQuery& query);
+
+  /// Plans + executes; returns joined rows projected to `query.select`.
+  Result<RowSet> Execute(const JoinQuery& query);
+
+  const JoinExecStats& stats() const { return stats_; }
+
+ private:
+  struct SplitCondition {
+    ConditionPtr left;      // unqualified, over the left schema
+    ConditionPtr right;     // unqualified, over the right schema
+    ConditionPtr residual;  // qualified, over the join schema
+  };
+  Result<SplitCondition> Split(const JoinQuery& query) const;
+
+  CatalogEntry* left_;
+  CatalogEntry* right_;
+  Options options_;
+  JoinExecStats stats_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_MEDIATOR_JOIN_H_

@@ -1,0 +1,202 @@
+#include "mediator/mediator.h"
+
+#include <cstdio>
+
+#include "expr/simplify.h"
+#include "plan/plan_printer.h"
+
+namespace gencompact {
+
+Status Mediator::RegisterSource(SourceDescription description,
+                                std::unique_ptr<Table> table) {
+  plan_cache_.Clear();  // a new source invalidates nothing, but keep simple
+  return catalog_.Register(std::move(description), std::move(table));
+}
+
+Result<Mediator::Prepared> Mediator::PrepareParts(
+    CatalogEntry* entry, ConditionPtr condition,
+    const std::vector<std::string>& attrs) {
+  Prepared prepared;
+  prepared.entry = entry;
+  prepared.condition = std::move(condition);
+  if (attrs.empty()) {
+    prepared.attrs = entry->schema().AllAttributes();
+  } else {
+    GC_ASSIGN_OR_RETURN(prepared.attrs, entry->schema().MakeSet(attrs));
+  }
+  if (simplify_conditions_) {
+    ConditionPtr simplified = SimplifyCondition(prepared.condition);
+    if (simplified == nullptr) {
+      prepared.unsatisfiable = true;
+    } else {
+      prepared.condition = std::move(simplified);
+    }
+  }
+  return prepared;
+}
+
+Result<Mediator::Prepared> Mediator::Prepare(const std::string& sql) {
+  GC_ASSIGN_OR_RETURN(const ParsedQuery parsed, ParseSql(sql));
+  GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(parsed.source));
+  return PrepareParts(entry, parsed.condition, parsed.select_list);
+}
+
+Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
+                                       Strategy strategy) {
+  const std::string cache_key = PlanCache::MakeKey(
+      prepared.entry->name(), strategy, *prepared.condition, prepared.attrs);
+  if (const std::optional<PlanPtr> cached = plan_cache_.Lookup(cache_key)) {
+    return *cached;
+  }
+  const std::unique_ptr<PlannerStrategy> planner =
+      MakePlanner(strategy, prepared.entry->handle());
+  GC_ASSIGN_OR_RETURN(PlanPtr plan,
+                      planner->Plan(prepared.condition, prepared.attrs));
+  // Feasibility guarantee: validate capability-aware strategies' plans
+  // before execution. (The naive baseline intentionally emits plans the
+  // source may reject; its failures surface at execution time.)
+  if (strategy != Strategy::kNaive) {
+    GC_RETURN_IF_ERROR(ValidatePlanFor(*plan, prepared.attrs,
+                                       prepared.entry->handle()->checker()));
+  }
+  plan_cache_.Insert(cache_key, plan);
+  return plan;
+}
+
+Result<Mediator::QueryResult> Mediator::ExecutePrepared(
+    const Prepared& prepared, Strategy strategy) {
+  QueryResult result;
+  if (prepared.unsatisfiable) {
+    // Proven empty during simplification: no plan, no source contact.
+    result.rows = RowSet(RowLayout(
+        prepared.attrs, prepared.entry->schema().num_attributes()));
+    return result;
+  }
+  GC_ASSIGN_OR_RETURN(PlanPtr plan, PlanPrepared(prepared, strategy));
+
+  Executor executor(prepared.entry->source());
+  GC_ASSIGN_OR_RETURN(RowSet rows, executor.Execute(*plan));
+
+  result.rows = std::move(rows);
+  result.estimated_cost = prepared.entry->handle()->cost_model().PlanCost(*plan);
+  result.plan = std::move(plan);
+  result.exec = executor.stats();
+  const SourceDescription& description = prepared.entry->handle()->description();
+  result.true_cost = result.exec.TrueCost(description.k1(), description.k2());
+  return result;
+}
+
+Result<Mediator::QueryResult> Mediator::Query(const std::string& sql,
+                                              Strategy strategy) {
+  if (IsJoinQuery(sql)) return QueryJoin(sql);
+  GC_ASSIGN_OR_RETURN(const Prepared prepared, Prepare(sql));
+  return ExecutePrepared(prepared, strategy);
+}
+
+Result<Mediator::QueryResult> Mediator::QueryJoin(
+    const std::string& sql, JoinProcessor::Options options) {
+  GC_ASSIGN_OR_RETURN(const ParsedJoinQuery parsed, ParseJoinSql(sql));
+  GC_ASSIGN_OR_RETURN(CatalogEntry * left, catalog_.Find(parsed.left_source));
+  GC_ASSIGN_OR_RETURN(CatalogEntry * right, catalog_.Find(parsed.right_source));
+
+  JoinQuery join;
+  join.left_source = parsed.left_source;
+  join.right_source = parsed.right_source;
+  for (const auto& [l, r] : parsed.keys) join.keys.push_back({l, r});
+  join.condition = parsed.condition;
+  join.select = parsed.select_list;
+
+  JoinProcessor processor(left, right, options);
+  GC_ASSIGN_OR_RETURN(const JoinPlanOutcome outcome, processor.Plan(join));
+  GC_ASSIGN_OR_RETURN(RowSet rows, processor.Execute(join));
+
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.plan = outcome.left_plan;
+  result.estimated_cost = outcome.estimated_cost;
+  const JoinExecStats& stats = processor.stats();
+  result.exec.source_queries =
+      stats.left.source_queries + stats.right.source_queries;
+  result.exec.rows_transferred =
+      stats.left.rows_transferred + stats.right.rows_transferred;
+  result.true_cost =
+      stats.left.TrueCost(left->handle()->description().k1(),
+                          left->handle()->description().k2()) +
+      stats.right.TrueCost(right->handle()->description().k1(),
+                           right->handle()->description().k2());
+  return result;
+}
+
+Result<Mediator::QueryResult> Mediator::QueryCondition(
+    const std::string& source, const ConditionPtr& condition,
+    const std::vector<std::string>& attrs, Strategy strategy) {
+  GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(source));
+  GC_ASSIGN_OR_RETURN(const Prepared prepared,
+                      PrepareParts(entry, condition, attrs));
+  return ExecutePrepared(prepared, strategy);
+}
+
+Result<PlanPtr> Mediator::Explain(const std::string& sql, Strategy strategy) {
+  GC_ASSIGN_OR_RETURN(const Prepared prepared, Prepare(sql));
+  if (prepared.unsatisfiable) {
+    return Status::InvalidArgument(
+        "condition is unsatisfiable; the mediator answers it with the empty "
+        "set without a plan");
+  }
+  return PlanPrepared(prepared, strategy);
+}
+
+Result<std::string> Mediator::ExplainAnalyze(const std::string& sql,
+                                             Strategy strategy) {
+  GC_ASSIGN_OR_RETURN(const Prepared prepared, Prepare(sql));
+  if (prepared.unsatisfiable) {
+    return std::string(
+        "EmptyResult (condition simplifies to FALSE; 0 rows, no source "
+        "contact)\n");
+  }
+  GC_ASSIGN_OR_RETURN(const PlanPtr plan, PlanPrepared(prepared, strategy));
+
+  Executor executor(prepared.entry->source());
+  GC_ASSIGN_OR_RETURN(const RowSet rows, executor.Execute(*plan));
+
+  const CostModel& model = prepared.entry->handle()->cost_model();
+  std::string out = PrintPlan(*plan, prepared.entry->schema(), &model);
+  out += "\nsource queries (estimated vs actual result rows):\n";
+  std::vector<const PlanNode*> queries;
+  plan->CollectSourceQueries(&queries);
+  double true_cost = 0;
+  const SourceDescription& description = prepared.entry->handle()->description();
+  for (const PlanNode* query : queries) {
+    const double estimated =
+        model.EstimateResultRows(*query->condition(), query->attrs());
+    GC_ASSIGN_OR_RETURN(
+        const RowSet actual,
+        prepared.entry->source()->Execute(*query->condition(), query->attrs()));
+    true_cost += description.k1() +
+                 description.k2() * static_cast<double>(actual.size());
+    char line[512];
+    std::snprintf(line, sizeof(line), "  est=%-10.1f actual=%-8zu  SP(%s)\n",
+                  estimated, actual.size(),
+                  query->condition()->ToString().c_str());
+    out += line;
+  }
+  char summary[256];
+  std::snprintf(summary, sizeof(summary),
+                "result: %zu rows; estimated cost %.1f, true cost %.1f\n",
+                rows.size(), model.PlanCost(*plan), true_cost);
+  out += summary;
+  return out;
+}
+
+Result<std::string> Mediator::ExplainText(const std::string& sql,
+                                          Strategy strategy) {
+  GC_ASSIGN_OR_RETURN(const Prepared prepared, Prepare(sql));
+  if (prepared.unsatisfiable) {
+    return std::string("EmptyResult (condition simplifies to FALSE)\n");
+  }
+  GC_ASSIGN_OR_RETURN(const PlanPtr plan, PlanPrepared(prepared, strategy));
+  return PrintPlan(*plan, prepared.entry->schema(),
+                   &prepared.entry->handle()->cost_model());
+}
+
+}  // namespace gencompact

@@ -1,0 +1,105 @@
+#ifndef GENCOMPACT_MEDIATOR_MEDIATOR_H_
+#define GENCOMPACT_MEDIATOR_MEDIATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/executor.h"
+#include "mediator/catalog.h"
+#include "mediator/join.h"
+#include "mediator/sql_parser.h"
+#include "plan/plan_validator.h"
+#include "planner/plan_cache.h"
+#include "planner/planner.h"
+
+namespace gencompact {
+
+/// The end-to-end mediator (Section 3): target queries come in (as SQL text
+/// or as condition + projection), a capability-sensitive plan is generated
+/// with the configured strategy, validated, executed against the
+/// capability-enforcing source, and the postprocessed result returned.
+class Mediator {
+ public:
+  explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
+      : default_strategy_(default_strategy) {}
+
+  /// Registers a simulated Internet source (takes ownership of the table).
+  Status RegisterSource(SourceDescription description,
+                        std::unique_ptr<Table> table);
+
+  struct QueryResult {
+    RowSet rows;
+    PlanPtr plan;
+    double estimated_cost = 0.0;
+    ExecStats exec;           ///< true transfer statistics
+    double true_cost = 0.0;   ///< Equation-1 cost with actual row counts
+  };
+
+  /// Runs a mini-SQL target query with the default strategy. Join queries
+  /// (`SELECT ... FROM a JOIN b ON ...`) are dispatched to QueryJoin.
+  Result<QueryResult> Query(const std::string& sql) {
+    return Query(sql, default_strategy_);
+  }
+  Result<QueryResult> Query(const std::string& sql, Strategy strategy);
+
+  /// Two-source equi-join queries — the complex-query extension ([2]):
+  /// every per-source building block is planned with GenCompact, and the
+  /// right side may be evaluated as a capability-sensitive bind-join.
+  /// QueryResult::plan is the left-side plan; exec/true_cost aggregate both
+  /// sides.
+  Result<QueryResult> QueryJoin(const std::string& sql,
+                                JoinProcessor::Options options = {});
+
+  /// Programmatic form: SP(condition, attrs, source).
+  Result<QueryResult> QueryCondition(const std::string& source,
+                                     const ConditionPtr& condition,
+                                     const std::vector<std::string>& attrs,
+                                     Strategy strategy);
+
+  /// Plans without executing; returns the validated plan.
+  Result<PlanPtr> Explain(const std::string& sql, Strategy strategy);
+
+  /// Human-readable plan rendering for a query.
+  Result<std::string> ExplainText(const std::string& sql, Strategy strategy);
+
+  /// EXPLAIN ANALYZE: plans, executes, and renders the plan together with a
+  /// per-source-query table of estimated vs actual result rows — the
+  /// standard way to debug the cost model on a live query. (The source
+  /// queries run once for the real execution and once for the per-query
+  /// row counts.)
+  Result<std::string> ExplainAnalyze(const std::string& sql, Strategy strategy);
+
+  Catalog* catalog() { return &catalog_; }
+
+  /// Plan-cache statistics (mediators see the same form queries over and
+  /// over; repeated queries skip planning entirely).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Enables/disables the semantics-preserving condition simplification
+  /// pre-pass (on by default). Unsatisfiable conditions short-circuit to an
+  /// empty result without contacting the source.
+  void set_simplify_conditions(bool enabled) { simplify_conditions_ = enabled; }
+
+ private:
+  struct Prepared {
+    CatalogEntry* entry = nullptr;
+    ConditionPtr condition;
+    AttributeSet attrs;
+    bool unsatisfiable = false;
+  };
+  Result<Prepared> Prepare(const std::string& sql);
+  Result<Prepared> PrepareParts(CatalogEntry* entry, ConditionPtr condition,
+                                const std::vector<std::string>& attrs);
+  Result<PlanPtr> PlanPrepared(const Prepared& prepared, Strategy strategy);
+  Result<QueryResult> ExecutePrepared(const Prepared& prepared,
+                                      Strategy strategy);
+
+  Strategy default_strategy_;
+  Catalog catalog_;
+  PlanCache plan_cache_;
+  bool simplify_conditions_ = true;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_MEDIATOR_MEDIATOR_H_

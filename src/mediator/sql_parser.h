@@ -1,0 +1,54 @@
+#ifndef GENCOMPACT_MEDIATOR_SQL_PARSER_H_
+#define GENCOMPACT_MEDIATOR_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// A parsed target query (always of the paper's SP form π_A(σ_C(R))).
+struct ParsedQuery {
+  std::vector<std::string> select_list;  ///< empty means SELECT *
+  std::string source;
+  ConditionPtr condition;  ///< ConditionNode::True() when no WHERE clause
+};
+
+/// Parses the mini-SQL surface syntax of target queries:
+///
+///   SELECT a, b FROM src WHERE cond
+///   SELECT * FROM src
+///
+/// Keywords are case-insensitive; `cond` uses the condition grammar of
+/// ParseCondition (and/or, parentheses, =, !=, <, <=, >, >=, contains,
+/// startswith, `attr in {v1, v2}`).
+Result<ParsedQuery> ParseSql(std::string_view sql);
+
+/// A parsed two-source join query (the complex-query extension).
+struct ParsedJoinQuery {
+  std::vector<std::string> select_list;  ///< qualified; empty means *
+  std::string left_source;
+  std::string right_source;
+  /// Equi-join key pairs from the ON clause (left-qualified,
+  /// right-qualified).
+  std::vector<std::pair<std::string, std::string>> keys;
+  ConditionPtr condition;  ///< qualified; True when no WHERE clause
+};
+
+/// True if the FROM clause contains a JOIN (dispatch helper).
+bool IsJoinQuery(std::string_view sql);
+
+/// Parses
+///
+///   SELECT l.a, r.b FROM l JOIN r ON l.k = r.k [and l.k2 = r.k2 ...]
+///     [WHERE cond-over-qualified-attrs]
+///
+/// Attribute references in the SELECT list, ON clause, and WHERE condition
+/// must be source-qualified ("src.attr").
+Result<ParsedJoinQuery> ParseJoinSql(std::string_view sql);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_MEDIATOR_SQL_PARSER_H_

@@ -1,0 +1,154 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gencompact {
+
+PlanPtr PlanNode::SourceQuery(ConditionPtr condition, AttributeSet attrs) {
+  assert(condition != nullptr);
+  return PlanPtr(
+      new PlanNode(Kind::kSourceQuery, std::move(condition), attrs, {}));
+}
+
+PlanPtr PlanNode::MediatorSp(ConditionPtr condition, AttributeSet attrs,
+                             PlanPtr child) {
+  assert(condition != nullptr && child != nullptr);
+  std::vector<PlanPtr> children = {std::move(child)};
+  return PlanPtr(new PlanNode(Kind::kMediatorSp, std::move(condition), attrs,
+                              std::move(children)));
+}
+
+PlanPtr PlanNode::UnionOf(std::vector<PlanPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children.front();
+  const AttributeSet attrs = children.front()->attrs();
+  return PlanPtr(new PlanNode(Kind::kUnion, nullptr, attrs, std::move(children)));
+}
+
+PlanPtr PlanNode::IntersectOf(std::vector<PlanPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children.front();
+  const AttributeSet attrs = children.front()->attrs();
+  return PlanPtr(
+      new PlanNode(Kind::kIntersect, nullptr, attrs, std::move(children)));
+}
+
+PlanPtr PlanNode::Choice(std::vector<PlanPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children.front();
+  const AttributeSet attrs = children.front()->attrs();
+  return PlanPtr(new PlanNode(Kind::kChoice, nullptr, attrs, std::move(children)));
+}
+
+void PlanNode::CollectSourceQueries(std::vector<const PlanNode*>* out) const {
+  if (kind_ == Kind::kSourceQuery) {
+    out->push_back(this);
+    return;
+  }
+  for (const PlanPtr& child : children_) {
+    child->CollectSourceQueries(out);
+  }
+}
+
+size_t PlanNode::CountSourceQueries() const {
+  std::vector<const PlanNode*> queries;
+  CollectSourceQueries(&queries);
+  return queries.size();
+}
+
+size_t PlanNode::Size() const {
+  size_t n = 1;
+  for (const PlanPtr& child : children_) n += child->Size();
+  return n;
+}
+
+bool PlanNode::IsResolved() const {
+  if (kind_ == Kind::kChoice) return false;
+  for (const PlanPtr& child : children_) {
+    if (!child->IsResolved()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Memoized count over the plan DAG (EPG memoization shares sub-spaces, so
+// naive recursion would revisit them exponentially).
+size_t CountImpl(const PlanNode& plan, size_t cap,
+                 std::unordered_map<const PlanNode*, size_t>* memo) {
+  const auto it = memo->find(&plan);
+  if (it != memo->end()) return it->second;
+  size_t result = 1;
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      result = 1;
+      break;
+    case PlanNode::Kind::kMediatorSp:
+      result = CountImpl(*plan.children().front(), cap, memo);
+      break;
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      size_t product = 1;
+      for (const PlanPtr& child : plan.children()) {
+        const size_t n = CountImpl(*child, cap, memo);
+        if (product >= cap / std::max<size_t>(n, 1)) {
+          product = cap;  // saturate
+          break;
+        }
+        product *= n;
+      }
+      result = std::min(product, cap);
+      break;
+    }
+    case PlanNode::Kind::kChoice: {
+      size_t total = 0;
+      for (const PlanPtr& child : plan.children()) {
+        total += CountImpl(*child, cap, memo);
+        if (total >= cap) {
+          total = cap;
+          break;
+        }
+      }
+      result = total;
+      break;
+    }
+  }
+  memo->emplace(&plan, result);
+  return result;
+}
+
+}  // namespace
+
+size_t PlanNode::CountAlternatives(size_t cap) const {
+  std::unordered_map<const PlanNode*, size_t> memo;
+  return CountImpl(*this, cap, &memo);
+}
+
+std::string PlanNode::ToShortString() const {
+  switch (kind_) {
+    case Kind::kSourceQuery:
+      return "SQ[" + condition_->ToString() + "]";
+    case Kind::kMediatorSp:
+      return "SP[" + condition_->ToString() + "](" +
+             children_.front()->ToShortString() + ")";
+    case Kind::kUnion:
+    case Kind::kIntersect:
+    case Kind::kChoice: {
+      const char* sep = kind_ == Kind::kUnion     ? " U "
+                        : kind_ == Kind::kIntersect ? " I "
+                                                    : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToShortString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace gencompact

@@ -1,0 +1,100 @@
+#ifndef GENCOMPACT_PLAN_PLAN_H_
+#define GENCOMPACT_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/condition.h"
+#include "schema/attribute_set.h"
+
+namespace gencompact {
+
+class PlanNode;
+
+/// Plans are immutable and shared: the plan generators build large spaces of
+/// alternatives with heavy sub-plan reuse.
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// A mediator query plan (Section 3): a tree of source queries plus
+/// postprocessing operations (mediator selection/projection, union,
+/// intersection). `Choice` nodes appear only in EPG's compact plan spaces
+/// (Section 5.3) and must be resolved by the cost module before execution.
+class PlanNode {
+ public:
+  enum class Kind {
+    kSourceQuery,  ///< SP(C, A, R) evaluated by the source
+    kMediatorSp,   ///< SP(C, A, child): mediator selection + projection
+    kUnion,        ///< mediator ∪ of children (same output attrs)
+    kIntersect,    ///< mediator ∩ of children (same output attrs)
+    kChoice,       ///< exactly one child is to be picked by the cost module
+  };
+
+  /// A source query SP(condition, attrs, R). The target source is implicit:
+  /// the paper's selection queries address a single relation R.
+  static PlanPtr SourceQuery(ConditionPtr condition, AttributeSet attrs);
+
+  /// Mediator postprocessing SP(condition, attrs, child): filter the child's
+  /// result by `condition`, then project to `attrs`.
+  static PlanPtr MediatorSp(ConditionPtr condition, AttributeSet attrs,
+                            PlanPtr child);
+
+  /// Mediator set union of >= 1 children; a single child is returned as-is.
+  static PlanPtr UnionOf(std::vector<PlanPtr> children);
+
+  /// Mediator set intersection of >= 1 children.
+  static PlanPtr IntersectOf(std::vector<PlanPtr> children);
+
+  /// An EPG plan-space node: any one child answers the query.
+  static PlanPtr Choice(std::vector<PlanPtr> children);
+
+  Kind kind() const { return kind_; }
+  bool is_choice() const { return kind_ == Kind::kChoice; }
+
+  /// The condition of a kSourceQuery / kMediatorSp node.
+  const ConditionPtr& condition() const { return condition_; }
+
+  /// Output attribute set of this node.
+  const AttributeSet& attrs() const { return attrs_; }
+
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+  /// Collects pointers to every kSourceQuery node (Choice-free plans only;
+  /// Internal error behaviour: Choice children are skipped).
+  void CollectSourceQueries(std::vector<const PlanNode*>* out) const;
+
+  size_t CountSourceQueries() const;
+
+  /// Number of plan nodes.
+  size_t Size() const;
+
+  /// True iff the plan contains no Choice node (is directly executable).
+  bool IsResolved() const;
+
+  /// Compact single-line rendering, e.g.
+  /// `(SQ[c1 and c2 -> {a,b}] ∩ SP[c3 -> {a}](SQ[...]))`.
+  std::string ToShortString() const;
+
+  /// Number of distinct resolved plans this (possibly Choice-bearing) plan
+  /// space denotes: Choice sums its children, set operations multiply
+  /// theirs. Saturates at `cap` (EPG spaces grow combinatorially). A
+  /// resolved plan counts 1.
+  size_t CountAlternatives(size_t cap = 1000000) const;
+
+ private:
+  PlanNode(Kind kind, ConditionPtr condition, AttributeSet attrs,
+           std::vector<PlanPtr> children)
+      : kind_(kind),
+        condition_(std::move(condition)),
+        attrs_(attrs),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  ConditionPtr condition_;  // kSourceQuery / kMediatorSp
+  AttributeSet attrs_;
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLAN_PLAN_H_

@@ -1,0 +1,65 @@
+#include "plan/plan_printer.h"
+
+#include <sstream>
+
+namespace gencompact {
+
+namespace {
+
+void PrintNode(const PlanNode& plan, const Schema& schema,
+               const CostModel* cost_model, const std::string& indent,
+               bool last, std::ostringstream* out) {
+  *out << indent;
+  std::string child_indent = indent;
+  if (!indent.empty()) {
+    *out << (last ? "`- " : "|- ");
+    child_indent += last ? "   " : "|  ";
+  } else {
+    child_indent = "  ";
+  }
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery: {
+      *out << "SourceQuery cond=[" << plan.condition()->ToString()
+           << "] attrs=" << plan.attrs().ToString(schema);
+      if (cost_model != nullptr) {
+        *out << " est_rows="
+             << cost_model->EstimateResultRows(*plan.condition(), plan.attrs())
+             << " cost="
+             << cost_model->SourceQueryCost(*plan.condition(), plan.attrs());
+      }
+      break;
+    }
+    case PlanNode::Kind::kMediatorSp:
+      *out << "MediatorSelectProject cond=[" << plan.condition()->ToString()
+           << "] attrs=" << plan.attrs().ToString(schema);
+      break;
+    case PlanNode::Kind::kUnion:
+      *out << "Union attrs=" << plan.attrs().ToString(schema);
+      break;
+    case PlanNode::Kind::kIntersect:
+      *out << "Intersect attrs=" << plan.attrs().ToString(schema);
+      break;
+    case PlanNode::Kind::kChoice:
+      *out << "Choice (" << plan.children().size() << " alternatives)";
+      break;
+  }
+  if (cost_model != nullptr && plan.kind() != PlanNode::Kind::kSourceQuery) {
+    *out << " total_cost=" << cost_model->PlanCost(plan);
+  }
+  *out << "\n";
+  for (size_t i = 0; i < plan.children().size(); ++i) {
+    PrintNode(*plan.children()[i], schema, cost_model, child_indent,
+              i + 1 == plan.children().size(), out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PlanNode& plan, const Schema& schema,
+                      const CostModel* cost_model) {
+  std::ostringstream out;
+  PrintNode(plan, schema, cost_model, "", true, &out);
+  return out.str();
+}
+
+}  // namespace gencompact

@@ -1,0 +1,19 @@
+#ifndef GENCOMPACT_PLAN_PLAN_PRINTER_H_
+#define GENCOMPACT_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "schema/schema.h"
+
+namespace gencompact {
+
+/// Renders a plan as an indented tree. With a cost model, annotates each
+/// source query with its estimated result rows and cost (EXPLAIN-style).
+std::string PrintPlan(const PlanNode& plan, const Schema& schema,
+                      const CostModel* cost_model = nullptr);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLAN_PLAN_PRINTER_H_

@@ -1,0 +1,75 @@
+#include "plan/plan_validator.h"
+
+namespace gencompact {
+
+namespace {
+
+Status Validate(const PlanNode& plan, Checker* checker, const Schema& schema) {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery: {
+      if (!checker->Supports(*plan.condition(), plan.attrs())) {
+        return Status::Unsupported(
+            "source query not supported: SP(" + plan.condition()->ToString() +
+            ", " + plan.attrs().ToString(schema) + ")");
+      }
+      return Status::OK();
+    }
+    case PlanNode::Kind::kMediatorSp: {
+      const PlanNode& child = *plan.children().front();
+      GC_RETURN_IF_ERROR(Validate(child, checker, schema));
+      GC_ASSIGN_OR_RETURN(const AttributeSet cond_attrs,
+                          plan.condition()->Attributes(schema));
+      if (!cond_attrs.IsSubsetOf(child.attrs())) {
+        return Status::Unsupported(
+            "mediator selection [" + plan.condition()->ToString() +
+            "] references attributes missing from its input " +
+            child.attrs().ToString(schema));
+      }
+      if (!plan.attrs().IsSubsetOf(child.attrs())) {
+        return Status::Unsupported(
+            "mediator projection to " + plan.attrs().ToString(schema) +
+            " requires attributes missing from its input " +
+            child.attrs().ToString(schema));
+      }
+      return Status::OK();
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      for (const PlanPtr& child : plan.children()) {
+        GC_RETURN_IF_ERROR(Validate(*child, checker, schema));
+        if (child->attrs() != plan.attrs()) {
+          return Status::Unsupported(
+              "set operation children disagree on output attributes: " +
+              child->attrs().ToString(schema) + " vs " +
+              plan.attrs().ToString(schema));
+        }
+      }
+      return Status::OK();
+    }
+    case PlanNode::Kind::kChoice:
+      return Status::Internal(
+          "plan contains an unresolved Choice node; resolve with the cost "
+          "module before validation/execution");
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Status ValidatePlan(const PlanNode& plan, Checker* checker) {
+  return Validate(plan, checker, checker->description().schema());
+}
+
+Status ValidatePlanFor(const PlanNode& plan, const AttributeSet& expected_attrs,
+                       Checker* checker) {
+  if (plan.attrs() != expected_attrs) {
+    return Status::Unsupported(
+        "plan output attributes " +
+        plan.attrs().ToString(checker->description().schema()) +
+        " differ from requested " +
+        expected_attrs.ToString(checker->description().schema()));
+  }
+  return ValidatePlan(plan, checker);
+}
+
+}  // namespace gencompact

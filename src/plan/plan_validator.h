@@ -1,0 +1,29 @@
+#ifndef GENCOMPACT_PLAN_PLAN_VALIDATOR_H_
+#define GENCOMPACT_PLAN_PLAN_VALIDATOR_H_
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "ssdl/check.h"
+
+namespace gencompact {
+
+/// Verifies the paper's feasibility guarantee for a resolved plan:
+///  * every source query SP(C, A, R) is supported per Check (A is a subset
+///    of some exported attribute family member for C);
+///  * every mediator selection only references attributes its child
+///    provides, and every node's output attrs are available;
+///  * union/intersect children agree on output attributes;
+///  * no unresolved Choice nodes remain.
+///
+/// Returns OK, or the first violation found. Used by tests (invariant 1 of
+/// DESIGN.md) and as a safety net before execution.
+Status ValidatePlan(const PlanNode& plan, Checker* checker);
+
+/// As ValidatePlan, but additionally requires the plan's output attribute
+/// set to equal `expected_attrs`.
+Status ValidatePlanFor(const PlanNode& plan, const AttributeSet& expected_attrs,
+                       Checker* checker);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLAN_PLAN_VALIDATOR_H_

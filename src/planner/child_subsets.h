@@ -1,0 +1,27 @@
+#ifndef GENCOMPACT_PLANNER_CHILD_SUBSETS_H_
+#define GENCOMPACT_PLANNER_CHILD_SUBSETS_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// The condition AND(N) / OR(N) for a subset `mask` of `parent`'s children
+/// (bit i selects child i), preserving child order. A singleton subset is
+/// the child itself; `mask` must be non-empty.
+inline ConditionPtr ChildSubsetCondition(const ConditionNode& parent,
+                                         uint32_t mask) {
+  assert(mask != 0);
+  std::vector<ConditionPtr> selected;
+  const std::vector<ConditionPtr>& children = parent.children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (mask >> i & 1) selected.push_back(children[i]);
+  }
+  return ConditionNode::Connector(parent.kind(), std::move(selected));
+}
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_CHILD_SUBSETS_H_

@@ -1,0 +1,115 @@
+#include "planner/epg.h"
+
+#include "planner/child_subsets.h"
+
+namespace gencompact {
+
+PlanPtr Epg::Generate(const ConditionPtr& node, const AttributeSet& attrs) {
+  ++num_calls_;
+  const std::pair<const ConditionNode*, uint64_t> key(node.get(), attrs.bits());
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  PlanPtr plan = GenerateUncached(node, attrs);
+  memo_.emplace(key, plan);
+  return plan;
+}
+
+PlanPtr Epg::GenerateUncached(const ConditionPtr& node,
+                              const AttributeSet& attrs) {
+  Checker* checker = source_->checker();
+  std::vector<PlanPtr> plans;
+
+  // Line 2-3: the pure plan.
+  if (checker->Supports(*node, attrs)) {
+    plans.push_back(PlanNode::SourceQuery(node, attrs));
+  }
+
+  const std::vector<ConditionPtr>& children = node->children();
+  const size_t k = children.size();
+
+  if (node->kind() == ConditionNode::Kind::kAnd) {
+    // Lines 5-8: for each nonempty subset X of children, evaluate X via
+    // recursive plans (intersected) and the remaining children Local at the
+    // mediator. X = all children is line 5 (no mediator selection).
+    std::vector<uint32_t> subset_masks;
+    if (k <= options_.max_and_children && k < 31) {
+      const uint32_t full = (uint32_t{1} << k) - 1;
+      for (uint32_t mask = 1; mask <= full; ++mask) subset_masks.push_back(mask);
+    } else {
+      // 2^k guard: keep only the full set and the singleton decompositions.
+      incomplete_ = true;
+      if (k < 31) {
+        const uint32_t full = (uint32_t{1} << k) - 1;
+        subset_masks.push_back(full);
+        for (size_t i = 0; i < k; ++i) subset_masks.push_back(uint32_t{1} << i);
+      }
+    }
+    const uint32_t full = k < 31 ? (uint32_t{1} << k) - 1 : 0;
+    for (uint32_t mask : subset_masks) {
+      const uint32_t local_mask = full & ~mask;
+      AttributeSet requested = attrs;
+      ConditionPtr local_cond;
+      if (local_mask != 0) {
+        local_cond = ChildSubsetCondition(*node, local_mask);
+        const Result<AttributeSet> local_attrs =
+            local_cond->Attributes(source_->schema());
+        if (!local_attrs.ok()) continue;  // unknown attribute: no plan here
+        requested = attrs.Union(local_attrs.value());
+      }
+      std::vector<PlanPtr> parts;
+      parts.reserve(static_cast<size_t>(__builtin_popcount(mask)));
+      bool feasible = true;
+      for (size_t i = 0; i < k; ++i) {
+        if ((mask >> i & 1) == 0) continue;
+        PlanPtr part = Generate(children[i], requested);
+        if (part == nullptr) {
+          feasible = false;
+          break;
+        }
+        parts.push_back(std::move(part));
+      }
+      if (!feasible) continue;
+      PlanPtr combined = PlanNode::IntersectOf(std::move(parts));
+      if (local_mask != 0) {
+        combined = PlanNode::MediatorSp(local_cond, attrs, std::move(combined));
+      }
+      plans.push_back(std::move(combined));
+    }
+  } else if (node->kind() == ConditionNode::Kind::kOr) {
+    // Line 10: union of plans for all children. (There is no opportunity to
+    // evaluate parts of a disjunction on the results of source queries.)
+    std::vector<PlanPtr> parts;
+    parts.reserve(k);
+    bool feasible = true;
+    for (const ConditionPtr& child : children) {
+      PlanPtr part = Generate(child, attrs);
+      if (part == nullptr) {
+        feasible = false;
+        break;
+      }
+      parts.push_back(std::move(part));
+    }
+    if (feasible) plans.push_back(PlanNode::UnionOf(std::move(parts)));
+  }
+
+  // Lines 11-12 (generalized to every node kind, see EpgOptions): download
+  // the relevant portion of the source and evaluate Cond(n) at the mediator.
+  const bool try_download =
+      options_.download_at_every_node || node->kind() == ConditionNode::Kind::kOr;
+  if (try_download && !node->is_true()) {
+    const Result<AttributeSet> cond_attrs = node->Attributes(source_->schema());
+    if (cond_attrs.ok()) {
+      const AttributeSet needed = attrs.Union(cond_attrs.value());
+      const ConditionPtr true_cond = ConditionNode::True();
+      if (checker->Supports(*true_cond, needed)) {
+        plans.push_back(PlanNode::MediatorSp(
+            node, attrs, PlanNode::SourceQuery(true_cond, needed)));
+      }
+    }
+  }
+
+  if (plans.empty()) return nullptr;  // ε
+  return PlanNode::Choice(std::move(plans));
+}
+
+}  // namespace gencompact

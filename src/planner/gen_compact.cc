@@ -1,0 +1,50 @@
+#include "planner/gen_compact.h"
+
+#include "expr/canonical.h"
+
+namespace gencompact {
+
+Result<PlanPtr> GenCompactPlanner::Plan(const ConditionPtr& condition,
+                                        const AttributeSet& attrs) {
+  stats_ = RunStats();
+
+  const ConditionPtr canonical = Canonicalize(condition);
+
+  std::vector<ConditionPtr> cts;
+  if (options_.distributive_rewrites) {
+    RewriteOptions rewrite_options;
+    rewrite_options.rules = RewriteRuleSet::DistributiveOnly();
+    rewrite_options.max_cts = options_.max_cts;
+    rewrite_options.canonicalize = true;  // IPG consumes canonical CTs
+    const RewriteResult rewrites = GenerateRewritings(canonical, rewrite_options);
+    cts = rewrites.cts;
+    stats_.rewrite_budget_exhausted = rewrites.budget_exhausted;
+  } else {
+    cts = {canonical};
+  }
+  stats_.num_cts = cts.size();
+
+  Ipg ipg(source_, options_.ipg);
+  const CostModel& cost_model = source_->cost_model();
+  PlanPtr best;
+  double best_cost = 0;
+  for (const ConditionPtr& ct : cts) {
+    PlanPtr plan = ipg.Plan(ct, attrs);
+    if (plan == nullptr) continue;
+    const double cost = cost_model.PlanCost(*plan);
+    if (best == nullptr || cost < best_cost) {
+      best = std::move(plan);
+      best_cost = cost;
+    }
+  }
+  stats_.ipg = ipg.stats();
+  stats_.best_cost = best_cost;
+
+  if (best == nullptr) {
+    return Status::NoFeasiblePlan("GenCompact: no feasible plan for SP(" +
+                                  condition->ToString() + ")");
+  }
+  return best;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,52 @@
+#ifndef GENCOMPACT_PLANNER_GEN_COMPACT_H_
+#define GENCOMPACT_PLANNER_GEN_COMPACT_H_
+
+#include "planner/ipg.h"
+#include "planner/strategy.h"
+#include "rewrite/rewrite_engine.h"
+
+namespace gencompact {
+
+struct GenCompactOptions {
+  IpgOptions ipg;
+
+  /// GenCompact's reduced rewrite module fires only the distributive rule
+  /// (Section 6.1); commutativity lives in the description closure (applied
+  /// by SourceHandle) and associativity/copy are absorbed by IPG. Disabling
+  /// restricts planning to the original canonical CT.
+  bool distributive_rewrites = true;
+
+  /// Budget on the number of (canonicalized, deduplicated) CTs explored.
+  size_t max_cts = 64;
+};
+
+/// GenCompact (Section 6): the paper's primary contribution. For each
+/// canonical CT produced by the reduced rewrite module, IPG returns the
+/// single best feasible plan; the overall best is returned.
+class GenCompactPlanner : public PlannerStrategy {
+ public:
+  explicit GenCompactPlanner(SourceHandle* source, GenCompactOptions options = {})
+      : source_(source), options_(options) {}
+
+  std::string name() const override { return "GenCompact"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+  struct RunStats {
+    size_t num_cts = 0;
+    IpgStats ipg;
+    bool rewrite_budget_exhausted = false;
+    double best_cost = 0.0;
+  };
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  SourceHandle* source_;
+  GenCompactOptions options_;
+  RunStats stats_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_GEN_COMPACT_H_

@@ -1,0 +1,41 @@
+#include "planner/gen_modular.h"
+
+namespace gencompact {
+
+Result<PlanPtr> GenModularPlanner::Plan(const ConditionPtr& condition,
+                                        const AttributeSet& attrs) {
+  stats_ = RunStats();
+
+  // Rewrite module: equivalent CTs under commutative / associative /
+  // distributive / copy rules (budgeted closure).
+  const RewriteResult rewrites = GenerateRewritings(condition, options_.rewrite);
+  stats_.num_cts = rewrites.cts.size();
+  stats_.rewrite_budget_exhausted = rewrites.budget_exhausted;
+
+  // Generate + cost modules: EPG per CT, then resolve the Choice spaces.
+  Epg epg(source_, options_.epg);
+  const CostModel& cost_model = source_->cost_model();
+  PlanPtr best;
+  double best_cost = 0;
+  for (const ConditionPtr& ct : rewrites.cts) {
+    const PlanPtr space = epg.Generate(ct, attrs);
+    if (space == nullptr) continue;
+    PlanPtr resolved = cost_model.ResolveChoices(space);
+    const double cost = cost_model.PlanCost(*resolved);
+    if (best == nullptr || cost < best_cost) {
+      best = std::move(resolved);
+      best_cost = cost;
+    }
+  }
+  stats_.epg_calls = epg.num_calls();
+  stats_.epg_incomplete = epg.incomplete();
+  stats_.best_cost = best_cost;
+
+  if (best == nullptr) {
+    return Status::NoFeasiblePlan("GenModular: no feasible plan for SP(" +
+                                  condition->ToString() + ")");
+  }
+  return best;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,50 @@
+#ifndef GENCOMPACT_PLANNER_GEN_MODULAR_H_
+#define GENCOMPACT_PLANNER_GEN_MODULAR_H_
+
+#include "planner/epg.h"
+#include "planner/strategy.h"
+#include "rewrite/rewrite_engine.h"
+
+namespace gencompact {
+
+struct GenModularOptions {
+  RewriteOptions rewrite;  // all four rule families by default
+  EpgOptions epg;
+};
+
+/// GenModular (Section 5): the naive exhaustive scheme —
+/// rewrite → mark → generate (EPG) → cost. Kept as the reference
+/// implementation: it defines the plan space GenCompact must match, and it
+/// is the baseline of the plan-generation-efficiency experiment (E3).
+///
+/// Marking is implicit here: EPG consults the memoizing Checker directly,
+/// which computes exactly the export marks of Section 5.2 on demand (the
+/// standalone MarkedTree is exercised by tests).
+class GenModularPlanner : public PlannerStrategy {
+ public:
+  explicit GenModularPlanner(SourceHandle* source, GenModularOptions options = {})
+      : source_(source), options_(options) {}
+
+  std::string name() const override { return "GenModular"; }
+
+  Result<PlanPtr> Plan(const ConditionPtr& condition,
+                       const AttributeSet& attrs) override;
+
+  struct RunStats {
+    size_t num_cts = 0;
+    size_t epg_calls = 0;
+    bool rewrite_budget_exhausted = false;
+    bool epg_incomplete = false;
+    double best_cost = 0.0;
+  };
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  SourceHandle* source_;
+  GenModularOptions options_;
+  RunStats stats_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_GEN_MODULAR_H_

@@ -1,0 +1,112 @@
+#ifndef GENCOMPACT_PLANNER_IPG_H_
+#define GENCOMPACT_PLANNER_IPG_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "plan/plan.h"
+#include "planner/set_cover.h"
+#include "planner/source_handle.h"
+
+namespace gencompact {
+
+/// Options for the Integrated Plan Generator (Section 6.4).
+struct IpgOptions {
+  // Pruning rules (Section 6.3). All on by default; the ablation benchmark
+  // toggles them. Disabling never changes the returned optimum (invariant 3
+  // of DESIGN.md), only the work done.
+  bool pr1 = true;  ///< pure plan prunes the impure search
+  bool pr2 = true;  ///< keep only the cheapest plan per sub-query
+  bool pr3 = true;  ///< prune dominated sub-plans
+
+  /// Safe ∧-combination mode (DESIGN.md): sub-plans intersected at an ∧
+  /// node fetch A ∪ Attr(Cond(n)) so that the intersection of projections
+  /// is provably exact, with a final mediator projection to A. When false,
+  /// combinations follow the paper verbatim (strict_paper_mode).
+  bool safe_combination = true;
+
+  SetCoverAlgorithm mcsc = SetCoverAlgorithm::kSubsetDp;
+
+  /// Nodes with more children than this get only singleton + full-set
+  /// decompositions (2^k guard); the run is reported incomplete.
+  size_t max_subset_children = 14;
+};
+
+struct IpgStats {
+  size_t calls = 0;               ///< IPG invocations (including memo hits)
+  size_t mcsc_invocations = 0;
+  size_t max_subplans = 0;        ///< largest Q handed to MCSC
+  size_t total_subplans = 0;      ///< sub-plans materialized across the run
+  bool incomplete = false;        ///< a guard tripped somewhere
+};
+
+/// IPG (Algorithm 6.1 + Figures 5 and 6): returns the single best feasible
+/// plan for SP(n, A, R) on a canonical CT, or nullptr if none exists.
+/// Results are memoized on (node, attrs).
+class Ipg {
+ public:
+  explicit Ipg(SourceHandle* source, IpgOptions options = {})
+      : source_(source), options_(options) {}
+
+  /// Best feasible plan for SP(node, attrs, R); nullptr if infeasible.
+  /// `node` should be canonical (see Canonicalize); non-canonical input is
+  /// accepted but explores a smaller space.
+  PlanPtr Plan(const ConditionPtr& node, const AttributeSet& attrs);
+
+  const IpgStats& stats() const { return stats_; }
+
+ private:
+  // A candidate sub-plan covering a set of children.
+  struct SubPlan {
+    PlanPtr plan;
+    double cost = 0.0;
+    bool pure = false;  ///< a direct source query for exactly its cover
+  };
+  // Sub-plan table: children-mask -> candidates (a single cheapest entry
+  // when PR2 is on).
+  using SubPlanTable = std::map<uint32_t, std::vector<SubPlan>>;
+
+  PlanPtr PlanUncached(const ConditionPtr& node, const AttributeSet& attrs);
+  PlanPtr PlanOrNode(const ConditionPtr& node, const AttributeSet& attrs);
+  PlanPtr PlanAndNode(const ConditionPtr& node, const AttributeSet& attrs);
+
+  /// Figure 6 step 1 for an ∧ node: the sub-plan table over child subsets,
+  /// with every sub-plan projecting to `work_attrs`.
+  SubPlanTable BuildAndSubPlans(const ConditionPtr& node,
+                                const AttributeSet& work_attrs,
+                                const std::vector<AttributeSet>& child_attrs,
+                                const std::vector<uint32_t>& masks);
+
+  /// The download-and-postprocess plan (Algorithm 6.1's plan_impure), or
+  /// nullptr if downloading is not feasible.
+  PlanPtr DownloadPlan(const ConditionPtr& node, const AttributeSet& attrs);
+
+  void AddSubPlan(SubPlanTable* table, uint32_t mask, PlanPtr plan, bool pure);
+
+  /// PR3: drops sub-plans dominated by a cheaper-or-equal sub-plan covering
+  /// a strict superset of children.
+  void PruneDominated(SubPlanTable* table) const;
+
+  /// Child-subset masks to enumerate for a node with `k` children,
+  /// respecting the 2^k guard.
+  std::vector<uint32_t> SubsetMasks(size_t k);
+
+  /// MCSC combination step shared by ∧ and ∨ nodes. Returns the cheapest
+  /// combined plan (Union for ∨, Intersect for ∧) or nullptr.
+  PlanPtr CombineSubPlans(const SubPlanTable& table, uint32_t universe,
+                          bool intersect);
+
+  double Cost(const PlanNode& plan) const {
+    return source_->cost_model().PlanCost(plan);
+  }
+
+  SourceHandle* source_;
+  IpgOptions options_;
+  IpgStats stats_;
+  std::map<std::pair<const ConditionNode*, uint64_t>, PlanPtr> memo_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_IPG_H_

@@ -1,0 +1,32 @@
+#include "planner/mark.h"
+
+namespace gencompact {
+
+MarkedTree::MarkedTree(const ConditionPtr& root, Checker* checker) {
+  Mark(root, checker);
+}
+
+void MarkedTree::Mark(const ConditionPtr& node, Checker* checker) {
+  exports_[node.get()] = checker->Check(*node);
+  for (const ConditionPtr& child : node->children()) {
+    Mark(child, checker);
+  }
+}
+
+const std::vector<AttributeSet>& MarkedTree::ExportsOf(
+    const ConditionNode* node) const {
+  static const std::vector<AttributeSet>& kEmpty =
+      *new std::vector<AttributeSet>();
+  const auto it = exports_.find(node);
+  return it != exports_.end() ? it->second : kEmpty;
+}
+
+bool MarkedTree::CanExport(const ConditionNode* node,
+                           const AttributeSet& attrs) const {
+  for (const AttributeSet& exported : ExportsOf(node)) {
+    if (attrs.IsSubsetOf(exported)) return true;
+  }
+  return false;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,38 @@
+#ifndef GENCOMPACT_PLANNER_MARK_H_
+#define GENCOMPACT_PLANNER_MARK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/condition.h"
+#include "ssdl/check.h"
+
+namespace gencompact {
+
+/// GenModular's mark module (Section 5.2): for each node n of a CT, the set
+/// of attributes the source exports when asked to evaluate Cond(n) — here a
+/// family of maximal sets, matching Checker semantics. Every node is marked,
+/// even below supported ancestors, because any part of the CT may be
+/// evaluated at the source.
+class MarkedTree {
+ public:
+  /// Marks all nodes of `root` using `checker`.
+  MarkedTree(const ConditionPtr& root, Checker* checker);
+
+  /// Export family of `node` (must belong to the marked tree).
+  const std::vector<AttributeSet>& ExportsOf(const ConditionNode* node) const;
+
+  /// True iff some exported set of `node` contains `attrs`.
+  bool CanExport(const ConditionNode* node, const AttributeSet& attrs) const;
+
+  size_t num_nodes() const { return exports_.size(); }
+
+ private:
+  void Mark(const ConditionPtr& node, Checker* checker);
+
+  std::unordered_map<const ConditionNode*, std::vector<AttributeSet>> exports_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_MARK_H_

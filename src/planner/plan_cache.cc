@@ -1,0 +1,36 @@
+#include "planner/plan_cache.h"
+
+namespace gencompact {
+
+std::optional<PlanPtr> PlanCache::Lookup(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key, PlanPtr plan) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  entries_[key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void PlanCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace gencompact

@@ -1,0 +1,61 @@
+#ifndef GENCOMPACT_PLANNER_PLAN_CACHE_H_
+#define GENCOMPACT_PLANNER_PLAN_CACHE_H_
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "plan/plan.h"
+#include "planner/planner.h"
+
+namespace gencompact {
+
+/// An LRU cache of generated plans. Internet mediators see the same form
+/// queries over and over (same condition shape, same projection); plans are
+/// immutable and shared, so caching them is free of aliasing hazards.
+/// Entries are keyed by (source, strategy, condition structural key,
+/// projection), which is exactly the planner input.
+///
+/// Descriptions and statistics are assumed stable for the lifetime of the
+/// cache; call Clear() after re-registering a source or refreshing stats.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  static std::string MakeKey(const std::string& source_name, Strategy strategy,
+                             const ConditionNode& condition,
+                             const AttributeSet& attrs) {
+    return source_name + "\x1f" + StrategyName(strategy) + "\x1f" +
+           std::to_string(attrs.bits()) + "\x1f" + condition.StructuralKey();
+  }
+
+  /// Returns the cached plan and refreshes its recency, or nullopt.
+  std::optional<PlanPtr> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry beyond capacity.
+  void Insert(const std::string& key, PlanPtr plan);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    PlanPtr plan;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_PLAN_CACHE_H_

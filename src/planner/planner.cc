@@ -1,0 +1,47 @@
+#include "planner/planner.h"
+
+#include "baselines/cnf_planner.h"
+#include "baselines/disco_planner.h"
+#include "baselines/dnf_planner.h"
+#include "baselines/naive_planner.h"
+
+namespace gencompact {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kGenCompact:
+      return "GenCompact";
+    case Strategy::kGenModular:
+      return "GenModular";
+    case Strategy::kCnf:
+      return "CNF(Garlic)";
+    case Strategy::kDnf:
+      return "DNF";
+    case Strategy::kDisco:
+      return "DISCO";
+    case Strategy::kNaive:
+      return "Naive(full-relational)";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<PlannerStrategy> MakePlanner(Strategy strategy,
+                                             SourceHandle* source) {
+  switch (strategy) {
+    case Strategy::kGenCompact:
+      return std::make_unique<GenCompactPlanner>(source);
+    case Strategy::kGenModular:
+      return std::make_unique<GenModularPlanner>(source);
+    case Strategy::kCnf:
+      return std::make_unique<CnfPlanner>(source);
+    case Strategy::kDnf:
+      return std::make_unique<DnfPlanner>(source);
+    case Strategy::kDisco:
+      return std::make_unique<DiscoPlanner>(source);
+    case Strategy::kNaive:
+      return std::make_unique<NaivePlanner>(source);
+  }
+  return nullptr;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,32 @@
+#ifndef GENCOMPACT_PLANNER_PLANNER_H_
+#define GENCOMPACT_PLANNER_PLANNER_H_
+
+#include <memory>
+
+#include "planner/gen_compact.h"
+#include "planner/gen_modular.h"
+#include "planner/strategy.h"
+
+namespace gencompact {
+
+/// Every plan-generation strategy in the library: the paper's two schemes
+/// plus the contemporary-system baselines of Sections 1-2.
+enum class Strategy {
+  kGenCompact,  ///< Section 6 (the contribution)
+  kGenModular,  ///< Section 5 (exhaustive reference)
+  kCnf,         ///< Garlic-style CNF clause shipping
+  kDnf,         ///< DNF per-disjunct shipping
+  kDisco,       ///< all-or-nothing (whole condition or whole download)
+  kNaive,       ///< assumes full relational capability (System R et al.)
+};
+
+const char* StrategyName(Strategy strategy);
+
+/// Factory with default options per strategy. `source` must outlive the
+/// returned planner.
+std::unique_ptr<PlannerStrategy> MakePlanner(Strategy strategy,
+                                             SourceHandle* source);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_PLANNER_H_

@@ -1,0 +1,158 @@
+#include "planner/set_cover.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace gencompact {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SetCoverResult SolveGreedy(uint32_t universe,
+                           const std::vector<SetCoverCandidate>& candidates) {
+  SetCoverResult result;
+  uint32_t covered = 0;
+  while (covered != universe) {
+    int best = -1;
+    double best_ratio = kInf;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const uint32_t gain = candidates[i].cover & universe & ~covered;
+      if (gain == 0) continue;
+      const double ratio =
+          candidates[i].cost / static_cast<double>(std::popcount(gain));
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return SetCoverResult{};  // uncoverable
+    covered |= candidates[best].cover & universe;
+    result.cost += candidates[best].cost;
+    result.chosen.push_back(best);
+  }
+  result.found = true;
+  result.optimal = false;
+  return result;
+}
+
+SetCoverResult SolveSubsetDp(uint32_t universe,
+                             const std::vector<SetCoverCandidate>& candidates) {
+  // Compress universe bits to a dense 0..k-1 index space.
+  std::vector<int> element_bits;
+  for (int b = 0; b < 32; ++b) {
+    if (universe >> b & 1) element_bits.push_back(b);
+  }
+  const size_t k = element_bits.size();
+  const size_t masks = size_t{1} << k;
+
+  const auto compress = [&](uint32_t cover) {
+    uint32_t dense = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (cover >> element_bits[i] & 1) dense |= uint32_t{1} << i;
+    }
+    return dense;
+  };
+  std::vector<uint32_t> dense_covers(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    dense_covers[i] = compress(candidates[i].cover);
+  }
+
+  // dp[S] = min cost to cover (at least) S; parent pointers for recovery.
+  std::vector<double> dp(masks, kInf);
+  std::vector<int> via_candidate(masks, -1);
+  std::vector<uint32_t> via_prev(masks, 0);
+  dp[0] = 0;
+  for (uint32_t s = 0; s < masks; ++s) {
+    if (dp[s] == kInf) continue;
+    if (s + 1 == masks) break;
+    // Cover the lowest missing element; trying only candidates that cover
+    // it is sufficient and avoids redundant transitions.
+    const uint32_t missing = static_cast<uint32_t>(
+        std::countr_zero(~s & (static_cast<uint32_t>(masks) - 1)));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if ((dense_covers[i] >> missing & 1) == 0) continue;
+      const uint32_t next = s | dense_covers[i];
+      const double cost = dp[s] + candidates[i].cost;
+      if (cost < dp[next]) {
+        dp[next] = cost;
+        via_candidate[next] = static_cast<int>(i);
+        via_prev[next] = s;
+      }
+    }
+  }
+
+  const uint32_t full = static_cast<uint32_t>(masks) - 1;
+  if (dp[full] == kInf) return SetCoverResult{};
+  SetCoverResult result;
+  result.found = true;
+  result.optimal = true;
+  result.cost = dp[full];
+  uint32_t s = full;
+  while (s != 0) {
+    result.chosen.push_back(via_candidate[s]);
+    s = via_prev[s];
+  }
+  std::reverse(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+SetCoverResult SolveEnumerate(uint32_t universe,
+                              const std::vector<SetCoverCandidate>& candidates) {
+  const size_t q = candidates.size();
+  const uint64_t subsets = uint64_t{1} << q;
+  SetCoverResult best;
+  for (uint64_t pick = 1; pick < subsets; ++pick) {
+    uint32_t covered = 0;
+    double cost = 0;
+    for (size_t i = 0; i < q; ++i) {
+      if (pick >> i & 1) {
+        covered |= candidates[i].cover;
+        cost += candidates[i].cost;
+      }
+    }
+    if ((covered & universe) != universe) continue;
+    if (!best.found || cost < best.cost) {
+      best.found = true;
+      best.cost = cost;
+      best.chosen.clear();
+      for (size_t i = 0; i < q; ++i) {
+        if (pick >> i & 1) best.chosen.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  best.optimal = best.found;
+  return best;
+}
+
+}  // namespace
+
+SetCoverResult SolveMinCostSetCover(
+    uint32_t universe, const std::vector<SetCoverCandidate>& candidates,
+    SetCoverAlgorithm algorithm) {
+  if (universe == 0) {
+    SetCoverResult result;
+    result.found = true;
+    result.optimal = true;
+    return result;
+  }
+  if (candidates.empty()) return SetCoverResult{};
+  switch (algorithm) {
+    case SetCoverAlgorithm::kSubsetDp:
+      if (std::popcount(universe) > 20) {
+        return SolveGreedy(universe, candidates);
+      }
+      return SolveSubsetDp(universe, candidates);
+    case SetCoverAlgorithm::kEnumerate:
+      if (candidates.size() > 25) {
+        return SolveGreedy(universe, candidates);
+      }
+      return SolveEnumerate(universe, candidates);
+    case SetCoverAlgorithm::kGreedy:
+      return SolveGreedy(universe, candidates);
+  }
+  return SetCoverResult{};
+}
+
+}  // namespace gencompact

@@ -1,0 +1,46 @@
+#ifndef GENCOMPACT_PLANNER_SET_COVER_H_
+#define GENCOMPACT_PLANNER_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gencompact {
+
+/// Minimum-Cost Set Cover (Section 6.4.2): choose a subset of candidates
+/// whose covers union to `universe` with minimum total cost. Candidates may
+/// overlap (overlapping covers are how IPG absorbs the copy rewrite rule).
+
+struct SetCoverCandidate {
+  uint32_t cover = 0;  ///< bitset over universe elements
+  double cost = 0.0;
+};
+
+struct SetCoverResult {
+  bool found = false;
+  double cost = 0.0;
+  std::vector<int> chosen;  ///< candidate indices
+  bool optimal = false;     ///< false when the greedy fallback produced it
+};
+
+enum class SetCoverAlgorithm {
+  /// Exact DP over covered-element masks, O(2^k · Q) for k universe
+  /// elements. Our improvement over the paper's enumeration (DESIGN.md).
+  kSubsetDp,
+  /// The paper's approach: enumerate all 2^Q candidate subsets. Exact;
+  /// guarded to Q <= 25.
+  kEnumerate,
+  /// Classic cost-per-new-element greedy; not optimal, used as the
+  /// fallback when guards trip and in bench_mcsc.
+  kGreedy,
+};
+
+/// Solves MCSC. If the requested exact algorithm's guard trips
+/// (kSubsetDp: > 20 universe elements; kEnumerate: > 25 candidates), falls
+/// back to greedy and reports optimal = false.
+SetCoverResult SolveMinCostSetCover(uint32_t universe,
+                                    const std::vector<SetCoverCandidate>& candidates,
+                                    SetCoverAlgorithm algorithm);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_SET_COVER_H_

@@ -1,0 +1,56 @@
+#ifndef GENCOMPACT_PLANNER_SOURCE_HANDLE_H_
+#define GENCOMPACT_PLANNER_SOURCE_HANDLE_H_
+
+#include <memory>
+
+#include "cost/cost_model.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+#include "storage/table.h"
+#include "storage/table_stats.h"
+
+namespace gencompact {
+
+/// Everything the planners need to plan against one source: the (optionally
+/// commutativity-closed) SSDL description with its Checker, table statistics,
+/// and the per-source cost model. Owns all of it, so planners and baselines
+/// just take a SourceHandle*.
+class SourceHandle {
+ public:
+  /// `table` must outlive the handle; statistics are computed here.
+  /// When `apply_commutativity_closure` is set (the default — GenCompact's
+  /// Section 6.1 description rewriting), the stored description is the
+  /// closure of `description`.
+  SourceHandle(SourceDescription description, const Table* table,
+               bool apply_commutativity_closure = true,
+               double mediator_k3 = 0.0);
+
+  /// Variant with an injected cardinality estimator (tests / what-if).
+  SourceHandle(SourceDescription description, const Table* table,
+               std::unique_ptr<CardinalityEstimator> estimator,
+               bool apply_commutativity_closure = true,
+               double mediator_k3 = 0.0);
+
+  SourceHandle(const SourceHandle&) = delete;
+  SourceHandle& operator=(const SourceHandle&) = delete;
+
+  const SourceDescription& description() const { return description_; }
+  const Schema& schema() const { return description_.schema(); }
+  const Table* table() const { return table_; }
+  const TableStats& stats() const { return stats_; }
+
+  Checker* checker() { return checker_.get(); }
+  const CostModel& cost_model() const { return *cost_model_; }
+
+ private:
+  SourceDescription description_;
+  const Table* table_;
+  TableStats stats_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+  std::unique_ptr<Checker> checker_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_SOURCE_HANDLE_H_

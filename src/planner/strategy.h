@@ -1,0 +1,29 @@
+#ifndef GENCOMPACT_PLANNER_STRATEGY_H_
+#define GENCOMPACT_PLANNER_STRATEGY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "planner/source_handle.h"
+
+namespace gencompact {
+
+/// Common interface of all plan-generation strategies (GenCompact,
+/// GenModular, and the contemporary-system baselines of Section 2). A
+/// strategy returns a resolved, feasible plan for the target query
+/// SP(condition, attrs, R), or kNoFeasiblePlan.
+class PlannerStrategy {
+ public:
+  virtual ~PlannerStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Plans SP(condition, attrs, R) against this strategy's source.
+  virtual Result<PlanPtr> Plan(const ConditionPtr& condition,
+                               const AttributeSet& attrs) = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_STRATEGY_H_

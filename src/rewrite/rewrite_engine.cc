@@ -1,0 +1,51 @@
+#include "rewrite/rewrite_engine.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "expr/canonical.h"
+
+namespace gencompact {
+
+RewriteResult GenerateRewritings(const ConditionPtr& root,
+                                 const RewriteOptions& options) {
+  RewriteResult result;
+  const size_t max_atoms =
+      options.max_atoms != 0 ? options.max_atoms : 2 * root->CountAtoms();
+
+  std::unordered_set<std::string> seen;
+  std::deque<ConditionPtr> frontier;
+
+  const auto admit = [&](const ConditionPtr& ct) {
+    const ConditionPtr stored = options.canonicalize ? Canonicalize(ct) : ct;
+    if (!seen.insert(stored->StructuralKey()).second) return;
+    result.cts.push_back(stored);
+    frontier.push_back(stored);
+  };
+
+  admit(root);
+
+  while (!frontier.empty()) {
+    if (result.cts.size() >= options.max_cts) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const ConditionPtr current = frontier.front();
+    frontier.pop_front();
+
+    std::vector<ConditionPtr> steps;
+    SingleStepRewrites(current, options.rules, max_atoms, &steps);
+    result.rule_applications += steps.size();
+    for (const ConditionPtr& step : steps) {
+      if (result.cts.size() >= options.max_cts) {
+        result.budget_exhausted = true;
+        break;
+      }
+      admit(step);
+    }
+    if (result.budget_exhausted) break;
+  }
+  return result;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,46 @@
+#ifndef GENCOMPACT_REWRITE_REWRITE_ENGINE_H_
+#define GENCOMPACT_REWRITE_REWRITE_ENGINE_H_
+
+#include <vector>
+
+#include "rewrite/rewrite_rules.h"
+
+namespace gencompact {
+
+/// Budgeted closure options for the rewrite module.
+struct RewriteOptions {
+  RewriteRuleSet rules = RewriteRuleSet::All();
+
+  /// Stop once this many distinct CTs have been produced. The rewrite space
+  /// is astronomically large for non-trivial queries (that is GenModular's
+  /// core weakness, Section 6); the budget keeps the baseline runnable and
+  /// is reported via RewriteResult::budget_exhausted.
+  size_t max_cts = 512;
+
+  /// Copy-rule growth bound: rewritten CTs may have at most this many atoms.
+  /// 0 means "twice the original atom count".
+  size_t max_atoms = 0;
+
+  /// Canonicalize each produced CT before deduplication. GenCompact's
+  /// reduced rewrite module sets this (its plan generator only consumes
+  /// canonical CTs); GenModular keeps raw shapes (associativity matters).
+  bool canonicalize = false;
+};
+
+struct RewriteResult {
+  /// Distinct equivalent CTs, starting with the (possibly canonicalized)
+  /// original.
+  std::vector<ConditionPtr> cts;
+  bool budget_exhausted = false;
+  /// Total single-step rule firings performed.
+  size_t rule_applications = 0;
+};
+
+/// Computes the closure of `root` under the enabled rewrite rules,
+/// breadth-first with structural deduplication, until fixpoint or budget.
+RewriteResult GenerateRewritings(const ConditionPtr& root,
+                                 const RewriteOptions& options);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_REWRITE_REWRITE_ENGINE_H_

@@ -1,0 +1,136 @@
+#include "rewrite/rewrite_rules.h"
+
+#include <functional>
+
+namespace gencompact {
+
+namespace {
+
+// Local (at-this-node) single-step variants of `node`.
+void LocalVariants(const ConditionPtr& node, const RewriteRuleSet& rules,
+                   std::vector<ConditionPtr>* out) {
+  if (!node->is_connector()) return;
+  const ConditionNode::Kind kind = node->kind();
+  const ConditionNode::Kind dual = kind == ConditionNode::Kind::kAnd
+                                       ? ConditionNode::Kind::kOr
+                                       : ConditionNode::Kind::kAnd;
+  const std::vector<ConditionPtr>& children = node->children();
+  const size_t k = children.size();
+
+  if (rules.commutative) {
+    // Adjacent transpositions generate the full symmetric group under
+    // closure.
+    for (size_t i = 0; i + 1 < k; ++i) {
+      std::vector<ConditionPtr> swapped = children;
+      std::swap(swapped[i], swapped[i + 1]);
+      out->push_back(ConditionNode::Connector(kind, std::move(swapped)));
+    }
+  }
+
+  if (rules.associative) {
+    // Group an adjacent pair.
+    if (k >= 3) {
+      for (size_t i = 0; i + 1 < k; ++i) {
+        std::vector<ConditionPtr> grouped;
+        grouped.reserve(k - 1);
+        for (size_t j = 0; j < k; ++j) {
+          if (j == i) {
+            grouped.push_back(
+                ConditionNode::Connector(kind, {children[i], children[i + 1]}));
+            ++j;  // skip i+1
+          } else {
+            grouped.push_back(children[j]);
+          }
+        }
+        out->push_back(ConditionNode::Connector(kind, std::move(grouped)));
+      }
+    }
+    // Flatten a same-kind child.
+    for (size_t i = 0; i < k; ++i) {
+      if (children[i]->kind() != kind) continue;
+      std::vector<ConditionPtr> flattened;
+      flattened.reserve(k + children[i]->children().size() - 1);
+      for (size_t j = 0; j < k; ++j) {
+        if (j == i) {
+          for (const ConditionPtr& grandchild : children[i]->children()) {
+            flattened.push_back(grandchild);
+          }
+        } else {
+          flattened.push_back(children[j]);
+        }
+      }
+      out->push_back(ConditionNode::Connector(kind, std::move(flattened)));
+    }
+  }
+
+  if (rules.distributive) {
+    // Distribute over one opposite-kind child: for each child D of dual
+    // kind, the whole node becomes dual(kind(rest..., d) for d in D).
+    for (size_t i = 0; i < k; ++i) {
+      if (children[i]->kind() != dual) continue;
+      std::vector<ConditionPtr> distributed;
+      distributed.reserve(children[i]->children().size());
+      for (const ConditionPtr& alt : children[i]->children()) {
+        std::vector<ConditionPtr> inner;
+        inner.reserve(k);
+        for (size_t j = 0; j < k; ++j) {
+          inner.push_back(j == i ? alt : children[j]);
+        }
+        distributed.push_back(ConditionNode::Connector(kind, std::move(inner)));
+      }
+      out->push_back(ConditionNode::Connector(dual, std::move(distributed)));
+    }
+  }
+}
+
+void CopyVariants(const ConditionPtr& node, size_t root_atoms, size_t max_atoms,
+                  std::vector<ConditionPtr>* out) {
+  if (!node->is_connector()) return;
+  const std::vector<ConditionPtr>& children = node->children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (root_atoms + children[i]->CountAtoms() > max_atoms) continue;
+    std::vector<ConditionPtr> duplicated;
+    duplicated.reserve(children.size() + 1);
+    for (size_t j = 0; j < children.size(); ++j) {
+      duplicated.push_back(children[j]);
+      if (j == i) duplicated.push_back(children[j]);
+    }
+    out->push_back(ConditionNode::Connector(node->kind(), std::move(duplicated)));
+  }
+}
+
+// Recursively produces all trees equal to `root` with exactly one rewrite
+// applied somewhere in the subtree rooted at `node`, where `rebuild` maps a
+// replacement for `node` to a full-tree replacement.
+void Visit(const ConditionPtr& node, const RewriteRuleSet& rules,
+           size_t root_atoms, size_t max_atoms,
+           const std::function<ConditionPtr(ConditionPtr)>& rebuild,
+           std::vector<ConditionPtr>* out) {
+  std::vector<ConditionPtr> local;
+  LocalVariants(node, rules, &local);
+  if (rules.copy) CopyVariants(node, root_atoms, max_atoms, &local);
+  for (ConditionPtr& variant : local) {
+    out->push_back(rebuild(std::move(variant)));
+  }
+  const std::vector<ConditionPtr>& children = node->children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    auto child_rebuild = [&node, &rebuild, i](ConditionPtr replacement) {
+      std::vector<ConditionPtr> new_children = node->children();
+      new_children[i] = std::move(replacement);
+      return rebuild(
+          ConditionNode::Connector(node->kind(), std::move(new_children)));
+    };
+    Visit(children[i], rules, root_atoms, max_atoms, child_rebuild, out);
+  }
+}
+
+}  // namespace
+
+void SingleStepRewrites(const ConditionPtr& root, const RewriteRuleSet& rules,
+                        size_t max_atoms, std::vector<ConditionPtr>* out) {
+  const size_t root_atoms = root->CountAtoms();
+  Visit(root, rules, root_atoms, max_atoms,
+        [](ConditionPtr replacement) { return replacement; }, out);
+}
+
+}  // namespace gencompact

@@ -1,0 +1,44 @@
+#ifndef GENCOMPACT_REWRITE_REWRITE_RULES_H_
+#define GENCOMPACT_REWRITE_REWRITE_RULES_H_
+
+#include <vector>
+
+#include "expr/condition.h"
+
+namespace gencompact {
+
+/// Which algebraic rewrite rules are enabled (Section 5.1). GenModular uses
+/// all four; GenCompact drops commutativity (folded into the SSDL closure),
+/// associativity and copy (absorbed by IPG's canonical CTs and overlapping
+/// set covers), keeping only distributivity.
+struct RewriteRuleSet {
+  bool commutative = true;
+  bool associative = true;
+  bool distributive = true;
+  bool copy = true;
+
+  static RewriteRuleSet All() { return RewriteRuleSet{}; }
+  static RewriteRuleSet DistributiveOnly() {
+    return RewriteRuleSet{false, false, true, false};
+  }
+};
+
+/// Appends to `out` every condition tree reachable from `root` by exactly
+/// one application of an enabled rule at any node:
+///  * commutative: swap two adjacent children of a connector;
+///  * associative (group): wrap two adjacent children of a connector in a
+///    nested connector of the same kind;
+///  * associative (flatten): splice a same-kind child connector inline;
+///  * distributive (expand): for a mixed connector, distribute over one
+///    opposite-kind child, e.g. (C1 ∧ (C2 ∨ C3)) ⇒ ((C1∧C2) ∨ (C1∧C3)) and
+///    dually for ∨ over ∧;
+///  * copy: duplicate one child of a connector (C ≡ C∧C / C ≡ C∨C), bounded
+///    by `max_atoms` on the resulting tree.
+///
+/// Every produced tree is semantically equivalent to `root`.
+void SingleStepRewrites(const ConditionPtr& root, const RewriteRuleSet& rules,
+                        size_t max_atoms, std::vector<ConditionPtr>* out);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_REWRITE_REWRITE_RULES_H_

@@ -1,0 +1,47 @@
+#include "schema/attribute_set.h"
+
+#include <bit>
+#include <cassert>
+
+#include "schema/schema.h"
+
+namespace gencompact {
+
+AttributeSet AttributeSet::AllOf(size_t n) {
+  assert(n <= 64);
+  if (n == 0) return AttributeSet();
+  if (n == 64) return AttributeSet(~uint64_t{0});
+  return AttributeSet((uint64_t{1} << n) - 1);
+}
+
+size_t AttributeSet::size() const { return std::popcount(bits_); }
+
+std::vector<int> AttributeSet::Indices() const {
+  std::vector<int> out;
+  out.reserve(size());
+  uint64_t b = bits_;
+  while (b != 0) {
+    const int i = std::countr_zero(b);
+    out.push_back(i);
+    b &= b - 1;
+  }
+  return out;
+}
+
+std::string AttributeSet::ToString(const Schema& schema) const {
+  std::string out = "{";
+  bool first = true;
+  for (int i : Indices()) {
+    if (!first) out += ", ";
+    first = false;
+    if (static_cast<size_t>(i) < schema.num_attributes()) {
+      out += schema.attribute(i).name;
+    } else {
+      out += "#" + std::to_string(i);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gencompact

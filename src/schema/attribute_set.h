@@ -1,0 +1,68 @@
+#ifndef GENCOMPACT_SCHEMA_ATTRIBUTE_SET_H_
+#define GENCOMPACT_SCHEMA_ATTRIBUTE_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gencompact {
+
+class Schema;
+
+/// A set of attributes of one relation, stored as a bitset over schema
+/// positions. Schemas are limited to 64 attributes, which is ample for the
+/// web-form style sources the paper targets.
+///
+/// AttributeSets appear throughout the planner: requested projections (the
+/// `A` in SP(C, A, R)), `Check` results, per-node `export` marks, Attr(C).
+class AttributeSet {
+ public:
+  /// Empty set.
+  AttributeSet() = default;
+
+  static AttributeSet FromBits(uint64_t bits) { return AttributeSet(bits); }
+
+  /// The set {0, 1, ..., n-1}; n must be <= 64.
+  static AttributeSet AllOf(size_t n);
+
+  bool empty() const { return bits_ == 0; }
+  size_t size() const;
+  uint64_t bits() const { return bits_; }
+
+  bool Contains(int index) const { return (bits_ >> index) & 1u; }
+  void Add(int index) { bits_ |= (uint64_t{1} << index); }
+  void Remove(int index) { bits_ &= ~(uint64_t{1} << index); }
+
+  bool IsSubsetOf(const AttributeSet& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  AttributeSet Union(const AttributeSet& other) const {
+    return AttributeSet(bits_ | other.bits_);
+  }
+  AttributeSet Intersect(const AttributeSet& other) const {
+    return AttributeSet(bits_ & other.bits_);
+  }
+  AttributeSet Minus(const AttributeSet& other) const {
+    return AttributeSet(bits_ & ~other.bits_);
+  }
+
+  bool operator==(const AttributeSet& other) const { return bits_ == other.bits_; }
+  bool operator!=(const AttributeSet& other) const { return bits_ != other.bits_; }
+  bool operator<(const AttributeSet& other) const { return bits_ < other.bits_; }
+
+  /// Ascending list of member indices.
+  std::vector<int> Indices() const;
+
+  /// Renders as "{a, b, c}" using the schema's attribute names.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  explicit AttributeSet(uint64_t bits) : bits_(bits) {}
+
+  uint64_t bits_ = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SCHEMA_ATTRIBUTE_SET_H_

@@ -1,0 +1,48 @@
+#include "schema/schema.h"
+
+#include <cassert>
+
+namespace gencompact {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  assert(attributes_.size() <= 64);
+}
+
+std::optional<int> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+Result<int> Schema::RequireIndex(std::string_view name) const {
+  const std::optional<int> index = IndexOf(name);
+  if (!index.has_value()) {
+    return Status::NotFound("unknown attribute: " + std::string(name));
+  }
+  return *index;
+}
+
+Result<AttributeSet> Schema::MakeSet(const std::vector<std::string>& names) const {
+  AttributeSet set;
+  for (const std::string& name : names) {
+    GC_ASSIGN_OR_RETURN(const int index, RequireIndex(name));
+    set.Add(index);
+  }
+  return set;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gencompact

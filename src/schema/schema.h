@@ -1,0 +1,57 @@
+#ifndef GENCOMPACT_SCHEMA_SCHEMA_H_
+#define GENCOMPACT_SCHEMA_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "schema/attribute_set.h"
+
+namespace gencompact {
+
+/// A named, typed attribute of a relation.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// The schema of one relation (an Internet source is modeled as a relation,
+/// per Section 3 of the paper). At most 64 attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+  Schema(std::initializer_list<AttributeDef> attributes)
+      : Schema(std::vector<AttributeDef>(attributes)) {}
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(int index) const { return attributes_[index]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Position of `name`, or nullopt if absent.
+  std::optional<int> IndexOf(std::string_view name) const;
+
+  /// Position of `name`, or NotFound.
+  Result<int> RequireIndex(std::string_view name) const;
+
+  /// Set of all attribute positions.
+  AttributeSet AllAttributes() const {
+    return AttributeSet::AllOf(attributes_.size());
+  }
+
+  /// Builds a set from attribute names; NotFound on any unknown name.
+  Result<AttributeSet> MakeSet(const std::vector<std::string>& names) const;
+
+  /// "rel(name: type, ...)"-style rendering of the attribute list.
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SCHEMA_SCHEMA_H_

@@ -1,0 +1,213 @@
+#include "ssdl/capability_builder.h"
+
+namespace gencompact {
+
+namespace {
+
+TerminalPattern::PlaceholderType PlaceholderFor(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return TerminalPattern::PlaceholderType::kInt;
+    case ValueType::kDouble:
+      return TerminalPattern::PlaceholderType::kFloat;
+    case ValueType::kString:
+      return TerminalPattern::PlaceholderType::kString;
+    case ValueType::kBool:
+      return TerminalPattern::PlaceholderType::kBool;
+    case ValueType::kNull:
+      return TerminalPattern::PlaceholderType::kAny;
+  }
+  return TerminalPattern::PlaceholderType::kAny;
+}
+
+}  // namespace
+
+CapabilityBuilder::CapabilityBuilder(std::string source_name, Schema schema)
+    : description_(std::move(source_name), std::move(schema)) {}
+
+Result<std::vector<GrammarSymbol>> CapabilityBuilder::AtomSymbols(
+    const Slot& slot, CompareOp op) const {
+  const Schema& schema = description_.schema();
+  GC_ASSIGN_OR_RETURN(const int index, schema.RequireIndex(slot.attr));
+  const ValueType type = schema.attribute(index).type;
+  return std::vector<GrammarSymbol>{
+      GrammarSymbol::Terminal(TerminalPattern::Attr(slot.attr)),
+      GrammarSymbol::Terminal(TerminalPattern::Op(op)),
+      GrammarSymbol::Terminal(
+          TerminalPattern::Placeholder(PlaceholderFor(type)))};
+}
+
+Result<int> CapabilityBuilder::SlotNonterminal(const std::string& form_name,
+                                               size_t slot_index,
+                                               const Slot& slot) {
+  Grammar& grammar = description_.mutable_grammar();
+  const std::string name =
+      form_name + "__slot" + std::to_string(slot_index) + "_" + slot.attr;
+  const int id = grammar.AddNonterminal(name);
+
+  // A single atom for each allowed operator.
+  for (CompareOp op : slot.ops) {
+    GC_ASSIGN_OR_RETURN(std::vector<GrammarSymbol> atom, AtomSymbols(slot, op));
+    GC_RETURN_IF_ERROR(grammar.AddRule({id, std::move(atom)}));
+  }
+
+  if (slot.value_list) {
+    // list -> attr = $t or attr = $t | attr = $t or list
+    // slot -> ( list )                (single values match the atom rules)
+    const int list_id = grammar.AddNonterminal(name + "_list");
+    GC_ASSIGN_OR_RETURN(std::vector<GrammarSymbol> eq_atom,
+                        AtomSymbols(slot, CompareOp::kEq));
+    std::vector<GrammarSymbol> two;
+    two.insert(two.end(), eq_atom.begin(), eq_atom.end());
+    two.push_back(GrammarSymbol::Terminal(TerminalPattern::OrSep()));
+    two.insert(two.end(), eq_atom.begin(), eq_atom.end());
+    GC_RETURN_IF_ERROR(grammar.AddRule({list_id, std::move(two)}));
+
+    std::vector<GrammarSymbol> rec;
+    rec.insert(rec.end(), eq_atom.begin(), eq_atom.end());
+    rec.push_back(GrammarSymbol::Terminal(TerminalPattern::OrSep()));
+    rec.push_back(GrammarSymbol::Nonterminal(list_id));
+    GC_RETURN_IF_ERROR(grammar.AddRule({list_id, std::move(rec)}));
+
+    std::vector<GrammarSymbol> wrapped = {
+        GrammarSymbol::Terminal(TerminalPattern::LParen()),
+        GrammarSymbol::Nonterminal(list_id),
+        GrammarSymbol::Terminal(TerminalPattern::RParen())};
+    GC_RETURN_IF_ERROR(grammar.AddRule({id, std::move(wrapped)}));
+    // A bare (unparenthesized) list is how the serializer renders a
+    // root-level disjunction — the form filled in with only this field.
+    GC_RETURN_IF_ERROR(
+        grammar.AddRule({id, {GrammarSymbol::Nonterminal(list_id)}}));
+  }
+  return id;
+}
+
+Status CapabilityBuilder::AddConjunctiveForm(
+    const std::string& name, std::vector<Slot> slots,
+    const std::vector<std::string>& export_attrs) {
+  GC_ASSIGN_OR_RETURN(const AttributeSet exports,
+                      description_.schema().MakeSet(export_attrs));
+  GC_RETURN_IF_ERROR(description_.DeclareConditionNonterminal(name, exports));
+  Grammar& grammar = description_.mutable_grammar();
+  const int form_id = *grammar.FindNonterminal(name);
+
+  std::vector<int> slot_ids;
+  std::vector<size_t> optional_positions;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    GC_ASSIGN_OR_RETURN(const int slot_id, SlotNonterminal(name, i, slots[i]));
+    slot_ids.push_back(slot_id);
+    if (slots[i].optional) optional_positions.push_back(i);
+  }
+  if (optional_positions.size() > 10) {
+    return Status::ResourceExhausted(
+        "conjunctive form '" + name + "' has " +
+        std::to_string(optional_positions.size()) +
+        " optional slots; at most 10 supported");
+  }
+
+  // One rule per subset of optional slots.
+  const size_t subsets = size_t{1} << optional_positions.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<GrammarSymbol> rhs;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].optional) {
+        size_t bit = 0;
+        while (optional_positions[bit] != i) ++bit;
+        if ((mask >> bit & 1) == 0) continue;  // slot left blank
+      }
+      if (!rhs.empty()) {
+        rhs.push_back(GrammarSymbol::Terminal(TerminalPattern::AndSep()));
+      }
+      rhs.push_back(GrammarSymbol::Nonterminal(slot_ids[i]));
+    }
+    if (rhs.empty()) continue;  // all-blank form accepts no condition
+    GC_RETURN_IF_ERROR(grammar.AddRule({form_id, std::move(rhs)}));
+  }
+  return Status::OK();
+}
+
+Status CapabilityBuilder::AddAtomicForms(
+    const std::string& name, std::vector<Slot> slots,
+    const std::vector<std::string>& export_attrs) {
+  GC_ASSIGN_OR_RETURN(const AttributeSet exports,
+                      description_.schema().MakeSet(export_attrs));
+  GC_RETURN_IF_ERROR(description_.DeclareConditionNonterminal(name, exports));
+  Grammar& grammar = description_.mutable_grammar();
+  const int form_id = *grammar.FindNonterminal(name);
+  for (const Slot& slot : slots) {
+    for (CompareOp op : slot.ops) {
+      GC_ASSIGN_OR_RETURN(std::vector<GrammarSymbol> atom,
+                          AtomSymbols(slot, op));
+      GC_RETURN_IF_ERROR(grammar.AddRule({form_id, std::move(atom)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status CapabilityBuilder::AddDownload(
+    const std::string& name, const std::vector<std::string>& export_attrs) {
+  GC_ASSIGN_OR_RETURN(const AttributeSet exports,
+                      description_.schema().MakeSet(export_attrs));
+  GC_RETURN_IF_ERROR(description_.DeclareConditionNonterminal(name, exports));
+  Grammar& grammar = description_.mutable_grammar();
+  const int form_id = *grammar.FindNonterminal(name);
+  return grammar.AddRule(
+      {form_id, {GrammarSymbol::Terminal(TerminalPattern::TrueTok())}});
+}
+
+Status CapabilityBuilder::AddFullBoolean(
+    const std::string& name, std::vector<Slot> slots,
+    const std::vector<std::string>& export_attrs) {
+  GC_ASSIGN_OR_RETURN(const AttributeSet exports,
+                      description_.schema().MakeSet(export_attrs));
+  GC_RETURN_IF_ERROR(description_.DeclareConditionNonterminal(name, exports));
+  Grammar& grammar = description_.mutable_grammar();
+  const int form_id = *grammar.FindNonterminal(name);
+
+  // Grammar mirroring the canonical serialization: the root is an atom, an
+  // and-sequence, or an or-sequence; units are atoms or parenthesized
+  // sequences.
+  const int atom_id = grammar.AddNonterminal(name + "__atom");
+  const int unit_id = grammar.AddNonterminal(name + "__unit");
+  const int andseq_id = grammar.AddNonterminal(name + "__andseq");
+  const int orseq_id = grammar.AddNonterminal(name + "__orseq");
+
+  for (const Slot& slot : slots) {
+    for (CompareOp op : slot.ops) {
+      GC_ASSIGN_OR_RETURN(std::vector<GrammarSymbol> atom,
+                          AtomSymbols(slot, op));
+      GC_RETURN_IF_ERROR(grammar.AddRule({atom_id, std::move(atom)}));
+    }
+  }
+
+  GC_RETURN_IF_ERROR(
+      grammar.AddRule({unit_id, {GrammarSymbol::Nonterminal(atom_id)}}));
+  for (int seq : {andseq_id, orseq_id}) {
+    GC_RETURN_IF_ERROR(grammar.AddRule(
+        {unit_id,
+         {GrammarSymbol::Terminal(TerminalPattern::LParen()),
+          GrammarSymbol::Nonterminal(seq),
+          GrammarSymbol::Terminal(TerminalPattern::RParen())}}));
+  }
+
+  const auto add_seq_rules = [&](int seq_id, TerminalPattern sep) -> Status {
+    GC_RETURN_IF_ERROR(grammar.AddRule(
+        {seq_id,
+         {GrammarSymbol::Nonterminal(unit_id), GrammarSymbol::Terminal(sep),
+          GrammarSymbol::Nonterminal(unit_id)}}));
+    return grammar.AddRule(
+        {seq_id,
+         {GrammarSymbol::Nonterminal(unit_id), GrammarSymbol::Terminal(sep),
+          GrammarSymbol::Nonterminal(seq_id)}});
+  };
+  GC_RETURN_IF_ERROR(add_seq_rules(andseq_id, TerminalPattern::AndSep()));
+  GC_RETURN_IF_ERROR(add_seq_rules(orseq_id, TerminalPattern::OrSep()));
+
+  for (int top : {atom_id, andseq_id, orseq_id}) {
+    GC_RETURN_IF_ERROR(
+        grammar.AddRule({form_id, {GrammarSymbol::Nonterminal(top)}}));
+  }
+  return Status::OK();
+}
+
+}  // namespace gencompact

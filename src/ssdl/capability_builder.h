@@ -1,0 +1,81 @@
+#ifndef GENCOMPACT_SSDL_CAPABILITY_BUILDER_H_
+#define GENCOMPACT_SSDL_CAPABILITY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Programmatic construction of common SSDL capability shapes, so tests,
+/// examples, and workload generators don't have to hand-write grammar text.
+/// Covers the restriction classes of Section 4: condition-attribute
+/// restrictions, condition-expression-size restrictions (via form shapes),
+/// and condition-expression-structure restrictions.
+class CapabilityBuilder {
+ public:
+  CapabilityBuilder(std::string source_name, Schema schema);
+
+  /// One field of a web form: an attribute with the operators the form
+  /// accepts for it.
+  struct Slot {
+    std::string attr;
+    std::vector<CompareOp> ops = {CompareOp::kEq};
+    /// Optional fields may be left blank (the generated grammar accepts
+    /// conjunctions both with and without the slot).
+    bool optional = false;
+    /// The form accepts a list of alternative values for this field
+    /// (matched as `attr = v` or `(attr = v1 or attr = v2 or ...)`), as in
+    /// the paper's car example where `size` takes a list of values.
+    bool value_list = false;
+  };
+
+  /// Adds a conjunctive form named `name`: a query is supported if it is a
+  /// conjunction of the slots, in slot order, with optional slots possibly
+  /// missing (at least one slot must be present). Exports `export_attrs`.
+  /// At most 10 optional slots (subset enumeration guard).
+  Status AddConjunctiveForm(const std::string& name, std::vector<Slot> slots,
+                            const std::vector<std::string>& export_attrs);
+
+  /// Adds a form accepting any single atomic condition `attr op value` for
+  /// the given slots (one rule per slot/op). Exports `export_attrs`.
+  Status AddAtomicForms(const std::string& name, std::vector<Slot> slots,
+                        const std::vector<std::string>& export_attrs);
+
+  /// Allows downloading the source contents: accepts the trivially-true
+  /// condition, exporting `export_attrs`.
+  Status AddDownload(const std::string& name,
+                     const std::vector<std::string>& export_attrs);
+
+  /// Full relational capability over the given slots: any ∧/∨ combination
+  /// (in the canonical serialized form) of atoms over the slots. Exports
+  /// `export_attrs`.
+  Status AddFullBoolean(const std::string& name, std::vector<Slot> slots,
+                        const std::vector<std::string>& export_attrs);
+
+  /// Finalizes and returns the description (builder keeps ownership until
+  /// this call). k1/k2 default as in SourceDescription.
+  SourceDescription Build() { return description_; }
+
+  SourceDescription* mutable_description() { return &description_; }
+
+ private:
+  /// Appends `attr op $placeholder` symbols for a slot atom with `op`.
+  Result<std::vector<GrammarSymbol>> AtomSymbols(const Slot& slot,
+                                                 CompareOp op) const;
+
+  /// Creates (once) and returns a nonterminal matching a slot occurrence:
+  /// a single atom (any of the slot's ops) or, if value_list, also a
+  /// parenthesized equality disjunction.
+  Result<int> SlotNonterminal(const std::string& form_name, size_t slot_index,
+                              const Slot& slot);
+
+  SourceDescription description_;
+  int next_helper_id_ = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_CAPABILITY_BUILDER_H_

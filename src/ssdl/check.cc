@@ -1,0 +1,74 @@
+#include "ssdl/check.h"
+
+namespace gencompact {
+
+namespace {
+
+/// Keeps only the maximal sets under inclusion, deduplicated.
+std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
+  std::vector<AttributeSet> out;
+  for (const AttributeSet& candidate : sets) {
+    bool dominated = false;
+    for (const AttributeSet& other : sets) {
+      if (other != candidate && candidate.IsSubsetOf(other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    bool duplicate = false;
+    for (const AttributeSet& kept : out) {
+      if (kept == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<AttributeSet>& Checker::CheckTokens(
+    const std::string& key, const std::vector<CondToken>& tokens) {
+  ++num_checks_;
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++num_cache_hits_;
+    return it->second;
+  }
+  const std::vector<int> deriving =
+      recognizer_.DerivingNonterminals(description_->start_symbol(), tokens);
+  total_earley_items_ += recognizer_.last_item_count();
+  std::vector<AttributeSet> exports;
+  for (int id : deriving) {
+    for (const auto& [nt, attrs] : description_->condition_nonterminals()) {
+      if (nt == id) {
+        exports.push_back(attrs);
+        break;
+      }
+    }
+  }
+  return cache_.emplace(key, MaximalSets(std::move(exports))).first->second;
+}
+
+const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
+  return CheckTokens(cond.StructuralKey(), TokenizeCondition(cond));
+}
+
+const std::vector<AttributeSet>& Checker::CheckTrue() {
+  // Function-local static reference (never destroyed) per the style guide's
+  // static-storage-duration rules.
+  static const ConditionPtr& kTrue = *new ConditionPtr(ConditionNode::True());
+  return Check(*kTrue);
+}
+
+bool Checker::Supports(const ConditionNode& cond, const AttributeSet& attrs) {
+  for (const AttributeSet& exported : Check(cond)) {
+    if (attrs.IsSubsetOf(exported)) return true;
+  }
+  return false;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,61 @@
+#ifndef GENCOMPACT_SSDL_CHECK_H_
+#define GENCOMPACT_SSDL_CHECK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/condition.h"
+#include "ssdl/description.h"
+#include "ssdl/earley.h"
+
+namespace gencompact {
+
+/// The paper's Check function (Section 4): given a condition expression and
+/// a source, reports the attributes the source exports when evaluating that
+/// expression; the empty result means the condition is not supported.
+///
+/// Faithfulness note (see DESIGN.md): when a condition parses under several
+/// condition nonterminals with different attribute associations, a single
+/// attribute set is ambiguous, so Check returns the *family* of maximal
+/// exported sets. `SP(C, A, R)` is supported iff A ⊆ F for some family
+/// member F. Results are memoized per structural condition key.
+class Checker {
+ public:
+  /// `description` must outlive the Checker.
+  explicit Checker(const SourceDescription* description)
+      : description_(description), recognizer_(&description->grammar()) {}
+
+  /// Family of maximal exported attribute sets for `cond`; empty iff the
+  /// source cannot evaluate `cond`.
+  const std::vector<AttributeSet>& Check(const ConditionNode& cond);
+
+  /// True iff SP(cond, attrs, R) is supported: the source can evaluate
+  /// `cond` and export (a superset of) `attrs`.
+  bool Supports(const ConditionNode& cond, const AttributeSet& attrs);
+
+  /// Exported family for the trivially-true condition (source download).
+  const std::vector<AttributeSet>& CheckTrue();
+
+  const SourceDescription& description() const { return *description_; }
+
+  // Instrumentation (used by benchmarks).
+  size_t num_checks() const { return num_checks_; }
+  size_t num_cache_hits() const { return num_cache_hits_; }
+  size_t total_earley_items() const { return total_earley_items_; }
+
+ private:
+  const std::vector<AttributeSet>& CheckTokens(
+      const std::string& key, const std::vector<CondToken>& tokens);
+
+  const SourceDescription* description_;
+  EarleyRecognizer recognizer_;
+  std::unordered_map<std::string, std::vector<AttributeSet>> cache_;
+  size_t num_checks_ = 0;
+  size_t num_cache_hits_ = 0;
+  size_t total_earley_items_ = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_CHECK_H_

@@ -1,0 +1,88 @@
+#include "ssdl/closure.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gencompact {
+
+namespace {
+
+using Segment = std::vector<GrammarSymbol>;
+
+// Splits `rhs` into segments separated by `sep`-kind terminals occurring at
+// literal-parenthesis depth 0. Returns an empty list if there are fewer than
+// two segments (nothing to permute).
+std::vector<Segment> SplitTopLevel(const std::vector<GrammarSymbol>& rhs,
+                                   TerminalPattern::Kind sep) {
+  std::vector<Segment> segments;
+  Segment current;
+  int depth = 0;
+  for (const GrammarSymbol& sym : rhs) {
+    if (sym.is_terminal) {
+      if (sym.terminal.kind == TerminalPattern::Kind::kLParen) ++depth;
+      if (sym.terminal.kind == TerminalPattern::Kind::kRParen) --depth;
+      if (depth == 0 && sym.terminal.kind == sep) {
+        if (current.empty()) return {};  // malformed; leave rule alone
+        segments.push_back(std::move(current));
+        current.clear();
+        continue;
+      }
+    }
+    current.push_back(sym);
+  }
+  if (current.empty()) return {};
+  segments.push_back(std::move(current));
+  if (segments.size() < 2) return {};
+  return segments;
+}
+
+void AddPermutations(const GrammarRule& rule, TerminalPattern::Kind sep,
+                     size_t max_segments, Grammar* grammar) {
+  const std::vector<Segment> segments = SplitTopLevel(rule.rhs, sep);
+  if (segments.empty() || segments.size() > max_segments) return;
+
+  std::vector<int> order(segments.size());
+  std::iota(order.begin(), order.end(), 0);
+  const TerminalPattern separator = sep == TerminalPattern::Kind::kAnd
+                                        ? TerminalPattern::AndSep()
+                                        : TerminalPattern::OrSep();
+  while (std::next_permutation(order.begin(), order.end())) {
+    GrammarRule permuted;
+    permuted.lhs = rule.lhs;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i > 0) {
+        permuted.rhs.push_back(GrammarSymbol::Terminal(separator));
+      }
+      const Segment& seg = segments[static_cast<size_t>(order[i])];
+      permuted.rhs.insert(permuted.rhs.end(), seg.begin(), seg.end());
+    }
+    if (!grammar->HasRule(permuted)) {
+      // AddRule cannot fail here: lhs/nonterminal ids come from the same
+      // grammar and the RHS is non-empty.
+      const Status status = grammar->AddRule(std::move(permuted));
+      (void)status;
+    }
+  }
+}
+
+}  // namespace
+
+SourceDescription CommutativityClosure(const SourceDescription& description,
+                                       const ClosureOptions& options) {
+  SourceDescription closed = description;  // value copy; grammar is POD-ish
+  Grammar& grammar = closed.mutable_grammar();
+  // Snapshot: permutations of permutations are redundant (the permutation
+  // group is closed), so only original rules need processing.
+  const std::vector<GrammarRule> original_rules = grammar.rules();
+  for (const GrammarRule& rule : original_rules) {
+    AddPermutations(rule, TerminalPattern::Kind::kAnd, options.max_segments,
+                    &grammar);
+    if (options.permute_or) {
+      AddPermutations(rule, TerminalPattern::Kind::kOr, options.max_segments,
+                      &grammar);
+    }
+  }
+  return closed;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,35 @@
+#ifndef GENCOMPACT_SSDL_CLOSURE_H_
+#define GENCOMPACT_SSDL_CLOSURE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Options for the description rewriting of Section 6.1.
+struct ClosureOptions {
+  /// Rules whose RHS splits into more than this many top-level
+  /// connector-separated segments are left unpermuted (factorial growth
+  /// guard); such rules are rare in practice and can be pre-split by the
+  /// description author.
+  size_t max_segments = 6;
+
+  /// Also permute top-level ∨-separated segments (disjunction is
+  /// commutative too; the paper's example only shows ∧).
+  bool permute_or = true;
+};
+
+/// Returns a copy of `description` closed under commutativity: for every
+/// rule whose RHS is a sequence of top-level `and`-separated (and optionally
+/// `or`-separated) segments, all segment permutations are added as extra
+/// rules. This is GenCompact's replacement for the commutativity rewrite
+/// rule — it runs once when the source joins the system, so the planner
+/// never has to permute condition trees at query time.
+SourceDescription CommutativityClosure(const SourceDescription& description,
+                                       const ClosureOptions& options = {});
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_CLOSURE_H_

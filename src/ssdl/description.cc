@@ -1,0 +1,43 @@
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+SourceDescription::SourceDescription(std::string source_name, Schema schema)
+    : source_name_(std::move(source_name)), schema_(std::move(schema)) {
+  start_symbol_ = grammar_.AddNonterminal("__start__");
+}
+
+Status SourceDescription::DeclareConditionNonterminal(const std::string& name,
+                                                      AttributeSet exports) {
+  const int id = grammar_.AddNonterminal(name);
+  for (const auto& [existing, unused] : condition_nonterminals_) {
+    if (existing == id) {
+      return Status::InvalidArgument("condition nonterminal '" + name +
+                                     "' declared twice");
+    }
+  }
+  condition_nonterminals_.emplace_back(id, exports);
+  GrammarRule start_rule;
+  start_rule.lhs = start_symbol_;
+  start_rule.rhs = {GrammarSymbol::Nonterminal(id)};
+  return grammar_.AddRule(std::move(start_rule));
+}
+
+AttributeSet SourceDescription::ExportsOf(int id) const {
+  for (const auto& [nt, exports] : condition_nonterminals_) {
+    if (nt == id) return exports;
+  }
+  return AttributeSet();
+}
+
+std::string SourceDescription::ToString() const {
+  std::string out = "source " + source_name_ + " " + schema_.ToString() + "\n";
+  out += grammar_.ToString();
+  for (const auto& [nt, exports] : condition_nonterminals_) {
+    out += "export " + grammar_.NonterminalName(nt) + " : " +
+           exports.ToString(schema_) + "\n";
+  }
+  return out;
+}
+
+}  // namespace gencompact

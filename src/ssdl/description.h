@@ -1,0 +1,70 @@
+#ifndef GENCOMPACT_SSDL_DESCRIPTION_H_
+#define GENCOMPACT_SSDL_DESCRIPTION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/schema.h"
+#include "ssdl/grammar.h"
+
+namespace gencompact {
+
+/// An SSDL source description: the triplet <S, G, A> of Section 4 — a set of
+/// condition nonterminals S, CFG rules G over the condition-token alphabet,
+/// and attribute-set associations A. Also carries the source's schema and
+/// the cost-model constants k1/k2 (Section 6.2), which are per-source.
+class SourceDescription {
+ public:
+  SourceDescription(std::string source_name, Schema schema);
+
+  const std::string& source_name() const { return source_name_; }
+  const Schema& schema() const { return schema_; }
+
+  Grammar& mutable_grammar() { return grammar_; }
+  const Grammar& grammar() const { return grammar_; }
+
+  /// Id of the SSDL start symbol `s`.
+  int start_symbol() const { return start_symbol_; }
+
+  /// Declares `name` as a condition nonterminal exporting `exports`:
+  /// records the association and adds the start rule `s -> name`.
+  /// InvalidArgument if already declared.
+  Status DeclareConditionNonterminal(const std::string& name,
+                                     AttributeSet exports);
+
+  /// Condition nonterminals with their exported attribute sets.
+  const std::vector<std::pair<int, AttributeSet>>& condition_nonterminals()
+      const {
+    return condition_nonterminals_;
+  }
+
+  /// Exported attribute set of condition nonterminal `id`, empty set if `id`
+  /// is not a condition nonterminal.
+  AttributeSet ExportsOf(int id) const;
+
+  /// Cost-model constants (Equation 1): per-source-query fixed cost and
+  /// per-result-row cost.
+  double k1() const { return k1_; }
+  double k2() const { return k2_; }
+  void set_cost_constants(double k1, double k2) {
+    k1_ = k1;
+    k2_ = k2;
+  }
+
+  /// Multi-line dump (grammar + exports) for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string source_name_;
+  Schema schema_;
+  Grammar grammar_;
+  int start_symbol_;
+  std::vector<std::pair<int, AttributeSet>> condition_nonterminals_;
+  double k1_ = 1.0;
+  double k2_ = 0.01;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_DESCRIPTION_H_

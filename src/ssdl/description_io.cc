@@ -1,0 +1,120 @@
+#include "ssdl/description_io.h"
+
+#include <sstream>
+
+namespace gencompact {
+
+namespace {
+
+Result<std::string> SymbolText(const GrammarSymbol& symbol,
+                               const Grammar& grammar, const Schema& schema) {
+  if (!symbol.is_terminal) {
+    return grammar.NonterminalName(symbol.nonterminal);
+  }
+  const TerminalPattern& t = symbol.terminal;
+  switch (t.kind) {
+    case TerminalPattern::Kind::kAttr:
+      return t.attr;
+    case TerminalPattern::Kind::kOp:
+      return std::string(CompareOpSymbol(t.op));
+    case TerminalPattern::Kind::kConstPlaceholder:
+      switch (t.placeholder) {
+        case TerminalPattern::PlaceholderType::kAny:
+          return std::string("$any");
+        case TerminalPattern::PlaceholderType::kInt:
+          return std::string("$int");
+        case TerminalPattern::PlaceholderType::kFloat:
+          return std::string("$float");
+        case TerminalPattern::PlaceholderType::kString:
+          return std::string("$string");
+        case TerminalPattern::PlaceholderType::kBool:
+          return std::string("$bool");
+      }
+      return Status::Internal("unknown placeholder type");
+    case TerminalPattern::Kind::kConstLiteral:
+      return t.literal.ToString();  // quoted/escaped for strings
+    case TerminalPattern::Kind::kAnd:
+      return std::string("and");
+    case TerminalPattern::Kind::kOr:
+      return std::string("or");
+    case TerminalPattern::Kind::kLParen:
+      return std::string("(");
+    case TerminalPattern::Kind::kRParen:
+      return std::string(")");
+    case TerminalPattern::Kind::kTrue:
+      return std::string("true");
+  }
+  (void)schema;
+  return Status::Internal("unknown terminal kind");
+}
+
+const char* TypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kNull:
+      return "string";  // no null-typed attributes in practice
+  }
+  return "string";
+}
+
+}  // namespace
+
+Result<std::string> WriteSsdl(const SourceDescription& description) {
+  const Schema& schema = description.schema();
+  const Grammar& grammar = description.grammar();
+
+  // Validate nonterminal names: must not clash with attribute names (the
+  // parser would resolve them as attributes on reload).
+  for (size_t id = 0; id < grammar.num_nonterminals(); ++id) {
+    const std::string& name = grammar.NonterminalName(static_cast<int>(id));
+    if (static_cast<int>(id) != description.start_symbol() &&
+        schema.IndexOf(name).has_value()) {
+      return Status::InvalidArgument(
+          "nonterminal '" + name +
+          "' clashes with an attribute name; not round-trippable");
+    }
+  }
+
+  std::ostringstream out;
+  out << "source " << description.source_name() << "(";
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a > 0) out << ", ";
+    out << schema.attribute(static_cast<int>(a)).name << ": "
+        << TypeName(schema.attribute(static_cast<int>(a)).type);
+  }
+  out << ") {\n";
+  out << "  cost " << description.k1() << " " << description.k2() << ";\n";
+
+  for (const GrammarRule& rule : grammar.rules()) {
+    if (rule.lhs == description.start_symbol()) continue;  // implicit
+    out << "  rule " << grammar.NonterminalName(rule.lhs) << " ->";
+    for (const GrammarSymbol& symbol : rule.rhs) {
+      GC_ASSIGN_OR_RETURN(const std::string text,
+                          SymbolText(symbol, grammar, schema));
+      out << " " << text;
+    }
+    out << ";\n";
+  }
+
+  for (const auto& [nonterminal, exports] : description.condition_nonterminals()) {
+    out << "  export " << grammar.NonterminalName(nonterminal) << " : {";
+    bool first = true;
+    for (int index : exports.Indices()) {
+      if (!first) out << ", ";
+      first = false;
+      out << schema.attribute(index).name;
+    }
+    out << "};\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace gencompact

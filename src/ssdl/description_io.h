@@ -1,0 +1,23 @@
+#ifndef GENCOMPACT_SSDL_DESCRIPTION_IO_H_
+#define GENCOMPACT_SSDL_DESCRIPTION_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Serializes a SourceDescription back to the textual SSDL syntax accepted
+/// by ParseSsdl, so programmatically built (or closure-expanded)
+/// descriptions can be saved, diffed, and reloaded. Round-trip property:
+/// ParseSsdl(WriteSsdl(d)) accepts exactly the same queries as `d`.
+///
+/// Start rules (`__start__ -> N`) are implicit in the export clauses and
+/// are not written. InvalidArgument if a nonterminal name would not survive
+/// the round trip (e.g. clashes with an attribute name).
+Result<std::string> WriteSsdl(const SourceDescription& description);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_DESCRIPTION_IO_H_

@@ -1,0 +1,132 @@
+#include "ssdl/earley.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+namespace gencompact {
+
+namespace {
+
+// One Earley item: rule `rule` with the dot before rhs[dot], started at
+// input position `origin`.
+struct Item {
+  int rule;
+  int dot;
+  int origin;
+
+  bool operator==(const Item& other) const {
+    return rule == other.rule && dot == other.dot && origin == other.origin;
+  }
+};
+
+struct ItemHash {
+  size_t operator()(const Item& item) const {
+    uint64_t h = static_cast<uint64_t>(item.rule);
+    h = h * 0x100000001b3ull ^ static_cast<uint64_t>(item.dot);
+    h = h * 0x100000001b3ull ^ static_cast<uint64_t>(item.origin);
+    return static_cast<size_t>(h);
+  }
+};
+
+// One chart column: the item list doubles as the worklist (items are only
+// appended), with a hash set for O(1) dedup.
+struct Column {
+  std::vector<Item> items;
+  std::unordered_set<Item, ItemHash> seen;
+
+  bool Add(const Item& item) {
+    if (!seen.insert(item).second) return false;
+    items.push_back(item);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<int> EarleyRecognizer::DerivingNonterminals(
+    int start, const std::vector<CondToken>& tokens) const {
+  const std::vector<GrammarRule>& rules = grammar_->rules();
+  const size_t n = tokens.size();
+  std::vector<Column> chart(n + 1);
+  size_t items_created = 0;
+
+  // Track which nonterminals have been predicted in each column so each
+  // (column, nonterminal) pair is expanded once.
+  std::vector<std::vector<bool>> predicted(
+      n + 1, std::vector<bool>(grammar_->num_nonterminals(), false));
+
+  auto predict = [&](int column, int nonterminal) {
+    if (predicted[column][nonterminal]) return;
+    predicted[column][nonterminal] = true;
+    for (int rule_index : grammar_->RulesFor(nonterminal)) {
+      if (chart[column].Add(Item{rule_index, 0, column})) ++items_created;
+    }
+  };
+
+  predict(0, start);
+
+  for (size_t pos = 0; pos <= n; ++pos) {
+    Column& column = chart[pos];
+    for (size_t i = 0; i < column.items.size(); ++i) {
+      const Item item = column.items[i];  // copy: vector may reallocate
+      const GrammarRule& rule = rules[item.rule];
+      if (item.dot < static_cast<int>(rule.rhs.size())) {
+        const GrammarSymbol& sym = rule.rhs[item.dot];
+        if (sym.is_terminal) {
+          // Scan.
+          if (pos < n && sym.terminal.Matches(tokens[pos])) {
+            if (chart[pos + 1].Add(Item{item.rule, item.dot + 1, item.origin})) {
+              ++items_created;
+            }
+          }
+        } else {
+          // Predict.
+          predict(static_cast<int>(pos), sym.nonterminal);
+        }
+      } else {
+        // Complete: advance items in chart[origin] waiting on this LHS.
+        const int completed = rule.lhs;
+        const Column& origin_column = chart[item.origin];
+        // The origin column can gain items only when origin == pos, in which
+        // case the outer loop will revisit them; a snapshot of the current
+        // size is safe because completion of a zero-length span re-runs when
+        // such items appear (they are processed later in this same column).
+        const size_t origin_size = origin_column.items.size();
+        for (size_t j = 0; j < origin_size; ++j) {
+          const Item waiting = origin_column.items[j];
+          const GrammarRule& waiting_rule = rules[waiting.rule];
+          if (waiting.dot < static_cast<int>(waiting_rule.rhs.size()) &&
+              !waiting_rule.rhs[waiting.dot].is_terminal &&
+              waiting_rule.rhs[waiting.dot].nonterminal == completed) {
+            if (column.Add(Item{waiting.rule, waiting.dot + 1, waiting.origin})) {
+              ++items_created;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  last_item_count_ = items_created;
+
+  std::vector<int> deriving;
+  for (const Item& item : chart[n].items) {
+    const GrammarRule& rule = rules[item.rule];
+    if (item.origin == 0 && item.dot == static_cast<int>(rule.rhs.size())) {
+      if (std::find(deriving.begin(), deriving.end(), rule.lhs) ==
+          deriving.end()) {
+        deriving.push_back(rule.lhs);
+      }
+    }
+  }
+  return deriving;
+}
+
+bool EarleyRecognizer::Derives(int start,
+                               const std::vector<CondToken>& tokens) const {
+  const std::vector<int> deriving = DerivingNonterminals(start, tokens);
+  return std::find(deriving.begin(), deriving.end(), start) != deriving.end();
+}
+
+}  // namespace gencompact

@@ -1,0 +1,44 @@
+#ifndef GENCOMPACT_SSDL_EARLEY_H_
+#define GENCOMPACT_SSDL_EARLEY_H_
+
+#include <vector>
+
+#include "ssdl/grammar.h"
+
+namespace gencompact {
+
+/// An Earley recognizer over CondToken sequences.
+///
+/// The paper builds LALR parsers with YACC; we use Earley because it accepts
+/// every CFG — including the ambiguous grammars produced by the
+/// commutativity closure (Section 6.1) — while remaining effectively linear
+/// on the small, nearly-deterministic grammars real sources need
+/// (benchmarked in bench_check).
+class EarleyRecognizer {
+ public:
+  /// `grammar` must outlive the recognizer.
+  explicit EarleyRecognizer(const Grammar* grammar) : grammar_(grammar) {}
+
+  /// Runs recognition seeded by predicting `start` at position 0 and returns
+  /// the ids of all nonterminals (reachable from `start`) that derive the
+  /// entire token sequence. In particular, if `start` is SSDL's `s` whose
+  /// only rules are `s -> s1 | ... | sm`, the result reports exactly which
+  /// condition nonterminals accept the query (plus possibly `s` itself).
+  std::vector<int> DerivingNonterminals(int start,
+                                        const std::vector<CondToken>& tokens) const;
+
+  /// True iff `start` derives the entire token sequence.
+  bool Derives(int start, const std::vector<CondToken>& tokens) const;
+
+  /// Total Earley items created by the last recognition run (work measure,
+  /// used by bench_check to verify near-linear behaviour).
+  size_t last_item_count() const { return last_item_count_; }
+
+ private:
+  const Grammar* grammar_;
+  mutable size_t last_item_count_ = 0;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_EARLEY_H_

@@ -1,0 +1,244 @@
+#include "ssdl/grammar.h"
+
+namespace gencompact {
+
+TerminalPattern TerminalPattern::Attr(std::string name) {
+  TerminalPattern t;
+  t.kind = Kind::kAttr;
+  t.attr = std::move(name);
+  return t;
+}
+
+TerminalPattern TerminalPattern::Op(CompareOp op) {
+  TerminalPattern t;
+  t.kind = Kind::kOp;
+  t.op = op;
+  return t;
+}
+
+TerminalPattern TerminalPattern::Placeholder(PlaceholderType type) {
+  TerminalPattern t;
+  t.kind = Kind::kConstPlaceholder;
+  t.placeholder = type;
+  return t;
+}
+
+TerminalPattern TerminalPattern::Literal(Value value) {
+  TerminalPattern t;
+  t.kind = Kind::kConstLiteral;
+  t.literal = std::move(value);
+  return t;
+}
+
+TerminalPattern TerminalPattern::AndSep() {
+  TerminalPattern t;
+  t.kind = Kind::kAnd;
+  return t;
+}
+
+TerminalPattern TerminalPattern::OrSep() {
+  TerminalPattern t;
+  t.kind = Kind::kOr;
+  return t;
+}
+
+TerminalPattern TerminalPattern::LParen() {
+  TerminalPattern t;
+  t.kind = Kind::kLParen;
+  return t;
+}
+
+TerminalPattern TerminalPattern::RParen() {
+  TerminalPattern t;
+  t.kind = Kind::kRParen;
+  return t;
+}
+
+TerminalPattern TerminalPattern::TrueTok() {
+  TerminalPattern t;
+  t.kind = Kind::kTrue;
+  return t;
+}
+
+namespace {
+
+bool PlaceholderMatches(TerminalPattern::PlaceholderType type, const Value& v) {
+  switch (type) {
+    case TerminalPattern::PlaceholderType::kAny:
+      return true;
+    case TerminalPattern::PlaceholderType::kInt:
+      return v.type() == ValueType::kInt;
+    case TerminalPattern::PlaceholderType::kFloat:
+      return v.is_numeric();
+    case TerminalPattern::PlaceholderType::kString:
+      return v.type() == ValueType::kString;
+    case TerminalPattern::PlaceholderType::kBool:
+      return v.type() == ValueType::kBool;
+  }
+  return false;
+}
+
+const char* PlaceholderName(TerminalPattern::PlaceholderType type) {
+  switch (type) {
+    case TerminalPattern::PlaceholderType::kAny:
+      return "$any";
+    case TerminalPattern::PlaceholderType::kInt:
+      return "$int";
+    case TerminalPattern::PlaceholderType::kFloat:
+      return "$float";
+    case TerminalPattern::PlaceholderType::kString:
+      return "$string";
+    case TerminalPattern::PlaceholderType::kBool:
+      return "$bool";
+  }
+  return "$?";
+}
+
+}  // namespace
+
+bool TerminalPattern::Matches(const CondToken& token) const {
+  switch (kind) {
+    case Kind::kAttr:
+      return token.type == CondToken::Type::kAttr && token.attr == attr;
+    case Kind::kOp:
+      return token.type == CondToken::Type::kOp && token.op == op;
+    case Kind::kConstPlaceholder:
+      return token.type == CondToken::Type::kConst &&
+             PlaceholderMatches(placeholder, token.value);
+    case Kind::kConstLiteral:
+      return token.type == CondToken::Type::kConst && token.value == literal;
+    case Kind::kAnd:
+      return token.type == CondToken::Type::kAnd;
+    case Kind::kOr:
+      return token.type == CondToken::Type::kOr;
+    case Kind::kLParen:
+      return token.type == CondToken::Type::kLParen;
+    case Kind::kRParen:
+      return token.type == CondToken::Type::kRParen;
+    case Kind::kTrue:
+      return token.type == CondToken::Type::kTrue;
+  }
+  return false;
+}
+
+std::string TerminalPattern::ToString() const {
+  switch (kind) {
+    case Kind::kAttr:
+      return attr;
+    case Kind::kOp:
+      return CompareOpSymbol(op);
+    case Kind::kConstPlaceholder:
+      return PlaceholderName(placeholder);
+    case Kind::kConstLiteral:
+      return literal.ToString();
+    case Kind::kAnd:
+      return "and";
+    case Kind::kOr:
+      return "or";
+    case Kind::kLParen:
+      return "(";
+    case Kind::kRParen:
+      return ")";
+    case Kind::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+bool TerminalPattern::operator==(const TerminalPattern& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kAttr:
+      return attr == other.attr;
+    case Kind::kOp:
+      return op == other.op;
+    case Kind::kConstPlaceholder:
+      return placeholder == other.placeholder;
+    case Kind::kConstLiteral:
+      return literal == other.literal;
+    default:
+      return true;
+  }
+}
+
+GrammarSymbol GrammarSymbol::Terminal(TerminalPattern t) {
+  GrammarSymbol s;
+  s.is_terminal = true;
+  s.terminal = std::move(t);
+  return s;
+}
+
+GrammarSymbol GrammarSymbol::Nonterminal(int id) {
+  GrammarSymbol s;
+  s.is_terminal = false;
+  s.nonterminal = id;
+  return s;
+}
+
+std::string GrammarSymbol::ToString(const Grammar& grammar) const {
+  if (is_terminal) return terminal.ToString();
+  return "<" + grammar.NonterminalName(nonterminal) + ">";
+}
+
+bool GrammarSymbol::operator==(const GrammarSymbol& other) const {
+  if (is_terminal != other.is_terminal) return false;
+  return is_terminal ? terminal == other.terminal
+                     : nonterminal == other.nonterminal;
+}
+
+int Grammar::AddNonterminal(const std::string& name) {
+  const std::optional<int> existing = FindNonterminal(name);
+  if (existing.has_value()) return *existing;
+  names_.push_back(name);
+  rules_by_lhs_.emplace_back();
+  return static_cast<int>(names_.size()) - 1;
+}
+
+std::optional<int> Grammar::FindNonterminal(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+Status Grammar::AddRule(GrammarRule rule) {
+  if (rule.rhs.empty()) {
+    return Status::InvalidArgument("SSDL rules must have a non-empty RHS (" +
+                                   NonterminalName(rule.lhs) + ")");
+  }
+  if (rule.lhs < 0 || static_cast<size_t>(rule.lhs) >= names_.size()) {
+    return Status::InvalidArgument("rule LHS nonterminal id out of range");
+  }
+  for (const GrammarSymbol& sym : rule.rhs) {
+    if (!sym.is_terminal && (sym.nonterminal < 0 ||
+                             static_cast<size_t>(sym.nonterminal) >= names_.size())) {
+      return Status::InvalidArgument("rule RHS nonterminal id out of range");
+    }
+  }
+  rules_by_lhs_[rule.lhs].push_back(static_cast<int>(rules_.size()));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+bool Grammar::HasRule(const GrammarRule& rule) const {
+  for (int index : rules_by_lhs_[rule.lhs]) {
+    if (rules_[index].rhs == rule.rhs) return true;
+  }
+  return false;
+}
+
+std::string Grammar::ToString() const {
+  std::string out;
+  for (const GrammarRule& rule : rules_) {
+    out += NonterminalName(rule.lhs);
+    out += " ->";
+    for (const GrammarSymbol& sym : rule.rhs) {
+      out += ' ';
+      out += sym.ToString(*this);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,109 @@
+#ifndef GENCOMPACT_SSDL_GRAMMAR_H_
+#define GENCOMPACT_SSDL_GRAMMAR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/condition_tokens.h"
+
+namespace gencompact {
+
+/// A terminal of an SSDL grammar: a pattern that matches one CondToken.
+/// Constants can be matched by a typed placeholder ($int, $string, ...) or
+/// pinned to a literal value (a source whose form hard-codes a value).
+struct TerminalPattern {
+  enum class Kind {
+    kAttr,              ///< a specific attribute name
+    kOp,                ///< a specific comparison operator
+    kConstPlaceholder,  ///< any constant of a given type
+    kConstLiteral,      ///< one specific constant
+    kAnd,
+    kOr,
+    kLParen,
+    kRParen,
+    kTrue,
+  };
+
+  /// Type restriction for kConstPlaceholder.
+  enum class PlaceholderType { kAny, kInt, kFloat, kString, kBool };
+
+  Kind kind = Kind::kTrue;
+  std::string attr;                                    ///< kAttr
+  CompareOp op = CompareOp::kEq;                       ///< kOp
+  PlaceholderType placeholder = PlaceholderType::kAny; ///< kConstPlaceholder
+  Value literal;                                       ///< kConstLiteral
+
+  static TerminalPattern Attr(std::string name);
+  static TerminalPattern Op(CompareOp op);
+  static TerminalPattern Placeholder(PlaceholderType type);
+  static TerminalPattern Literal(Value value);
+  static TerminalPattern AndSep();
+  static TerminalPattern OrSep();
+  static TerminalPattern LParen();
+  static TerminalPattern RParen();
+  static TerminalPattern TrueTok();
+
+  bool Matches(const CondToken& token) const;
+
+  std::string ToString() const;
+  bool operator==(const TerminalPattern& other) const;
+};
+
+/// A grammar symbol: a terminal pattern or a nonterminal id.
+struct GrammarSymbol {
+  bool is_terminal = true;
+  TerminalPattern terminal;  ///< valid when is_terminal
+  int nonterminal = -1;      ///< valid when !is_terminal
+
+  static GrammarSymbol Terminal(TerminalPattern t);
+  static GrammarSymbol Nonterminal(int id);
+
+  std::string ToString(const class Grammar& grammar) const;
+  bool operator==(const GrammarSymbol& other) const;
+};
+
+/// One production `lhs -> rhs`. RHS must be non-empty (SSDL needs no
+/// epsilon productions; this keeps the Earley engine simple).
+struct GrammarRule {
+  int lhs = -1;
+  std::vector<GrammarSymbol> rhs;
+};
+
+/// A context-free grammar over the condition-token alphabet. Nonterminals
+/// are interned by name; rules are stored flat and indexed by LHS.
+class Grammar {
+ public:
+  Grammar() = default;
+
+  /// Interns `name`, returning its id (existing id if already present).
+  int AddNonterminal(const std::string& name);
+
+  std::optional<int> FindNonterminal(const std::string& name) const;
+  const std::string& NonterminalName(int id) const { return names_[id]; }
+  size_t num_nonterminals() const { return names_.size(); }
+
+  /// Adds a rule; InvalidArgument for empty RHS or out-of-range ids.
+  Status AddRule(GrammarRule rule);
+
+  const std::vector<GrammarRule>& rules() const { return rules_; }
+  const std::vector<int>& RulesFor(int nonterminal) const {
+    return rules_by_lhs_[nonterminal];
+  }
+
+  /// True if an identical rule (same LHS and RHS) already exists.
+  bool HasRule(const GrammarRule& rule) const;
+
+  /// Multi-line listing of the rules, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<GrammarRule> rules_;
+  std::vector<std::vector<int>> rules_by_lhs_;  // nonterminal -> rule indices
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_GRAMMAR_H_

@@ -1,0 +1,454 @@
+#include "ssdl/ssdl_parser.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace gencompact {
+
+namespace {
+
+struct Tok {
+  enum class Type { kIdent, kPlaceholder, kSymbol, kInt, kFloat, kString, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t line = 1;
+};
+
+class SsdlLexer {
+ public:
+  explicit SsdlLexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Tok>> Run() {
+    std::vector<Tok> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      GC_ASSIGN_OR_RETURN(Tok tok, Next());
+      out.push_back(std::move(tok));
+    }
+    Tok end;
+    end.line = line_;
+    out.push_back(std::move(end));
+    return out;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Tok> Next() {
+    const char c = text_[pos_];
+    Tok tok;
+    tok.line = line_;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.type = Tok::Type::kIdent;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (c == '$') {
+      const size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      tok.type = Tok::Type::kPlaceholder;
+      tok.text = std::string(text_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      const size_t start = pos_;
+      if (text_[pos_] == '-') ++pos_;
+      bool is_float = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              (text_[pos_] == '.' && !is_float))) {
+        if (text_[pos_] == '.') is_float = true;
+        ++pos_;
+      }
+      const std::string digits(text_.substr(start, pos_ - start));
+      if (is_float) {
+        tok.type = Tok::Type::kFloat;
+        tok.float_value = std::stod(digits);
+      } else {
+        tok.type = Tok::Type::kInt;
+        tok.int_value = std::stoll(digits);
+      }
+      tok.text = digits;
+      return tok;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        value += text_[pos_];
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("SSDL: unterminated string on line " +
+                                       std::to_string(line_));
+      }
+      ++pos_;
+      tok.type = Tok::Type::kString;
+      tok.text = std::move(value);
+      return tok;
+    }
+    static constexpr std::string_view kSymbols[] = {
+        "->", "<=", ">=", "!=", "<>", "==", "{", "}", "(", ")", ":",
+        ";",  ",",  "|",  "=",  "<",  ">"};
+    for (std::string_view sym : kSymbols) {
+      if (text_.substr(pos_, sym.size()) == sym) {
+        tok.type = Tok::Type::kSymbol;
+        tok.text = std::string(sym);
+        pos_ += sym.size();
+        return tok;
+      }
+    }
+    return Status::InvalidArgument("SSDL: unexpected character '" +
+                                   std::string(1, c) + "' on line " +
+                                   std::to_string(line_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+struct RawRule {
+  std::string lhs;
+  std::vector<Tok> rhs;  // one alternative, already split on '|'
+  size_t line = 1;
+};
+
+struct RawExport {
+  std::string name;
+  std::vector<std::string> attrs;
+  size_t line = 1;
+};
+
+class SsdlParser {
+ public:
+  explicit SsdlParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<SourceDescription> Parse() {
+    GC_RETURN_IF_ERROR(ParseHeader());
+    GC_RETURN_IF_ERROR(ParseBody());
+    return BuildDescription();
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Expect(Tok::Type type, std::string_view text) {
+    if (Peek().type != type || (!text.empty() && Peek().text != text)) {
+      return Status::InvalidArgument(
+          "SSDL: expected '" + std::string(text) + "' on line " +
+          std::to_string(Peek().line) + ", got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != Tok::Type::kIdent) {
+      return Status::InvalidArgument("SSDL: expected identifier on line " +
+                                     std::to_string(Peek().line));
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Status ParseHeader() {
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kIdent, "source"));
+    GC_ASSIGN_OR_RETURN(source_name_, ExpectIdent());
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, "("));
+    std::vector<AttributeDef> attrs;
+    while (true) {
+      GC_ASSIGN_OR_RETURN(const std::string attr_name, ExpectIdent());
+      GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ":"));
+      GC_ASSIGN_OR_RETURN(const std::string type_name, ExpectIdent());
+      ValueType type;
+      if (type_name == "string") {
+        type = ValueType::kString;
+      } else if (type_name == "int") {
+        type = ValueType::kInt;
+      } else if (type_name == "double" || type_name == "float") {
+        type = ValueType::kDouble;
+      } else if (type_name == "bool") {
+        type = ValueType::kBool;
+      } else {
+        return Status::InvalidArgument("SSDL: unknown attribute type '" +
+                                       type_name + "'");
+      }
+      attrs.push_back({attr_name, type});
+      if (Peek().type == Tok::Type::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ")"));
+    schema_ = Schema(std::move(attrs));
+    return Status::OK();
+  }
+
+  Status ParseBody() {
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, "{"));
+    while (!(Peek().type == Tok::Type::kSymbol && Peek().text == "}")) {
+      if (Peek().type == Tok::Type::kEnd) {
+        return Status::InvalidArgument("SSDL: unexpected end of input");
+      }
+      GC_ASSIGN_OR_RETURN(const std::string keyword, ExpectIdent());
+      if (keyword == "rule") {
+        GC_RETURN_IF_ERROR(ParseRule());
+      } else if (keyword == "export") {
+        GC_RETURN_IF_ERROR(ParseExport());
+      } else if (keyword == "cost") {
+        GC_RETURN_IF_ERROR(ParseCost());
+      } else {
+        return Status::InvalidArgument("SSDL: unknown declaration '" + keyword +
+                                       "' on line " + std::to_string(Peek().line));
+      }
+    }
+    Advance();  // '}'
+    return Status::OK();
+  }
+
+  Status ParseRule() {
+    GC_ASSIGN_OR_RETURN(const std::string lhs, ExpectIdent());
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, "->"));
+    RawRule raw;
+    raw.lhs = lhs;
+    raw.line = Peek().line;
+    lhs_names_.insert(lhs);
+    while (true) {
+      const Tok& tok = Peek();
+      if (tok.type == Tok::Type::kEnd) {
+        return Status::InvalidArgument("SSDL: rule not terminated by ';'");
+      }
+      if (tok.type == Tok::Type::kSymbol && tok.text == ";") {
+        Advance();
+        break;
+      }
+      if (tok.type == Tok::Type::kSymbol && tok.text == "|") {
+        Advance();
+        if (raw.rhs.empty()) {
+          return Status::InvalidArgument("SSDL: empty rule alternative");
+        }
+        raw_rules_.push_back(raw);
+        raw.rhs.clear();
+        continue;
+      }
+      raw.rhs.push_back(tok);
+      Advance();
+    }
+    if (raw.rhs.empty()) {
+      return Status::InvalidArgument("SSDL: empty rule RHS for '" + lhs + "'");
+    }
+    raw_rules_.push_back(std::move(raw));
+    return Status::OK();
+  }
+
+  Status ParseExport() {
+    RawExport raw;
+    raw.line = Peek().line;
+    GC_ASSIGN_OR_RETURN(raw.name, ExpectIdent());
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ":"));
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, "{"));
+    while (true) {
+      GC_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      raw.attrs.push_back(std::move(attr));
+      if (Peek().type == Tok::Type::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, "}"));
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ";"));
+    raw_exports_.push_back(std::move(raw));
+    return Status::OK();
+  }
+
+  Status ParseCost() {
+    const auto number = [this]() -> Result<double> {
+      if (Peek().type == Tok::Type::kInt) {
+        const double v = static_cast<double>(Peek().int_value);
+        Advance();
+        return v;
+      }
+      if (Peek().type == Tok::Type::kFloat) {
+        const double v = Peek().float_value;
+        Advance();
+        return v;
+      }
+      return Status::InvalidArgument("SSDL: expected number in cost clause");
+    };
+    GC_ASSIGN_OR_RETURN(k1_, number());
+    GC_ASSIGN_OR_RETURN(k2_, number());
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ";"));
+    return Status::OK();
+  }
+
+  Result<GrammarSymbol> ResolveSymbol(const Tok& tok, Grammar* grammar) {
+    switch (tok.type) {
+      case Tok::Type::kIdent: {
+        const std::string& word = tok.text;
+        if (word == "and") return GrammarSymbol::Terminal(TerminalPattern::AndSep());
+        if (word == "or") return GrammarSymbol::Terminal(TerminalPattern::OrSep());
+        if (word == "true") {
+          return GrammarSymbol::Terminal(TerminalPattern::TrueTok());
+        }
+        if (word == "contains") {
+          return GrammarSymbol::Terminal(TerminalPattern::Op(CompareOp::kContains));
+        }
+        if (word == "startswith") {
+          return GrammarSymbol::Terminal(
+              TerminalPattern::Op(CompareOp::kStartsWith));
+        }
+        if (schema_.IndexOf(word).has_value()) {
+          if (lhs_names_.count(word) > 0) {
+            return Status::InvalidArgument(
+                "SSDL: name '" + word +
+                "' is both an attribute and a rule; rename the rule");
+          }
+          return GrammarSymbol::Terminal(TerminalPattern::Attr(word));
+        }
+        if (lhs_names_.count(word) > 0) {
+          return GrammarSymbol::Nonterminal(grammar->AddNonterminal(word));
+        }
+        return Status::NotFound("SSDL: '" + word +
+                                "' is neither an attribute nor a rule (line " +
+                                std::to_string(tok.line) + ")");
+      }
+      case Tok::Type::kPlaceholder: {
+        TerminalPattern::PlaceholderType type;
+        if (tok.text == "$int") {
+          type = TerminalPattern::PlaceholderType::kInt;
+        } else if (tok.text == "$float" || tok.text == "$double") {
+          type = TerminalPattern::PlaceholderType::kFloat;
+        } else if (tok.text == "$string" || tok.text == "$str") {
+          type = TerminalPattern::PlaceholderType::kString;
+        } else if (tok.text == "$bool") {
+          type = TerminalPattern::PlaceholderType::kBool;
+        } else if (tok.text == "$any") {
+          type = TerminalPattern::PlaceholderType::kAny;
+        } else {
+          return Status::InvalidArgument("SSDL: unknown placeholder '" +
+                                         tok.text + "'");
+        }
+        return GrammarSymbol::Terminal(TerminalPattern::Placeholder(type));
+      }
+      case Tok::Type::kSymbol: {
+        if (tok.text == "(") {
+          return GrammarSymbol::Terminal(TerminalPattern::LParen());
+        }
+        if (tok.text == ")") {
+          return GrammarSymbol::Terminal(TerminalPattern::RParen());
+        }
+        const std::optional<CompareOp> op = ParseCompareOp(tok.text);
+        if (op.has_value()) {
+          return GrammarSymbol::Terminal(TerminalPattern::Op(*op));
+        }
+        return Status::InvalidArgument("SSDL: unexpected symbol '" + tok.text +
+                                       "' in rule RHS (line " +
+                                       std::to_string(tok.line) + ")");
+      }
+      case Tok::Type::kInt:
+        return GrammarSymbol::Terminal(
+            TerminalPattern::Literal(Value::Int(tok.int_value)));
+      case Tok::Type::kFloat:
+        return GrammarSymbol::Terminal(
+            TerminalPattern::Literal(Value::Double(tok.float_value)));
+      case Tok::Type::kString:
+        return GrammarSymbol::Terminal(
+            TerminalPattern::Literal(Value::String(tok.text)));
+      case Tok::Type::kEnd:
+        break;
+    }
+    return Status::Internal("SSDL: unhandled token in rule RHS");
+  }
+
+  Result<SourceDescription> BuildDescription() {
+    SourceDescription description(source_name_, schema_);
+    description.set_cost_constants(k1_, k2_);
+    Grammar& grammar = description.mutable_grammar();
+
+    // Declare exports first so condition nonterminals get start rules.
+    for (const RawExport& raw : raw_exports_) {
+      if (lhs_names_.count(raw.name) == 0) {
+        return Status::NotFound("SSDL: export of '" + raw.name +
+                                "' which has no rules (line " +
+                                std::to_string(raw.line) + ")");
+      }
+      GC_ASSIGN_OR_RETURN(const AttributeSet attrs, schema_.MakeSet(raw.attrs));
+      GC_RETURN_IF_ERROR(description.DeclareConditionNonterminal(raw.name, attrs));
+    }
+    if (raw_exports_.empty()) {
+      return Status::InvalidArgument(
+          "SSDL: description has no export clauses; the source would accept "
+          "no queries");
+    }
+
+    for (const RawRule& raw : raw_rules_) {
+      GrammarRule rule;
+      rule.lhs = grammar.AddNonterminal(raw.lhs);
+      for (const Tok& tok : raw.rhs) {
+        GC_ASSIGN_OR_RETURN(GrammarSymbol sym, ResolveSymbol(tok, &grammar));
+        rule.rhs.push_back(std::move(sym));
+      }
+      GC_RETURN_IF_ERROR(grammar.AddRule(std::move(rule)));
+    }
+    return description;
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+
+  std::string source_name_;
+  Schema schema_;
+  double k1_ = 1.0;
+  double k2_ = 0.01;
+  std::vector<RawRule> raw_rules_;
+  std::vector<RawExport> raw_exports_;
+  std::unordered_set<std::string> lhs_names_;
+};
+
+}  // namespace
+
+Result<SourceDescription> ParseSsdl(std::string_view text) {
+  SsdlLexer lexer(text);
+  GC_ASSIGN_OR_RETURN(std::vector<Tok> toks, lexer.Run());
+  SsdlParser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace gencompact

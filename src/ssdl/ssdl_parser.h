@@ -1,0 +1,39 @@
+#ifndef GENCOMPACT_SSDL_SSDL_PARSER_H_
+#define GENCOMPACT_SSDL_SSDL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Parses the textual form of an SSDL source description. Example (the
+/// paper's Example 4.1, car source R):
+///
+///   source R(make: string, model: string, year: int,
+///            color: string, price: int) {
+///     cost 10.0 0.5;                # k1 k2, optional
+///     rule s1 -> make = $string and price < $int;
+///     rule s2 -> make = $string and color = $string;
+///     export s1 : {make, model, year, color};
+///     export s2 : {make, model, year};
+///   }
+///
+/// Syntax notes:
+///  * `#` starts a line comment.
+///  * A rule RHS is a sequence of symbols; `|` splits alternatives
+///    (sugar for multiple rules with the same LHS).
+///  * RHS symbols: schema attribute names, comparison operators, constant
+///    placeholders ($int, $float, $string, $bool, $any), literal constants
+///    (quoted strings / numbers — for sources whose forms pin a value),
+///    `and`, `or`, `(`, `)`, `true`, and names of other rules
+///    (nonterminal references — used for value-list and recursive shapes).
+///  * `export N : {a, b}` declares N as a condition nonterminal (adding the
+///    implicit start rule s -> N) exporting attributes {a, b}.
+///  * Rule names must not collide with attribute names.
+Result<SourceDescription> ParseSsdl(std::string_view text);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_SSDL_PARSER_H_

@@ -1,0 +1,213 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace gencompact {
+
+namespace {
+
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Splits one CSV record (no embedded newlines in this dialect).
+Result<std::vector<CsvField>> SplitRecord(std::string_view line, size_t lineno) {
+  std::vector<CsvField> fields;
+  CsvField current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.text += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.text += c;
+      }
+    } else if (c == '"' && current.text.empty()) {
+      in_quotes = true;
+      current.quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current = CsvField{};
+    } else {
+      current.text += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
+                                   ": unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Value> Coerce(const CsvField& field, ValueType type, size_t lineno) {
+  if (field.text.empty() && !field.quoted) return Value::Null();
+  const std::string trimmed(field.quoted ? std::string_view(field.text)
+                                         : StripWhitespace(field.text));
+  switch (type) {
+    case ValueType::kString:
+      return Value::String(field.quoted ? field.text : trimmed);
+    case ValueType::kInt: {
+      try {
+        size_t used = 0;
+        const int64_t v = std::stoll(trimmed, &used);
+        if (used != trimmed.size()) throw std::invalid_argument(trimmed);
+        return Value::Int(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
+                                       ": '" + trimmed + "' is not an int");
+      }
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t used = 0;
+        const double v = std::stod(trimmed, &used);
+        if (used != trimmed.size()) throw std::invalid_argument(trimmed);
+        return Value::Double(v);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
+                                       ": '" + trimmed + "' is not a double");
+      }
+    }
+    case ValueType::kBool: {
+      const std::string lower = ToLower(trimmed);
+      if (lower == "true" || lower == "1") return Value::Bool(true);
+      if (lower == "false" || lower == "0") return Value::Bool(false);
+      return Status::InvalidArgument("CSV line " + std::to_string(lineno) +
+                                     ": '" + trimmed + "' is not a bool");
+    }
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> LoadCsv(std::string_view text,
+                                       const std::string& table_name,
+                                       const Schema& schema,
+                                       bool expect_header) {
+  auto table = std::make_unique<Table>(table_name, schema);
+  size_t lineno = 0;
+  size_t start = 0;
+  bool header_pending = expect_header;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = end + 1;
+    ++lineno;
+    if (StripWhitespace(line).empty()) {
+      if (start > text.size()) break;
+      continue;
+    }
+
+    GC_ASSIGN_OR_RETURN(const std::vector<CsvField> fields,
+                        SplitRecord(line, lineno));
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(lineno) + ": " +
+          std::to_string(fields.size()) + " fields, schema has " +
+          std::to_string(schema.num_attributes()));
+    }
+    if (header_pending) {
+      header_pending = false;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        const std::string name(StripWhitespace(fields[i].text));
+        if (name != schema.attribute(static_cast<int>(i)).name) {
+          return Status::InvalidArgument(
+              "CSV header column " + std::to_string(i + 1) + " is '" + name +
+              "', schema expects '" +
+              schema.attribute(static_cast<int>(i)).name + "'");
+        }
+      }
+      continue;
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      GC_ASSIGN_OR_RETURN(
+          Value v,
+          Coerce(fields[i], schema.attribute(static_cast<int>(i)).type, lineno));
+      values.push_back(std::move(v));
+    }
+    GC_RETURN_IF_ERROR(table->Append(Row(std::move(values))));
+  }
+  return table;
+}
+
+Result<std::unique_ptr<Table>> LoadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           bool expect_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsv(buffer.str(), table_name, schema, expect_header);
+}
+
+std::string WriteCsv(const Table& table) {
+  const Schema& schema = table.schema();
+  std::string out;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ',';
+    out += schema.attribute(static_cast<int>(i)).name;
+  }
+  out += '\n';
+  const auto emit = [&out](const Value& v) {
+    if (v.is_null()) return;
+    std::string text;
+    switch (v.type()) {
+      case ValueType::kString:
+        text = v.string_value();
+        break;
+      case ValueType::kBool:
+        text = v.bool_value() ? "true" : "false";
+        break;
+      default:
+        text = v.ToString();
+        break;
+    }
+    const bool needs_quotes =
+        v.type() == ValueType::kString &&
+        (text.find_first_of(",\"\n") != std::string::npos || text.empty() ||
+         std::isspace(static_cast<unsigned char>(text.front())) ||
+         std::isspace(static_cast<unsigned char>(text.back())));
+    if (!needs_quotes) {
+      out += text;
+      return;
+    }
+    out += '"';
+    for (char c : text) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  };
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      emit(row.value(i));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gencompact

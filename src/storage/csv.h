@@ -1,0 +1,41 @@
+#ifndef GENCOMPACT_STORAGE_CSV_H_
+#define GENCOMPACT_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace gencompact {
+
+/// Loads CSV text into a Table typed by `schema`. Conventions:
+///  * first line may be a header; when `expect_header` it must name the
+///    schema's attributes in order (validated), otherwise data starts at
+///    line one;
+///  * fields are comma-separated; a field may be double-quoted, with `""`
+///    escaping a quote inside;
+///  * values are coerced per the schema attribute type: int/double parsed
+///    numerically, bool accepts true/false/1/0, empty unquoted fields are
+///    NULL;
+///  * InvalidArgument (with line number) on width or coercion errors.
+Result<std::unique_ptr<Table>> LoadCsv(std::string_view text,
+                                       const std::string& table_name,
+                                       const Schema& schema,
+                                       bool expect_header = true);
+
+/// Reads `path` and delegates to LoadCsv. NotFound if unreadable.
+Result<std::unique_ptr<Table>> LoadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           bool expect_header = true);
+
+/// Serializes a table to CSV (with header), the inverse of LoadCsv. NULLs
+/// become empty fields; strings are quoted when they contain separators,
+/// quotes, or newlines.
+std::string WriteCsv(const Table& table);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_CSV_H_

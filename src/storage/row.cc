@@ -1,0 +1,46 @@
+#include "storage/row.h"
+
+#include <cassert>
+
+namespace gencompact {
+
+size_t Row::Hash() const {
+  size_t h = 0x51ed270b7a2cf321ull;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+RowLayout::RowLayout(AttributeSet attrs, size_t schema_width)
+    : attrs_(attrs), slot_of_(schema_width, -1) {
+  int slot = 0;
+  for (int index : attrs.Indices()) {
+    assert(static_cast<size_t>(index) < schema_width);
+    slot_of_[index] = slot++;
+  }
+}
+
+Row RowLayout::Project(const Row& row, const RowLayout& narrower) const {
+  assert(narrower.attrs().IsSubsetOf(attrs_));
+  std::vector<Value> values;
+  values.reserve(narrower.width());
+  for (int index : narrower.attrs().Indices()) {
+    const int slot = SlotOf(index);
+    assert(slot >= 0);
+    values.push_back(row.value(static_cast<size_t>(slot)));
+  }
+  return Row(std::move(values));
+}
+
+}  // namespace gencompact

@@ -1,0 +1,72 @@
+#ifndef GENCOMPACT_STORAGE_ROW_H_
+#define GENCOMPACT_STORAGE_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "schema/attribute_set.h"
+
+namespace gencompact {
+
+/// One tuple. A Row is always interpreted relative to an attribute layout:
+/// either a full relation schema (values in schema order) or a projected
+/// layout (values in ascending order of the projected attribute positions —
+/// see RowLayout).
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct RowHash {
+  size_t operator()(const Row& row) const { return row.Hash(); }
+};
+
+/// Maps schema attribute positions to slots of a projected Row. A projected
+/// row produced for AttributeSet A stores values in ascending attribute-index
+/// order; RowLayout answers "which slot holds attribute i".
+class RowLayout {
+ public:
+  /// Layout of a projection to `attrs` of a relation with `schema_width`
+  /// attributes.
+  RowLayout(AttributeSet attrs, size_t schema_width);
+
+  const AttributeSet& attrs() const { return attrs_; }
+
+  /// Slot of schema attribute `index`, or -1 if not present.
+  int SlotOf(int index) const {
+    return index >= 0 && static_cast<size_t>(index) < slot_of_.size()
+               ? slot_of_[index]
+               : -1;
+  }
+
+  bool HasAttribute(int index) const { return SlotOf(index) >= 0; }
+
+  size_t width() const { return attrs_.size(); }
+
+  /// Projects `row` (laid out by `this`) down to `narrower` attributes,
+  /// which must be a subset of attrs().
+  Row Project(const Row& row, const RowLayout& narrower) const;
+
+ private:
+  AttributeSet attrs_;
+  std::vector<int> slot_of_;  // schema index -> slot, -1 if absent
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_ROW_H_

@@ -1,0 +1,54 @@
+#include "storage/row_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gencompact {
+
+bool RowSet::Insert(Row row) {
+  assert(row.size() == layout_.width());
+  return rows_.insert(std::move(row)).second;
+}
+
+std::vector<Row> RowSet::SortedRows() const {
+  std::vector<Row> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a.value(i).Compare(b.value(i));
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return out;
+}
+
+RowSet RowSet::UnionOf(const RowSet& a, const RowSet& b) {
+  assert(a.layout().attrs() == b.layout().attrs());
+  RowSet out(a.layout());
+  for (const Row& row : a.rows()) out.Insert(row);
+  for (const Row& row : b.rows()) out.Insert(row);
+  return out;
+}
+
+RowSet RowSet::IntersectOf(const RowSet& a, const RowSet& b) {
+  assert(a.layout().attrs() == b.layout().attrs());
+  RowSet out(a.layout());
+  const RowSet& small = a.size() <= b.size() ? a : b;
+  const RowSet& large = a.size() <= b.size() ? b : a;
+  for (const Row& row : small.rows()) {
+    if (large.Contains(row)) out.Insert(row);
+  }
+  return out;
+}
+
+RowSet RowSet::ProjectTo(const AttributeSet& attrs, size_t schema_width) const {
+  RowLayout narrower(attrs, schema_width);
+  RowSet out(narrower);
+  for (const Row& row : rows_) {
+    out.Insert(layout_.Project(row, narrower));
+  }
+  return out;
+}
+
+}  // namespace gencompact

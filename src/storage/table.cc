@@ -1,0 +1,30 @@
+#include "storage/table.h"
+
+namespace gencompact {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != schema width " +
+        std::to_string(schema_.num_attributes()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row.value(i);
+    if (v.is_null()) continue;
+    const ValueType declared = schema_.attribute(static_cast<int>(i)).type;
+    const ValueType actual = v.type();
+    const bool numeric_ok =
+        (declared == ValueType::kInt || declared == ValueType::kDouble) &&
+        v.is_numeric();
+    if (actual != declared && !numeric_ok) {
+      return Status::InvalidArgument(
+          "value " + v.ToString() + " has type " + ValueTypeName(actual) +
+          ", expected " + ValueTypeName(declared) + " for attribute " +
+          schema_.attribute(static_cast<int>(i)).name);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace gencompact

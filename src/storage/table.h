@@ -1,0 +1,48 @@
+#ifndef GENCOMPACT_STORAGE_TABLE_H_
+#define GENCOMPACT_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema.h"
+#include "storage/row.h"
+
+namespace gencompact {
+
+/// An in-memory relation: the data behind one simulated Internet source.
+/// Rows are stored in full schema layout; duplicate full rows are allowed in
+/// storage but query results are deduplicated downstream (set semantics).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; InvalidArgument if the width or any value type mismatches
+  /// the schema (nulls are accepted for any type).
+  Status Append(Row row);
+
+  /// Convenience: append from values.
+  Status AppendValues(std::vector<Value> values) {
+    return Append(Row(std::move(values)));
+  }
+
+  /// Full-schema row layout.
+  RowLayout FullLayout() const {
+    return RowLayout(schema_.AllAttributes(), schema_.num_attributes());
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_TABLE_H_

@@ -1,0 +1,82 @@
+#include "storage/table_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gencompact {
+
+TableStats TableStats::Compute(const Table& table, size_t histogram_buckets) {
+  TableStats stats;
+  stats.num_rows_ = table.num_rows();
+  const size_t width = table.schema().num_attributes();
+  stats.attributes_.resize(width);
+
+  for (size_t a = 0; a < width; ++a) {
+    AttributeStats& as = stats.attributes_[a];
+    std::unordered_map<Value, uint64_t, ValueHash> counts;
+    std::vector<double> numeric_values;
+    // Deterministic reservoir sampling (xorshift seeded per attribute).
+    uint64_t sample_rng = 0x9e3779b97f4a7c15ull ^ (a * 0x2545f4914f6cdd1dull);
+    const auto next_random = [&sample_rng]() {
+      sample_rng ^= sample_rng << 13;
+      sample_rng ^= sample_rng >> 7;
+      sample_rng ^= sample_rng << 17;
+      return sample_rng;
+    };
+    for (const Row& row : table.rows()) {
+      const Value& v = row.value(a);
+      if (v.is_null()) continue;
+      ++as.num_non_null;
+      ++counts[v];
+      if (v.is_numeric()) numeric_values.push_back(v.AsDouble());
+      if (as.sample_values.size() < AttributeStats::kMaxSampleValues) {
+        as.sample_values.push_back(v);
+      } else {
+        const uint64_t slot = next_random() % as.num_non_null;
+        if (slot < AttributeStats::kMaxSampleValues) {
+          as.sample_values[slot] = v;
+        }
+      }
+    }
+    as.num_distinct = counts.size();
+
+    if (!numeric_values.empty()) {
+      std::sort(numeric_values.begin(), numeric_values.end());
+      as.has_range = true;
+      as.min_value = numeric_values.front();
+      as.max_value = numeric_values.back();
+      if (histogram_buckets > 1 && numeric_values.size() > histogram_buckets) {
+        as.histogram_bounds.reserve(histogram_buckets);
+        for (size_t b = 1; b <= histogram_buckets; ++b) {
+          const size_t pos =
+              std::min(numeric_values.size() - 1,
+                       b * numeric_values.size() / histogram_buckets);
+          as.histogram_bounds.push_back(
+              numeric_values[pos == 0 ? 0 : pos - (b == histogram_buckets ? 0 : 1)]);
+        }
+        as.histogram_bounds.back() = numeric_values.back();
+      }
+    }
+
+    // Track the most frequent values exactly.
+    std::vector<std::pair<Value, uint64_t>> ranked(counts.begin(), counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    if (ranked.size() > AttributeStats::kMaxCommonValues) {
+      ranked.resize(AttributeStats::kMaxCommonValues);
+    }
+    as.common_values = std::move(ranked);
+  }
+  return stats;
+}
+
+std::optional<uint64_t> TableStats::CommonValueCount(int attr,
+                                                     const Value& value) const {
+  const AttributeStats& as = attributes_[static_cast<size_t>(attr)];
+  for (const auto& [v, count] : as.common_values) {
+    if (v == value) return count;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gencompact

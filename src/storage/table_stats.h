@@ -1,0 +1,69 @@
+#ifndef GENCOMPACT_STORAGE_TABLE_STATS_H_
+#define GENCOMPACT_STORAGE_TABLE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace gencompact {
+
+/// Per-attribute statistics used by the cardinality estimator.
+struct AttributeStats {
+  uint64_t num_non_null = 0;
+  uint64_t num_distinct = 0;
+
+  /// Numeric range (valid when has_range).
+  bool has_range = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// Equi-depth histogram bucket upper bounds (numeric attributes only);
+  /// bucket i covers (bounds[i-1], bounds[i]] with equal row counts.
+  std::vector<double> histogram_bounds;
+
+  /// Top values by frequency (at most kMaxCommonValues), with exact counts.
+  /// Used for equality selectivity on skewed string attributes (e.g. the
+  /// bookstore `author` attribute).
+  std::vector<std::pair<Value, uint64_t>> common_values;
+
+  /// Uniform reservoir sample of non-null values (at most kMaxSampleValues).
+  /// Used to estimate predicates statistics cannot express analytically —
+  /// `contains` / `startswith` selectivity is the matching fraction of the
+  /// sample.
+  std::vector<Value> sample_values;
+
+  static constexpr size_t kMaxCommonValues = 32;
+  static constexpr size_t kMaxSampleValues = 128;
+};
+
+/// Statistics for one table. Built by a single scan; immutable afterwards.
+class TableStats {
+ public:
+  TableStats() = default;
+
+  /// Scans `table` and computes row count plus per-attribute stats.
+  /// `histogram_buckets` controls equi-depth histogram resolution.
+  static TableStats Compute(const Table& table, size_t histogram_buckets = 16);
+
+  uint64_t num_rows() const { return num_rows_; }
+
+  const AttributeStats& attribute(int index) const {
+    return attributes_[static_cast<size_t>(index)];
+  }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  /// Exact frequency of `value` if it is a tracked common value.
+  std::optional<uint64_t> CommonValueCount(int attr, const Value& value) const;
+
+ private:
+  uint64_t num_rows_ = 0;
+  std::vector<AttributeStats> attributes_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_TABLE_STATS_H_

@@ -1,0 +1,257 @@
+#include "workload/datasets.h"
+
+#include <cassert>
+
+#include "expr/condition_parser.h"
+#include "ssdl/capability_builder.h"
+#include "workload/zipf.h"
+
+namespace gencompact {
+
+namespace {
+
+// Small word pools for synthetic titles.
+const char* const kTitleWords[] = {
+    "history",  "night",   "garden", "science", "love",    "war",
+    "memory",   "ocean",   "city",   "shadow",  "journey", "silence",
+    "stars",    "kingdom", "secret", "winter",  "summer",  "river",
+    "mountain", "letters", "music",  "stone",   "fire",    "glass"};
+
+const char* const kSubjects[] = {"psychology", "fiction",  "history",
+                                 "science",    "travel",   "art",
+                                 "philosophy", "medicine", "poetry"};
+
+std::string SyntheticAuthor(size_t rank) {
+  static const char* const kFirst[] = {"John",  "Mary",  "Anna", "Peter",
+                                       "Laura", "Henry", "Clara", "Paul"};
+  static const char* const kLast[] = {"Smith",  "Miller", "Garcia", "Chen",
+                                      "Novak",  "Rossi",  "Dubois", "Mori"};
+  return std::string(kFirst[rank % 8]) + " " + kLast[(rank / 8) % 8] + " " +
+         std::to_string(rank);
+}
+
+Status AppendBook(Table* table, const std::string& author,
+                  const std::string& title, const std::string& subject,
+                  double price, int64_t year) {
+  return table->AppendValues({Value::String(author), Value::String(title),
+                              Value::String(subject), Value::Double(price),
+                              Value::Int(year)});
+}
+
+}  // namespace
+
+Dataset MakeBookstore(size_t num_books, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"author", ValueType::kString},
+                 {"title", ValueType::kString},
+                 {"subject", ValueType::kString},
+                 {"price", ValueType::kDouble},
+                 {"year", ValueType::kInt}});
+
+  auto table = std::make_unique<Table>("books", schema);
+
+  // ~5% of titles mention "dreams" so the CNF plan (ship only the
+  // title-contains clause) transfers thousands of rows at 50k books.
+  const ZipfSampler author_zipf(2000, 1.1);
+  const std::vector<std::string> all_attrs = {"author", "title", "subject",
+                                              "price", "year"};
+  const auto random_title = [&](bool force_dreams) {
+    std::string title(kTitleWords[rng.NextIndex(std::size(kTitleWords))]);
+    title += " of ";
+    title += kTitleWords[rng.NextIndex(std::size(kTitleWords))];
+    if (force_dreams || rng.NextBool(0.05)) {
+      title += " dreams";
+    }
+    return title;
+  };
+
+  // The paper's protagonists: a handful of Freud/Jung books, few about
+  // dreams (the two-query plan retrieves fewer than 20 rows).
+  for (int i = 0; i < 10; ++i) {
+    const Status status = AppendBook(
+        table.get(), "Sigmund Freud", random_title(/*force_dreams=*/i < 8),
+        "psychology", 10.0 + rng.NextDouble() * 30, rng.NextInt(1900, 1939));
+    assert(status.ok());
+    (void)status;
+  }
+  for (int i = 0; i < 9; ++i) {
+    const Status status = AppendBook(
+        table.get(), "Carl Jung", random_title(/*force_dreams=*/i < 6),
+        "psychology", 10.0 + rng.NextDouble() * 30, rng.NextInt(1910, 1960));
+    assert(status.ok());
+    (void)status;
+  }
+  while (table->num_rows() < num_books) {
+    const Status status =
+        AppendBook(table.get(), SyntheticAuthor(author_zipf.Sample(&rng)),
+                   random_title(false),
+                   kSubjects[rng.NextIndex(std::size(kSubjects))],
+                   5.0 + rng.NextDouble() * 95, rng.NextInt(1950, 1999));
+    assert(status.ok());
+    (void)status;
+  }
+
+  // Capability: one author, one title keyword, one subject, conjunctively;
+  // at least one field filled in; no catalog download.
+  CapabilityBuilder builder("books", schema);
+  CapabilityBuilder::Slot author_slot{"author", {CompareOp::kEq}, true, false};
+  CapabilityBuilder::Slot title_slot{
+      "title", {CompareOp::kContains}, true, false};
+  CapabilityBuilder::Slot subject_slot{"subject", {CompareOp::kEq}, true, false};
+  const Status built = builder.AddConjunctiveForm(
+      "book_search", {author_slot, title_slot, subject_slot}, all_attrs);
+  assert(built.ok());
+  (void)built;
+
+  Dataset dataset{nullptr, builder.Build(), nullptr, {}};
+  dataset.description.set_cost_constants(20.0, 1.0);
+  dataset.table = std::move(table);
+
+  const Result<ConditionPtr> cond = ParseCondition(
+      "(author = \"Sigmund Freud\" or author = \"Carl Jung\") and "
+      "title contains \"dreams\"");
+  assert(cond.ok());
+  dataset.example_condition = cond.value();
+  dataset.example_attrs = {"author", "title", "price"};
+  return dataset;
+}
+
+Dataset MakeCarSource(size_t num_cars, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({{"make", ValueType::kString},
+                 {"model", ValueType::kString},
+                 {"style", ValueType::kString},
+                 {"size", ValueType::kString},
+                 {"color", ValueType::kString},
+                 {"price", ValueType::kInt},
+                 {"year", ValueType::kInt}});
+
+  static const char* const kMakes[] = {"Toyota", "BMW",   "Honda", "Ford",
+                                       "Volvo",  "Mazda", "Audi",  "Fiat",
+                                       "Saab",   "Dodge"};
+  static const char* const kStyles[] = {"sedan", "coupe", "suv", "wagon"};
+  static const char* const kSizes[] = {"compact", "midsize", "fullsize"};
+  static const char* const kColors[] = {"red",   "black", "white",
+                                        "blue",  "green", "silver"};
+
+  auto table = std::make_unique<Table>("cars", schema);
+  const ZipfSampler make_zipf(std::size(kMakes), 0.8);
+  while (table->num_rows() < num_cars) {
+    const std::string make = kMakes[make_zipf.Sample(&rng)];
+    // Price bands: BMW/Audi premium, others mainstream.
+    const bool premium = make == "BMW" || make == "Audi" || make == "Volvo";
+    const int64_t base = premium ? 25000 : 9000;
+    const int64_t spread = premium ? 45000 : 26000;
+    const Status status = table->AppendValues(
+        {Value::String(make),
+         Value::String(make.substr(0, 2) + "-" +
+                       std::to_string(rng.NextInt(100, 999))),
+         Value::String(kStyles[rng.NextIndex(std::size(kStyles))]),
+         Value::String(kSizes[rng.NextIndex(std::size(kSizes))]),
+         Value::String(kColors[rng.NextIndex(std::size(kColors))]),
+         Value::Int(base + rng.NextInt(0, spread)),
+         Value::Int(rng.NextInt(1992, 1999))});
+    assert(status.ok());
+    (void)status;
+  }
+
+  // The web form: single values for style, make and price (upper bound),
+  // plus a list of values for size. All fields optional but at least one
+  // must be filled; no download.
+  const std::vector<std::string> all_attrs = {
+      "make", "model", "style", "size", "color", "price", "year"};
+  CapabilityBuilder builder("cars", schema);
+  CapabilityBuilder::Slot style_slot{"style", {CompareOp::kEq}, true, false};
+  CapabilityBuilder::Slot make_slot{"make", {CompareOp::kEq}, true, false};
+  CapabilityBuilder::Slot price_slot{
+      "price", {CompareOp::kLe, CompareOp::kLt}, true, false};
+  CapabilityBuilder::Slot size_slot{"size", {CompareOp::kEq}, true, true};
+  const Status built = builder.AddConjunctiveForm(
+      "car_form", {style_slot, make_slot, price_slot, size_slot}, all_attrs);
+  assert(built.ok());
+  (void)built;
+
+  Dataset dataset{nullptr, builder.Build(), nullptr, {}};
+  dataset.description.set_cost_constants(15.0, 1.0);
+  dataset.table = std::move(table);
+
+  const Result<ConditionPtr> cond = ParseCondition(
+      "style = \"sedan\" and (size = \"compact\" or size = \"midsize\") and "
+      "((make = \"Toyota\" and price <= 20000) or "
+      "(make = \"BMW\" and price <= 40000))");
+  assert(cond.ok());
+  dataset.example_condition = cond.value();
+  dataset.example_attrs = {"make", "model", "price", "year"};
+  return dataset;
+}
+
+std::vector<AttributeDomain> ExtractDomains(const Table& table,
+                                            size_t max_samples, Rng* rng) {
+  std::vector<AttributeDomain> domains;
+  const Schema& schema = table.schema();
+  domains.reserve(schema.num_attributes());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    AttributeDomain domain;
+    domain.name = schema.attribute(static_cast<int>(a)).name;
+    domain.type = schema.attribute(static_cast<int>(a)).type;
+    if (!table.rows().empty()) {
+      for (size_t i = 0; i < max_samples * 3 &&
+                         domain.sample_values.size() < max_samples;
+           ++i) {
+        const Row& row = table.rows()[rng->NextIndex(table.num_rows())];
+        const Value& v = row.value(a);
+        if (v.is_null()) continue;
+        bool duplicate = false;
+        for (const Value& existing : domain.sample_values) {
+          if (existing == v) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) domain.sample_values.push_back(v);
+      }
+    }
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
+std::unique_ptr<Table> MakeRandomTable(const std::string& name,
+                                       const Schema& schema, size_t rows,
+                                       size_t string_pool, int64_t value_range,
+                                       Rng* rng) {
+  auto table = std::make_unique<Table>(name, schema);
+  const ZipfSampler pool_zipf(string_pool, 0.9);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> values;
+    values.reserve(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      switch (schema.attribute(static_cast<int>(a)).type) {
+        case ValueType::kString:
+          values.push_back(Value::String(
+              "v" + std::to_string(a) + "_" +
+              std::to_string(pool_zipf.Sample(rng))));
+          break;
+        case ValueType::kInt:
+          values.push_back(Value::Int(rng->NextInt(0, value_range - 1)));
+          break;
+        case ValueType::kDouble:
+          values.push_back(
+              Value::Double(rng->NextDouble() * static_cast<double>(value_range)));
+          break;
+        case ValueType::kBool:
+          values.push_back(Value::Bool(rng->NextBool()));
+          break;
+        case ValueType::kNull:
+          values.push_back(Value::Null());
+          break;
+      }
+    }
+    const Status status = table->Append(Row(std::move(values)));
+    assert(status.ok());
+    (void)status;
+  }
+  return table;
+}
+
+}  // namespace gencompact

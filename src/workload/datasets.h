@@ -1,0 +1,66 @@
+#ifndef GENCOMPACT_WORKLOAD_DATASETS_H_
+#define GENCOMPACT_WORKLOAD_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "expr/condition.h"
+#include "ssdl/description.h"
+#include "storage/table.h"
+
+namespace gencompact {
+
+/// A synthetic source reproducing one of the paper's motivating scenarios:
+/// data, capability description, and the example target query.
+struct Dataset {
+  std::unique_ptr<Table> table;
+  SourceDescription description;
+  ConditionPtr example_condition;
+  std::vector<std::string> example_attrs;
+};
+
+/// Example 1.1 (BarnesAndNoble): books(author, title, subject, price, year).
+/// The query interface accepts one author, one title keyword and one
+/// subject at a time (conjunctively; no two authors at once) and does NOT
+/// allow downloading the catalog. Data is tuned to the paper's shape: over
+/// 2,000 titles contain "dreams", while Freud/Jung books about dreams
+/// number under 20 — so the CNF (Garlic) plan ships thousands of rows and
+/// the two-query GenCompact plan ships fewer than 20.
+///
+/// example_condition: (author = "Sigmund Freud" or author = "Carl Jung")
+///                    and title contains "dreams".
+Dataset MakeBookstore(size_t num_books, uint64_t seed);
+
+/// Example 1.2 (car shopping guide): cars(make, model, style, size, color,
+/// price, year). The web form takes single values for style, make and
+/// price (upper bound) plus a LIST of values for size; no download.
+///
+/// example_condition: style = "sedan" and (size = "compact" or
+///   size = "midsize") and ((make = "Toyota" and price <= 20000) or
+///   (make = "BMW" and price <= 40000)).
+Dataset MakeCarSource(size_t num_cars, uint64_t seed);
+
+/// Sampled constants of one attribute, for generating conditions whose
+/// constants hit the data.
+struct AttributeDomain {
+  std::string name;
+  ValueType type = ValueType::kString;
+  std::vector<Value> sample_values;
+};
+
+/// Extracts up to `max_samples` distinct sample values per attribute.
+std::vector<AttributeDomain> ExtractDomains(const Table& table,
+                                            size_t max_samples, Rng* rng);
+
+/// A generic random table: string attributes draw zipf-ranked values from a
+/// small pool, numeric attributes draw uniformly from [0, value_range).
+std::unique_ptr<Table> MakeRandomTable(const std::string& name,
+                                       const Schema& schema, size_t rows,
+                                       size_t string_pool, int64_t value_range,
+                                       Rng* rng);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_WORKLOAD_DATASETS_H_

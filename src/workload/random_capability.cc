@@ -1,0 +1,127 @@
+#include "workload/random_capability.h"
+
+#include <cassert>
+
+#include "ssdl/capability_builder.h"
+
+namespace gencompact {
+
+namespace {
+
+std::vector<CompareOp> OpsFor(ValueType type, Rng* rng) {
+  switch (type) {
+    case ValueType::kString: {
+      std::vector<CompareOp> ops = {CompareOp::kEq};
+      if (rng->NextBool(0.5)) ops.push_back(CompareOp::kContains);
+      return ops;
+    }
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      std::vector<CompareOp> ops = {CompareOp::kEq};
+      if (rng->NextBool(0.7)) {
+        ops.push_back(CompareOp::kLe);
+        ops.push_back(CompareOp::kLt);
+      }
+      if (rng->NextBool(0.5)) {
+        ops.push_back(CompareOp::kGe);
+        ops.push_back(CompareOp::kGt);
+      }
+      return ops;
+    }
+    default:
+      return {CompareOp::kEq};
+  }
+}
+
+std::vector<std::string> RandomExports(const Schema& schema,
+                                       const AttributeSet& must_include,
+                                       double export_all_probability,
+                                       Rng* rng) {
+  std::vector<std::string> exports;
+  const bool all = rng->NextBool(export_all_probability);
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const int index = static_cast<int>(a);
+    if (all || must_include.Contains(index) || rng->NextBool(0.5)) {
+      exports.push_back(schema.attribute(index).name);
+    }
+  }
+  return exports;
+}
+
+}  // namespace
+
+SourceDescription RandomCapability(const std::string& source_name,
+                                   const Schema& schema,
+                                   const RandomCapabilityOptions& options,
+                                   Rng* rng) {
+  CapabilityBuilder builder(source_name, schema);
+  const size_t width = schema.num_attributes();
+  assert(width > 0);
+
+  for (size_t f = 0; f < options.num_conjunctive_forms; ++f) {
+    // Pick a random ordered subset of attributes as slots.
+    std::vector<int> attrs;
+    for (size_t a = 0; a < width; ++a) attrs.push_back(static_cast<int>(a));
+    rng->Shuffle(&attrs);
+    const size_t num_slots =
+        1 + rng->NextIndex(std::min(options.max_slots_per_form, width));
+    attrs.resize(num_slots);
+
+    AttributeSet slot_set;
+    std::vector<CapabilityBuilder::Slot> slots;
+    for (int index : attrs) {
+      CapabilityBuilder::Slot slot;
+      slot.attr = schema.attribute(index).name;
+      slot.ops = OpsFor(schema.attribute(index).type, rng);
+      slot.optional = rng->NextBool(options.optional_slot_probability);
+      slot.value_list = rng->NextBool(options.value_list_probability);
+      slot_set.Add(index);
+      slots.push_back(std::move(slot));
+    }
+    // Keep at least one mandatory slot so the form is never empty.
+    slots.front().optional = false;
+
+    const Status status = builder.AddConjunctiveForm(
+        "cap_form" + std::to_string(f), std::move(slots),
+        RandomExports(schema, slot_set, options.export_all_probability, rng));
+    assert(status.ok());
+    (void)status;
+  }
+
+  if (rng->NextBool(options.atomic_forms_probability)) {
+    std::vector<CapabilityBuilder::Slot> slots;
+    AttributeSet slot_set;
+    for (size_t a = 0; a < width; ++a) {
+      if (!rng->NextBool(0.6)) continue;
+      const int index = static_cast<int>(a);
+      CapabilityBuilder::Slot slot;
+      slot.attr = schema.attribute(index).name;
+      slot.ops = OpsFor(schema.attribute(index).type, rng);
+      slot_set.Add(index);
+      slots.push_back(std::move(slot));
+    }
+    if (!slots.empty()) {
+      const Status status = builder.AddAtomicForms(
+          "cap_atoms", std::move(slots),
+          RandomExports(schema, slot_set, options.export_all_probability, rng));
+      assert(status.ok());
+      (void)status;
+    }
+  }
+
+  if (rng->NextBool(options.download_probability)) {
+    std::vector<std::string> all;
+    for (size_t a = 0; a < width; ++a) {
+      all.push_back(schema.attribute(static_cast<int>(a)).name);
+    }
+    const Status status = builder.AddDownload("cap_download", all);
+    assert(status.ok());
+    (void)status;
+  }
+
+  SourceDescription description = builder.Build();
+  description.set_cost_constants(options.k1, options.k2);
+  return description;
+}
+
+}  // namespace gencompact

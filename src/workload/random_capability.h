@@ -1,0 +1,36 @@
+#ifndef GENCOMPACT_WORKLOAD_RANDOM_CAPABILITY_H_
+#define GENCOMPACT_WORKLOAD_RANDOM_CAPABILITY_H_
+
+#include "common/rng.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Parameters for random capability mixes, modeled on the restriction
+/// classes of Section 4.
+struct RandomCapabilityOptions {
+  size_t num_conjunctive_forms = 3;
+  size_t max_slots_per_form = 3;
+  double optional_slot_probability = 0.4;
+  double value_list_probability = 0.2;
+  /// Probability that a form exports all attributes (else a random superset
+  /// of its slot attributes).
+  double export_all_probability = 0.7;
+  /// Probability the source also accepts arbitrary single-atom queries.
+  double atomic_forms_probability = 0.5;
+  /// Probability the source allows a full download (`true` queries).
+  double download_probability = 0.25;
+  double k1 = 10.0;
+  double k2 = 0.5;
+};
+
+/// Generates a random SSDL description over `schema` using
+/// CapabilityBuilder shapes. Deterministic given the Rng state.
+SourceDescription RandomCapability(const std::string& source_name,
+                                   const Schema& schema,
+                                   const RandomCapabilityOptions& options,
+                                   Rng* rng);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_WORKLOAD_RANDOM_CAPABILITY_H_

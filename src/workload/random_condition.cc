@@ -1,0 +1,88 @@
+#include "workload/random_condition.h"
+
+#include <cassert>
+
+namespace gencompact {
+
+namespace {
+
+ConditionPtr RandomAtom(const std::vector<AttributeDomain>& domains,
+                        const RandomConditionOptions& options, Rng* rng) {
+  // Pick a domain with at least one sample value.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const AttributeDomain& domain = domains[rng->NextIndex(domains.size())];
+    if (domain.sample_values.empty()) continue;
+    const Value& sample =
+        domain.sample_values[rng->NextIndex(domain.sample_values.size())];
+    CompareOp op = CompareOp::kEq;
+    switch (domain.type) {
+      case ValueType::kString:
+        if (rng->NextBool(options.contains_probability)) {
+          op = CompareOp::kContains;
+          // Use a fragment of the sampled string so `contains` is
+          // non-trivially selective.
+          const std::string& s = sample.string_value();
+          const size_t len = s.size() > 3 ? 3 + rng->NextIndex(s.size() - 3) : s.size();
+          return ConditionNode::Atom(domain.name, op,
+                                     Value::String(s.substr(0, len)));
+        }
+        break;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        if (rng->NextBool(options.range_probability)) {
+          static constexpr CompareOp kRangeOps[] = {CompareOp::kLt,
+                                                    CompareOp::kLe,
+                                                    CompareOp::kGt,
+                                                    CompareOp::kGe};
+          op = kRangeOps[rng->NextIndex(4)];
+        }
+        break;
+      default:
+        break;
+    }
+    return ConditionNode::Atom(domain.name, op, sample);
+  }
+  // Degenerate fallback: no sampled values anywhere.
+  return ConditionNode::Atom(domains.front().name, CompareOp::kEq,
+                             Value::Int(0));
+}
+
+ConditionPtr Build(const std::vector<AttributeDomain>& domains,
+                   const RandomConditionOptions& options, size_t atoms,
+                   ConditionNode::Kind kind, Rng* rng) {
+  if (atoms == 1) return RandomAtom(domains, options, rng);
+  // Split `atoms` across 2..max_fanout children.
+  const size_t max_children =
+      std::min(options.max_fanout, atoms);
+  const size_t num_children =
+      2 + (max_children > 2 ? rng->NextIndex(max_children - 1) : 0);
+  std::vector<size_t> split(std::min(num_children, atoms), 1);
+  size_t remaining = atoms - split.size();
+  while (remaining > 0) {
+    split[rng->NextIndex(split.size())] += 1;
+    --remaining;
+  }
+  const ConditionNode::Kind child_kind = kind == ConditionNode::Kind::kAnd
+                                             ? ConditionNode::Kind::kOr
+                                             : ConditionNode::Kind::kAnd;
+  std::vector<ConditionPtr> children;
+  children.reserve(split.size());
+  for (size_t child_atoms : split) {
+    children.push_back(Build(domains, options, child_atoms, child_kind, rng));
+  }
+  return ConditionNode::Connector(kind, std::move(children));
+}
+
+}  // namespace
+
+ConditionPtr RandomCondition(const std::vector<AttributeDomain>& domains,
+                             const RandomConditionOptions& options, Rng* rng) {
+  assert(!domains.empty());
+  const size_t atoms = options.num_atoms == 0 ? 1 : options.num_atoms;
+  const ConditionNode::Kind root_kind = rng->NextBool(options.or_probability)
+                                            ? ConditionNode::Kind::kOr
+                                            : ConditionNode::Kind::kAnd;
+  return Build(domains, options, atoms, root_kind, rng);
+}
+
+}  // namespace gencompact

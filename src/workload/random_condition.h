@@ -1,0 +1,29 @@
+#ifndef GENCOMPACT_WORKLOAD_RANDOM_CONDITION_H_
+#define GENCOMPACT_WORKLOAD_RANDOM_CONDITION_H_
+
+#include "common/rng.h"
+#include "workload/datasets.h"
+
+namespace gencompact {
+
+/// Shape parameters for random target-query conditions.
+struct RandomConditionOptions {
+  size_t num_atoms = 4;       ///< total atomic conditions in the tree
+  double or_probability = 0.45;  ///< a connector node is ∨ with this prob.
+  size_t max_fanout = 4;      ///< max children per connector
+  /// Probability that a string atom uses `contains` instead of `=`.
+  double contains_probability = 0.2;
+  /// Probability that a numeric atom is a range predicate instead of `=`.
+  double range_probability = 0.7;
+};
+
+/// Generates a random condition tree with exactly `options.num_atoms` atoms
+/// whose constants are drawn from the data's sampled domains, so estimated
+/// and true selectivities are meaningful. The tree alternates connector
+/// kinds along each path (canonical shape) with random fanout.
+ConditionPtr RandomCondition(const std::vector<AttributeDomain>& domains,
+                             const RandomConditionOptions& options, Rng* rng);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_WORKLOAD_RANDOM_CONDITION_H_

@@ -1,0 +1,25 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gencompact {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double total = 0;
+  for (size_t i = 0; i < cdf_.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace gencompact

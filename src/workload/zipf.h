@@ -1,0 +1,30 @@
+#ifndef GENCOMPACT_WORKLOAD_ZIPF_H_
+#define GENCOMPACT_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gencompact {
+
+/// Zipf(s) sampler over ranks 0..n-1 (rank 0 most frequent), via inverse
+/// CDF on a precomputed table. Used by the dataset generators so attribute
+/// value frequencies are skewed like real catalog data (a handful of
+/// popular authors, makes, colors).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_WORKLOAD_ZIPF_H_

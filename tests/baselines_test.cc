@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cnf_planner.h"
+#include "baselines/disco_planner.h"
+#include "baselines/dnf_planner.h"
+#include "baselines/naive_planner.h"
+#include "expr/condition_parser.h"
+#include "plan/plan_validator.h"
+#include "planner/planner.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+// Bookstore-like source: author/title conjunctive search, no download.
+class BookstoreFixture : public ::testing::Test {
+ protected:
+  BookstoreFixture()
+      : description_(*ParseSsdl(R"(
+          source books(author: string, title: string, price: int) {
+            cost 10.0 1.0;
+            rule f -> author = $string
+                    | title contains $string
+                    | author = $string and title contains $string;
+            export f : {author, title, price};
+          })")),
+        table_("books", description_.schema()) {
+    const auto add = [this](const char* author, const char* title,
+                            int64_t price) {
+      ASSERT_TRUE(table_
+                      .AppendValues({Value::String(author), Value::String(title),
+                                     Value::Int(price)})
+                      .ok());
+    };
+    add("Freud", "the interpretation of dreams", 12);
+    add("Freud", "civilization", 11);
+    add("Jung", "memories dreams reflections", 14);
+    add("Jung", "red book", 30);
+    for (int i = 0; i < 40; ++i) {
+      add(("author" + std::to_string(i)).c_str(),
+          i % 2 ? "field of dreams" : "plain title", 5 + i);
+    }
+    handle_ = std::make_unique<SourceHandle>(description_, &table_);
+  }
+
+  AttributeSet Attrs(const std::vector<std::string>& names) {
+    return *description_.schema().MakeSet(names);
+  }
+
+  // The bookstore target query of Example 1.1.
+  ConditionPtr ExampleCondition() {
+    return Parse(
+        "(author = \"Freud\" or author = \"Jung\") and "
+        "title contains \"dreams\"");
+  }
+
+  SourceDescription description_;
+  Table table_;
+  std::unique_ptr<SourceHandle> handle_;
+};
+
+TEST_F(BookstoreFixture, CnfShipsTitleClauseOnly) {
+  // Garlic: CNF = (author∨author) ∧ (title contains): the author clause is
+  // not supported, the title clause is — so it ships the title clause and
+  // filters authors at the mediator.
+  CnfPlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(ExampleCondition(), Attrs({"title"}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kMediatorSp);
+  EXPECT_EQ((*plan)->CountSourceQueries(), 1u);
+  // The shipped query is the bare `title contains` — the expensive one.
+  std::vector<const PlanNode*> queries;
+  (*plan)->CollectSourceQueries(&queries);
+  EXPECT_EQ(queries[0]->condition()->ToString(), "title contains \"dreams\"");
+}
+
+TEST_F(BookstoreFixture, DnfSendsTwoAuthorQueries) {
+  DnfPlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(ExampleCondition(), Attrs({"title"}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kUnion);
+  EXPECT_EQ((*plan)->CountSourceQueries(), 2u);
+}
+
+TEST_F(BookstoreFixture, DiscoFailsOnExample) {
+  DiscoPlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(ExampleCondition(), Attrs({"title"}));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNoFeasiblePlan);
+}
+
+TEST_F(BookstoreFixture, DiscoSucceedsOnWholeConditionSupported) {
+  DiscoPlanner planner(handle_.get());
+  const Result<PlanPtr> plan = planner.Plan(
+      Parse("author = \"Freud\" and title contains \"dreams\""),
+      Attrs({"title"}));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kSourceQuery);
+}
+
+TEST_F(BookstoreFixture, NaiveAlwaysShipsWholeCondition) {
+  NaivePlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(ExampleCondition(), Attrs({"title"}));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kSourceQuery);
+  // ... and that plan is NOT feasible (the point of the baseline).
+  EXPECT_FALSE(ValidatePlan(**plan, handle_->checker()).ok());
+}
+
+TEST_F(BookstoreFixture, GenCompactBeatsCnfOnEstimatedCost) {
+  GenCompactPlanner gencompact(handle_.get());
+  CnfPlanner cnf(handle_.get());
+  const AttributeSet attrs = Attrs({"title"});
+  const Result<PlanPtr> gc = gencompact.Plan(ExampleCondition(), attrs);
+  const Result<PlanPtr> cnf_plan = cnf.Plan(ExampleCondition(), attrs);
+  ASSERT_TRUE(gc.ok());
+  ASSERT_TRUE(cnf_plan.ok());
+  const CostModel& model = handle_->cost_model();
+  EXPECT_LE(model.PlanCost(**gc), model.PlanCost(**cnf_plan));
+}
+
+TEST_F(BookstoreFixture, MakePlannerFactoryCoversAllStrategies) {
+  for (Strategy strategy :
+       {Strategy::kGenCompact, Strategy::kGenModular, Strategy::kCnf,
+        Strategy::kDnf, Strategy::kDisco, Strategy::kNaive}) {
+    const std::unique_ptr<PlannerStrategy> planner =
+        MakePlanner(strategy, handle_.get());
+    ASSERT_NE(planner, nullptr);
+    EXPECT_EQ(planner->name(), StrategyName(strategy));
+  }
+}
+
+// Source that allows downloads: CNF/DNF/DISCO fall back to download when
+// nothing is shippable.
+class DownloadableFixture : public ::testing::Test {
+ protected:
+  DownloadableFixture()
+      : description_(*ParseSsdl(R"(
+          source R(a: string, p: int) {
+            cost 10.0 1.0;
+            rule f -> a = $string;
+            rule dl -> true;
+            export f : {a, p};
+            export dl : {a, p};
+          })")),
+        table_("R", description_.schema()) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendValues({Value::String(i % 3 ? "x" : "y"),
+                                     Value::Int(i)})
+                      .ok());
+    }
+    handle_ = std::make_unique<SourceHandle>(description_, &table_);
+  }
+
+  SourceDescription description_;
+  Table table_;
+  std::unique_ptr<SourceHandle> handle_;
+};
+
+TEST_F(DownloadableFixture, CnfDownloadFallback) {
+  CnfPlanner planner(handle_.get());
+  // p-only conditions are not shippable; download is.
+  const Result<PlanPtr> plan =
+      planner.Plan(*ParseCondition("p < 3 or p > 4"),
+                   *description_.schema().MakeSet({"a"}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<const PlanNode*> queries;
+  (*plan)->CollectSourceQueries(&queries);
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_TRUE(queries[0]->condition()->is_true());
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+}
+
+TEST_F(DownloadableFixture, DiscoDownloadFallback) {
+  DiscoPlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(*ParseCondition("p < 3"), *description_.schema().MakeSet({"a"}));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+}
+
+TEST_F(DownloadableFixture, DnfPartialShipWithMediatorRest) {
+  DnfPlanner planner(handle_.get());
+  // Disjunct (a = "x" ∧ p < 3): ships a = "x", filters p < 3 locally.
+  const Result<PlanPtr> plan = planner.Plan(
+      *ParseCondition("(a = \"x\" and p < 3) or a = \"y\""),
+      *description_.schema().MakeSet({"a"}));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+  EXPECT_EQ((*plan)->CountSourceQueries(), 2u);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,104 @@
+// Invariant 6 (DESIGN.md): a conjunction is supported by the
+// commutativity-closed description iff SOME permutation of its conjuncts is
+// supported by the original description.
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+#include "workload/random_capability.h"
+
+namespace gencompact {
+namespace {
+
+class ClosurePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosurePropertyTest, ClosedEqualsSomePermutationSupported) {
+  Rng rng(GetParam());
+  const Schema schema({{"s1", ValueType::kString},
+                       {"s2", ValueType::kString},
+                       {"n1", ValueType::kInt},
+                       {"n2", ValueType::kInt}});
+  RandomCapabilityOptions options;
+  options.value_list_probability = 0;  // keep conjunct-permutation exactness
+  const SourceDescription original =
+      RandomCapability("src", schema, options, &rng);
+  const SourceDescription closed = CommutativityClosure(original);
+  Checker check_original(&original);
+  Checker check_closed(&closed);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random conjunction of 1..4 atoms.
+    const size_t n = 1 + rng.NextIndex(4);
+    std::vector<ConditionPtr> atoms;
+    for (size_t i = 0; i < n; ++i) {
+      const int attr_index = static_cast<int>(rng.NextIndex(4));
+      const AttributeDef& attr = schema.attribute(attr_index);
+      static constexpr CompareOp kNumericOps[] = {CompareOp::kEq, CompareOp::kLt,
+                                                  CompareOp::kLe, CompareOp::kGe};
+      const CompareOp op = attr.type == ValueType::kInt
+                               ? kNumericOps[rng.NextIndex(4)]
+                               : (rng.NextBool(0.3) ? CompareOp::kContains
+                                                    : CompareOp::kEq);
+      atoms.push_back(ConditionNode::Atom(
+          attr.name, op,
+          attr.type == ValueType::kInt
+              ? Value::Int(rng.NextInt(0, 9))
+              : Value::String("v" + std::to_string(rng.NextIndex(3)))));
+    }
+    const ConditionPtr cond =
+        ConditionNode::And(std::vector<ConditionPtr>(atoms));
+
+    // Ground truth: try every permutation against the original description.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::vector<AttributeSet> union_of_exports;
+    bool any_permutation = false;
+    do {
+      std::vector<ConditionPtr> permuted;
+      for (size_t index : order) permuted.push_back(atoms[index]);
+      const ConditionPtr permuted_cond =
+          ConditionNode::And(std::move(permuted));
+      const std::vector<AttributeSet>& family =
+          check_original.Check(*permuted_cond);
+      if (!family.empty()) any_permutation = true;
+      for (const AttributeSet& f : family) union_of_exports.push_back(f);
+    } while (std::next_permutation(order.begin(), order.end()));
+
+    const std::vector<AttributeSet>& closed_family = check_closed.Check(*cond);
+    ASSERT_EQ(!closed_family.empty(), any_permutation) << cond->ToString();
+
+    // Every closed-description export must be attainable by some
+    // permutation and vice versa (maximal-set comparison).
+    for (const AttributeSet& f : closed_family) {
+      bool matched = false;
+      for (const AttributeSet& g : union_of_exports) {
+        if (f.IsSubsetOf(g)) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched) << cond->ToString();
+    }
+    for (const AttributeSet& g : union_of_exports) {
+      bool matched = false;
+      for (const AttributeSet& f : closed_family) {
+        if (g.IsSubsetOf(f)) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched) << cond->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "expr/canonical.h"
+#include "expr/condition.h"
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "expr/condition_tokens.h"
+
+namespace gencompact {
+namespace {
+
+Schema CarSchema() {
+  return Schema({{"make", ValueType::kString},
+                 {"color", ValueType::kString},
+                 {"price", ValueType::kInt}});
+}
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString() << " for: " << text;
+  return cond.ok() ? std::move(cond).value() : nullptr;
+}
+
+TEST(ConditionTest, AtomToString) {
+  const ConditionPtr atom =
+      ConditionNode::Atom("make", CompareOp::kEq, Value::String("BMW"));
+  EXPECT_EQ(atom->ToString(), "make = \"BMW\"");
+  EXPECT_EQ(atom->CountAtoms(), 1u);
+  EXPECT_EQ(atom->Depth(), 1u);
+}
+
+TEST(ConditionTest, ConnectorToStringParenthesizesCompounds) {
+  const ConditionPtr cond = Parse(
+      "make = \"BMW\" and (color = \"red\" or color = \"black\")");
+  EXPECT_EQ(cond->ToString(),
+            "make = \"BMW\" and (color = \"red\" or color = \"black\")");
+}
+
+TEST(ConditionTest, SingleChildConnectorCollapses) {
+  const ConditionPtr atom =
+      ConditionNode::Atom("price", CompareOp::kLt, Value::Int(5));
+  EXPECT_EQ(ConditionNode::And({atom}).get(), atom.get());
+  EXPECT_EQ(ConditionNode::Or({atom}).get(), atom.get());
+}
+
+TEST(ConditionTest, ParserBuildsNaryNodes) {
+  const ConditionPtr cond = Parse("price < 1 and price < 2 and price < 3");
+  ASSERT_EQ(cond->kind(), ConditionNode::Kind::kAnd);
+  EXPECT_EQ(cond->children().size(), 3u);
+}
+
+TEST(ConditionTest, ParserPrecedenceOrBindsLooser) {
+  const ConditionPtr cond = Parse("price < 1 and price < 2 or price < 3");
+  ASSERT_EQ(cond->kind(), ConditionNode::Kind::kOr);
+  EXPECT_EQ(cond->children().size(), 2u);
+  EXPECT_EQ(cond->children()[0]->kind(), ConditionNode::Kind::kAnd);
+}
+
+TEST(ConditionTest, ParserInListSugar) {
+  const ConditionPtr cond = Parse("color in {\"red\", \"black\"}");
+  ASSERT_EQ(cond->kind(), ConditionNode::Kind::kOr);
+  EXPECT_EQ(cond->children().size(), 2u);
+  EXPECT_EQ(cond->children()[0]->atom().op, CompareOp::kEq);
+}
+
+TEST(ConditionTest, ParserSymbolSynonyms) {
+  EXPECT_EQ(Parse("price <> 3")->atom().op, CompareOp::kNe);
+  EXPECT_EQ(Parse("price == 3")->atom().op, CompareOp::kEq);
+  const ConditionPtr cond = Parse("price < 1 && price < 2 || price < 3");
+  EXPECT_EQ(cond->kind(), ConditionNode::Kind::kOr);
+}
+
+TEST(ConditionTest, ParserStringEscapes) {
+  const ConditionPtr cond = Parse("make = \"a\\\"b\"");
+  EXPECT_EQ(cond->atom().constant, Value::String("a\"b"));
+}
+
+TEST(ConditionTest, ParserNegativeAndFloatLiterals) {
+  EXPECT_EQ(Parse("price < -5")->atom().constant, Value::Int(-5));
+  EXPECT_EQ(Parse("price < 2.5")->atom().constant, Value::Double(2.5));
+}
+
+TEST(ConditionTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseCondition("").ok());
+  EXPECT_FALSE(ParseCondition("make =").ok());
+  EXPECT_FALSE(ParseCondition("(make = \"x\"").ok());
+  EXPECT_FALSE(ParseCondition("make = \"x\" extra").ok());
+  EXPECT_FALSE(ParseCondition("make ~ \"x\"").ok());
+  EXPECT_FALSE(ParseCondition("make = \"unterminated").ok());
+}
+
+TEST(ConditionTest, ParseToStringRoundTrip) {
+  const char* const kCases[] = {
+      "make = \"BMW\"",
+      "price < 40000 and color = \"red\"",
+      "(make = \"a\" and price < 1) or (make = \"b\" and price < 2)",
+      "make contains \"M\" or (price >= 3 and price <= 9)",
+  };
+  for (const char* text : kCases) {
+    const ConditionPtr cond = Parse(text);
+    const ConditionPtr again = Parse(cond->ToString());
+    EXPECT_TRUE(cond->StructurallyEquals(*again)) << text;
+  }
+}
+
+TEST(ConditionTest, AttributesComputesAttrSet) {
+  const Schema schema = CarSchema();
+  const ConditionPtr cond = Parse("make = \"x\" and (price < 2 or make = \"y\")");
+  const Result<AttributeSet> attrs = cond->Attributes(schema);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->Indices(), (std::vector<int>{0, 2}));
+  EXPECT_FALSE(Parse("vin = \"z\"")->Attributes(schema).ok());
+}
+
+TEST(ConditionTest, StructuralEqualityIsOrderSensitive) {
+  const ConditionPtr a = Parse("make = \"x\" and price < 2");
+  const ConditionPtr b = Parse("price < 2 and make = \"x\"");
+  EXPECT_FALSE(a->StructurallyEquals(*b));
+  EXPECT_TRUE(a->StructurallyEquals(*Parse("make = \"x\" and price < 2")));
+}
+
+TEST(CanonicalTest, FlattensNestedSameKind) {
+  const ConditionPtr nested = Parse("(price < 1 and price < 2) and price < 3");
+  // The parser already flattens textual nesting of the same connector only
+  // when unparenthesized; parenthesized nesting survives.
+  const ConditionPtr canonical = Canonicalize(nested);
+  EXPECT_EQ(canonical->children().size(), 3u);
+  EXPECT_TRUE(IsCanonical(*canonical));
+}
+
+TEST(CanonicalTest, PreservesAlternation) {
+  const ConditionPtr cond =
+      Parse("price < 1 and (price < 2 or (price < 3 or price < 4))");
+  const ConditionPtr canonical = Canonicalize(cond);
+  ASSERT_EQ(canonical->kind(), ConditionNode::Kind::kAnd);
+  ASSERT_EQ(canonical->children().size(), 2u);
+  EXPECT_EQ(canonical->children()[1]->children().size(), 3u);
+  EXPECT_TRUE(IsCanonical(*canonical));
+}
+
+TEST(CanonicalTest, TrueSimplification) {
+  const ConditionPtr t = ConditionNode::True();
+  const ConditionPtr atom = Parse("price < 1");
+  EXPECT_TRUE(Canonicalize(ConditionNode::And({t, atom}))->is_atom());
+  EXPECT_TRUE(Canonicalize(ConditionNode::Or({t, atom}))->is_true());
+  EXPECT_TRUE(Canonicalize(ConditionNode::And({t, t}))->is_true());
+}
+
+TEST(CanonicalTest, PreservesChildOrder) {
+  const ConditionPtr cond = Parse("(price < 2 and price < 1) and price < 3");
+  const ConditionPtr canonical = Canonicalize(cond);
+  EXPECT_EQ(canonical->ToString(), "price < 2 and price < 1 and price < 3");
+}
+
+TEST(EvalTest, AtomOpsAgainstRow) {
+  const Schema schema = CarSchema();
+  const RowLayout full(schema.AllAttributes(), 3);
+  const Row row({Value::String("BMW"), Value::String("red"), Value::Int(30000)});
+
+  const auto eval = [&](const std::string& text) {
+    const Result<bool> r = EvalCondition(*Parse(text), row, full, schema);
+    EXPECT_TRUE(r.ok());
+    return r.ok() && *r;
+  };
+  EXPECT_TRUE(eval("make = \"BMW\""));
+  EXPECT_FALSE(eval("make = \"Toyota\""));
+  EXPECT_TRUE(eval("price < 40000"));
+  EXPECT_FALSE(eval("price < 30000"));
+  EXPECT_TRUE(eval("price <= 30000"));
+  EXPECT_TRUE(eval("price >= 30000"));
+  EXPECT_TRUE(eval("price != 1"));
+  EXPECT_TRUE(eval("make contains \"MW\""));
+  EXPECT_FALSE(eval("make contains \"mw\""));
+  EXPECT_TRUE(eval("make startswith \"BM\""));
+  EXPECT_TRUE(eval("make = \"BMW\" and (color = \"red\" or color = \"blue\")"));
+  EXPECT_FALSE(eval("make = \"BMW\" and color = \"blue\""));
+  EXPECT_TRUE(eval("true"));
+}
+
+TEST(EvalTest, MissingAttributeInLayoutFails) {
+  const Schema schema = CarSchema();
+  AttributeSet only_make;
+  only_make.Add(0);
+  const RowLayout layout(only_make, 3);
+  const Row row({Value::String("BMW")});
+  EXPECT_FALSE(EvalCondition(*Parse("price < 1"), row, layout, schema).ok());
+  EXPECT_TRUE(EvalCondition(*Parse("make = \"BMW\""), row, layout, schema).ok());
+}
+
+TEST(EvalTest, NullNeverMatches) {
+  const Schema schema = CarSchema();
+  const RowLayout full(schema.AllAttributes(), 3);
+  const Row row({Value::Null(), Value::String("red"), Value::Null()});
+  EXPECT_FALSE(*EvalCondition(*Parse("make = \"BMW\""), row, full, schema));
+  EXPECT_FALSE(*EvalCondition(*Parse("price < 99999"), row, full, schema));
+  EXPECT_FALSE(*EvalCondition(*Parse("price != 1"), row, full, schema));
+}
+
+TEST(TokensTest, AtomSerialization) {
+  const ConditionPtr cond = Parse("make = \"BMW\"");
+  const std::vector<CondToken> tokens = TokenizeCondition(*cond);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, CondToken::Type::kAttr);
+  EXPECT_EQ(tokens[1].type, CondToken::Type::kOp);
+  EXPECT_EQ(tokens[2].type, CondToken::Type::kConst);
+  EXPECT_EQ(TokensToString(tokens), "make = \"BMW\"");
+}
+
+TEST(TokensTest, CompoundChildrenGetParens) {
+  const ConditionPtr cond = Parse(
+      "make = \"a\" and (color = \"r\" or color = \"b\")");
+  EXPECT_EQ(TokensToString(TokenizeCondition(*cond)),
+            "make = \"a\" and ( color = \"r\" or color = \"b\" )");
+}
+
+TEST(TokensTest, TrueToken) {
+  const std::vector<CondToken> tokens =
+      TokenizeCondition(*ConditionNode::True());
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, CondToken::Type::kTrue);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "cost/cardinality.h"
+#include "cost/cost_model.h"
+#include "expr/condition_parser.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+class EstimationFixture : public ::testing::Test {
+ protected:
+  EstimationFixture()
+      : schema_({{"cat", ValueType::kString},
+                 {"n", ValueType::kInt},
+                 {"text", ValueType::kString}}),
+        table_("t", schema_) {
+    // 1000 rows: cat in {c0..c9} uniform; n = 0..999; text has "needle" in
+    // exactly 10% of rows.
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(
+          table_
+              .AppendValues({Value::String("c" + std::to_string(i % 10)),
+                             Value::Int(i),
+                             Value::String(i % 10 == 3 ? "has needle here"
+                                                       : "plain text")})
+              .ok());
+    }
+    stats_ = TableStats::Compute(table_);
+    estimator_ =
+        std::make_unique<StatsCardinalityEstimator>(&schema_, &stats_);
+  }
+
+  double Selectivity(const std::string& cond) {
+    return EstimateSelectivity(*Parse(cond), schema_, stats_);
+  }
+
+  Schema schema_;
+  Table table_;
+  TableStats stats_;
+  std::unique_ptr<StatsCardinalityEstimator> estimator_;
+};
+
+TEST_F(EstimationFixture, EqualityUsesExactCommonValueCounts) {
+  // 10 categories tracked exactly (kMaxCommonValues = 32).
+  EXPECT_NEAR(Selectivity("cat = \"c3\""), 0.1, 0.01);
+  EXPECT_NEAR(Selectivity("cat = \"nope\""), 0.0, 1e-9);
+}
+
+TEST_F(EstimationFixture, RangeUsesHistogram) {
+  EXPECT_NEAR(Selectivity("n < 500"), 0.5, 0.05);
+  EXPECT_NEAR(Selectivity("n >= 900"), 0.1, 0.05);
+  EXPECT_NEAR(Selectivity("n < 0"), 0.0, 1e-9);
+  EXPECT_NEAR(Selectivity("n <= 999"), 1.0, 0.01);
+}
+
+TEST_F(EstimationFixture, ContainsUsesValueSample) {
+  EXPECT_NEAR(Selectivity("text contains \"needle\""), 0.1, 0.06);
+  EXPECT_LT(Selectivity("text contains \"absent-token\""), 0.02);
+}
+
+TEST_F(EstimationFixture, ConnectivesCombine) {
+  const double eq = Selectivity("cat = \"c3\"");
+  const double range = Selectivity("n < 500");
+  EXPECT_NEAR(Selectivity("cat = \"c3\" and n < 500"), eq * range, 1e-9);
+  EXPECT_NEAR(Selectivity("cat = \"c3\" or n < 500"),
+              1 - (1 - eq) * (1 - range), 1e-9);
+  EXPECT_NEAR(Selectivity("true"), 1.0, 1e-12);
+}
+
+TEST_F(EstimationFixture, EstimateRowsScalesByTableSize) {
+  EXPECT_NEAR(estimator_->EstimateRows(*Parse("cat = \"c3\"")), 100, 10);
+}
+
+TEST_F(EstimationFixture, ResultRowsCappedByDistinctCombinations) {
+  // Projecting `cat` only: at most 10 distinct values, even though ~500
+  // rows satisfy the predicate.
+  AttributeSet cat_only;
+  cat_only.Add(0);
+  EXPECT_LE(estimator_->EstimateResultRows(*Parse("n < 500"), cat_only), 10.0);
+  // Projecting n keeps the full estimate.
+  AttributeSet n_only;
+  n_only.Add(1);
+  EXPECT_NEAR(estimator_->EstimateResultRows(*Parse("n < 500"), n_only), 500,
+              50);
+}
+
+TEST_F(EstimationFixture, EqualityPinsDistinctBound) {
+  AttributeSet cat_only;
+  cat_only.Add(0);
+  // cat = "c3" pins cat to one value regardless of how many rows match.
+  EXPECT_LE(
+      estimator_->EstimateResultRows(*Parse("cat = \"c3\""), cat_only), 1.0);
+  // A value list pins it to the list size.
+  EXPECT_LE(estimator_->EstimateResultRows(
+                *Parse("cat = \"c3\" or cat = \"c4\""), cat_only),
+            2.0);
+  // Conjunct with an eq on cat pins cat even when other conjuncts exist.
+  EXPECT_LE(estimator_->EstimateResultRows(
+                *Parse("cat = \"c3\" and n < 500"), cat_only),
+            1.0);
+}
+
+TEST_F(EstimationFixture, DistinctBoundHelper) {
+  const int cat = 0;
+  EXPECT_EQ(estimator_->DistinctBoundFromCondition(*Parse("cat = \"x\""), cat),
+            1.0);
+  EXPECT_EQ(estimator_->DistinctBoundFromCondition(
+                *Parse("cat = \"x\" or cat = \"y\" or cat = \"z\""), cat),
+            3.0);
+  EXPECT_FALSE(estimator_
+                   ->DistinctBoundFromCondition(*Parse("cat contains \"x\""),
+                                                cat)
+                   .has_value());
+  EXPECT_FALSE(estimator_
+                   ->DistinctBoundFromCondition(
+                       *Parse("cat = \"x\" or n < 5"), cat)
+                   .has_value());
+  EXPECT_EQ(estimator_->DistinctBoundFromCondition(
+                *Parse("n < 5 and cat = \"x\""), cat),
+            1.0);
+}
+
+TEST_F(EstimationFixture, SelectivityClampedToUnitInterval) {
+  std::vector<ConditionPtr> many;
+  for (int i = 0; i < 20; ++i) {
+    many.push_back(Parse("n >= 0"));
+  }
+  const double s =
+      EstimateSelectivity(*ConditionNode::Or(std::move(many)), schema_, stats_);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(EstimationEdgeTest, EmptyTable) {
+  const Schema schema({{"a", ValueType::kInt}});
+  Table table("t", schema);
+  const TableStats stats = TableStats::Compute(table);
+  const StatsCardinalityEstimator estimator(&schema, &stats);
+  EXPECT_EQ(estimator.EstimateRows(*ParseCondition("a = 1").value()), 0.0);
+}
+
+TEST(EstimationEdgeTest, UnknownAttributeUsesDefault) {
+  const Schema schema({{"a", ValueType::kInt}});
+  Table table("t", schema);
+  ASSERT_TRUE(table.AppendValues({Value::Int(1)}).ok());
+  const TableStats stats = TableStats::Compute(table);
+  // A condition over an attribute missing from the schema falls back to the
+  // default selectivity instead of crashing.
+  const double s = EstimateSelectivity(
+      *ParseCondition("zzz = 1").value(), schema, stats);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+}  // namespace
+}  // namespace gencompact

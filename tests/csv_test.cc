@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+
+namespace gencompact {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"count", ValueType::kInt},
+                 {"ratio", ValueType::kDouble},
+                 {"flag", ValueType::kBool}});
+}
+
+TEST(CsvTest, LoadsTypedRows) {
+  const Result<std::unique_ptr<Table>> table = LoadCsv(
+      "name,count,ratio,flag\n"
+      "alpha,3,0.5,true\n"
+      "beta,-7,2,false\n",
+      "t", TestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->num_rows(), 2u);
+  const Row& row = (*table)->rows()[0];
+  EXPECT_EQ(row.value(0), Value::String("alpha"));
+  EXPECT_EQ(row.value(1), Value::Int(3));
+  EXPECT_EQ(row.value(2), Value::Double(0.5));
+  EXPECT_EQ(row.value(3), Value::Bool(true));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  const Result<std::unique_ptr<Table>> table = LoadCsv(
+      "name,count,ratio,flag\n"
+      "\"a, b\",1,1.0,1\n"
+      "\"say \"\"hi\"\"\",2,2.0,0\n",
+      "t", TestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->rows()[0].value(0), Value::String("a, b"));
+  EXPECT_EQ((*table)->rows()[1].value(0), Value::String("say \"hi\""));
+  EXPECT_EQ((*table)->rows()[1].value(3), Value::Bool(false));
+}
+
+TEST(CsvTest, EmptyUnquotedFieldIsNull) {
+  const Result<std::unique_ptr<Table>> table = LoadCsv(
+      "name,count,ratio,flag\n"
+      ",,,\n",
+      "t", TestSchema());
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE((*table)->rows()[0].value(i).is_null());
+  }
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  const Result<std::unique_ptr<Table>> table =
+      LoadCsv("x,1,1.5,true\n", "t", TestSchema(), /*expect_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  const Result<std::unique_ptr<Table>> table =
+      LoadCsv("name,n,ratio,flag\nx,1,1.5,true\n", "t", TestSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, WidthMismatchReportsLine) {
+  const Result<std::unique_ptr<Table>> table = LoadCsv(
+      "name,count,ratio,flag\nx,1,1.5\n", "t", TestSchema());
+  ASSERT_FALSE(table.ok());
+  EXPECT_NE(table.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, CoercionErrors) {
+  EXPECT_FALSE(
+      LoadCsv("name,count,ratio,flag\nx,notanint,1.0,true\n", "t", TestSchema())
+          .ok());
+  EXPECT_FALSE(
+      LoadCsv("name,count,ratio,flag\nx,1,huh,true\n", "t", TestSchema()).ok());
+  EXPECT_FALSE(
+      LoadCsv("name,count,ratio,flag\nx,1,1.0,maybe\n", "t", TestSchema()).ok());
+  EXPECT_FALSE(
+      LoadCsv("name,count,ratio,flag\n\"unterminated,1,1.0,true\n", "t",
+              TestSchema())
+          .ok());
+}
+
+TEST(CsvTest, CrLfAndBlankLinesTolerated) {
+  const Result<std::unique_ptr<Table>> table = LoadCsv(
+      "name,count,ratio,flag\r\n"
+      "\r\n"
+      "x,1,1.0,true\r\n"
+      "\n",
+      "t", TestSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST(CsvTest, RoundTripThroughWriteCsv) {
+  const Result<std::unique_ptr<Table>> original = LoadCsv(
+      "name,count,ratio,flag\n"
+      "\"a, b\",1,1.5,true\n"
+      "plain,2,2.5,false\n"
+      ",3,,true\n",
+      "t", TestSchema());
+  ASSERT_TRUE(original.ok());
+  const std::string csv = WriteCsv(**original);
+  const Result<std::unique_ptr<Table>> reloaded =
+      LoadCsv(csv, "t", TestSchema());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << csv;
+  ASSERT_EQ((*reloaded)->num_rows(), (*original)->num_rows());
+  for (size_t r = 0; r < (*original)->num_rows(); ++r) {
+    EXPECT_EQ((*reloaded)->rows()[r], (*original)->rows()[r]) << "row " << r;
+  }
+}
+
+TEST(CsvTest, LoadCsvFileMissing) {
+  EXPECT_EQ(LoadCsvFile("/nonexistent/file.csv", "t", TestSchema())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/condition_parser.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+#include "ssdl/description_io.h"
+#include "ssdl/ssdl_parser.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+TEST(DescriptionIoTest, WritesParseableText) {
+  const Result<SourceDescription> original = ParseSsdl(R"(
+    source R(make: string, model: string, price: int) {
+      cost 12.5 0.75;
+      rule s1 -> make = $string and price < $int;
+      rule s2 -> make = $string | model contains $string;
+      export s1 : {make, model};
+      export s2 : {make, model, price};
+    })");
+  ASSERT_TRUE(original.ok());
+  const Result<std::string> text = WriteSsdl(*original);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  const Result<SourceDescription> reloaded = ParseSsdl(*text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << *text;
+  EXPECT_EQ(reloaded->source_name(), "R");
+  EXPECT_DOUBLE_EQ(reloaded->k1(), 12.5);
+  EXPECT_DOUBLE_EQ(reloaded->k2(), 0.75);
+  EXPECT_EQ(reloaded->condition_nonterminals().size(), 2u);
+}
+
+TEST(DescriptionIoTest, RoundTripPreservesLanguage) {
+  const Result<SourceDescription> original = ParseSsdl(R"(
+    source R(a: string, b: string, p: int) {
+      rule s1 -> a = $string and p <= $int;
+      rule s2 -> b = "pinned";
+      export s1 : {a, b, p};
+      export s2 : {a, b};
+    })");
+  ASSERT_TRUE(original.ok());
+  const Result<std::string> text = WriteSsdl(*original);
+  ASSERT_TRUE(text.ok());
+  const Result<SourceDescription> reloaded = ParseSsdl(*text);
+  ASSERT_TRUE(reloaded.ok());
+
+  Checker before(&*original);
+  Checker after(&*reloaded);
+  const char* const kProbes[] = {
+      "a = \"x\" and p <= 5",
+      "p <= 5 and a = \"x\"",      // unsupported in both (no closure)
+      "b = \"pinned\"",
+      "b = \"other\"",             // literal mismatch
+      "a = \"x\"",
+      "true",
+  };
+  for (const char* probe : kProbes) {
+    const ConditionPtr cond = Parse(probe);
+    EXPECT_EQ(before.Check(*cond).empty(), after.Check(*cond).empty()) << probe;
+    if (!before.Check(*cond).empty()) {
+      EXPECT_EQ(before.Check(*cond), after.Check(*cond)) << probe;
+    }
+  }
+}
+
+TEST(DescriptionIoTest, ClosedDescriptionRoundTrips) {
+  const Result<SourceDescription> original = ParseSsdl(R"(
+    source R(a: string, p: int) {
+      rule s1 -> a = $string and p < $int;
+      export s1 : {a, p};
+    })");
+  ASSERT_TRUE(original.ok());
+  const SourceDescription closed = CommutativityClosure(*original);
+  const Result<std::string> text = WriteSsdl(closed);
+  ASSERT_TRUE(text.ok());
+  const Result<SourceDescription> reloaded = ParseSsdl(*text);
+  ASSERT_TRUE(reloaded.ok());
+  Checker checker(&*reloaded);
+  EXPECT_FALSE(checker.Check(*Parse("p < 3 and a = \"x\"")).empty());
+}
+
+// Property: random capability descriptions round-trip (language-equal on
+// random probe conditions).
+class DescriptionIoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DescriptionIoPropertyTest, RandomCapabilitiesRoundTrip) {
+  Rng rng(GetParam());
+  const Schema schema({{"s1", ValueType::kString},
+                       {"s2", ValueType::kString},
+                       {"n1", ValueType::kInt}});
+  const SourceDescription original =
+      RandomCapability("src", schema, RandomCapabilityOptions{}, &rng);
+  const Result<std::string> text = WriteSsdl(original);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const Result<SourceDescription> reloaded = ParseSsdl(*text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << *text;
+
+  Checker before(&original);
+  Checker after(&*reloaded);
+
+  std::vector<AttributeDomain> domains;
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    AttributeDomain domain;
+    domain.name = schema.attribute(static_cast<int>(a)).name;
+    domain.type = schema.attribute(static_cast<int>(a)).type;
+    for (int v = 0; v < 3; ++v) {
+      domain.sample_values.push_back(domain.type == ValueType::kInt
+                                         ? Value::Int(v)
+                                         : Value::String("v" + std::to_string(v)));
+    }
+    domains.push_back(std::move(domain));
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomConditionOptions options;
+    options.num_atoms = 1 + rng.NextIndex(4);
+    const ConditionPtr cond = RandomCondition(domains, options, &rng);
+    EXPECT_EQ(before.Check(*cond), after.Check(*cond)) << cond->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptionIoPropertyTest,
+                         ::testing::Values(5, 15, 25, 35, 45));
+
+}  // namespace
+}  // namespace gencompact

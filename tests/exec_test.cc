@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "expr/condition_parser.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+class ExecFixture : public ::testing::Test {
+ protected:
+  ExecFixture()
+      : description_(*ParseSsdl(R"(
+          source R(k: string, v: int) {
+            rule s1 -> k = $string;
+            rule s2 -> v < $int;
+            rule s3 -> v >= $int;
+            export s1 : {k, v};
+            export s2 : {k, v};
+            export s3 : {k, v};
+          })")),
+        table_("R", description_.schema()),
+        source_(&table_, &description_) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendValues({Value::String(i % 2 ? "odd" : "even"),
+                                     Value::Int(i)})
+                      .ok());
+    }
+  }
+
+  AttributeSet Attrs(const std::vector<std::string>& names) {
+    return *description_.schema().MakeSet(names);
+  }
+
+  SourceDescription description_;
+  Table table_;
+  Source source_;
+};
+
+TEST_F(ExecFixture, SourceAnswersSupportedQuery) {
+  const Result<RowSet> rows =
+      source_.Execute(*Parse("k = \"odd\""), Attrs({"k", "v"}));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+  EXPECT_EQ(source_.stats().queries_answered, 1u);
+  EXPECT_EQ(source_.stats().rows_returned, 5u);
+}
+
+TEST_F(ExecFixture, SourceRejectsUnsupportedCondition) {
+  const Result<RowSet> rows =
+      source_.Execute(*Parse("k = \"odd\" and v < 5"), Attrs({"k"}));
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(source_.stats().queries_rejected, 1u);
+}
+
+TEST_F(ExecFixture, SourceDeduplicatesProjectedRows) {
+  const Result<RowSet> rows = source_.Execute(*Parse("v < 6"), Attrs({"k"}));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // "odd" and "even"
+}
+
+TEST_F(ExecFixture, ExecutorRunsSourceQuery) {
+  Executor executor(&source_);
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(executor.stats().source_queries, 1u);
+  EXPECT_EQ(executor.stats().rows_transferred, 3u);
+}
+
+TEST_F(ExecFixture, ExecutorMediatorSelectProject) {
+  Executor executor(&source_);
+  // Fetch v < 8 with both attrs, filter k = "odd" at the mediator, project v.
+  const PlanPtr plan = PlanNode::MediatorSp(
+      Parse("k = \"odd\""), Attrs({"v"}),
+      PlanNode::SourceQuery(Parse("v < 8"), Attrs({"k", "v"})));
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);  // 1, 3, 5, 7
+  EXPECT_EQ(executor.stats().rows_transferred, 8u);
+}
+
+TEST_F(ExecFixture, ExecutorUnionDeduplicates) {
+  Executor executor(&source_);
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"}))});
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  // Overlap rows 4 and 5 are transferred twice but deduplicated.
+  EXPECT_EQ(executor.stats().rows_transferred, 12u);
+}
+
+TEST_F(ExecFixture, ExecutorIntersect) {
+  Executor executor(&source_);
+  const PlanPtr plan = PlanNode::IntersectOf(
+      {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"}))});
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // 4, 5
+}
+
+TEST_F(ExecFixture, ExecutorRefusesChoice) {
+  Executor executor(&source_);
+  const PlanPtr a = PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"}));
+  const PlanPtr b = PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"}));
+  const Result<RowSet> rows = executor.Execute(*PlanNode::Choice({a, b}));
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ExecFixture, TrueCostFormula) {
+  Executor executor(&source_);
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"}))});
+  ASSERT_TRUE(executor.Execute(*plan).ok());
+  EXPECT_DOUBLE_EQ(executor.stats().TrueCost(10.0, 1.0), 2 * 10.0 + 12.0);
+}
+
+TEST_F(ExecFixture, UnsupportedPropagatesThroughPlan) {
+  Executor executor(&source_);
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("k = \"odd\" and v < 5"), Attrs({"v"}))});
+  EXPECT_EQ(executor.Execute(*plan).status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace gencompact

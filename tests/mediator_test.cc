@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "expr/condition_parser.h"
+#include "mediator/mediator.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+constexpr const char* kSsdl = R"(
+source cars(make: string, model: string, year: int,
+            color: string, price: int) {
+  cost 10.0 1.0;
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+class MediatorFixture : public ::testing::Test {
+ protected:
+  MediatorFixture() {
+    Result<SourceDescription> description = ParseSsdl(kSsdl);
+    EXPECT_TRUE(description.ok());
+    auto table = std::make_unique<Table>("cars", description->schema());
+    const auto add = [&](const char* make, const char* model, int64_t year,
+                         const char* color, int64_t price) {
+      EXPECT_TRUE(table
+                      ->AppendValues({Value::String(make), Value::String(model),
+                                      Value::Int(year), Value::String(color),
+                                      Value::Int(price)})
+                      .ok());
+    };
+    add("BMW", "318i", 1996, "red", 21000);
+    add("BMW", "528i", 1997, "black", 38000);
+    add("Toyota", "Corolla", 1997, "red", 13000);
+    add("Toyota", "Camry", 1998, "blue", 19000);
+    EXPECT_TRUE(mediator_
+                    .RegisterSource(std::move(description).value(),
+                                    std::move(table))
+                    .ok());
+  }
+
+  Mediator mediator_;
+};
+
+TEST(SqlParserTest, ParsesSelectList) {
+  const Result<ParsedQuery> q =
+      ParseSql("SELECT make, model FROM cars WHERE price < 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select_list, (std::vector<std::string>{"make", "model"}));
+  EXPECT_EQ(q->source, "cars");
+  EXPECT_EQ(q->condition->ToString(), "price < 5");
+}
+
+TEST(SqlParserTest, SelectStarAndNoWhere) {
+  const Result<ParsedQuery> q = ParseSql("select * from cars");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_list.empty());
+  EXPECT_TRUE(q->condition->is_true());
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  const Result<ParsedQuery> q =
+      ParseSql("SeLeCt make FrOm cars WhErE make = \"BMW\"");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->source, "cars");
+}
+
+TEST(SqlParserTest, KeywordInsideStringLiteralIgnored) {
+  const Result<ParsedQuery> q =
+      ParseSql("SELECT make FROM cars WHERE make = \"from where\"");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->condition->atom().constant, Value::String("from where"));
+}
+
+TEST(SqlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("FROM cars").ok());
+  EXPECT_FALSE(ParseSql("SELECT make").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM cars").ok());
+  EXPECT_FALSE(ParseSql("SELECT make FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT make FROM cars WHERE").ok());
+}
+
+TEST_F(MediatorFixture, EndToEndQuery) {
+  const Result<Mediator::QueryResult> result = mediator_.Query(
+      "SELECT model FROM cars WHERE "
+      "(make = \"BMW\" and price < 40000) or "
+      "(make = \"Toyota\" and price < 20000)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->exec.source_queries, 2u);
+  EXPECT_GT(result->true_cost, 0.0);
+  EXPECT_GT(result->estimated_cost, 0.0);
+}
+
+TEST_F(MediatorFixture, UnknownSourceFails) {
+  EXPECT_EQ(mediator_.Query("SELECT x FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MediatorFixture, UnknownAttributeFails) {
+  EXPECT_EQ(
+      mediator_.Query("SELECT vin FROM cars WHERE make = \"BMW\"").status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(MediatorFixture, NoFeasiblePlanSurfacesAsStatus) {
+  EXPECT_EQ(mediator_.Query("SELECT model FROM cars WHERE year = 1998")
+                .status()
+                .code(),
+            StatusCode::kNoFeasiblePlan);
+}
+
+TEST_F(MediatorFixture, ExplainReturnsValidatedPlan) {
+  const Result<PlanPtr> plan = mediator_.Explain(
+      "SELECT model FROM cars WHERE make = \"BMW\" and price < 30000",
+      Strategy::kGenCompact);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kSourceQuery);
+}
+
+TEST_F(MediatorFixture, ExplainTextMentionsOperators) {
+  const Result<std::string> text = mediator_.ExplainText(
+      "SELECT model FROM cars WHERE "
+      "(make = \"BMW\" and price < 40000) or (make = \"Toyota\" and price < 20000)",
+      Strategy::kGenCompact);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Union"), std::string::npos);
+  EXPECT_NE(text->find("SourceQuery"), std::string::npos);
+}
+
+TEST_F(MediatorFixture, ExplainAnalyzeReportsEstimatedVsActual) {
+  const Result<std::string> text = mediator_.ExplainAnalyze(
+      "SELECT model FROM cars WHERE "
+      "(make = \"BMW\" and price < 40000) or (make = \"Toyota\" and price < 20000)",
+      Strategy::kGenCompact);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("estimated vs actual"), std::string::npos);
+  EXPECT_NE(text->find("actual="), std::string::npos);
+  EXPECT_NE(text->find("true cost"), std::string::npos);
+}
+
+TEST_F(MediatorFixture, ExplainAnalyzeUnsatisfiableShortCircuits) {
+  const Result<std::string> text = mediator_.ExplainAnalyze(
+      "SELECT model FROM cars WHERE make = \"BMW\" and make = \"Audi\"",
+      Strategy::kGenCompact);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("EmptyResult"), std::string::npos);
+}
+
+TEST_F(MediatorFixture, StrategiesCanDisagreeOnFeasibility) {
+  // DISCO cannot split the disjunction and the source has no download.
+  const std::string sql =
+      "SELECT model FROM cars WHERE "
+      "(make = \"BMW\" and price < 40000) or (make = \"Toyota\" and price < 20000)";
+  EXPECT_TRUE(mediator_.Query(sql, Strategy::kGenCompact).ok());
+  EXPECT_EQ(mediator_.Query(sql, Strategy::kDisco).status().code(),
+            StatusCode::kNoFeasiblePlan);
+}
+
+TEST_F(MediatorFixture, NaiveStrategyRejectedAtExecution) {
+  const std::string sql =
+      "SELECT model FROM cars WHERE "
+      "(make = \"BMW\" and price < 40000) or (make = \"Toyota\" and price < 20000)";
+  const Result<Mediator::QueryResult> result =
+      mediator_.Query(sql, Strategy::kNaive);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MediatorFixture, DuplicateRegistrationFails) {
+  Result<SourceDescription> description = ParseSsdl(kSsdl);
+  ASSERT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  EXPECT_FALSE(mediator_
+                   .RegisterSource(std::move(description).value(),
+                                   std::move(table))
+                   .ok());
+}
+
+TEST_F(MediatorFixture, QueryConditionProgrammaticForm) {
+  Result<ConditionPtr> cond = ParseCondition("make = \"BMW\" and price < 30000");
+  ASSERT_TRUE(cond.ok());
+  const Result<Mediator::QueryResult> result = mediator_.QueryCondition(
+      "cars", *cond, {"model", "year"}, Strategy::kGenCompact);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);  // 318i
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,154 @@
+// Quantitative versions of the paper's two motivating examples (Section 1),
+// on the synthetic datasets of src/workload. These pin the *shape* of the
+// results the paper reports: which strategies are feasible, who ships fewer
+// rows, and by what rough magnitude.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/plan_validator.h"
+#include "planner/planner.h"
+#include "workload/datasets.h"
+
+namespace gencompact {
+namespace {
+
+struct RunOutcome {
+  bool feasible = false;
+  size_t source_queries = 0;
+  uint64_t rows_transferred = 0;
+  size_t result_rows = 0;
+};
+
+RunOutcome RunStrategy(Strategy strategy, const Dataset& dataset,
+                       SourceHandle* handle, Source* source) {
+  const std::unique_ptr<PlannerStrategy> planner = MakePlanner(strategy, handle);
+  const Result<AttributeSet> attrs =
+      handle->schema().MakeSet(dataset.example_attrs);
+  EXPECT_TRUE(attrs.ok());
+  const Result<PlanPtr> plan = planner->Plan(dataset.example_condition, *attrs);
+  RunOutcome outcome;
+  if (!plan.ok()) return outcome;
+  EXPECT_TRUE(ValidatePlan(**plan, handle->checker()).ok())
+      << StrategyName(strategy);
+  Executor executor(source);
+  const Result<RowSet> rows = executor.Execute(**plan);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  if (!rows.ok()) return outcome;
+  outcome.feasible = true;
+  outcome.source_queries = executor.stats().source_queries;
+  outcome.rows_transferred = executor.stats().rows_transferred;
+  outcome.result_rows = rows->size();
+  return outcome;
+}
+
+class BookstoreExampleTest : public ::testing::Test {
+ protected:
+  BookstoreExampleTest() : dataset_(MakeBookstore(50000, /*seed=*/42)) {
+    handle_ = std::make_unique<SourceHandle>(dataset_.description,
+                                             dataset_.table.get());
+    source_ = std::make_unique<Source>(dataset_.table.get(),
+                                       &handle_->description());
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<SourceHandle> handle_;
+  std::unique_ptr<Source> source_;
+};
+
+TEST_F(BookstoreExampleTest, GenCompactUsesTwoQueriesUnderTwentyRows) {
+  const RunOutcome outcome = RunStrategy(Strategy::kGenCompact, dataset_,
+                                         handle_.get(), source_.get());
+  ASSERT_TRUE(outcome.feasible);
+  // "We can first search for Freud-dreams, then Jung-dreams": 2 queries,
+  // fewer than 20 entries extracted.
+  EXPECT_EQ(outcome.source_queries, 2u);
+  EXPECT_LT(outcome.rows_transferred, 20u);
+  EXPECT_GT(outcome.result_rows, 0u);
+}
+
+TEST_F(BookstoreExampleTest, CnfExtractsThousands) {
+  const RunOutcome outcome =
+      RunStrategy(Strategy::kCnf, dataset_, handle_.get(), source_.get());
+  ASSERT_TRUE(outcome.feasible);
+  // Garlic ships only the title clause: over 2,000 entries come back.
+  EXPECT_GT(outcome.rows_transferred, 2000u);
+}
+
+TEST_F(BookstoreExampleTest, DiscoInfeasible) {
+  const RunOutcome outcome =
+      RunStrategy(Strategy::kDisco, dataset_, handle_.get(), source_.get());
+  EXPECT_FALSE(outcome.feasible);
+}
+
+TEST_F(BookstoreExampleTest, AllFeasibleStrategiesAgreeOnTheAnswer) {
+  const RunOutcome gc = RunStrategy(Strategy::kGenCompact, dataset_,
+                                    handle_.get(), source_.get());
+  const RunOutcome cnf =
+      RunStrategy(Strategy::kCnf, dataset_, handle_.get(), source_.get());
+  const RunOutcome dnf =
+      RunStrategy(Strategy::kDnf, dataset_, handle_.get(), source_.get());
+  ASSERT_TRUE(gc.feasible);
+  ASSERT_TRUE(cnf.feasible);
+  ASSERT_TRUE(dnf.feasible);
+  EXPECT_EQ(gc.result_rows, cnf.result_rows);
+  EXPECT_EQ(gc.result_rows, dnf.result_rows);
+}
+
+class CarExampleTest : public ::testing::Test {
+ protected:
+  CarExampleTest() : dataset_(MakeCarSource(40000, /*seed=*/7)) {
+    handle_ = std::make_unique<SourceHandle>(dataset_.description,
+                                             dataset_.table.get());
+    source_ = std::make_unique<Source>(dataset_.table.get(),
+                                       &handle_->description());
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<SourceHandle> handle_;
+  std::unique_ptr<Source> source_;
+};
+
+TEST_F(CarExampleTest, GenCompactUsesTwoQueries) {
+  const RunOutcome outcome = RunStrategy(Strategy::kGenCompact, dataset_,
+                                         handle_.get(), source_.get());
+  ASSERT_TRUE(outcome.feasible);
+  // "We can break it up into two conditions" — one per make.
+  EXPECT_EQ(outcome.source_queries, 2u);
+}
+
+TEST_F(CarExampleTest, DnfUsesFourQueriesSameRows) {
+  const RunOutcome gc = RunStrategy(Strategy::kGenCompact, dataset_,
+                                    handle_.get(), source_.get());
+  const RunOutcome dnf =
+      RunStrategy(Strategy::kDnf, dataset_, handle_.get(), source_.get());
+  ASSERT_TRUE(gc.feasible);
+  ASSERT_TRUE(dnf.feasible);
+  // "In a DNF system ... four queries are sent ... the same amount of data
+  // is transferred in both cases" (sizes are disjoint per query).
+  EXPECT_EQ(dnf.source_queries, 4u);
+  EXPECT_EQ(dnf.rows_transferred, gc.rows_transferred);
+  EXPECT_LT(gc.source_queries, dnf.source_queries);
+}
+
+TEST_F(CarExampleTest, CnfTransfersManyMoreRows) {
+  const RunOutcome gc = RunStrategy(Strategy::kGenCompact, dataset_,
+                                    handle_.get(), source_.get());
+  const RunOutcome cnf =
+      RunStrategy(Strategy::kCnf, dataset_, handle_.get(), source_.get());
+  ASSERT_TRUE(gc.feasible);
+  ASSERT_TRUE(cnf.feasible);
+  // The CNF system ships only style+size clauses and transfers many more
+  // entries than necessary.
+  EXPECT_GT(cnf.rows_transferred, 4 * gc.rows_transferred);
+  EXPECT_EQ(cnf.result_rows, gc.result_rows);
+}
+
+TEST_F(CarExampleTest, DiscoInfeasible) {
+  const RunOutcome outcome =
+      RunStrategy(Strategy::kDisco, dataset_, handle_.get(), source_.get());
+  EXPECT_FALSE(outcome.feasible);
+}
+
+}  // namespace
+}  // namespace gencompact

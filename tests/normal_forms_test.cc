@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "expr/normal_forms.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+TEST(NormalFormsTest, AtomIsBothForms) {
+  const ConditionPtr atom = Parse("a = 1");
+  EXPECT_TRUE(IsCnf(*atom));
+  EXPECT_TRUE(IsDnf(*atom));
+  EXPECT_TRUE((*ToCnf(atom))->StructurallyEquals(*atom));
+  EXPECT_TRUE((*ToDnf(atom))->StructurallyEquals(*atom));
+}
+
+TEST(NormalFormsTest, BookstoreExampleToCnf) {
+  // (a1 ∨ a2) ∧ t is already CNF.
+  const ConditionPtr cond =
+      Parse("(author = \"F\" or author = \"J\") and title contains \"d\"");
+  const Result<ConditionPtr> cnf = ToCnf(cond);
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_TRUE(IsCnf(**cnf));
+  EXPECT_EQ((*cnf)->children().size(), 2u);
+}
+
+TEST(NormalFormsTest, BookstoreExampleToDnf) {
+  // (a1 ∨ a2) ∧ t distributes to (a1∧t) ∨ (a2∧t).
+  const ConditionPtr cond =
+      Parse("(author = \"F\" or author = \"J\") and title contains \"d\"");
+  const Result<ConditionPtr> dnf = ToDnf(cond);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_TRUE(IsDnf(**dnf));
+  ASSERT_EQ((*dnf)->kind(), ConditionNode::Kind::kOr);
+  EXPECT_EQ((*dnf)->children().size(), 2u);
+  EXPECT_EQ((*dnf)->children()[0]->children().size(), 2u);
+}
+
+TEST(NormalFormsTest, CarExampleDnfHasFourTerms) {
+  // The paper: the DNF system transforms the car query into one with four
+  // terms. style ∧ (2 sizes) ∧ (2 make-price pairs) -> 4 disjuncts.
+  const ConditionPtr cond = Parse(
+      "style = \"sedan\" and (size = \"compact\" or size = \"midsize\") and "
+      "((make = \"Toyota\" and price <= 20000) or "
+      "(make = \"BMW\" and price <= 40000))");
+  const Result<ConditionPtr> dnf = ToDnf(cond);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ((*dnf)->kind(), ConditionNode::Kind::kOr);
+  EXPECT_EQ((*dnf)->children().size(), 4u);
+}
+
+TEST(NormalFormsTest, CarExampleCnfHasSixClauses) {
+  // The paper: a CNF system converts the car query to one with six clauses.
+  const ConditionPtr cond = Parse(
+      "style = \"sedan\" and (size = \"compact\" or size = \"midsize\") and "
+      "((make = \"Toyota\" and price <= 20000) or "
+      "(make = \"BMW\" and price <= 40000))");
+  const Result<ConditionPtr> cnf = ToCnf(cond);
+  ASSERT_TRUE(cnf.ok());
+  ASSERT_EQ((*cnf)->kind(), ConditionNode::Kind::kAnd);
+  EXPECT_EQ((*cnf)->children().size(), 6u);
+}
+
+TEST(NormalFormsTest, BudgetGuardTrips) {
+  // (a∨b) ∧ (a∨b) ∧ ... blows up exponentially in DNF.
+  std::vector<ConditionPtr> clauses;
+  for (int i = 0; i < 16; ++i) {
+    clauses.push_back(Parse("a = " + std::to_string(i) + " or b = " +
+                            std::to_string(i)));
+  }
+  const ConditionPtr cond = ConditionNode::And(std::move(clauses));
+  const Result<ConditionPtr> dnf = ToDnf(cond, /*max_terms=*/1000);
+  ASSERT_FALSE(dnf.ok());
+  EXPECT_EQ(dnf.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Property: normal forms are semantically equivalent to the original.
+class NormalFormEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalFormEquivalenceTest, SameTruthTableOnRandomRows) {
+  Rng rng(GetParam());
+  const Schema schema({{"a", ValueType::kInt},
+                       {"b", ValueType::kInt},
+                       {"c", ValueType::kInt}});
+  const RowLayout full(schema.AllAttributes(), 3);
+
+  // Random condition over small integer domain.
+  std::vector<ConditionPtr> pool;
+  for (int i = 0; i < 6; ++i) {
+    const std::string attr(1, static_cast<char>('a' + rng.NextIndex(3)));
+    static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kLt,
+                                         CompareOp::kGe, CompareOp::kNe};
+    pool.push_back(ConditionNode::Atom(attr, kOps[rng.NextIndex(4)],
+                                       Value::Int(rng.NextInt(0, 3))));
+  }
+  const ConditionPtr cond = ConditionNode::And(
+      {ConditionNode::Or({pool[0], pool[1]}),
+       ConditionNode::Or({pool[2], ConditionNode::And({pool[3], pool[4]})}),
+       pool[5]});
+
+  const Result<ConditionPtr> cnf = ToCnf(cond);
+  const Result<ConditionPtr> dnf = ToDnf(cond);
+  ASSERT_TRUE(cnf.ok());
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_TRUE(IsCnf(**cnf));
+  EXPECT_TRUE(IsDnf(**dnf));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const Row row({Value::Int(rng.NextInt(0, 3)), Value::Int(rng.NextInt(0, 3)),
+                   Value::Int(rng.NextInt(0, 3))});
+    const bool expected = *EvalCondition(*cond, row, full, schema);
+    EXPECT_EQ(*EvalCondition(**cnf, row, full, schema), expected);
+    EXPECT_EQ(*EvalCondition(**dnf, row, full, schema), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalFormEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "expr/condition_parser.h"
+#include "mediator/mediator.h"
+#include "planner/plan_cache.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+PlanPtr DummyPlan(const std::string& cond) {
+  return PlanNode::SourceQuery(Parse(cond), AttributeSet());
+}
+
+TEST(PlanCacheTest, MissThenHit) {
+  PlanCache cache(4);
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  cache.Insert("k1", DummyPlan("a = 1"));
+  const std::optional<PlanPtr> hit = cache.Lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)->condition()->ToString(), "a = 1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.Insert("a", DummyPlan("a = 1"));
+  cache.Insert("b", DummyPlan("b = 1"));
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh a
+  cache.Insert("c", DummyPlan("c = 1"));       // evicts b
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshes) {
+  PlanCache cache(2);
+  cache.Insert("a", DummyPlan("a = 1"));
+  cache.Insert("b", DummyPlan("b = 1"));
+  cache.Insert("a", DummyPlan("a = 2"));  // refresh + replace
+  cache.Insert("c", DummyPlan("c = 1"));  // evicts b
+  const std::optional<PlanPtr> a = cache.Lookup("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ((*a)->condition()->ToString(), "a = 2");
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+}
+
+TEST(PlanCacheTest, KeySeparatesDimensions) {
+  const ConditionPtr cond = Parse("a = 1");
+  AttributeSet attrs1;
+  attrs1.Add(0);
+  AttributeSet attrs2;
+  attrs2.Add(1);
+  const std::string base =
+      PlanCache::MakeKey("src", Strategy::kGenCompact, *cond, attrs1);
+  EXPECT_NE(base, PlanCache::MakeKey("src2", Strategy::kGenCompact, *cond, attrs1));
+  EXPECT_NE(base, PlanCache::MakeKey("src", Strategy::kCnf, *cond, attrs1));
+  EXPECT_NE(base, PlanCache::MakeKey("src", Strategy::kGenCompact, *cond, attrs2));
+  EXPECT_NE(base, PlanCache::MakeKey("src", Strategy::kGenCompact,
+                                     *Parse("a = 2"), attrs1));
+  EXPECT_EQ(base, PlanCache::MakeKey("src", Strategy::kGenCompact,
+                                     *Parse("a = 1"), attrs1));
+}
+
+TEST(PlanCacheTest, ClearEmpties) {
+  PlanCache cache(4);
+  cache.Insert("a", DummyPlan("a = 1"));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+}
+
+TEST(MediatorPlanCacheTest, RepeatedQueriesHitTheCache) {
+  Result<SourceDescription> description = ParseSsdl(R"(
+    source cars(make: string, model: string, price: int) {
+      cost 10.0 1.0;
+      rule s1 -> make = $string and price < $int;
+      export s1 : {make, model, price};
+    })");
+  ASSERT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  ASSERT_TRUE(table
+                  ->AppendValues({Value::String("BMW"), Value::String("318i"),
+                                  Value::Int(21000)})
+                  .ok());
+  Mediator mediator;
+  ASSERT_TRUE(mediator
+                  .RegisterSource(std::move(description).value(),
+                                  std::move(table))
+                  .ok());
+
+  const std::string sql =
+      "SELECT model FROM cars WHERE make = \"BMW\" and price < 30000";
+  ASSERT_TRUE(mediator.Query(sql).ok());
+  EXPECT_EQ(mediator.plan_cache().hits(), 0u);
+  ASSERT_TRUE(mediator.Query(sql).ok());
+  ASSERT_TRUE(mediator.Query(sql).ok());
+  EXPECT_EQ(mediator.plan_cache().hits(), 2u);
+  // A different projection misses.
+  ASSERT_TRUE(mediator
+                  .Query("SELECT make FROM cars WHERE make = \"BMW\" and "
+                         "price < 30000")
+                  .ok());
+  EXPECT_EQ(mediator.plan_cache().hits(), 2u);
+  EXPECT_EQ(mediator.plan_cache().size(), 2u);
+}
+
+TEST(MediatorSimplifyTest, UnsatisfiableQueryAnswersEmptyWithoutPlanning) {
+  Result<SourceDescription> description = ParseSsdl(R"(
+    source cars(make: string, model: string, price: int) {
+      cost 10.0 1.0;
+      rule s1 -> make = $string;
+      export s1 : {make, model, price};
+    })");
+  ASSERT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  ASSERT_TRUE(table
+                  ->AppendValues({Value::String("BMW"), Value::String("318i"),
+                                  Value::Int(21000)})
+                  .ok());
+  Mediator mediator;
+  ASSERT_TRUE(mediator
+                  .RegisterSource(std::move(description).value(),
+                                  std::move(table))
+                  .ok());
+
+  // price predicates are unsupported — but the condition is unsatisfiable,
+  // so the mediator answers locally.
+  const Result<Mediator::QueryResult> result = mediator.Query(
+      "SELECT model FROM cars WHERE make = \"BMW\" and make = \"Audi\"");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->exec.source_queries, 0u);
+  EXPECT_EQ(result->plan, nullptr);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,233 @@
+// Edge cases and deeper shapes for the plan generators, beyond the
+// motivating-example scenarios of planner_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "plan/plan_validator.h"
+#include "planner/gen_compact.h"
+#include "planner/ipg.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+SourceDescription ParseDescription(const std::string& text) {
+  Result<SourceDescription> description = ParseSsdl(text);
+  EXPECT_TRUE(description.ok()) << description.status().ToString();
+  return std::move(description).value();
+}
+
+// A source that accepts single atoms on a, b, c and value lists on a.
+class AtomSourceFixture : public ::testing::Test {
+ protected:
+  AtomSourceFixture()
+      : description_(ParseDescription(R"(
+          source R(a: string, b: int, c: int) {
+            cost 10.0 1.0;
+            rule alist -> a = $string or a = $string
+                        | a = $string or alist;
+            rule f -> a = $string | b = $int | c = $int | alist;
+            export f : {a, b, c};
+          })")),
+        table_("R", description_.schema()) {
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendValues({Value::String("v" + std::to_string(i % 5)),
+                                     Value::Int(i % 7), Value::Int(i % 3)})
+                      .ok());
+    }
+    handle_ = std::make_unique<SourceHandle>(description_, &table_);
+    source_ = std::make_unique<Source>(&table_, &handle_->description());
+  }
+
+  RowSet MustExecute(const PlanPtr& plan) {
+    Executor executor(source_.get());
+    Result<RowSet> rows = executor.Execute(*plan);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return std::move(rows).value();
+  }
+
+  SourceDescription description_;
+  Table table_;
+  std::unique_ptr<SourceHandle> handle_;
+  std::unique_ptr<Source> source_;
+};
+
+TEST_F(AtomSourceFixture, OrNodeSubsetQueriesMergeValueLists) {
+  // a = v1 or a = v2 or b = 3: the a-disjuncts can ship as ONE value-list
+  // query; b ships separately. Expect 2 source queries, not 3.
+  Ipg ipg(handle_.get());
+  AttributeSet attrs;
+  attrs.Add(0);
+  attrs.Add(1);
+  const PlanPtr plan =
+      ipg.Plan(Parse("a = \"v1\" or a = \"v2\" or b = 3"), attrs);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(ValidatePlan(*plan, handle_->checker()).ok());
+  EXPECT_EQ(plan->CountSourceQueries(), 2u);
+
+  const RowSet rows = MustExecute(plan);
+  // Direct count: a in {v1,v2} -> 12 rows; b = 3 -> rows 3,10,17,24 ->
+  // values (v3,3),(v0,3),(v2,3),(v4,3). Projected to (a,b): distinct pairs.
+  size_t expected = 0;
+  const RowLayout full(description_.schema().AllAttributes(), 3);
+  RowSet truth(RowLayout(attrs, 3));
+  for (const Row& row : table_.rows()) {
+    const bool match = row.value(0) == Value::String("v1") ||
+                       row.value(0) == Value::String("v2") ||
+                       row.value(1) == Value::Int(3);
+    if (match) truth.Insert(full.Project(row, truth.layout()));
+  }
+  expected = truth.size();
+  EXPECT_EQ(rows.size(), expected);
+}
+
+TEST_F(AtomSourceFixture, DeepAlternatingConditionPlansAndExecutes) {
+  const ConditionPtr cond = Parse(
+      "(a = \"v1\" and (b = 1 or b = 2)) or "
+      "(a = \"v2\" and (c = 0 or (b = 3 and c = 1)))");
+  AttributeSet attrs;
+  attrs.Add(0);
+  GenCompactPlanner planner(handle_.get());
+  const Result<PlanPtr> plan = planner.Plan(cond, attrs);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(**plan, handle_->checker()).ok());
+
+  const RowSet rows = MustExecute(*plan);
+  const RowLayout full(description_.schema().AllAttributes(), 3);
+  RowSet truth(RowLayout(attrs, 3));
+  for (const Row& row : table_.rows()) {
+    const Result<bool> match =
+        EvalCondition(*cond, row, full, description_.schema());
+    ASSERT_TRUE(match.ok());
+    if (*match) truth.Insert(full.Project(row, truth.layout()));
+  }
+  EXPECT_EQ(rows.size(), truth.size());
+}
+
+TEST_F(AtomSourceFixture, InSugarPlansAsValueList) {
+  GenCompactPlanner planner(handle_.get());
+  AttributeSet attrs;
+  attrs.Add(0);
+  const Result<PlanPtr> plan =
+      planner.Plan(Parse("a in {\"v1\", \"v2\", \"v3\"}"), attrs);
+  ASSERT_TRUE(plan.ok());
+  // One value-list source query covers the whole disjunction (PR1).
+  EXPECT_EQ((*plan)->CountSourceQueries(), 1u);
+}
+
+TEST_F(AtomSourceFixture, MemoizationSharesSubplansAcrossCts) {
+  // A condition whose distributive rewrites revisit identical subtrees.
+  const ConditionPtr cond = Parse(
+      "(a = \"v1\" or a = \"v2\") and (b = 1 or c = 2)");
+  AttributeSet attrs;
+  attrs.Add(0);
+  Ipg ipg(handle_.get());
+  ASSERT_NE(ipg.Plan(cond, attrs), nullptr);
+  const size_t calls_first = ipg.stats().calls;
+  // Re-planning the identical condition is a pure memo hit (1 extra call).
+  ASSERT_NE(ipg.Plan(cond, attrs), nullptr);
+  EXPECT_EQ(ipg.stats().calls, calls_first + 1);
+}
+
+TEST_F(AtomSourceFixture, TrueConditionPlansWhenDownloadExists) {
+  // This source has no download rule: SELECT * (true condition) must fail.
+  GenCompactPlanner planner(handle_.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(ConditionNode::True(), description_.schema().AllAttributes());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(SizeRestrictedSourceTest, GrammarBoundsConjunctionLength) {
+  // Condition-Expression-Size Restrictions (Section 4): at most two
+  // conjuncts, expressed directly in the grammar.
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: int, b: int, c: int) {
+      cost 5.0 1.0;
+      rule atom -> a = $int | b = $int | c = $int;
+      rule f -> atom | atom and atom;
+      export f : {a, b, c};
+    })");
+  Table table("R", description.schema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table
+                    .AppendValues({Value::Int(i % 2), Value::Int(i % 3),
+                                   Value::Int(i % 5)})
+                    .ok());
+  }
+  SourceHandle handle(description, &table);
+  Checker* checker = handle.checker();
+  EXPECT_FALSE(checker->Check(*Parse("a = 1 and b = 2")).empty());
+  EXPECT_TRUE(checker->Check(*Parse("a = 1 and b = 2 and c = 3")).empty());
+
+  // The 3-conjunct query still gets a feasible plan: ship two conjuncts,
+  // evaluate the third at the mediator (exports cover all attributes).
+  GenCompactPlanner planner(&handle);
+  AttributeSet attrs;
+  attrs.Add(0);
+  const Result<PlanPtr> plan = planner.Plan(Parse("a = 1 and b = 2 and c = 3"),
+                                            attrs);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(ValidatePlan(**plan, handle.checker()).ok());
+  EXPECT_EQ((*plan)->CountSourceQueries(), 1u);
+}
+
+TEST(RequiredInputSourceTest, BankPinExample) {
+  // Section 4's bank example: the balance attribute is exported only when
+  // the PIN is supplied in the condition.
+  const SourceDescription description = ParseDescription(R"(
+    source bank(account: string, owner: string, balance: int, pin: string) {
+      cost 5.0 1.0;
+      rule basic -> account = $string;
+      rule authed -> account = $string and pin = $string;
+      export basic : {account, owner};
+      export authed : {account, owner, balance};
+    })");
+  Table table("bank", description.schema());
+  ASSERT_TRUE(table
+                  .AppendValues({Value::String("acc1"), Value::String("alice"),
+                                 Value::Int(500), Value::String("1234")})
+                  .ok());
+  SourceHandle handle(description, &table);
+
+  GenCompactPlanner planner(&handle);
+  AttributeSet balance;
+  balance.Add(*description.schema().IndexOf("balance"));
+
+  // Without a PIN: no way to get the balance.
+  EXPECT_FALSE(planner.Plan(Parse("account = \"acc1\""), balance).ok());
+  // With the PIN in the condition: supported.
+  const Result<PlanPtr> plan =
+      planner.Plan(Parse("account = \"acc1\" and pin = \"1234\""), balance);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kSourceQuery);
+}
+
+TEST(SingleAtomConditionTest, LeafLevelPlanning) {
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: int) {
+      cost 2.0 1.0;
+      rule f -> a = $int;
+      export f : {a};
+    })");
+  Table table("R", description.schema());
+  ASSERT_TRUE(table.AppendValues({Value::Int(1)}).ok());
+  SourceHandle handle(description, &table);
+  Ipg ipg(&handle);
+  AttributeSet attrs;
+  attrs.Add(0);
+  EXPECT_NE(ipg.Plan(Parse("a = 1"), attrs), nullptr);
+  EXPECT_EQ(ipg.Plan(Parse("a < 1"), attrs), nullptr);  // wrong operator
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,241 @@
+// Randomized invariants (DESIGN.md Section 5) over random tables, random
+// capability mixes, and random target queries.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cnf_planner.h"
+#include "baselines/disco_planner.h"
+#include "baselines/dnf_planner.h"
+#include "exec/executor.h"
+#include "expr/condition_eval.h"
+#include "plan/plan_validator.h"
+#include "planner/gen_compact.h"
+#include "planner/gen_modular.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+
+namespace gencompact {
+namespace {
+
+Schema PropertySchema() {
+  return Schema({{"s1", ValueType::kString},
+                 {"s2", ValueType::kString},
+                 {"n1", ValueType::kInt},
+                 {"n2", ValueType::kInt}});
+}
+
+// Ground truth: evaluate the condition directly over the full table and
+// project (set semantics).
+RowSet DirectAnswer(const Table& table, const ConditionNode& cond,
+                    const AttributeSet& attrs) {
+  const Schema& schema = table.schema();
+  const RowLayout full(schema.AllAttributes(), schema.num_attributes());
+  const RowLayout projected(attrs, schema.num_attributes());
+  RowSet out(projected);
+  for (const Row& row : table.rows()) {
+    const Result<bool> matches = EvalCondition(cond, row, full, schema);
+    EXPECT_TRUE(matches.ok());
+    if (matches.ok() && *matches) out.Insert(full.Project(row, projected));
+  }
+  return out;
+}
+
+bool IsSubsetOfRows(const RowSet& small, const RowSet& big) {
+  for (const Row& row : small.rows()) {
+    if (!big.Contains(row)) return false;
+  }
+  return true;
+}
+
+struct PropertyEnv {
+  std::unique_ptr<Table> table;
+  SourceDescription description;  // pre-closure
+  std::unique_ptr<SourceHandle> handle;
+  std::unique_ptr<Source> source;
+  std::vector<AttributeDomain> domains;
+
+  explicit PropertyEnv(uint64_t seed)
+      : description("src", PropertySchema()) {
+    Rng rng(seed);
+    const Schema schema = PropertySchema();
+    table = MakeRandomTable("src", schema, /*rows=*/300, /*string_pool=*/12,
+                            /*value_range=*/50, &rng);
+    RandomCapabilityOptions options;
+    description = RandomCapability("src", schema, options, &rng);
+    handle = std::make_unique<SourceHandle>(description, table.get());
+    source = std::make_unique<Source>(table.get(), &handle->description());
+    domains = ExtractDomains(*table, /*max_samples=*/6, &rng);
+  }
+};
+
+class PlannerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Invariants 1 & 2: plans validate, execute without rejection, and (in safe
+// mode) return exactly the direct answer.
+TEST_P(PlannerPropertyTest, SafeModePlansAreFeasibleAndExact) {
+  PropertyEnv env(GetParam());
+  Rng rng(GetParam() * 7919 + 1);
+  RandomConditionOptions cond_options;
+
+  size_t feasible = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    cond_options.num_atoms = 2 + rng.NextIndex(4);
+    const ConditionPtr cond =
+        RandomCondition(env.domains, cond_options, &rng);
+    AttributeSet attrs;
+    attrs.Add(static_cast<int>(rng.NextIndex(4)));
+    attrs.Add(static_cast<int>(rng.NextIndex(4)));
+
+    GenCompactOptions options;  // safe_combination defaults to true
+    GenCompactPlanner planner(env.handle.get(), options);
+    const Result<PlanPtr> plan = planner.Plan(cond, attrs);
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kNoFeasiblePlan);
+      continue;
+    }
+    ++feasible;
+    (void)feasible;  // some capability mixes admit no feasible query at all
+    ASSERT_TRUE(ValidatePlanFor(**plan, attrs, env.handle->checker()).ok())
+        << (*plan)->ToShortString();
+
+    Executor executor(env.source.get());
+    const Result<RowSet> rows = executor.Execute(**plan);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+
+    const RowSet expected = DirectAnswer(*env.table, *cond, attrs);
+    EXPECT_EQ(rows->size(), expected.size())
+        << "condition: " << cond->ToString()
+        << "\nplan: " << (*plan)->ToShortString();
+    EXPECT_TRUE(IsSubsetOfRows(expected, *rows));
+    EXPECT_TRUE(IsSubsetOfRows(*rows, expected));
+  }
+}
+
+// Strict (paper) mode: results may be supersets when the projection loses
+// the condition attributes, and are exact when all attributes are fetched.
+TEST_P(PlannerPropertyTest, StrictModeIsSupersetAndExactOnFullAttrs) {
+  PropertyEnv env(GetParam());
+  Rng rng(GetParam() * 104729 + 2);
+  RandomConditionOptions cond_options;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(env.domains, cond_options, &rng);
+
+    GenCompactOptions options;
+    options.ipg.safe_combination = false;
+    GenCompactPlanner planner(env.handle.get(), options);
+
+    // Narrow projection: superset allowed.
+    AttributeSet narrow;
+    narrow.Add(static_cast<int>(rng.NextIndex(4)));
+    const Result<PlanPtr> narrow_plan = planner.Plan(cond, narrow);
+    if (narrow_plan.ok()) {
+      Executor executor(env.source.get());
+      const Result<RowSet> rows = executor.Execute(**narrow_plan);
+      ASSERT_TRUE(rows.ok());
+      EXPECT_TRUE(
+          IsSubsetOfRows(DirectAnswer(*env.table, *cond, narrow), *rows));
+    }
+
+    // Full projection: exact.
+    const AttributeSet all = env.handle->schema().AllAttributes();
+    const Result<PlanPtr> full_plan = planner.Plan(cond, all);
+    if (full_plan.ok()) {
+      Executor executor(env.source.get());
+      const Result<RowSet> rows = executor.Execute(**full_plan);
+      ASSERT_TRUE(rows.ok());
+      const RowSet expected = DirectAnswer(*env.table, *cond, all);
+      EXPECT_EQ(rows->size(), expected.size()) << cond->ToString();
+      EXPECT_TRUE(IsSubsetOfRows(*rows, expected));
+    }
+  }
+}
+
+// Invariant 4: GenCompact (paper mode) never costs more than a feasible
+// baseline, and is feasible whenever a baseline is.
+TEST_P(PlannerPropertyTest, GenCompactDominatesBaselines) {
+  PropertyEnv env(GetParam());
+  Rng rng(GetParam() * 31337 + 3);
+  RandomConditionOptions cond_options;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    cond_options.num_atoms = 2 + rng.NextIndex(4);
+    const ConditionPtr cond =
+        RandomCondition(env.domains, cond_options, &rng);
+    AttributeSet attrs;
+    attrs.Add(static_cast<int>(rng.NextIndex(4)));
+
+    GenCompactOptions options;
+    options.ipg.safe_combination = false;
+    options.max_cts = 256;
+    GenCompactPlanner gencompact(env.handle.get(), options);
+    const Result<PlanPtr> gc = gencompact.Plan(cond, attrs);
+
+    const CostModel& model = env.handle->cost_model();
+    CnfPlanner cnf(env.handle.get());
+    DnfPlanner dnf(env.handle.get());
+    DiscoPlanner disco(env.handle.get());
+    for (PlannerStrategy* baseline :
+         std::initializer_list<PlannerStrategy*>{&cnf, &dnf, &disco}) {
+      const Result<PlanPtr> base = baseline->Plan(cond, attrs);
+      if (!base.ok()) continue;
+      ASSERT_TRUE(gc.ok()) << baseline->name()
+                           << " feasible but GenCompact not, for "
+                           << cond->ToString();
+      EXPECT_LE(model.PlanCost(**gc), model.PlanCost(**base) + 1e-6)
+          << baseline->name() << " beat GenCompact on " << cond->ToString();
+    }
+  }
+}
+
+// Invariant 3: GenCompact (strict) matches GenModular's optimal cost on
+// small queries when neither scheme hit a budget.
+TEST_P(PlannerPropertyTest, GenCompactMatchesGenModular) {
+  PropertyEnv env(GetParam());
+  Rng rng(GetParam() * 49979 + 4);
+  RandomConditionOptions cond_options;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    cond_options.num_atoms = 2 + rng.NextIndex(2);  // 2-3 atoms: tractable
+    const ConditionPtr cond =
+        RandomCondition(env.domains, cond_options, &rng);
+    AttributeSet attrs;
+    attrs.Add(static_cast<int>(rng.NextIndex(4)));
+
+    GenCompactOptions gc_options;
+    gc_options.ipg.safe_combination = false;
+    gc_options.max_cts = 512;
+    GenCompactPlanner gencompact(env.handle.get(), gc_options);
+    const Result<PlanPtr> gc = gencompact.Plan(cond, attrs);
+
+    GenModularOptions gm_options;
+    gm_options.rewrite.max_cts = 2048;
+    GenModularPlanner genmodular(env.handle.get(), gm_options);
+    const Result<PlanPtr> gm = genmodular.Plan(cond, attrs);
+
+    ASSERT_EQ(gc.ok(), gm.ok()) << cond->ToString();
+    if (!gc.ok()) continue;
+
+    const CostModel& model = env.handle->cost_model();
+    const double gc_cost = model.PlanCost(**gc);
+    const double gm_cost = model.PlanCost(**gm);
+    EXPECT_LE(gc_cost, gm_cost + 1e-6) << cond->ToString();
+    if (!genmodular.stats().rewrite_budget_exhausted &&
+        !genmodular.stats().epg_incomplete &&
+        !gencompact.stats().rewrite_budget_exhausted &&
+        !gencompact.stats().ipg.incomplete) {
+      EXPECT_NEAR(gc_cost, gm_cost, 1e-6)
+          << "plan spaces diverged on " << cond->ToString() << "\nGC: "
+          << (*gc)->ToShortString() << "\nGM: " << (*gm)->ToShortString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace gencompact

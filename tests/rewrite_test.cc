@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "rewrite/rewrite_engine.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+bool ClosureContains(const RewriteResult& result, const std::string& text) {
+  const ConditionPtr target = Parse(text);
+  for (const ConditionPtr& ct : result.cts) {
+    if (ct->StructurallyEquals(*target)) return true;
+  }
+  return false;
+}
+
+TEST(RewriteRulesTest, CommutativeSwapsAdjacentChildren) {
+  RewriteRuleSet rules{true, false, false, false};
+  std::vector<ConditionPtr> out;
+  SingleStepRewrites(Parse("a = 1 and b = 2 and c = 3"), rules, 16, &out);
+  ASSERT_EQ(out.size(), 2u);  // two adjacent transpositions
+  EXPECT_EQ(out[0]->ToString(), "b = 2 and a = 1 and c = 3");
+  EXPECT_EQ(out[1]->ToString(), "a = 1 and c = 3 and b = 2");
+}
+
+TEST(RewriteRulesTest, AssociativeGroupAndFlatten) {
+  RewriteRuleSet rules{false, true, false, false};
+  std::vector<ConditionPtr> out;
+  SingleStepRewrites(Parse("a = 1 and b = 2 and c = 3"), rules, 16, &out);
+  // Two adjacent-pair groupings, no flatten opportunities.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->ToString(), "(a = 1 and b = 2) and c = 3");
+  EXPECT_EQ(out[1]->ToString(), "a = 1 and (b = 2 and c = 3)");
+
+  out.clear();
+  SingleStepRewrites(Parse("(a = 1 and b = 2) and c = 3"), rules, 16, &out);
+  // One flatten (the nested ∧) — binary nodes cannot group further.
+  bool found_flat = false;
+  for (const ConditionPtr& ct : out) {
+    if (ct->ToString() == "a = 1 and b = 2 and c = 3") found_flat = true;
+  }
+  EXPECT_TRUE(found_flat);
+}
+
+TEST(RewriteRulesTest, DistributiveBothDirections) {
+  RewriteRuleSet rules{false, false, true, false};
+  std::vector<ConditionPtr> out;
+  SingleStepRewrites(Parse("a = 1 and (b = 2 or c = 3)"), rules, 16, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->ToString(), "(a = 1 and b = 2) or (a = 1 and c = 3)");
+
+  out.clear();
+  SingleStepRewrites(Parse("a = 1 or (b = 2 and c = 3)"), rules, 16, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->ToString(), "(a = 1 or b = 2) and (a = 1 or c = 3)");
+}
+
+TEST(RewriteRulesTest, CopyDuplicatesChildren) {
+  RewriteRuleSet rules{false, false, false, true};
+  std::vector<ConditionPtr> out;
+  SingleStepRewrites(Parse("a = 1 and b = 2"), rules, /*max_atoms=*/4, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->ToString(), "a = 1 and a = 1 and b = 2");
+  EXPECT_EQ(out[1]->ToString(), "a = 1 and b = 2 and b = 2");
+
+  // The atom budget blocks further copies.
+  out.clear();
+  SingleStepRewrites(Parse("a = 1 and a = 1 and b = 2 and b = 2"), rules,
+                     /*max_atoms=*/4, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RewriteRulesTest, RewritesApplyAtNestedNodes) {
+  RewriteRuleSet rules{true, false, false, false};
+  std::vector<ConditionPtr> out;
+  SingleStepRewrites(Parse("x = 0 or (a = 1 and b = 2)"), rules, 16, &out);
+  // Swap at root + swap inside the nested ∧.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->ToString(), "(a = 1 and b = 2) or x = 0");
+  EXPECT_EQ(out[1]->ToString(), "x = 0 or (b = 2 and a = 1)");
+}
+
+TEST(RewriteEngineTest, CommutativeClosureIsAllPermutations) {
+  RewriteOptions options;
+  options.rules = RewriteRuleSet{true, false, false, false};
+  options.max_cts = 100;
+  const RewriteResult result =
+      GenerateRewritings(Parse("a = 1 and b = 2 and c = 3"), options);
+  EXPECT_EQ(result.cts.size(), 6u);  // 3! orderings
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_TRUE(ClosureContains(result, "c = 3 and b = 2 and a = 1"));
+}
+
+TEST(RewriteEngineTest, DistributiveClosureReachesBothNormalForms) {
+  RewriteOptions options;
+  options.rules = RewriteRuleSet::DistributiveOnly();
+  options.max_cts = 100;
+  options.canonicalize = true;
+  const RewriteResult result = GenerateRewritings(
+      Parse("(a = 1 or b = 2) and c = 3"), options);
+  EXPECT_TRUE(ClosureContains(result, "(a = 1 or b = 2) and c = 3"));  // CNF
+  EXPECT_TRUE(
+      ClosureContains(result, "(a = 1 and c = 3) or (b = 2 and c = 3)"));  // DNF
+}
+
+TEST(RewriteEngineTest, BudgetStopsExplosion) {
+  RewriteOptions options;
+  options.max_cts = 50;
+  const RewriteResult result = GenerateRewritings(
+      Parse("(a = 1 or b = 2) and (c = 3 or d = 4) and (e = 5 or f = 6)"),
+      options);
+  EXPECT_EQ(result.cts.size(), 50u);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(RewriteEngineTest, FirstCtIsTheOriginal) {
+  RewriteOptions options;
+  const ConditionPtr cond = Parse("a = 1 and (b = 2 or c = 3)");
+  const RewriteResult result = GenerateRewritings(cond, options);
+  ASSERT_FALSE(result.cts.empty());
+  EXPECT_TRUE(result.cts[0]->StructurallyEquals(*cond));
+}
+
+TEST(RewriteEngineTest, LeafConditionHasOnlyItself) {
+  RewriteOptions options;
+  const RewriteResult result = GenerateRewritings(Parse("a = 1"), options);
+  EXPECT_EQ(result.cts.size(), 1u);
+}
+
+// Property: every CT in the closure is semantically equivalent to the
+// original (checked on random rows).
+class RewriteEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewriteEquivalenceTest, ClosurePreservesSemantics) {
+  Rng rng(GetParam());
+  const Schema schema({{"a", ValueType::kInt},
+                       {"b", ValueType::kInt},
+                       {"c", ValueType::kInt}});
+  const RowLayout full(schema.AllAttributes(), 3);
+
+  const auto random_atom = [&]() {
+    static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kLt,
+                                         CompareOp::kGe};
+    const std::string attr(1, static_cast<char>('a' + rng.NextIndex(3)));
+    return ConditionNode::Atom(attr, kOps[rng.NextIndex(3)],
+                               Value::Int(rng.NextInt(0, 3)));
+  };
+  const ConditionPtr cond = ConditionNode::And(
+      {ConditionNode::Or({random_atom(), random_atom()}),
+       random_atom(),
+       ConditionNode::Or({random_atom(),
+                          ConditionNode::And({random_atom(), random_atom()})})});
+
+  RewriteOptions options;
+  options.max_cts = 300;
+  const RewriteResult result = GenerateRewritings(cond, options);
+  EXPECT_GT(result.cts.size(), 10u);
+
+  for (int r = 0; r < 30; ++r) {
+    const Row row({Value::Int(rng.NextInt(0, 3)), Value::Int(rng.NextInt(0, 3)),
+                   Value::Int(rng.NextInt(0, 3))});
+    const bool expected = *EvalCondition(*cond, row, full, schema);
+    for (const ConditionPtr& ct : result.cts) {
+      ASSERT_EQ(*EvalCondition(*ct, row, full, schema), expected)
+          << "original: " << cond->ToString() << "\nrewritten: "
+          << ct->ToString() << "\nrow: " << row.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "schema/attribute_set.h"
+#include "schema/schema.h"
+
+namespace gencompact {
+namespace {
+
+Schema CarSchema() {
+  return Schema({{"make", ValueType::kString},
+                 {"model", ValueType::kString},
+                 {"year", ValueType::kInt},
+                 {"color", ValueType::kString},
+                 {"price", ValueType::kInt}});
+}
+
+TEST(AttributeSetTest, EmptyByDefault) {
+  AttributeSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(AttributeSetTest, AddRemoveContains) {
+  AttributeSet set;
+  set.Add(3);
+  set.Add(5);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(4));
+  set.Remove(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a;
+  a.Add(0);
+  a.Add(1);
+  AttributeSet b;
+  b.Add(1);
+  b.Add(2);
+  EXPECT_EQ(a.Union(b).size(), 3u);
+  EXPECT_EQ(a.Intersect(b).Indices(), std::vector<int>{1});
+  EXPECT_EQ(a.Minus(b).Indices(), std::vector<int>{0});
+}
+
+TEST(AttributeSetTest, SubsetSemantics) {
+  AttributeSet small;
+  small.Add(1);
+  AttributeSet big;
+  big.Add(0);
+  big.Add(1);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(AttributeSetTest, AllOfBoundaries) {
+  EXPECT_TRUE(AttributeSet::AllOf(0).empty());
+  EXPECT_EQ(AttributeSet::AllOf(64).size(), 64u);
+  EXPECT_EQ(AttributeSet::AllOf(5).Indices(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(AttributeSetTest, ToStringUsesSchemaNames) {
+  const Schema schema = CarSchema();
+  AttributeSet set;
+  set.Add(0);
+  set.Add(4);
+  EXPECT_EQ(set.ToString(schema), "{make, price}");
+}
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema schema = CarSchema();
+  EXPECT_EQ(schema.IndexOf("price"), 4);
+  EXPECT_FALSE(schema.IndexOf("vin").has_value());
+  EXPECT_TRUE(schema.RequireIndex("make").ok());
+  EXPECT_EQ(schema.RequireIndex("vin").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, MakeSet) {
+  const Schema schema = CarSchema();
+  const Result<AttributeSet> set = schema.MakeSet({"make", "price"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->Indices(), (std::vector<int>{0, 4}));
+  EXPECT_FALSE(schema.MakeSet({"make", "vin"}).ok());
+}
+
+TEST(SchemaTest, AllAttributes) {
+  EXPECT_EQ(CarSchema().AllAttributes().size(), 5u);
+}
+
+TEST(SchemaTest, ToStringListsTypes) {
+  const std::string s = CarSchema().ToString();
+  EXPECT_NE(s.find("make: string"), std::string::npos);
+  EXPECT_NE(s.find("price: int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gencompact

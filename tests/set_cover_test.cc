@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "planner/set_cover.h"
+
+namespace gencompact {
+namespace {
+
+TEST(SetCoverTest, EmptyUniverseIsTriviallyCovered) {
+  const SetCoverResult result =
+      SolveMinCostSetCover(0, {}, SetCoverAlgorithm::kSubsetDp);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.cost, 0.0);
+  EXPECT_TRUE(result.chosen.empty());
+}
+
+TEST(SetCoverTest, UncoverableReportsNotFound) {
+  const std::vector<SetCoverCandidate> candidates = {{0b001, 1.0}, {0b010, 1.0}};
+  EXPECT_FALSE(
+      SolveMinCostSetCover(0b111, candidates, SetCoverAlgorithm::kSubsetDp)
+          .found);
+  EXPECT_FALSE(
+      SolveMinCostSetCover(0b111, candidates, SetCoverAlgorithm::kEnumerate)
+          .found);
+  EXPECT_FALSE(
+      SolveMinCostSetCover(0b111, candidates, SetCoverAlgorithm::kGreedy).found);
+}
+
+TEST(SetCoverTest, PicksCheaperOfTwoFullCovers) {
+  const std::vector<SetCoverCandidate> candidates = {{0b11, 5.0}, {0b11, 3.0}};
+  const SetCoverResult result =
+      SolveMinCostSetCover(0b11, candidates, SetCoverAlgorithm::kSubsetDp);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.cost, 3.0);
+  EXPECT_EQ(result.chosen, std::vector<int>{1});
+}
+
+TEST(SetCoverTest, CombinationBeatsSingleton) {
+  const std::vector<SetCoverCandidate> candidates = {
+      {0b111, 10.0}, {0b011, 3.0}, {0b100, 2.0}};
+  const SetCoverResult result =
+      SolveMinCostSetCover(0b111, candidates, SetCoverAlgorithm::kSubsetDp);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.cost, 5.0);
+  EXPECT_EQ(result.chosen.size(), 2u);
+}
+
+TEST(SetCoverTest, OverlappingCoversAllowed) {
+  const std::vector<SetCoverCandidate> candidates = {{0b110, 2.0}, {0b011, 2.0}};
+  const SetCoverResult result =
+      SolveMinCostSetCover(0b111, candidates, SetCoverAlgorithm::kEnumerate);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.cost, 4.0);
+}
+
+TEST(SetCoverTest, GreedyCanBeSuboptimal) {
+  // Classic instance: greedy takes the big cheap-per-element set first.
+  const std::vector<SetCoverCandidate> candidates = {
+      {0b1111, 4.1},   // ratio 1.025
+      {0b0011, 1.0},   // ratio 0.5
+      {0b1100, 1.0}};  // ratio 0.5
+  const SetCoverResult exact =
+      SolveMinCostSetCover(0b1111, candidates, SetCoverAlgorithm::kSubsetDp);
+  const SetCoverResult greedy =
+      SolveMinCostSetCover(0b1111, candidates, SetCoverAlgorithm::kGreedy);
+  ASSERT_TRUE(exact.found);
+  ASSERT_TRUE(greedy.found);
+  EXPECT_DOUBLE_EQ(exact.cost, 2.0);
+  EXPECT_TRUE(exact.optimal);
+  EXPECT_FALSE(greedy.optimal);
+  EXPECT_GE(greedy.cost, exact.cost);
+}
+
+TEST(SetCoverTest, UniverseWithGapsInBitPositions) {
+  // Universe {1, 3, 5}: dense compression must handle sparse bits.
+  const std::vector<SetCoverCandidate> candidates = {{0b000010, 1.0},
+                                                     {0b101000, 1.5}};
+  const SetCoverResult result =
+      SolveMinCostSetCover(0b101010, candidates, SetCoverAlgorithm::kSubsetDp);
+  ASSERT_TRUE(result.found);
+  EXPECT_DOUBLE_EQ(result.cost, 2.5);
+}
+
+TEST(SetCoverTest, CandidateCoverBeyondUniverseIsHarmless) {
+  const std::vector<SetCoverCandidate> candidates = {{0b1111, 1.0}};
+  const SetCoverResult result =
+      SolveMinCostSetCover(0b0011, candidates, SetCoverAlgorithm::kSubsetDp);
+  ASSERT_TRUE(result.found);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+}
+
+// Property: subset-DP and enumeration agree on optimal cost (invariant 5).
+class SetCoverAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetCoverAgreementTest, DpMatchesEnumeration) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = 2 + rng.NextIndex(5);  // universe size 2..6
+    const uint32_t universe = (uint32_t{1} << k) - 1;
+    const size_t q = 1 + rng.NextIndex(10);
+    std::vector<SetCoverCandidate> candidates;
+    for (size_t i = 0; i < q; ++i) {
+      const uint32_t cover = 1 + static_cast<uint32_t>(rng.NextBelow(universe));
+      candidates.push_back(
+          {cover, 0.5 + static_cast<double>(rng.NextBelow(100)) / 10.0});
+    }
+    const SetCoverResult dp =
+        SolveMinCostSetCover(universe, candidates, SetCoverAlgorithm::kSubsetDp);
+    const SetCoverResult enumerated = SolveMinCostSetCover(
+        universe, candidates, SetCoverAlgorithm::kEnumerate);
+    ASSERT_EQ(dp.found, enumerated.found);
+    if (dp.found) {
+      EXPECT_NEAR(dp.cost, enumerated.cost, 1e-9);
+      // The chosen sets must actually cover.
+      uint32_t covered = 0;
+      for (int index : dp.chosen) covered |= candidates[index].cover;
+      EXPECT_EQ(covered & universe, universe);
+    }
+    // Greedy, when it finds a cover, is never better than optimal.
+    const SetCoverResult greedy =
+        SolveMinCostSetCover(universe, candidates, SetCoverAlgorithm::kGreedy);
+    ASSERT_EQ(greedy.found, dp.found);
+    if (greedy.found) {
+      EXPECT_GE(greedy.cost + 1e-9, dp.cost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverAgreementTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "expr/simplify.h"
+
+namespace gencompact {
+namespace {
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+AtomicCondition Atom(const std::string& text) { return Parse(text)->atom(); }
+
+std::string SimplifyToString(const std::string& text) {
+  const ConditionPtr simplified = SimplifyCondition(Parse(text));
+  return simplified == nullptr ? "FALSE" : simplified->ToString();
+}
+
+TEST(AtomImpliesTest, EqualityImpliesMatchingPredicates) {
+  EXPECT_TRUE(AtomImplies(Atom("a = 3"), Atom("a < 5")));
+  EXPECT_TRUE(AtomImplies(Atom("a = 3"), Atom("a != 4")));
+  EXPECT_TRUE(AtomImplies(Atom("a = 3"), Atom("a >= 3")));
+  EXPECT_FALSE(AtomImplies(Atom("a = 7"), Atom("a < 5")));
+  EXPECT_TRUE(AtomImplies(Atom("a = \"abcd\""), Atom("a contains \"bc\"")));
+  EXPECT_TRUE(AtomImplies(Atom("a = \"abcd\""), Atom("a startswith \"ab\"")));
+}
+
+TEST(AtomImpliesTest, RangeChains) {
+  EXPECT_TRUE(AtomImplies(Atom("a < 3"), Atom("a < 5")));
+  EXPECT_TRUE(AtomImplies(Atom("a < 3"), Atom("a <= 3")));
+  EXPECT_TRUE(AtomImplies(Atom("a <= 3"), Atom("a <= 3")));
+  EXPECT_FALSE(AtomImplies(Atom("a <= 3"), Atom("a < 3")));
+  EXPECT_TRUE(AtomImplies(Atom("a > 5"), Atom("a > 3")));
+  EXPECT_TRUE(AtomImplies(Atom("a >= 5"), Atom("a > 3")));
+  EXPECT_FALSE(AtomImplies(Atom("a > 3"), Atom("a > 5")));
+  EXPECT_FALSE(AtomImplies(Atom("b < 3"), Atom("a < 5")));  // different attr
+}
+
+TEST(AtomImpliesTest, StringPredicates) {
+  EXPECT_TRUE(AtomImplies(Atom("a startswith \"abc\""),
+                          Atom("a startswith \"ab\"")));
+  EXPECT_FALSE(AtomImplies(Atom("a startswith \"ab\""),
+                           Atom("a startswith \"abc\"")));
+  EXPECT_TRUE(AtomImplies(Atom("a contains \"abc\""), Atom("a contains \"b\"")));
+  EXPECT_TRUE(
+      AtomImplies(Atom("a startswith \"abc\""), Atom("a contains \"bc\"")));
+}
+
+TEST(AtomsContradictTest, EqualityPairs) {
+  EXPECT_TRUE(AtomsContradict(Atom("a = 1"), Atom("a = 2")));
+  EXPECT_FALSE(AtomsContradict(Atom("a = 1"), Atom("a = 1")));
+  EXPECT_TRUE(AtomsContradict(Atom("a = 1"), Atom("a != 1")));
+  EXPECT_TRUE(AtomsContradict(Atom("a = 7"), Atom("a < 5")));
+  EXPECT_FALSE(AtomsContradict(Atom("a = 3"), Atom("a < 5")));
+  EXPECT_TRUE(AtomsContradict(Atom("a = \"x\""), Atom("a contains \"yz\"")));
+}
+
+TEST(AtomsContradictTest, DisjointRanges) {
+  EXPECT_TRUE(AtomsContradict(Atom("a < 3"), Atom("a > 5")));
+  EXPECT_TRUE(AtomsContradict(Atom("a < 3"), Atom("a >= 3")));
+  EXPECT_TRUE(AtomsContradict(Atom("a <= 3"), Atom("a > 3")));
+  EXPECT_FALSE(AtomsContradict(Atom("a <= 3"), Atom("a >= 3")));  // a = 3
+  EXPECT_FALSE(AtomsContradict(Atom("a < 5"), Atom("a > 3")));
+  EXPECT_TRUE(AtomsContradict(Atom("a startswith \"ab\""),
+                              Atom("a startswith \"cd\"")));
+  EXPECT_FALSE(AtomsContradict(Atom("a startswith \"ab\""),
+                               Atom("a startswith \"abc\"")));
+}
+
+TEST(SimplifyTest, Idempotence) {
+  EXPECT_EQ(SimplifyToString("a = 1 and a = 1"), "a = 1");
+  EXPECT_EQ(SimplifyToString("a = 1 or a = 1"), "a = 1");
+}
+
+TEST(SimplifyTest, Absorption) {
+  EXPECT_EQ(SimplifyToString("a = 1 or (a = 1 and b = 2)"), "a = 1");
+  EXPECT_EQ(SimplifyToString("a = 1 and (a = 1 or b = 2)"), "a = 1");
+}
+
+TEST(SimplifyTest, SubsumptionViaAtomImplication) {
+  // a < 3 implies a < 5: the weaker conjunct is redundant.
+  EXPECT_EQ(SimplifyToString("a < 3 and a < 5"), "a < 3");
+  // In a disjunction the stronger disjunct is covered.
+  EXPECT_EQ(SimplifyToString("a < 3 or a < 5"), "a < 5");
+}
+
+TEST(SimplifyTest, ContradictionYieldsFalse) {
+  EXPECT_EQ(SimplifyToString("a = 1 and a = 2"), "FALSE");
+  EXPECT_EQ(SimplifyToString("b = 0 or (a < 3 and a > 5)"), "b = 0");
+  EXPECT_EQ(SimplifyToString("(a = 1 and a = 2) or (a = 3 and a = 4)"),
+            "FALSE");
+}
+
+TEST(SimplifyTest, TautologyYieldsTrue) {
+  EXPECT_EQ(SimplifyToString("a < 5 or a >= 5"), "true");
+  EXPECT_EQ(SimplifyToString("a != 3 or a = 3"), "true");
+  EXPECT_EQ(SimplifyToString("b = 1 and (a < 5 or a >= 5)"), "b = 1");
+}
+
+TEST(SimplifyTest, KeepsIrreducibleConditions) {
+  const char* const kIrreducible[] = {
+      "a = 1",
+      "a = 1 and b = 2",
+      "a = 1 or b = 2",
+      "(a = 1 and b = 2) or (a = 3 and b = 4)",
+  };
+  for (const char* text : kIrreducible) {
+    EXPECT_EQ(SimplifyToString(text), Parse(text)->ToString()) << text;
+  }
+}
+
+TEST(SimplifyTest, NestedSimplification) {
+  EXPECT_EQ(SimplifyToString("(a = 1 and a = 1) or (b = 2 and b = 3)"),
+            "a = 1");
+}
+
+// Property: simplification preserves semantics on random rows.
+class SimplifyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyPropertyTest, PreservesSemantics) {
+  Rng rng(GetParam());
+  const Schema schema(
+      {{"a", ValueType::kInt}, {"b", ValueType::kInt}, {"s", ValueType::kString}});
+  const RowLayout full(schema.AllAttributes(), 3);
+
+  const auto random_atom = [&]() -> ConditionPtr {
+    if (rng.NextBool(0.25)) {
+      static const char* const kStrings[] = {"ab", "abc", "cd", "x"};
+      const CompareOp op = rng.NextBool() ? CompareOp::kContains
+                                          : CompareOp::kStartsWith;
+      return ConditionNode::Atom("s", op,
+                                 Value::String(kStrings[rng.NextIndex(4)]));
+    }
+    static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe};
+    return ConditionNode::Atom(rng.NextBool() ? "a" : "b",
+                               kOps[rng.NextIndex(6)],
+                               Value::Int(rng.NextInt(0, 4)));
+  };
+
+  // Random small tree, biased toward redundancy (repeated atoms).
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<ConditionPtr> atoms;
+    for (int i = 0; i < 4; ++i) atoms.push_back(random_atom());
+    const ConditionPtr cond = ConditionNode::Or(
+        {ConditionNode::And({atoms[0], atoms[1], atoms[0]}),
+         ConditionNode::And({atoms[2], atoms[3]}),
+         atoms[rng.NextIndex(4)]});
+    const ConditionPtr simplified = SimplifyCondition(cond);
+
+    for (int r = 0; r < 40; ++r) {
+      static const char* const kStrings[] = {"ab", "abc", "cd", "x", "abcd"};
+      const Row row({Value::Int(rng.NextInt(0, 4)), Value::Int(rng.NextInt(0, 4)),
+                     Value::String(kStrings[rng.NextIndex(5)])});
+      const bool expected = *EvalCondition(*cond, row, full, schema);
+      const bool actual =
+          simplified == nullptr
+              ? false
+              : *EvalCondition(*simplified, row, full, schema);
+      ASSERT_EQ(actual, expected)
+          << "cond: " << cond->ToString() << "\nsimplified: "
+          << (simplified ? simplified->ToString() : "FALSE")
+          << "\nrow: " << row.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace gencompact

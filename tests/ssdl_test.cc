@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include "expr/condition_parser.h"
+#include "ssdl/capability_builder.h"
+#include "ssdl/check.h"
+#include "ssdl/closure.h"
+#include "ssdl/earley.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+// The paper's Example 4.1 source description.
+constexpr const char* kExample41 = R"(
+source R(make: string, model: string, year: int,
+         color: string, price: int) {
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+SourceDescription ParseDescription(const std::string& text) {
+  Result<SourceDescription> description = ParseSsdl(text);
+  EXPECT_TRUE(description.ok()) << description.status().ToString();
+  return std::move(description).value();
+}
+
+TEST(GrammarTest, InternsNonterminals) {
+  Grammar grammar;
+  const int a = grammar.AddNonterminal("a");
+  const int b = grammar.AddNonterminal("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(grammar.AddNonterminal("a"), a);
+  EXPECT_EQ(grammar.FindNonterminal("b"), b);
+  EXPECT_FALSE(grammar.FindNonterminal("c").has_value());
+}
+
+TEST(GrammarTest, RejectsEmptyRhs) {
+  Grammar grammar;
+  const int a = grammar.AddNonterminal("a");
+  EXPECT_FALSE(grammar.AddRule({a, {}}).ok());
+}
+
+TEST(GrammarTest, TerminalMatching) {
+  const CondToken attr_token{CondToken::Type::kAttr, "make", CompareOp::kEq, {}};
+  EXPECT_TRUE(TerminalPattern::Attr("make").Matches(attr_token));
+  EXPECT_FALSE(TerminalPattern::Attr("color").Matches(attr_token));
+
+  CondToken const_token;
+  const_token.type = CondToken::Type::kConst;
+  const_token.value = Value::Int(5);
+  EXPECT_TRUE(TerminalPattern::Placeholder(
+                  TerminalPattern::PlaceholderType::kInt)
+                  .Matches(const_token));
+  EXPECT_FALSE(TerminalPattern::Placeholder(
+                   TerminalPattern::PlaceholderType::kString)
+                   .Matches(const_token));
+  EXPECT_TRUE(TerminalPattern::Placeholder(
+                  TerminalPattern::PlaceholderType::kFloat)
+                  .Matches(const_token));  // ints satisfy $float
+  EXPECT_TRUE(TerminalPattern::Literal(Value::Int(5)).Matches(const_token));
+  EXPECT_FALSE(TerminalPattern::Literal(Value::Int(6)).Matches(const_token));
+}
+
+TEST(EarleyTest, RecognizesSimpleSequence) {
+  Grammar grammar;
+  const int s = grammar.AddNonterminal("s");
+  ASSERT_TRUE(grammar
+                  .AddRule({s,
+                            {GrammarSymbol::Terminal(TerminalPattern::Attr("a")),
+                             GrammarSymbol::Terminal(TerminalPattern::Op(
+                                 CompareOp::kEq)),
+                             GrammarSymbol::Terminal(TerminalPattern::Placeholder(
+                                 TerminalPattern::PlaceholderType::kAny))}})
+                  .ok());
+  EarleyRecognizer recognizer(&grammar);
+  EXPECT_TRUE(recognizer.Derives(s, TokenizeCondition(*Parse("a = 1"))));
+  EXPECT_FALSE(recognizer.Derives(s, TokenizeCondition(*Parse("b = 1"))));
+  EXPECT_FALSE(recognizer.Derives(s, TokenizeCondition(*Parse("a = 1 and b = 2"))));
+}
+
+TEST(EarleyTest, HandlesRecursion) {
+  // list -> a = $any | a = $any or list
+  Grammar grammar;
+  const int list = grammar.AddNonterminal("list");
+  const auto atom = std::vector<GrammarSymbol>{
+      GrammarSymbol::Terminal(TerminalPattern::Attr("a")),
+      GrammarSymbol::Terminal(TerminalPattern::Op(CompareOp::kEq)),
+      GrammarSymbol::Terminal(
+          TerminalPattern::Placeholder(TerminalPattern::PlaceholderType::kAny))};
+  ASSERT_TRUE(grammar.AddRule({list, atom}).ok());
+  std::vector<GrammarSymbol> rec = atom;
+  rec.push_back(GrammarSymbol::Terminal(TerminalPattern::OrSep()));
+  rec.push_back(GrammarSymbol::Nonterminal(list));
+  ASSERT_TRUE(grammar.AddRule({list, rec}).ok());
+
+  EarleyRecognizer recognizer(&grammar);
+  EXPECT_TRUE(recognizer.Derives(list, TokenizeCondition(*Parse("a = 1"))));
+  EXPECT_TRUE(recognizer.Derives(
+      list, TokenizeCondition(*Parse("a = 1 or a = 2 or a = 3 or a = 4"))));
+  EXPECT_FALSE(recognizer.Derives(
+      list, TokenizeCondition(*Parse("a = 1 or a = 2 and a = 3"))));
+}
+
+TEST(EarleyTest, AmbiguousGrammarStillRecognizes) {
+  // e -> e and e | atom : ambiguous, Earley must cope.
+  Grammar grammar;
+  const int e = grammar.AddNonterminal("e");
+  ASSERT_TRUE(grammar
+                  .AddRule({e,
+                            {GrammarSymbol::Terminal(TerminalPattern::Attr("a")),
+                             GrammarSymbol::Terminal(TerminalPattern::Op(
+                                 CompareOp::kEq)),
+                             GrammarSymbol::Terminal(TerminalPattern::Placeholder(
+                                 TerminalPattern::PlaceholderType::kAny))}})
+                  .ok());
+  ASSERT_TRUE(grammar
+                  .AddRule({e,
+                            {GrammarSymbol::Nonterminal(e),
+                             GrammarSymbol::Terminal(TerminalPattern::AndSep()),
+                             GrammarSymbol::Nonterminal(e)}})
+                  .ok());
+  EarleyRecognizer recognizer(&grammar);
+  EXPECT_TRUE(recognizer.Derives(
+      e, TokenizeCondition(*Parse("a = 1 and a = 2 and a = 3 and a = 4"))));
+}
+
+TEST(SsdlParserTest, ParsesExample41) {
+  const SourceDescription description = ParseDescription(kExample41);
+  EXPECT_EQ(description.source_name(), "R");
+  EXPECT_EQ(description.schema().num_attributes(), 5u);
+  EXPECT_EQ(description.condition_nonterminals().size(), 2u);
+}
+
+TEST(SsdlParserTest, RejectsUnknownAttributeInExport) {
+  const Result<SourceDescription> bad = ParseSsdl(R"(
+    source R(a: string) {
+      rule s1 -> a = $string;
+      export s1 : {b};
+    })");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SsdlParserTest, RejectsExportWithoutRules) {
+  const Result<SourceDescription> bad = ParseSsdl(R"(
+    source R(a: string) {
+      export s1 : {a};
+    })");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SsdlParserTest, RejectsUnknownSymbolInRhs) {
+  const Result<SourceDescription> bad = ParseSsdl(R"(
+    source R(a: string) {
+      rule s1 -> bogus = $string;
+      export s1 : {a};
+    })");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SsdlParserTest, RejectsDescriptionWithoutExports) {
+  const Result<SourceDescription> bad = ParseSsdl(R"(
+    source R(a: string) {
+      rule s1 -> a = $string;
+    })");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SsdlParserTest, AlternativeBarSugar) {
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: string, b: int) {
+      rule s1 -> a = $string | b < $int;
+      export s1 : {a, b};
+    })");
+  Checker checker(&description);
+  EXPECT_FALSE(checker.Check(*Parse("a = \"x\"")).empty());
+  EXPECT_FALSE(checker.Check(*Parse("b < 5")).empty());
+  EXPECT_TRUE(checker.Check(*Parse("a = \"x\" and b < 5")).empty());
+}
+
+TEST(SsdlParserTest, LiteralConstantsPinValues) {
+  const SourceDescription description = ParseDescription(R"(
+    source R(status: string) {
+      rule s1 -> status = "open";
+      export s1 : {status};
+    })");
+  Checker checker(&description);
+  EXPECT_FALSE(checker.Check(*Parse("status = \"open\"")).empty());
+  EXPECT_TRUE(checker.Check(*Parse("status = \"closed\"")).empty());
+}
+
+TEST(SsdlParserTest, CostClause) {
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: string) {
+      cost 42.0 7;
+      rule s1 -> a = $string;
+      export s1 : {a};
+    })");
+  EXPECT_DOUBLE_EQ(description.k1(), 42.0);
+  EXPECT_DOUBLE_EQ(description.k2(), 7.0);
+}
+
+TEST(CheckTest, Example41Supportability) {
+  const SourceDescription description = ParseDescription(kExample41);
+  Checker checker(&description);
+
+  // Section 4: SP(n1, A, R) with A = {model, year} is supported...
+  const ConditionPtr n1 = Parse("make = \"BMW\" and price < 40000");
+  AttributeSet a;
+  a.Add(*description.schema().IndexOf("model"));
+  a.Add(*description.schema().IndexOf("year"));
+  EXPECT_TRUE(checker.Supports(*n1, a));
+
+  // ... and Check returns {make, model, year, color} for s1.
+  const std::vector<AttributeSet>& family = checker.Check(*n1);
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(family[0].ToString(description.schema()),
+            "{make, model, year, color}");
+
+  // The disjunction (color = red or color = black) is not supported.
+  EXPECT_TRUE(
+      checker.Check(*Parse("color = \"red\" or color = \"black\"")).empty());
+
+  // s2 exports only {make, model, year}: price cannot be projected.
+  const ConditionPtr n2 = Parse("make = \"BMW\" and color = \"red\"");
+  AttributeSet with_price = a;
+  with_price.Add(*description.schema().IndexOf("price"));
+  EXPECT_TRUE(checker.Supports(*n2, a));
+  EXPECT_FALSE(checker.Supports(*n2, with_price));
+}
+
+TEST(CheckTest, OrderSensitivityWithoutClosure) {
+  const SourceDescription description = ParseDescription(kExample41);
+  Checker checker(&description);
+  // Section 6.1: (color = red and make = BMW) cannot be evaluated — the
+  // grammar specifies make first.
+  EXPECT_TRUE(
+      checker.Check(*Parse("color = \"red\" and make = \"BMW\"")).empty());
+}
+
+TEST(CheckTest, ClosureMakesOrderInsensitive) {
+  const SourceDescription closed =
+      CommutativityClosure(ParseDescription(kExample41));
+  Checker checker(&closed);
+  EXPECT_FALSE(
+      checker.Check(*Parse("color = \"red\" and make = \"BMW\"")).empty());
+  EXPECT_FALSE(
+      checker.Check(*Parse("price < 9 and make = \"BMW\"")).empty());
+  // Still rejects genuinely unsupported shapes.
+  EXPECT_TRUE(
+      checker.Check(*Parse("color = \"red\" and price < 9")).empty());
+}
+
+TEST(CheckTest, ClosurePreservesOriginalLanguage) {
+  const SourceDescription original = ParseDescription(kExample41);
+  const SourceDescription closed = CommutativityClosure(original);
+  Checker check_original(&original);
+  Checker check_closed(&closed);
+  const char* const kSupported[] = {
+      "make = \"BMW\" and price < 40000",
+      "make = \"Toyota\" and color = \"red\"",
+  };
+  for (const char* text : kSupported) {
+    EXPECT_FALSE(check_original.Check(*Parse(text)).empty()) << text;
+    EXPECT_FALSE(check_closed.Check(*Parse(text)).empty()) << text;
+  }
+}
+
+TEST(CheckTest, CheckTrueOnlyWithDownloadRule) {
+  const SourceDescription no_download = ParseDescription(kExample41);
+  Checker checker(&no_download);
+  EXPECT_TRUE(checker.CheckTrue().empty());
+
+  const SourceDescription with_download = ParseDescription(R"(
+    source R(a: string) {
+      rule s1 -> true;
+      export s1 : {a};
+    })");
+  Checker checker2(&with_download);
+  ASSERT_EQ(checker2.CheckTrue().size(), 1u);
+}
+
+TEST(CheckTest, FamilyKeepsMaximalSetsOnly) {
+  // Two condition nonterminals accept the same shape with nested exports:
+  // only the maximal export survives.
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: string, b: int) {
+      rule s1 -> a = $string;
+      rule s2 -> a = $string;
+      export s1 : {a};
+      export s2 : {a, b};
+    })");
+  Checker checker(&description);
+  const std::vector<AttributeSet>& family = checker.Check(*Parse("a = \"x\""));
+  ASSERT_EQ(family.size(), 1u);
+  EXPECT_EQ(family[0].size(), 2u);
+}
+
+TEST(CheckTest, IncomparableFamilyMembersBothKept) {
+  const SourceDescription description = ParseDescription(R"(
+    source R(a: string, b: int, c: int) {
+      rule s1 -> a = $string;
+      rule s2 -> a = $string;
+      export s1 : {a, b};
+      export s2 : {a, c};
+    })");
+  Checker checker(&description);
+  const ConditionPtr cond = Parse("a = \"x\"");
+  EXPECT_EQ(checker.Check(*cond).size(), 2u);
+  // Supported for {b} and for {c}, but not {b, c} jointly.
+  const Schema& schema = description.schema();
+  AttributeSet b;
+  b.Add(*schema.IndexOf("b"));
+  AttributeSet c;
+  c.Add(*schema.IndexOf("c"));
+  EXPECT_TRUE(checker.Supports(*cond, b));
+  EXPECT_TRUE(checker.Supports(*cond, c));
+  EXPECT_FALSE(checker.Supports(*cond, b.Union(c)));
+}
+
+TEST(CheckTest, MemoizationCountsHits) {
+  const SourceDescription description = ParseDescription(kExample41);
+  Checker checker(&description);
+  const ConditionPtr cond = Parse("make = \"BMW\" and price < 1");
+  checker.Check(*cond);
+  checker.Check(*cond);
+  checker.Check(*cond);
+  EXPECT_EQ(checker.num_checks(), 3u);
+  EXPECT_EQ(checker.num_cache_hits(), 2u);
+}
+
+TEST(CapabilityBuilderTest, ConjunctiveFormWithOptionals) {
+  const Schema schema({{"a", ValueType::kString},
+                       {"b", ValueType::kString},
+                       {"p", ValueType::kInt}});
+  CapabilityBuilder builder("src", schema);
+  ASSERT_TRUE(builder
+                  .AddConjunctiveForm(
+                      "f",
+                      {{"a", {CompareOp::kEq}, false, false},
+                       {"b", {CompareOp::kEq}, true, false},
+                       {"p", {CompareOp::kLt}, true, false}},
+                      {"a", "b", "p"})
+                  .ok());
+  const SourceDescription description = builder.Build();
+  Checker checker(&description);
+  EXPECT_FALSE(checker.Check(*Parse("a = \"x\"")).empty());
+  EXPECT_FALSE(checker.Check(*Parse("a = \"x\" and b = \"y\"")).empty());
+  EXPECT_FALSE(checker.Check(*Parse("a = \"x\" and p < 5")).empty());
+  EXPECT_FALSE(
+      checker.Check(*Parse("a = \"x\" and b = \"y\" and p < 5")).empty());
+  // Mandatory slot missing:
+  EXPECT_TRUE(checker.Check(*Parse("b = \"y\"")).empty());
+  // Wrong operator:
+  EXPECT_TRUE(checker.Check(*Parse("a = \"x\" and p > 5")).empty());
+}
+
+TEST(CapabilityBuilderTest, ValueListSlot) {
+  const Schema schema({{"size", ValueType::kString}, {"x", ValueType::kInt}});
+  CapabilityBuilder builder("src", schema);
+  ASSERT_TRUE(builder
+                  .AddConjunctiveForm("f",
+                                      {{"x", {CompareOp::kEq}, false, false},
+                                       {"size", {CompareOp::kEq}, false, true}},
+                                      {"size", "x"})
+                  .ok());
+  const SourceDescription description = builder.Build();
+  Checker checker(&description);
+  EXPECT_FALSE(checker.Check(*Parse("x = 1 and size = \"m\"")).empty());
+  EXPECT_FALSE(
+      checker.Check(*Parse("x = 1 and (size = \"m\" or size = \"l\")")).empty());
+  EXPECT_FALSE(checker
+                   .Check(*Parse(
+                       "x = 1 and (size = \"s\" or size = \"m\" or size = \"l\")"))
+                   .empty());
+  // Lists of anything else are rejected.
+  EXPECT_TRUE(checker.Check(*Parse("x = 1 and (size = \"m\" or x = 2)")).empty());
+}
+
+TEST(CapabilityBuilderTest, AtomicForms) {
+  const Schema schema({{"a", ValueType::kString}, {"p", ValueType::kInt}});
+  CapabilityBuilder builder("src", schema);
+  ASSERT_TRUE(builder
+                  .AddAtomicForms("f",
+                                  {{"a", {CompareOp::kEq}, false, false},
+                                   {"p", {CompareOp::kLt, CompareOp::kGt},
+                                    false, false}},
+                                  {"a", "p"})
+                  .ok());
+  const SourceDescription description = builder.Build();
+  Checker checker(&description);
+  EXPECT_FALSE(checker.Check(*Parse("a = \"x\"")).empty());
+  EXPECT_FALSE(checker.Check(*Parse("p < 5")).empty());
+  EXPECT_TRUE(checker.Check(*Parse("a = \"x\" and p < 5")).empty());
+}
+
+TEST(CapabilityBuilderTest, FullBooleanAcceptsArbitraryShapes) {
+  const Schema schema({{"a", ValueType::kString}, {"p", ValueType::kInt}});
+  CapabilityBuilder builder("src", schema);
+  ASSERT_TRUE(builder
+                  .AddFullBoolean("f",
+                                  {{"a", {CompareOp::kEq}, false, false},
+                                   {"p",
+                                    {CompareOp::kEq, CompareOp::kLt,
+                                     CompareOp::kGe},
+                                    false, false}},
+                                  {"a", "p"})
+                  .ok());
+  const SourceDescription description = builder.Build();
+  Checker checker(&description);
+  const char* const kAccepted[] = {
+      "a = \"x\"",
+      "a = \"x\" and p < 5",
+      "a = \"x\" or p < 5",
+      "(a = \"x\" and p < 5) or (a = \"y\" and p >= 7)",
+      "a = \"x\" and (p < 5 or (a = \"z\" and p >= 9))",
+  };
+  for (const char* text : kAccepted) {
+    EXPECT_FALSE(checker.Check(*Parse(text)).empty()) << text;
+  }
+  EXPECT_TRUE(checker.Check(*Parse("a contains \"x\"")).empty());
+}
+
+TEST(CapabilityBuilderTest, DownloadForm) {
+  const Schema schema({{"a", ValueType::kString}});
+  CapabilityBuilder builder("src", schema);
+  ASSERT_TRUE(builder.AddDownload("dl", {"a"}).ok());
+  const SourceDescription description = builder.Build();
+  Checker checker(&description);
+  EXPECT_FALSE(checker.CheckTrue().empty());
+  EXPECT_TRUE(checker.Check(*Parse("a = \"x\"")).empty());
+}
+
+}  // namespace
+}  // namespace gencompact

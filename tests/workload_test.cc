@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "expr/condition_eval.h"
+#include "expr/condition_parser.h"
+#include "ssdl/check.h"
+#include "workload/datasets.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+#include "workload/zipf.h"
+
+namespace gencompact {
+namespace {
+
+TEST(ZipfTest, RanksAreInRangeAndSkewed) {
+  Rng rng(3);
+  const ZipfSampler zipf(100, 1.0);
+  std::vector<size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t rank = zipf.Sample(&rng);
+    ASSERT_LT(rank, 100u);
+    ++counts[rank];
+  }
+  // Rank 0 should dominate rank 50 heavily under s = 1.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0u);
+}
+
+TEST(ZipfTest, DegenerateSizes) {
+  Rng rng(4);
+  const ZipfSampler one(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one.Sample(&rng), 0u);
+}
+
+TEST(BookstoreDatasetTest, ShapeMatchesPaperExample) {
+  const Dataset dataset = MakeBookstore(50000, 42);
+  EXPECT_EQ(dataset.table->num_rows(), 50000u);
+  const Schema& schema = dataset.table->schema();
+  const RowLayout full(schema.AllAttributes(), schema.num_attributes());
+
+  size_t dreams = 0;
+  size_t protagonist_dreams = 0;
+  const Result<ConditionPtr> dreams_cond =
+      ParseCondition("title contains \"dreams\"");
+  const Result<ConditionPtr> target = ParseCondition(
+      "(author = \"Sigmund Freud\" or author = \"Carl Jung\") and "
+      "title contains \"dreams\"");
+  ASSERT_TRUE(dreams_cond.ok());
+  ASSERT_TRUE(target.ok());
+  for (const Row& row : dataset.table->rows()) {
+    if (*EvalCondition(**dreams_cond, row, full, schema)) ++dreams;
+    if (*EvalCondition(**target, row, full, schema)) ++protagonist_dreams;
+  }
+  // The paper's numbers: >2000 "dreams" titles, <20 for the two authors.
+  EXPECT_GT(dreams, 2000u);
+  EXPECT_GT(protagonist_dreams, 0u);
+  EXPECT_LT(protagonist_dreams, 20u);
+}
+
+TEST(BookstoreDatasetTest, CapabilityRejectsTwoAuthors) {
+  const Dataset dataset = MakeBookstore(2000, 1);
+  Checker checker(&dataset.description);
+  const Result<ConditionPtr> two_authors =
+      ParseCondition("author = \"A\" or author = \"B\"");
+  ASSERT_TRUE(two_authors.ok());
+  EXPECT_TRUE(checker.Check(**two_authors).empty());
+  const Result<ConditionPtr> single = ParseCondition(
+      "author = \"A\" and title contains \"x\"");
+  ASSERT_TRUE(single.ok());
+  EXPECT_FALSE(checker.Check(**single).empty());
+  EXPECT_TRUE(checker.CheckTrue().empty());  // no catalog download
+}
+
+TEST(CarDatasetTest, FormAcceptsSizeLists) {
+  const Dataset dataset = MakeCarSource(2000, 2);
+  Checker checker(&dataset.description);
+  const Result<ConditionPtr> with_list = ParseCondition(
+      "style = \"sedan\" and make = \"BMW\" and price <= 40000 and "
+      "(size = \"compact\" or size = \"midsize\")");
+  ASSERT_TRUE(with_list.ok());
+  EXPECT_FALSE(checker.Check(**with_list).empty());
+  // Two makes at once: rejected.
+  const Result<ConditionPtr> two_makes = ParseCondition(
+      "(make = \"BMW\" or make = \"Audi\") and style = \"sedan\"");
+  ASSERT_TRUE(two_makes.ok());
+  EXPECT_TRUE(checker.Check(**two_makes).empty());
+}
+
+TEST(CarDatasetTest, ExampleConditionIsNotDirectlySupported) {
+  const Dataset dataset = MakeCarSource(2000, 2);
+  Checker checker(&dataset.description);
+  EXPECT_TRUE(checker.Check(*dataset.example_condition).empty());
+}
+
+TEST(RandomTableTest, RespectsSchemaAndDeterminism) {
+  const Schema schema({{"s", ValueType::kString},
+                       {"i", ValueType::kInt},
+                       {"d", ValueType::kDouble},
+                       {"b", ValueType::kBool}});
+  Rng rng1(7);
+  Rng rng2(7);
+  const std::unique_ptr<Table> t1 = MakeRandomTable("t", schema, 50, 8, 100, &rng1);
+  const std::unique_ptr<Table> t2 = MakeRandomTable("t", schema, 50, 8, 100, &rng2);
+  ASSERT_EQ(t1->num_rows(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(t1->rows()[i], t2->rows()[i]);
+  }
+  for (const Row& row : t1->rows()) {
+    EXPECT_EQ(row.value(0).type(), ValueType::kString);
+    EXPECT_EQ(row.value(1).type(), ValueType::kInt);
+    EXPECT_EQ(row.value(2).type(), ValueType::kDouble);
+    EXPECT_EQ(row.value(3).type(), ValueType::kBool);
+  }
+}
+
+TEST(ExtractDomainsTest, SamplesComeFromTheData) {
+  const Schema schema({{"s", ValueType::kString}, {"i", ValueType::kInt}});
+  Rng rng(9);
+  const std::unique_ptr<Table> table = MakeRandomTable("t", schema, 100, 5, 10, &rng);
+  const std::vector<AttributeDomain> domains = ExtractDomains(*table, 4, &rng);
+  ASSERT_EQ(domains.size(), 2u);
+  for (const AttributeDomain& domain : domains) {
+    EXPECT_FALSE(domain.sample_values.empty());
+    EXPECT_LE(domain.sample_values.size(), 4u);
+    for (const Value& v : domain.sample_values) {
+      bool found = false;
+      const int index = *schema.IndexOf(domain.name);
+      for (const Row& row : table->rows()) {
+        if (row.value(static_cast<size_t>(index)) == v) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << v.ToString();
+    }
+  }
+}
+
+TEST(RandomConditionTest, AtomCountAndAttributesRespected) {
+  const Schema schema({{"s", ValueType::kString}, {"i", ValueType::kInt}});
+  Rng rng(11);
+  const std::unique_ptr<Table> table = MakeRandomTable("t", schema, 60, 5, 10, &rng);
+  const std::vector<AttributeDomain> domains = ExtractDomains(*table, 4, &rng);
+  for (size_t atoms = 1; atoms <= 8; ++atoms) {
+    RandomConditionOptions options;
+    options.num_atoms = atoms;
+    const ConditionPtr cond = RandomCondition(domains, options, &rng);
+    EXPECT_EQ(cond->CountAtoms(), atoms);
+    const Result<AttributeSet> attrs = cond->Attributes(schema);
+    EXPECT_TRUE(attrs.ok());
+  }
+}
+
+TEST(RandomCapabilityTest, DeterministicAndWellFormed) {
+  const Schema schema({{"s", ValueType::kString}, {"i", ValueType::kInt}});
+  Rng rng1(13);
+  Rng rng2(13);
+  const SourceDescription d1 =
+      RandomCapability("src", schema, RandomCapabilityOptions{}, &rng1);
+  const SourceDescription d2 =
+      RandomCapability("src", schema, RandomCapabilityOptions{}, &rng2);
+  EXPECT_EQ(d1.ToString(), d2.ToString());
+  EXPECT_FALSE(d1.condition_nonterminals().empty());
+  EXPECT_GT(d1.grammar().rules().size(), d1.condition_nonterminals().size());
+}
+
+}  // namespace
+}  // namespace gencompact

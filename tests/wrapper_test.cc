@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "mediator/wrapper.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+class WrapperFixture : public ::testing::Test {
+ protected:
+  WrapperFixture()
+      : description_(*ParseSsdl(R"(
+          source books(author: string, title: string, price: int) {
+            cost 10.0 1.0;
+            rule f -> author = $string
+                    | title contains $string
+                    | author = $string and title contains $string;
+            export f : {author, title, price};
+          })")),
+        table_("books", description_.schema()) {
+    const auto add = [this](const char* author, const char* title,
+                            int64_t price) {
+      ASSERT_TRUE(table_
+                      .AppendValues({Value::String(author), Value::String(title),
+                                     Value::Int(price)})
+                      .ok());
+    };
+    add("Freud", "the interpretation of dreams", 12);
+    add("Freud", "civilization", 11);
+    add("Jung", "memories dreams reflections", 14);
+    add("Lem", "solaris", 9);
+  }
+
+  SourceDescription description_;
+  Table table_;
+};
+
+TEST_F(WrapperFixture, AnswersDirectlySupportedQuery) {
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query("author = \"Freud\"", {"title"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(wrapper.stats().source_queries, 1u);
+}
+
+TEST_F(WrapperFixture, AnswersUnsupportedShapeViaPlanning) {
+  // Disjunction of authors: not supported by the form, but the wrapper
+  // provides generic relational capability by splitting it.
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query(
+      "(author = \"Freud\" or author = \"Jung\") and title contains \"dreams\"",
+      {"author", "title"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  // On this tiny catalog a single `title contains` query is cheapest; the
+  // point is that the wrapper answered an unsupported shape at all.
+  EXPECT_GE(wrapper.stats().source_queries, 1u);
+  EXPECT_EQ(wrapper.stats().answered, 1u);
+}
+
+TEST_F(WrapperFixture, UnsatisfiableConditionSkipsSource) {
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query(
+      "author = \"Freud\" and author = \"Jung\"", {"title"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(wrapper.stats().answered_without_source, 1u);
+  EXPECT_EQ(wrapper.stats().source_queries, 0u);
+}
+
+TEST_F(WrapperFixture, SimplificationEnablesOtherwiseInfeasibleQuery) {
+  // price predicates are unsupported and the source has no download, but
+  // the redundant price conjunct is absorbed by the duplicate author atom
+  // … actually: (author = F and author = F) collapses to a supported atom.
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query(
+      "author = \"Freud\" and author = \"Freud\"", {"title"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(WrapperFixture, GenuinelyInfeasibleReportsNoPlan) {
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query("price < 10", {"title"});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNoFeasiblePlan);
+  EXPECT_EQ(wrapper.stats().infeasible, 1u);
+}
+
+TEST_F(WrapperFixture, EmptyAttrListMeansAllAttributes) {
+  Wrapper wrapper(description_, &table_);
+  const Result<RowSet> rows = wrapper.Query("author = \"Lem\"", {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->layout().width(), 3u);
+}
+
+TEST_F(WrapperFixture, MalformedConditionTextFails) {
+  Wrapper wrapper(description_, &table_);
+  EXPECT_EQ(wrapper.Query("author = ", {"title"}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(wrapper.Query("author = \"x\"", {"bogus"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gencompact
