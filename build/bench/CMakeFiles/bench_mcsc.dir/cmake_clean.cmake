@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcsc.dir/bench_mcsc.cc.o"
+  "CMakeFiles/bench_mcsc.dir/bench_mcsc.cc.o.d"
+  "bench_mcsc"
+  "bench_mcsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

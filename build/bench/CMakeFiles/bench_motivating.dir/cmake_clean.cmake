@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivating.dir/bench_motivating.cc.o"
+  "CMakeFiles/bench_motivating.dir/bench_motivating.cc.o.d"
+  "bench_motivating"
+  "bench_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_quality.dir/bench_plan_quality.cc.o"
+  "CMakeFiles/bench_plan_quality.dir/bench_plan_quality.cc.o.d"
+  "bench_plan_quality"
+  "bench_plan_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planning_time.dir/bench_planning_time.cc.o"
+  "CMakeFiles/bench_planning_time.dir/bench_planning_time.cc.o.d"
+  "bench_planning_time"
+  "bench_planning_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planning_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

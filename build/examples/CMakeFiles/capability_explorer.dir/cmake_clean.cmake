@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_explorer.dir/capability_explorer.cpp.o"
+  "CMakeFiles/capability_explorer.dir/capability_explorer.cpp.o.d"
+  "capability_explorer"
+  "capability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carshopping.dir/carshopping.cpp.o"
+  "CMakeFiles/carshopping.dir/carshopping.cpp.o.d"
+  "carshopping"
+  "carshopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carshopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for carshopping.
+# This may be replaced when dependencies are built.

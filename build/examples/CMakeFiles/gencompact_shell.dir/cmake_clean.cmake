@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencompact_shell.dir/gencompact_shell.cpp.o"
+  "CMakeFiles/gencompact_shell.dir/gencompact_shell.cpp.o.d"
+  "gencompact_shell"
+  "gencompact_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencompact_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cnf_planner.cc" "src/CMakeFiles/gencompact.dir/baselines/cnf_planner.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/baselines/cnf_planner.cc.o.d"
+  "/root/repo/src/baselines/disco_planner.cc" "src/CMakeFiles/gencompact.dir/baselines/disco_planner.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/baselines/disco_planner.cc.o.d"
+  "/root/repo/src/baselines/dnf_planner.cc" "src/CMakeFiles/gencompact.dir/baselines/dnf_planner.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/baselines/dnf_planner.cc.o.d"
+  "/root/repo/src/baselines/naive_planner.cc" "src/CMakeFiles/gencompact.dir/baselines/naive_planner.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/baselines/naive_planner.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gencompact.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gencompact.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/gencompact.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/gencompact.dir/common/value.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/common/value.cc.o.d"
+  "/root/repo/src/cost/cardinality.cc" "src/CMakeFiles/gencompact.dir/cost/cardinality.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/cost/cardinality.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/gencompact.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/selectivity.cc" "src/CMakeFiles/gencompact.dir/cost/selectivity.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/cost/selectivity.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/gencompact.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/source.cc" "src/CMakeFiles/gencompact.dir/exec/source.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/exec/source.cc.o.d"
+  "/root/repo/src/expr/canonical.cc" "src/CMakeFiles/gencompact.dir/expr/canonical.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/canonical.cc.o.d"
+  "/root/repo/src/expr/compare_op.cc" "src/CMakeFiles/gencompact.dir/expr/compare_op.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/compare_op.cc.o.d"
+  "/root/repo/src/expr/condition.cc" "src/CMakeFiles/gencompact.dir/expr/condition.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/condition.cc.o.d"
+  "/root/repo/src/expr/condition_eval.cc" "src/CMakeFiles/gencompact.dir/expr/condition_eval.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/condition_eval.cc.o.d"
+  "/root/repo/src/expr/condition_parser.cc" "src/CMakeFiles/gencompact.dir/expr/condition_parser.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/condition_parser.cc.o.d"
+  "/root/repo/src/expr/condition_tokens.cc" "src/CMakeFiles/gencompact.dir/expr/condition_tokens.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/condition_tokens.cc.o.d"
+  "/root/repo/src/expr/normal_forms.cc" "src/CMakeFiles/gencompact.dir/expr/normal_forms.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/normal_forms.cc.o.d"
+  "/root/repo/src/expr/simplify.cc" "src/CMakeFiles/gencompact.dir/expr/simplify.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/expr/simplify.cc.o.d"
+  "/root/repo/src/mediator/catalog.cc" "src/CMakeFiles/gencompact.dir/mediator/catalog.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/mediator/catalog.cc.o.d"
+  "/root/repo/src/mediator/join.cc" "src/CMakeFiles/gencompact.dir/mediator/join.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/mediator/join.cc.o.d"
+  "/root/repo/src/mediator/mediator.cc" "src/CMakeFiles/gencompact.dir/mediator/mediator.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/mediator/mediator.cc.o.d"
+  "/root/repo/src/mediator/sql_parser.cc" "src/CMakeFiles/gencompact.dir/mediator/sql_parser.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/mediator/sql_parser.cc.o.d"
+  "/root/repo/src/mediator/wrapper.cc" "src/CMakeFiles/gencompact.dir/mediator/wrapper.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/mediator/wrapper.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/gencompact.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/plan_printer.cc" "src/CMakeFiles/gencompact.dir/plan/plan_printer.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/plan/plan_printer.cc.o.d"
+  "/root/repo/src/plan/plan_validator.cc" "src/CMakeFiles/gencompact.dir/plan/plan_validator.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/plan/plan_validator.cc.o.d"
+  "/root/repo/src/planner/epg.cc" "src/CMakeFiles/gencompact.dir/planner/epg.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/epg.cc.o.d"
+  "/root/repo/src/planner/gen_compact.cc" "src/CMakeFiles/gencompact.dir/planner/gen_compact.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/gen_compact.cc.o.d"
+  "/root/repo/src/planner/gen_modular.cc" "src/CMakeFiles/gencompact.dir/planner/gen_modular.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/gen_modular.cc.o.d"
+  "/root/repo/src/planner/ipg.cc" "src/CMakeFiles/gencompact.dir/planner/ipg.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/ipg.cc.o.d"
+  "/root/repo/src/planner/mark.cc" "src/CMakeFiles/gencompact.dir/planner/mark.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/mark.cc.o.d"
+  "/root/repo/src/planner/plan_cache.cc" "src/CMakeFiles/gencompact.dir/planner/plan_cache.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/plan_cache.cc.o.d"
+  "/root/repo/src/planner/planner.cc" "src/CMakeFiles/gencompact.dir/planner/planner.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/planner.cc.o.d"
+  "/root/repo/src/planner/set_cover.cc" "src/CMakeFiles/gencompact.dir/planner/set_cover.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/set_cover.cc.o.d"
+  "/root/repo/src/planner/source_handle.cc" "src/CMakeFiles/gencompact.dir/planner/source_handle.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/planner/source_handle.cc.o.d"
+  "/root/repo/src/rewrite/rewrite_engine.cc" "src/CMakeFiles/gencompact.dir/rewrite/rewrite_engine.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/rewrite/rewrite_engine.cc.o.d"
+  "/root/repo/src/rewrite/rewrite_rules.cc" "src/CMakeFiles/gencompact.dir/rewrite/rewrite_rules.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/rewrite/rewrite_rules.cc.o.d"
+  "/root/repo/src/schema/attribute_set.cc" "src/CMakeFiles/gencompact.dir/schema/attribute_set.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/schema/attribute_set.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/gencompact.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/schema/schema.cc.o.d"
+  "/root/repo/src/ssdl/capability_builder.cc" "src/CMakeFiles/gencompact.dir/ssdl/capability_builder.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/capability_builder.cc.o.d"
+  "/root/repo/src/ssdl/check.cc" "src/CMakeFiles/gencompact.dir/ssdl/check.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/check.cc.o.d"
+  "/root/repo/src/ssdl/closure.cc" "src/CMakeFiles/gencompact.dir/ssdl/closure.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/closure.cc.o.d"
+  "/root/repo/src/ssdl/description.cc" "src/CMakeFiles/gencompact.dir/ssdl/description.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/description.cc.o.d"
+  "/root/repo/src/ssdl/description_io.cc" "src/CMakeFiles/gencompact.dir/ssdl/description_io.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/description_io.cc.o.d"
+  "/root/repo/src/ssdl/earley.cc" "src/CMakeFiles/gencompact.dir/ssdl/earley.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/earley.cc.o.d"
+  "/root/repo/src/ssdl/grammar.cc" "src/CMakeFiles/gencompact.dir/ssdl/grammar.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/grammar.cc.o.d"
+  "/root/repo/src/ssdl/ssdl_parser.cc" "src/CMakeFiles/gencompact.dir/ssdl/ssdl_parser.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/ssdl/ssdl_parser.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/gencompact.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/row.cc" "src/CMakeFiles/gencompact.dir/storage/row.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/storage/row.cc.o.d"
+  "/root/repo/src/storage/row_set.cc" "src/CMakeFiles/gencompact.dir/storage/row_set.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/storage/row_set.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/gencompact.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/table_stats.cc" "src/CMakeFiles/gencompact.dir/storage/table_stats.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/storage/table_stats.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/gencompact.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/random_capability.cc" "src/CMakeFiles/gencompact.dir/workload/random_capability.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/workload/random_capability.cc.o.d"
+  "/root/repo/src/workload/random_condition.cc" "src/CMakeFiles/gencompact.dir/workload/random_condition.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/workload/random_condition.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/gencompact.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/gencompact.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/gencompact_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/closure_property_test.cc" "tests/CMakeFiles/gencompact_tests.dir/closure_property_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/closure_property_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/gencompact_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/condition_test.cc" "tests/CMakeFiles/gencompact_tests.dir/condition_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/condition_test.cc.o.d"
+  "/root/repo/tests/cost_estimation_test.cc" "tests/CMakeFiles/gencompact_tests.dir/cost_estimation_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/cost_estimation_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/gencompact_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/gencompact_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/description_io_test.cc" "tests/CMakeFiles/gencompact_tests.dir/description_io_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/description_io_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/gencompact_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/join_test.cc" "tests/CMakeFiles/gencompact_tests.dir/join_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/join_test.cc.o.d"
+  "/root/repo/tests/mediator_test.cc" "tests/CMakeFiles/gencompact_tests.dir/mediator_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/mediator_test.cc.o.d"
+  "/root/repo/tests/motivating_test.cc" "tests/CMakeFiles/gencompact_tests.dir/motivating_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/motivating_test.cc.o.d"
+  "/root/repo/tests/normal_forms_test.cc" "tests/CMakeFiles/gencompact_tests.dir/normal_forms_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/normal_forms_test.cc.o.d"
+  "/root/repo/tests/plan_cache_test.cc" "tests/CMakeFiles/gencompact_tests.dir/plan_cache_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/plan_cache_test.cc.o.d"
+  "/root/repo/tests/plan_cost_test.cc" "tests/CMakeFiles/gencompact_tests.dir/plan_cost_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/plan_cost_test.cc.o.d"
+  "/root/repo/tests/planner_edge_test.cc" "tests/CMakeFiles/gencompact_tests.dir/planner_edge_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/planner_edge_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/gencompact_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/gencompact_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/gencompact_tests.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/rewrite_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/gencompact_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/set_cover_test.cc" "tests/CMakeFiles/gencompact_tests.dir/set_cover_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/set_cover_test.cc.o.d"
+  "/root/repo/tests/simplify_test.cc" "tests/CMakeFiles/gencompact_tests.dir/simplify_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/simplify_test.cc.o.d"
+  "/root/repo/tests/ssdl_test.cc" "tests/CMakeFiles/gencompact_tests.dir/ssdl_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/ssdl_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/gencompact_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/gencompact_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/gencompact_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/wrapper_test.cc" "tests/CMakeFiles/gencompact_tests.dir/wrapper_test.cc.o" "gcc" "tests/CMakeFiles/gencompact_tests.dir/wrapper_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gencompact.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
