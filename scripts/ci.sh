@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# build running the concurrency tests (thread pool, sharded plan cache,
+# parallel executor, concurrent mediator clients).
+#
+# Usage: scripts/ci.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "=== Release build + full ctest ==="
+cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${PREFIX}-release" -j "${JOBS}"
+ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
+
+echo "=== ThreadSanitizer build + concurrency tests ==="
+cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGENCOMPACT_SANITIZE=thread
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ExecFixture.Parallel*:ExecFixture.Duplicate*'
+
+echo "=== CI OK ==="

@@ -1,21 +1,95 @@
 #include "exec/executor.h"
 
+#include <optional>
+#include <vector>
+
 #include "expr/condition_eval.h"
 
 namespace gencompact {
 
+namespace {
+
+/// Dedup key of one SP(C, A, R): structural condition key + projection bits.
+std::string FetchKey(const PlanNode& plan) {
+  return plan.condition()->StructuralKey() + '\x1f' +
+         std::to_string(plan.attrs().bits());
+}
+
+}  // namespace
+
 Result<RowSet> Executor::Execute(const PlanNode& plan) {
+  {
+    // Dedup scope is one execution: descriptions/statistics are stable for
+    // a query's duration, not for the executor's whole lifetime.
+    std::lock_guard<std::mutex> lock(fetch_mu_);
+    fetches_.clear();
+  }
+  return Exec(plan);
+}
+
+Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
+  const std::string key = FetchKey(plan);
+  std::shared_ptr<Fetch> fetch;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(fetch_mu_);
+    auto [it, inserted] = fetches_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<Fetch>();
+    fetch = it->second;
+    owner = inserted;
+  }
+  if (owner) {
+    fetch->result = source_->Execute(*plan.condition(), plan.attrs());
+    if (fetch->result.ok()) {
+      source_queries_.fetch_add(1, std::memory_order_relaxed);
+      rows_transferred_.fetch_add(fetch->result->size(),
+                                  std::memory_order_relaxed);
+    }
+    fetch->ready_promise.set_value();
+  } else {
+    fetch->ready.wait();
+  }
+  return fetch->result;
+}
+
+Result<RowSet> Executor::ExecSetOp(const PlanNode& plan) {
+  const std::vector<PlanPtr>& children = plan.children();
+  const bool is_union = plan.kind() == PlanNode::Kind::kUnion;
+
+  std::vector<std::optional<Result<RowSet>>> results(children.size());
+  if (pool_ != nullptr && children.size() > 1) {
+    pool_->ParallelFor(children.size(), [this, &children, &results](size_t i) {
+      results[i] = Exec(*children[i]);
+    });
+  } else {
+    for (size_t i = 0; i < children.size(); ++i) {
+      results[i] = Exec(*children[i]);
+      // Sequential execution short-circuits on error, like the original
+      // single-threaded executor; parallel execution has already paid for
+      // every child by the time an error is visible.
+      if (!results[i]->ok()) return results[i]->status();
+    }
+  }
+  // Combine in plan order; the first (by child order) error wins, so the
+  // surfaced Status matches sequential execution.
+  for (const std::optional<Result<RowSet>>& r : results) {
+    if (!(*r).ok()) return (*r).status();
+  }
+  RowSet acc = std::move(*results.front()).value();
+  for (size_t i = 1; i < results.size(); ++i) {
+    const RowSet& next = *(*results[i]);
+    acc = is_union ? RowSet::UnionOf(acc, next) : RowSet::IntersectOf(acc, next);
+  }
+  return acc;
+}
+
+Result<RowSet> Executor::Exec(const PlanNode& plan) {
   const Schema& schema = source_->table().schema();
   switch (plan.kind()) {
-    case PlanNode::Kind::kSourceQuery: {
-      GC_ASSIGN_OR_RETURN(RowSet rows,
-                          source_->Execute(*plan.condition(), plan.attrs()));
-      ++stats_.source_queries;
-      stats_.rows_transferred += rows.size();
-      return rows;
-    }
+    case PlanNode::Kind::kSourceQuery:
+      return ExecSourceQuery(plan);
     case PlanNode::Kind::kMediatorSp: {
-      GC_ASSIGN_OR_RETURN(RowSet input, Execute(*plan.children().front()));
+      GC_ASSIGN_OR_RETURN(RowSet input, Exec(*plan.children().front()));
       const RowLayout& in_layout = input.layout();
       const RowLayout out_layout(plan.attrs(), schema.num_attributes());
       RowSet output(out_layout);
@@ -27,22 +101,9 @@ Result<RowSet> Executor::Execute(const PlanNode& plan) {
       }
       return output;
     }
-    case PlanNode::Kind::kUnion: {
-      GC_ASSIGN_OR_RETURN(RowSet acc, Execute(*plan.children().front()));
-      for (size_t i = 1; i < plan.children().size(); ++i) {
-        GC_ASSIGN_OR_RETURN(RowSet next, Execute(*plan.children()[i]));
-        acc = RowSet::UnionOf(acc, next);
-      }
-      return acc;
-    }
-    case PlanNode::Kind::kIntersect: {
-      GC_ASSIGN_OR_RETURN(RowSet acc, Execute(*plan.children().front()));
-      for (size_t i = 1; i < plan.children().size(); ++i) {
-        GC_ASSIGN_OR_RETURN(RowSet next, Execute(*plan.children()[i]));
-        acc = RowSet::IntersectOf(acc, next);
-      }
-      return acc;
-    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect:
+      return ExecSetOp(plan);
     case PlanNode::Kind::kChoice:
       return Status::Internal(
           "cannot execute a plan with unresolved Choice nodes");

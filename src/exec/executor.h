@@ -1,6 +1,14 @@
 #ifndef GENCOMPACT_EXEC_EXECUTOR_H_
 #define GENCOMPACT_EXEC_EXECUTOR_H_
 
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
 #include "exec/source.h"
 #include "plan/plan.h"
 
@@ -8,7 +16,10 @@ namespace gencompact {
 
 /// Per-execution transfer statistics — the "true cost" counterpart of the
 /// estimate-based CostModel, used by the cost-model-validation experiment
-/// (E7) and the motivating-example benchmark (E1).
+/// (E7) and the motivating-example benchmark (E1). Counts are per *distinct*
+/// source query: identical SP(C, A, R) sub-queries within one plan are
+/// fetched once (see Executor), matching what a deduplicating mediator would
+/// actually pay.
 struct ExecStats {
   size_t source_queries = 0;
   uint64_t rows_transferred = 0;  ///< rows shipped from the source
@@ -23,21 +34,58 @@ struct ExecStats {
 /// Executes resolved plans against one source, performing the mediator
 /// postprocessing operations (selection, projection, union, intersection —
 /// Section 3) with set semantics.
+///
+/// When a ThreadPool is supplied, the independent children of Union and
+/// Intersection nodes (IPG's set-cover combinations) are dispatched as
+/// parallel tasks; plans are immutable so sharing them across tasks is safe,
+/// and a per-execution deduplication map guarantees each distinct
+/// SP(C, A, R) is sent to the source exactly once even when several parallel
+/// branches request it simultaneously. Results are bit-identical to
+/// sequential execution: set union/intersection are order-insensitive and
+/// children are combined in plan order.
 class Executor {
  public:
-  /// `source` must outlive the executor.
-  explicit Executor(Source* source) : source_(source) {}
+  /// `source` must outlive the executor; `pool` may be null (sequential).
+  explicit Executor(Source* source, ThreadPool* pool = nullptr)
+      : source_(source), pool_(pool) {}
 
   /// Runs `plan`; kUnsupported propagates if the source rejects a query
   /// (only possible for plans produced by non-capability-aware baselines).
   Result<RowSet> Execute(const PlanNode& plan);
 
-  const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats(); }
+  /// Snapshot of the transfer counters (by value: they advance atomically
+  /// while parallel tasks run).
+  ExecStats stats() const {
+    ExecStats snapshot;
+    snapshot.source_queries = source_queries_.load(std::memory_order_relaxed);
+    snapshot.rows_transferred =
+        rows_transferred_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetStats() {
+    source_queries_.store(0, std::memory_order_relaxed);
+    rows_transferred_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  /// One deduplicated source fetch; losers of the insertion race block on
+  /// the winner's shared_future instead of re-querying the source.
+  struct Fetch {
+    std::promise<void> ready_promise;
+    std::shared_future<void> ready = ready_promise.get_future().share();
+    Result<RowSet> result = Status::Internal("fetch not completed");
+  };
+
+  Result<RowSet> Exec(const PlanNode& plan);
+  Result<RowSet> ExecSourceQuery(const PlanNode& plan);
+  Result<RowSet> ExecSetOp(const PlanNode& plan);
+
   Source* source_;
-  ExecStats stats_;
+  ThreadPool* pool_;
+  std::atomic<uint64_t> source_queries_{0};
+  std::atomic<uint64_t> rows_transferred_{0};
+  std::mutex fetch_mu_;  // guards fetches_ (map structure only)
+  std::unordered_map<std::string, std::shared_ptr<Fetch>> fetches_;
 };
 
 }  // namespace gencompact

@@ -1,18 +1,28 @@
 #include "exec/source.h"
 
+#include <thread>
+
 #include "expr/condition_eval.h"
 
 namespace gencompact {
 
 Result<RowSet> Source::Execute(const ConditionNode& cond,
                                const AttributeSet& attrs) {
-  ++stats_.queries_received;
-  if (!checker_.Supports(cond, attrs)) {
-    ++stats_.queries_rejected;
-    return Status::Unsupported("source '" + description_->source_name() +
-                               "' rejects query: SP(" + cond.ToString() + ", " +
-                               attrs.ToString(table_->schema()) + ")");
+  std::chrono::microseconds latency{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency = simulated_latency_;
+    ++stats_.queries_received;
+    if (!checker_.Supports(cond, attrs)) {
+      ++stats_.queries_rejected;
+      return Status::Unsupported("source '" + description_->source_name() +
+                                 "' rejects query: SP(" + cond.ToString() +
+                                 ", " + attrs.ToString(table_->schema()) + ")");
+    }
   }
+  // The round trip happens outside the lock: concurrent queries wait in
+  // parallel, exactly like independent HTTP requests.
+  if (latency.count() > 0) std::this_thread::sleep_for(latency);
 
   const Schema& schema = table_->schema();
   const RowLayout full = table_->FullLayout();
@@ -23,6 +33,7 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
                         EvalCondition(cond, row, full, schema));
     if (matches) result.Insert(full.Project(row, projected));
   }
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.queries_answered;
   stats_.rows_returned += result.size();
   return result;

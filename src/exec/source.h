@@ -1,6 +1,9 @@
 #ifndef GENCOMPACT_EXEC_SOURCE_H_
 #define GENCOMPACT_EXEC_SOURCE_H_
 
+#include <chrono>
+#include <mutex>
+
 #include "common/result.h"
 #include "ssdl/check.h"
 #include "storage/row_set.h"
@@ -14,6 +17,12 @@ namespace gencompact {
 /// has no field for the condition you want — which is how the test suite
 /// validates the paper's guarantee (1): plans emitted by the planners are
 /// always accepted.
+///
+/// Execute() is thread-safe: the capability check (whose memo cache
+/// mutates) and the statistics are guarded by a mutex, while the table scan
+/// itself runs unlocked (the table is immutable once registered), so
+/// concurrent queries from parallel plan children or multiple mediator
+/// clients overlap on the expensive part.
 class Source {
  public:
   /// Both pointers must outlive the Source. `description` should be the
@@ -30,20 +39,42 @@ class Source {
   /// description does not accept the query.
   Result<RowSet> Execute(const ConditionNode& cond, const AttributeSet& attrs);
 
+  /// Per-query latency injected at the start of every Execute() call,
+  /// modelling the Internet round trip the paper's k1 stands for. Threads
+  /// sleep concurrently, so parallel dispatch collapses the wall-clock cost
+  /// of independent sub-queries. Default: no delay (unit tests stay fast).
+  void set_simulated_latency(std::chrono::microseconds latency) {
+    std::lock_guard<std::mutex> lock(mu_);
+    simulated_latency_ = latency;
+  }
+  std::chrono::microseconds simulated_latency() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return simulated_latency_;
+  }
+
   struct Stats {
     size_t queries_received = 0;
     size_t queries_answered = 0;
     size_t queries_rejected = 0;
     uint64_t rows_returned = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// A consistent snapshot (by value: stats move under concurrent queries).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats();
+  }
 
  private:
   const Table* table_;
   const SourceDescription* description_;
+  mutable std::mutex mu_;  // guards checker_, stats_, simulated_latency_
   Checker checker_;
   Stats stats_;
+  std::chrono::microseconds simulated_latency_{0};
 };
 
 }  // namespace gencompact

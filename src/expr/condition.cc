@@ -20,7 +20,9 @@ bool AtomicCondition::operator==(const AtomicCondition& other) const {
 
 ConditionNode::ConditionNode(Kind kind, AtomicCondition atom,
                              std::vector<ConditionPtr> children)
-    : kind_(kind), atom_(std::move(atom)), children_(std::move(children)) {}
+    : kind_(kind), atom_(std::move(atom)), children_(std::move(children)) {
+  cached_string_ = BuildString();
+}
 
 ConditionPtr ConditionNode::True() {
   return ConditionPtr(new ConditionNode(Kind::kTrue, AtomicCondition{}, {}));
@@ -98,15 +100,12 @@ size_t ConditionNode::Depth() const {
   return depth + 1;
 }
 
-const std::string& ConditionNode::ToStringCached() const {
-  if (!cached_string_.empty()) return cached_string_;
+std::string ConditionNode::BuildString() const {
   switch (kind_) {
     case Kind::kTrue:
-      cached_string_ = "true";
-      break;
+      return "true";
     case Kind::kAtom:
-      cached_string_ = atom_.ToString();
-      break;
+      return atom_.ToString();
     case Kind::kAnd:
     case Kind::kOr: {
       const char* sep = kind_ == Kind::kAnd ? " and " : " or ";
@@ -116,20 +115,19 @@ const std::string& ConditionNode::ToStringCached() const {
         const ConditionNode& child = *children_[i];
         if (child.is_connector()) {
           out += '(';
-          out += child.ToStringCached();
+          out += child.cached_string_;
           out += ')';
         } else {
-          out += child.ToStringCached();
+          out += child.cached_string_;
         }
       }
-      cached_string_ = std::move(out);
-      break;
+      return out;
     }
   }
-  return cached_string_;
+  return std::string();
 }
 
-std::string ConditionNode::ToString() const { return ToStringCached(); }
+std::string ConditionNode::ToString() const { return cached_string_; }
 
 bool ConditionNode::StructurallyEquals(const ConditionNode& other) const {
   if (kind_ != other.kind_) return false;

@@ -84,18 +84,21 @@ class ConditionNode {
 
   /// A string key such that two nodes have equal keys iff they are
   /// structurally equal. Used for rewrite-set deduplication and memoization.
-  const std::string& StructuralKey() const { return ToStringCached(); }
+  const std::string& StructuralKey() const { return cached_string_; }
 
  private:
   ConditionNode(Kind kind, AtomicCondition atom,
                 std::vector<ConditionPtr> children);
 
-  const std::string& ToStringCached() const;
+  std::string BuildString() const;
 
   Kind kind_;
   AtomicCondition atom_;
   std::vector<ConditionPtr> children_;
-  mutable std::string cached_string_;  // lazily built; nodes are immutable
+  // Built eagerly at construction (children are immutable and complete by
+  // then), so shared nodes can be read from many threads without a lazy-init
+  // race: cached plans are executed by concurrent mediator clients.
+  std::string cached_string_;
 };
 
 }  // namespace gencompact

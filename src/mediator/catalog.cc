@@ -13,6 +13,7 @@ Status Catalog::Register(SourceDescription description,
                          std::unique_ptr<Table> table,
                          bool apply_commutativity_closure) {
   const std::string name = description.source_name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (entries_.count(name) > 0) {
     return Status::InvalidArgument("source '" + name + "' already registered");
   }
@@ -23,6 +24,7 @@ Status Catalog::Register(SourceDescription description,
 }
 
 Result<CatalogEntry*> Catalog::Find(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("unknown source: " + name);

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "exec/source.h"
@@ -23,13 +25,22 @@ class CatalogEntry {
   Source* source() { return &source_; }
   const Table& table() const { return *table_; }
 
+  /// Serializes planning against this source: the handle's Checker memoizes
+  /// Check() results in a non-thread-safe cache, so concurrent cache-miss
+  /// planners must take turns. Execution (the latency-dominated part) is
+  /// NOT under this lock, and plan-cache hits never touch it.
+  std::mutex& planning_mutex() { return planning_mu_; }
+
  private:
   std::unique_ptr<Table> table_;
   SourceHandle handle_;
   Source source_;
+  std::mutex planning_mu_;
 };
 
-/// Name → source registry for the mediator.
+/// Name → source registry for the mediator. Lookups from concurrent client
+/// threads take a shared lock; registration takes an exclusive lock. Entry
+/// pointers remain stable once registered (entries are never removed).
 class Catalog {
  public:
   Catalog() = default;
@@ -43,9 +54,13 @@ class Catalog {
   /// Looks up a source by name; NotFound if absent.
   Result<CatalogEntry*> Find(const std::string& name);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<CatalogEntry>> entries_;
 };
 

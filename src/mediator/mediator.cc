@@ -48,6 +48,15 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
   if (const std::optional<PlanPtr> cached = plan_cache_.Lookup(cache_key)) {
     return *cached;
   }
+  // The handle's Checker memoizes in a non-thread-safe cache, so planning
+  // against one source is serialized. Double-check the plan cache under the
+  // lock (uncounted, to keep hit_rate() honest): a concurrent client may
+  // have planned this very key while we waited.
+  std::lock_guard<std::mutex> planning_lock(prepared.entry->planning_mutex());
+  if (const std::optional<PlanPtr> cached =
+          plan_cache_.Lookup(cache_key, /*count_stats=*/false)) {
+    return *cached;
+  }
   const std::unique_ptr<PlannerStrategy> planner =
       MakePlanner(strategy, prepared.entry->handle());
   GC_ASSIGN_OR_RETURN(PlanPtr plan,
@@ -74,7 +83,7 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
   }
   GC_ASSIGN_OR_RETURN(PlanPtr plan, PlanPrepared(prepared, strategy));
 
-  Executor executor(prepared.entry->source());
+  Executor executor(prepared.entry->source(), pool_.get());
   GC_ASSIGN_OR_RETURN(RowSet rows, executor.Execute(*plan));
 
   result.rows = std::move(rows);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "mediator/catalog.h"
 #include "mediator/join.h"
@@ -18,10 +19,35 @@ namespace gencompact {
 /// or as condition + projection), a capability-sensitive plan is generated
 /// with the configured strategy, validated, executed against the
 /// capability-enforcing source, and the postprocessed result returned.
+///
+/// Query() is safe to call from many client threads at once (see DESIGN.md
+/// "Concurrency model"): the plan cache is sharded and internally locked,
+/// planning serializes per source only on a cache miss, and execution —
+/// the latency-dominated part — runs lock-free against immutable tables.
+/// Register sources before starting concurrent queries.
 class Mediator {
  public:
+  struct Options {
+    Strategy default_strategy = Strategy::kGenCompact;
+    /// Worker threads for parallel plan execution (independent Union /
+    /// Intersection children dispatched concurrently). 0 = sequential.
+    size_t num_threads = 0;
+    /// Independently locked LRU shards of the plan cache. 1 = a single
+    /// global LRU; use ≥ the expected client-thread count under load.
+    size_t cache_shards = 1;
+    /// Total plan-cache capacity, split across shards.
+    size_t cache_capacity = 256;
+  };
+
   explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
-      : default_strategy_(default_strategy) {}
+      : Mediator(Options{default_strategy, 0, 1, 256}) {}
+
+  explicit Mediator(const Options& options)
+      : default_strategy_(options.default_strategy),
+        plan_cache_(options.cache_capacity, options.cache_shards),
+        pool_(options.num_threads > 0
+                  ? std::make_unique<ThreadPool>(options.num_threads)
+                  : nullptr) {}
 
   /// Registers a simulated Internet source (takes ownership of the table).
   Status RegisterSource(SourceDescription description,
@@ -97,6 +123,7 @@ class Mediator {
   Strategy default_strategy_;
   Catalog catalog_;
   PlanCache plan_cache_;
+  std::unique_ptr<ThreadPool> pool_;
   bool simplify_conditions_ = true;
 };
 

@@ -1,36 +1,106 @@
 #include "planner/plan_cache.h"
 
+#include <algorithm>
+
 namespace gencompact {
 
-std::optional<PlanPtr> PlanCache::Lookup(const std::string& key) {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
+PlanCache::PlanCache(size_t capacity, size_t num_shards) {
+  num_shards = std::max<size_t>(1, num_shards);
+  // Round the per-shard capacity up so the total is never below the
+  // requested capacity (a shard must hold at least one entry).
+  shard_capacity_ = std::max<size_t>(1, (capacity + num_shards - 1) / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<PlanPtr> PlanCache::Lookup(const std::string& key,
+                                         bool count_stats) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    if (count_stats) ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  if (count_stats) ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // move to front
   return it->second->plan;
 }
 
 void PlanCache::Insert(const std::string& key, PlanPtr plan) {
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    ++shard.refreshes;
     it->second->plan = std::move(plan);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(plan)});
-  entries_[key] = lru_.begin();
-  while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back().key);
-    lru_.pop_back();
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.entries[key] = shard.lru.begin();
+  while (shard.entries.size() > shard_capacity_) {
+    shard.entries.erase(shard.lru.back().key);
+    shard.lru.pop_back();
   }
 }
 
 void PlanCache::Clear() {
-  lru_.clear();
-  entries_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->entries.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+size_t PlanCache::hits() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+size_t PlanCache::misses() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+size_t PlanCache::refreshes() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->refreshes;
+  }
+  return total;
+}
+
+double PlanCache::hit_rate() const {
+  size_t total_hits = 0;
+  size_t total_lookups = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total_hits += shard->hits;
+    total_lookups += shard->hits + shard->misses;
+  }
+  if (total_lookups == 0) return 0.0;
+  return static_cast<double>(total_hits) / static_cast<double>(total_lookups);
 }
 
 }  // namespace gencompact

@@ -2,26 +2,36 @@
 #define GENCOMPACT_PLANNER_PLAN_CACHE_H_
 
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "plan/plan.h"
 #include "planner/planner.h"
 
 namespace gencompact {
 
-/// An LRU cache of generated plans. Internet mediators see the same form
-/// queries over and over (same condition shape, same projection); plans are
-/// immutable and shared, so caching them is free of aliasing hazards.
-/// Entries are keyed by (source, strategy, condition structural key,
-/// projection), which is exactly the planner input.
+/// A sharded, thread-safe LRU cache of generated plans. Internet mediators
+/// see the same form queries over and over (same condition shape, same
+/// projection); plans are immutable and shared, so caching them is free of
+/// aliasing hazards. Entries are keyed by (source, strategy, condition
+/// structural key, projection), which is exactly the planner input.
+///
+/// Keys are distributed over N independently locked LRU shards by hash, so
+/// concurrent Mediator::Query calls neither race nor serialize on a single
+/// mutex; each shard maintains its own recency list and its share of the
+/// capacity. With the default single shard the cache behaves exactly like a
+/// global LRU (the per-shard capacity is the whole capacity), which is what
+/// the eviction-order unit tests rely on.
 ///
 /// Descriptions and statistics are assumed stable for the lifetime of the
 /// cache; call Clear() after re-registering a source or refreshing stats.
 class PlanCache {
  public:
-  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+  explicit PlanCache(size_t capacity = 256, size_t num_shards = 1);
 
   static std::string MakeKey(const std::string& source_name, Strategy strategy,
                              const ConditionNode& condition,
@@ -30,18 +40,29 @@ class PlanCache {
            std::to_string(attrs.bits()) + "\x1f" + condition.StructuralKey();
   }
 
-  /// Returns the cached plan and refreshes its recency, or nullopt.
-  std::optional<PlanPtr> Lookup(const std::string& key);
+  /// Returns the cached plan and refreshes its recency, or nullopt. Pass
+  /// `count_stats = false` for internal double-checked lookups that should
+  /// not distort the hit rate.
+  std::optional<PlanPtr> Lookup(const std::string& key,
+                                bool count_stats = true);
 
-  /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// entry beyond capacity.
+  /// Inserts a new entry, or refreshes the plan and recency of an existing
+  /// key, evicting the shard's least recently used entry beyond its
+  /// capacity. A refresh of an existing key counts as `refreshes`, never as
+  /// a hit or a miss (only Lookup moves those), so hit_rate() reflects
+  /// lookups alone no matter how often plans are re-inserted.
   void Insert(const std::string& key, PlanPtr plan);
 
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+  size_t refreshes() const;
+  /// hits / (hits + misses); 0.0 before any lookup.
+  double hit_rate() const;
+  size_t num_shards() const { return shards_.size(); }
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
 
  private:
   struct Entry {
@@ -49,11 +70,21 @@ class PlanCache {
     PlanPtr plan;
   };
 
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> entries;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t refreshes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace gencompact

@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "expr/condition_parser.h"
+#include "planner/planner.h"
 #include "ssdl/ssdl_parser.h"
+#include "workload/datasets.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
 
 namespace gencompact {
 namespace {
@@ -131,6 +138,147 @@ TEST_F(ExecFixture, TrueCostFormula) {
 
 TEST_F(ExecFixture, UnsupportedPropagatesThroughPlan) {
   Executor executor(&source_);
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("k = \"odd\" and v < 5"), Attrs({"v"}))});
+  EXPECT_EQ(executor.Execute(*plan).status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(ExecFixture, DuplicateSourceQueriesAreFetchedOnce) {
+  Executor executor(&source_);
+  // The same SP(v < 6, {v}) appears twice; the dedup map must fetch it once
+  // and share the result, so both stats and the source's own counters see a
+  // single query.
+  const PlanPtr dup = PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"}));
+  const PlanPtr plan = PlanNode::UnionOf(
+      {dup, PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"})), dup});
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  EXPECT_EQ(executor.stats().source_queries, 2u);
+  EXPECT_EQ(executor.stats().rows_transferred, 12u);
+  EXPECT_EQ(source_.stats().queries_received, 2u);
+}
+
+TEST_F(ExecFixture, ParallelExecutionMatchesSequentialExactly) {
+  // A two-level plan mixing union, intersection, mediator postprocessing,
+  // and a duplicated leaf — the shape IPG's set-cover combinations produce.
+  const PlanPtr shared_leaf = PlanNode::SourceQuery(Parse("v < 8"), Attrs({"k", "v"}));
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::IntersectOf(
+           {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+            PlanNode::SourceQuery(Parse("v >= 2"), Attrs({"v"}))}),
+       PlanNode::MediatorSp(Parse("k = \"odd\""), Attrs({"v"}), shared_leaf),
+       PlanNode::MediatorSp(Parse("k = \"even\""), Attrs({"v"}), shared_leaf)});
+
+  Executor sequential(&source_);
+  const Result<RowSet> seq_rows = sequential.Execute(*plan);
+  ASSERT_TRUE(seq_rows.ok());
+
+  ThreadPool pool(4);
+  source_.ResetStats();
+  Executor parallel(&source_, &pool);
+  const Result<RowSet> par_rows = parallel.Execute(*plan);
+  ASSERT_TRUE(par_rows.ok());
+
+  // Bit-identical rows...
+  EXPECT_EQ(par_rows->size(), seq_rows->size());
+  for (const Row& row : seq_rows->rows()) {
+    EXPECT_TRUE(par_rows->Contains(row));
+  }
+  // ...and identical transfer statistics (the dedup map makes the shared
+  // leaf count once in both modes), hence identical true cost.
+  EXPECT_EQ(parallel.stats().source_queries, sequential.stats().source_queries);
+  EXPECT_EQ(parallel.stats().rows_transferred,
+            sequential.stats().rows_transferred);
+  EXPECT_DOUBLE_EQ(parallel.stats().TrueCost(10.0, 1.0),
+                   sequential.stats().TrueCost(10.0, 1.0));
+}
+
+TEST_F(ExecFixture, ParallelUnionOverlapsSourceLatency) {
+  source_.set_simulated_latency(std::chrono::microseconds(30000));
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 2"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v < 4"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 6"), Attrs({"v"}))});
+
+  ThreadPool pool(4);
+  Executor executor(&source_, &pool);
+  const auto start = std::chrono::steady_clock::now();
+  const Result<RowSet> rows = executor.Execute(*plan);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  // Four 30ms round trips sequentially = 120ms; parallel dispatch should
+  // land well under that even with scheduling slack.
+  EXPECT_LT(elapsed_ms, 100.0);
+}
+
+// The acceptance property behind the whole concurrency layer: across the
+// same random environments the plan-quality benchmark uses, parallel
+// execution of GenCompact's plans is indistinguishable from sequential —
+// same rows, same (deduplicated) source-query count, same true cost.
+TEST(ParallelExecParityTest, RandomWorkloadRowsAndTrueCostIdentical) {
+  const Schema schema({{"s1", ValueType::kString},
+                       {"s2", ValueType::kString},
+                       {"s3", ValueType::kString},
+                       {"n1", ValueType::kInt},
+                       {"n2", ValueType::kInt}});
+  ThreadPool pool(4);
+  size_t executed = 0;
+  for (uint64_t env_id = 0; env_id < 6; ++env_id) {
+    Rng rng(9000 + env_id);
+    const std::unique_ptr<Table> table =
+        MakeRandomTable("src", schema, 500, 12, 50, &rng);
+    RandomCapabilityOptions cap_options;
+    cap_options.download_probability = 0.3;
+    const SourceDescription description =
+        RandomCapability("src", schema, cap_options, &rng);
+    SourceHandle handle(description, table.get());
+    Source source(table.get(), &handle.description());
+    const std::vector<AttributeDomain> domains =
+        ExtractDomains(*table, 6, &rng);
+
+    for (size_t q = 0; q < 10; ++q) {
+      RandomConditionOptions cond_options;
+      cond_options.num_atoms = 2 + rng.NextIndex(5);
+      const ConditionPtr cond = RandomCondition(domains, cond_options, &rng);
+      AttributeSet attrs;
+      attrs.Add(static_cast<int>(rng.NextIndex(schema.num_attributes())));
+      const std::unique_ptr<PlannerStrategy> planner =
+          MakePlanner(Strategy::kGenCompact, &handle);
+      const Result<PlanPtr> plan = planner->Plan(cond, attrs);
+      if (!plan.ok()) continue;
+
+      Executor sequential(&source);
+      const Result<RowSet> seq = sequential.Execute(**plan);
+      ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+      Executor parallel(&source, &pool);
+      const Result<RowSet> par = parallel.Execute(**plan);
+      ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+      EXPECT_EQ(par->size(), seq->size());
+      for (const Row& row : seq->rows()) EXPECT_TRUE(par->Contains(row));
+      EXPECT_EQ(parallel.stats().source_queries,
+                sequential.stats().source_queries);
+      EXPECT_EQ(parallel.stats().rows_transferred,
+                sequential.stats().rows_transferred);
+      EXPECT_DOUBLE_EQ(
+          parallel.stats().TrueCost(description.k1(), description.k2()),
+          sequential.stats().TrueCost(description.k1(), description.k2()));
+      ++executed;
+    }
+  }
+  EXPECT_GE(executed, 20u);  // the sweep must actually exercise plans
+}
+
+TEST_F(ExecFixture, ParallelErrorMatchesSequentialStatus) {
+  ThreadPool pool(4);
+  Executor executor(&source_, &pool);
   const PlanPtr plan = PlanNode::UnionOf(
       {PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})),
        PlanNode::SourceQuery(Parse("k = \"odd\" and v < 5"), Attrs({"v"}))});

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "expr/condition_parser.h"
 #include "mediator/mediator.h"
 #include "ssdl/ssdl_parser.h"
@@ -188,6 +191,62 @@ TEST_F(MediatorFixture, QueryConditionProgrammaticForm) {
       "cars", *cond, {"model", "year"}, Strategy::kGenCompact);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows.size(), 1u);  // 318i
+}
+
+TEST(MediatorConcurrencyTest, ConcurrentClientsGetIdenticalAnswers) {
+  Result<SourceDescription> description = ParseSsdl(kSsdl);
+  ASSERT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  const auto add = [&](const char* make, const char* model, int64_t year,
+                       const char* color, int64_t price) {
+    ASSERT_TRUE(table
+                    ->AppendValues({Value::String(make), Value::String(model),
+                                    Value::Int(year), Value::String(color),
+                                    Value::Int(price)})
+                    .ok());
+  };
+  add("BMW", "318i", 1996, "red", 21000);
+  add("BMW", "528i", 1997, "black", 38000);
+  add("Toyota", "Corolla", 1997, "red", 13000);
+  add("Toyota", "Camry", 1998, "blue", 19000);
+
+  Mediator::Options options;
+  options.num_threads = 4;
+  options.cache_shards = 8;
+  Mediator mediator(options);
+  ASSERT_TRUE(
+      mediator.RegisterSource(std::move(description).value(), std::move(table))
+          .ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT model FROM cars WHERE make = \"BMW\" and price < 30000",
+      "SELECT model FROM cars WHERE (make = \"BMW\" and price < 30000) or "
+      "(make = \"Toyota\" and price < 15000)",
+      "SELECT model FROM cars WHERE make = \"Toyota\" and color = \"red\"",
+  };
+  const std::vector<size_t> expected_rows = {1, 2, 1};
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRounds = 25;
+  std::vector<std::thread> clients;
+  std::vector<size_t> failures(kClients, 0);
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([t, &mediator, &queries, &expected_rows, &failures]() {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t q = (round + t) % queries.size();
+        const Result<Mediator::QueryResult> result = mediator.Query(queries[q]);
+        if (!result.ok() || result->rows.size() != expected_rows[q]) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (size_t t = 0; t < kClients; ++t) EXPECT_EQ(failures[t], 0u) << t;
+
+  // 3 distinct (query, strategy) keys were ever planned; everything else hit.
+  EXPECT_EQ(mediator.plan_cache().size(), queries.size());
+  EXPECT_GT(mediator.plan_cache().hit_rate(), 0.9);
 }
 
 }  // namespace

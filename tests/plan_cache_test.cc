@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "expr/condition_parser.h"
 #include "mediator/mediator.h"
 #include "planner/plan_cache.h"
@@ -76,6 +79,86 @@ TEST(PlanCacheTest, ClearEmpties) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Lookup("a").has_value());
+}
+
+TEST(PlanCacheTest, RefreshOnInsertCountsAsRefreshNotHitOrMiss) {
+  PlanCache cache(4);
+  cache.Insert("a", DummyPlan("a = 1"));
+  cache.Insert("a", DummyPlan("a = 2"));  // refresh of an existing key
+  EXPECT_EQ(cache.refreshes(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0);
+}
+
+TEST(PlanCacheTest, HitRateReflectsLookupsOnly) {
+  PlanCache cache(8);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);  // no lookups yet
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", DummyPlan("a = 1"));
+  ASSERT_TRUE(cache.Lookup("k").has_value());
+  ASSERT_TRUE(cache.Lookup("k").has_value());
+  ASSERT_TRUE(cache.Lookup("k").has_value());
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.75);  // 3 hits / 4 lookups
+}
+
+TEST(PlanCacheTest, ShardedCacheKeepsLruSemanticsPerShard) {
+  PlanCache cache(64, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("key" + std::to_string(i), DummyPlan("a = " + std::to_string(i)));
+  }
+  size_t found = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (cache.Lookup("key" + std::to_string(i)).has_value()) ++found;
+  }
+  // Hashing is uneven, so a few shards may have evicted, but the cache must
+  // retain the bulk of a capacity-sized working set.
+  EXPECT_GE(found, 40u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(PlanCacheConcurrencyTest, EightThreadsHammerShardedCache) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 2000;
+  constexpr size_t kKeySpace = 64;
+  PlanCache cache(128, /*num_shards=*/8);
+
+  // Pre-parse the plans outside the threads; the cache is the object under
+  // test here, and parsing is not thread-relevant.
+  std::vector<PlanPtr> plans;
+  plans.reserve(kKeySpace);
+  for (size_t i = 0; i < kKeySpace; ++i) {
+    plans.push_back(DummyPlan("a = " + std::to_string(i)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &plans]() {
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        const size_t k = (op * 31 + t * 17) % kKeySpace;
+        const std::string key = "key" + std::to_string(k);
+        if (op % 3 == 0) {
+          cache.Insert(key, plans[k]);
+        } else if (const std::optional<PlanPtr> plan = cache.Lookup(key)) {
+          // Shared plans must stay alive and well-formed while other
+          // threads insert/evict.
+          EXPECT_EQ((*plan)->kind(), PlanNode::Kind::kSourceQuery);
+        }
+      }
+      cache.hit_rate();  // concurrent stat reads must not race either
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every lookup was either a hit or a miss — no op lost to a race.
+  const size_t inserts_per_thread = (kOpsPerThread + 2) / 3;  // ops % 3 == 0
+  const size_t lookups = kThreads * (kOpsPerThread - inserts_per_thread);
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+  EXPECT_LE(cache.size(), cache.capacity());
 }
 
 TEST(MediatorPlanCacheTest, RepeatedQueriesHitTheCache) {

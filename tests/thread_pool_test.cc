@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gencompact {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  std::future<int> future = pool.Submit([]() { return 7; });
+  EXPECT_EQ(future.get(), 7);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&sum](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&counts](size_t i) { ++counts[i]; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&executed](size_t i) {
+                                  ++executed;
+                                  if (i == 3) throw std::logic_error("bad");
+                                }),
+               std::logic_error);
+  // Iterations claimed after the failure are skipped, never half-run.
+  EXPECT_LE(executed.load(), 64u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // More nested loops than workers: the caller-participation contract is
+  // what guarantees progress here.
+  ThreadPool pool(2);
+  std::atomic<int> leaf_count{0};
+  pool.ParallelFor(8, [&pool, &leaf_count](size_t) {
+    pool.ParallelFor(8, [&leaf_count](size_t) { ++leaf_count; });
+  });
+  EXPECT_EQ(leaf_count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForActuallyOverlapsSleeps) {
+  ThreadPool pool(8);
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(8, [](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  // Sequential would take 400ms; allow generous scheduling slack.
+  EXPECT_LT(elapsed_ms, 320.0);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&completed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++completed;
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(completed.load(), 16);
+}
+
+}  // namespace
+}  // namespace gencompact
