@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
+#include "expr/intern.h"
 #include "planner/gen_compact.h"
 #include "planner/gen_modular.h"
 #include "workload/datasets.h"
@@ -51,6 +54,33 @@ void BM_GenCompact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenCompact)->DenseRange(2, 9)->Unit(benchmark::kMicrosecond);
+
+// Hash-consing ablation: the same GenCompact planning workload with the
+// condition interner on (arg 1 = 1) vs off (arg 1 = 0, fresh uniquely-id'd
+// nodes per construction). With interning off, the (ConditionId, attrs)
+// memo tables in IPG/EPG and the Checker degrade to per-object behavior —
+// structurally equal sub-conditions produced by the rewrite no longer
+// share planning work — which is exactly the tax the interner removes.
+// Compare rows pairwise per atom count: interning/N/1 vs interning/N/0.
+void BM_GenCompactInterning(benchmark::State& state) {
+  const bool interning_on = state.range(1) == 1;
+  std::optional<ScopedInterningDisabled> off;
+  if (!interning_on) off.emplace();
+  Env env(static_cast<size_t>(state.range(0)));
+  const ConditionInterner::Stats before = ConditionInterner::Global().stats();
+  for (auto _ : state) {
+    GenCompactPlanner planner(env.handle.get());
+    benchmark::DoNotOptimize(planner.Plan(env.condition, env.attrs));
+  }
+  const ConditionInterner::Stats after = ConditionInterner::Global().stats();
+  state.counters["interning"] = interning_on ? 1 : 0;
+  state.counters["pool_hits"] = static_cast<double>(after.hits - before.hits);
+  state.counters["plans_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GenCompactInterning)
+    ->ArgsProduct({benchmark::CreateDenseRange(6, 10, /*step=*/1), {1, 0}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_GenModular(benchmark::State& state) {
   Env env(static_cast<size_t>(state.range(0)));

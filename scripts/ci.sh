@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full test suite, then a ThreadSanitizer
 # build running the concurrency tests (thread pool, sharded plan cache,
-# parallel executor, concurrent mediator clients).
+# condition interner, parallel executor, concurrent mediator clients), then
+# an AddressSanitizer pass over the interner hammer (the weak-entry pool
+# must hold nothing alive: leak check).
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -19,6 +21,12 @@ echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ExecFixture.Parallel*:ExecFixture.Duplicate*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*'
+
+echo "=== AddressSanitizer build + interner hammer (leak check) ==="
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGENCOMPACT_SANITIZE=address
+cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*'
 
 echo "=== CI OK ==="

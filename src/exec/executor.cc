@@ -7,16 +7,6 @@
 
 namespace gencompact {
 
-namespace {
-
-/// Dedup key of one SP(C, A, R): structural condition key + projection bits.
-std::string FetchKey(const PlanNode& plan) {
-  return plan.condition()->StructuralKey() + '\x1f' +
-         std::to_string(plan.attrs().bits());
-}
-
-}  // namespace
-
 Result<RowSet> Executor::Execute(const PlanNode& plan) {
   {
     // Dedup scope is one execution: descriptions/statistics are stable for
@@ -28,7 +18,8 @@ Result<RowSet> Executor::Execute(const PlanNode& plan) {
 }
 
 Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
-  const std::string key = FetchKey(plan);
+  // Dedup key of one SP(C, A, R): interned condition id + projection bits.
+  const SubQueryKey key(*plan.condition(), plan.attrs());
   std::shared_ptr<Fetch> fetch;
   bool owner = false;
   {

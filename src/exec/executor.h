@@ -5,12 +5,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 
 #include "common/thread_pool.h"
 #include "exec/source.h"
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 
 namespace gencompact {
 
@@ -85,7 +85,10 @@ class Executor {
   std::atomic<uint64_t> source_queries_{0};
   std::atomic<uint64_t> rows_transferred_{0};
   std::mutex fetch_mu_;  // guards fetches_ (map structure only)
-  std::unordered_map<std::string, std::shared_ptr<Fetch>> fetches_;
+  // Keyed by the POD (condition id, projection bits) pair: dedup on the
+  // execution hot path costs two field loads, not a string concatenation.
+  std::unordered_map<SubQueryKey, std::shared_ptr<Fetch>, SubQueryKeyHash>
+      fetches_;
 };
 
 }  // namespace gencompact

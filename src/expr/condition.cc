@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "expr/intern.h"
+
 namespace gencompact {
 
 std::string AtomicCondition::ToString() const {
@@ -18,14 +20,8 @@ bool AtomicCondition::operator==(const AtomicCondition& other) const {
          constant == other.constant;
 }
 
-ConditionNode::ConditionNode(Kind kind, AtomicCondition atom,
-                             std::vector<ConditionPtr> children)
-    : kind_(kind), atom_(std::move(atom)), children_(std::move(children)) {
-  cached_string_ = BuildString();
-}
-
 ConditionPtr ConditionNode::True() {
-  return ConditionPtr(new ConditionNode(Kind::kTrue, AtomicCondition{}, {}));
+  return ConditionInterner::Global().Intern(Kind::kTrue, AtomicCondition{}, {});
 }
 
 ConditionPtr ConditionNode::Atom(std::string attribute, CompareOp op,
@@ -34,7 +30,7 @@ ConditionPtr ConditionNode::Atom(std::string attribute, CompareOp op,
 }
 
 ConditionPtr ConditionNode::Atom(AtomicCondition atom) {
-  return ConditionPtr(new ConditionNode(Kind::kAtom, std::move(atom), {}));
+  return ConditionInterner::Global().Intern(Kind::kAtom, std::move(atom), {});
 }
 
 ConditionPtr ConditionNode::And(std::vector<ConditionPtr> children) {
@@ -50,8 +46,8 @@ ConditionPtr ConditionNode::Connector(Kind kind,
   assert(kind == Kind::kAnd || kind == Kind::kOr);
   assert(!children.empty());
   if (children.size() == 1) return children.front();
-  return ConditionPtr(
-      new ConditionNode(kind, AtomicCondition{}, std::move(children)));
+  return ConditionInterner::Global().Intern(kind, AtomicCondition{},
+                                            std::move(children));
 }
 
 Result<AttributeSet> ConditionNode::Attributes(const Schema& schema) const {
@@ -100,37 +96,43 @@ size_t ConditionNode::Depth() const {
   return depth + 1;
 }
 
-std::string ConditionNode::BuildString() const {
+void ConditionNode::AppendTo(std::string* out) const {
   switch (kind_) {
     case Kind::kTrue:
-      return "true";
+      *out += "true";
+      return;
     case Kind::kAtom:
-      return atom_.ToString();
+      *out += atom_.ToString();
+      return;
     case Kind::kAnd:
     case Kind::kOr: {
       const char* sep = kind_ == Kind::kAnd ? " and " : " or ";
-      std::string out;
       for (size_t i = 0; i < children_.size(); ++i) {
-        if (i > 0) out += sep;
+        if (i > 0) *out += sep;
         const ConditionNode& child = *children_[i];
         if (child.is_connector()) {
-          out += '(';
-          out += child.cached_string_;
-          out += ')';
+          *out += '(';
+          child.AppendTo(out);
+          *out += ')';
         } else {
-          out += child.cached_string_;
+          child.AppendTo(out);
         }
       }
-      return out;
+      return;
     }
   }
-  return std::string();
 }
 
-std::string ConditionNode::ToString() const { return cached_string_; }
+std::string ConditionNode::ToString() const {
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
 
 bool ConditionNode::StructurallyEquals(const ConditionNode& other) const {
-  if (kind_ != other.kind_) return false;
+  if (this == &other) return true;  // interned: the common case
+  // Fingerprints are structure-determined, so a mismatch proves inequality.
+  if (fingerprint_ != other.fingerprint_ || kind_ != other.kind_) return false;
   switch (kind_) {
     case Kind::kTrue:
       return true;

@@ -1,6 +1,7 @@
 #ifndef GENCOMPACT_EXPR_CONDITION_H_
 #define GENCOMPACT_EXPR_CONDITION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,9 +29,22 @@ class ConditionNode;
 /// subtrees with their originals.
 using ConditionPtr = std::shared_ptr<const ConditionNode>;
 
+/// Compact process-unique identity of an interned condition tree. Ids are
+/// monotonically increasing and never reused, so caches keyed by
+/// ConditionId (Check memo, plan cache, planner memos) can never confuse a
+/// destroyed condition with a newly built one.
+using ConditionId = uint64_t;
+
 /// A node of a condition tree (CT, Section 3 of the paper). Leaves are
 /// atomic conditions (or the trivially-true condition used for source
 /// downloads); interior nodes are n-ary ∧ / ∨ connectors.
+///
+/// Nodes are hash-consed: the factories below return pointer-identical
+/// ConditionPtrs for structurally equal trees (see ConditionInterner), each
+/// carrying a precomputed 64-bit structural fingerprint and a compact
+/// ConditionId. Equality is therefore a pointer comparison and hashing a
+/// field load — no rendered-string keys anywhere on the planning or
+/// execution hot paths.
 class ConditionNode {
  public:
   enum class Kind { kTrue, kAtom, kAnd, kOr };
@@ -64,6 +78,14 @@ class ConditionNode {
   /// Children of a connector node (empty for leaves).
   const std::vector<ConditionPtr>& children() const { return children_; }
 
+  /// 64-bit structural fingerprint: equal for structurally equal trees,
+  /// precomputed at construction. Hash seed for every identity-keyed
+  /// container downstream.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Process-unique interned identity; pointer-equal nodes share it.
+  ConditionId id() const { return id_; }
+
   /// Attr(C): positions of all attributes mentioned in this subtree.
   /// NotFound if an attribute is not in `schema`.
   Result<AttributeSet> Attributes(const Schema& schema) const;
@@ -75,30 +97,35 @@ class ConditionNode {
   size_t Depth() const;
 
   /// Infix rendering; compound children are parenthesized, e.g.
-  /// `make = "BMW" and (color = "red" or color = "black")`.
+  /// `make = "BMW" and (color = "red" or color = "black")`. Built on demand
+  /// — only EXPLAIN, the plan printer, and error messages pay for it.
   std::string ToString() const;
 
   /// Exact ordered structural equality (child order matters — source
-  /// grammars may be order sensitive).
+  /// grammars may be order sensitive). With interning on this is a pointer
+  /// comparison; the deep walk only runs for nodes built while the
+  /// interning ablation had hash-consing disabled.
   bool StructurallyEquals(const ConditionNode& other) const;
 
-  /// A string key such that two nodes have equal keys iff they are
-  /// structurally equal. Used for rewrite-set deduplication and memoization.
-  const std::string& StructuralKey() const { return cached_string_; }
-
  private:
-  ConditionNode(Kind kind, AtomicCondition atom,
-                std::vector<ConditionPtr> children);
+  friend class ConditionInterner;
 
-  std::string BuildString() const;
+  ConditionNode(Kind kind, AtomicCondition atom,
+                std::vector<ConditionPtr> children, uint64_t fingerprint,
+                ConditionId id)
+      : kind_(kind),
+        atom_(std::move(atom)),
+        children_(std::move(children)),
+        fingerprint_(fingerprint),
+        id_(id) {}
+
+  void AppendTo(std::string* out) const;
 
   Kind kind_;
   AtomicCondition atom_;
   std::vector<ConditionPtr> children_;
-  // Built eagerly at construction (children are immutable and complete by
-  // then), so shared nodes can be read from many threads without a lazy-init
-  // race: cached plans are executed by concurrent mediator clients.
-  std::string cached_string_;
+  uint64_t fingerprint_;
+  ConditionId id_;
 };
 
 }  // namespace gencompact

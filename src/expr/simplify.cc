@@ -1,9 +1,8 @@
 #include "expr/simplify.h"
 
-#include <unordered_set>
-
 #include "common/strings.h"
 #include "expr/canonical.h"
+#include "expr/intern.h"
 
 namespace gencompact {
 
@@ -227,12 +226,13 @@ ConditionPtr SimplifyRec(const ConditionPtr& cond) {
     return is_and ? ConditionNode::True() : nullptr;
   }
 
-  // Idempotence: structural dedup (keep first occurrence).
+  // Idempotence: structural dedup (keep first occurrence). Interned-pointer
+  // identity via ConditionSet — no rendered keys.
   {
-    std::unordered_set<std::string> seen;
+    ConditionSet seen;
     std::vector<ConditionPtr> unique;
     for (ConditionPtr& child : children) {
-      if (seen.insert(child->StructuralKey()).second) {
+      if (seen.Insert(child)) {
         unique.push_back(std::move(child));
       }
     }

@@ -3,11 +3,12 @@
 namespace gencompact {
 
 CatalogEntry::CatalogEntry(SourceDescription description,
-                           std::unique_ptr<Table> table,
+                           std::unique_ptr<Table> table, uint32_t source_id,
                            bool apply_commutativity_closure)
     : table_(std::move(table)),
       handle_(std::move(description), table_.get(), apply_commutativity_closure),
-      source_(table_.get(), &handle_.description()) {}
+      source_(table_.get(), &handle_.description()),
+      source_id_(source_id) {}
 
 Status Catalog::Register(SourceDescription description,
                          std::unique_ptr<Table> table,
@@ -19,7 +20,7 @@ Status Catalog::Register(SourceDescription description,
   }
   entries_.emplace(name, std::make_unique<CatalogEntry>(
                              std::move(description), std::move(table),
-                             apply_commutativity_closure));
+                             next_source_id_++, apply_commutativity_closure));
   return Status::OK();
 }
 

@@ -17,7 +17,7 @@ namespace gencompact {
 class CatalogEntry {
  public:
   CatalogEntry(SourceDescription description, std::unique_ptr<Table> table,
-               bool apply_commutativity_closure = true);
+               uint32_t source_id, bool apply_commutativity_closure = true);
 
   const std::string& name() const { return handle_.description().source_name(); }
   const Schema& schema() const { return handle_.schema(); }
@@ -25,17 +25,15 @@ class CatalogEntry {
   Source* source() { return &source_; }
   const Table& table() const { return *table_; }
 
-  /// Serializes planning against this source: the handle's Checker memoizes
-  /// Check() results in a non-thread-safe cache, so concurrent cache-miss
-  /// planners must take turns. Execution (the latency-dominated part) is
-  /// NOT under this lock, and plan-cache hits never touch it.
-  std::mutex& planning_mutex() { return planning_mu_; }
+  /// Dense registration-order id, the source component of PlanCacheKey
+  /// (names stay out of the cache's hot path).
+  uint32_t source_id() const { return source_id_; }
 
  private:
   std::unique_ptr<Table> table_;
   SourceHandle handle_;
   Source source_;
-  std::mutex planning_mu_;
+  uint32_t source_id_;
 };
 
 /// Name → source registry for the mediator. Lookups from concurrent client
@@ -62,6 +60,7 @@ class Catalog {
  private:
   mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<CatalogEntry>> entries_;
+  uint32_t next_source_id_ = 0;
 };
 
 }  // namespace gencompact

@@ -43,20 +43,18 @@ Result<Mediator::Prepared> Mediator::Prepare(const std::string& sql) {
 
 Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
                                        Strategy strategy) {
-  const std::string cache_key = PlanCache::MakeKey(
-      prepared.entry->name(), strategy, *prepared.condition, prepared.attrs);
+  const PlanCacheKey cache_key =
+      PlanCache::MakeKey(prepared.entry->source_id(), strategy,
+                         *prepared.condition, prepared.attrs);
   if (const std::optional<PlanPtr> cached = plan_cache_.Lookup(cache_key)) {
     return *cached;
   }
-  // The handle's Checker memoizes in a non-thread-safe cache, so planning
-  // against one source is serialized. Double-check the plan cache under the
-  // lock (uncounted, to keep hit_rate() honest): a concurrent client may
-  // have planned this very key while we waited.
-  std::lock_guard<std::mutex> planning_lock(prepared.entry->planning_mutex());
-  if (const std::optional<PlanPtr> cached =
-          plan_cache_.Lookup(cache_key, /*count_stats=*/false)) {
-    return *cached;
-  }
+  // No per-source planning lock: the Checker memoizes behind its own
+  // shared-lock cache (keyed by interned ConditionId) and serializes only
+  // its Earley recognizer on memo misses, so concurrent cache-miss planning
+  // against one source proceeds in parallel. Two clients racing on the very
+  // same key plan twice in the worst case; Insert treats the second result
+  // as a refresh of an identical plan.
   const std::unique_ptr<PlannerStrategy> planner =
       MakePlanner(strategy, prepared.entry->handle());
   GC_ASSIGN_OR_RETURN(PlanPtr plan,
@@ -68,7 +66,10 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
     GC_RETURN_IF_ERROR(ValidatePlanFor(*plan, prepared.attrs,
                                        prepared.entry->handle()->checker()));
   }
-  plan_cache_.Insert(cache_key, plan);
+  // The pinned condition keeps this entry's key re-internable: as long as
+  // the plan is cached, the same query text hash-conses back to the same
+  // ConditionId and hits.
+  plan_cache_.Insert(cache_key, plan, prepared.condition);
   return plan;
 }
 

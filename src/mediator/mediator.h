@@ -22,9 +22,11 @@ namespace gencompact {
 ///
 /// Query() is safe to call from many client threads at once (see DESIGN.md
 /// "Concurrency model"): the plan cache is sharded and internally locked,
-/// planning serializes per source only on a cache miss, and execution —
-/// the latency-dominated part — runs lock-free against immutable tables.
-/// Register sources before starting concurrent queries.
+/// planning runs concurrently per source (the Checker's memo is thread-safe
+/// and keyed by interned condition ids; only its Earley recognizer
+/// serializes, on memo misses), and execution — the latency-dominated part
+/// — runs lock-free against immutable tables. Register sources before
+/// starting concurrent queries.
 class Mediator {
  public:
   struct Options {

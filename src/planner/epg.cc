@@ -6,7 +6,7 @@ namespace gencompact {
 
 PlanPtr Epg::Generate(const ConditionPtr& node, const AttributeSet& attrs) {
   ++num_calls_;
-  const std::pair<const ConditionNode*, uint64_t> key(node.get(), attrs.bits());
+  const SubQueryKey key(*node, attrs);
   const auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
   PlanPtr plan = GenerateUncached(node, attrs);

@@ -1,10 +1,10 @@
 #ifndef GENCOMPACT_PLANNER_EPG_H_
 #define GENCOMPACT_PLANNER_EPG_H_
 
-#include <map>
-#include <utility>
+#include <unordered_map>
 
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 #include "planner/source_handle.h"
 
 namespace gencompact {
@@ -45,7 +45,9 @@ class Epg {
 
   SourceHandle* source_;
   EpgOptions options_;
-  std::map<std::pair<const ConditionNode*, uint64_t>, PlanPtr> memo_;
+  // (ConditionId, attrs) — interned identity, shared sub-spaces across
+  // structurally equal subtrees regardless of which CT produced them.
+  std::unordered_map<SubQueryKey, PlanPtr, SubQueryKeyHash> memo_;
   bool incomplete_ = false;
   size_t num_calls_ = 0;
 };

@@ -33,7 +33,7 @@ PlanPtr CheaperOf(PlanPtr a, PlanPtr b, const CostModel& model) {
 
 PlanPtr Ipg::Plan(const ConditionPtr& node, const AttributeSet& attrs) {
   ++stats_.calls;
-  const std::pair<const ConditionNode*, uint64_t> key(node.get(), attrs.bits());
+  const SubQueryKey key(*node, attrs);
   const auto it = memo_.find(key);
   if (it != memo_.end()) return it->second;
   PlanPtr plan = PlanUncached(node, attrs);

@@ -2,10 +2,12 @@
 #define GENCOMPACT_PLANNER_IPG_H_
 
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 #include "planner/set_cover.h"
 #include "planner/source_handle.h"
 
@@ -104,7 +106,10 @@ class Ipg {
   SourceHandle* source_;
   IpgOptions options_;
   IpgStats stats_;
-  std::map<std::pair<const ConditionNode*, uint64_t>, PlanPtr> memo_;
+  // Keyed by (ConditionId, attrs): interning makes structurally equal
+  // subtrees share one id, so the memo hits across the distributive CT
+  // rewritings that share sub-conditions, not just on pointer reuse.
+  std::unordered_map<SubQueryKey, PlanPtr, SubQueryKeyHash> memo_;
 };
 
 }  // namespace gencompact

@@ -15,7 +15,7 @@ PlanCache::PlanCache(size_t capacity, size_t num_shards) {
   }
 }
 
-std::optional<PlanPtr> PlanCache::Lookup(const std::string& key,
+std::optional<PlanPtr> PlanCache::Lookup(const PlanCacheKey& key,
                                          bool count_stats) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -29,17 +29,19 @@ std::optional<PlanPtr> PlanCache::Lookup(const std::string& key,
   return it->second->plan;
 }
 
-void PlanCache::Insert(const std::string& key, PlanPtr plan) {
+void PlanCache::Insert(const PlanCacheKey& key, PlanPtr plan,
+                       ConditionPtr pinned) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     ++shard.refreshes;
     it->second->plan = std::move(plan);
+    if (pinned != nullptr) it->second->pinned = std::move(pinned);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.lru.push_front(Entry{key, std::move(plan), std::move(pinned)});
   shard.entries[key] = shard.lru.begin();
   while (shard.entries.size() > shard_capacity_) {
     shard.entries.erase(shard.lru.back().key);

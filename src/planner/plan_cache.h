@@ -1,24 +1,53 @@
 #ifndef GENCOMPACT_PLANNER_PLAN_CACHE_H_
 #define GENCOMPACT_PLANNER_PLAN_CACHE_H_
 
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 #include "planner/planner.h"
 
 namespace gencompact {
 
+/// POD cache key: (source id, strategy, projection bits, interned condition
+/// id). Trivially copyable, hashed without touching memory beyond its four
+/// fields — building and probing it allocates nothing, so cache hits are
+/// allocation-free end to end (asserted in plan_cache_test).
+struct PlanCacheKey {
+  ConditionId condition_id = 0;
+  uint64_t attrs_bits = 0;
+  uint32_t source_id = 0;
+  Strategy strategy = Strategy::kGenCompact;
+
+  bool operator==(const PlanCacheKey& other) const {
+    return condition_id == other.condition_id &&
+           attrs_bits == other.attrs_bits && source_id == other.source_id &&
+           strategy == other.strategy;
+  }
+};
+
+struct PlanCacheKeyHash {
+  size_t operator()(const PlanCacheKey& key) const {
+    uint64_t x = key.condition_id * 0x9e3779b97f4a7c15ull ^ key.attrs_bits;
+    x ^= (uint64_t{key.source_id} << 8) ^ static_cast<uint64_t>(key.strategy);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
 /// A sharded, thread-safe LRU cache of generated plans. Internet mediators
 /// see the same form queries over and over (same condition shape, same
 /// projection); plans are immutable and shared, so caching them is free of
-/// aliasing hazards. Entries are keyed by (source, strategy, condition
-/// structural key, projection), which is exactly the planner input.
+/// aliasing hazards. Entries are keyed by (source, strategy, interned
+/// condition id, projection), which is exactly the planner input: hash
+/// consing guarantees a repeated query presents the same condition id.
 ///
 /// Keys are distributed over N independently locked LRU shards by hash, so
 /// concurrent Mediator::Query calls neither race nor serialize on a single
@@ -29,21 +58,27 @@ namespace gencompact {
 ///
 /// Descriptions and statistics are assumed stable for the lifetime of the
 /// cache; call Clear() after re-registering a source or refreshing stats.
+/// Condition ids are never reused, so an entry whose condition died can only
+/// go stale (and age out of the LRU), never alias a new condition.
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 256, size_t num_shards = 1);
 
-  static std::string MakeKey(const std::string& source_name, Strategy strategy,
-                             const ConditionNode& condition,
-                             const AttributeSet& attrs) {
-    return source_name + "\x1f" + StrategyName(strategy) + "\x1f" +
-           std::to_string(attrs.bits()) + "\x1f" + condition.StructuralKey();
+  static PlanCacheKey MakeKey(uint32_t source_id, Strategy strategy,
+                              const ConditionNode& condition,
+                              const AttributeSet& attrs) {
+    PlanCacheKey key;
+    key.condition_id = condition.id();
+    key.attrs_bits = attrs.bits();
+    key.source_id = source_id;
+    key.strategy = strategy;
+    return key;
   }
 
   /// Returns the cached plan and refreshes its recency, or nullopt. Pass
   /// `count_stats = false` for internal double-checked lookups that should
   /// not distort the hit rate.
-  std::optional<PlanPtr> Lookup(const std::string& key,
+  std::optional<PlanPtr> Lookup(const PlanCacheKey& key,
                                 bool count_stats = true);
 
   /// Inserts a new entry, or refreshes the plan and recency of an existing
@@ -51,7 +86,16 @@ class PlanCache {
   /// capacity. A refresh of an existing key counts as `refreshes`, never as
   /// a hit or a miss (only Lookup moves those), so hit_rate() reflects
   /// lookups alone no matter how often plans are re-inserted.
-  void Insert(const std::string& key, PlanPtr plan);
+  ///
+  /// `pinned` keeps the keyed condition alive for the lifetime of the
+  /// entry. This is what makes id-based keys hit across queries: as long as
+  /// the entry lives, a re-parse of the same query text hash-conses to this
+  /// exact node and therefore rebuilds this exact key. Without the pin the
+  /// condition could die with the query, and the next parse would intern a
+  /// fresh node under a fresh id — a permanent cache miss. (Pass nullptr
+  /// only when the caller keeps the condition alive itself.)
+  void Insert(const PlanCacheKey& key, PlanPtr plan,
+              ConditionPtr pinned = nullptr);
 
   void Clear();
 
@@ -66,21 +110,24 @@ class PlanCache {
 
  private:
   struct Entry {
-    std::string key;
+    PlanCacheKey key;
     PlanPtr plan;
+    ConditionPtr pinned;  ///< keeps key.condition_id re-internable (see Insert)
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recent
-    std::unordered_map<std::string, std::list<Entry>::iterator> entries;
+    std::unordered_map<PlanCacheKey, std::list<Entry>::iterator,
+                       PlanCacheKeyHash>
+        entries;
     size_t hits = 0;
     size_t misses = 0;
     size_t refreshes = 0;
   };
 
-  Shard& ShardFor(const std::string& key) {
-    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  Shard& ShardFor(const PlanCacheKey& key) {
+    return *shards_[PlanCacheKeyHash{}(key) % shards_.size()];
   }
 
   size_t shard_capacity_;

@@ -1,9 +1,9 @@
 #include "rewrite/rewrite_engine.h"
 
 #include <deque>
-#include <unordered_set>
 
 #include "expr/canonical.h"
+#include "expr/intern.h"
 
 namespace gencompact {
 
@@ -13,12 +13,14 @@ RewriteResult GenerateRewritings(const ConditionPtr& root,
   const size_t max_atoms =
       options.max_atoms != 0 ? options.max_atoms : 2 * root->CountAtoms();
 
-  std::unordered_set<std::string> seen;
+  // Interned trees make this a pointer-identity set; ConditionSet keeps the
+  // closure correct even when the interning ablation disables hash-consing.
+  ConditionSet seen;
   std::deque<ConditionPtr> frontier;
 
   const auto admit = [&](const ConditionPtr& ct) {
     const ConditionPtr stored = options.canonicalize ? Canonicalize(ct) : ct;
-    if (!seen.insert(stored->StructuralKey()).second) return;
+    if (!seen.Insert(stored)) return;
     result.cts.push_back(stored);
     frontier.push_back(stored);
   };

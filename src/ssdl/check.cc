@@ -1,5 +1,7 @@
 #include "ssdl/check.h"
 
+#include "expr/condition_tokens.h"
+
 namespace gencompact {
 
 namespace {
@@ -30,17 +32,34 @@ std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
 
 }  // namespace
 
-const std::vector<AttributeSet>& Checker::CheckTokens(
-    const std::string& key, const std::vector<CondToken>& tokens) {
-  ++num_checks_;
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++num_cache_hits_;
-    return it->second;
+const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
+  num_checks_.fetch_add(1, std::memory_order_relaxed);
+  const ConditionId key = cond.id();
+  {
+    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Miss: tokenize outside any lock, then serialize the stateful Earley
+  // recognizer. Double-check under the Earley lock so a concurrent miss on
+  // the same id parses once.
+  const std::vector<CondToken> tokens = TokenizeCondition(cond);
+  std::lock_guard<std::mutex> earley_lock(earley_mu_);
+  {
+    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   const std::vector<int> deriving =
       recognizer_.DerivingNonterminals(description_->start_symbol(), tokens);
-  total_earley_items_ += recognizer_.last_item_count();
+  total_earley_items_.fetch_add(recognizer_.last_item_count(),
+                                std::memory_order_relaxed);
   std::vector<AttributeSet> exports;
   for (int id : deriving) {
     for (const auto& [nt, attrs] : description_->condition_nonterminals()) {
@@ -50,11 +69,10 @@ const std::vector<AttributeSet>& Checker::CheckTokens(
       }
     }
   }
+  std::lock_guard<std::shared_mutex> write_lock(cache_mu_);
+  // unordered_map is node-based: concurrently-read mapped values stay put
+  // across this insert, and entries are never erased.
   return cache_.emplace(key, MaximalSets(std::move(exports))).first->second;
-}
-
-const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
-  return CheckTokens(cond.StructuralKey(), TokenizeCondition(cond));
 }
 
 const std::vector<AttributeSet>& Checker::CheckTrue() {

@@ -1,7 +1,9 @@
 #ifndef GENCOMPACT_SSDL_CHECK_H_
 #define GENCOMPACT_SSDL_CHECK_H_
 
-#include <string>
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,7 +21,16 @@ namespace gencompact {
 /// condition nonterminals with different attribute associations, a single
 /// attribute set is ambiguous, so Check returns the *family* of maximal
 /// exported sets. `SP(C, A, R)` is supported iff A ⊆ F for some family
-/// member F. Results are memoized per structural condition key.
+/// member F.
+///
+/// Results are memoized per interned ConditionId — hash-consing makes
+/// structurally equal conditions share one id, so the memo hits across
+/// planner invocations and across the many CT rewritings that share
+/// subtrees. The memo is thread-safe (shared-lock reads, exclusive-lock
+/// inserts; the stateful Earley recognizer is serialized on misses only), so
+/// concurrent clients plan against one source without an external planning
+/// lock. Entries are value-stable: the returned references stay valid for
+/// the Checker's lifetime.
 class Checker {
  public:
   /// `description` must outlive the Checker.
@@ -40,20 +51,25 @@ class Checker {
   const SourceDescription& description() const { return *description_; }
 
   // Instrumentation (used by benchmarks).
-  size_t num_checks() const { return num_checks_; }
-  size_t num_cache_hits() const { return num_cache_hits_; }
-  size_t total_earley_items() const { return total_earley_items_; }
+  size_t num_checks() const {
+    return num_checks_.load(std::memory_order_relaxed);
+  }
+  size_t num_cache_hits() const {
+    return num_cache_hits_.load(std::memory_order_relaxed);
+  }
+  size_t total_earley_items() const {
+    return total_earley_items_.load(std::memory_order_relaxed);
+  }
 
  private:
-  const std::vector<AttributeSet>& CheckTokens(
-      const std::string& key, const std::vector<CondToken>& tokens);
-
   const SourceDescription* description_;
   EarleyRecognizer recognizer_;
-  std::unordered_map<std::string, std::vector<AttributeSet>> cache_;
-  size_t num_checks_ = 0;
-  size_t num_cache_hits_ = 0;
-  size_t total_earley_items_ = 0;
+  mutable std::shared_mutex cache_mu_;  // guards cache_ structure
+  std::mutex earley_mu_;                // serializes the stateful recognizer
+  std::unordered_map<ConditionId, std::vector<AttributeSet>> cache_;
+  std::atomic<size_t> num_checks_{0};
+  std::atomic<size_t> num_cache_hits_{0};
+  std::atomic<size_t> total_earley_items_{0};
 };
 
 }  // namespace gencompact
