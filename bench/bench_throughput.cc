@@ -175,6 +175,13 @@ Config RunConfig(size_t client_threads, uint64_t seed) {
   config.p50_ms = PercentileMs(&all_ms, 0.50);
   config.p99_ms = PercentileMs(&all_ms, 0.99);
   config.cache_hit_rate = env.mediator->plan_cache().hit_rate();
+
+  // The mediator-wide observability snapshot for the largest configuration:
+  // interner pool growth, memo efficacy, per-source counters in one read.
+  if (client_threads >= 8) {
+    std::printf("\n--- mediator stats snapshot (%zu clients) ---\n%s\n",
+                client_threads, env.mediator->StatsSnapshot().ToString().c_str());
+  }
   return config;
 }
 

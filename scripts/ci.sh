@@ -21,12 +21,16 @@ echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*'
 
-echo "=== AddressSanitizer build + interner hammer (leak check) ==="
+echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*'
+
+echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
+"${PREFIX}-release/bench/bench_fault_sweep"
 
 echo "=== CI OK ==="

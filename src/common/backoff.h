@@ -1,0 +1,59 @@
+#ifndef GENCOMPACT_COMMON_BACKOFF_H_
+#define GENCOMPACT_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace gencompact {
+
+/// Bounds for one retry schedule.
+struct BackoffPolicy {
+  std::chrono::microseconds base{1000};  ///< first delay lower bound
+  std::chrono::microseconds cap{64000};  ///< every delay is clamped here
+};
+
+/// Capped exponential backoff with *decorrelated jitter* (the AWS
+/// architecture-blog variant): each delay is drawn uniformly from
+/// [base, 3·previous] and clamped to cap. Compared to plain exponential
+/// backoff, concurrent clients that failed together de-synchronize after one
+/// round instead of retrying in lockstep and re-overloading the source.
+///
+/// Fully deterministic from the seed — the test suite replays retry
+/// schedules exactly, no wall-clock involved (delays are *returned*, the
+/// caller decides how to sleep via Clock).
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(BackoffPolicy policy, uint64_t seed)
+      : policy_(policy), seed_(seed), rng_(seed), prev_(policy.base) {}
+
+  /// The next delay in the schedule; advances the internal state.
+  std::chrono::microseconds NextDelay() {
+    const int64_t base = std::max<int64_t>(policy_.base.count(), 1);
+    const int64_t hi = std::max<int64_t>(base, 3 * prev_.count());
+    const int64_t drawn =
+        base + static_cast<int64_t>(rng_.NextBelow(
+                   static_cast<uint64_t>(hi - base + 1)));
+    prev_ = std::chrono::microseconds(
+        std::min<int64_t>(drawn, policy_.cap.count()));
+    return prev_;
+  }
+
+  /// Restarts the schedule from the beginning (same seed, same delays).
+  void Reset() {
+    rng_ = Rng(seed_);
+    prev_ = policy_.base;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t seed_;
+  Rng rng_;
+  std::chrono::microseconds prev_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COMMON_BACKOFF_H_

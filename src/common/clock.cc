@@ -1,0 +1,25 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace gencompact {
+namespace {
+
+class RealClock : public Clock {
+ public:
+  std::chrono::steady_clock::time_point Now() override {
+    return std::chrono::steady_clock::now();
+  }
+  void SleepFor(std::chrono::microseconds duration) override {
+    if (duration.count() > 0) std::this_thread::sleep_for(duration);
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock();  // leaky: usable during teardown
+  return clock;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,62 @@
+#ifndef GENCOMPACT_COMMON_CLOCK_H_
+#define GENCOMPACT_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace gencompact {
+
+/// Injectable time source for every wall-clock decision the fault-tolerance
+/// layer makes (backoff sleeps, sub-query deadlines, circuit-breaker open
+/// windows). Production code uses Real(); tests inject a FakeClock so retry
+/// schedules and breaker transitions are instantaneous and deterministic —
+/// no sleeps, no flaky timing assertions.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now. Only differences are meaningful.
+  virtual std::chrono::steady_clock::time_point Now() = 0;
+
+  /// Blocks (or simulates blocking) for `duration`.
+  virtual void SleepFor(std::chrono::microseconds duration) = 0;
+
+  /// The process-wide steady_clock-backed instance.
+  static Clock* Real();
+};
+
+/// A manually advanced clock. SleepFor() advances time instead of blocking,
+/// so code under test that "waits" simply moves the clock forward; Advance()
+/// models time passing between calls (e.g. a breaker's open window expiring
+/// while no queries arrive). Thread-safe: concurrent executor tasks may
+/// sleep on it simultaneously.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(
+      std::chrono::steady_clock::time_point epoch = {})
+      : now_us_(std::chrono::duration_cast<std::chrono::microseconds>(
+                    epoch.time_since_epoch())
+                    .count()) {}
+
+  std::chrono::steady_clock::time_point Now() override {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::microseconds(now_us_.load(std::memory_order_relaxed)));
+  }
+
+  void SleepFor(std::chrono::microseconds duration) override {
+    Advance(duration);
+  }
+
+  void Advance(std::chrono::microseconds duration) {
+    now_us_.fetch_add(duration.count(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_COMMON_CLOCK_H_

@@ -17,8 +17,19 @@ enum class StatusCode {
   kUnsupported,       ///< the source cannot evaluate the query (capability)
   kNoFeasiblePlan,    ///< the planner proved no feasible plan exists
   kResourceExhausted, ///< a search budget (rewrites, MCSC size) was exceeded
+  kUnavailable,       ///< transient source failure (network, outage); retryable
+  kDeadlineExceeded,  ///< a round trip or sub-query blew its deadline
   kInternal,          ///< invariant violation; indicates a library bug
 };
+
+/// True for the codes a retry can plausibly fix: the source did not answer
+/// (kUnavailable) or did not answer in time (kDeadlineExceeded). kUnsupported
+/// is a *capability* verdict — the source is healthy and will keep refusing —
+/// so it is never retryable.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 /// Human-readable name of a StatusCode, e.g. "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
@@ -47,6 +58,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -126,4 +126,57 @@ PlanPtr CostModel::ResolveChoices(const PlanPtr& plan) const {
   return plan;
 }
 
+PlanPtr CostModel::ResolveChoicesAvoiding(const PlanPtr& plan,
+                                          const SubQueryAvoidSet& avoid) const {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      if (avoid.count(SubQueryKey(*plan->condition(), plan->attrs())) > 0) {
+        return nullptr;
+      }
+      return plan;
+    case PlanNode::Kind::kMediatorSp: {
+      PlanPtr child = ResolveChoicesAvoiding(plan->children().front(), avoid);
+      if (child == nullptr) return nullptr;
+      if (child == plan->children().front()) return plan;
+      return PlanNode::MediatorSp(plan->condition(), plan->attrs(),
+                                  std::move(child));
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      // Every child is required: one unavoidable child sinks this subtree
+      // (the Choice above it may still have other alternatives).
+      std::vector<PlanPtr> children;
+      children.reserve(plan->children().size());
+      bool changed = false;
+      for (const PlanPtr& child : plan->children()) {
+        PlanPtr resolved = ResolveChoicesAvoiding(child, avoid);
+        if (resolved == nullptr) return nullptr;
+        changed = changed || resolved != child;
+        children.push_back(std::move(resolved));
+      }
+      if (!changed) return plan;
+      return plan->kind() == PlanNode::Kind::kUnion
+                 ? PlanNode::UnionOf(std::move(children))
+                 : PlanNode::IntersectOf(std::move(children));
+    }
+    case PlanNode::Kind::kChoice: {
+      // Cheapest resolvable alternative; resolved subtrees are Choice-free,
+      // so PlanCost is exact on them.
+      PlanPtr best;
+      double best_cost = -1;
+      for (const PlanPtr& child : plan->children()) {
+        PlanPtr resolved = ResolveChoicesAvoiding(child, avoid);
+        if (resolved == nullptr) continue;
+        const double cost = PlanCost(*resolved);
+        if (best == nullptr || cost < best_cost) {
+          best = std::move(resolved);
+          best_cost = cost;
+        }
+      }
+      return best;  // nullptr when every alternative touches the avoid-set
+    }
+  }
+  return plan;
+}
+
 }  // namespace gencompact

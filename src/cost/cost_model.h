@@ -3,6 +3,7 @@
 
 #include "cost/cardinality.h"
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 
 namespace gencompact {
 
@@ -48,6 +49,16 @@ class CostModel {
   /// Replaces every Choice node by its cheapest child, returning a resolved
   /// (directly executable) plan.
   PlanPtr ResolveChoices(const PlanPtr& plan) const;
+
+  /// Like ResolveChoices, but refuses every alternative that contains a
+  /// sub-query in `avoid`: each Choice picks its cheapest child that can be
+  /// resolved without touching the avoid-set. Returns nullptr when no such
+  /// resolution exists — the plan space cannot route around the avoided
+  /// sub-queries. This is the fault-tolerant re-planning primitive: the
+  /// Choice plan space (EPG, Section 5.3) already enumerates the
+  /// alternatives; avoiding a failed SP(C, A, R) is a constrained pick.
+  PlanPtr ResolveChoicesAvoiding(const PlanPtr& plan,
+                                 const SubQueryAvoidSet& avoid) const;
 
  private:
   double k1_;

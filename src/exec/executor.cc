@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/backoff.h"
 #include "expr/condition_eval.h"
 
 namespace gencompact {
@@ -14,7 +15,60 @@ Result<RowSet> Executor::Execute(const PlanNode& plan) {
     std::lock_guard<std::mutex> lock(fetch_mu_);
     fetches_.clear();
   }
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    dropped_.clear();
+    failed_keys_.clear();
+  }
+  retry_budget_left_.store(options_.retry.retry_budget,
+                           std::memory_order_relaxed);
   return Exec(plan);
+}
+
+Result<RowSet> Executor::FetchWithRetry(const PlanNode& plan,
+                                        const SubQueryKey& key) {
+  const RetryPolicy& retry = options_.retry;
+  // Seeded per sub-query identity: parallel branches draw independent but
+  // reproducible jitter streams; re-executing the same plan replays them.
+  DecorrelatedJitterBackoff backoff(retry.backoff,
+                                    retry.seed ^ SubQueryKeyHash{}(key));
+  const std::chrono::steady_clock::time_point start = clock_->Now();
+  for (size_t attempt = 1;; ++attempt) {
+    if (options_.breaker != nullptr && !options_.breaker->Allow()) {
+      breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "circuit breaker open for source '" +
+          source_->description().source_name() +
+          "': failing fast without contacting the source");
+    }
+    Result<RowSet> result =
+        source_->Execute(*plan.condition(), plan.attrs());
+    const bool retryable_failure =
+        !result.ok() && IsRetryable(result.status().code());
+    if (options_.breaker != nullptr) {
+      // A capability rejection is an *answer* — the source is healthy. Only
+      // unavailable/timeout outcomes count against its health.
+      if (retryable_failure) {
+        options_.breaker->OnFailure();
+      } else {
+        options_.breaker->OnSuccess();
+      }
+    }
+    if (!retryable_failure) return result;  // success or permanent error
+
+    if (attempt >= retry.max_attempts) return result;
+    const std::chrono::microseconds delay = backoff.NextDelay();
+    if (retry.sub_query_deadline.count() > 0 &&
+        (clock_->Now() - start) + delay > retry.sub_query_deadline) {
+      deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "sub-query deadline exceeded after " + std::to_string(attempt) +
+          " attempt(s); last error: " + result.status().message());
+    }
+    if (!TryConsumeRetryToken()) return result;  // execution budget spent
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    clock_->SleepFor(delay);
+  }
 }
 
 Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
@@ -30,11 +84,24 @@ Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
     owner = inserted;
   }
   if (owner) {
-    fetch->result = source_->Execute(*plan.condition(), plan.attrs());
+    fetch->result = FetchWithRetry(plan, key);
     if (fetch->result.ok()) {
       source_queries_.fetch_add(1, std::memory_order_relaxed);
       rows_transferred_.fetch_add(fetch->result->size(),
                                   std::memory_order_relaxed);
+    } else {
+      failed_sub_queries_.fetch_add(1, std::memory_order_relaxed);
+      if (IsRetryable(fetch->result.status().code())) {
+        std::lock_guard<std::mutex> lock(degrade_mu_);
+        failed_keys_.push_back(key);
+      }
+      // Evict the failed entry so a later duplicate of this sub-query
+      // re-fetches instead of inheriting a transient failure. (Concurrent
+      // waiters already holding this Fetch still see the failure; arrivals
+      // after the eviction get a fresh attempt.)
+      std::lock_guard<std::mutex> lock(fetch_mu_);
+      const auto it = fetches_.find(key);
+      if (it != fetches_.end() && it->second == fetch) fetches_.erase(it);
     }
     fetch->ready_promise.set_value();
   } else {
@@ -46,6 +113,7 @@ Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
 Result<RowSet> Executor::ExecSetOp(const PlanNode& plan) {
   const std::vector<PlanPtr>& children = plan.children();
   const bool is_union = plan.kind() == PlanNode::Kind::kUnion;
+  const bool degrade = options_.degrade_unions && is_union;
 
   std::vector<std::optional<Result<RowSet>>> results(children.size());
   if (pool_ != nullptr && children.size() > 1) {
@@ -55,20 +123,46 @@ Result<RowSet> Executor::ExecSetOp(const PlanNode& plan) {
   } else {
     for (size_t i = 0; i < children.size(); ++i) {
       results[i] = Exec(*children[i]);
+      if (results[i]->ok()) continue;
       // Sequential execution short-circuits on error, like the original
       // single-threaded executor; parallel execution has already paid for
-      // every child by the time an error is visible.
-      if (!results[i]->ok()) return results[i]->status();
+      // every child by the time an error is visible. Under union
+      // degradation a retryable child failure is *not* fatal, so keep
+      // going; permanent errors still stop the scan.
+      if (!degrade || !IsRetryable(results[i]->status().code())) {
+        return results[i]->status();
+      }
     }
   }
   // Combine in plan order; the first (by child order) error wins, so the
   // surfaced Status matches sequential execution.
-  for (const std::optional<Result<RowSet>>& r : results) {
-    if (!(*r).ok()) return (*r).status();
+  std::vector<size_t> alive;
+  alive.reserve(results.size());
+  const Status* first_dropped_status = nullptr;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<RowSet>& r = *results[i];
+    if (r.ok()) {
+      alive.push_back(i);
+      continue;
+    }
+    if (degrade && IsRetryable(r.status().code())) {
+      // Graceful degradation: drop this ∨-branch, annotate the answer.
+      if (first_dropped_status == nullptr) first_dropped_status = &r.status();
+      dropped_branches_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(degrade_mu_);
+      dropped_.push_back(children[i]->ToShortString());
+      continue;
+    }
+    return r.status();
   }
-  RowSet acc = std::move(*results.front()).value();
-  for (size_t i = 1; i < results.size(); ++i) {
-    const RowSet& next = *(*results[i]);
+  if (alive.empty()) {
+    // Every branch failed: there is no partial answer to give. Surface the
+    // first branch's failure rather than fabricating an empty result.
+    return *first_dropped_status;
+  }
+  RowSet acc = std::move(*results[alive.front()]).value();
+  for (size_t i = 1; i < alive.size(); ++i) {
+    const RowSet& next = *(*results[alive[i]]);
     acc = is_union ? RowSet::UnionOf(acc, next) : RowSet::IntersectOf(acc, next);
   }
   return acc;

@@ -5,9 +5,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
+#include "exec/circuit_breaker.h"
+#include "exec/retry_policy.h"
 #include "exec/source.h"
 #include "plan/plan.h"
 #include "plan/sub_query_key.h"
@@ -24,11 +29,39 @@ struct ExecStats {
   size_t source_queries = 0;
   uint64_t rows_transferred = 0;  ///< rows shipped from the source
 
+  // Fault-tolerance counters (all zero when no faults occur and retries are
+  // disabled, so the zero-fault path is indistinguishable from before).
+  uint64_t retries = 0;              ///< re-attempts after retryable failures
+  uint64_t failed_sub_queries = 0;   ///< sub-queries that failed after retries
+  uint64_t breaker_rejections = 0;   ///< attempts refused by an open breaker
+  uint64_t deadlines_exceeded = 0;   ///< sub-queries that blew their deadline
+  uint64_t dropped_branches = 0;     ///< ∨-branches degraded away (partial answer)
+
   /// Equation-1 cost with the actual row counts.
   double TrueCost(double k1, double k2) const {
     return k1 * static_cast<double>(source_queries) +
            k2 * static_cast<double>(rows_transferred);
   }
+};
+
+/// Fault-tolerance configuration of one Executor. Default-constructed, the
+/// executor behaves exactly like the pre-fault-tolerance one: no retries, no
+/// breaker, errors propagate, and the system clock is never consulted.
+struct ExecOptions {
+  RetryPolicy retry;
+
+  /// Per-source breaker shared across concurrent executions (owned by the
+  /// catalog entry / caller); may be null.
+  CircuitBreaker* breaker = nullptr;
+
+  /// Time source for backoff sleeps and deadlines; null = Clock::Real().
+  Clock* clock = nullptr;
+
+  /// Graceful degradation: a Union child that fails with a *retryable*
+  /// status (after retries) is dropped from the answer instead of failing
+  /// the plan, and recorded in dropped_sub_queries(). ∧/∩ branches and
+  /// non-retryable errors still fail the plan.
+  bool degrade_unions = false;
 };
 
 /// Executes resolved plans against one source, performing the mediator
@@ -43,14 +76,27 @@ struct ExecStats {
 /// branches request it simultaneously. Results are bit-identical to
 /// sequential execution: set union/intersection are order-insensitive and
 /// children are combined in plan order.
+///
+/// With ExecOptions, source fetches additionally run under the configured
+/// retry/backoff/deadline discipline and per-source circuit breaker, and
+/// Union children may degrade instead of failing (see ExecOptions). A fetch
+/// that ultimately fails is *evicted* from the dedup map, so a later
+/// duplicate of the same sub-query within this execution re-fetches instead
+/// of inheriting the transient failure.
 class Executor {
  public:
   /// `source` must outlive the executor; `pool` may be null (sequential).
-  explicit Executor(Source* source, ThreadPool* pool = nullptr)
-      : source_(source), pool_(pool) {}
+  explicit Executor(Source* source, ThreadPool* pool = nullptr,
+                    ExecOptions options = {})
+      : source_(source),
+        pool_(pool),
+        options_(options),
+        clock_(options.clock != nullptr ? options.clock : Clock::Real()) {}
 
   /// Runs `plan`; kUnsupported propagates if the source rejects a query
-  /// (only possible for plans produced by non-capability-aware baselines).
+  /// (only possible for plans produced by non-capability-aware baselines);
+  /// kUnavailable/kDeadlineExceeded propagate when faults exhaust the retry
+  /// discipline (unless degraded away, see ExecOptions::degrade_unions).
   Result<RowSet> Execute(const PlanNode& plan);
 
   /// Snapshot of the transfer counters (by value: they advance atomically
@@ -60,11 +106,40 @@ class Executor {
     snapshot.source_queries = source_queries_.load(std::memory_order_relaxed);
     snapshot.rows_transferred =
         rows_transferred_.load(std::memory_order_relaxed);
+    snapshot.retries = retries_.load(std::memory_order_relaxed);
+    snapshot.failed_sub_queries =
+        failed_sub_queries_.load(std::memory_order_relaxed);
+    snapshot.breaker_rejections =
+        breaker_rejections_.load(std::memory_order_relaxed);
+    snapshot.deadlines_exceeded =
+        deadlines_exceeded_.load(std::memory_order_relaxed);
+    snapshot.dropped_branches =
+        dropped_branches_.load(std::memory_order_relaxed);
     return snapshot;
   }
   void ResetStats() {
     source_queries_.store(0, std::memory_order_relaxed);
     rows_transferred_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
+    failed_sub_queries_.store(0, std::memory_order_relaxed);
+    breaker_rejections_.store(0, std::memory_order_relaxed);
+    deadlines_exceeded_.store(0, std::memory_order_relaxed);
+    dropped_branches_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Human-readable descriptions of the ∨-branches dropped by the last
+  /// Execute() (empty unless degrade_unions fired) — the completeness
+  /// annotation of a partial answer.
+  std::vector<std::string> dropped_sub_queries() const {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    return dropped_;
+  }
+
+  /// Identities of the sub-queries that failed with a retryable status in
+  /// the last Execute() — the avoid-set for re-planning around them.
+  std::vector<SubQueryKey> failed_sub_query_keys() const {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    return failed_keys_;
   }
 
  private:
@@ -80,15 +155,40 @@ class Executor {
   Result<RowSet> ExecSourceQuery(const PlanNode& plan);
   Result<RowSet> ExecSetOp(const PlanNode& plan);
 
+  /// The retry/breaker/deadline loop around one physical source fetch.
+  Result<RowSet> FetchWithRetry(const PlanNode& plan, const SubQueryKey& key);
+
+  bool TryConsumeRetryToken() {
+    size_t left = retry_budget_left_.load(std::memory_order_relaxed);
+    while (left > 0) {
+      if (retry_budget_left_.compare_exchange_weak(
+              left, left - 1, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   Source* source_;
   ThreadPool* pool_;
+  ExecOptions options_;
+  Clock* clock_;
   std::atomic<uint64_t> source_queries_{0};
   std::atomic<uint64_t> rows_transferred_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failed_sub_queries_{0};
+  std::atomic<uint64_t> breaker_rejections_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> dropped_branches_{0};
+  std::atomic<size_t> retry_budget_left_{0};
   std::mutex fetch_mu_;  // guards fetches_ (map structure only)
   // Keyed by the POD (condition id, projection bits) pair: dedup on the
   // execution hot path costs two field loads, not a string concatenation.
   std::unordered_map<SubQueryKey, std::shared_ptr<Fetch>, SubQueryKeyHash>
       fetches_;
+  mutable std::mutex degrade_mu_;  // guards dropped_, failed_keys_
+  std::vector<std::string> dropped_;
+  std::vector<SubQueryKey> failed_keys_;
 };
 
 }  // namespace gencompact

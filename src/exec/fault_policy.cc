@@ -1,0 +1,73 @@
+#include "exec/fault_policy.h"
+
+#include "common/rng.h"
+
+namespace gencompact {
+namespace {
+
+/// Per-call deterministic stream: a fresh Rng keyed by (seed, call index).
+/// splitmix-style premix keeps adjacent indices uncorrelated.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t x = seed ^ (index + 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::Decision FaultInjector::NextCall() {
+  const uint64_t index = calls_.fetch_add(1, std::memory_order_relaxed);
+  Decision decision;
+
+  // Scripted failures first: decrement one token if any remain.
+  uint64_t remaining = fail_next_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (fail_next_.compare_exchange_weak(remaining, remaining - 1,
+                                         std::memory_order_relaxed)) {
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = StatusCode::kUnavailable;
+      decision.reason = "scripted failure";
+      return decision;
+    }
+  }
+
+  for (const FaultPolicy::Outage& outage : policy_.outages) {
+    if (index >= outage.begin && index < outage.end) {
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = StatusCode::kUnavailable;
+      decision.reason = "hard outage";
+      return decision;
+    }
+  }
+
+  if (policy_.transient_error_rate > 0 || policy_.stuck_call_rate > 0 ||
+      policy_.slow_call_rate > 0) {
+    Rng rng(MixSeed(policy_.seed, index));
+    if (policy_.transient_error_rate > 0 &&
+        rng.NextDouble() < policy_.transient_error_rate) {
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = StatusCode::kUnavailable;
+      decision.reason = "transient fault";
+      return decision;
+    }
+    if (policy_.stuck_call_rate > 0 &&
+        rng.NextDouble() < policy_.stuck_call_rate) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = StatusCode::kDeadlineExceeded;
+      decision.extra_latency = policy_.stuck_penalty;
+      decision.reason = "stuck call";
+      return decision;
+    }
+    if (policy_.slow_call_rate > 0 &&
+        rng.NextDouble() < policy_.slow_call_rate) {
+      slow_.fetch_add(1, std::memory_order_relaxed);
+      decision.extra_latency = policy_.slow_latency;
+      decision.reason = "slow call";
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace gencompact

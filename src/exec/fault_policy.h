@@ -1,0 +1,105 @@
+#ifndef GENCOMPACT_EXEC_FAULT_POLICY_H_
+#define GENCOMPACT_EXEC_FAULT_POLICY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gencompact {
+
+/// Scriptable fault model for a simulated Internet source. All randomness is
+/// a pure function of (seed, per-source call index), so a given policy
+/// replays the exact same fault schedule run after run: under a fixed
+/// arrival order every decision is reproducible, and under concurrent
+/// arrival the *set* of injected faults over N calls is identical even when
+/// which thread draws which index varies.
+struct FaultPolicy {
+  uint64_t seed = 1;
+
+  /// Probability that a call fails fast with kUnavailable (connection reset,
+  /// HTTP 503, ...). Drawn independently per call.
+  double transient_error_rate = 0.0;
+
+  /// Probability that a call gets "stuck": the source holds the caller for
+  /// `stuck_penalty` of simulated wall time and then fails with
+  /// kDeadlineExceeded — a client-side timeout on a hung request.
+  double stuck_call_rate = 0.0;
+  std::chrono::microseconds stuck_penalty{0};
+
+  /// Probability that a call is merely slow: it still answers, after
+  /// `slow_latency` extra simulated round-trip time.
+  double slow_call_rate = 0.0;
+  std::chrono::microseconds slow_latency{0};
+
+  /// Hard outage windows in call-index space: every call whose index lands
+  /// in some [begin, end) fails with kUnavailable regardless of the random
+  /// rates — a dead server, scheduled in "queries seen" time so tests can
+  /// script "down for the next 50 calls" without touching a clock.
+  struct Outage {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+  std::vector<Outage> outages;
+
+  /// True if any mechanism can fire (the zero policy is a guaranteed no-op).
+  bool active() const {
+    return transient_error_rate > 0 || stuck_call_rate > 0 ||
+           slow_call_rate > 0 || !outages.empty();
+  }
+};
+
+/// Thread-safe evaluator of a FaultPolicy. One per Source; also the home of
+/// the `fail_next_n` scripted-failure knob (tests inject "the next 3 calls
+/// fail" at any point, independent of the policy's random schedule).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPolicy policy) : policy_(std::move(policy)) {}
+
+  /// What the injector decided for one call.
+  struct Decision {
+    StatusCode code = StatusCode::kOk;  ///< kOk, kUnavailable, kDeadlineExceeded
+    std::chrono::microseconds extra_latency{0};  ///< slow call / stuck penalty
+    const char* reason = "";                     ///< for the error message
+  };
+
+  /// Draws the decision for the next call (advances the call index).
+  Decision NextCall();
+
+  /// Scripts the next `n` calls to fail with kUnavailable, on top of
+  /// whatever the policy would have decided.
+  void FailNextN(uint64_t n) {
+    fail_next_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  const FaultPolicy& policy() const { return policy_; }
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t injected_unavailable = 0;  ///< transient + outage + scripted
+    uint64_t injected_timeouts = 0;     ///< stuck calls
+    uint64_t injected_slow = 0;         ///< answered, but late
+  };
+  Stats stats() const {
+    Stats s;
+    s.calls = calls_.load(std::memory_order_relaxed);
+    s.injected_unavailable = unavailable_.load(std::memory_order_relaxed);
+    s.injected_timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.injected_slow = slow_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  FaultPolicy policy_;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> fail_next_{0};
+  std::atomic<uint64_t> unavailable_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> slow_{0};
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_FAULT_POLICY_H_

@@ -1,0 +1,41 @@
+#ifndef GENCOMPACT_EXEC_RETRY_POLICY_H_
+#define GENCOMPACT_EXEC_RETRY_POLICY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/backoff.h"
+
+namespace gencompact {
+
+/// Retry discipline for one plan execution. Applies per *sub-query*: each
+/// distinct SP(C, A, R) fetch gets up to `max_attempts` tries with
+/// decorrelated-jitter backoff between them, all attempts sharing the
+/// execution-wide `retry_budget` so a badly failing plan cannot multiply its
+/// own source traffic without bound.
+struct RetryPolicy {
+  /// Attempts per sub-query, including the first (1 = never retry).
+  size_t max_attempts = 1;
+
+  /// Backoff bounds between attempts (decorrelated jitter, see backoff.h).
+  BackoffPolicy backoff;
+
+  /// Wall-time budget for one sub-query across all of its attempts and
+  /// backoff sleeps; exceeded → kDeadlineExceeded. Zero = unlimited.
+  std::chrono::microseconds sub_query_deadline{0};
+
+  /// Total retries (attempts beyond each sub-query's first) one plan
+  /// execution may spend.
+  size_t retry_budget = 32;
+
+  /// Seeds the per-sub-query backoff streams (combined with the sub-query
+  /// identity, so parallel branches draw independent but reproducible
+  /// jitter).
+  uint64_t seed = 42;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_RETRY_POLICY_H_

@@ -8,19 +8,42 @@ namespace gencompact {
 
 Result<RowSet> Source::Execute(const ConditionNode& cond,
                                const AttributeSet& attrs) {
-  std::chrono::microseconds latency{0};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    latency = simulated_latency_;
-    ++stats_.queries_received;
-    if (!checker_.Supports(cond, attrs)) {
-      ++stats_.queries_rejected;
-      return Status::Unsupported("source '" + description_->source_name() +
-                                 "' rejects query: SP(" + cond.ToString() +
-                                 ", " + attrs.ToString(table_->schema()) + ")");
+  queries_received_.fetch_add(1, std::memory_order_relaxed);
+
+  std::chrono::microseconds latency = simulated_latency();
+
+  // Fault injection happens before the capability check: a dead or flaky
+  // network fails the round trip whether or not the form could have answered.
+  if (fault_injector_ != nullptr) {
+    const FaultInjector::Decision decision = fault_injector_->NextCall();
+    latency += decision.extra_latency;
+    if (decision.code != StatusCode::kOk) {
+      // A stuck call burns its timeout before failing; a fast failure does
+      // not sleep at all (extra_latency is zero for those).
+      if (latency.count() > 0 && decision.extra_latency.count() > 0) {
+        std::this_thread::sleep_for(latency);
+      }
+      queries_unavailable_.fetch_add(1, std::memory_order_relaxed);
+      const std::string message = "source '" + description_->source_name() +
+                                  "' " + decision.reason + " on SP(" +
+                                  cond.ToString() + ")";
+      return decision.code == StatusCode::kDeadlineExceeded
+                 ? Status::DeadlineExceeded(message)
+                 : Status::Unavailable(message);
     }
   }
-  // The round trip happens outside the lock: concurrent queries wait in
+
+  // The capability check needs no Source-level lock: the Checker memo is
+  // internally synchronized (shared-lock reads, PR 2), so concurrent checks
+  // against one source no longer serialize here.
+  if (!checker_.Supports(cond, attrs)) {
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unsupported("source '" + description_->source_name() +
+                               "' rejects query: SP(" + cond.ToString() +
+                               ", " + attrs.ToString(table_->schema()) + ")");
+  }
+
+  // The round trip happens with no lock held: concurrent queries wait in
   // parallel, exactly like independent HTTP requests.
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
 
@@ -33,9 +56,8 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
                         EvalCondition(cond, row, full, schema));
     if (matches) result.Insert(full.Project(row, projected));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.queries_answered;
-  stats_.rows_returned += result.size();
+  queries_answered_.fetch_add(1, std::memory_order_relaxed);
+  rows_returned_.fetch_add(result.size(), std::memory_order_relaxed);
   return result;
 }
 

@@ -1,10 +1,13 @@
 #ifndef GENCOMPACT_EXEC_SOURCE_H_
 #define GENCOMPACT_EXEC_SOURCE_H_
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 
 #include "common/result.h"
+#include "exec/fault_policy.h"
 #include "ssdl/check.h"
 #include "storage/row_set.h"
 #include "storage/table.h"
@@ -18,11 +21,18 @@ namespace gencompact {
 /// validates the paper's guarantee (1): plans emitted by the planners are
 /// always accepted.
 ///
-/// Execute() is thread-safe: the capability check (whose memo cache
-/// mutates) and the statistics are guarded by a mutex, while the table scan
-/// itself runs unlocked (the table is immutable once registered), so
-/// concurrent queries from parallel plan children or multiple mediator
-/// clients overlap on the expensive part.
+/// Beyond capability rejection, a Source can be configured with a
+/// FaultPolicy that models the failure modes of a real Internet endpoint:
+/// transient kUnavailable errors, stuck calls that burn a timeout and return
+/// kDeadlineExceeded, slow calls, and hard outage windows. The schedule is
+/// deterministic from the policy seed (see FaultInjector), which is what
+/// lets the fault tests and the fault-sweep bench script outages exactly.
+///
+/// Execute() is thread-safe and almost lock-free: the capability check is
+/// guarded by the Checker's own shared-mutex memo (PR 2), statistics are
+/// atomic counters, and the table scan runs unlocked (tables are immutable
+/// once registered), so concurrent queries from parallel plan children or
+/// multiple mediator clients overlap on the expensive parts.
 class Source {
  public:
   /// Both pointers must outlive the Source. `description` should be the
@@ -35,8 +45,9 @@ class Source {
   const Table& table() const { return *table_; }
   const SourceDescription& description() const { return *description_; }
 
-  /// Executes SP(cond, attrs, R) with set semantics, or kUnsupported if the
-  /// description does not accept the query.
+  /// Executes SP(cond, attrs, R) with set semantics; kUnsupported if the
+  /// description does not accept the query; kUnavailable/kDeadlineExceeded
+  /// when the configured fault policy injects a failure.
   Result<RowSet> Execute(const ConditionNode& cond, const AttributeSet& attrs);
 
   /// Per-query latency injected at the start of every Execute() call,
@@ -44,37 +55,64 @@ class Source {
   /// sleep concurrently, so parallel dispatch collapses the wall-clock cost
   /// of independent sub-queries. Default: no delay (unit tests stay fast).
   void set_simulated_latency(std::chrono::microseconds latency) {
-    std::lock_guard<std::mutex> lock(mu_);
-    simulated_latency_ = latency;
+    simulated_latency_us_.store(latency.count(), std::memory_order_relaxed);
   }
   std::chrono::microseconds simulated_latency() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return simulated_latency_;
+    return std::chrono::microseconds(
+        simulated_latency_us_.load(std::memory_order_relaxed));
   }
+
+  /// Installs the fault model (an inactive policy still installs an
+  /// injector, so tests can script FailNextN without random rates). Not
+  /// thread-safe against in-flight Execute() calls: configure faults before
+  /// starting concurrent traffic, like registration itself.
+  void set_fault_policy(const FaultPolicy& policy) {
+    fault_injector_ = std::make_unique<FaultInjector>(policy);
+  }
+
+  /// The live injector (null until set_fault_policy): tests use it to script
+  /// `FailNextN` mid-run and to read injection counters.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+  const FaultInjector* fault_injector() const { return fault_injector_.get(); }
 
   struct Stats {
     size_t queries_received = 0;
     size_t queries_answered = 0;
-    size_t queries_rejected = 0;
+    size_t queries_rejected = 0;     ///< capability rejections (kUnsupported)
+    size_t queries_unavailable = 0;  ///< injected kUnavailable / kDeadline
     uint64_t rows_returned = 0;
   };
-  /// A consistent snapshot (by value: stats move under concurrent queries).
+  /// A snapshot of the atomic counters (consistent enough for tests and
+  /// observability; individual counters never tear).
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    s.queries_received = queries_received_.load(std::memory_order_relaxed);
+    s.queries_answered = queries_answered_.load(std::memory_order_relaxed);
+    s.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+    s.queries_unavailable =
+        queries_unavailable_.load(std::memory_order_relaxed);
+    s.rows_returned = rows_returned_.load(std::memory_order_relaxed);
+    return s;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = Stats();
+    queries_received_.store(0, std::memory_order_relaxed);
+    queries_answered_.store(0, std::memory_order_relaxed);
+    queries_rejected_.store(0, std::memory_order_relaxed);
+    queries_unavailable_.store(0, std::memory_order_relaxed);
+    rows_returned_.store(0, std::memory_order_relaxed);
   }
 
  private:
   const Table* table_;
   const SourceDescription* description_;
-  mutable std::mutex mu_;  // guards checker_, stats_, simulated_latency_
-  Checker checker_;
-  Stats stats_;
-  std::chrono::microseconds simulated_latency_{0};
+  Checker checker_;  // internally synchronized (shared-mutex memo)
+  std::unique_ptr<FaultInjector> fault_injector_;
+  std::atomic<int64_t> simulated_latency_us_{0};
+  std::atomic<size_t> queries_received_{0};
+  std::atomic<size_t> queries_answered_{0};
+  std::atomic<size_t> queries_rejected_{0};
+  std::atomic<size_t> queries_unavailable_{0};
+  std::atomic<uint64_t> rows_returned_{0};
 };
 
 }  // namespace gencompact

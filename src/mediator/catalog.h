@@ -1,12 +1,14 @@
 #ifndef GENCOMPACT_MEDIATOR_CATALOG_H_
 #define GENCOMPACT_MEDIATOR_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 
+#include "exec/circuit_breaker.h"
 #include "exec/source.h"
 #include "planner/source_handle.h"
 
@@ -29,10 +31,23 @@ class CatalogEntry {
   /// (names stay out of the cache's hot path).
   uint32_t source_id() const { return source_id_; }
 
+  /// Attaches the per-source circuit breaker, shared by every execution
+  /// against this source. Call during registration, before concurrent
+  /// queries start (like the rest of source configuration).
+  void EnableCircuitBreaker(const CircuitBreakerOptions& options,
+                            Clock* clock) {
+    breaker_ = std::make_unique<CircuitBreaker>(options, clock);
+  }
+
+  /// The shared breaker, or null when fault tolerance is not configured.
+  CircuitBreaker* breaker() { return breaker_.get(); }
+  const CircuitBreaker* breaker() const { return breaker_.get(); }
+
  private:
   std::unique_ptr<Table> table_;
   SourceHandle handle_;
   Source source_;
+  std::unique_ptr<CircuitBreaker> breaker_;
   uint32_t source_id_;
 };
 
@@ -55,6 +70,13 @@ class Catalog {
   size_t size() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return entries_.size();
+  }
+
+  /// Visits every registered source in name order under a shared lock
+  /// (used by the mediator-wide stats snapshot).
+  void ForEach(const std::function<void(CatalogEntry*)>& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [name, entry] : entries_) fn(entry.get());
   }
 
  private:

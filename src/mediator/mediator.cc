@@ -10,7 +10,14 @@ namespace gencompact {
 Status Mediator::RegisterSource(SourceDescription description,
                                 std::unique_ptr<Table> table) {
   plan_cache_.Clear();  // a new source invalidates nothing, but keep simple
-  return catalog_.Register(std::move(description), std::move(table));
+  const std::string name = description.source_name();
+  GC_RETURN_IF_ERROR(
+      catalog_.Register(std::move(description), std::move(table)));
+  if (options_.enable_circuit_breaker) {
+    GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(name));
+    entry->EnableCircuitBreaker(options_.breaker, options_.clock);
+  }
+  return Status::OK();
 }
 
 Result<Mediator::Prepared> Mediator::PrepareParts(
@@ -73,6 +80,42 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
   return plan;
 }
 
+Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
+                                 const PlanNode& plan, QueryResult* result,
+                                 SubQueryAvoidSet* failed_keys) {
+  ExecOptions exec_options;
+  exec_options.retry = options_.retry;
+  exec_options.breaker = prepared.entry->breaker();
+  exec_options.clock = options_.clock;
+  exec_options.degrade_unions = options_.partial_results;
+  Executor executor(prepared.entry->source(), pool_.get(), exec_options);
+  Result<RowSet> rows = executor.Execute(plan);
+
+  const ExecStats stats = executor.stats();
+  retries_.fetch_add(stats.retries, std::memory_order_relaxed);
+  breaker_rejections_.fetch_add(stats.breaker_rejections,
+                                std::memory_order_relaxed);
+  deadlines_exceeded_.fetch_add(stats.deadlines_exceeded,
+                                std::memory_order_relaxed);
+  dropped_branches_.fetch_add(stats.dropped_branches,
+                              std::memory_order_relaxed);
+
+  result->exec = stats;
+  if (rows.ok()) {
+    std::vector<std::string> dropped = executor.dropped_sub_queries();
+    if (!dropped.empty()) {
+      result->completeness.complete = false;
+      result->completeness.dropped_sub_queries = std::move(dropped);
+    }
+  } else if (failed_keys != nullptr) {
+    // The avoid-set for a potential re-plan around what just failed.
+    for (const SubQueryKey& key : executor.failed_sub_query_keys()) {
+      failed_keys->insert(key);
+    }
+  }
+  return rows;
+}
+
 Result<Mediator::QueryResult> Mediator::ExecutePrepared(
     const Prepared& prepared, Strategy strategy) {
   QueryResult result;
@@ -84,13 +127,41 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
   }
   GC_ASSIGN_OR_RETURN(PlanPtr plan, PlanPrepared(prepared, strategy));
 
-  Executor executor(prepared.entry->source(), pool_.get());
-  GC_ASSIGN_OR_RETURN(RowSet rows, executor.Execute(*plan));
+  SubQueryAvoidSet failed_keys;
+  Result<RowSet> rows = RunPlan(prepared, *plan, &result, &failed_keys);
 
-  result.rows = std::move(rows);
+  if (!rows.ok() && options_.replan_on_failure &&
+      IsRetryable(rows.status().code()) && !failed_keys.empty()) {
+    // Recovery: ask the planner for the cheapest feasible plan that routes
+    // around every sub-query that just exhausted its retries. The recovery
+    // plan is intentionally NOT cached — it is the workaround, not the plan
+    // this query should run once the source heals.
+    const std::unique_ptr<PlannerStrategy> planner =
+        MakePlanner(strategy, prepared.entry->handle());
+    const Result<PlanPtr> alternative = planner->PlanAvoiding(
+        prepared.condition, prepared.attrs, failed_keys);
+    if (alternative.ok()) {
+      rows = RunPlan(prepared, **alternative, &result, nullptr);
+      if (rows.ok()) {
+        plan = *alternative;
+        result.replanned = true;
+        queries_replanned_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (!rows.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    return rows.status();
+  }
+  queries_ok_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.completeness.complete) {
+    queries_partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  result.rows = std::move(rows).value();
   result.estimated_cost = prepared.entry->handle()->cost_model().PlanCost(*plan);
   result.plan = std::move(plan);
-  result.exec = executor.stats();
   const SourceDescription& description = prepared.entry->handle()->description();
   result.true_cost = result.exec.TrueCost(description.k1(), description.k2());
   return result;
@@ -195,6 +266,113 @@ Result<std::string> Mediator::ExplainAnalyze(const std::string& sql,
                 "result: %zu rows; estimated cost %.1f, true cost %.1f\n",
                 rows.size(), model.PlanCost(*plan), true_cost);
   out += summary;
+  return out;
+}
+
+Mediator::Stats Mediator::StatsSnapshot() const {
+  Stats stats;
+  stats.interner = ConditionInterner::Global().stats();
+
+  stats.plan_cache.hits = plan_cache_.hits();
+  stats.plan_cache.misses = plan_cache_.misses();
+  stats.plan_cache.refreshes = plan_cache_.refreshes();
+  stats.plan_cache.hit_rate = plan_cache_.hit_rate();
+  stats.plan_cache.size = plan_cache_.size();
+  stats.plan_cache.shards = plan_cache_.num_shards();
+
+  catalog_.ForEach([&stats](CatalogEntry* entry) {
+    Stats::PerSource per;
+    per.name = entry->name();
+    per.source = entry->source()->stats();
+    const Checker* checker = entry->handle()->checker();
+    per.check_calls = checker->num_checks();
+    per.check_memo_hits = checker->num_cache_hits();
+    if (const FaultInjector* injector = entry->source()->fault_injector()) {
+      per.faults = injector->stats();
+    }
+    if (const CircuitBreaker* breaker = entry->breaker()) {
+      per.has_breaker = true;
+      per.breaker_state = breaker->state();
+      per.breaker = breaker->stats();
+    }
+    stats.sources.push_back(std::move(per));
+  });
+
+  stats.fault_tolerance.queries_ok =
+      queries_ok_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.queries_failed =
+      queries_failed_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.queries_partial =
+      queries_partial_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.queries_replanned =
+      queries_replanned_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.retries = retries_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.breaker_rejections =
+      breaker_rejections_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.deadlines_exceeded =
+      deadlines_exceeded_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.dropped_branches =
+      dropped_branches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string Mediator::Stats::ToString() const {
+  char line[256];
+  std::string out;
+  const auto append = [&out, &line](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  append("interner.live_nodes      %zu\n", interner.live_nodes);
+  append("interner.hits            %zu\n", interner.hits);
+  append("interner.misses          %zu\n", interner.misses);
+  append("plan_cache.hits          %zu\n", plan_cache.hits);
+  append("plan_cache.misses        %zu\n", plan_cache.misses);
+  append("plan_cache.refreshes     %zu\n", plan_cache.refreshes);
+  append("plan_cache.hit_rate      %.4f\n", plan_cache.hit_rate);
+  append("plan_cache.size          %zu\n", plan_cache.size);
+  append("plan_cache.shards        %zu\n", plan_cache.shards);
+  append("queries.ok               %llu\n",
+         (unsigned long long)fault_tolerance.queries_ok);
+  append("queries.failed           %llu\n",
+         (unsigned long long)fault_tolerance.queries_failed);
+  append("queries.partial          %llu\n",
+         (unsigned long long)fault_tolerance.queries_partial);
+  append("queries.replanned        %llu\n",
+         (unsigned long long)fault_tolerance.queries_replanned);
+  append("retries.total            %llu\n",
+         (unsigned long long)fault_tolerance.retries);
+  append("breaker.rejections       %llu\n",
+         (unsigned long long)fault_tolerance.breaker_rejections);
+  append("deadlines.exceeded       %llu\n",
+         (unsigned long long)fault_tolerance.deadlines_exceeded);
+  append("branches.dropped         %llu\n",
+         (unsigned long long)fault_tolerance.dropped_branches);
+  for (const PerSource& s : sources) {
+    const char* prefix = s.name.c_str();
+    append("source[%s].received      %zu\n", prefix, s.source.queries_received);
+    append("source[%s].answered      %zu\n", prefix, s.source.queries_answered);
+    append("source[%s].rejected      %zu\n", prefix, s.source.queries_rejected);
+    append("source[%s].unavailable   %zu\n", prefix,
+           s.source.queries_unavailable);
+    append("source[%s].rows          %llu\n", prefix,
+           (unsigned long long)s.source.rows_returned);
+    append("source[%s].check_calls   %zu\n", prefix, s.check_calls);
+    append("source[%s].check_hits    %zu\n", prefix, s.check_memo_hits);
+    append("source[%s].faults        %llu\n", prefix,
+           (unsigned long long)(s.faults.injected_unavailable +
+                                s.faults.injected_timeouts));
+    if (s.has_breaker) {
+      const char* state = s.breaker_state == CircuitBreaker::State::kClosed
+                              ? "closed"
+                              : s.breaker_state == CircuitBreaker::State::kOpen
+                                    ? "open"
+                                    : "half-open";
+      append("source[%s].breaker       %s (opened %llu, rejected %llu)\n",
+             prefix, state, (unsigned long long)s.breaker.opened,
+             (unsigned long long)s.breaker.rejected);
+    }
+  }
   return out;
 }
 

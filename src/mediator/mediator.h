@@ -1,10 +1,13 @@
 #ifndef GENCOMPACT_MEDIATOR_MEDIATOR_H_
 #define GENCOMPACT_MEDIATOR_MEDIATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "expr/intern.h"
 #include "exec/executor.h"
 #include "mediator/catalog.h"
 #include "mediator/join.h"
@@ -39,21 +42,54 @@ class Mediator {
     size_t cache_shards = 1;
     /// Total plan-cache capacity, split across shards.
     size_t cache_capacity = 256;
+
+    // ---- Fault tolerance (all off by default: zero-fault parity). ----
+
+    /// Per-sub-query retry/backoff/deadline discipline (max_attempts = 1
+    /// disables retries entirely).
+    RetryPolicy retry;
+    /// Attach a per-source circuit breaker to every source registered
+    /// after this option is set.
+    bool enable_circuit_breaker = false;
+    CircuitBreakerOptions breaker;
+    /// Degrade failed ∨-branches into partial answers with a completeness
+    /// annotation instead of failing the query (∧/∩ failures still fail).
+    bool partial_results = false;
+    /// After a retryable execution failure, ask the planner for the
+    /// cheapest feasible plan that avoids the failed sub-queries and run
+    /// that before giving up.
+    bool replan_on_failure = false;
+    /// Time source for backoff/breaker/deadlines; null = Clock::Real().
+    /// Tests inject a FakeClock for instantaneous, deterministic schedules.
+    Clock* clock = nullptr;
   };
 
   explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
-      : Mediator(Options{default_strategy, 0, 1, 256}) {}
+      : Mediator(DefaultOptions(default_strategy)) {}
 
   explicit Mediator(const Options& options)
-      : default_strategy_(options.default_strategy),
+      : options_(options),
+        default_strategy_(options.default_strategy),
         plan_cache_(options.cache_capacity, options.cache_shards),
         pool_(options.num_threads > 0
                   ? std::make_unique<ThreadPool>(options.num_threads)
-                  : nullptr) {}
+                  : nullptr) {
+    if (options_.clock == nullptr) options_.clock = Clock::Real();
+  }
 
   /// Registers a simulated Internet source (takes ownership of the table).
   Status RegisterSource(SourceDescription description,
                         std::unique_ptr<Table> table);
+
+  /// Completeness marker of a (possibly degraded) answer: when the
+  /// fault-tolerance policy drops failed ∨-branches instead of failing the
+  /// query, the answer is a subset of the true answer and lists exactly
+  /// which sub-plans it is missing.
+  struct Completeness {
+    bool complete = true;
+    /// Short renderings of the dropped ∨-branches (empty iff complete).
+    std::vector<std::string> dropped_sub_queries;
+  };
 
   struct QueryResult {
     RowSet rows;
@@ -61,6 +97,10 @@ class Mediator {
     double estimated_cost = 0.0;
     ExecStats exec;           ///< true transfer statistics
     double true_cost = 0.0;   ///< Equation-1 cost with actual row counts
+    Completeness completeness;
+    /// True when the answer came from a recovery plan that routed around
+    /// failed sub-queries (Options::replan_on_failure).
+    bool replanned = false;
   };
 
   /// Runs a mini-SQL target query with the default strategy. Join queries
@@ -103,12 +143,65 @@ class Mediator {
   /// over; repeated queries skip planning entirely).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// One mediator-wide observability snapshot (/varz-style): every counter
+  /// the layers below keep — condition-interner pool, Checker memo, plan
+  /// cache, per-source query/fault/breaker counters, and the aggregated
+  /// retry/degradation/replan totals — gathered in one consistent-enough
+  /// read so load tests and benches can watch pool growth, memo efficacy,
+  /// and fault recovery over time.
+  struct Stats {
+    ConditionInterner::Stats interner;
+
+    struct {
+      size_t hits = 0;
+      size_t misses = 0;
+      size_t refreshes = 0;
+      double hit_rate = 0.0;
+      size_t size = 0;
+      size_t shards = 0;
+    } plan_cache;
+
+    struct PerSource {
+      std::string name;
+      Source::Stats source;
+      size_t check_calls = 0;      ///< Checker invocations (planning)
+      size_t check_memo_hits = 0;  ///< answered from the ConditionId memo
+      FaultInjector::Stats faults;          ///< zeros when no policy installed
+      bool has_breaker = false;
+      CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+      CircuitBreaker::Stats breaker;
+    };
+    std::vector<PerSource> sources;
+
+    /// Aggregated over every execution this mediator ran.
+    struct {
+      uint64_t queries_ok = 0;
+      uint64_t queries_failed = 0;
+      uint64_t queries_partial = 0;    ///< answered, but degraded
+      uint64_t queries_replanned = 0;  ///< recovered via avoid-set re-plan
+      uint64_t retries = 0;
+      uint64_t breaker_rejections = 0;
+      uint64_t deadlines_exceeded = 0;
+      uint64_t dropped_branches = 0;
+    } fault_tolerance;
+
+    /// Multi-line /varz-style rendering (stable keys, one per line).
+    std::string ToString() const;
+  };
+  Stats StatsSnapshot() const;
+
   /// Enables/disables the semantics-preserving condition simplification
   /// pre-pass (on by default). Unsatisfiable conditions short-circuit to an
   /// empty result without contacting the source.
   void set_simplify_conditions(bool enabled) { simplify_conditions_ = enabled; }
 
  private:
+  static Options DefaultOptions(Strategy strategy) {
+    Options options;
+    options.default_strategy = strategy;
+    return options;
+  }
+
   struct Prepared {
     CatalogEntry* entry = nullptr;
     ConditionPtr condition;
@@ -122,11 +215,30 @@ class Mediator {
   Result<QueryResult> ExecutePrepared(const Prepared& prepared,
                                       Strategy strategy);
 
+  /// One executor pass with this mediator's fault-tolerance options; folds
+  /// the executor's counters into the mediator-wide aggregates. On failure,
+  /// the keys of failed sub-queries are added to `failed_keys` (if given) —
+  /// the avoid-set for a recovery re-plan.
+  Result<RowSet> RunPlan(const Prepared& prepared, const PlanNode& plan,
+                         QueryResult* result, SubQueryAvoidSet* failed_keys);
+
+  Options options_;
   Strategy default_strategy_;
   Catalog catalog_;
   PlanCache plan_cache_;
   std::unique_ptr<ThreadPool> pool_;
   bool simplify_conditions_ = true;
+
+  // Mediator-lifetime fault-tolerance aggregates (executors are
+  // per-execution and discarded; these carry their counters forward).
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> queries_partial_{0};
+  std::atomic<uint64_t> queries_replanned_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> breaker_rejections_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> dropped_branches_{0};
 };
 
 }  // namespace gencompact

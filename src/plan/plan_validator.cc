@@ -72,4 +72,15 @@ Status ValidatePlanFor(const PlanNode& plan, const AttributeSet& expected_attrs,
   return ValidatePlan(plan, checker);
 }
 
+bool PlanAvoids(const PlanNode& plan, const SubQueryAvoidSet& avoid) {
+  if (plan.kind() == PlanNode::Kind::kSourceQuery &&
+      avoid.count(SubQueryKey(*plan.condition(), plan.attrs())) > 0) {
+    return false;
+  }
+  for (const PlanPtr& child : plan.children()) {
+    if (!PlanAvoids(*child, avoid)) return false;
+  }
+  return true;
+}
+
 }  // namespace gencompact

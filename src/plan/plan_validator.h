@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "plan/plan.h"
+#include "plan/sub_query_key.h"
 #include "ssdl/check.h"
 
 namespace gencompact {
@@ -23,6 +24,11 @@ Status ValidatePlan(const PlanNode& plan, Checker* checker);
 /// set to equal `expected_attrs`.
 Status ValidatePlanFor(const PlanNode& plan, const AttributeSet& expected_attrs,
                        Checker* checker);
+
+/// True iff no source query of `plan` (recursively, including Choice
+/// children) matches an identity in `avoid` — i.e. the plan routes around
+/// every avoided sub-query.
+bool PlanAvoids(const PlanNode& plan, const SubQueryAvoidSet& avoid);
 
 }  // namespace gencompact
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_set>
 
 #include "expr/condition.h"
 #include "schema/attribute_set.h"
@@ -38,6 +39,11 @@ struct SubQueryKeyHash {
     return static_cast<size_t>(x ^ (x >> 31));
   }
 };
+
+/// A set of sub-query identities the planner must route around — e.g. the
+/// SP(C, A, R) fetches that just failed with kUnavailable (see
+/// PlannerStrategy::PlanAvoiding and Mediator re-planning).
+using SubQueryAvoidSet = std::unordered_set<SubQueryKey, SubQueryKeyHash>;
 
 }  // namespace gencompact
 

@@ -33,6 +33,15 @@ class GenCompactPlanner : public PlannerStrategy {
   Result<PlanPtr> Plan(const ConditionPtr& condition,
                        const AttributeSet& attrs) override;
 
+  /// Constrained planning for fault recovery. IPG returns only the single
+  /// best plan, so the avoidance path switches to EPG's Choice plan space
+  /// over the same reduced CT set and picks the cheapest alternative that
+  /// routes around every avoided sub-query. Slower than Plan(), but this
+  /// only runs after a sub-query has already failed its retries.
+  Result<PlanPtr> PlanAvoiding(const ConditionPtr& condition,
+                               const AttributeSet& attrs,
+                               const SubQueryAvoidSet& avoid) override;
+
   struct RunStats {
     size_t num_cts = 0;
     IpgStats ipg;

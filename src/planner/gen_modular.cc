@@ -38,4 +38,33 @@ Result<PlanPtr> GenModularPlanner::Plan(const ConditionPtr& condition,
   return best;
 }
 
+Result<PlanPtr> GenModularPlanner::PlanAvoiding(const ConditionPtr& condition,
+                                                const AttributeSet& attrs,
+                                                const SubQueryAvoidSet& avoid) {
+  if (avoid.empty()) return Plan(condition, attrs);
+  const RewriteResult rewrites = GenerateRewritings(condition, options_.rewrite);
+  Epg epg(source_, options_.epg);
+  const CostModel& cost_model = source_->cost_model();
+  PlanPtr best;
+  double best_cost = 0;
+  for (const ConditionPtr& ct : rewrites.cts) {
+    const PlanPtr space = epg.Generate(ct, attrs);
+    if (space == nullptr) continue;
+    PlanPtr resolved = cost_model.ResolveChoicesAvoiding(space, avoid);
+    if (resolved == nullptr) continue;  // every alternative is avoided
+    const double cost = cost_model.PlanCost(*resolved);
+    if (best == nullptr || cost < best_cost) {
+      best = std::move(resolved);
+      best_cost = cost;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NoFeasiblePlan(
+        "GenModular: no feasible plan for SP(" + condition->ToString() +
+        ") avoiding " + std::to_string(avoid.size()) +
+        " failed sub-quer" + (avoid.size() == 1 ? "y" : "ies"));
+  }
+  return best;
+}
+
 }  // namespace gencompact

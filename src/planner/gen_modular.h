@@ -30,6 +30,12 @@ class GenModularPlanner : public PlannerStrategy {
   Result<PlanPtr> Plan(const ConditionPtr& condition,
                        const AttributeSet& attrs) override;
 
+  /// Constrained planning for fault recovery: resolves each CT's EPG Choice
+  /// space to the cheapest alternative containing no avoided sub-query.
+  Result<PlanPtr> PlanAvoiding(const ConditionPtr& condition,
+                               const AttributeSet& attrs,
+                               const SubQueryAvoidSet& avoid) override;
+
   struct RunStats {
     size_t num_cts = 0;
     size_t epg_calls = 0;

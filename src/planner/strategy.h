@@ -5,6 +5,8 @@
 
 #include "common/result.h"
 #include "plan/plan.h"
+#include "plan/plan_validator.h"
+#include "plan/sub_query_key.h"
 #include "planner/source_handle.h"
 
 namespace gencompact {
@@ -22,6 +24,24 @@ class PlannerStrategy {
   /// Plans SP(condition, attrs, R) against this strategy's source.
   virtual Result<PlanPtr> Plan(const ConditionPtr& condition,
                                const AttributeSet& attrs) = 0;
+
+  /// Plans SP(condition, attrs, R) with the constraint that the plan
+  /// contains none of the sub-queries in `avoid` — the mediator's recovery
+  /// path when specific SP(C, A, R) fetches keep failing (see DESIGN.md,
+  /// "Failure semantics"). The base implementation plans normally and
+  /// reports kNoFeasiblePlan if the result touches the avoid-set;
+  /// capability-aware strategies override this to search their Choice plan
+  /// space for the cheapest alternative that routes around the failures.
+  virtual Result<PlanPtr> PlanAvoiding(const ConditionPtr& condition,
+                                       const AttributeSet& attrs,
+                                       const SubQueryAvoidSet& avoid) {
+    GC_ASSIGN_OR_RETURN(PlanPtr plan, Plan(condition, attrs));
+    if (!PlanAvoids(*plan, avoid)) {
+      return Status::NoFeasiblePlan(
+          name() + ": the only plan found uses an avoided sub-query");
+    }
+    return plan;
+  }
 };
 
 }  // namespace gencompact

@@ -285,5 +285,99 @@ TEST_F(ExecFixture, ParallelErrorMatchesSequentialStatus) {
   EXPECT_EQ(executor.Execute(*plan).status().code(), StatusCode::kUnsupported);
 }
 
+TEST_F(ExecFixture, ParallelUnsupportedPropagatesFromEightThreads) {
+  // One unsupported leaf among many healthy ones, raced across 8 workers:
+  // the error must surface (not deadlock, not leak a blocked fetch) and the
+  // executor must remain usable for the next execution.
+  ThreadPool pool(8);
+  Executor executor(&source_, &pool);
+  std::vector<PlanPtr> children;
+  for (int i = 1; i <= 7; ++i) {
+    children.push_back(PlanNode::SourceQuery(
+        Parse("v < " + std::to_string(i)), Attrs({"v"})));
+  }
+  children.push_back(
+      PlanNode::SourceQuery(Parse("k = \"odd\" and v < 5"), Attrs({"v"})));
+  const PlanPtr plan = PlanNode::UnionOf(std::move(children));
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(executor.Execute(*plan).status().code(),
+              StatusCode::kUnsupported);
+  }
+  const PlanPtr healthy = PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"}));
+  EXPECT_TRUE(executor.Execute(*healthy).ok());
+}
+
+TEST_F(ExecFixture, ParallelUnavailablePropagatesFromEightThreads) {
+  // Every call fails: a hard outage. All 8 branches race to fail; the
+  // surfaced status is the first (by plan order) child's failure.
+  FaultPolicy dead;
+  dead.outages.push_back({0, 1u << 20});
+  source_.set_fault_policy(dead);
+  ThreadPool pool(8);
+  Executor executor(&source_, &pool);
+  std::vector<PlanPtr> children;
+  for (int i = 1; i <= 8; ++i) {
+    children.push_back(PlanNode::SourceQuery(
+        Parse("v < " + std::to_string(i)), Attrs({"v"})));
+  }
+  const PlanPtr plan = PlanNode::UnionOf(std::move(children));
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(executor.stats().failed_sub_queries, 8u);
+}
+
+TEST_F(ExecFixture, ParallelDegradedUnionKeepsSurvivingBranches) {
+  // Exactly one injected failure under 8-way parallelism with degradation:
+  // whichever branch draws it is dropped, every other branch answers, and
+  // the partial answer is annotated. Repeated to exercise different
+  // interleavings; counters must come out identical every time.
+  source_.set_fault_policy(FaultPolicy{});
+  ThreadPool pool(8);
+  ExecOptions options;
+  options.degrade_unions = true;
+  for (int round = 0; round < 5; ++round) {
+    source_.fault_injector()->FailNextN(1);
+    Executor executor(&source_, &pool, options);
+    std::vector<PlanPtr> children;
+    for (int i = 1; i <= 8; ++i) {
+      children.push_back(PlanNode::SourceQuery(
+          Parse("v < " + std::to_string(i)), Attrs({"v"})));
+    }
+    const PlanPtr plan = PlanNode::UnionOf(std::move(children));
+    const Result<RowSet> rows = executor.Execute(*plan);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(executor.stats().dropped_branches, 1u);
+    EXPECT_EQ(executor.stats().source_queries, 7u);
+    EXPECT_EQ(executor.dropped_sub_queries().size(), 1u);
+    // The widest surviving branch is v < 8 or v < 7; either way at least
+    // the v < 7 rows are present.
+    EXPECT_GE(rows->size(), 7u);
+  }
+}
+
+TEST_F(ExecFixture, DuplicateFailedFetchIsEvictedAndRefetched) {
+  // The same sub-query appears at positions 0 and 2; position 0's fetch
+  // fails (scripted) and is degraded away. The failure must NOT poison the
+  // dedup map: position 2 re-fetches and succeeds.
+  source_.set_fault_policy(FaultPolicy{});
+  source_.fault_injector()->FailNextN(1);
+  ExecOptions options;
+  options.degrade_unions = true;
+  Executor executor(&source_, nullptr, options);
+  const PlanPtr dup = PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"}));
+  const PlanPtr plan = PlanNode::UnionOf(
+      {dup, PlanNode::SourceQuery(Parse("v >= 4"), Attrs({"v"})), dup});
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // v >= 4 (6 rows) ∪ re-fetched v < 6 (6 rows) = all 10 values.
+  EXPECT_EQ(rows->size(), 10u);
+  EXPECT_EQ(executor.stats().dropped_branches, 1u);
+  EXPECT_EQ(executor.stats().source_queries, 2u);  // the two successes
+  EXPECT_EQ(executor.stats().failed_sub_queries, 1u);
+  // Three round trips reached the source: fail, success, re-fetch success.
+  EXPECT_EQ(source_.stats().queries_received, 3u);
+}
+
 }  // namespace
 }  // namespace gencompact
