@@ -134,6 +134,7 @@ Config RunConfig(size_t client_threads, uint64_t seed) {
   std::vector<std::vector<double>> latencies_ms(client_threads);
   std::vector<size_t> errors(client_threads, 0);
 
+  const Mediator::Stats before = env.mediator->StatsSnapshot();
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   clients.reserve(client_threads);
@@ -177,10 +178,15 @@ Config RunConfig(size_t client_threads, uint64_t seed) {
   config.cache_hit_rate = env.mediator->plan_cache().hit_rate();
 
   // The mediator-wide observability snapshot for the largest configuration:
-  // interner pool growth, memo efficacy, per-source counters in one read.
+  // interner pool growth, memo efficacy, per-source counters in one read —
+  // plus the measured interval rendered as rates (qps, hit rates) via
+  // DiffSince, the same diff path operators would use between two scrapes.
   if (client_threads >= 8) {
-    std::printf("\n--- mediator stats snapshot (%zu clients) ---\n%s\n",
-                client_threads, env.mediator->StatsSnapshot().ToString().c_str());
+    const Mediator::Stats after = env.mediator->StatsSnapshot();
+    std::printf("\n--- interval rates (%zu clients, measured phase) ---\n%s",
+                client_threads, after.DiffSince(before).ToString().c_str());
+    std::printf("--- mediator stats snapshot (%zu clients) ---\n%s\n",
+                client_threads, after.ToString().c_str());
   }
   return config;
 }

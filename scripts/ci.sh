@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# CI entry point: Release build + full test suite, then the seeded
+# differential harness replayed over a small seed matrix (the default 439
+# that gates commits plus four fresh bases — GENCOMPACT_TEST_SEED reseeds
+# the random capability/query generators, so each base is a brand-new set of
+# planner-equivalence and Choice-resolution cases), then a ThreadSanitizer
 # build running the concurrency tests (thread pool, sharded plan cache,
-# condition interner, parallel executor, concurrent mediator clients), then
-# an AddressSanitizer pass over the interner hammer (the weak-entry pool
-# must hold nothing alive: leak check).
+# condition interner, parallel executor, concurrent mediator clients, hedge
+# races), then an AddressSanitizer pass over the interner hammer (the
+# weak-entry pool must hold nothing alive: leak check) and the fault /
+# hedging / differential suites.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -17,20 +22,32 @@ cmake -B "${PREFIX}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${PREFIX}-release" -j "${JOBS}"
 ctest --test-dir "${PREFIX}-release" --output-on-failure -j "${JOBS}"
 
+echo "=== Differential harness seed matrix ==="
+for seed in 439 1009 2027 4391 9001; do
+  echo "--- GENCOMPACT_TEST_SEED=${seed} ---"
+  GENCOMPACT_TEST_SEED="${seed}" \
+    "${PREFIX}-release/tests/gencompact_tests" \
+    --gtest_filter='Seeds/DifferentialTest*' --gtest_brief=1
+done
+
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*'
 
 echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*'
 
 echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
 "${PREFIX}-release/bench/bench_fault_sweep"
+
+echo "=== Hedging bench smoke (writes BENCH_hedge.json) ==="
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_hedging
+"${PREFIX}-release/bench/bench_hedging"
 
 echo "=== CI OK ==="

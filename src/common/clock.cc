@@ -13,6 +13,11 @@ class RealClock : public Clock {
   void SleepFor(std::chrono::microseconds duration) override {
     if (duration.count() > 0) std::this_thread::sleep_for(duration);
   }
+  bool AwaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                std::chrono::microseconds timeout,
+                const std::function<bool()>& pred) override {
+    return cv.wait_for(lock, timeout, pred);
+  }
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 
 namespace gencompact {
@@ -22,6 +23,18 @@ class Clock {
 
   /// Blocks (or simulates blocking) for `duration`.
   virtual void SleepFor(std::chrono::microseconds duration) = 0;
+
+  /// Waits on `cv` (with `lock` held) until `pred()` holds or `timeout` of
+  /// this clock's time elapses; returns the final pred(). The timed wait the
+  /// hedging executor arms against an in-flight fetch: the real clock maps
+  /// it to condition_variable::wait_for, while FakeClock checks the
+  /// predicate, advances itself by `timeout`, and re-checks — so "the hedge
+  /// fires exactly at the digest's p99" is a deterministic assertion, not a
+  /// timing race.
+  virtual bool AwaitFor(std::condition_variable& cv,
+                        std::unique_lock<std::mutex>& lock,
+                        std::chrono::microseconds timeout,
+                        const std::function<bool()>& pred) = 0;
 
   /// The process-wide steady_clock-backed instance.
   static Clock* Real();
@@ -47,6 +60,17 @@ class FakeClock : public Clock {
 
   void SleepFor(std::chrono::microseconds duration) override {
     Advance(duration);
+  }
+
+  bool AwaitFor(std::condition_variable& /*cv*/,
+                std::unique_lock<std::mutex>& /*lock*/,
+                std::chrono::microseconds timeout,
+                const std::function<bool()>& pred) override {
+    // Never blocks: either the condition already holds, or the full timeout
+    // "passes" instantly and the caller proceeds down its timeout path.
+    if (pred()) return true;
+    Advance(timeout);
+    return pred();
   }
 
   void Advance(std::chrono::microseconds duration) {

@@ -126,6 +126,39 @@ PlanPtr CostModel::ResolveChoices(const PlanPtr& plan) const {
   return plan;
 }
 
+PlanPtr CostModel::ResolveChoicesRandom(const PlanPtr& plan, Rng* rng) const {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      return plan;
+    case PlanNode::Kind::kMediatorSp: {
+      PlanPtr child = ResolveChoicesRandom(plan->children().front(), rng);
+      if (child == plan->children().front()) return plan;
+      return PlanNode::MediatorSp(plan->condition(), plan->attrs(),
+                                  std::move(child));
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect: {
+      std::vector<PlanPtr> children;
+      children.reserve(plan->children().size());
+      bool changed = false;
+      for (const PlanPtr& child : plan->children()) {
+        PlanPtr resolved = ResolveChoicesRandom(child, rng);
+        changed = changed || resolved != child;
+        children.push_back(std::move(resolved));
+      }
+      if (!changed) return plan;
+      return plan->kind() == PlanNode::Kind::kUnion
+                 ? PlanNode::UnionOf(std::move(children))
+                 : PlanNode::IntersectOf(std::move(children));
+    }
+    case PlanNode::Kind::kChoice: {
+      const size_t pick = rng->NextIndex(plan->children().size());
+      return ResolveChoicesRandom(plan->children()[pick], rng);
+    }
+  }
+  return plan;
+}
+
 PlanPtr CostModel::ResolveChoicesAvoiding(const PlanPtr& plan,
                                           const SubQueryAvoidSet& avoid) const {
   switch (plan->kind()) {

@@ -1,11 +1,51 @@
 #ifndef GENCOMPACT_COST_COST_MODEL_H_
 #define GENCOMPACT_COST_COST_MODEL_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
 #include "cost/cardinality.h"
 #include "plan/plan.h"
 #include "plan/sub_query_key.h"
 
 namespace gencompact {
+
+/// Health-derived cost penalty of one source: a multiplier ≥ 1 applied to
+/// k1 (the per-query setup cost) so Choice resolution steers toward healthy
+/// sources *before* they fail (re-planning stays as the backstop). Owned by
+/// the catalog entry next to the breaker and latency digest it is derived
+/// from; refreshed by the mediator before planning, read lock-free on the
+/// planning hot path. At the default multiplier of 1 the model is exactly
+/// Equation 1.
+class HealthPenalty {
+ public:
+  double multiplier() const {
+    return multiplier_.load(std::memory_order_relaxed);
+  }
+  void set_multiplier(double m) {
+    multiplier_.store(m, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> multiplier_{1.0};
+};
+
+/// How a source's breaker state and latency digest translate into its
+/// HealthPenalty multiplier (see Mediator::Options::breaker_aware_costs).
+struct CostPenaltyOptions {
+  /// k1 multiplier while the breaker is open (calls are being rejected).
+  double open_multiplier = 8.0;
+  /// k1 multiplier while half-open (probing; capacity is one probe streak).
+  double half_open_multiplier = 3.0;
+  /// k1 multiplier when the digest's p99 exceeds `slow_latency_threshold`
+  /// (compounds with the breaker multipliers). 1 disables the latency term.
+  double slow_multiplier = 1.0;
+  std::chrono::microseconds slow_latency_threshold{0};
+  /// Digest observations required before the latency term is trusted.
+  uint64_t min_latency_samples = 32;
+};
 
 /// The paper's cost model (Section 6.2, Equation 1):
 ///
@@ -25,6 +65,21 @@ class CostModel {
   double k1() const { return k1_; }
   double k2() const { return k2_; }
 
+  /// Attaches the source's health penalty; null (the default) keeps the
+  /// model exactly Equation 1. The penalty object must outlive the model
+  /// (both live on the catalog entry).
+  void set_health_penalty(const HealthPenalty* penalty) {
+    health_penalty_ = penalty;
+  }
+  const HealthPenalty* health_penalty() const { return health_penalty_; }
+
+  /// k1 with the current health penalty applied — what planning pays per
+  /// source query while the source is degraded.
+  double effective_k1() const {
+    return health_penalty_ != nullptr ? k1_ * health_penalty_->multiplier()
+                                      : k1_;
+  }
+
   /// Estimated result rows of SP(cond, ·, R) before projection.
   double EstimateRows(const ConditionNode& cond) const {
     return estimator_->EstimateRows(cond);
@@ -36,10 +91,11 @@ class CostModel {
     return estimator_->EstimateResultRows(cond, attrs);
   }
 
-  /// Cost of one source query: k1 + k2·estimated result rows.
+  /// Cost of one source query: k1 + k2·estimated result rows (with k1
+  /// inflated by the health penalty when one is attached and active).
   double SourceQueryCost(const ConditionNode& cond,
                          const AttributeSet& attrs) const {
-    return k1_ + k2_ * EstimateResultRows(cond, attrs);
+    return effective_k1() + k2_ * EstimateResultRows(cond, attrs);
   }
 
   /// Cost of a plan. Choice nodes cost the minimum over their children
@@ -60,11 +116,18 @@ class CostModel {
   PlanPtr ResolveChoicesAvoiding(const PlanPtr& plan,
                                  const SubQueryAvoidSet& avoid) const;
 
+  /// Replaces every Choice node by a *uniformly random* feasible child —
+  /// the differential harness's probe into the Choice plan space: any
+  /// random resolution must produce the same answer rows as the optimal
+  /// one. Preserves node sharing like ResolveChoices.
+  PlanPtr ResolveChoicesRandom(const PlanPtr& plan, Rng* rng) const;
+
  private:
   double k1_;
   double k2_;
   double mediator_k3_;
   const CardinalityEstimator* estimator_;
+  const HealthPenalty* health_penalty_ = nullptr;
 };
 
 }  // namespace gencompact

@@ -57,6 +57,20 @@ class CircuitBreaker {
     return state_;
   }
 
+  /// The state a caller would *observe if it called Allow() now*: like
+  /// state(), but applies the open-window expiry without mutating — an open
+  /// breaker whose window has elapsed reports kHalfOpen, because the next
+  /// real call would be admitted as a probe. Load shedding and the
+  /// breaker-aware cost penalty read this, so a source whose window expired
+  /// is probed (and can recover) instead of being shed forever.
+  State EffectiveState() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kOpen && clock_->Now() >= open_until_) {
+      return State::kHalfOpen;
+    }
+    return state_;
+  }
+
   struct Stats {
     uint64_t opened = 0;          ///< closed/half-open → open transitions
     uint64_t closed = 0;          ///< half-open → closed transitions

@@ -1,6 +1,8 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/backoff.h"
@@ -20,94 +22,261 @@ Result<RowSet> Executor::Execute(const PlanNode& plan) {
     dropped_.clear();
     failed_keys_.clear();
   }
-  retry_budget_left_.store(options_.retry.retry_budget,
-                           std::memory_order_relaxed);
+  budget_->store(options_.retry.retry_budget, std::memory_order_relaxed);
   return Exec(plan);
 }
 
-Result<RowSet> Executor::FetchWithRetry(const PlanNode& plan,
-                                        const SubQueryKey& key) {
-  const RetryPolicy& retry = options_.retry;
+void Executor::InitJob(FetchJob* job, const PlanNode& plan,
+                       const SubQueryKey& key) const {
+  job->source = source_;
+  job->breaker = options_.breaker;
+  job->clock = clock_;
+  job->latency = options_.latency;
+  job->retry = options_.retry;
+  job->budget = budget_;
+  job->condition = plan.condition();
+  job->attrs = plan.attrs();
+  job->key = key;
+}
+
+void Executor::FoldJobCounters(const FetchJob& job) {
+  retries_.fetch_add(job.retries.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  breaker_rejections_.fetch_add(
+      job.breaker_rejections.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  deadlines_exceeded_.fetch_add(
+      job.deadlines_exceeded.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Result<RowSet> Executor::RunRetryLoop(FetchJob* job) {
+  const RetryPolicy& retry = job->retry;
   // Seeded per sub-query identity: parallel branches draw independent but
   // reproducible jitter streams; re-executing the same plan replays them.
   DecorrelatedJitterBackoff backoff(retry.backoff,
-                                    retry.seed ^ SubQueryKeyHash{}(key));
-  const std::chrono::steady_clock::time_point start = clock_->Now();
+                                    retry.seed ^ SubQueryKeyHash{}(job->key));
+  const std::chrono::steady_clock::time_point start = job->clock->Now();
   for (size_t attempt = 1;; ++attempt) {
-    if (options_.breaker != nullptr && !options_.breaker->Allow()) {
-      breaker_rejections_.fetch_add(1, std::memory_order_relaxed);
+    if (job->breaker != nullptr && !job->breaker->Allow()) {
+      job->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(
           "circuit breaker open for source '" +
-          source_->description().source_name() +
+          job->source->description().source_name() +
           "': failing fast without contacting the source");
     }
-    Result<RowSet> result =
-        source_->Execute(*plan.condition(), plan.attrs());
+    const std::chrono::steady_clock::time_point attempt_start =
+        job->latency != nullptr ? job->clock->Now() : start;
+    Result<RowSet> result = job->source->Execute(*job->condition, job->attrs);
     const bool retryable_failure =
         !result.ok() && IsRetryable(result.status().code());
-    if (options_.breaker != nullptr) {
+    if (job->breaker != nullptr) {
       // A capability rejection is an *answer* — the source is healthy. Only
       // unavailable/timeout outcomes count against its health.
       if (retryable_failure) {
-        options_.breaker->OnFailure();
+        job->breaker->OnFailure();
       } else {
-        options_.breaker->OnSuccess();
+        job->breaker->OnSuccess();
       }
     }
-    if (!retryable_failure) return result;  // success or permanent error
+    if (!retryable_failure) {
+      if (result.ok() && job->latency != nullptr) {
+        job->latency->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+            job->clock->Now() - attempt_start));
+      }
+      return result;  // success or permanent error
+    }
 
     if (attempt >= retry.max_attempts) return result;
+    if (job->abandoned.load(std::memory_order_relaxed)) {
+      return result;  // the hedge already won; stop burning budget
+    }
     const std::chrono::microseconds delay = backoff.NextDelay();
     if (retry.sub_query_deadline.count() > 0 &&
-        (clock_->Now() - start) + delay > retry.sub_query_deadline) {
-      deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        (job->clock->Now() - start) + delay > retry.sub_query_deadline) {
+      job->deadlines_exceeded.fetch_add(1, std::memory_order_relaxed);
       return Status::DeadlineExceeded(
           "sub-query deadline exceeded after " + std::to_string(attempt) +
           " attempt(s); last error: " + result.status().message());
     }
-    if (!TryConsumeRetryToken()) return result;  // execution budget spent
-    retries_.fetch_add(1, std::memory_order_relaxed);
-    clock_->SleepFor(delay);
+    if (!TryConsumeToken(job->budget.get())) {
+      return result;  // execution budget spent
+    }
+    job->retries.fetch_add(1, std::memory_order_relaxed);
+    job->clock->SleepFor(delay);
   }
+}
+
+Result<RowSet> Executor::RunHedgeAttempt(FetchJob* job) {
+  if (job->breaker != nullptr && !job->breaker->Allow()) {
+    job->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "circuit breaker open for source '" +
+        job->source->description().source_name() +
+        "': hedge attempt failing fast");
+  }
+  const std::chrono::steady_clock::time_point attempt_start =
+      job->clock->Now();
+  Result<RowSet> result = job->source->Execute(*job->condition, job->attrs);
+  const bool retryable_failure =
+      !result.ok() && IsRetryable(result.status().code());
+  if (job->breaker != nullptr) {
+    if (retryable_failure) {
+      job->breaker->OnFailure();
+    } else {
+      job->breaker->OnSuccess();
+    }
+  }
+  if (result.ok() && job->latency != nullptr) {
+    job->latency->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+        job->clock->Now() - attempt_start));
+  }
+  return result;
+}
+
+Result<RowSet> Executor::FetchResolving(const PlanNode& plan,
+                                        const SubQueryKey& key) {
+  const HedgePolicy& hedge = options_.hedge;
+  const bool hedging_armed =
+      hedge.enabled && pool_ != nullptr && options_.latency != nullptr &&
+      options_.latency->count() >= hedge.min_samples;
+  if (!hedging_armed) {
+    FetchJob job;
+    InitJob(&job, plan, key);
+    Result<RowSet> result = RunRetryLoop(&job);
+    FoldJobCounters(job);
+    return result;
+  }
+
+  std::chrono::microseconds delay = options_.latency->Quantile(hedge.quantile);
+  delay = std::max(delay, hedge.min_delay);
+  if (hedge.max_delay.count() > 0) delay = std::min(delay, hedge.max_delay);
+
+  auto job = std::make_shared<FetchJob>();
+  InitJob(job.get(), plan, key);
+  return FetchHedged(job, delay);
+}
+
+Result<RowSet> Executor::FetchHedged(const std::shared_ptr<FetchJob>& job,
+                                     std::chrono::microseconds delay) {
+  // The primary runs as a pool task; the owner arms the hedge timer against
+  // it. The task is guarded by the claim CAS so a loser that never started
+  // is truly cancelled — it returns without contacting the source.
+  pool_->Submit([job]() {
+    int unclaimed = 0;
+    if (!job->primary_claim.compare_exchange_strong(unclaimed, 2)) return;
+    Result<RowSet> result = RunRetryLoop(job.get());
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->primary_result = std::move(result);
+    job->primary_done = true;
+    job->cv.notify_all();
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    const bool done =
+        clock_->AwaitFor(job->cv, lock, delay,
+                         [&job] { return job->primary_done; });
+    if (done) {
+      Result<RowSet> result = std::move(job->primary_result);
+      lock.unlock();
+      FoldJobCounters(*job);
+      return result;
+    }
+  }
+
+  // The primary is past the digest's hedge point. Launch the backup only if
+  // the breaker is not half-open (probes must measure the source, not the
+  // race) and the execution-wide budget still has a token — hedges and
+  // retries draw from the same pool, so a hedge storm is bounded.
+  const bool breaker_half_open =
+      options_.breaker != nullptr &&
+      options_.breaker->state() == CircuitBreaker::State::kHalfOpen;
+  if (!breaker_half_open && TryConsumeRetryToken()) {
+    hedges_launched_.fetch_add(1, std::memory_order_relaxed);
+    Result<RowSet> hedged = RunHedgeAttempt(job.get());
+    if (hedged.ok()) {
+      // First success wins. If the primary never started, cancel it with
+      // one CAS; if it is mid-flight, it finishes into the job (which the
+      // task keeps alive) and its late result is discarded — a loser can
+      // never publish into the dedup map or the executor's stats.
+      job->abandoned.store(true, std::memory_order_relaxed);
+      int unclaimed = 0;
+      if (job->primary_claim.compare_exchange_strong(unclaimed, 1)) {
+        hedges_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
+      hedges_won_.fetch_add(1, std::memory_order_relaxed);
+      FoldJobCounters(*job);
+      return hedged;
+    }
+  }
+
+  // No hedge allowed, or the hedge lost: the primary is the answer. If its
+  // task has not started yet, claim and run it inline — the owner must make
+  // progress even when every pool worker is itself parked in a hedged wait,
+  // so we never block unbounded on an unstarted task.
+  int unclaimed = 0;
+  if (job->primary_claim.compare_exchange_strong(unclaimed, 1)) {
+    Result<RowSet> result = RunRetryLoop(job.get());
+    FoldJobCounters(*job);
+    return result;
+  }
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->cv.wait(lock, [&job] { return job->primary_done; });
+  Result<RowSet> result = std::move(job->primary_result);
+  lock.unlock();
+  FoldJobCounters(*job);
+  return result;
 }
 
 Result<RowSet> Executor::ExecSourceQuery(const PlanNode& plan) {
   // Dedup key of one SP(C, A, R): interned condition id + projection bits.
   const SubQueryKey key(*plan.condition(), plan.attrs());
-  std::shared_ptr<Fetch> fetch;
-  bool owner = false;
-  {
-    std::lock_guard<std::mutex> lock(fetch_mu_);
-    auto [it, inserted] = fetches_.try_emplace(key);
-    if (inserted) it->second = std::make_shared<Fetch>();
-    fetch = it->second;
-    owner = inserted;
-  }
-  if (owner) {
-    fetch->result = FetchWithRetry(plan, key);
-    if (fetch->result.ok()) {
-      source_queries_.fetch_add(1, std::memory_order_relaxed);
-      rows_transferred_.fetch_add(fetch->result->size(),
-                                  std::memory_order_relaxed);
-    } else {
-      failed_sub_queries_.fetch_add(1, std::memory_order_relaxed);
-      if (IsRetryable(fetch->result.status().code())) {
-        std::lock_guard<std::mutex> lock(degrade_mu_);
-        failed_keys_.push_back(key);
-      }
-      // Evict the failed entry so a later duplicate of this sub-query
-      // re-fetches instead of inheriting a transient failure. (Concurrent
-      // waiters already holding this Fetch still see the failure; arrivals
-      // after the eviction get a fresh attempt.)
+  for (;;) {
+    std::shared_ptr<Fetch> fetch;
+    bool owner = false;
+    {
       std::lock_guard<std::mutex> lock(fetch_mu_);
-      const auto it = fetches_.find(key);
-      if (it != fetches_.end() && it->second == fetch) fetches_.erase(it);
+      auto [it, inserted] = fetches_.try_emplace(key);
+      if (inserted) it->second = std::make_shared<Fetch>();
+      fetch = it->second;
+      owner = inserted;
     }
-    fetch->ready_promise.set_value();
-  } else {
+    if (owner) {
+      fetch->result = FetchResolving(plan, key);
+      if (fetch->result.ok()) {
+        source_queries_.fetch_add(1, std::memory_order_relaxed);
+        rows_transferred_.fetch_add(fetch->result->size(),
+                                    std::memory_order_relaxed);
+      } else {
+        failed_sub_queries_.fetch_add(1, std::memory_order_relaxed);
+        if (IsRetryable(fetch->result.status().code())) {
+          std::lock_guard<std::mutex> lock(degrade_mu_);
+          failed_keys_.push_back(key);
+        }
+        // Evict the failed entry so a later duplicate of this sub-query
+        // re-fetches instead of inheriting a transient failure. The evict
+        // happens *before* ready fires, so every waiter that observes the
+        // failure below is guaranteed to find the entry gone (or replaced
+        // by a fresh fetch) when it loops around.
+        std::lock_guard<std::mutex> lock(fetch_mu_);
+        const auto it = fetches_.find(key);
+        if (it != fetches_.end() && it->second == fetch) fetches_.erase(it);
+      }
+      fetch->ready_promise.set_value();
+      return fetch->result;
+    }
     fetch->ready.wait();
+    if (fetch->result.ok() || !IsRetryable(fetch->result.status().code())) {
+      return fetch->result;
+    }
+    // The owner failed retryably and evicted this entry: loop and re-enter
+    // the dedup race instead of inheriting the doomed result. This duplicate
+    // either becomes the new owner (and re-fetches) or joins a newer
+    // in-flight fetch. Terminates: each iteration joins a fetch created by
+    // some thread that itself returns after completing it, so generations
+    // are bounded by the number of threads racing this key.
   }
-  return fetch->result;
 }
 
 Result<RowSet> Executor::ExecSetOp(const PlanNode& plan) {

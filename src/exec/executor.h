@@ -2,6 +2,7 @@
 #define GENCOMPACT_EXEC_EXECUTOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "exec/circuit_breaker.h"
+#include "exec/latency_tracker.h"
 #include "exec/retry_policy.h"
 #include "exec/source.h"
 #include "plan/plan.h"
@@ -36,6 +38,11 @@ struct ExecStats {
   uint64_t breaker_rejections = 0;   ///< attempts refused by an open breaker
   uint64_t deadlines_exceeded = 0;   ///< sub-queries that blew their deadline
   uint64_t dropped_branches = 0;     ///< ∨-branches degraded away (partial answer)
+
+  // Hedged-request counters (zero unless ExecOptions::hedge fires).
+  uint64_t hedges_launched = 0;   ///< backup attempts raced past the digest quantile
+  uint64_t hedges_won = 0;        ///< hedges whose success was adopted as the answer
+  uint64_t hedges_cancelled = 0;  ///< primaries cancelled before ever starting
 
   /// Equation-1 cost with the actual row counts.
   double TrueCost(double k1, double k2) const {
@@ -62,6 +69,16 @@ struct ExecOptions {
   /// the plan, and recorded in dropped_sub_queries(). ∧/∩ branches and
   /// non-retryable errors still fail the plan.
   bool degrade_unions = false;
+
+  /// Per-source latency digest shared across executions (owned by the
+  /// catalog entry / caller); may be null. When set, the duration of every
+  /// successful source call is recorded — hedging and the breaker-aware
+  /// cost penalty read it.
+  LatencyTracker* latency = nullptr;
+
+  /// Hedged requests (see HedgePolicy in latency_tracker.h). Only effective
+  /// with a `latency` digest and a ThreadPool.
+  HedgePolicy hedge;
 };
 
 /// Executes resolved plans against one source, performing the mediator
@@ -80,9 +97,14 @@ struct ExecOptions {
 /// With ExecOptions, source fetches additionally run under the configured
 /// retry/backoff/deadline discipline and per-source circuit breaker, and
 /// Union children may degrade instead of failing (see ExecOptions). A fetch
-/// that ultimately fails is *evicted* from the dedup map, so a later
-/// duplicate of the same sub-query within this execution re-fetches instead
-/// of inheriting the transient failure.
+/// that ultimately fails is *evicted* from the dedup map, and duplicates
+/// that joined the doomed fetch observe the eviction and re-fetch, so a
+/// transient failure is never inherited within one execution.
+///
+/// With ExecOptions::hedge enabled, a fetch that outlives the source's
+/// digest-estimated tail latency is raced against a second attempt; the
+/// first success wins and the loser is cancelled (if still queued) or
+/// discarded (if running) without ever touching the dedup map.
 class Executor {
  public:
   /// `source` must outlive the executor; `pool` may be null (sequential).
@@ -115,6 +137,11 @@ class Executor {
         deadlines_exceeded_.load(std::memory_order_relaxed);
     snapshot.dropped_branches =
         dropped_branches_.load(std::memory_order_relaxed);
+    snapshot.hedges_launched =
+        hedges_launched_.load(std::memory_order_relaxed);
+    snapshot.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+    snapshot.hedges_cancelled =
+        hedges_cancelled_.load(std::memory_order_relaxed);
     return snapshot;
   }
   void ResetStats() {
@@ -125,6 +152,9 @@ class Executor {
     breaker_rejections_.store(0, std::memory_order_relaxed);
     deadlines_exceeded_.store(0, std::memory_order_relaxed);
     dropped_branches_.store(0, std::memory_order_relaxed);
+    hedges_launched_.store(0, std::memory_order_relaxed);
+    hedges_won_.store(0, std::memory_order_relaxed);
+    hedges_cancelled_.store(0, std::memory_order_relaxed);
   }
 
   /// Human-readable descriptions of the ∨-branches dropped by the last
@@ -151,23 +181,76 @@ class Executor {
     Result<RowSet> result = Status::Internal("fetch not completed");
   };
 
+  /// Everything one physical fetch needs, self-contained by design: a
+  /// hedged primary runs as a pool task that can outlive the Execute() call
+  /// and the Executor itself (a winner does not wait for a running loser),
+  /// so the job owns its inputs (ConditionPtr pin, AttributeSet copy,
+  /// shared budget) and points at catalog-lifetime collaborators only.
+  /// Counters accumulate here and are folded into the executor's stats by
+  /// the thread that owns the race; a running loser's late increments after
+  /// the fold are dropped, never corrupted.
+  struct FetchJob {
+    Source* source = nullptr;
+    CircuitBreaker* breaker = nullptr;
+    Clock* clock = nullptr;
+    LatencyTracker* latency = nullptr;
+    RetryPolicy retry;
+    std::shared_ptr<std::atomic<size_t>> budget;
+    ConditionPtr condition;
+    AttributeSet attrs;
+    SubQueryKey key;
+
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> breaker_rejections{0};
+    std::atomic<uint64_t> deadlines_exceeded{0};
+
+    // Hedge race state (untouched by the inline non-hedged path).
+    std::mutex mu;
+    std::condition_variable cv;
+    bool primary_done = false;
+    Result<RowSet> primary_result = Status::Internal("primary not completed");
+    /// 0 = unclaimed, 1 = claimed by the race owner (cancelled, or run
+    /// inline for guaranteed progress), 2 = claimed by the pool task. The
+    /// claim makes "cancel a queued loser" a single CAS.
+    std::atomic<int> primary_claim{0};
+    /// Set by the owner when the hedge already won: a still-running loser
+    /// stops retrying instead of burning budget on an abandoned fetch.
+    std::atomic<bool> abandoned{false};
+  };
+
   Result<RowSet> Exec(const PlanNode& plan);
   Result<RowSet> ExecSourceQuery(const PlanNode& plan);
   Result<RowSet> ExecSetOp(const PlanNode& plan);
 
-  /// The retry/breaker/deadline loop around one physical source fetch.
-  Result<RowSet> FetchWithRetry(const PlanNode& plan, const SubQueryKey& key);
+  /// One logical fetch: the plain retry loop, or the hedged race when the
+  /// policy arms (digest warm, pool available).
+  Result<RowSet> FetchResolving(const PlanNode& plan, const SubQueryKey& key);
+  Result<RowSet> FetchHedged(const std::shared_ptr<FetchJob>& job,
+                             std::chrono::microseconds delay);
 
-  bool TryConsumeRetryToken() {
-    size_t left = retry_budget_left_.load(std::memory_order_relaxed);
+  void InitJob(FetchJob* job, const PlanNode& plan,
+               const SubQueryKey& key) const;
+  void FoldJobCounters(const FetchJob& job);
+
+  /// The retry/breaker/deadline loop around one physical source fetch.
+  /// Static: runs identically on the owner thread and on a detached task.
+  static Result<RowSet> RunRetryLoop(FetchJob* job);
+
+  /// One breaker-gated speculative call — a hedge is a bet that a second
+  /// sample beats the primary's tail, not a second retry discipline.
+  static Result<RowSet> RunHedgeAttempt(FetchJob* job);
+
+  static bool TryConsumeToken(std::atomic<size_t>* budget) {
+    size_t left = budget->load(std::memory_order_relaxed);
     while (left > 0) {
-      if (retry_budget_left_.compare_exchange_weak(
-              left, left - 1, std::memory_order_relaxed)) {
+      if (budget->compare_exchange_weak(left, left - 1,
+                                        std::memory_order_relaxed)) {
         return true;
       }
     }
     return false;
   }
+  bool TryConsumeRetryToken() { return TryConsumeToken(budget_.get()); }
 
   Source* source_;
   ThreadPool* pool_;
@@ -180,7 +263,13 @@ class Executor {
   std::atomic<uint64_t> breaker_rejections_{0};
   std::atomic<uint64_t> deadlines_exceeded_{0};
   std::atomic<uint64_t> dropped_branches_{0};
-  std::atomic<size_t> retry_budget_left_{0};
+  std::atomic<uint64_t> hedges_launched_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> hedges_cancelled_{0};
+  // Heap-shared so a detached hedge loser can keep drawing (and failing to
+  // draw) tokens safely even if the Executor is gone; reset per execution.
+  std::shared_ptr<std::atomic<size_t>> budget_ =
+      std::make_shared<std::atomic<size_t>>(0);
   std::mutex fetch_mu_;  // guards fetches_ (map structure only)
   // Keyed by the POD (condition id, projection bits) pair: dedup on the
   // execution hot path costs two field loads, not a string concatenation.

@@ -1,0 +1,148 @@
+#include "exec/latency_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gencompact {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  desired_ = {1, 1 + 2 * quantile, 1 + 4 * quantile, 3 + 2 * quantile, 5};
+  increments_ = {0, quantile / 2, quantile, (1 + quantile) / 2, 1};
+}
+
+double P2Quantile::ParabolicAdjust(int i, double d) const {
+  // The piecewise-parabolic (P²) height update: fit a parabola through the
+  // marker and its neighbours, move the height to where the parabola says
+  // the quantile lands after shifting the position by d (±1).
+  const double n_prev = positions_[i - 1];
+  const double n = positions_[i];
+  const double n_next = positions_[i + 1];
+  const double q_prev = heights_[i - 1];
+  const double q = heights_[i];
+  const double q_next = heights_[i + 1];
+  return q + d / (n_next - n_prev) *
+                 ((n - n_prev + d) * (q_next - q) / (n_next - n) +
+                  (n_next - n - d) * (q - q_prev) / (n - n_prev));
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+  ++count_;
+
+  // 1. Find the cell k containing x; stretch the extreme markers if needed.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  // 2. Shift the positions of the markers above the cell, and everyone's
+  //    desired position.
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // 3. Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    if ((gap >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (gap <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double d = gap >= 1 ? 1 : -1;
+      double candidate = ParabolicAdjust(i, d);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        // Parabola left the bracket: fall back to linear interpolation
+        // toward the neighbour in the move direction.
+        const int j = i + static_cast<int>(d);
+        heights_[i] += d * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0;
+  if (count_ < 5) {
+    // Exact small-sample order statistic over the (unsorted) buffer.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const auto index = static_cast<size_t>(
+        quantile_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(index, static_cast<size_t>(count_ - 1))];
+  }
+  return heights_[2];
+}
+
+LatencyTracker::LatencyTracker(std::vector<double> quantiles) {
+  estimators_.reserve(quantiles.size());
+  for (const double q : quantiles) estimators_.emplace_back(q);
+}
+
+void LatencyTracker::Record(std::chrono::microseconds duration) {
+  const double us = static_cast<double>(duration.count());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_us_ = us;
+    max_us_ = us;
+  } else {
+    min_us_ = std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+  }
+  ++count_;
+  sum_us_ += us;
+  for (P2Quantile& estimator : estimators_) estimator.Add(us);
+}
+
+std::chrono::microseconds LatencyTracker::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const P2Quantile* best = nullptr;
+  for (const P2Quantile& estimator : estimators_) {
+    if (best == nullptr ||
+        std::abs(estimator.quantile() - q) < std::abs(best->quantile() - q)) {
+      best = &estimator;
+    }
+  }
+  if (best == nullptr) return std::chrono::microseconds{0};
+  return std::chrono::microseconds(static_cast<int64_t>(best->Value() + 0.5));
+}
+
+uint64_t LatencyTracker::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+LatencyTracker::Snapshot LatencyTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  if (count_ == 0) return snap;
+  const auto us = [](double v) {
+    return std::chrono::microseconds(static_cast<int64_t>(v + 0.5));
+  };
+  snap.mean = us(sum_us_ / static_cast<double>(count_));
+  snap.min = us(min_us_);
+  snap.max = us(max_us_);
+  for (const P2Quantile& estimator : estimators_) {
+    if (estimator.quantile() == 0.5) snap.p50 = us(estimator.Value());
+    if (estimator.quantile() == 0.99) snap.p99 = us(estimator.Value());
+  }
+  return snap;
+}
+
+}  // namespace gencompact

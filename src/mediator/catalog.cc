@@ -10,6 +10,31 @@ CatalogEntry::CatalogEntry(SourceDescription description,
       source_(table_.get(), &handle_.description()),
       source_id_(source_id) {}
 
+double CatalogEntry::RefreshCostPenalty() {
+  if (!penalty_enabled_) return 1.0;
+  double multiplier = 1.0;
+  if (breaker_ != nullptr) {
+    switch (breaker_->EffectiveState()) {
+      case CircuitBreaker::State::kOpen:
+        multiplier *= penalty_options_.open_multiplier;
+        break;
+      case CircuitBreaker::State::kHalfOpen:
+        multiplier *= penalty_options_.half_open_multiplier;
+        break;
+      case CircuitBreaker::State::kClosed:
+        break;
+    }
+  }
+  if (latency_ != nullptr && penalty_options_.slow_multiplier > 1.0 &&
+      penalty_options_.slow_latency_threshold.count() > 0 &&
+      latency_->count() >= penalty_options_.min_latency_samples &&
+      latency_->Quantile(0.99) > penalty_options_.slow_latency_threshold) {
+    multiplier *= penalty_options_.slow_multiplier;
+  }
+  penalty_.set_multiplier(multiplier);
+  return multiplier;
+}
+
 Status Catalog::Register(SourceDescription description,
                          std::unique_ptr<Table> table,
                          bool apply_commutativity_closure) {
@@ -22,6 +47,33 @@ Status Catalog::Register(SourceDescription description,
                              std::move(description), std::move(table),
                              next_source_id_++, apply_commutativity_closure));
   return Status::OK();
+}
+
+namespace {
+
+bool SchemasEqual(const Schema& a, const Schema& b) {
+  if (a.num_attributes() != b.num_attributes()) return false;
+  for (size_t i = 0; i < a.num_attributes(); ++i) {
+    const AttributeDef& da = a.attribute(static_cast<int>(i));
+    const AttributeDef& db = b.attribute(static_cast<int>(i));
+    if (da.name != db.name || da.type != db.type) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<CatalogEntry*> Catalog::SchemaCompatibleAlternates(
+    const CatalogEntry& entry) const {
+  std::vector<CatalogEntry*> alternates;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, candidate] : entries_) {
+    if (candidate.get() == &entry) continue;
+    if (SchemasEqual(candidate->schema(), entry.schema())) {
+      alternates.push_back(candidate.get());
+    }
+  }
+  return alternates;
 }
 
 Result<CatalogEntry*> Catalog::Find(const std::string& name) {

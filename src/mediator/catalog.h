@@ -7,8 +7,11 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
+#include "cost/cost_model.h"
 #include "exec/circuit_breaker.h"
+#include "exec/latency_tracker.h"
 #include "exec/source.h"
 #include "planner/source_handle.h"
 
@@ -43,11 +46,46 @@ class CatalogEntry {
   CircuitBreaker* breaker() { return breaker_.get(); }
   const CircuitBreaker* breaker() const { return breaker_.get(); }
 
+  /// Attaches the per-source latency digest, fed by every execution against
+  /// this source (successful call durations) and read by hedging, the cost
+  /// penalty, and the stats snapshot. Call during registration.
+  void EnableLatencyTracking() {
+    latency_ = std::make_unique<LatencyTracker>();
+  }
+
+  /// The shared digest, or null when latency tracking is not configured.
+  LatencyTracker* latency_tracker() { return latency_.get(); }
+  const LatencyTracker* latency_tracker() const { return latency_.get(); }
+
+  /// Arms the breaker-aware cost penalty: wires this entry's HealthPenalty
+  /// into its cost model and remembers how health maps to a multiplier.
+  /// Call during registration.
+  void EnableCostPenalty(const CostPenaltyOptions& options) {
+    penalty_options_ = options;
+    penalty_enabled_ = true;
+    handle_.mutable_cost_model()->set_health_penalty(&penalty_);
+  }
+
+  /// Recomputes the k1 multiplier from the breaker's effective state and
+  /// the latency digest's tail; returns the multiplier now in force (1 when
+  /// healthy or when the penalty is not enabled). The mediator calls this
+  /// once per query before planning — costs seen by the planner reflect
+  /// health at planning time, and a multiplier > 1 tells the mediator to
+  /// keep the resulting plan out of the cache.
+  double RefreshCostPenalty();
+
+  bool cost_penalty_enabled() const { return penalty_enabled_; }
+  double cost_penalty_multiplier() const { return penalty_.multiplier(); }
+
  private:
   std::unique_ptr<Table> table_;
   SourceHandle handle_;
   Source source_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  std::unique_ptr<LatencyTracker> latency_;
+  HealthPenalty penalty_;
+  CostPenaltyOptions penalty_options_;
+  bool penalty_enabled_ = false;
   uint32_t source_id_;
 };
 
@@ -78,6 +116,12 @@ class Catalog {
     std::shared_lock<std::shared_mutex> lock(mu_);
     for (const auto& [name, entry] : entries_) fn(entry.get());
   }
+
+  /// Sources other than `entry` exporting an identical schema (attribute
+  /// names and types, in order) — replica candidates for cross-source
+  /// failover. Name order; entry pointers are stable.
+  std::vector<CatalogEntry*> SchemaCompatibleAlternates(
+      const CatalogEntry& entry) const;
 
  private:
   mutable std::shared_mutex mu_;

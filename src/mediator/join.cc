@@ -262,6 +262,74 @@ ConditionPtr BindBatchCondition(const ConditionPtr& right_cond,
   return ConditionNode::And(std::move(conjuncts));
 }
 
+/// Folds one executor pass into the running right-side totals — failover can
+/// run the right side more than once, and every attempt's work is real cost.
+void AccumulateExecStats(ExecStats* into, const ExecStats& from) {
+  into->source_queries += from.source_queries;
+  into->rows_transferred += from.rows_transferred;
+  into->retries += from.retries;
+  into->failed_sub_queries += from.failed_sub_queries;
+  into->breaker_rejections += from.breaker_rejections;
+  into->deadlines_exceeded += from.deadlines_exceeded;
+  into->dropped_branches += from.dropped_branches;
+  into->hedges_launched += from.hedges_launched;
+  into->hedges_won += from.hedges_won;
+  into->hedges_cancelled += from.hedges_cancelled;
+}
+
+/// Runs the join's right side against `entry`. `right_plan` is the
+/// pre-planned independent plan for the primary; pass nullptr for a failover
+/// alternate — its capabilities may differ from the primary's, so the side
+/// is re-planned here against the alternate's own description. (Bind-join
+/// batches are always planned per entry anyway.) Executor counters are
+/// accumulated into `stats->right`.
+Result<RowSet> RunRightSide(CatalogEntry* entry, JoinMethod method,
+                            PlanPtr right_plan, const ConditionPtr& right_cond,
+                            const SideNeeds& right_needs,
+                            const RowSet& left_rows, int left_key,
+                            size_t bind_batch_size, JoinExecStats* stats) {
+  Executor exec(entry->source());
+  Result<RowSet> rows = [&]() -> Result<RowSet> {
+    if (method == JoinMethod::kIndependent) {
+      if (right_plan == nullptr) {
+        GC_ASSIGN_OR_RETURN(right_plan,
+                            PlanSide(entry, right_cond, right_needs.attrs));
+      }
+      return exec.Execute(*right_plan);
+    }
+    // Bind-join: collect distinct left values of the first join key, then
+    // one batched value-list query per chunk.
+    const int left_slot = left_rows.layout().SlotOf(left_key);
+    std::vector<Value> distinct;
+    {
+      std::unordered_set<Value, ValueHash> seen;
+      for (const Row& row : left_rows.rows()) {
+        const Value& v = row.value(static_cast<size_t>(left_slot));
+        if (v.is_null()) continue;
+        if (seen.insert(v).second) distinct.push_back(v);
+      }
+    }
+    const std::string& key_attr =
+        entry->schema().attribute(right_needs.key_indices[0]).name;
+    RowSet acc(RowLayout(right_needs.attrs, entry->schema().num_attributes()));
+    for (size_t start = 0; start < distinct.size(); start += bind_batch_size) {
+      const size_t end = std::min(distinct.size(), start + bind_batch_size);
+      const std::vector<Value> batch(distinct.begin() + start,
+                                     distinct.begin() + end);
+      const ConditionPtr batch_cond =
+          BindBatchCondition(right_cond, key_attr, batch);
+      GC_ASSIGN_OR_RETURN(PlanPtr batch_plan,
+                          PlanSide(entry, batch_cond, right_needs.attrs));
+      GC_ASSIGN_OR_RETURN(RowSet batch_rows, exec.Execute(*batch_plan));
+      acc = RowSet::UnionOf(acc, batch_rows);
+      ++stats->bind_batches;
+    }
+    return acc;
+  }();
+  AccumulateExecStats(&stats->right, exec.stats());
+  return rows;
+}
+
 }  // namespace
 
 Result<JoinPlanOutcome> JoinProcessor::Plan(const JoinQuery& query) {
@@ -404,44 +472,39 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
                       left_exec.Execute(*outcome.left_plan));
   stats_.left = left_exec.stats();
 
-  // Right side.
-  RowSet right_rows;
-  Executor right_exec(right_->source());
-  if (outcome.method == JoinMethod::kIndependent) {
-    GC_ASSIGN_OR_RETURN(right_rows, right_exec.Execute(*outcome.right_plan));
-  } else {
-    // Collect distinct left values of the first join key.
-    const int left_key = left_needs.key_indices[0];
-    const int left_slot = left_rows.layout().SlotOf(left_key);
-    std::vector<Value> distinct;
-    {
-      std::unordered_set<Value, ValueHash> seen;
-      for (const Row& row : left_rows.rows()) {
-        const Value& v = row.value(static_cast<size_t>(left_slot));
-        if (v.is_null()) continue;
-        if (seen.insert(v).second) distinct.push_back(v);
+  // Right side: the primary entry first; on a *retryable* failure, each
+  // schema-compatible alternate in turn (cross-source failover). Alternates
+  // whose breaker is effectively open are skipped — they would only burn the
+  // attempt. Non-retryable failures (infeasible plan, bad query) propagate
+  // immediately: no replica can fix those.
+  stats_.right_source_used = right_->name();
+  Result<RowSet> right_result = RunRightSide(
+      right_, outcome.method, outcome.right_plan, split.right, right_needs,
+      left_rows, left_needs.key_indices[0], options_.bind_batch_size, &stats_);
+  if (!right_result.ok() && IsRetryable(right_result.status().code())) {
+    for (CatalogEntry* alternate : options_.right_alternates) {
+      if (alternate == right_) continue;
+      if (alternate->breaker() != nullptr &&
+          alternate->breaker()->EffectiveState() ==
+              CircuitBreaker::State::kOpen) {
+        continue;
       }
-    }
-    const std::string& key_attr =
-        right_->schema().attribute(right_needs.key_indices[0]).name;
-    right_rows =
-        RowSet(RowLayout(right_needs.attrs, right_->schema().num_attributes()));
-    for (size_t start = 0; start < distinct.size();
-         start += options_.bind_batch_size) {
-      const size_t end =
-          std::min(distinct.size(), start + options_.bind_batch_size);
-      const std::vector<Value> batch(distinct.begin() + start,
-                                     distinct.begin() + end);
-      const ConditionPtr batch_cond =
-          BindBatchCondition(split.right, key_attr, batch);
-      GC_ASSIGN_OR_RETURN(PlanPtr batch_plan,
-                          PlanSide(right_, batch_cond, right_needs.attrs));
-      GC_ASSIGN_OR_RETURN(RowSet batch_rows, right_exec.Execute(*batch_plan));
-      right_rows = RowSet::UnionOf(right_rows, batch_rows);
-      ++stats_.bind_batches;
+      ++stats_.right_failovers;
+      Result<RowSet> attempt = RunRightSide(
+          alternate, outcome.method, /*right_plan=*/nullptr, split.right,
+          right_needs, left_rows, left_needs.key_indices[0],
+          options_.bind_batch_size, &stats_);
+      if (attempt.ok()) {
+        stats_.right_source_used = alternate->name();
+        right_result = std::move(attempt);
+        break;
+      }
+      // Alternate failed too (or can't support the shape): keep trying the
+      // rest; the primary's error is what we report if all fail.
     }
   }
-  stats_.right = right_exec.stats();
+  if (!right_result.ok()) return right_result.status();
+  const RowSet right_rows = std::move(right_result).value();
 
   // Mediator hash join on all key pairs.
   const auto key_tuple = [](const Row& row, const RowLayout& layout,

@@ -61,9 +61,14 @@ struct JoinPlanOutcome {
 
 struct JoinExecStats {
   ExecStats left;
-  ExecStats right;
+  ExecStats right;  ///< accumulated over every right-side attempt (failover)
   size_t bind_batches = 0;
   size_t joined_rows = 0;
+  /// Alternate sources tried after the primary right side failed retryably.
+  size_t right_failovers = 0;
+  /// The source that actually answered the right side (the primary unless a
+  /// failover succeeded).
+  std::string right_source_used;
 };
 
 /// Options for JoinProcessor.
@@ -75,6 +80,12 @@ struct JoinOptions {
   bool enable_bind = true;
   /// Force a method instead of costing both (for tests/benchmarks).
   std::optional<JoinMethod> force_method;
+  /// Replica candidates for the right (non-driving) side: when its fetches
+  /// fail retryably, the join re-plans and re-runs that side against each
+  /// alternate in turn (skipping open-circuit ones). The mediator populates
+  /// this with schema-compatible catalog entries when join failover is
+  /// enabled; empty (the default) = no failover.
+  std::vector<CatalogEntry*> right_alternates;
 };
 
 /// Plans and executes two-source joins against catalog entries.

@@ -1,5 +1,6 @@
 #include "mediator/mediator.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "expr/simplify.h"
@@ -13,9 +14,19 @@ Status Mediator::RegisterSource(SourceDescription description,
   const std::string name = description.source_name();
   GC_RETURN_IF_ERROR(
       catalog_.Register(std::move(description), std::move(table)));
-  if (options_.enable_circuit_breaker) {
+  const bool wants_latency = options_.hedge.enabled || options_.track_latency ||
+                             (options_.breaker_aware_costs &&
+                              options_.cost_penalty.slow_multiplier > 1.0);
+  if (options_.enable_circuit_breaker || wants_latency ||
+      options_.breaker_aware_costs) {
     GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(name));
-    entry->EnableCircuitBreaker(options_.breaker, options_.clock);
+    if (options_.enable_circuit_breaker) {
+      entry->EnableCircuitBreaker(options_.breaker, options_.clock);
+    }
+    if (wants_latency) entry->EnableLatencyTracking();
+    if (options_.breaker_aware_costs) {
+      entry->EnableCostPenalty(options_.cost_penalty);
+    }
   }
   return Status::OK();
 }
@@ -50,11 +61,20 @@ Result<Mediator::Prepared> Mediator::Prepare(const std::string& sql) {
 
 Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
                                        Strategy strategy) {
+  // Breaker-aware planning: refresh the source's k1 penalty multiplier so
+  // the costs the planner is about to compare reflect health right now. A
+  // penalized source (multiplier > 1) bypasses the plan cache in BOTH
+  // directions — a cached healthy plan must not short-circuit the penalty,
+  // and a penalty-shaped plan must never be served once the source heals.
+  const bool cacheable = !options_.breaker_aware_costs ||
+                         prepared.entry->RefreshCostPenalty() <= 1.0;
   const PlanCacheKey cache_key =
       PlanCache::MakeKey(prepared.entry->source_id(), strategy,
                          *prepared.condition, prepared.attrs);
-  if (const std::optional<PlanPtr> cached = plan_cache_.Lookup(cache_key)) {
-    return *cached;
+  if (cacheable) {
+    if (const std::optional<PlanPtr> cached = plan_cache_.Lookup(cache_key)) {
+      return *cached;
+    }
   }
   // No per-source planning lock: the Checker memoizes behind its own
   // shared-lock cache (keyed by interned ConditionId) and serializes only
@@ -76,7 +96,7 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
   // The pinned condition keeps this entry's key re-internable: as long as
   // the plan is cached, the same query text hash-conses back to the same
   // ConditionId and hits.
-  plan_cache_.Insert(cache_key, plan, prepared.condition);
+  if (cacheable) plan_cache_.Insert(cache_key, plan, prepared.condition);
   return plan;
 }
 
@@ -88,6 +108,8 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
   exec_options.breaker = prepared.entry->breaker();
   exec_options.clock = options_.clock;
   exec_options.degrade_unions = options_.partial_results;
+  exec_options.latency = prepared.entry->latency_tracker();
+  exec_options.hedge = options_.hedge;
   Executor executor(prepared.entry->source(), pool_.get(), exec_options);
   Result<RowSet> rows = executor.Execute(plan);
 
@@ -99,6 +121,8 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
                                 std::memory_order_relaxed);
   dropped_branches_.fetch_add(stats.dropped_branches,
                               std::memory_order_relaxed);
+  hedges_launched_.fetch_add(stats.hedges_launched, std::memory_order_relaxed);
+  hedges_won_.fetch_add(stats.hedges_won, std::memory_order_relaxed);
 
   result->exec = stats;
   if (rows.ok()) {
@@ -124,6 +148,19 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
     result.rows = RowSet(RowLayout(
         prepared.attrs, prepared.entry->schema().num_attributes()));
     return result;
+  }
+  // Load shedding: the only source that can answer this query is
+  // open-circuit, so every sub-query would be breaker-rejected anyway.
+  // Fail fast before planning or executing anything. EffectiveState (not
+  // state()) so a breaker whose open window has expired is NOT shed — the
+  // next real query is the half-open probe that lets the source heal.
+  if (options_.load_shedding && prepared.entry->breaker() != nullptr &&
+      prepared.entry->breaker()->EffectiveState() ==
+          CircuitBreaker::State::kOpen) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("query shed: source '" +
+                               prepared.entry->name() +
+                               "' circuit breaker is open");
   }
   GC_ASSIGN_OR_RETURN(PlanPtr plan, PlanPrepared(prepared, strategy));
 
@@ -187,6 +224,12 @@ Result<Mediator::QueryResult> Mediator::QueryJoin(
   join.condition = parsed.condition;
   join.select = parsed.select_list;
 
+  // Cross-source failover: let the join's non-driving side fall over to
+  // any registered replica exporting the same schema.
+  if (options_.join_failover && options.right_alternates.empty()) {
+    options.right_alternates = catalog_.SchemaCompatibleAlternates(*right);
+  }
+
   JoinProcessor processor(left, right, options);
   GC_ASSIGN_OR_RETURN(const JoinPlanOutcome outcome, processor.Plan(join));
   GC_ASSIGN_OR_RETURN(RowSet rows, processor.Execute(join));
@@ -196,10 +239,12 @@ Result<Mediator::QueryResult> Mediator::QueryJoin(
   result.plan = outcome.left_plan;
   result.estimated_cost = outcome.estimated_cost;
   const JoinExecStats& stats = processor.stats();
+  join_failovers_.fetch_add(stats.right_failovers, std::memory_order_relaxed);
   result.exec.source_queries =
       stats.left.source_queries + stats.right.source_queries;
   result.exec.rows_transferred =
       stats.left.rows_transferred + stats.right.rows_transferred;
+  result.exec.retries = stats.left.retries + stats.right.retries;
   result.true_cost =
       stats.left.TrueCost(left->handle()->description().k1(),
                           left->handle()->description().k2()) +
@@ -279,6 +324,8 @@ Mediator::Stats Mediator::StatsSnapshot() const {
   stats.plan_cache.hit_rate = plan_cache_.hit_rate();
   stats.plan_cache.size = plan_cache_.size();
   stats.plan_cache.shards = plan_cache_.num_shards();
+  stats.plan_cache.contended = plan_cache_.contended();
+  stats.plan_cache.per_shard = plan_cache_.PerShardStats();
 
   catalog_.ForEach([&stats](CatalogEntry* entry) {
     Stats::PerSource per;
@@ -295,6 +342,12 @@ Mediator::Stats Mediator::StatsSnapshot() const {
       per.breaker_state = breaker->state();
       per.breaker = breaker->stats();
     }
+    if (const LatencyTracker* latency = entry->latency_tracker()) {
+      per.has_latency = true;
+      per.latency = latency->snapshot();
+    }
+    per.cost_penalty =
+        entry->cost_penalty_enabled() ? entry->cost_penalty_multiplier() : 1.0;
     stats.sources.push_back(std::move(per));
   });
 
@@ -313,7 +366,71 @@ Mediator::Stats Mediator::StatsSnapshot() const {
       deadlines_exceeded_.load(std::memory_order_relaxed);
   stats.fault_tolerance.dropped_branches =
       dropped_branches_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.queries_shed =
+      queries_shed_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.hedges_launched =
+      hedges_launched_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.hedges_won =
+      hedges_won_.load(std::memory_order_relaxed);
+  stats.fault_tolerance.join_failovers =
+      join_failovers_.load(std::memory_order_relaxed);
+  stats.captured_at = options_.clock->Now();
   return stats;
+}
+
+Mediator::Stats::Rates Mediator::Stats::DiffSince(const Stats& earlier) const {
+  Rates rates;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          captured_at - earlier.captured_at)
+          .count();
+  if (seconds <= 0.0) return rates;  // zero/backwards interval: all-zero rates
+  rates.interval_seconds = seconds;
+
+  const auto delta = [](uint64_t now, uint64_t then) -> double {
+    return now >= then ? static_cast<double>(now - then) : 0.0;
+  };
+  const double ok = delta(fault_tolerance.queries_ok,
+                          earlier.fault_tolerance.queries_ok);
+  const double failed = delta(fault_tolerance.queries_failed,
+                              earlier.fault_tolerance.queries_failed);
+  const double shed = delta(fault_tolerance.queries_shed,
+                            earlier.fault_tolerance.queries_shed);
+  const double completed = ok + failed + shed;
+  rates.qps = completed / seconds;
+  if (completed > 0.0) {
+    rates.success_rate = ok / completed;
+    rates.shed_rate = shed / completed;
+    rates.hedge_rate = delta(fault_tolerance.hedges_launched,
+                             earlier.fault_tolerance.hedges_launched) /
+                       completed;
+    rates.retry_rate =
+        delta(fault_tolerance.retries, earlier.fault_tolerance.retries) /
+        completed;
+  }
+  const double hits =
+      delta(plan_cache.hits, earlier.plan_cache.hits);
+  const double lookups =
+      hits + delta(plan_cache.misses, earlier.plan_cache.misses);
+  if (lookups > 0.0) rates.cache_hit_rate = hits / lookups;
+  return rates;
+}
+
+std::string Mediator::Stats::Rates::ToString() const {
+  char line[256];
+  std::string out;
+  const auto append = [&out, &line](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  append("rates.interval_seconds   %.3f\n", interval_seconds);
+  append("rates.qps                %.1f\n", qps);
+  append("rates.success_rate       %.4f\n", success_rate);
+  append("rates.hedge_rate         %.4f\n", hedge_rate);
+  append("rates.shed_rate          %.4f\n", shed_rate);
+  append("rates.retry_rate         %.4f\n", retry_rate);
+  append("rates.cache_hit_rate     %.4f\n", cache_hit_rate);
+  return out;
 }
 
 std::string Mediator::Stats::ToString() const {
@@ -332,6 +449,7 @@ std::string Mediator::Stats::ToString() const {
   append("plan_cache.hit_rate      %.4f\n", plan_cache.hit_rate);
   append("plan_cache.size          %zu\n", plan_cache.size);
   append("plan_cache.shards        %zu\n", plan_cache.shards);
+  append("plan_cache.contended     %zu\n", plan_cache.contended);
   append("queries.ok               %llu\n",
          (unsigned long long)fault_tolerance.queries_ok);
   append("queries.failed           %llu\n",
@@ -348,6 +466,14 @@ std::string Mediator::Stats::ToString() const {
          (unsigned long long)fault_tolerance.deadlines_exceeded);
   append("branches.dropped         %llu\n",
          (unsigned long long)fault_tolerance.dropped_branches);
+  append("queries.shed             %llu\n",
+         (unsigned long long)fault_tolerance.queries_shed);
+  append("hedges.launched          %llu\n",
+         (unsigned long long)fault_tolerance.hedges_launched);
+  append("hedges.won               %llu\n",
+         (unsigned long long)fault_tolerance.hedges_won);
+  append("join.failovers           %llu\n",
+         (unsigned long long)fault_tolerance.join_failovers);
   for (const PerSource& s : sources) {
     const char* prefix = s.name.c_str();
     append("source[%s].received      %zu\n", prefix, s.source.queries_received);
@@ -371,6 +497,16 @@ std::string Mediator::Stats::ToString() const {
       append("source[%s].breaker       %s (opened %llu, rejected %llu)\n",
              prefix, state, (unsigned long long)s.breaker.opened,
              (unsigned long long)s.breaker.rejected);
+    }
+    if (s.has_latency && s.latency.count > 0) {
+      append("source[%s].latency       n=%llu mean=%lldus p50=%lldus p99=%lldus\n",
+             prefix, (unsigned long long)s.latency.count,
+             (long long)s.latency.mean.count(),
+             (long long)s.latency.p50.count(),
+             (long long)s.latency.p99.count());
+    }
+    if (s.cost_penalty != 1.0) {
+      append("source[%s].cost_penalty  %.1fx\n", prefix, s.cost_penalty);
     }
   }
   return out;

@@ -2,6 +2,7 @@
 #define GENCOMPACT_MEDIATOR_MEDIATOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,33 @@ class Mediator {
     /// Time source for backoff/breaker/deadlines; null = Clock::Real().
     /// Tests inject a FakeClock for instantaneous, deterministic schedules.
     Clock* clock = nullptr;
+
+    // ---- Latency-aware resilience (all off by default: zero-fault
+    // ---- parity with the plain mediator). ----
+
+    /// Hedged requests: when a sub-query outlives the source's tracked
+    /// latency quantile, race one backup attempt and adopt the first
+    /// success (see HedgePolicy). Enabling this also enables per-source
+    /// latency tracking for sources registered afterwards.
+    HedgePolicy hedge;
+    /// Feed each source's streaming latency digest even when hedging is
+    /// off, so the stats snapshot carries per-source latency percentiles.
+    bool track_latency = false;
+    /// Breaker-aware planning: before each planning pass, refresh the
+    /// source's k1 cost-penalty multiplier from its breaker state and
+    /// latency tail (see CostPenaltyOptions). While the multiplier is
+    /// above 1, plans are neither looked up in nor written to the plan
+    /// cache — penalized costs never leak into the cached key space.
+    bool breaker_aware_costs = false;
+    CostPenaltyOptions cost_penalty;
+    /// Load shedding: when the query's source breaker is (effectively)
+    /// open, fail fast with kUnavailable before planning or executing
+    /// anything, instead of burning a breaker-rejected execution.
+    bool load_shedding = false;
+    /// Cross-source failover for joins: populate the join processor's
+    /// right_alternates with schema-compatible catalog entries, so the
+    /// non-driving side falls over to a replica on retryable failure.
+    bool join_failover = false;
   };
 
   explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
@@ -159,6 +187,11 @@ class Mediator {
       double hit_rate = 0.0;
       size_t size = 0;
       size_t shards = 0;
+      /// Lock acquisitions that found a shard mutex already held (summed).
+      size_t contended = 0;
+      /// Per-shard counters, index order — a single hot shard shows up
+      /// here, not in the totals above.
+      std::vector<PlanCache::ShardStats> per_shard;
     } plan_cache;
 
     struct PerSource {
@@ -170,6 +203,10 @@ class Mediator {
       bool has_breaker = false;
       CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
       CircuitBreaker::Stats breaker;
+      bool has_latency = false;  ///< latency tracking configured
+      LatencyTracker::Snapshot latency;
+      /// k1 cost-penalty multiplier in force (1 when healthy/disabled).
+      double cost_penalty = 1.0;
     };
     std::vector<PerSource> sources;
 
@@ -179,11 +216,35 @@ class Mediator {
       uint64_t queries_failed = 0;
       uint64_t queries_partial = 0;    ///< answered, but degraded
       uint64_t queries_replanned = 0;  ///< recovered via avoid-set re-plan
+      uint64_t queries_shed = 0;       ///< rejected up front (breaker open)
       uint64_t retries = 0;
       uint64_t breaker_rejections = 0;
       uint64_t deadlines_exceeded = 0;
       uint64_t dropped_branches = 0;
+      uint64_t hedges_launched = 0;
+      uint64_t hedges_won = 0;
+      uint64_t join_failovers = 0;  ///< right-side alternates attempted
     } fault_tolerance;
+
+    /// When this snapshot was taken (the mediator's injected clock), so two
+    /// snapshots diff into rates deterministically under a FakeClock.
+    std::chrono::steady_clock::time_point captured_at{};
+
+    /// Interval rates between two snapshots of the same mediator.
+    struct Rates {
+      double interval_seconds = 0.0;
+      double qps = 0.0;           ///< completed queries (ok+failed+shed) / s
+      double success_rate = 0.0;  ///< ok / completed
+      double hedge_rate = 0.0;    ///< hedges launched / completed
+      double shed_rate = 0.0;     ///< shed / (completed)
+      double retry_rate = 0.0;    ///< retries / completed
+      double cache_hit_rate = 0.0;  ///< plan-cache hits / lookups, interval
+      std::string ToString() const;
+    };
+    /// Rates over (earlier, this]; `earlier` must be an older snapshot of
+    /// the same mediator. Zero-interval or non-monotonic inputs yield zero
+    /// rates rather than dividing by zero.
+    Rates DiffSince(const Stats& earlier) const;
 
     /// Multi-line /varz-style rendering (stable keys, one per line).
     std::string ToString() const;
@@ -235,10 +296,14 @@ class Mediator {
   std::atomic<uint64_t> queries_failed_{0};
   std::atomic<uint64_t> queries_partial_{0};
   std::atomic<uint64_t> queries_replanned_{0};
+  std::atomic<uint64_t> queries_shed_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> breaker_rejections_{0};
   std::atomic<uint64_t> deadlines_exceeded_{0};
   std::atomic<uint64_t> dropped_branches_{0};
+  std::atomic<uint64_t> hedges_launched_{0};
+  std::atomic<uint64_t> hedges_won_{0};
+  std::atomic<uint64_t> join_failovers_{0};
 };
 
 }  // namespace gencompact

@@ -18,7 +18,7 @@ PlanCache::PlanCache(size_t capacity, size_t num_shards) {
 std::optional<PlanPtr> PlanCache::Lookup(const PlanCacheKey& key,
                                          bool count_stats) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     if (count_stats) ++shard.misses;
@@ -32,7 +32,7 @@ std::optional<PlanPtr> PlanCache::Lookup(const PlanCacheKey& key,
 void PlanCache::Insert(const PlanCacheKey& key, PlanPtr plan,
                        ConditionPtr pinned) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     ++shard.refreshes;
@@ -91,6 +91,31 @@ size_t PlanCache::refreshes() const {
     total += shard->refreshes;
   }
   return total;
+}
+
+size_t PlanCache::contended() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->contended;
+  }
+  return total;
+}
+
+std::vector<PlanCache::ShardStats> PlanCache::PerShardStats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardStats s;
+    s.size = shard->entries.size();
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.refreshes = shard->refreshes;
+    s.contended = shard->contended;
+    stats.push_back(s);
+  }
+  return stats;
 }
 
 double PlanCache::hit_rate() const {

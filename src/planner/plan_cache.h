@@ -103,10 +103,25 @@ class PlanCache {
   size_t hits() const;
   size_t misses() const;
   size_t refreshes() const;
+  /// Lock acquisitions (Lookup/Insert) that found a shard's mutex already
+  /// held and had to block — the direct measure of whether the shard count
+  /// matches the concurrency level. Summed over shards.
+  size_t contended() const;
   /// hits / (hits + misses); 0.0 before any lookup.
   double hit_rate() const;
   size_t num_shards() const { return shards_.size(); }
   size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+  /// Per-shard counter snapshot (index order), for the /varz-style stats
+  /// snapshot: a single hot shard shows up here, not in the totals.
+  struct ShardStats {
+    size_t size = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t refreshes = 0;
+    size_t contended = 0;
+  };
+  std::vector<ShardStats> PerShardStats() const;
 
  private:
   struct Entry {
@@ -124,10 +139,22 @@ class PlanCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t refreshes = 0;
+    size_t contended = 0;
   };
 
   Shard& ShardFor(const PlanCacheKey& key) {
     return *shards_[PlanCacheKeyHash{}(key) % shards_.size()];
+  }
+
+  /// Locks the shard, counting the acquisition as contended when the mutex
+  /// was already held (try-lock first; the slow path blocks normally).
+  static std::unique_lock<std::mutex> LockShard(Shard& shard) {
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      lock.lock();
+      ++shard.contended;  // counted under the lock, race-free
+    }
+    return lock;
   }
 
   size_t shard_capacity_;

@@ -42,6 +42,10 @@ class SourceHandle {
   Checker* checker() { return checker_.get(); }
   const CostModel& cost_model() const { return *cost_model_; }
 
+  /// Mutable access for post-construction wiring (the catalog entry
+  /// attaches its HealthPenalty here); not for changing k1/k2 mid-flight.
+  CostModel* mutable_cost_model() { return cost_model_.get(); }
+
  private:
   SourceDescription description_;
   const Table* table_;

@@ -379,5 +379,37 @@ TEST_F(ExecFixture, DuplicateFailedFetchIsEvictedAndRefetched) {
   EXPECT_EQ(source_.stats().queries_received, 3u);
 }
 
+TEST_F(ExecFixture, ConcurrentWaitersObserveEvictionAndRefetch) {
+  // Regression for the dedup eviction race: the owner of a failed fetch
+  // must evict the map entry BEFORE signalling readiness, and a waiter that
+  // observes a retryable failure must loop back and re-fetch on a fresh
+  // entry instead of inheriting the failure. Eight identical branches race
+  // on one sub-query; the scripted fault burns exactly one fetch
+  // generation, so exactly two round trips reach the source no matter how
+  // the threads interleave.
+  source_.set_fault_policy(FaultPolicy{});
+  ThreadPool pool(8);
+  ExecOptions options;
+  options.degrade_unions = true;
+  for (int round = 0; round < 5; ++round) {
+    source_.fault_injector()->FailNextN(1);
+    source_.ResetStats();
+    Executor executor(&source_, &pool, options);
+    std::vector<PlanPtr> children;
+    for (int i = 0; i < 8; ++i) {
+      children.push_back(PlanNode::SourceQuery(Parse("v < 6"), Attrs({"v"})));
+    }
+    const PlanPtr plan = PlanNode::UnionOf(std::move(children));
+    const Result<RowSet> rows = executor.Execute(*plan);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->size(), 6u);
+    EXPECT_EQ(executor.stats().dropped_branches, 1u);  // the doomed owner
+    EXPECT_EQ(executor.stats().failed_sub_queries, 1u);
+    EXPECT_EQ(executor.stats().source_queries, 1u);  // one success, shared
+    EXPECT_EQ(source_.stats().queries_received, 2u);  // fail + re-fetch
+    EXPECT_EQ(executor.failed_sub_query_keys().size(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace gencompact

@@ -4,7 +4,10 @@
 // suite is instantaneous and replays bit-identically run after run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -851,6 +854,620 @@ TEST_F(FaultAcceptanceTest, ZeroFaultSweepNeverRetriesOrFails) {
   EXPECT_EQ(calls, static_cast<uint64_t>(kQueries));
   EXPECT_EQ(breaker.stats().rejected, 0u);
   EXPECT_EQ(clock_.Now().time_since_epoch().count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// P² streaming quantiles and the per-source latency digest.
+// ---------------------------------------------------------------------------
+
+TEST(P2QuantileTest, ConstantStreamIsExactAtEveryQuantile) {
+  for (const double q : {0.5, 0.9, 0.99}) {
+    P2Quantile estimator(q);
+    for (int i = 0; i < 50; ++i) estimator.Add(1000.0);
+    EXPECT_DOUBLE_EQ(estimator.Value(), 1000.0) << "q=" << q;
+    EXPECT_EQ(estimator.count(), 50u);
+  }
+}
+
+TEST(P2QuantileTest, SmallSamplesAnswerWithExactOrderStatistics) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.Value(), 0.0);  // empty digest reads zero
+  median.Add(30.0);
+  median.Add(10.0);
+  median.Add(20.0);
+  EXPECT_DOUBLE_EQ(median.Value(), 20.0);
+
+  P2Quantile tail(0.99);
+  tail.Add(5.0);
+  tail.Add(1.0);
+  tail.Add(9.0);
+  EXPECT_DOUBLE_EQ(tail.Value(), 9.0);
+}
+
+TEST(P2QuantileTest, TracksUniformStreamWithinTolerance) {
+  // 0..10006 each exactly once, in a fixed scrambled order (7919 is coprime
+  // to 10007, so i*7919 mod 10007 is a permutation — deterministic without
+  // library randomness).
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  constexpr int kN = 10007;
+  for (int i = 0; i < kN; ++i) {
+    const double x = static_cast<double>((i * 7919) % kN);
+    p50.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_NEAR(p50.Value(), 5003.0, 0.05 * kN);
+  EXPECT_GT(p99.Value(), 9500.0);
+  EXPECT_LE(p99.Value(), static_cast<double>(kN));
+}
+
+TEST(LatencyTrackerTest, SnapshotCarriesCountMeanMinMaxAndQuantiles) {
+  LatencyTracker tracker;
+  EXPECT_EQ(tracker.Quantile(0.99), microseconds(0));
+  EXPECT_EQ(tracker.snapshot().count, 0u);
+
+  tracker.Record(microseconds(10));
+  tracker.Record(microseconds(30));
+  tracker.Record(microseconds(20));
+  const LatencyTracker::Snapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.mean, microseconds(20));
+  EXPECT_EQ(snap.min, microseconds(10));
+  EXPECT_EQ(snap.max, microseconds(30));
+  EXPECT_EQ(snap.p50, microseconds(20));  // exact below five samples
+  EXPECT_EQ(snap.p99, microseconds(30));
+}
+
+TEST(LatencyTrackerTest, QuantileAnswersFromTheNearestTrackedEstimator) {
+  // Tracked set is {0.5, 0.9, 0.95, 0.99}: 0.93 snaps to 0.95 and 0.97 to
+  // 0.95 as well — identical estimator, identical answer.
+  LatencyTracker tracker;
+  for (int i = 1; i <= 1000; ++i) tracker.Record(microseconds(i));
+  EXPECT_EQ(tracker.Quantile(0.93), tracker.Quantile(0.95));
+  EXPECT_EQ(tracker.Quantile(0.97), tracker.Quantile(0.95));
+  // And the tracked points themselves order sensibly on a uniform stream.
+  EXPECT_LT(tracker.Quantile(0.5), tracker.Quantile(0.99));
+}
+
+TEST(LatencyTrackerTest, ConcurrentRecordsStayConsistent) {
+  LatencyTracker tracker;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < 500; ++i) tracker.Record(microseconds(100));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracker.count(), 4000u);
+  const LatencyTracker::Snapshot snap = tracker.snapshot();
+  EXPECT_EQ(snap.mean, microseconds(100));
+  EXPECT_EQ(snap.min, microseconds(100));
+  EXPECT_EQ(snap.max, microseconds(100));
+  EXPECT_EQ(tracker.Quantile(0.5), microseconds(100));
+}
+
+// ---------------------------------------------------------------------------
+// Hedged requests. Determinism recipe: a one-worker pool whose only worker
+// is parked on a latch keeps the primary task queued, so the owner's wait is
+// what decides the race — and on a FakeClock, AwaitFor advances time by
+// exactly the hedge delay instead of blocking. The hedge then runs inline on
+// the owner and wins while the primary is still unstarted.
+// ---------------------------------------------------------------------------
+
+class HedgeFixture : public FaultExecFixture {
+ protected:
+  /// Seeds the digest with identical samples so every quantile reads
+  /// `value_us` exactly.
+  void WarmDigest(int64_t value_us, int samples = 50) {
+    for (int i = 0; i < samples; ++i) {
+      tracker_.Record(microseconds(value_us));
+    }
+  }
+
+  ExecOptions HedgeOptions() {
+    ExecOptions options;
+    options.clock = &clock_;
+    options.latency = &tracker_;
+    options.hedge.enabled = true;
+    options.hedge.quantile = 0.99;
+    options.hedge.min_samples = 20;
+    return options;
+  }
+
+  /// Parks the pool's only worker until ReleaseWorker(). Submitted first, so
+  /// FIFO order guarantees any later task stays queued behind it.
+  void OccupyWorker(ThreadPool* pool) {
+    gate_ = std::make_shared<std::promise<void>>();
+    std::shared_future<void> wait = gate_->get_future().share();
+    blocker_ = pool->Submit([wait] { wait.get(); });
+  }
+  void ReleaseWorker() {
+    gate_->set_value();
+    blocker_.wait();
+  }
+
+  LatencyTracker tracker_;
+  std::shared_ptr<std::promise<void>> gate_;
+  std::future<void> blocker_;
+};
+
+TEST_F(HedgeFixture, HedgeFiresExactlyAtTheDigestQuantile) {
+  WarmDigest(1000);
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  Executor executor(&source_, pool.get(), HedgeOptions());
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+
+  const auto t0 = clock_.Now();
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  // The owner waited the digest's p99 — not a tick more — then hedged.
+  EXPECT_EQ(clock_.Now() - t0, microseconds(1000));
+
+  const ExecStats stats = executor.stats();
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.hedges_cancelled, 1u);  // the primary never started
+  EXPECT_EQ(stats.source_queries, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failed_sub_queries, 0u);
+  EXPECT_EQ(tracker_.count(), 51u);  // the winner fed the digest
+
+  // Unblock the worker and drain the pool: the cancelled primary's task
+  // shell sees the claim already taken and exits without ever contacting
+  // the source.
+  ReleaseWorker();
+  pool.reset();
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+}
+
+TEST_F(HedgeFixture, HedgingStaysDisarmedBelowMinSamples) {
+  WarmDigest(1000, /*samples=*/19);  // one short of min_samples
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  Executor executor(&source_, pool.get(), HedgeOptions());
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+
+  ASSERT_TRUE(executor.Execute(*plan).ok());
+  EXPECT_EQ(executor.stats().hedges_launched, 0u);
+  // Disarmed hedging never consults the clock: no wait happened at all.
+  EXPECT_EQ(clock_.Now().time_since_epoch().count(), 0);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+
+  // The successful inline fetch was the 20th digest sample: armed now.
+  ASSERT_EQ(tracker_.count(), 20u);
+  ASSERT_TRUE(executor.Execute(*plan).ok());
+  EXPECT_EQ(executor.stats().hedges_launched, 1u);
+  EXPECT_GT(clock_.Now().time_since_epoch().count(), 0);
+
+  ReleaseWorker();
+  pool.reset();
+}
+
+TEST_F(HedgeFixture, HedgesDrawFromTheRetryTokenBudget) {
+  WarmDigest(1000);
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  ExecOptions options = HedgeOptions();
+  options.retry.retry_budget = 0;  // no tokens: hedging is priced out
+  Executor executor(&source_, pool.get(), options);
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  // The owner still waited out the hedge point, then — with no token to
+  // spend — claimed the queued primary and ran it inline.
+  EXPECT_EQ(clock_.Now().time_since_epoch(), microseconds(1000));
+  EXPECT_EQ(executor.stats().hedges_launched, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+
+  ReleaseWorker();
+  pool.reset();
+}
+
+TEST_F(HedgeFixture, HedgesAreSuppressedWhileTheBreakerIsHalfOpen) {
+  WarmDigest(1000);
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 1;
+  breaker_options.open_duration = microseconds(500);
+  breaker_options.half_open_probes = 2;
+  CircuitBreaker breaker(breaker_options, &clock_);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.OnFailure();  // trips open
+  clock_.Advance(microseconds(501));
+  ASSERT_TRUE(breaker.Allow());  // consume one probe slot: now half-open
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  ExecOptions options = HedgeOptions();
+  options.breaker = &breaker;
+  Executor executor(&source_, pool.get(), options);
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Probes must measure the source, not the race: no hedge launched, the
+  // primary ran as the second half-open probe and closed the breaker.
+  EXPECT_EQ(executor.stats().hedges_launched, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.OnSuccess();  // pair the manually consumed probe
+
+  ReleaseWorker();
+  pool.reset();
+}
+
+TEST_F(HedgeFixture, FailedHedgeFallsBackToThePrimary) {
+  WarmDigest(1000);
+  // The primary is parked behind the busy worker, so the hedge is the first
+  // source contact — and eats the scripted fault.
+  source_.fault_injector()->FailNextN(1);
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  Executor executor(&source_, pool.get(), HedgeOptions());
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  const ExecStats stats = executor.stats();
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 0u);
+  EXPECT_EQ(stats.hedges_cancelled, 0u);
+  EXPECT_EQ(stats.failed_sub_queries, 0u);
+  EXPECT_EQ(stats.source_queries, 1u);
+  EXPECT_EQ(source_.stats().queries_received, 2u);  // failed hedge + primary
+
+  ReleaseWorker();
+  pool.reset();
+}
+
+TEST_F(HedgeFixture, WinningHedgeNeverPoisonsTheDedupMap) {
+  WarmDigest(1000);
+  auto pool = std::make_unique<ThreadPool>(1);
+  OccupyWorker(pool.get());
+  Executor executor(&source_, pool.get(), HedgeOptions());
+  // Two identical SP children: the second must join the first's (hedged)
+  // fetch, and the cancelled loser must leave no failure residue behind.
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}))});
+
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  const ExecStats stats = executor.stats();
+  EXPECT_EQ(stats.source_queries, 1u);  // dedup held across the race
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.failed_sub_queries, 0u);
+  EXPECT_TRUE(executor.failed_sub_query_keys().empty());
+  EXPECT_TRUE(executor.dropped_sub_queries().empty());
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+
+  ReleaseWorker();
+  pool.reset();
+  // Draining the pool ran the cancelled primary's shell: still no contact.
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+}
+
+TEST_F(HedgeFixture, ConcurrentHedgedExecutionsAreRaceFree) {
+  // Real clock, real sleeps: the source answers in ~200us while the digest
+  // promises 50us, so fetches genuinely race their hedges. Eight client
+  // threads share the pool, the digest, and the source — the TSan surface.
+  for (int i = 0; i < 100; ++i) tracker_.Record(microseconds(50));
+  source_.set_simulated_latency(microseconds(200));
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total_hedges{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([this, &pool, &total_hedges] {
+      for (int i = 0; i < 10; ++i) {
+        ExecOptions options;  // real clock
+        options.latency = &tracker_;
+        options.hedge.enabled = true;
+        options.hedge.quantile = 0.5;
+        options.hedge.min_samples = 10;
+        Executor executor(&source_, &pool, options);
+        const PlanPtr plan = PlanNode::UnionOf(
+            {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"})),
+             PlanNode::SourceQuery(Parse("v >= 7"), Attrs({"v"}))});
+        const Result<RowSet> rows = executor.Execute(*plan);
+        EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+        if (rows.ok()) {
+          EXPECT_EQ(rows->size(), 6u);
+        }
+        const ExecStats stats = executor.stats();
+        EXPECT_LE(stats.hedges_won, stats.hedges_launched);
+        total_hedges.fetch_add(stats.hedges_launched,
+                               std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  // With a 50us digest against a 200us source, hedges must actually fire.
+  EXPECT_GT(total_hedges.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mediator-level resilience: load shedding, breaker-aware cost penalties,
+// end-to-end hedging, and snapshot rates.
+// ---------------------------------------------------------------------------
+
+TEST_F(MediatorFaultTest, LoadSheddingFailsFastWhileTheBreakerIsOpen) {
+  Mediator::Options options;
+  options.enable_circuit_breaker = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration = microseconds(1000);
+  options.load_shedding = true;
+  std::unique_ptr<Mediator> mediator = MakeMediator(options);
+  SourceOf(mediator.get())->set_fault_policy(FaultPolicy{});
+  SourceOf(mediator.get())->fault_injector()->FailNextN(2);
+
+  const char* kSql = "SELECT k, v FROM R WHERE v < 5";
+  EXPECT_FALSE(mediator->Query(kSql).ok());
+  EXPECT_FALSE(mediator->Query(kSql).ok());  // breaker is open now
+
+  const size_t received = SourceOf(mediator.get())->stats().queries_received;
+  const Result<Mediator::QueryResult> shed = mediator->Query(kSql);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().message().find("shed"), std::string::npos);
+  // Shed before planning: not one more byte reached the source.
+  EXPECT_EQ(SourceOf(mediator.get())->stats().queries_received, received);
+
+  Mediator::Stats stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.fault_tolerance.queries_shed, 1u);
+  EXPECT_EQ(stats.fault_tolerance.queries_failed, 2u);  // shed ≠ failed
+
+  // Once the open window expires the effective state is half-open, so the
+  // query is NOT shed: the probe goes through, succeeds, and heals the
+  // breaker. EffectiveState is what keeps shedding from being forever.
+  clock_.Advance(microseconds(1001));
+  const Result<Mediator::QueryResult> recovered = mediator->Query(kSql);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->rows.size(), 5u);
+  stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.fault_tolerance.queries_shed, 1u);
+  EXPECT_EQ(stats.sources[0].breaker_state, CircuitBreaker::State::kClosed);
+
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("queries.shed"), std::string::npos);
+}
+
+TEST_F(MediatorFaultTest, BreakerAwareCostsInflateK1AndBypassTheCache) {
+  Mediator::Options options;
+  options.enable_circuit_breaker = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration = microseconds(1000);
+  options.breaker_aware_costs = true;
+  std::unique_ptr<Mediator> mediator = MakeMediator(options);
+
+  const char* kHealthy = "SELECT k, v FROM R WHERE v < 5";
+  const char* kDegraded = "SELECT k, v FROM R WHERE v >= 7";
+
+  // Healthy: plans flow through the cache normally.
+  ASSERT_TRUE(mediator->Query(kHealthy).ok());
+  ASSERT_TRUE(mediator->Query(kHealthy).ok());
+  Mediator::Stats stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, 1u);
+  EXPECT_EQ(stats.sources[0].cost_penalty, 1.0);
+  EXPECT_EQ(stats.plan_cache.per_shard.size(), stats.plan_cache.shards);
+
+  // Trip the breaker (two hard failures; the plans were still cache hits).
+  SourceOf(mediator.get())->set_fault_policy(FaultPolicy{});
+  SourceOf(mediator.get())->fault_injector()->FailNextN(2);
+  EXPECT_FALSE(mediator->Query(kHealthy).ok());
+  EXPECT_FALSE(mediator->Query(kHealthy).ok());
+
+  // Open breaker: k1 is inflated ×8 and the penalized plan never touches
+  // the cache — no lookup, no insert.
+  EXPECT_FALSE(mediator->Query(kDegraded).ok());
+  stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.sources[0].cost_penalty, 8.0);
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, 3u);
+  EXPECT_EQ(stats.plan_cache.size, 1u);
+  EXPECT_NE(stats.ToString().find("cost_penalty"), std::string::npos);
+
+  // Window expires → effectively half-open (×3, still bypassing); the probe
+  // succeeds and closes the breaker.
+  clock_.Advance(microseconds(1001));
+  ASSERT_TRUE(mediator->Query(kDegraded).ok());
+  stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.plan_cache.misses, 1u);  // still bypassed while penalized
+  EXPECT_EQ(stats.sources[0].breaker_state, CircuitBreaker::State::kClosed);
+
+  // Healed: the penalty refreshes to 1 and the same query is cacheable
+  // again — a miss+insert, then a hit.
+  ASSERT_TRUE(mediator->Query(kDegraded).ok());
+  ASSERT_TRUE(mediator->Query(kDegraded).ok());
+  stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.sources[0].cost_penalty, 1.0);
+  EXPECT_EQ(stats.plan_cache.misses, 2u);
+  EXPECT_EQ(stats.plan_cache.hits, 4u);
+  EXPECT_EQ(stats.plan_cache.size, 2u);
+}
+
+TEST_F(MediatorFaultTest, MediatorHedgesSlowFetchesEndToEnd) {
+  Mediator::Options options;
+  options.num_threads = 2;  // hedging needs the pool
+  options.hedge.enabled = true;
+  options.hedge.min_samples = 20;
+  std::unique_ptr<Mediator> mediator = MakeMediator(options);
+
+  // Warm the per-source digest by hand (to ~100us) and make the source
+  // really take 10ms: every fetch blows past the digest's p99 and hedges.
+  Result<CatalogEntry*> entry = mediator->catalog()->Find("R");
+  ASSERT_TRUE(entry.ok());
+  ASSERT_NE((*entry)->latency_tracker(), nullptr);
+  for (int i = 0; i < 50; ++i) {
+    (*entry)->latency_tracker()->Record(microseconds(100));
+  }
+  SourceOf(mediator.get())->set_simulated_latency(microseconds(10000));
+
+  const Result<Mediator::QueryResult> result =
+      mediator->Query("SELECT k, v FROM R WHERE v < 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 5u);
+  EXPECT_EQ(result->exec.hedges_launched, 1u);
+  EXPECT_EQ(result->exec.hedges_won, 1u);
+
+  const Mediator::Stats stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.fault_tolerance.hedges_launched, 1u);
+  EXPECT_EQ(stats.fault_tolerance.hedges_won, 1u);
+  EXPECT_TRUE(stats.sources[0].has_latency);
+  EXPECT_GT(stats.sources[0].latency.count, 50u);
+  EXPECT_NE(stats.ToString().find("latency"), std::string::npos);
+}
+
+TEST_F(MediatorFaultTest, DiffSinceTurnsCounterDeltasIntoRates) {
+  std::unique_ptr<Mediator> mediator = MakeMediator({});
+  const Mediator::Stats before = mediator->StatsSnapshot();
+
+  const char* kOk = "SELECT k, v FROM R WHERE v < 5";
+  ASSERT_TRUE(mediator->Query(kOk).ok());
+  ASSERT_TRUE(mediator->Query(kOk).ok());  // cache hit
+  SourceOf(mediator.get())->set_fault_policy(FaultPolicy{});
+  SourceOf(mediator.get())->fault_injector()->FailNextN(1);
+  EXPECT_FALSE(mediator->Query("SELECT k, v FROM R WHERE v >= 7").ok());
+
+  clock_.Advance(microseconds(2000000));  // exactly 2 seconds
+  const Mediator::Stats after = mediator->StatsSnapshot();
+  const Mediator::Stats::Rates rates = after.DiffSince(before);
+  EXPECT_DOUBLE_EQ(rates.interval_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(rates.qps, 1.5);  // 3 completed / 2s
+  EXPECT_NEAR(rates.success_rate, 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(rates.shed_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rates.hedge_rate, 0.0);
+  // Interval lookups: miss(v<5), hit(v<5), miss(v>=7) → 1 hit / 3 lookups.
+  EXPECT_NEAR(rates.cache_hit_rate, 1.0 / 3.0, 1e-9);
+  EXPECT_NE(rates.ToString().find("rates.qps"), std::string::npos);
+
+  // Same snapshot diffed against itself: a zero interval yields zero rates
+  // instead of dividing by zero.
+  const Mediator::Stats::Rates zero = after.DiffSince(after);
+  EXPECT_DOUBLE_EQ(zero.interval_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(zero.qps, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-source join failover: the non-driving side falls over to a
+// schema-compatible replica when the configured source is down.
+// ---------------------------------------------------------------------------
+
+class JoinFailoverTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kLeftSsdl = R"(
+    source L(k: string, v: int) {
+      rule f -> v < $int | k = $string;
+      export f : {k, v};
+    })";
+
+  // R1 and R2 export the same schema (k: string, w: int): replicas. The
+  // recursive klist rule accepts the bound key lists a bind-join pushes.
+  static std::string RightSsdl(const std::string& name) {
+    return "source " + name + R"((k: string, w: int) {
+      rule klist -> k = $string or k = $string
+                  | k = $string or klist;
+      rule f -> k = $string | klist | ( klist );
+      export f : {k, w};
+    })";
+  }
+
+  std::unique_ptr<Mediator> MakeMediator(Mediator::Options options) {
+    options.clock = &clock_;
+    auto mediator = std::make_unique<Mediator>(options);
+
+    Result<SourceDescription> left = ParseSsdl(kLeftSsdl);
+    EXPECT_TRUE(left.ok()) << left.status().ToString();
+    auto left_table = std::make_unique<Table>("L", left->schema());
+    for (const auto& [k, v] : std::vector<std::pair<const char*, int64_t>>{
+             {"a", 1}, {"b", 2}, {"c", 3}}) {
+      EXPECT_TRUE(
+          left_table->AppendValues({Value::String(k), Value::Int(v)}).ok());
+    }
+    EXPECT_TRUE(mediator
+                    ->RegisterSource(std::move(left).value(),
+                                     std::move(left_table))
+                    .ok());
+
+    for (const char* name : {"R1", "R2"}) {
+      Result<SourceDescription> right = ParseSsdl(RightSsdl(name));
+      EXPECT_TRUE(right.ok()) << right.status().ToString();
+      auto right_table = std::make_unique<Table>(name, right->schema());
+      for (const auto& [k, w] : std::vector<std::pair<const char*, int64_t>>{
+               {"a", 10}, {"b", 20}}) {
+        EXPECT_TRUE(
+            right_table->AppendValues({Value::String(k), Value::Int(w)}).ok());
+      }
+      EXPECT_TRUE(mediator
+                      ->RegisterSource(std::move(right).value(),
+                                       std::move(right_table))
+                      .ok());
+    }
+    return mediator;
+  }
+
+  Source* SourceOf(Mediator* mediator, const std::string& name) {
+    Result<CatalogEntry*> entry = mediator->catalog()->Find(name);
+    EXPECT_TRUE(entry.ok());
+    return (*entry)->source();
+  }
+
+  static void TakeDown(Source* source) {
+    FaultPolicy outage;
+    outage.outages.push_back({0, 1000000});
+    source->set_fault_policy(outage);
+  }
+
+  static constexpr const char* kJoinSql =
+      "SELECT L.k, L.v, R1.w FROM L JOIN R1 ON L.k = R1.k "
+      "WHERE L.v < 100";
+
+  FakeClock clock_;
+};
+
+TEST_F(JoinFailoverTest, RightSideFallsOverToTheReplica) {
+  Mediator::Options options;
+  options.join_failover = true;
+  std::unique_ptr<Mediator> mediator = MakeMediator(options);
+  TakeDown(SourceOf(mediator.get(), "R1"));
+
+  const Result<Mediator::QueryResult> result = mediator->Query(kJoinSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 2u);  // keys a, b join; c has no match
+
+  const Mediator::Stats stats = mediator->StatsSnapshot();
+  EXPECT_EQ(stats.fault_tolerance.join_failovers, 1u);
+  // R1 was contacted (and failed); R2 actually answered.
+  EXPECT_GT(SourceOf(mediator.get(), "R1")->stats().queries_unavailable, 0u);
+  EXPECT_GT(SourceOf(mediator.get(), "R2")->stats().queries_answered, 0u);
+  EXPECT_NE(stats.ToString().find("join.failovers"), std::string::npos);
+}
+
+TEST_F(JoinFailoverTest, WithoutFailoverTheJoinFailsOutright) {
+  std::unique_ptr<Mediator> mediator = MakeMediator({});  // failover off
+  TakeDown(SourceOf(mediator.get(), "R1"));
+  const Result<Mediator::QueryResult> result = mediator->Query(kJoinSql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(mediator->StatsSnapshot().fault_tolerance.join_failovers, 0u);
+}
+
+TEST_F(JoinFailoverTest, HealthyJoinNeverConsultsTheAlternate) {
+  Mediator::Options options;
+  options.join_failover = true;
+  std::unique_ptr<Mediator> mediator = MakeMediator(options);
+  const Result<Mediator::QueryResult> result = mediator->Query(kJoinSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(mediator->StatsSnapshot().fault_tolerance.join_failovers, 0u);
+  EXPECT_EQ(SourceOf(mediator.get(), "R2")->stats().queries_received, 0u);
 }
 
 }  // namespace
