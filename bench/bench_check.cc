@@ -6,12 +6,32 @@
 // growing grammars (the commutativity closure multiplies rule counts), and
 // report Earley items per token as the linearity witness.
 
+// E14 rides in the same binary: a recurring-workload experiment for the
+// cross-query Check memo. A Zipf-distributed stream of recurring queries is
+// planned cold (no second level — every recurrence re-parses because its
+// interned ConditionId died with the previous occurrence) and warm (the
+// fingerprint-keyed memo recognizes recurrences across condition lifetimes),
+// writing BENCH_checkmemo.json with the warm-over-cold planning speedup.
+
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "expr/condition.h"
+#include "expr/condition_parser.h"
+#include "planner/planner.h"
+#include "planner/source_handle.h"
 #include "ssdl/capability_builder.h"
 #include "ssdl/check.h"
+#include "ssdl/check_memo.h"
 #include "ssdl/closure.h"
+#include "storage/table.h"
 
 namespace gencompact {
 namespace {
@@ -132,6 +152,214 @@ void BM_CheckMemoized(benchmark::State& state) {
 BENCHMARK(BM_CheckMemoized)->Unit(benchmark::kNanosecond);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// E14: cold vs warm planning over a recurring Zipf workload.
+
+namespace bench_memo {
+namespace {
+
+constexpr size_t kSegments = 6;       // closure: 6! = 720 permuted rules
+constexpr size_t kDistinctQueries = 64;
+constexpr size_t kDraws = 600;
+constexpr double kZipfS = 1.1;
+
+uint64_t SplitMix(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Schema MemoSchema() {
+  std::vector<AttributeDef> attrs;
+  for (size_t i = 0; i < kSegments; ++i) {
+    attrs.push_back({"a" + std::to_string(i), ValueType::kInt});
+  }
+  return Schema(attrs);
+}
+
+// Conjunctive-form description whose commutativity closure makes Check the
+// dominant planning cost — the regime the memo targets.
+SourceDescription ClosedDescription() {
+  const Schema schema = MemoSchema();
+  CapabilityBuilder builder("src", schema);
+  std::vector<CapabilityBuilder::Slot> slots;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kSegments; ++i) {
+    slots.push_back({"a" + std::to_string(i), {CompareOp::kEq}, false, false});
+    names.push_back("a" + std::to_string(i));
+  }
+  const Status status = builder.AddConjunctiveForm("f", slots, names);
+  (void)status;
+  return CommutativityClosure(builder.Build());
+}
+
+// Distinct query texts: every query binds all segments, with rotated atom
+// order (each rotation is a different structure, supportable only through
+// the closure) and distinct constants (distinct fingerprints).
+std::vector<std::string> QueryTexts() {
+  std::vector<std::string> texts;
+  for (size_t q = 0; q < kDistinctQueries; ++q) {
+    std::string text;
+    for (size_t i = 0; i < kSegments; ++i) {
+      const size_t attr = (i + q) % kSegments;
+      if (!text.empty()) text += " and ";
+      text += "a" + std::to_string(attr) + " = " +
+              std::to_string(static_cast<unsigned long long>(q * 7 + attr));
+    }
+    texts.push_back(std::move(text));
+  }
+  return texts;
+}
+
+// Zipf(s) draw sequence over the query ranks, deterministic by seed.
+std::vector<size_t> ZipfDraws() {
+  std::vector<double> cdf(kDistinctQueries);
+  double total = 0.0;
+  for (size_t rank = 0; rank < kDistinctQueries; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), kZipfS);
+    cdf[rank] = total;
+  }
+  uint64_t rng = 20260806ull;
+  std::vector<size_t> draws;
+  draws.reserve(kDraws);
+  for (size_t i = 0; i < kDraws; ++i) {
+    const double u =
+        total * (static_cast<double>(SplitMix(&rng) >> 11) * 0x1p-53);
+    const size_t pick = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    draws.push_back(pick < kDistinctQueries ? pick : kDistinctQueries - 1);
+  }
+  return draws;
+}
+
+struct MemoRun {
+  const char* name;
+  size_t memo_capacity;
+  double verify_rate;
+  double seconds = 0.0;
+  double mean_us = 0.0;
+  size_t plans_ok = 0;
+  CheckMemo::Stats memo;
+};
+
+void RunConfig(const SourceDescription& description, const Table& table,
+               const std::vector<std::string>& texts,
+               const std::vector<size_t>& draws, MemoRun* run) {
+  SourceHandle handle(description, &table,
+                      /*apply_commutativity_closure=*/false);  // pre-closed
+  std::unique_ptr<CheckMemo> memo;
+  if (run->memo_capacity > 0) {
+    memo = std::make_unique<CheckMemo>(run->memo_capacity, /*shards=*/8,
+                                       run->verify_rate);
+    handle.checker()->EnableSharedMemo(memo.get(), /*source_id=*/0,
+                                       /*epoch=*/0);
+  }
+  const std::unique_ptr<PlannerStrategy> planner =
+      MakePlanner(Strategy::kGenCompact, &handle);
+  AttributeSet attrs;
+  attrs.Add(0);
+  attrs.Add(1);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const size_t pick : draws) {
+    // Each recurrence is re-parsed and dropped, exactly like a query whose
+    // cached plan was evicted: the interned id dies, the structure recurs.
+    const Result<ConditionPtr> cond = ParseCondition(texts[pick]);
+    if (!cond.ok()) continue;
+    const Result<PlanPtr> plan = planner->Plan(*cond, attrs);
+    if (plan.ok()) ++run->plans_ok;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  run->seconds = std::chrono::duration<double>(end - start).count();
+  run->mean_us = run->seconds * 1e6 / static_cast<double>(draws.size());
+  if (memo != nullptr) run->memo = memo->stats();
+}
+
+void WriteJson(const std::vector<MemoRun>& runs, size_t grammar_rules,
+               double warm_speedup, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"check_memo\",\n");
+  std::fprintf(f, "  \"distinct_queries\": %zu,\n", kDistinctQueries);
+  std::fprintf(f, "  \"draws\": %zu,\n", kDraws);
+  std::fprintf(f, "  \"zipf_s\": %.2f,\n", kZipfS);
+  std::fprintf(f, "  \"grammar_rules\": %zu,\n", grammar_rules);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const MemoRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"memo_capacity\": %zu, "
+                 "\"verify_rate\": %.2f, \"seconds\": %.4f, "
+                 "\"mean_us_per_query\": %.1f, \"plans_ok\": %zu, "
+                 "\"l2_hits\": %zu, \"l2_hit_rate\": %.3f, "
+                 "\"verified_hits\": %zu, \"verify_mismatches\": %zu}%s\n",
+                 r.name, r.memo_capacity, r.verify_rate, r.seconds, r.mean_us,
+                 r.plans_ok, r.memo.hits, r.memo.hit_rate, r.memo.verified_hits,
+                 r.memo.verify_mismatches, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"warm_speedup\": %.2f\n}\n", warm_speedup);
+  std::fclose(f);
+}
+
+void Run() {
+  const SourceDescription description = ClosedDescription();
+  const Schema schema = MemoSchema();
+  Table table("src", schema);
+  for (int64_t row = 0; row < 8; ++row) {
+    std::vector<Value> values;
+    for (size_t i = 0; i < kSegments; ++i) {
+      values.push_back(Value::Int(row * 7 + static_cast<int64_t>(i)));
+    }
+    (void)table.AppendValues(values);
+  }
+  const std::vector<std::string> texts = QueryTexts();
+  const std::vector<size_t> draws = ZipfDraws();
+
+  std::vector<MemoRun> runs = {
+      {"cold", /*memo_capacity=*/0, /*verify_rate=*/0.0},
+      {"warm", /*memo_capacity=*/4096, /*verify_rate=*/0.0},
+      {"warm_verify_all", /*memo_capacity=*/4096, /*verify_rate=*/1.0},
+  };
+  std::printf(
+      "\nE14: recurring Zipf workload (%zu draws over %zu distinct queries, "
+      "s=%.1f), grammar %zu rules\n",
+      kDraws, kDistinctQueries, kZipfS,
+      description.grammar().rules().size());
+  std::printf("%-18s %10s %14s %10s %10s\n", "config", "seconds", "us/query",
+              "l2_hits", "hit_rate");
+  for (MemoRun& run : runs) {
+    RunConfig(description, table, texts, draws, &run);
+    std::printf("%-18s %10.4f %14.1f %10zu %10.3f\n", run.name, run.seconds,
+                run.mean_us, run.memo.hits, run.memo.hit_rate);
+  }
+
+  const double warm_speedup =
+      runs[1].seconds > 0.0 ? runs[0].seconds / runs[1].seconds : 0.0;
+  std::printf("\nacceptance: warm-over-cold planning speedup %.2fx "
+              "(need >= 2x) -> %s\n",
+              warm_speedup, warm_speedup >= 2.0 ? "PASS" : "FAIL");
+  if (runs[2].memo.verify_mismatches != 0) {
+    std::printf("WARNING: %zu verify mismatches in warm_verify_all\n",
+                runs[2].memo.verify_mismatches);
+  }
+  WriteJson(runs, description.grammar().rules().size(), warm_speedup,
+            "BENCH_checkmemo.json");
+}
+
+}  // namespace
+}  // namespace bench_memo
 }  // namespace gencompact
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gencompact::bench_memo::Run();  // E14, writes BENCH_checkmemo.json
+  benchmark::Initialize(&argc, argv);  // E6 microbenchmarks below
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

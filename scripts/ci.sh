@@ -5,10 +5,14 @@
 # the random capability/query generators, so each base is a brand-new set of
 # planner-equivalence and Choice-resolution cases), then a ThreadSanitizer
 # build running the concurrency tests (thread pool, sharded plan cache,
-# condition interner, parallel executor, concurrent mediator clients, hedge
-# races), then an AddressSanitizer pass over the interner hammer (the
-# weak-entry pool must hold nothing alive: leak check) and the fault /
-# hedging / differential suites.
+# condition interner, cross-query Check memo, parallel executor, concurrent
+# mediator clients, hedge races), then an AddressSanitizer pass over the
+# interner hammer (the weak-entry pool must hold nothing alive: leak check)
+# and the fault / hedging / differential suites. A dedicated
+# GENCOMPACT_CHECK_VERIFY=1 leg re-runs the mediator, differential, fuzz,
+# and memo suites with the shared Check memo at 100% verify-on-hit: every
+# single second-level hit is re-checked against a fresh Earley run, and one
+# mismatch anywhere fails the leg.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -27,20 +31,27 @@ for seed in 439 1009 2027 4391 9001; do
   echo "--- GENCOMPACT_TEST_SEED=${seed} ---"
   GENCOMPACT_TEST_SEED="${seed}" \
     "${PREFIX}-release/tests/gencompact_tests" \
-    --gtest_filter='Seeds/DifferentialTest*' --gtest_brief=1
+    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*' \
+    --gtest_brief=1
 done
+
+echo "=== Check-memo 100% verify-on-hit leg ==="
+GENCOMPACT_CHECK_VERIFY=1 \
+  "${PREFIX}-release/tests/gencompact_tests" \
+  --gtest_filter='MediatorFixture*:MediatorCheckMemo*:MediatorConcurrency*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:CheckMemo*:ConditionIntern*' \
+  --gtest_brief=1
 
 echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*'
 
 echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*'
 
 echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
@@ -49,5 +60,11 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
 echo "=== Hedging bench smoke (writes BENCH_hedge.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_hedging
 "${PREFIX}-release/bench/bench_hedging"
+
+echo "=== Check-memo bench smoke (writes BENCH_checkmemo.json) ==="
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_check
+# The empty filter skips the E6 microbenchmarks; the E14 Zipf cold/warm
+# comparison (and its >= 2x warm-speedup acceptance print) always runs.
+"${PREFIX}-release/bench/bench_check" --benchmark_filter='^$'
 
 echo "=== CI OK ==="

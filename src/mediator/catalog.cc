@@ -6,9 +6,62 @@ CatalogEntry::CatalogEntry(SourceDescription description,
                            std::unique_ptr<Table> table, uint32_t source_id,
                            bool apply_commutativity_closure)
     : table_(std::move(table)),
-      handle_(std::move(description), table_.get(), apply_commutativity_closure),
-      source_(table_.get(), &handle_.description()),
-      source_id_(source_id) {}
+      handle_(std::make_unique<SourceHandle>(std::move(description),
+                                             table_.get(),
+                                             apply_commutativity_closure)),
+      source_(std::make_unique<Source>(table_.get(), &handle_->description())),
+      source_id_(source_id),
+      apply_commutativity_closure_(apply_commutativity_closure) {}
+
+void CatalogEntry::EnableCheckMemo(CheckMemo* memo) {
+  check_memo_ = memo;
+  if (check_memo_ == nullptr) return;
+  // Both Checkers — the planning handle's and the enforcement wrapper's —
+  // answer the same Check(C, R) against the same closed description, so
+  // they share one keyed slice of the memo.
+  handle_->checker()->EnableSharedMemo(check_memo_, source_id_,
+                                       description_epoch_);
+  source_->checker()->EnableSharedMemo(check_memo_, source_id_,
+                                       description_epoch_);
+}
+
+Status CatalogEntry::ReloadDescription(SourceDescription description) {
+  if (description.source_name() != name()) {
+    return Status::InvalidArgument(
+        "reload of '" + name() + "' given a description for '" +
+        description.source_name() + "'");
+  }
+  const Schema& incoming = description.schema();
+  const Schema& existing = table_->schema();
+  if (incoming.num_attributes() != existing.num_attributes()) {
+    return Status::InvalidArgument(
+        "reloaded description schema does not match the table of '" + name() +
+        "'");
+  }
+  for (size_t i = 0; i < incoming.num_attributes(); ++i) {
+    const AttributeDef& a = incoming.attribute(static_cast<int>(i));
+    const AttributeDef& b = existing.attribute(static_cast<int>(i));
+    if (a.name != b.name || a.type != b.type) {
+      return Status::InvalidArgument(
+          "reloaded description schema does not match the table of '" +
+          name() + "'");
+    }
+  }
+  ++description_epoch_;
+  handle_ = std::make_unique<SourceHandle>(std::move(description), table_.get(),
+                                           apply_commutativity_closure_);
+  source_ = std::make_unique<Source>(table_.get(), &handle_->description());
+  if (penalty_enabled_) {
+    handle_->mutable_cost_model()->set_health_penalty(&penalty_);
+  }
+  if (check_memo_ != nullptr) {
+    // Old-epoch entries can never match again; drop them now so they stop
+    // holding capacity, then wire the fresh Checkers under the new epoch.
+    check_memo_->InvalidateSource(source_id_);
+    EnableCheckMemo(check_memo_);
+  }
+  return Status::OK();
+}
 
 double CatalogEntry::RefreshCostPenalty() {
   if (!penalty_enabled_) return 1.0;
@@ -47,6 +100,17 @@ Status Catalog::Register(SourceDescription description,
                              std::move(description), std::move(table),
                              next_source_id_++, apply_commutativity_closure));
   return Status::OK();
+}
+
+Result<CatalogEntry*> Catalog::Reload(SourceDescription description) {
+  const std::string name = description.source_name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown source: " + name);
+  }
+  GC_RETURN_IF_ERROR(it->second->ReloadDescription(std::move(description)));
+  return it->second.get();
 }
 
 namespace {

@@ -14,6 +14,7 @@
 #include "exec/latency_tracker.h"
 #include "exec/source.h"
 #include "planner/source_handle.h"
+#include "ssdl/check_memo.h"
 
 namespace gencompact {
 
@@ -24,15 +25,34 @@ class CatalogEntry {
   CatalogEntry(SourceDescription description, std::unique_ptr<Table> table,
                uint32_t source_id, bool apply_commutativity_closure = true);
 
-  const std::string& name() const { return handle_.description().source_name(); }
-  const Schema& schema() const { return handle_.schema(); }
-  SourceHandle* handle() { return &handle_; }
-  Source* source() { return &source_; }
+  const std::string& name() const {
+    return handle_->description().source_name();
+  }
+  const Schema& schema() const { return handle_->schema(); }
+  SourceHandle* handle() { return handle_.get(); }
+  Source* source() { return source_.get(); }
+  const Source* source() const { return source_.get(); }
   const Table& table() const { return *table_; }
 
   /// Dense registration-order id, the source component of PlanCacheKey
   /// (names stay out of the cache's hot path).
   uint32_t source_id() const { return source_id_; }
+
+  /// Monotonic description epoch: 0 at registration, bumped by every
+  /// ReloadDescription. The cross-query Check memo keys on it, so entries
+  /// computed against a superseded description can never satisfy a lookup.
+  uint64_t description_epoch() const { return description_epoch_; }
+
+  /// Replaces this source's SSDL description in place (the entry pointer,
+  /// name, source id, table, breaker, and latency digest all survive):
+  /// rebuilds the planning handle and enforcement wrapper against the new
+  /// description, bumps the description epoch, invalidates this source's
+  /// cross-query Check memo entries, and re-wires the cost penalty and the
+  /// shared memo. The new description must carry the same source name and
+  /// the table's schema. Like registration, not thread-safe against
+  /// in-flight queries — quiesce first. (The wrapper's execution counters
+  /// and fault policy reset with the wrapper.)
+  Status ReloadDescription(SourceDescription description);
 
   /// Attaches the per-source circuit breaker, shared by every execution
   /// against this source. Call during registration, before concurrent
@@ -57,13 +77,22 @@ class CatalogEntry {
   LatencyTracker* latency_tracker() { return latency_.get(); }
   const LatencyTracker* latency_tracker() const { return latency_.get(); }
 
+  /// Wires the mediator's cross-query Check memo (must outlive the entry)
+  /// into this source's planning and enforcement Checkers, keyed by this
+  /// entry's source id and current description epoch. Call during
+  /// registration; ReloadDescription re-wires automatically.
+  void EnableCheckMemo(CheckMemo* memo);
+
+  /// The shared memo, or null when the cross-query memo is not configured.
+  CheckMemo* check_memo() { return check_memo_; }
+
   /// Arms the breaker-aware cost penalty: wires this entry's HealthPenalty
   /// into its cost model and remembers how health maps to a multiplier.
   /// Call during registration.
   void EnableCostPenalty(const CostPenaltyOptions& options) {
     penalty_options_ = options;
     penalty_enabled_ = true;
-    handle_.mutable_cost_model()->set_health_penalty(&penalty_);
+    handle_->mutable_cost_model()->set_health_penalty(&penalty_);
   }
 
   /// Recomputes the k1 multiplier from the breaker's effective state and
@@ -79,14 +108,17 @@ class CatalogEntry {
 
  private:
   std::unique_ptr<Table> table_;
-  SourceHandle handle_;
-  Source source_;
+  std::unique_ptr<SourceHandle> handle_;
+  std::unique_ptr<Source> source_;
   std::unique_ptr<CircuitBreaker> breaker_;
   std::unique_ptr<LatencyTracker> latency_;
+  CheckMemo* check_memo_ = nullptr;  ///< shared, owned by the mediator
   HealthPenalty penalty_;
   CostPenaltyOptions penalty_options_;
   bool penalty_enabled_ = false;
   uint32_t source_id_;
+  uint64_t description_epoch_ = 0;
+  bool apply_commutativity_closure_;
 };
 
 /// Name → source registry for the mediator. Lookups from concurrent client
@@ -104,6 +136,11 @@ class Catalog {
 
   /// Looks up a source by name; NotFound if absent.
   Result<CatalogEntry*> Find(const std::string& name);
+
+  /// Reloads the description of the registered source it names (see
+  /// CatalogEntry::ReloadDescription); NotFound if absent. Takes the
+  /// exclusive lock, like registration — quiesce queries first.
+  Result<CatalogEntry*> Reload(SourceDescription description);
 
   size_t size() const {
     std::shared_lock<std::shared_mutex> lock(mu_);

@@ -18,7 +18,7 @@ Status Mediator::RegisterSource(SourceDescription description,
                              (options_.breaker_aware_costs &&
                               options_.cost_penalty.slow_multiplier > 1.0);
   if (options_.enable_circuit_breaker || wants_latency ||
-      options_.breaker_aware_costs) {
+      options_.breaker_aware_costs || check_memo_ != nullptr) {
     GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(name));
     if (options_.enable_circuit_breaker) {
       entry->EnableCircuitBreaker(options_.breaker, options_.clock);
@@ -27,7 +27,19 @@ Status Mediator::RegisterSource(SourceDescription description,
     if (options_.breaker_aware_costs) {
       entry->EnableCostPenalty(options_.cost_penalty);
     }
+    if (check_memo_ != nullptr) entry->EnableCheckMemo(check_memo_.get());
   }
+  return Status::OK();
+}
+
+Status Mediator::ReloadSource(SourceDescription description) {
+  // Cached plans were validated against the old capabilities; none may
+  // survive the reload. (The catalog bumps the description epoch, which
+  // orphans the source's cross-query Check memo entries the same way.)
+  plan_cache_.Clear();
+  GC_ASSIGN_OR_RETURN(CatalogEntry * entry,
+                      catalog_.Reload(std::move(description)));
+  (void)entry;
   return Status::OK();
 }
 
@@ -327,6 +339,22 @@ Mediator::Stats Mediator::StatsSnapshot() const {
   stats.plan_cache.contended = plan_cache_.contended();
   stats.plan_cache.per_shard = plan_cache_.PerShardStats();
 
+  if (check_memo_ != nullptr) {
+    const CheckMemo::Stats memo = check_memo_->stats();
+    stats.check_memo.enabled = true;
+    stats.check_memo.hits = memo.hits;
+    stats.check_memo.misses = memo.misses;
+    stats.check_memo.insertions = memo.insertions;
+    stats.check_memo.evictions = memo.evictions;
+    stats.check_memo.invalidated = memo.invalidated;
+    stats.check_memo.verified_hits = memo.verified_hits;
+    stats.check_memo.verify_mismatches = memo.verify_mismatches;
+    stats.check_memo.size = memo.size;
+    stats.check_memo.capacity = memo.capacity;
+    stats.check_memo.shards = memo.shards;
+    stats.check_memo.hit_rate = memo.hit_rate;
+  }
+
   catalog_.ForEach([&stats](CatalogEntry* entry) {
     Stats::PerSource per;
     per.name = entry->name();
@@ -334,6 +362,9 @@ Mediator::Stats Mediator::StatsSnapshot() const {
     const Checker* checker = entry->handle()->checker();
     per.check_calls = checker->num_checks();
     per.check_memo_hits = checker->num_cache_hits();
+    per.check_l2_hits = checker->num_shared_hits();
+    per.earley_items = checker->total_earley_items();
+    per.description_epoch = entry->description_epoch();
     if (const FaultInjector* injector = entry->source()->fault_injector()) {
       per.faults = injector->stats();
     }
@@ -413,6 +444,11 @@ Mediator::Stats::Rates Mediator::Stats::DiffSince(const Stats& earlier) const {
   const double lookups =
       hits + delta(plan_cache.misses, earlier.plan_cache.misses);
   if (lookups > 0.0) rates.cache_hit_rate = hits / lookups;
+  const double l2_hits =
+      delta(check_memo.hits, earlier.check_memo.hits);
+  const double l2_lookups =
+      l2_hits + delta(check_memo.misses, earlier.check_memo.misses);
+  if (l2_lookups > 0.0) rates.check_l2_hit_rate = l2_hits / l2_lookups;
   return rates;
 }
 
@@ -430,6 +466,7 @@ std::string Mediator::Stats::Rates::ToString() const {
   append("rates.shed_rate          %.4f\n", shed_rate);
   append("rates.retry_rate         %.4f\n", retry_rate);
   append("rates.cache_hit_rate     %.4f\n", cache_hit_rate);
+  append("rates.check_l2_hit_rate  %.4f\n", check_l2_hit_rate);
   return out;
 }
 
@@ -450,6 +487,19 @@ std::string Mediator::Stats::ToString() const {
   append("plan_cache.size          %zu\n", plan_cache.size);
   append("plan_cache.shards        %zu\n", plan_cache.shards);
   append("plan_cache.contended     %zu\n", plan_cache.contended);
+  if (check_memo.enabled) {
+    append("check_memo.hits          %zu\n", check_memo.hits);
+    append("check_memo.misses        %zu\n", check_memo.misses);
+    append("check_memo.hit_rate      %.4f\n", check_memo.hit_rate);
+    append("check_memo.insertions    %zu\n", check_memo.insertions);
+    append("check_memo.evictions     %zu\n", check_memo.evictions);
+    append("check_memo.invalidated   %zu\n", check_memo.invalidated);
+    append("check_memo.verified      %zu\n", check_memo.verified_hits);
+    append("check_memo.mismatches    %zu\n", check_memo.verify_mismatches);
+    append("check_memo.size          %zu\n", check_memo.size);
+    append("check_memo.capacity      %zu\n", check_memo.capacity);
+    append("check_memo.shards        %zu\n", check_memo.shards);
+  }
   append("queries.ok               %llu\n",
          (unsigned long long)fault_tolerance.queries_ok);
   append("queries.failed           %llu\n",
@@ -485,6 +535,12 @@ std::string Mediator::Stats::ToString() const {
            (unsigned long long)s.source.rows_returned);
     append("source[%s].check_calls   %zu\n", prefix, s.check_calls);
     append("source[%s].check_hits    %zu\n", prefix, s.check_memo_hits);
+    append("source[%s].check_l2_hits %zu\n", prefix, s.check_l2_hits);
+    append("source[%s].earley_items  %zu\n", prefix, s.earley_items);
+    if (s.description_epoch > 0) {
+      append("source[%s].desc_epoch    %llu\n", prefix,
+             (unsigned long long)s.description_epoch);
+    }
     append("source[%s].faults        %llu\n", prefix,
            (unsigned long long)(s.faults.injected_unavailable +
                                 s.faults.injected_timeouts));

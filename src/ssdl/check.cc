@@ -1,5 +1,7 @@
 #include "ssdl/check.h"
 
+#include <algorithm>
+
 #include "expr/condition_tokens.h"
 
 namespace gencompact {
@@ -30,32 +32,20 @@ std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
   return out;
 }
 
+/// Order-insensitive family equality — the verify-on-hit comparator. The
+/// Earley walk is deterministic, but a memoized family may have been
+/// produced by an older (equivalent) run, so compare as sets.
+bool SameFamily(std::vector<AttributeSet> a, std::vector<AttributeSet> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
 }  // namespace
 
-const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
-  num_checks_.fetch_add(1, std::memory_order_relaxed);
-  const ConditionId key = cond.id();
-  {
-    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
-  // Miss: tokenize outside any lock, then serialize the stateful Earley
-  // recognizer. Double-check under the Earley lock so a concurrent miss on
-  // the same id parses once.
-  const std::vector<CondToken> tokens = TokenizeCondition(cond);
-  std::lock_guard<std::mutex> earley_lock(earley_mu_);
-  {
-    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
+std::vector<AttributeSet> Checker::ComputeFamilyLocked(
+    const std::vector<CondToken>& tokens) {
   const std::vector<int> deriving =
       recognizer_.DerivingNonterminals(description_->start_symbol(), tokens);
   total_earley_items_.fetch_add(recognizer_.last_item_count(),
@@ -69,10 +59,73 @@ const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
       }
     }
   }
-  std::lock_guard<std::shared_mutex> write_lock(cache_mu_);
+  return MaximalSets(std::move(exports));
+}
+
+std::vector<AttributeSet> Checker::ComputeFamily(const ConditionNode& cond) {
+  const std::vector<CondToken> tokens = TokenizeCondition(cond);
+  const std::lock_guard<std::mutex> earley_lock(earley_mu_);
+  return ComputeFamilyLocked(tokens);
+}
+
+const std::vector<AttributeSet>& Checker::Check(const ConditionNode& cond) {
+  num_checks_.fetch_add(1, std::memory_order_relaxed);
+  const ConditionId key = cond.id();
+  {
+    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // L1 miss: try the shared cross-query memo by structural fingerprint
+  // before paying for an Earley run. A sampled fraction of hits is
+  // re-verified against a fresh run — a mismatch means a fingerprint
+  // collision or a stale entry, which is counted and repaired rather than
+  // trusted.
+  if (shared_memo_ != nullptr && shared_memo_->enabled()) {
+    const CheckMemoKey l2_key{cond.fingerprint(), source_id_, epoch_};
+    if (std::optional<std::vector<AttributeSet>> hit =
+            shared_memo_->Lookup(l2_key)) {
+      num_shared_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<AttributeSet> family = std::move(*hit);
+      if (shared_memo_->SampleVerifyHit()) {
+        std::vector<AttributeSet> fresh = ComputeFamily(cond);
+        const bool matched = SameFamily(fresh, family);
+        shared_memo_->RecordVerifyOutcome(matched);
+        if (!matched) {
+          family = std::move(fresh);
+          shared_memo_->Insert(l2_key, family);
+        }
+      }
+      const std::lock_guard<std::shared_mutex> write_lock(cache_mu_);
+      // emplace is a no-op if a racing thread installed the id first; both
+      // computed the same family, so either mapped value serves.
+      return cache_.emplace(key, std::move(family)).first->second;
+    }
+  }
+  // Full miss: tokenize outside any lock, then serialize the stateful
+  // Earley recognizer. Double-check under the Earley lock so a concurrent
+  // miss on the same id parses once.
+  const std::vector<CondToken> tokens = TokenizeCondition(cond);
+  const std::lock_guard<std::mutex> earley_lock(earley_mu_);
+  {
+    std::shared_lock<std::shared_mutex> read_lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      num_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::vector<AttributeSet> family = ComputeFamilyLocked(tokens);
+  if (shared_memo_ != nullptr && shared_memo_->enabled()) {
+    shared_memo_->Insert({cond.fingerprint(), source_id_, epoch_}, family);
+  }
+  const std::lock_guard<std::shared_mutex> write_lock(cache_mu_);
   // unordered_map is node-based: concurrently-read mapped values stay put
   // across this insert, and entries are never erased.
-  return cache_.emplace(key, MaximalSets(std::move(exports))).first->second;
+  return cache_.emplace(key, std::move(family)).first->second;
 }
 
 const std::vector<AttributeSet>& Checker::CheckTrue() {

@@ -2,16 +2,20 @@
 #define GENCOMPACT_SSDL_CHECK_H_
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "expr/condition.h"
+#include "ssdl/check_memo.h"
 #include "ssdl/description.h"
 #include "ssdl/earley.h"
 
 namespace gencompact {
+
+struct CondToken;
 
 /// The paper's Check function (Section 4): given a condition expression and
 /// a source, reports the attributes the source exports when evaluating that
@@ -23,19 +27,43 @@ namespace gencompact {
 /// exported sets. `SP(C, A, R)` is supported iff A ⊆ F for some family
 /// member F.
 ///
-/// Results are memoized per interned ConditionId — hash-consing makes
-/// structurally equal conditions share one id, so the memo hits across
-/// planner invocations and across the many CT rewritings that share
-/// subtrees. The memo is thread-safe (shared-lock reads, exclusive-lock
-/// inserts; the stateful Earley recognizer is serialized on misses only), so
+/// Results are memoized at two levels:
+///
+///  * **L1** — per interned ConditionId. Hash-consing makes structurally
+///    equal conditions share one id, so the memo hits across planner
+///    invocations and across the many CT rewritings that share subtrees.
+///    Entries are value-stable: returned references stay valid for the
+///    Checker's lifetime.
+///  * **L2** (optional) — a shared cross-query CheckMemo keyed by the
+///    condition's structural fingerprint, the source id, and the source's
+///    description epoch. L1 entries die with their condition; a recurring
+///    query re-derives the same fingerprint and hits L2 even after the
+///    original node is gone. Consulted on L1 miss, populated on Earley
+///    completion; a sampled fraction of hits is re-verified against a fresh
+///    Earley run (CheckMemo::Options::verify_rate) to catch fingerprint
+///    collisions or stale entries.
+///
+/// The Checker is thread-safe (shared-lock L1 reads, exclusive-lock inserts;
+/// the stateful Earley recognizer is serialized on misses only), so
 /// concurrent clients plan against one source without an external planning
-/// lock. Entries are value-stable: the returned references stay valid for
-/// the Checker's lifetime.
+/// lock. Wire the shared memo before concurrent use, like the rest of
+/// source configuration.
 class Checker {
  public:
   /// `description` must outlive the Checker.
   explicit Checker(const SourceDescription* description)
       : description_(description), recognizer_(&description->grammar()) {}
+
+  /// Attaches the cross-query second-level memo (must outlive the Checker).
+  /// `source_id` scopes this Checker's entries; `epoch` is the description
+  /// epoch the entries are valid for (a reload builds a fresh Checker wired
+  /// with the bumped epoch, orphaning the old entries). Call during source
+  /// registration, before concurrent queries start.
+  void EnableSharedMemo(CheckMemo* memo, uint32_t source_id, uint64_t epoch) {
+    shared_memo_ = memo;
+    source_id_ = source_id;
+    epoch_ = epoch;
+  }
 
   /// Family of maximal exported attribute sets for `cond`; empty iff the
   /// source cannot evaluate `cond`.
@@ -50,25 +78,39 @@ class Checker {
 
   const SourceDescription& description() const { return *description_; }
 
-  // Instrumentation (used by benchmarks).
+  // Instrumentation (used by benchmarks and the mediator stats snapshot).
   size_t num_checks() const {
     return num_checks_.load(std::memory_order_relaxed);
   }
   size_t num_cache_hits() const {
     return num_cache_hits_.load(std::memory_order_relaxed);
   }
+  /// L1 misses answered by the shared cross-query memo.
+  size_t num_shared_hits() const {
+    return num_shared_hits_.load(std::memory_order_relaxed);
+  }
   size_t total_earley_items() const {
     return total_earley_items_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// Tokenizes + runs Earley (serialized) and reduces to the maximal-set
+  /// family; no memo is consulted or written.
+  std::vector<AttributeSet> ComputeFamily(const ConditionNode& cond);
+  std::vector<AttributeSet> ComputeFamilyLocked(
+      const std::vector<CondToken>& tokens);
+
   const SourceDescription* description_;
   EarleyRecognizer recognizer_;
   mutable std::shared_mutex cache_mu_;  // guards cache_ structure
   std::mutex earley_mu_;                // serializes the stateful recognizer
   std::unordered_map<ConditionId, std::vector<AttributeSet>> cache_;
+  CheckMemo* shared_memo_ = nullptr;  ///< cross-query L2, null = disabled
+  uint32_t source_id_ = 0;
+  uint64_t epoch_ = 0;
   std::atomic<size_t> num_checks_{0};
   std::atomic<size_t> num_cache_hits_{0};
+  std::atomic<size_t> num_shared_hits_{0};
   std::atomic<size_t> total_earley_items_{0};
 };
 

@@ -1,0 +1,139 @@
+#include "ssdl/check_memo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gencompact {
+
+CheckMemo::CheckMemo(const Options& options) {
+  const size_t num_shards = std::max<size_t>(1, options.shards);
+  if (options.capacity == 0) {
+    shard_capacity_ = 0;  // disabled: Lookup misses silently, Insert no-ops
+  } else {
+    // Round up so the total never drops below the requested capacity.
+    shard_capacity_ =
+        std::max<size_t>(1, (options.capacity + num_shards - 1) / num_shards);
+  }
+  verify_rate_ = options.verify_rate;
+  verify_period_ =
+      verify_rate_ >= 1.0
+          ? 1
+          : (verify_rate_ > 0.0
+                 ? static_cast<uint64_t>(std::llround(1.0 / verify_rate_))
+                 : 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<std::vector<AttributeSet>> CheckMemo::Lookup(
+    const CheckMemoKey& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // most recent
+  return it->second->family;
+}
+
+void CheckMemo::Insert(const CheckMemoKey& key,
+                       std::vector<AttributeSet> family) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    ++shard.refreshes;
+    it->second->family = std::move(family);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  ++shard.insertions;
+  shard.lru.push_front(Entry{key, std::move(family)});
+  shard.entries[key] = shard.lru.begin();
+  while (shard.entries.size() > shard_capacity_) {
+    ++shard.evictions;
+    shard.entries.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+size_t CheckMemo::InvalidateSource(uint32_t source_id) {
+  size_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.source_id == source_id) {
+        shard->entries.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+void CheckMemo::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->entries.clear();
+  }
+}
+
+bool CheckMemo::SampleVerifyHit() {
+  if (verify_period_ == 0) return false;
+  if (verify_period_ == 1) return true;
+  const uint64_t tick =
+      verify_ticker_.fetch_add(1, std::memory_order_relaxed);
+  return tick % verify_period_ == 0;
+}
+
+void CheckMemo::RecordVerifyOutcome(bool matched) {
+  verified_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!matched) verify_mismatches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t CheckMemo::size() const {
+  size_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+CheckMemo::Stats CheckMemo::stats() const {
+  Stats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.refreshes += shard->refreshes;
+    stats.evictions += shard->evictions;
+    stats.size += shard->entries.size();
+  }
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  stats.verified_hits = verified_hits_.load(std::memory_order_relaxed);
+  stats.verify_mismatches =
+      verify_mismatches_.load(std::memory_order_relaxed);
+  stats.capacity = capacity();
+  stats.shards = num_shards();
+  if (stats.hits + stats.misses > 0) {
+    stats.hit_rate = static_cast<double>(stats.hits) /
+                     static_cast<double>(stats.hits + stats.misses);
+  }
+  return stats;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,168 @@
+#ifndef GENCOMPACT_SSDL_CHECK_MEMO_H_
+#define GENCOMPACT_SSDL_CHECK_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/attribute_set.h"
+
+namespace gencompact {
+
+/// Key of one cross-query Check memo entry. The Checker's first-level memo
+/// is keyed by interned ConditionId, so its entries die with the condition;
+/// this second level keys on the condition's 64-bit *structural* fingerprint
+/// instead, which a recurring query re-derives even after the original node
+/// (and its id) is gone. `source_id` scopes the entry to one registered
+/// source, and `epoch` is the source's description epoch: reloading a
+/// description bumps the epoch, so entries computed against the old grammar
+/// can never satisfy a lookup against the new one.
+struct CheckMemoKey {
+  uint64_t fingerprint = 0;
+  uint32_t source_id = 0;
+  uint64_t epoch = 0;
+
+  bool operator==(const CheckMemoKey& other) const {
+    return fingerprint == other.fingerprint && source_id == other.source_id &&
+           epoch == other.epoch;
+  }
+};
+
+struct CheckMemoKeyHash {
+  size_t operator()(const CheckMemoKey& key) const {
+    uint64_t x = key.fingerprint ^ (uint64_t{key.source_id} << 32) ^
+                 (key.epoch * 0x9e3779b97f4a7c15ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+/// A cross-query, capacity-bounded second-level memo for the paper's
+/// Check(C, R) supportability test — the mediator-side capability cache of
+/// the TSIMMIS/Garlic wrapper line. One instance is shared by every Checker
+/// the mediator owns (planning and enforcement alike); a Checker consults it
+/// on first-level miss and populates it when an Earley run completes, so
+/// Check results survive queries that plan, die, and recur.
+///
+/// Structure mirrors the plan cache: N independently locked LRU shards
+/// (keys distributed by hash), each owning its share of the capacity, so
+/// concurrent planning threads neither race nor serialize on one mutex.
+/// `capacity == 0` disables the memo entirely — Lookup always misses without
+/// counting, Insert is a no-op — which keeps the zero-capacity configuration
+/// bit-identical to a build without the memo.
+///
+/// Because a fingerprint is structural (not an identity), a 64-bit collision
+/// or a stale entry would silently change plan feasibility. `verify_rate`
+/// arms verify-on-hit: a deterministic 1-in-round(1/rate) sample of L2 hits
+/// is re-checked by the Checker against a fresh Earley run; mismatches are
+/// counted (and the entry repaired) instead of trusted. CI runs one leg at
+/// verify_rate = 1 so every hit is cross-checked in at least one config.
+class CheckMemo {
+ public:
+  struct Options {
+    /// Total entries across shards; 0 disables the memo.
+    size_t capacity = 4096;
+    /// Independently locked LRU shards (>= 1).
+    size_t shards = 8;
+    /// Fraction of hits re-verified against a fresh Earley run (0 = never,
+    /// 1 = every hit). Sampling is deterministic, not random.
+    double verify_rate = 0.0;
+  };
+
+  explicit CheckMemo(const Options& options);
+  explicit CheckMemo(size_t capacity, size_t shards = 8,
+                     double verify_rate = 0.0)
+      : CheckMemo(Options{capacity, shards, verify_rate}) {}
+
+  CheckMemo(const CheckMemo&) = delete;
+  CheckMemo& operator=(const CheckMemo&) = delete;
+
+  /// False iff constructed with capacity 0 (the memo is a no-op then).
+  bool enabled() const { return shard_capacity_ > 0; }
+
+  /// Returns a copy of the memoized maximal-export-set family and refreshes
+  /// the entry's recency, or nullopt on miss (or when disabled).
+  std::optional<std::vector<AttributeSet>> Lookup(const CheckMemoKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least recently
+  /// used entry beyond its capacity. No-op when disabled.
+  void Insert(const CheckMemoKey& key, std::vector<AttributeSet> family);
+
+  /// Drops every entry belonging to `source_id` (any epoch) — called when a
+  /// source's description is reloaded, so stale entries free their capacity
+  /// immediately instead of aging out. Returns the number dropped.
+  size_t InvalidateSource(uint32_t source_id);
+
+  void Clear();
+
+  /// Deterministic verify-on-hit sampler: true for 1 in round(1/verify_rate)
+  /// hits (every hit at rate >= 1, never at rate <= 0).
+  bool SampleVerifyHit();
+
+  /// Records the outcome of one sampled verification. A mismatch means a
+  /// fingerprint collision or a stale entry slipped through — the caller
+  /// repairs the entry; this just keeps the books.
+  void RecordVerifyOutcome(bool matched);
+
+  double verify_rate() const { return verify_rate_; }
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const;
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t refreshes = 0;
+    size_t evictions = 0;
+    size_t invalidated = 0;        ///< dropped by InvalidateSource
+    size_t verified_hits = 0;      ///< sampled hits re-checked by Earley
+    size_t verify_mismatches = 0;  ///< verifications that caught a bad entry
+    size_t size = 0;
+    size_t capacity = 0;
+    size_t shards = 0;
+    double hit_rate = 0.0;  ///< hits / (hits + misses); 0 before any lookup
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    CheckMemoKey key;
+    std::vector<AttributeSet> family;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<CheckMemoKey, std::list<Entry>::iterator,
+                       CheckMemoKeyHash>
+        entries;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t refreshes = 0;
+    size_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CheckMemoKey& key) {
+    return *shards_[CheckMemoKeyHash{}(key) % shards_.size()];
+  }
+
+  size_t shard_capacity_;
+  double verify_rate_;
+  uint64_t verify_period_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> verify_ticker_{0};
+  std::atomic<size_t> invalidated_{0};
+  std::atomic<size_t> verified_hits_{0};
+  std::atomic<size_t> verify_mismatches_{0};
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_SSDL_CHECK_MEMO_H_

@@ -1,0 +1,128 @@
+// Seeded Checker fuzzer for the two-level Check memo: random SSDL
+// capability grammars and random condition trees (the differential
+// harness's generators), asserting that every memoization mode returns the
+// same family of maximal export sets:
+//
+//   - a memo-disabled Checker, fresh per condition (ground truth — every
+//     Check is a full Earley run);
+//   - a persistent L1-only Checker (id-keyed memo across conditions);
+//   - Checkers sharing the fingerprint-keyed second level, both the one
+//     that populated an entry and cold readers that can only hit L2;
+//   - an interning-ablated rebuild of the condition (fresh ConditionId,
+//     same structural fingerprint), which forces the L2 path.
+//
+// The shared memo runs with verify_rate = 1.0, so every single L2 hit is
+// re-checked against a fresh Earley run; any fingerprint collision or
+// cross-mode disagreement shows up as a verify mismatch and fails the test.
+// The base seed comes from GENCOMPACT_TEST_SEED (default 439) so CI runs
+// this under the same seed matrix as the differential suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "expr/condition_parser.h"
+#include "expr/intern.h"
+#include "planner/source_handle.h"
+#include "ssdl/check.h"
+#include "ssdl/check_memo.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+
+namespace gencompact {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("GENCOMPACT_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 439;
+}
+
+Schema FuzzSchema() {
+  return Schema({{"s1", ValueType::kString},
+                 {"s2", ValueType::kString},
+                 {"n1", ValueType::kInt},
+                 {"n2", ValueType::kInt}});
+}
+
+std::vector<AttributeSet> Sorted(std::vector<AttributeSet> family) {
+  std::sort(family.begin(), family.end());
+  return family;
+}
+
+class CheckFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t CaseSeed() const {
+    return BaseSeed() * 99991ull + static_cast<uint64_t>(GetParam()) * 7919ull;
+  }
+};
+
+TEST_P(CheckFuzzTest, MemoLevelsAgreeOnMaximalExportSets) {
+  Rng rng(CaseSeed());
+  const Schema schema = FuzzSchema();
+  const std::unique_ptr<Table> table =
+      MakeRandomTable("src", schema, /*rows=*/60, /*string_pool=*/8,
+                      /*value_range=*/30, &rng);
+  const SourceDescription description =
+      RandomCapability("src", schema, RandomCapabilityOptions{}, &rng);
+  // Check against the commutativity-closed view, exactly as planning does.
+  SourceHandle handle(description, table.get());
+  const SourceDescription& closed = handle.description();
+  const std::vector<AttributeDomain> domains =
+      ExtractDomains(*table, /*max_samples=*/6, &rng);
+
+  CheckMemo memo(/*capacity=*/256, /*shards=*/4, /*verify_rate=*/1.0);
+  Checker persistent_l1(&closed);  // L1 only, survives across conditions
+  Checker writer(&closed);         // populates the shared second level
+  writer.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+
+  RandomConditionOptions cond_options;
+  for (int trial = 0; trial < 24; ++trial) {
+    cond_options.num_atoms = 1 + rng.NextIndex(4);
+    const ConditionPtr cond = RandomCondition(domains, cond_options, &rng);
+    SCOPED_TRACE(cond->ToString());
+
+    Checker fresh(&closed);  // memo-disabled ground truth
+    const std::vector<AttributeSet> truth = Sorted(fresh.Check(*cond));
+
+    EXPECT_EQ(Sorted(persistent_l1.Check(*cond)), truth);
+    EXPECT_EQ(Sorted(persistent_l1.Check(*cond)), truth);  // L1 hit path
+    EXPECT_EQ(Sorted(writer.Check(*cond)), truth);         // populates L2
+
+    Checker reader(&closed);  // cold L1: sharing must come from L2
+    reader.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+    EXPECT_EQ(Sorted(reader.Check(*cond)), truth);
+    EXPECT_EQ(reader.num_shared_hits(), 1u);
+
+    // Structural twin with a fresh identity: interning off, rebuilt from
+    // text. Same fingerprint, different ConditionId — so an id-keyed memo
+    // can never serve it, and agreement proves the fingerprint-keyed level
+    // is keyed on structure alone.
+    {
+      ScopedInterningDisabled no_interning;
+      const Result<ConditionPtr> twin = ParseCondition(cond->ToString());
+      ASSERT_TRUE(twin.ok());
+      ASSERT_NE((*twin)->id(), cond->id());
+      ASSERT_EQ((*twin)->fingerprint(), cond->fingerprint());
+      Checker ablated(&closed);
+      ablated.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+      EXPECT_EQ(Sorted(ablated.Check(**twin)), truth);
+      EXPECT_EQ(ablated.num_shared_hits(), 1u);
+    }
+  }
+
+  const CheckMemo::Stats stats = memo.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.verified_hits, 0u);
+  EXPECT_EQ(stats.verify_mismatches, 0u)
+      << "an L2 hit disagreed with a fresh Earley run";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckFuzzTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gencompact

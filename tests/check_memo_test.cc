@@ -1,0 +1,402 @@
+// Cross-query Check memo (src/ssdl/check_memo.*):
+//  - LRU / shard semantics of the second-level memo itself;
+//  - Checker integration: a recurring condition whose interned id died
+//    still hits by structural fingerprint, across Checker instances;
+//  - verify-on-hit catches and repairs a poisoned entry;
+//  - description reload bumps the epoch and invalidates the source's
+//    entries (stale capabilities never leak into fresh plans);
+//  - zero capacity = disabled, with mediator-level parity;
+//  - an 8-thread hammer racing lookups, inserts, verification, and
+//    invalidation on one shared memo (run under TSan/ASan in scripts/ci.sh).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expr/condition_parser.h"
+#include "mediator/mediator.h"
+#include "ssdl/check.h"
+#include "ssdl/check_memo.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+std::vector<AttributeSet> Family(uint64_t bits) {
+  return {AttributeSet::FromBits(bits)};
+}
+
+std::vector<AttributeSet> Sorted(std::vector<AttributeSet> family) {
+  std::sort(family.begin(), family.end());
+  return family;
+}
+
+// ---------------------------------------------------------------------------
+// Memo-level semantics.
+
+TEST(CheckMemoTest, LruEvictsLeastRecentlyUsed) {
+  CheckMemo memo(/*capacity=*/2, /*shards=*/1);
+  const CheckMemoKey a{1, 0, 0};
+  const CheckMemoKey b{2, 0, 0};
+  const CheckMemoKey c{3, 0, 0};
+  memo.Insert(a, Family(0b01));
+  memo.Insert(b, Family(0b10));
+  ASSERT_TRUE(memo.Lookup(a).has_value());  // refreshes a: b is now LRU
+  memo.Insert(c, Family(0b11));             // evicts b
+  EXPECT_TRUE(memo.Lookup(a).has_value());
+  EXPECT_FALSE(memo.Lookup(b).has_value());
+  EXPECT_TRUE(memo.Lookup(c).has_value());
+  const CheckMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(CheckMemoTest, ReinsertRefreshesValueAndRecency) {
+  CheckMemo memo(/*capacity=*/2, /*shards=*/1);
+  const CheckMemoKey a{1, 0, 0};
+  memo.Insert(a, Family(0b01));
+  memo.Insert(a, Family(0b11));  // refresh, not a second entry
+  const auto hit = memo.Lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].bits(), 0b11u);
+  EXPECT_EQ(memo.stats().refreshes, 1u);
+  EXPECT_EQ(memo.stats().size, 1u);
+}
+
+TEST(CheckMemoTest, ShardedCapacityRoundsUpPerShard) {
+  CheckMemo memo(/*capacity=*/6, /*shards=*/4);
+  EXPECT_EQ(memo.num_shards(), 4u);
+  EXPECT_GE(memo.capacity(), 6u);  // per-shard share rounds up
+  CheckMemo one(/*capacity=*/8, /*shards=*/1);
+  EXPECT_EQ(one.capacity(), 8u);
+}
+
+TEST(CheckMemoTest, EpochMismatchNeverHits) {
+  CheckMemo memo(/*capacity=*/16, /*shards=*/1);
+  memo.Insert(CheckMemoKey{42, 7, /*epoch=*/0}, Family(0b1));
+  EXPECT_FALSE(memo.Lookup(CheckMemoKey{42, 7, /*epoch=*/1}).has_value());
+  EXPECT_TRUE(memo.Lookup(CheckMemoKey{42, 7, /*epoch=*/0}).has_value());
+}
+
+TEST(CheckMemoTest, InvalidateSourceDropsOnlyThatSource) {
+  CheckMemo memo(/*capacity=*/16, /*shards=*/2);
+  memo.Insert(CheckMemoKey{1, /*source_id=*/0, 0}, Family(0b1));
+  memo.Insert(CheckMemoKey{2, /*source_id=*/0, 1}, Family(0b1));
+  memo.Insert(CheckMemoKey{3, /*source_id=*/1, 0}, Family(0b1));
+  EXPECT_EQ(memo.InvalidateSource(0), 2u);  // both epochs of source 0
+  EXPECT_FALSE(memo.Lookup(CheckMemoKey{1, 0, 0}).has_value());
+  EXPECT_FALSE(memo.Lookup(CheckMemoKey{2, 0, 1}).has_value());
+  EXPECT_TRUE(memo.Lookup(CheckMemoKey{3, 1, 0}).has_value());
+  EXPECT_EQ(memo.stats().invalidated, 2u);
+}
+
+TEST(CheckMemoTest, ZeroCapacityIsDisabled) {
+  CheckMemo memo(/*capacity=*/0);
+  EXPECT_FALSE(memo.enabled());
+  memo.Insert(CheckMemoKey{1, 0, 0}, Family(0b1));
+  EXPECT_FALSE(memo.Lookup(CheckMemoKey{1, 0, 0}).has_value());
+  const CheckMemo::Stats stats = memo.stats();
+  // A disabled memo counts nothing: no phantom misses distorting hit rates.
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+}
+
+TEST(CheckMemoTest, VerifySamplingIsDeterministic) {
+  CheckMemo always(/*capacity=*/8, 1, /*verify_rate=*/1.0);
+  CheckMemo never(/*capacity=*/8, 1, /*verify_rate=*/0.0);
+  CheckMemo quarter(/*capacity=*/8, 1, /*verify_rate=*/0.25);
+  int always_n = 0, never_n = 0, quarter_n = 0;
+  for (int i = 0; i < 100; ++i) {
+    always_n += always.SampleVerifyHit() ? 1 : 0;
+    never_n += never.SampleVerifyHit() ? 1 : 0;
+    quarter_n += quarter.SampleVerifyHit() ? 1 : 0;
+  }
+  EXPECT_EQ(always_n, 100);
+  EXPECT_EQ(never_n, 0);
+  EXPECT_EQ(quarter_n, 25);  // exactly 1 in 4, no randomness
+}
+
+// ---------------------------------------------------------------------------
+// Checker integration.
+
+constexpr const char* kCarsSsdl = R"(
+source cars(make: string, model: string, year: int,
+            color: string, price: int) {
+  cost 10.0 1.0;
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+SourceDescription CarsDescription() {
+  Result<SourceDescription> description = ParseSsdl(kCarsSsdl);
+  EXPECT_TRUE(description.ok());
+  return std::move(description).value();
+}
+
+TEST(CheckMemoCheckerTest, RecurringConditionHitsAfterItsIdDied) {
+  const SourceDescription description = CarsDescription();
+  CheckMemo memo(/*capacity=*/64, /*shards=*/2);
+  const char* text = "make = \"BMW\" and price < 30000";
+
+  std::vector<AttributeSet> first_family;
+  uint64_t first_id = 0;
+  {
+    Checker checker(&description);
+    checker.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+    const Result<ConditionPtr> cond = ParseCondition(text);
+    ASSERT_TRUE(cond.ok());
+    first_id = (*cond)->id();
+    first_family = checker.Check(**cond);
+    EXPECT_FALSE(first_family.empty());
+    EXPECT_EQ(checker.num_shared_hits(), 0u);  // first sight: full miss
+  }
+  // Condition and Checker are both gone — the L1 entry died with them. A
+  // recurrence re-parses to a fresh id but the same structural fingerprint,
+  // and a brand-new Checker answers it from the shared memo.
+  Checker checker(&description);
+  checker.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+  const Result<ConditionPtr> again = ParseCondition(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE((*again)->id(), first_id);
+  EXPECT_EQ(Sorted(checker.Check(**again)), Sorted(first_family));
+  EXPECT_EQ(checker.num_shared_hits(), 1u);
+  EXPECT_EQ(checker.total_earley_items(), 0u);  // no parse happened
+  EXPECT_GE(memo.stats().hits, 1u);
+}
+
+TEST(CheckMemoCheckerTest, VerifyOnHitRepairsPoisonedEntry) {
+  const SourceDescription description = CarsDescription();
+  CheckMemo memo(/*capacity=*/64, /*shards=*/1, /*verify_rate=*/1.0);
+  const Result<ConditionPtr> cond =
+      ParseCondition("make = \"BMW\" and price < 30000");
+  ASSERT_TRUE(cond.ok());
+
+  // Reference family from an unmemoized Checker.
+  Checker reference(&description);
+  const std::vector<AttributeSet> truth = reference.Check(**cond);
+  ASSERT_FALSE(truth.empty());
+
+  // Poison the memo under this condition's exact key — the shape a
+  // fingerprint collision or a stale entry would take.
+  const CheckMemoKey key{(*cond)->fingerprint(), /*source_id=*/0, /*epoch=*/0};
+  memo.Insert(key, Family(0b1));
+
+  Checker checker(&description);
+  checker.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+  // The hit is sampled (rate 1.0), re-checked against a fresh Earley run,
+  // found wrong, counted, and repaired — the caller sees the true family.
+  EXPECT_EQ(Sorted(checker.Check(**cond)), Sorted(truth));
+  EXPECT_EQ(memo.stats().verify_mismatches, 1u);
+  EXPECT_EQ(memo.stats().verified_hits, 1u);
+
+  // The repaired entry now verifies clean for the next fresh Checker.
+  Checker after(&description);
+  after.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+  EXPECT_EQ(Sorted(after.Check(**cond)), Sorted(truth));
+  EXPECT_EQ(memo.stats().verify_mismatches, 1u);  // no new mismatch
+  EXPECT_EQ(memo.stats().verified_hits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Mediator integration: epoch invalidation on description reload, and
+// zero-capacity parity.
+
+std::unique_ptr<Table> CarsTable(const Schema& schema) {
+  auto table = std::make_unique<Table>("cars", schema);
+  const auto add = [&](const char* make, const char* model, int64_t year,
+                       const char* color, int64_t price) {
+    EXPECT_TRUE(table
+                    ->AppendValues({Value::String(make), Value::String(model),
+                                    Value::Int(year), Value::String(color),
+                                    Value::Int(price)})
+                    .ok());
+  };
+  add("BMW", "318i", 1996, "red", 21000);
+  add("BMW", "528i", 1997, "black", 38000);
+  add("Toyota", "Corolla", 1997, "red", 13000);
+  add("Toyota", "Camry", 1998, "blue", 19000);
+  return table;
+}
+
+// Same source, but s1 no longer exports `color`.
+constexpr const char* kCarsSsdlNarrow = R"(
+source cars(make: string, model: string, year: int,
+            color: string, price: int) {
+  cost 10.0 1.0;
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year};
+  export s2 : {make, model, year};
+}
+)";
+
+TEST(CheckMemoMediatorTest, ReloadBumpsEpochAndInvalidatesStaleEntries) {
+  Mediator::Options options;
+  options.check_memo_capacity = 128;
+  options.check_memo_verify_rate = 1.0;
+  Mediator mediator(options);
+  SourceDescription description = CarsDescription();
+  ASSERT_TRUE(mediator
+                  .RegisterSource(std::move(description),
+                                  CarsTable(CarsDescription().schema()))
+                  .ok());
+
+  const std::string sql =
+      "select color from cars where make = \"BMW\" and price < 30000";
+  ASSERT_TRUE(mediator.Query(sql).ok());  // v1: s1 exports color
+
+  Result<SourceDescription> narrow = ParseSsdl(kCarsSsdlNarrow);
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(mediator.ReloadSource(std::move(narrow).value()).ok());
+
+  // Stale memo entries claimed `color` was exported; the epoch bump makes
+  // them unreachable, so the reloaded capabilities decide feasibility.
+  const auto after = mediator.Query(sql);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kNoFeasiblePlan);
+
+  const Mediator::Stats stats = mediator.StatsSnapshot();
+  ASSERT_EQ(stats.sources.size(), 1u);
+  EXPECT_EQ(stats.sources[0].description_epoch, 1u);
+  EXPECT_GT(stats.check_memo.invalidated, 0u);
+  EXPECT_EQ(stats.check_memo.verify_mismatches, 0u);
+
+  // A query the narrowed description still supports works post-reload.
+  EXPECT_TRUE(mediator
+                  .Query("select make, model from cars where make = \"BMW\" "
+                         "and price < 30000")
+                  .ok());
+}
+
+TEST(CheckMemoMediatorTest, ReloadRejectsWrongNameOrSchema) {
+  Mediator mediator;
+  ASSERT_TRUE(mediator
+                  .RegisterSource(CarsDescription(),
+                                  CarsTable(CarsDescription().schema()))
+                  .ok());
+  // Unknown source name.
+  SourceDescription other("trucks", CarsDescription().schema());
+  EXPECT_EQ(mediator.ReloadSource(std::move(other)).code(),
+            StatusCode::kNotFound);
+  // Same name, incompatible schema.
+  SourceDescription wrong_schema("cars",
+                                 Schema({{"make", ValueType::kString}}));
+  EXPECT_EQ(mediator.ReloadSource(std::move(wrong_schema)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckMemoMediatorTest, ZeroCapacityMatchesMemoizedAnswersAndPlans) {
+  Mediator::Options off;
+  off.check_memo_capacity = 0;
+  Mediator disabled(off);
+  Mediator::Options on;
+  on.check_memo_capacity = 256;
+  on.check_memo_verify_rate = 1.0;
+  Mediator enabled(on);
+  for (Mediator* mediator : {&disabled, &enabled}) {
+    ASSERT_TRUE(mediator
+                    ->RegisterSource(CarsDescription(),
+                                     CarsTable(CarsDescription().schema()))
+                    .ok());
+  }
+  EXPECT_EQ(disabled.check_memo(), nullptr);
+  ASSERT_NE(enabled.check_memo(), nullptr);
+
+  const std::vector<std::string> queries = {
+      "select make, model from cars where make = \"BMW\" and price < 30000",
+      "select make from cars where make = \"Toyota\" and color = \"red\"",
+      "select make, model from cars where make = \"BMW\" and price < 30000",
+  };
+  for (const std::string& sql : queries) {
+    const auto a = disabled.Query(sql);
+    const auto b = enabled.Query(sql);
+    ASSERT_EQ(a.ok(), b.ok()) << sql;
+    if (!a.ok()) continue;
+    // Identical plans and identical answers, bit for bit.
+    EXPECT_EQ(a->plan->ToShortString(), b->plan->ToShortString()) << sql;
+    EXPECT_EQ(a->estimated_cost, b->estimated_cost) << sql;
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (const Row& row : a->rows.rows()) {
+      EXPECT_TRUE(b->rows.Contains(row)) << sql;
+    }
+  }
+  EXPECT_FALSE(disabled.StatsSnapshot().check_memo.enabled);
+  EXPECT_TRUE(enabled.StatsSnapshot().check_memo.enabled);
+  EXPECT_EQ(enabled.StatsSnapshot().check_memo.verify_mismatches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency hammer (run under TSan and ASan by scripts/ci.sh): 8 threads
+// share one memo through short-lived Checkers — every lookup either misses
+// (and re-parses) or hits an entry another thread published, with half the
+// hits re-verified and a racing invalidator dropping entries mid-flight.
+
+TEST(CheckMemoHammerTest, ThreadsShareOneMemoConsistently) {
+  const SourceDescription description = CarsDescription();
+  const std::vector<std::string> texts = {
+      "make = \"BMW\" and price < 30000",
+      "make = \"Toyota\" and price < 20000",
+      "make = \"BMW\" and color = \"red\"",
+      "make = \"Audi\" and price < 45000",
+      "make = \"Toyota\" and color = \"blue\"",
+      "price < 10000",
+      "make = \"BMW\"",
+      "make = \"VW\" and color = \"green\"",
+  };
+  // Reference families from an unmemoized Checker.
+  std::vector<std::vector<AttributeSet>> expected;
+  {
+    Checker reference(&description);
+    for (const std::string& text : texts) {
+      const Result<ConditionPtr> cond = ParseCondition(text);
+      ASSERT_TRUE(cond.ok());
+      expected.push_back(Sorted(reference.Check(**cond)));
+    }
+  }
+
+  CheckMemo memo(/*capacity=*/32, /*shards=*/4, /*verify_rate=*/0.5);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 30;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &texts, &expected, &description, &memo]() {
+      for (size_t round = 0; round < kRounds; ++round) {
+        // Fresh Checker per round: every L1 is cold, so all sharing runs
+        // through the contested L2 path.
+        Checker checker(&description);
+        checker.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
+        for (size_t i = 0; i < texts.size(); ++i) {
+          const size_t pick = (i + t * 3 + round) % texts.size();
+          const Result<ConditionPtr> cond = ParseCondition(texts[pick]);
+          ASSERT_TRUE(cond.ok());
+          const std::vector<AttributeSet> family = checker.Check(**cond);
+          EXPECT_EQ(Sorted(family), expected[pick]) << texts[pick];
+        }
+        if (t == 0 && round % 7 == 3) {
+          // Race invalidation against the other threads' hits/inserts;
+          // correctness must not depend on an entry surviving.
+          memo.InvalidateSource(0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const CheckMemo::Stats stats = memo.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.verify_mismatches, 0u);
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -27,6 +27,8 @@
 #include "plan/plan_validator.h"
 #include "planner/planner.h"
 #include "planner/source_handle.h"
+#include "ssdl/check.h"
+#include "ssdl/check_memo.h"
 #include "workload/random_capability.h"
 #include "workload/random_condition.h"
 
@@ -218,6 +220,67 @@ TEST_P(ConditionInternParityTest, PlansAndAnswersMatchAblation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConditionInternParityTest,
                          ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Ablation × the cross-query Check memo. The second level is keyed by
+// structural fingerprint, which both interning modes compute identically —
+// so results cached by interned conditions must be reachable from ablated
+// rebuilds of the same trees (whose ConditionIds are all fresh), and
+// 100% verify-on-hit proves every such cross-mode hit returns the exact
+// family a fresh Earley run would.
+
+TEST(ConditionInternCheckMemoTest, AblationSharesCheckResultsThroughMemo) {
+  const Schema schema({{"s1", ValueType::kString},
+                       {"s2", ValueType::kString},
+                       {"n1", ValueType::kInt},
+                       {"n2", ValueType::kInt}});
+  Rng rng(4391);
+  const std::unique_ptr<Table> table =
+      MakeRandomTable("src", schema, 100, 8, 30, &rng);
+  const SourceDescription description =
+      RandomCapability("src", schema, RandomCapabilityOptions{}, &rng);
+  SourceHandle handle(description, table.get());
+  const std::vector<AttributeDomain> domains = ExtractDomains(*table, 5, &rng);
+  const auto sorted = [](std::vector<AttributeSet> family) {
+    std::sort(family.begin(), family.end());
+    return family;
+  };
+
+  CheckMemo memo(/*capacity=*/128, /*shards=*/2, /*verify_rate=*/1.0);
+  std::vector<std::string> texts;
+  std::vector<std::vector<AttributeSet>> families;
+  {
+    ASSERT_TRUE(ConditionInterner::enabled());
+    Checker checker(&handle.description());
+    checker.EnableSharedMemo(&memo, /*source_id=*/7, /*epoch=*/3);
+    for (int i = 0; i < 10; ++i) {
+      RandomConditionOptions cond_options;
+      cond_options.num_atoms = 1 + rng.NextIndex(5);
+      const ConditionPtr cond = RandomCondition(domains, cond_options, &rng);
+      texts.push_back(cond->ToString());
+      families.push_back(sorted(checker.Check(*cond)));
+    }
+  }
+  // Every interned condition above is dead now; only the fingerprint-keyed
+  // memo entries survive. Rebuild each tree with interning disabled.
+  {
+    ScopedInterningDisabled off;
+    Checker checker(&handle.description());
+    checker.EnableSharedMemo(&memo, /*source_id=*/7, /*epoch=*/3);
+    for (size_t i = 0; i < texts.size(); ++i) {
+      SCOPED_TRACE(texts[i]);
+      const Result<ConditionPtr> cond = ParseCondition(texts[i]);
+      ASSERT_TRUE(cond.ok());
+      EXPECT_EQ(sorted(checker.Check(**cond)), families[i]);
+    }
+    // Every ablated Check was answered by the shared level. (Earley still
+    // ran once per hit — that's the 100% verify-on-hit re-check, not a
+    // miss.)
+    EXPECT_EQ(checker.num_shared_hits(), texts.size());
+  }
+  EXPECT_GT(memo.stats().verified_hits, 0u);
+  EXPECT_EQ(memo.stats().verify_mismatches, 0u);
+}
 
 // ---------------------------------------------------------------------------
 // Concurrency hammer (run under TSan and ASan by scripts/ci.sh).

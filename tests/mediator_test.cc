@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -23,6 +24,26 @@ source cars(make: string, model: string, year: int,
 
 class MediatorFixture : public ::testing::Test {
  protected:
+  // With GENCOMPACT_CHECK_VERIFY=1 in the environment (a dedicated CI leg),
+  // every fixture mediator runs the cross-query Check memo with 100%
+  // verify-on-hit: each second-level hit is re-checked against a fresh
+  // Earley run, and the destructor below asserts none ever disagreed.
+  static Mediator::Options FixtureOptions() {
+    Mediator::Options options;
+    const char* env = std::getenv("GENCOMPACT_CHECK_VERIFY");
+    if (env != nullptr && *env == '1') {
+      options.check_memo_capacity = 1024;
+      options.check_memo_verify_rate = 1.0;
+    }
+    return options;
+  }
+
+  ~MediatorFixture() override {
+    if (mediator_.check_memo() != nullptr) {
+      EXPECT_EQ(mediator_.check_memo()->stats().verify_mismatches, 0u);
+    }
+  }
+
   MediatorFixture() {
     Result<SourceDescription> description = ParseSsdl(kSsdl);
     EXPECT_TRUE(description.ok());
@@ -45,7 +66,7 @@ class MediatorFixture : public ::testing::Test {
                     .ok());
   }
 
-  Mediator mediator_;
+  Mediator mediator_{FixtureOptions()};
 };
 
 TEST(SqlParserTest, ParsesSelectList) {
@@ -191,6 +212,81 @@ TEST_F(MediatorFixture, QueryConditionProgrammaticForm) {
       "cars", *cond, {"model", "year"}, Strategy::kGenCompact);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows.size(), 1u);  // 318i
+}
+
+TEST_F(MediatorFixture, StatsSnapshotSurfacesPerSourceEarleyItems) {
+  const std::string sql =
+      "SELECT model FROM cars WHERE make = \"BMW\" and price < 30000";
+  ASSERT_TRUE(mediator_.Query(sql).ok());
+  const Mediator::Stats stats = mediator_.StatsSnapshot();
+  ASSERT_EQ(stats.sources.size(), 1u);
+  // check_calls was always surfaced; the Earley item count behind it is the
+  // matching work measure — planning this query had to parse something.
+  EXPECT_GT(stats.sources[0].check_calls, 0u);
+  EXPECT_GT(stats.sources[0].earley_items, 0u);
+  EXPECT_EQ(stats.sources[0].description_epoch, 0u);
+
+  // A plan-cache hit re-executes without re-planning: the enforcement
+  // Check hits the wrapper Checker's memo, so no new items accrue.
+  const size_t items_after_first = stats.sources[0].earley_items;
+  ASSERT_TRUE(mediator_.Query(sql).ok());
+  EXPECT_EQ(mediator_.StatsSnapshot().sources[0].earley_items,
+            items_after_first);
+}
+
+TEST(MediatorCheckMemoTest, RecurringQueryHitsSecondLevelAfterPlanEviction) {
+  Result<SourceDescription> description = ParseSsdl(kSsdl);
+  ASSERT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  ASSERT_TRUE(table
+                  ->AppendValues({Value::String("BMW"), Value::String("318i"),
+                                  Value::Int(1996), Value::String("red"),
+                                  Value::Int(21000)})
+                  .ok());
+
+  Mediator::Options options;
+  // A one-entry plan cache forces eviction, which releases the cached
+  // plan's pinned conditions — the recurrence then re-parses to a fresh
+  // ConditionId, misses every id-keyed layer, and only the structural
+  // fingerprint can recognize it.
+  options.cache_capacity = 1;
+  options.cache_shards = 1;
+  options.check_memo_capacity = 256;
+  options.check_memo_verify_rate = 1.0;  // re-check every single L2 hit
+  Mediator mediator(options);
+  ASSERT_TRUE(
+      mediator.RegisterSource(std::move(description).value(), std::move(table))
+          .ok());
+
+  const std::string recurring =
+      "SELECT model FROM cars WHERE make = \"BMW\" and price < 30000";
+  const Mediator::Stats before = mediator.StatsSnapshot();
+  ASSERT_TRUE(mediator.Query(recurring).ok());
+  // A different query evicts the first plan (capacity 1) and kills its
+  // pinned condition tree.
+  ASSERT_TRUE(
+      mediator.Query("SELECT year FROM cars WHERE make = \"BMW\" and "
+                     "color = \"red\"")
+          .ok());
+  ASSERT_TRUE(mediator.Query(recurring).ok());
+
+  const Mediator::Stats stats = mediator.StatsSnapshot();
+  EXPECT_TRUE(stats.check_memo.enabled);
+  EXPECT_GT(stats.check_memo.hits, 0u);
+  EXPECT_GT(stats.check_memo.insertions, 0u);
+  EXPECT_EQ(stats.check_memo.verify_mismatches, 0u);
+  ASSERT_EQ(stats.sources.size(), 1u);
+  EXPECT_GT(stats.sources[0].check_l2_hits, 0u);
+
+  const Mediator::Stats::Rates rates = stats.DiffSince(before);
+  EXPECT_GT(rates.check_l2_hit_rate, 0.0);
+  EXPECT_LE(rates.check_l2_hit_rate, 1.0);
+
+  // The observability surface names the new counters.
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("check_memo.hits"), std::string::npos);
+  EXPECT_NE(text.find("check_l2_hits"), std::string::npos);
+  EXPECT_NE(text.find("earley_items"), std::string::npos);
 }
 
 TEST(MediatorConcurrencyTest, ConcurrentClientsGetIdenticalAnswers) {
