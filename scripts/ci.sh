@@ -3,7 +3,8 @@
 # differential harness replayed over a small seed matrix (the default 439
 # that gates commits plus four fresh bases — GENCOMPACT_TEST_SEED reseeds
 # the random capability/query generators, so each base is a brand-new set of
-# planner-equivalence and Choice-resolution cases), then a ThreadSanitizer
+# planner-equivalence, Choice-resolution, and row-vs-batch data-plane parity
+# cases), then a ThreadSanitizer
 # build running the concurrency tests (thread pool, sharded plan cache,
 # condition interner, cross-query Check memo, parallel executor, concurrent
 # mediator clients, hedge races), then an AddressSanitizer pass over the
@@ -31,7 +32,7 @@ for seed in 439 1009 2027 4391 9001; do
   echo "--- GENCOMPACT_TEST_SEED=${seed} ---"
   GENCOMPACT_TEST_SEED="${seed}" \
     "${PREFIX}-release/tests/gencompact_tests" \
-    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*' \
+    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*' \
     --gtest_brief=1
 done
 
@@ -45,13 +46,13 @@ echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:BatchConcurrency*'
 
 echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:Batch*:ColumnStore*:WireFormat*:RowHash*'
 
 echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
@@ -66,5 +67,11 @@ cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_check
 # The empty filter skips the E6 microbenchmarks; the E14 Zipf cold/warm
 # comparison (and its >= 2x warm-speedup acceptance print) always runs.
 "${PREFIX}-release/bench/bench_check" --benchmark_filter='^$'
+
+echo "=== Scan bench smoke (writes BENCH_scan.json) ==="
+# E15: exits non-zero unless the large-transfer workload's best batched
+# width is >= 4x the row path and throughput holds up as the width grows.
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_scan
+"${PREFIX}-release/bench/bench_scan"
 
 echo "=== CI OK ==="

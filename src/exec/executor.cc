@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/backoff.h"
-#include "expr/condition_eval.h"
+#include "exec/scan.h"
 
 namespace gencompact {
 
@@ -330,6 +330,18 @@ Result<RowSet> Executor::ExecSetOp(const PlanNode& plan) {
     return *first_dropped_status;
   }
   RowSet acc = std::move(*results[alive.front()]).value();
+  if (options_.batch_width > 0) {
+    // Batch mode: combine in place. Union moves rows (hashes are cached on
+    // the Row, so merging re-buckets without re-hashing); intersect erases.
+    for (size_t i = 1; i < alive.size(); ++i) {
+      if (is_union) {
+        acc.MergeFrom(std::move(*results[alive[i]]).value());
+      } else {
+        acc.IntersectWith(*(*results[alive[i]]));
+      }
+    }
+    return acc;
+  }
   for (size_t i = 1; i < alive.size(); ++i) {
     const RowSet& next = *(*results[alive[i]]);
     acc = is_union ? RowSet::UnionOf(acc, next) : RowSet::IntersectOf(acc, next);
@@ -344,16 +356,10 @@ Result<RowSet> Executor::Exec(const PlanNode& plan) {
       return ExecSourceQuery(plan);
     case PlanNode::Kind::kMediatorSp: {
       GC_ASSIGN_OR_RETURN(RowSet input, Exec(*plan.children().front()));
-      const RowLayout& in_layout = input.layout();
-      const RowLayout out_layout(plan.attrs(), schema.num_attributes());
-      RowSet output(out_layout);
-      for (const Row& row : input.rows()) {
-        GC_ASSIGN_OR_RETURN(
-            const bool matches,
-            EvalCondition(*plan.condition(), row, in_layout, schema));
-        if (matches) output.Insert(in_layout.Project(row, out_layout));
-      }
-      return output;
+      // Compile-once evaluation in both modes; batch mode additionally
+      // transposes the intermediate result and runs vectorized kernels.
+      return FilterRows(input, *plan.condition(), plan.attrs(), schema,
+                        options_.batch_width);
     }
     case PlanNode::Kind::kUnion:
     case PlanNode::Kind::kIntersect:

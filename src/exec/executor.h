@@ -79,6 +79,14 @@ struct ExecOptions {
   /// Hedged requests (see HedgePolicy in latency_tracker.h). Only effective
   /// with a `latency` digest and a ThreadPool.
   HedgePolicy hedge;
+
+  /// Batch width of the mediator-side data plane. 0 (default): the
+  /// row-at-a-time reference path — per-row evaluation for mediator SPs and
+  /// copying UnionOf/IntersectOf combines, bit-identical to the original
+  /// executor. > 0: mediator SPs run the vectorized batch path (transpose +
+  /// compiled kernels, see exec/scan.h) and set operations combine by
+  /// in-place merge/intersect without copying rows.
+  size_t batch_width = 0;
 };
 
 /// Executes resolved plans against one source, performing the mediator

@@ -1,0 +1,124 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+#include "expr/batch_eval.h"
+#include "storage/column_batch.h"
+#include "storage/wire_format.h"
+
+namespace gencompact {
+
+namespace {
+
+/// The shared batch pump: filter [0, store.num_rows()) through `evaluator`
+/// one batch at a time, hash the survivors column-wise, and keep the first
+/// occurrence of every distinct projected tuple. Returns unique row ids in
+/// first-occurrence order.
+std::vector<uint32_t> FilterAndDedup(const ColumnStore& store,
+                                     const CompiledEvaluator& evaluator,
+                                     const std::vector<int>& proj_cols,
+                                     size_t batch_width) {
+  const uint32_t num_rows = static_cast<uint32_t>(store.num_rows());
+  BatchDeduper dedup(&store, proj_cols);
+  std::vector<uint32_t> unique;
+  std::vector<size_t> hashes;
+  ColumnBatch batch;
+  batch.store = &store;
+  for (uint32_t begin = 0; begin < num_rows;
+       begin += static_cast<uint32_t>(batch_width)) {
+    batch.begin = begin;
+    batch.end = static_cast<uint32_t>(
+        std::min<size_t>(num_rows, begin + batch_width));
+    batch.selection.clear();
+    evaluator.FilterBatch(&batch);
+    if (batch.selection.empty()) continue;
+    store.HashRows(batch.selection, proj_cols, &hashes);
+    for (size_t i = 0; i < batch.selection.size(); ++i) {
+      if (dedup.AddIfNew(hashes[i], batch.selection[i])) {
+        unique.push_back(batch.selection[i]);
+      }
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+Result<RowSet> ScanTable(const Table& table, const ConditionNode& cond,
+                         const AttributeSet& attrs, const ScanOptions& options,
+                         ScanMetrics* metrics) {
+  const Schema& schema = table.schema();
+  const RowLayout full = table.FullLayout();
+  const RowLayout projected(attrs, schema.num_attributes());
+  GC_ASSIGN_OR_RETURN(const CompiledEvaluator evaluator,
+                      CompiledEvaluator::Compile(cond, full, schema));
+
+  if (options.batch_width == 0) {
+    // Reference row path: compile-once evaluation, otherwise the original
+    // row-at-a-time scan (project + set-insert per match).
+    RowSet result(projected);
+    for (const Row& row : table.rows()) {
+      if (evaluator.Matches(row)) result.Insert(full.Project(row, projected));
+    }
+    return result;
+  }
+
+  // Batch path: vectorized kernels over the table's column-major mirror,
+  // duplicate elimination on row ids (no Row is materialized for a
+  // duplicate), then ship the survivors — through the columnar wire format
+  // when this scan models a wrapper transfer.
+  const ColumnStore& store = table.columns();
+  const std::vector<int> proj_cols = attrs.Indices();
+  const std::vector<uint32_t> unique =
+      FilterAndDedup(store, evaluator, proj_cols, options.batch_width);
+
+  if (options.wire_encode) {
+    const std::string wire =
+        EncodeColumnar(store, proj_cols, unique, attrs.bits(),
+                       static_cast<uint32_t>(schema.num_attributes()));
+    if (metrics != nullptr) metrics->wire_bytes += wire.size();
+    return DecodeColumnar(wire);
+  }
+  RowSet result(projected);
+  for (const uint32_t row : unique) {
+    result.Insert(store.MaterializeRow(row, proj_cols));
+  }
+  return result;
+}
+
+Result<RowSet> FilterRows(const RowSet& input, const ConditionNode& cond,
+                          const AttributeSet& out_attrs, const Schema& schema,
+                          size_t batch_width) {
+  const RowLayout& in_layout = input.layout();
+  const RowLayout out_layout(out_attrs, schema.num_attributes());
+  GC_ASSIGN_OR_RETURN(const CompiledEvaluator evaluator,
+                      CompiledEvaluator::Compile(cond, in_layout, schema));
+
+  if (batch_width == 0) {
+    RowSet result(out_layout);
+    for (const Row& row : input.rows()) {
+      if (evaluator.Matches(row)) {
+        result.Insert(in_layout.Project(row, out_layout));
+      }
+    }
+    return result;
+  }
+
+  // Batch path: transpose the intermediate result once (store columns are
+  // the input layout's slots), then run the same filter/dedup pump.
+  const ColumnStore store = TransposeRowSet(input, schema);
+  std::vector<int> proj_slots;
+  proj_slots.reserve(out_attrs.size());
+  for (const int index : out_attrs.Indices()) {
+    proj_slots.push_back(in_layout.SlotOf(index));
+  }
+  const std::vector<uint32_t> unique =
+      FilterAndDedup(store, evaluator, proj_slots, batch_width);
+  RowSet result(out_layout);
+  for (const uint32_t row : unique) {
+    result.Insert(store.MaterializeRow(row, proj_slots));
+  }
+  return result;
+}
+
+}  // namespace gencompact

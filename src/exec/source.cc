@@ -2,7 +2,7 @@
 
 #include <thread>
 
-#include "expr/condition_eval.h"
+#include "exec/scan.h"
 
 namespace gencompact {
 
@@ -47,17 +47,19 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
   // parallel, exactly like independent HTTP requests.
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
 
-  const Schema& schema = table_->schema();
-  const RowLayout full = table_->FullLayout();
-  const RowLayout projected(attrs, schema.num_attributes());
-  RowSet result(projected);
-  for (const Row& row : table_->rows()) {
-    GC_ASSIGN_OR_RETURN(const bool matches,
-                        EvalCondition(cond, row, full, schema));
-    if (matches) result.Insert(full.Project(row, projected));
-  }
+  // The scan itself: row-at-a-time at batch_width 0 (the reference path),
+  // vectorized batches + columnar wire transfer otherwise. Either way the
+  // condition compiles once per scan — no per-row schema lookups.
+  ScanOptions scan_options;
+  scan_options.batch_width = batch_width_.load(std::memory_order_relaxed);
+  scan_options.wire_encode = scan_options.batch_width > 0;
+  ScanMetrics scan_metrics;
+  GC_ASSIGN_OR_RETURN(RowSet result,
+                      ScanTable(*table_, cond, attrs, scan_options,
+                                &scan_metrics));
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
   rows_returned_.fetch_add(result.size(), std::memory_order_relaxed);
+  wire_bytes_.fetch_add(scan_metrics.wire_bytes, std::memory_order_relaxed);
   return result;
 }
 

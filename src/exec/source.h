@@ -69,6 +69,18 @@ class Source {
         simulated_latency_us_.load(std::memory_order_relaxed));
   }
 
+  /// Batch width of the scan data plane: 0 (default) scans row-at-a-time —
+  /// the reference path, bit-identical results — and any positive width
+  /// evaluates the condition as vectorized kernels over column batches and
+  /// ships results through the columnar wire encoding. Configure at
+  /// registration, before traffic (like faults and latency).
+  void set_batch_width(size_t width) {
+    batch_width_.store(width, std::memory_order_relaxed);
+  }
+  size_t batch_width() const {
+    return batch_width_.load(std::memory_order_relaxed);
+  }
+
   /// Installs the fault model (an inactive policy still installs an
   /// injector, so tests can script FailNextN without random rates). Not
   /// thread-safe against in-flight Execute() calls: configure faults before
@@ -88,6 +100,7 @@ class Source {
     size_t queries_rejected = 0;     ///< capability rejections (kUnsupported)
     size_t queries_unavailable = 0;  ///< injected kUnavailable / kDeadline
     uint64_t rows_returned = 0;
+    uint64_t wire_bytes = 0;  ///< columnar transfer bytes (batch mode only)
   };
   /// A snapshot of the atomic counters (consistent enough for tests and
   /// observability; individual counters never tear).
@@ -99,6 +112,7 @@ class Source {
     s.queries_unavailable =
         queries_unavailable_.load(std::memory_order_relaxed);
     s.rows_returned = rows_returned_.load(std::memory_order_relaxed);
+    s.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
@@ -107,6 +121,7 @@ class Source {
     queries_rejected_.store(0, std::memory_order_relaxed);
     queries_unavailable_.store(0, std::memory_order_relaxed);
     rows_returned_.store(0, std::memory_order_relaxed);
+    wire_bytes_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -115,11 +130,13 @@ class Source {
   Checker checker_;  // internally synchronized (shared-mutex memo)
   std::unique_ptr<FaultInjector> fault_injector_;
   std::atomic<int64_t> simulated_latency_us_{0};
+  std::atomic<size_t> batch_width_{0};
   std::atomic<size_t> queries_received_{0};
   std::atomic<size_t> queries_answered_{0};
   std::atomic<size_t> queries_rejected_{0};
   std::atomic<size_t> queries_unavailable_{0};
   std::atomic<uint64_t> rows_returned_{0};
+  std::atomic<uint64_t> wire_bytes_{0};
 };
 
 }  // namespace gencompact

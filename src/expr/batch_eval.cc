@@ -1,0 +1,339 @@
+#include "expr/batch_eval.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/strings.h"
+#include "expr/compare_op.h"
+
+namespace gencompact {
+
+namespace {
+
+// Three-way comparison identical to the Value::Compare numeric arm.
+inline int ThreeWay(double a, double b) { return a == b ? 0 : (a < b ? -1 : 1); }
+inline int ThreeWay(int64_t a, int64_t b) { return a == b ? 0 : (a < b ? -1 : 1); }
+
+// Type rank used by Value::Compare for cross-type ordering.
+int TypeRankOf(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+Result<CompiledEvaluator> CompiledEvaluator::Compile(const ConditionNode& cond,
+                                                     const RowLayout& layout,
+                                                     const Schema& schema) {
+  CompiledEvaluator evaluator;
+  GC_ASSIGN_OR_RETURN(evaluator.root_,
+                      evaluator.CompileNode(cond, layout, schema));
+  evaluator.sel_scratch_.resize(evaluator.nodes_.size());
+  evaluator.rem_scratch_.resize(evaluator.nodes_.size());
+  evaluator.mark_scratch_.resize(evaluator.nodes_.size());
+  return evaluator;
+}
+
+Result<size_t> CompiledEvaluator::CompileNode(const ConditionNode& cond,
+                                              const RowLayout& layout,
+                                              const Schema& schema) {
+  Node node;
+  switch (cond.kind()) {
+    case ConditionNode::Kind::kTrue:
+      node.kernel = Kernel::kTrue;
+      break;
+    case ConditionNode::Kind::kAnd:
+    case ConditionNode::Kind::kOr: {
+      node.kernel = cond.kind() == ConditionNode::Kind::kAnd ? Kernel::kAnd
+                                                             : Kernel::kOr;
+      for (const ConditionPtr& child : cond.children()) {
+        GC_ASSIGN_OR_RETURN(const size_t id,
+                            CompileNode(*child, layout, schema));
+        node.children.push_back(id);
+      }
+      break;
+    }
+    case ConditionNode::Kind::kAtom: {
+      const AtomicCondition& atom = cond.atom();
+      GC_ASSIGN_OR_RETURN(const int index,
+                          schema.RequireIndex(atom.attribute));
+      const int slot = layout.SlotOf(index);
+      if (slot < 0) {
+        return Status::NotFound("attribute " + atom.attribute +
+                                " not present in row layout");
+      }
+      node.slot = slot;
+      node.op = atom.op;
+      node.constant = atom.constant;
+      const ValueType column_type = schema.attribute(index).type;
+      const ValueType const_type = atom.constant.type();
+
+      // op as a three-way mask: result = {lt,eq,gt}[sign(Compare)+1].
+      switch (atom.op) {
+        case CompareOp::kEq:
+          node.eq = true;
+          break;
+        case CompareOp::kNe:
+          node.lt = node.gt = true;
+          break;
+        case CompareOp::kLt:
+          node.lt = true;
+          break;
+        case CompareOp::kLe:
+          node.lt = node.eq = true;
+          break;
+        case CompareOp::kGt:
+          node.gt = true;
+          break;
+        case CompareOp::kGe:
+          node.eq = node.gt = true;
+          break;
+        case CompareOp::kContains:
+        case CompareOp::kStartsWith:
+          break;
+      }
+
+      // Kernel selection (EvalCompare semantics, decided once):
+      if (const_type == ValueType::kNull) {
+        node.kernel = Kernel::kConstFalse;  // NULL operand: always false
+      } else if (atom.op == CompareOp::kContains ||
+                 atom.op == CompareOp::kStartsWith) {
+        // String predicates require strings on BOTH sides.
+        if (column_type == ValueType::kString &&
+            const_type == ValueType::kString) {
+          node.kernel = atom.op == CompareOp::kContains ? Kernel::kContains
+                                                        : Kernel::kStartsWith;
+        } else {
+          node.kernel = Kernel::kConstFalse;
+        }
+      } else if ((column_type == ValueType::kInt ||
+                  column_type == ValueType::kDouble) &&
+                 (const_type == ValueType::kInt ||
+                  const_type == ValueType::kDouble)) {
+        node.kernel = Kernel::kNumericCmp;
+        node.const_is_int = const_type == ValueType::kInt;
+        node.const_int = node.const_is_int ? atom.constant.int_value() : 0;
+        node.const_dbl = atom.constant.AsDouble();
+      } else if (column_type == ValueType::kString &&
+                 const_type == ValueType::kString) {
+        node.kernel = Kernel::kStringCmp;
+      } else if (column_type == ValueType::kBool &&
+                 const_type == ValueType::kBool) {
+        node.kernel = Kernel::kBoolCmp;
+      } else {
+        // Type ranks differ for every non-null cell: the atom is a fixed
+        // result (false for null cells, like every atom).
+        const int c = ThreeWay(static_cast<int64_t>(TypeRankOf(column_type)),
+                               static_cast<int64_t>(TypeRankOf(const_type)));
+        const bool result = (c < 0 && node.lt) || (c == 0 && node.eq) ||
+                            (c > 0 && node.gt);
+        node.kernel = result ? Kernel::kNonNullConst : Kernel::kConstFalse;
+      }
+      break;
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+bool CompiledEvaluator::MatchNode(size_t id, const Row& row) const {
+  const Node& node = nodes_[id];
+  switch (node.kernel) {
+    case Kernel::kTrue:
+      return true;
+    case Kernel::kAnd:
+      for (const size_t child : node.children) {
+        if (!MatchNode(child, row)) return false;
+      }
+      return true;
+    case Kernel::kOr:
+      for (const size_t child : node.children) {
+        if (MatchNode(child, row)) return true;
+      }
+      return false;
+    default:
+      // Every atom kernel evaluates identically on the row path.
+      return EvalCompare(node.op, row.value(static_cast<size_t>(node.slot)),
+                         node.constant);
+  }
+}
+
+size_t CompiledEvaluator::FilterAtom(const Node& node, const Column& col,
+                                     const uint32_t* in, size_t n,
+                                     uint32_t* out) const {
+  size_t m = 0;
+  switch (node.kernel) {
+    case Kernel::kConstFalse:
+      break;
+    case Kernel::kNonNullConst:
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(in[i])) out[m++] = in[i];
+      }
+      break;
+    case Kernel::kNumericCmp: {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        const ValueType tag = col.TagAt(r);
+        if (tag == ValueType::kNull) continue;
+        int c;
+        if (tag == ValueType::kInt && node.const_is_int) {
+          c = ThreeWay(col.nums[r], node.const_int);  // exact int/int
+        } else {
+          c = ThreeWay(col.NumericAt(r), node.const_dbl);
+        }
+        if ((c < 0 && node.lt) || (c == 0 && node.eq) || (c > 0 && node.gt)) {
+          out[m++] = r;
+        }
+      }
+      break;
+    }
+    case Kernel::kStringCmp: {
+      const std::string& rhs = node.constant.string_value();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        if (col.IsNull(r)) continue;
+        const int cmp = col.strs[r].compare(rhs);
+        const int c = cmp == 0 ? 0 : (cmp < 0 ? -1 : 1);
+        if ((c < 0 && node.lt) || (c == 0 && node.eq) || (c > 0 && node.gt)) {
+          out[m++] = r;
+        }
+      }
+      break;
+    }
+    case Kernel::kContains: {
+      const std::string& needle = node.constant.string_value();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        if (col.IsNull(r)) continue;
+        if (Contains(col.strs[r], needle)) out[m++] = r;
+      }
+      break;
+    }
+    case Kernel::kStartsWith: {
+      const std::string& prefix = node.constant.string_value();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        if (col.IsNull(r)) continue;
+        if (StartsWith(col.strs[r], prefix)) out[m++] = r;
+      }
+      break;
+    }
+    case Kernel::kBoolCmp: {
+      const bool rhs = node.constant.bool_value();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        if (col.IsNull(r)) continue;
+        const bool lhs = col.bools[r] != 0;
+        const int c = lhs == rhs ? 0 : (lhs < rhs ? -1 : 1);
+        if ((c < 0 && node.lt) || (c == 0 && node.eq) || (c > 0 && node.gt)) {
+          out[m++] = r;
+        }
+      }
+      break;
+    }
+    case Kernel::kGeneralCompare: {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in[i];
+        if (EvalCompare(node.op, col.ValueAt(r), node.constant)) out[m++] = r;
+      }
+      break;
+    }
+    default:
+      assert(false && "connector kernel in FilterAtom");
+      break;
+  }
+  return m;
+}
+
+size_t CompiledEvaluator::FilterNode(size_t id, const uint32_t* in, size_t n,
+                                     uint32_t begin,
+                                     const ColumnStore& store) const {
+  const Node& node = nodes_[id];
+  std::vector<uint32_t>& out = sel_scratch_[id];
+  if (out.size() < n) out.resize(n);
+  switch (node.kernel) {
+    case Kernel::kTrue:
+      std::memcpy(out.data(), in, n * sizeof(uint32_t));
+      return n;
+    case Kernel::kAnd: {
+      // Chain: each child narrows the previous survivor list.
+      const uint32_t* cur = in;
+      size_t count = n;
+      for (const size_t child : node.children) {
+        if (count == 0) break;
+        count = FilterNode(child, cur, count, begin, store);
+        cur = sel_scratch_[child].data();
+      }
+      if (count > 0 && cur != out.data()) {
+        std::memcpy(out.data(), cur, count * sizeof(uint32_t));
+      }
+      return count;
+    }
+    case Kernel::kOr: {
+      // Children see only the not-yet-matched remainder; matches are
+      // disjoint, so the final result is the mark bitmap replayed over the
+      // input order.
+      std::vector<uint8_t>& marks = mark_scratch_[id];
+      std::vector<uint32_t>& remaining = rem_scratch_[id];
+      size_t max_width = 0;
+      for (size_t i = 0; i < n; ++i) {
+        max_width = std::max<size_t>(max_width, in[i] - begin + 1);
+      }
+      if (marks.size() < max_width) marks.resize(max_width);
+      std::memset(marks.data(), 0, max_width);
+      if (remaining.size() < n) remaining.resize(n);
+      std::memcpy(remaining.data(), in, n * sizeof(uint32_t));
+      size_t remaining_count = n;
+      size_t matched = 0;
+      for (const size_t child : node.children) {
+        if (remaining_count == 0) break;
+        const size_t m =
+            FilterNode(child, remaining.data(), remaining_count, begin, store);
+        if (m == 0) continue;
+        const std::vector<uint32_t>& hits = sel_scratch_[child];
+        for (size_t i = 0; i < m; ++i) marks[hits[i] - begin] = 1;
+        matched += m;
+        // Compact the remainder in place.
+        size_t next = 0;
+        for (size_t i = 0; i < remaining_count; ++i) {
+          if (!marks[remaining[i] - begin]) remaining[next++] = remaining[i];
+        }
+        remaining_count = next;
+      }
+      size_t count = 0;
+      for (size_t i = 0; i < n && count < matched; ++i) {
+        if (marks[in[i] - begin]) out[count++] = in[i];
+      }
+      return count;
+    }
+    default:
+      return FilterAtom(node, store.column(static_cast<size_t>(node.slot)),
+                        in, n, out.data());
+  }
+}
+
+void CompiledEvaluator::FilterBatch(ColumnBatch* batch) const {
+  const size_t width = batch->width();
+  if (iota_.size() < width) {
+    iota_.resize(width);
+  }
+  for (size_t i = 0; i < width; ++i) {
+    iota_[i] = batch->begin + static_cast<uint32_t>(i);
+  }
+  const size_t count =
+      FilterNode(root_, iota_.data(), width, batch->begin, *batch->store);
+  const std::vector<uint32_t>& result = sel_scratch_[root_];
+  batch->selection.assign(result.begin(), result.begin() + count);
+}
+
+}  // namespace gencompact

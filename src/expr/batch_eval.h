@@ -1,0 +1,106 @@
+#ifndef GENCOMPACT_EXPR_BATCH_EVAL_H_
+#define GENCOMPACT_EXPR_BATCH_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/condition.h"
+#include "schema/schema.h"
+#include "storage/column_batch.h"
+#include "storage/row.h"
+
+namespace gencompact {
+
+/// A condition compiled once per scan: the type/name resolution that
+/// EvalCondition re-derives per row (schema name lookup, layout slot,
+/// kernel choice per atom) happens in Compile(), and evaluation afterwards
+/// is infallible — both entry points below can no longer fail.
+///
+/// Two entry points share one compiled program:
+///   - Matches(row): the row path. Slot loads + EvalCompare, no schema
+///     lookups, no Result<bool> per row. Const and thread-safe.
+///   - FilterBatch(batch): the vectorized path. Each atom runs as a typed
+///     kernel over the batch's selection vector; ∧ composes by chaining
+///     selections (each child narrows the survivor list), ∨ by evaluating
+///     children on the not-yet-matched remainder and merging the disjoint
+///     match lists in row order. Uses per-node scratch buffers, so ONE
+///     thread per evaluator (create one per scan; they are cheap).
+///
+/// Semantics are exactly EvalCondition's: NULL cells fail every atom,
+/// string predicates on non-strings are false, numeric cells compare
+/// numerically across kInt/kDouble, and mismatched-type comparisons order
+/// by type rank (Value::Compare).
+class CompiledEvaluator {
+ public:
+  /// Resolves and type-checks `cond` against `layout`/`schema`. NotFound
+  /// (same statuses EvalCondition would produce row-by-row) if the
+  /// condition mentions an attribute missing from the schema or layout.
+  static Result<CompiledEvaluator> Compile(const ConditionNode& cond,
+                                           const RowLayout& layout,
+                                           const Schema& schema);
+
+  /// Row path: true iff the row (laid out by the compiled layout) matches.
+  bool Matches(const Row& row) const { return MatchNode(root_, row); }
+
+  /// Batch path: fills batch->selection with the surviving row ids of
+  /// [batch->begin, batch->end), ascending. Not thread-safe (scratch).
+  void FilterBatch(ColumnBatch* batch) const;
+
+ private:
+  enum class Kernel : uint8_t {
+    kTrue,           ///< the trivially true condition
+    kAnd,            ///< intersect child selections (chained)
+    kOr,             ///< merge child selections (disjoint remainders)
+    kGeneralCompare, ///< atom fallback: materialize Value + EvalCompare
+    kNumericCmp,     ///< numeric column vs numeric constant
+    kStringCmp,      ///< string column vs string constant (=, !=, <, ...)
+    kContains,       ///< string column contains string constant
+    kStartsWith,     ///< string column startswith string constant
+    kBoolCmp,        ///< bool column vs bool constant
+    kConstFalse,     ///< statically false for every row (e.g. NULL constant)
+    kNonNullConst,   ///< fixed result for non-null cells (type-rank compare)
+  };
+
+  struct Node {
+    Kernel kernel = Kernel::kTrue;
+    // Atom state.
+    int slot = -1;                ///< column index in the compiled layout
+    CompareOp op = CompareOp::kEq;
+    Value constant;
+    bool const_is_int = false;    ///< numeric constant is kInt
+    int64_t const_int = 0;
+    double const_dbl = 0.0;
+    bool lt = false, eq = false, gt = false;  ///< op as a three-way mask
+    // Connector state.
+    std::vector<size_t> children;
+  };
+
+  size_t root_ = 0;
+  std::vector<Node> nodes_;
+
+  // Per-node scratch (selection buffers, ∨ mark bitmaps): sized to the
+  // batch width on first use, reused across batches of one scan.
+  mutable std::vector<std::vector<uint32_t>> sel_scratch_;
+  mutable std::vector<std::vector<uint32_t>> rem_scratch_;  ///< ∨ remainders
+  mutable std::vector<std::vector<uint8_t>> mark_scratch_;  ///< ∨ match marks
+  mutable std::vector<uint32_t> iota_;  ///< dense root selection
+
+  Result<size_t> CompileNode(const ConditionNode& cond, const RowLayout& layout,
+                             const Schema& schema);
+
+  bool MatchNode(size_t id, const Row& row) const;
+
+  /// Filters `in` (n ascending row ids) through node `id`; survivors land
+  /// in sel_scratch_[id], count returned. `begin` is the batch's first row
+  /// id (index base of the ∨ mark bitmaps).
+  size_t FilterNode(size_t id, const uint32_t* in, size_t n,
+                    uint32_t begin, const ColumnStore& store) const;
+
+  size_t FilterAtom(const Node& node, const Column& col, const uint32_t* in,
+                    size_t n, uint32_t* out) const;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXPR_BATCH_EVAL_H_

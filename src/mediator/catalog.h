@@ -62,6 +62,16 @@ class CatalogEntry {
     breaker_ = std::make_unique<CircuitBreaker>(options, clock);
   }
 
+  /// Batch width of this source's scan data plane (0 = the row-at-a-time
+  /// reference path). Applied to the enforcement wrapper now and re-applied
+  /// by ReloadDescription (reloads rebuild the wrapper). Call during
+  /// registration, before concurrent queries.
+  void set_batch_width(size_t width) {
+    batch_width_ = width;
+    source_->set_batch_width(width);
+  }
+  size_t batch_width() const { return batch_width_; }
+
   /// The shared breaker, or null when fault tolerance is not configured.
   CircuitBreaker* breaker() { return breaker_.get(); }
   const CircuitBreaker* breaker() const { return breaker_.get(); }
@@ -118,6 +128,7 @@ class CatalogEntry {
   bool penalty_enabled_ = false;
   uint32_t source_id_;
   uint64_t description_epoch_ = 0;
+  size_t batch_width_ = 0;  ///< survives description reloads
   bool apply_commutativity_closure_;
 };
 

@@ -18,8 +18,12 @@ Status Mediator::RegisterSource(SourceDescription description,
                              (options_.breaker_aware_costs &&
                               options_.cost_penalty.slow_multiplier > 1.0);
   if (options_.enable_circuit_breaker || wants_latency ||
-      options_.breaker_aware_costs || check_memo_ != nullptr) {
+      options_.breaker_aware_costs || check_memo_ != nullptr ||
+      options_.batch_width > 0) {
     GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(name));
+    if (options_.batch_width > 0) {
+      entry->set_batch_width(options_.batch_width);
+    }
     if (options_.enable_circuit_breaker) {
       entry->EnableCircuitBreaker(options_.breaker, options_.clock);
     }
@@ -122,6 +126,7 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
   exec_options.degrade_unions = options_.partial_results;
   exec_options.latency = prepared.entry->latency_tracker();
   exec_options.hedge = options_.hedge;
+  exec_options.batch_width = options_.batch_width;
   Executor executor(prepared.entry->source(), pool_.get(), exec_options);
   Result<RowSet> rows = executor.Execute(plan);
 
@@ -533,6 +538,10 @@ std::string Mediator::Stats::ToString() const {
            s.source.queries_unavailable);
     append("source[%s].rows          %llu\n", prefix,
            (unsigned long long)s.source.rows_returned);
+    if (s.source.wire_bytes > 0) {
+      append("source[%s].wire_bytes    %llu\n", prefix,
+             (unsigned long long)s.source.wire_bytes);
+    }
     append("source[%s].check_calls   %zu\n", prefix, s.check_calls);
     append("source[%s].check_hits    %zu\n", prefix, s.check_memo_hits);
     append("source[%s].check_l2_hits %zu\n", prefix, s.check_l2_hits);

@@ -44,6 +44,15 @@ class Mediator {
     /// Total plan-cache capacity, split across shards.
     size_t cache_capacity = 256;
 
+    /// Batch width of the data plane (0 = off, the default). 0 runs the
+    /// row-at-a-time reference path everywhere — results are bit-identical
+    /// to the original mediator. > 0 runs source scans, wrapper transfers,
+    /// mediator SPs, and set-operation combines through the columnar batch
+    /// path (vectorized SP(C,A,R) kernels over selection vectors, batch
+    /// hashing for duplicate elimination, compact columnar wire encoding);
+    /// results are value-identical. Typical widths: 64–4096.
+    size_t batch_width = 0;
+
     // ---- Cross-query Check memo (off by default: planner output with the
     // ---- memo disabled is bit-identical to a build without it). ----
 

@@ -31,6 +31,14 @@ class Wrapper {
 
   const Schema& schema() const { return handle_.schema(); }
 
+  /// Batch width of the wrapper's data plane (0 = row reference path; > 0
+  /// = vectorized scans + columnar wire transfers, see Mediator::Options).
+  void set_batch_width(size_t width) {
+    batch_width_ = width;
+    source_.set_batch_width(width);
+  }
+  size_t batch_width() const { return batch_width_; }
+
   /// Answers SP(condition, attrs, R).
   Result<RowSet> Query(const ConditionPtr& condition, const AttributeSet& attrs);
 
@@ -46,6 +54,7 @@ class Wrapper {
     size_t infeasible = 0;
     size_t source_queries = 0;
     uint64_t rows_transferred = 0;
+    uint64_t wire_bytes = 0;  ///< columnar transfer bytes (batch mode only)
   };
   const Stats& stats() const { return stats_; }
 
@@ -53,6 +62,7 @@ class Wrapper {
   SourceHandle handle_;
   Source source_;
   GenCompactOptions options_;
+  size_t batch_width_ = 0;
   Stats stats_;
 };
 

@@ -1,0 +1,168 @@
+#include "storage/column_batch.h"
+
+#include <bit>
+#include <cassert>
+
+namespace gencompact {
+
+namespace {
+
+// Mirrors Row::Hash()'s fold exactly (seed and combine), so column-computed
+// hashes interoperate with Row's cached hashes.
+constexpr size_t kRowHashSeed = 0x51ed270b7a2cf321ull;
+
+inline size_t CombineHash(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+Value Column::ValueAt(size_t row) const {
+  switch (TagAt(row)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool:
+      return Value::Bool(bools[row] != 0);
+    case ValueType::kInt:
+      return Value::Int(nums[row]);
+    case ValueType::kDouble:
+      return Value::Double(std::bit_cast<double>(nums[row]));
+    case ValueType::kString:
+      return Value::String(strs[row]);
+  }
+  return Value::Null();
+}
+
+double Column::NumericAt(size_t row) const {
+  return TagAt(row) == ValueType::kInt
+             ? static_cast<double>(nums[row])
+             : std::bit_cast<double>(nums[row]);
+}
+
+ColumnStore::ColumnStore(std::vector<ValueType> types) {
+  columns_.resize(types.size());
+  for (size_t i = 0; i < types.size(); ++i) columns_[i].declared = types[i];
+}
+
+ColumnStore::ColumnStore(const Schema& schema) {
+  columns_.resize(schema.num_attributes());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].declared = schema.attribute(static_cast<int>(i)).type;
+  }
+}
+
+void ColumnStore::AppendRow(const Row& row) {
+  assert(row.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& col = columns_[i];
+    const Value& v = row.value(i);
+    col.tag.push_back(static_cast<uint8_t>(v.type()));
+    col.hash.push_back(v.Hash());
+    switch (col.declared) {
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        col.nums.push_back(v.is_null() ? 0
+                           : v.type() == ValueType::kInt
+                               ? v.int_value()
+                               : std::bit_cast<int64_t>(v.double_value()));
+        break;
+      case ValueType::kBool:
+        col.bools.push_back(v.is_null() ? 0 : (v.bool_value() ? 1 : 0));
+        break;
+      default:
+        col.strs.push_back(v.is_null() ? std::string() : v.string_value());
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+Row ColumnStore::MaterializeRow(uint32_t row,
+                                const std::vector<int>& cols) const {
+  std::vector<Value> values;
+  values.reserve(cols.size());
+  for (int col : cols) {
+    values.push_back(columns_[static_cast<size_t>(col)].ValueAt(row));
+  }
+  // The cached cell hashes fold to exactly Row::ComputeHash(values): hand
+  // the Row its hash instead of re-hashing the payloads it just copied.
+  return Row(std::move(values), HashRow(row, cols));
+}
+
+size_t ColumnStore::HashRow(uint32_t row, const std::vector<int>& cols) const {
+  size_t h = kRowHashSeed;
+  for (int col : cols) {
+    h = CombineHash(h, columns_[static_cast<size_t>(col)].hash[row]);
+  }
+  return h;
+}
+
+void ColumnStore::HashRows(const std::vector<uint32_t>& rows,
+                           const std::vector<int>& cols,
+                           std::vector<size_t>* hashes) const {
+  hashes->assign(rows.size(), kRowHashSeed);
+  size_t* h = hashes->data();
+  for (int col : cols) {
+    const size_t* ch = columns_[static_cast<size_t>(col)].hash.data();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      h[i] = CombineHash(h[i], ch[rows[i]]);
+    }
+  }
+}
+
+bool ColumnStore::RowsEqual(uint32_t a, uint32_t b,
+                            const std::vector<int>& cols) const {
+  for (int ci : cols) {
+    const Column& c = columns_[static_cast<size_t>(ci)];
+    const ValueType ta = c.TagAt(a);
+    const ValueType tb = c.TagAt(b);
+    if (ta == ValueType::kNull || tb == ValueType::kNull) {
+      if (ta != tb) return false;  // null vs non-null: unequal ranks
+      continue;                    // null == null under Value::Compare
+    }
+    switch (c.declared) {
+      case ValueType::kInt:
+      case ValueType::kDouble: {
+        // Value::Compare semantics: exact when both int, else via double.
+        if (ta == ValueType::kInt && tb == ValueType::kInt) {
+          if (c.nums[a] != c.nums[b]) return false;
+        } else if (c.NumericAt(a) != c.NumericAt(b)) {
+          return false;
+        }
+        break;
+      }
+      case ValueType::kBool:
+        if (c.bools[a] != c.bools[b]) return false;
+        break;
+      default:
+        if (c.strs[a] != c.strs[b]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+ColumnStore TransposeRowSet(const RowSet& rows, const Schema& schema) {
+  std::vector<ValueType> types;
+  types.reserve(rows.layout().width());
+  for (int index : rows.layout().attrs().Indices()) {
+    types.push_back(schema.attribute(index).type);
+  }
+  ColumnStore store(std::move(types));
+  for (const Row& row : rows.rows()) store.AppendRow(row);
+  return store;
+}
+
+bool BatchDeduper::AddIfNew(size_t hash, uint32_t row) {
+  const auto [it, inserted] = first_.try_emplace(hash, row);
+  if (inserted) return true;
+  if (store_->RowsEqual(it->second, row, cols_)) return false;
+  // Same 64-bit hash, different tuple: check (and extend) the overflow list.
+  for (const auto& [h, r] : overflow_) {
+    if (h == hash && store_->RowsEqual(r, row, cols_)) return false;
+  }
+  overflow_.emplace_back(hash, row);
+  return true;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,152 @@
+#ifndef GENCOMPACT_STORAGE_COLUMN_BATCH_H_
+#define GENCOMPACT_STORAGE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "schema/schema.h"
+#include "storage/row.h"
+#include "storage/row_set.h"
+
+namespace gencompact {
+
+/// One typed column of a ColumnStore. The declared type picks the payload
+/// vector; a per-cell tag records the *actual* Value type, because storage
+/// is deliberately looser than the declaration: nulls are allowed anywhere,
+/// and a declared-numeric column may hold both kInt and kDouble cells
+/// (Table::Append accepts either for numeric attributes). Keeping the exact
+/// per-cell type is what makes the columnar path bit-identical to the row
+/// path — an Int(2) must come back as Int(2), never as Double(2.0), even
+/// though the two compare (and hash) equal.
+struct Column {
+  ValueType declared = ValueType::kString;
+
+  /// Actual Value type per cell (kNull for NULL). Never shrinks.
+  std::vector<uint8_t> tag;
+
+  /// Value::Hash() per cell, cached at append time. The store is built once
+  /// per table (or once per transposed intermediate), so scans fold these
+  /// instead of re-hashing string payloads on every query — the columnar
+  /// analogue of Row's constructor-cached hash.
+  std::vector<size_t> hash;
+
+  /// Payload, indexed in lockstep with `tag` (placeholder entries for
+  /// nulls keep the indices aligned):
+  ///   numeric declared: int64 value, or the bit pattern of the double
+  ///   (disambiguated by the tag);
+  std::vector<int64_t> nums;
+  ///   bool declared: 0/1;
+  std::vector<uint8_t> bools;
+  ///   string declared: the bytes.
+  std::vector<std::string> strs;
+
+  ValueType TagAt(size_t row) const {
+    return static_cast<ValueType>(tag[row]);
+  }
+  bool IsNull(size_t row) const { return TagAt(row) == ValueType::kNull; }
+
+  /// Materializes the cell as a Value (exact round trip of what was
+  /// appended).
+  Value ValueAt(size_t row) const;
+
+  /// Numeric view of a numeric cell (int widened, double reinterpreted).
+  double NumericAt(size_t row) const;
+};
+
+/// Column-major mirror of a sequence of rows sharing one slot layout: the
+/// storage the batched data plane scans. Append order is row order, so row
+/// ids are stable and shared with the row-major original.
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+
+  /// One column per slot, with the given declared types.
+  explicit ColumnStore(std::vector<ValueType> types);
+
+  /// Convenience: full-schema store (one column per schema attribute).
+  explicit ColumnStore(const Schema& schema);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Appends a row (width must match the column count). Cells must be null
+  /// or type-compatible with the declared column type (numeric columns
+  /// accept both kInt and kDouble, like Table::Append).
+  void AppendRow(const Row& row);
+
+  /// Materializes row `row` projected to `cols` (ascending slot ids is the
+  /// caller's convention; any order is honored). The Row's cached hash is
+  /// computed by its constructor.
+  Row MaterializeRow(uint32_t row, const std::vector<int>& cols) const;
+
+  /// Hash of row `row` projected to `cols` — exactly Row::Hash() of
+  /// MaterializeRow(row, cols), computed straight from the columns without
+  /// building the Row.
+  size_t HashRow(uint32_t row, const std::vector<int>& cols) const;
+
+  /// Column-wise batch hashing: hashes[i] = HashRow(rows[i], cols) for all
+  /// i, walking each column once (cache-friendly) instead of each row once.
+  void HashRows(const std::vector<uint32_t>& rows, const std::vector<int>& cols,
+                std::vector<size_t>* hashes) const;
+
+  /// Value-equality (Value::Compare == 0 per slot) of two stored rows over
+  /// `cols` — the dedup verify behind hash matches.
+  bool RowsEqual(uint32_t a, uint32_t b, const std::vector<int>& cols) const;
+
+ private:
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Builds the column-major mirror of `rows` (layout types taken from
+/// `schema` through `layout`), preserving iteration order — row id i is the
+/// i-th row the iterable yielded.
+ColumnStore TransposeRowSet(const RowSet& rows, const Schema& schema);
+
+/// A batch of rows of a ColumnStore: the dense row-id range [begin, end)
+/// plus the selection vector of rows still alive after predicate
+/// evaluation (ascending row ids). The batch never copies data — kernels
+/// read the store's columns directly and only the selection shrinks.
+struct ColumnBatch {
+  const ColumnStore* store = nullptr;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::vector<uint32_t> selection;
+
+  size_t width() const { return end - begin; }
+};
+
+/// Streaming duplicate eliminator over stored rows: feeds on
+/// (hash, row id) pairs batch after batch and keeps the first row id of
+/// every distinct projected tuple — the SP(C,A,R) duplicate elimination of
+/// the batched data plane, running on row ids and column comparisons
+/// instead of materialized Rows. Hash collisions are verified by
+/// column-wise value equality, so the result is exact.
+class BatchDeduper {
+ public:
+  BatchDeduper(const ColumnStore* store, std::vector<int> cols)
+      : store_(store), cols_(std::move(cols)) {}
+
+  /// True iff no previously added row equals `row` over the projection;
+  /// records the row either way.
+  bool AddIfNew(size_t hash, uint32_t row);
+
+  size_t unique_count() const { return first_.size() + overflow_.size(); }
+
+ private:
+  const ColumnStore* store_;
+  std::vector<int> cols_;
+  /// hash -> first row id seen with that hash.
+  std::unordered_map<size_t, uint32_t> first_;
+  /// True 64-bit-hash collisions (distinct tuples, same hash): rare enough
+  /// for a linear list probed only on a hash hit with unequal values.
+  std::vector<std::pair<size_t, uint32_t>> overflow_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_COLUMN_BATCH_H_

@@ -1,6 +1,7 @@
 #ifndef GENCOMPACT_STORAGE_ROW_H_
 #define GENCOMPACT_STORAGE_ROW_H_
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,16 @@ namespace gencompact {
 class Row {
  public:
   Row() = default;
-  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+  explicit Row(std::vector<Value> values)
+      : values_(std::move(values)), hash_(ComputeHash(values_)) {}
+
+  /// Trusted fast path for the columnar data plane: `hash` MUST equal
+  /// ComputeHash(values) — the caller folded it from cached per-cell hashes
+  /// instead of re-hashing the payloads (asserted in debug builds).
+  Row(std::vector<Value> values, size_t hash)
+      : values_(std::move(values)), hash_(hash) {
+    assert(hash_ == ComputeHash(values_));
+  }
 
   size_t size() const { return values_.size(); }
   const Value& value(size_t i) const { return values_[i]; }
@@ -24,12 +34,17 @@ class Row {
 
   bool operator==(const Row& other) const { return values_ == other.values_; }
 
-  size_t Hash() const;
+  /// Cached: computed once at construction (rows are immutable), so set
+  /// insertion, dedup and rehashing never re-fold the values.
+  size_t Hash() const { return hash_; }
 
   std::string ToString() const;
 
  private:
+  static size_t ComputeHash(const std::vector<Value>& values);
+
   std::vector<Value> values_;
+  size_t hash_ = 0x51ed270b7a2cf321ull;  // ComputeHash({}) — the fold seed
 };
 
 struct RowHash {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace gencompact {
 
@@ -21,6 +22,22 @@ std::vector<Row> RowSet::SortedRows() const {
     return a.size() < b.size();
   });
   return out;
+}
+
+void RowSet::MergeFrom(RowSet&& other) {
+  assert(layout_.attrs() == other.layout_.attrs());
+  if (rows_.empty()) {
+    rows_ = std::move(other.rows_);
+    return;
+  }
+  rows_.merge(other.rows_);  // duplicates stay behind in `other`
+}
+
+void RowSet::IntersectWith(const RowSet& other) {
+  assert(layout_.attrs() == other.layout_.attrs());
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    it = other.Contains(*it) ? std::next(it) : rows_.erase(it);
+  }
 }
 
 RowSet RowSet::UnionOf(const RowSet& a, const RowSet& b) {

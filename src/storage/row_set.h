@@ -27,8 +27,19 @@ class RowSet {
 
   const std::unordered_set<Row, RowHash>& rows() const { return rows_; }
 
-  /// Rows in a deterministic (sorted by ToString) order, for tests/printing.
+  /// Rows in a deterministic order — Value-wise lexicographic comparison
+  /// slot by slot (Value::Compare), shorter rows first on a tie — for
+  /// tests/printing.
   std::vector<Row> SortedRows() const;
+
+  /// Moves every row of `other` into this set (in-place set union — rows
+  /// are moved, not copied, and cached hashes are reused); attribute sets
+  /// must agree. `other` is left valid but unspecified.
+  void MergeFrom(RowSet&& other);
+
+  /// Drops every row not present in `other` (in-place set intersection);
+  /// attribute sets must agree.
+  void IntersectWith(const RowSet& other);
 
   /// Set union; layouts must agree.
   static RowSet UnionOf(const RowSet& a, const RowSet& b);

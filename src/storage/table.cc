@@ -1,6 +1,17 @@
 #include "storage/table.h"
 
+#include "storage/column_batch.h"
+
 namespace gencompact {
+
+const ColumnStore& Table::columns() const {
+  std::call_once(columns_once_, [this] {
+    auto store = std::make_unique<ColumnStore>(schema_);
+    for (const Row& row : rows_) store->AppendRow(row);
+    columns_ = std::move(store);
+  });
+  return *columns_;
+}
 
 Status Table::Append(Row row) {
   if (row.size() != schema_.num_attributes()) {

@@ -1,11 +1,14 @@
 #ifndef GENCOMPACT_STORAGE_TABLE_H_
 #define GENCOMPACT_STORAGE_TABLE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "schema/schema.h"
+#include "storage/column_batch.h"
 #include "storage/row.h"
 
 namespace gencompact {
@@ -37,10 +40,20 @@ class Table {
     return RowLayout(schema_.AllAttributes(), schema_.num_attributes());
   }
 
+  /// Column-major mirror of the rows — the scan storage of the batched data
+  /// plane. Built lazily on first use (thread-safe; concurrent scans share
+  /// one build). Rows appended after the first columns() call are not
+  /// reflected: sources freeze their tables at registration, before query
+  /// traffic, like the rest of source configuration.
+  const ColumnStore& columns() const;
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+
+  mutable std::once_flag columns_once_;
+  mutable std::unique_ptr<ColumnStore> columns_;
 };
 
 }  // namespace gencompact

@@ -1,0 +1,53 @@
+#ifndef GENCOMPACT_STORAGE_WIRE_FORMAT_H_
+#define GENCOMPACT_STORAGE_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column_batch.h"
+#include "storage/row_set.h"
+
+namespace gencompact {
+
+/// Compact columnar wire encoding of one wrapper transfer — the batched
+/// data plane's replacement for shipping row vectors of heap Values.
+///
+/// Layout (little-endian):
+///   u32  magic "GCWF"
+///   u8   version (1)
+///   u64  projected attribute bits (RowLayout attrs)
+///   u32  schema width (RowLayout denominator)
+///   u32  row count
+///   u8   column count
+///   per column, column-major:
+///     u8  declared type
+///     row-count bytes of per-cell Value-type tags (kNull for NULL)
+///     payload for every non-null cell in row order:
+///       kBool:   1 byte
+///       kInt:    zigzag varint
+///       kDouble: 8 raw bytes (IEEE bit pattern)
+///       kString: varint length + bytes
+///
+/// Strings, nulls, and mixed int/double numeric columns all round-trip
+/// exactly; a decoded transfer is value-identical to the encoded rows.
+
+/// Encodes the rows `rows` (ids into `store`) projected to `cols`.
+/// `attr_bits`/`schema_width` describe the receiver-side RowLayout.
+std::string EncodeColumnar(const ColumnStore& store,
+                           const std::vector<int>& cols,
+                           const std::vector<uint32_t>& rows,
+                           uint64_t attr_bits, uint32_t schema_width);
+
+/// Convenience overload: encodes a whole RowSet (iteration order).
+std::string EncodeColumnar(const RowSet& rows, const Schema& schema);
+
+/// Decodes a transfer into a RowSet (layout rebuilt from the header).
+/// InvalidArgument on malformed or truncated buffers.
+Result<RowSet> DecodeColumnar(std::string_view bytes);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_STORAGE_WIRE_FORMAT_H_

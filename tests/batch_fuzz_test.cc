@@ -1,0 +1,341 @@
+// Seeded row-vs-batch differential fuzzer for the columnar data plane:
+// random schemas × random tables (spiked with nulls, numeric cross-typing,
+// and duplicates) × random conditions, asserting that every batch width —
+// with and without the columnar wire encoding — returns *exactly* the rows
+// of the width-0 reference path (same tuples, same per-cell Value types).
+//
+// The base seed comes from GENCOMPACT_TEST_SEED (default 439) so CI can run
+// a seed matrix; each parameterized case derives independent sub-seeds.
+//
+// BatchConcurrencyTest at the bottom drives a multi-threaded batched
+// mediator from concurrent clients — the TSan leg's coverage of the shared
+// ColumnStore build (Table::columns' call_once) and the in-place batched
+// set combines.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/scan.h"
+#include "mediator/mediator.h"
+#include "ssdl/ssdl_parser.h"
+#include "workload/datasets.h"
+#include "workload/random_condition.h"
+
+namespace gencompact {
+namespace {
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("GENCOMPACT_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 439;
+}
+
+// Type-exact signature (see batch_test.cc): ToString alone cannot tell
+// Int(2) from Double(2.0) — both print "2" — so each cell renders as
+// type:text.
+std::vector<std::string> Signature(const RowSet& rows) {
+  std::vector<std::string> out;
+  for (const Row& row : rows.SortedRows()) {
+    std::string sig;
+    for (const Value& v : row.values()) {
+      sig += ValueTypeName(v.type());
+      sig += ':';
+      sig += v.ToString();
+      sig += '|';
+    }
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+// A random schema mixing every attribute kind (2–6 attributes, at least
+// one numeric so cross-typed spikes always have a target).
+Schema RandomSchema(Rng* rng) {
+  const ValueType kinds[] = {ValueType::kString, ValueType::kInt,
+                             ValueType::kDouble, ValueType::kBool};
+  std::vector<AttributeDef> attrs;
+  const size_t n = 2 + rng->NextIndex(5);
+  for (size_t i = 0; i < n; ++i) {
+    attrs.push_back({"a" + std::to_string(i), kinds[rng->NextIndex(4)]});
+  }
+  attrs.push_back({"num", rng->NextBool() ? ValueType::kInt
+                                          : ValueType::kDouble});
+  return Schema(attrs);
+}
+
+// Spikes MakeRandomTable's output with the storage shapes the generator
+// never produces: nulls anywhere, Int cells in double columns (and vice
+// versa), and exact duplicates — the corners where row/batch parity could
+// plausibly crack (null-skip kernels, per-cell tags, dedup hashing).
+void SpikeTable(Table* table, Rng* rng) {
+  const Schema& schema = table->schema();
+  const size_t spikes = 20 + rng->NextIndex(20);
+  for (size_t s = 0; s < spikes; ++s) {
+    if (!table->rows().empty() && rng->NextBool(0.3)) {
+      // Duplicate an existing row verbatim.
+      Row copy = table->rows()[rng->NextIndex(table->num_rows())];
+      EXPECT_TRUE(table->Append(std::move(copy)).ok());
+      continue;
+    }
+    std::vector<Value> values;
+    for (const AttributeDef& attr : schema.attributes()) {
+      if (rng->NextBool(0.25)) {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (attr.type) {
+        case ValueType::kString:
+          values.push_back(
+              Value::String("spike" + std::to_string(rng->NextIndex(4))));
+          break;
+        case ValueType::kInt:
+          // Half the time a Double in the int column (cross-typing).
+          values.push_back(rng->NextBool()
+                               ? Value::Int(rng->NextInt(-5, 5))
+                               : Value::Double(
+                                     static_cast<double>(rng->NextInt(-5, 5)) +
+                                     (rng->NextBool() ? 0.5 : 0.0)));
+          break;
+        case ValueType::kDouble:
+          values.push_back(rng->NextBool()
+                               ? Value::Double(rng->NextDouble() * 10.0 - 5.0)
+                               : Value::Int(rng->NextInt(-5, 5)));
+          break;
+        case ValueType::kBool:
+          values.push_back(Value::Bool(rng->NextBool()));
+          break;
+        case ValueType::kNull:
+          values.push_back(Value::Null());
+          break;
+      }
+    }
+    EXPECT_TRUE(table->AppendValues(std::move(values)).ok());
+  }
+}
+
+AttributeSet RandomProjection(const Schema& schema, Rng* rng) {
+  AttributeSet attrs;
+  const size_t n = schema.num_attributes();
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->NextBool(0.5)) attrs.Add(static_cast<int>(i));
+  }
+  if (attrs.empty()) attrs.Add(static_cast<int>(rng->NextIndex(n)));
+  return attrs;
+}
+
+class BatchParityTest : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t CaseSeed() const {
+    return BaseSeed() * 1000003ull +
+           static_cast<uint64_t>(GetParam()) * 6700417ull;
+  }
+};
+
+TEST_P(BatchParityTest, ScanTableMatchesRowPathAtEveryWidth) {
+  Rng rng(CaseSeed() + 1);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Schema schema = RandomSchema(&rng);
+    std::unique_ptr<Table> table =
+        MakeRandomTable("fuzz", schema, /*rows=*/150 + rng.NextIndex(100),
+                        /*string_pool=*/6, /*value_range=*/30, &rng);
+    SpikeTable(table.get(), &rng);
+    std::vector<AttributeDomain> domains =
+        ExtractDomains(*table, /*max_samples=*/6, &rng);
+
+    std::vector<ConditionPtr> conds;
+    conds.push_back(ConditionNode::True());  // all-pass batches
+    conds.push_back(ConditionNode::Atom(    // all-filtered batches
+        schema.attribute(0).name, CompareOp::kEq, Value::Null()));
+    for (int c = 0; c < 4; ++c) {
+      RandomConditionOptions options;
+      options.num_atoms = 1 + rng.NextIndex(5);
+      conds.push_back(RandomCondition(domains, options, &rng));
+    }
+
+    for (const ConditionPtr& cond : conds) {
+      const AttributeSet attrs = RandomProjection(schema, &rng);
+      const Result<RowSet> reference =
+          ScanTable(*table, *cond, attrs, ScanOptions());
+      ASSERT_TRUE(reference.ok()) << cond->ToString();
+      const std::vector<std::string> want = Signature(*reference);
+      for (const size_t width :
+           {size_t{1}, size_t{7}, size_t{64}, size_t{1024}}) {
+        for (const bool wire : {false, true}) {
+          ScanOptions options;
+          options.batch_width = width;
+          options.wire_encode = wire;
+          ScanMetrics metrics;
+          const Result<RowSet> batched =
+              ScanTable(*table, *cond, attrs, options, &metrics);
+          ASSERT_TRUE(batched.ok()) << cond->ToString();
+          ASSERT_EQ(Signature(*batched), want)
+              << "cond: " << cond->ToString() << "\nwidth " << width
+              << (wire ? " wire" : "") << " seed " << CaseSeed();
+          EXPECT_EQ(metrics.wire_bytes > 0, wire);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BatchParityTest, FilterRowsMatchesRowPathAtEveryWidth) {
+  Rng rng(CaseSeed() + 2);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Schema schema = RandomSchema(&rng);
+    std::unique_ptr<Table> table =
+        MakeRandomTable("fuzz", schema, /*rows=*/120, /*string_pool=*/5,
+                        /*value_range=*/25, &rng);
+    SpikeTable(table.get(), &rng);
+    std::vector<AttributeDomain> domains =
+        ExtractDomains(*table, /*max_samples=*/5, &rng);
+
+    // Intermediate input: a random projection of the whole table.
+    const AttributeSet in_attrs = RandomProjection(schema, &rng);
+    const Result<RowSet> input =
+        ScanTable(*table, *ConditionNode::True(), in_attrs, ScanOptions());
+    ASSERT_TRUE(input.ok());
+
+    for (int c = 0; c < 4; ++c) {
+      // The condition may reference attributes outside the input layout —
+      // then both paths must fail identically (compile-time NotFound parity).
+      RandomConditionOptions options;
+      options.num_atoms = 1 + rng.NextIndex(4);
+      const ConditionPtr cond = RandomCondition(domains, options, &rng);
+      const AttributeSet out = [&] {
+        AttributeSet set;
+        for (const int i : in_attrs.Indices()) {
+          if (rng.NextBool(0.6)) set.Add(i);
+        }
+        if (set.empty()) set = in_attrs;
+        return set;
+      }();
+      const Result<RowSet> reference =
+          FilterRows(*input, *cond, out, schema, /*batch_width=*/0);
+      for (const size_t width : {size_t{1}, size_t{7}, size_t{64}}) {
+        const Result<RowSet> batched =
+            FilterRows(*input, *cond, out, schema, width);
+        ASSERT_EQ(reference.ok(), batched.ok())
+            << cond->ToString() << " width " << width;
+        if (!reference.ok()) {
+          EXPECT_EQ(reference.status().code(), batched.status().code());
+          continue;
+        }
+        ASSERT_EQ(Signature(*batched), Signature(*reference))
+            << "cond: " << cond->ToString() << "\nwidth " << width
+            << " seed " << CaseSeed();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchParityTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// TSan coverage: concurrent clients against one batched mediator.
+
+constexpr const char* kCarsSsdl = R"(
+source cars(make: string, model: string, year: int,
+            color: string, price: int) {
+  cost 10.0 1.0;
+  rule s1 -> make = $string and price < $int;
+  rule s2 -> make = $string and color = $string;
+  export s1 : {make, model, year, color};
+  export s2 : {make, model, year};
+}
+)";
+
+std::unique_ptr<Table> ConcurrencyCars() {
+  Result<SourceDescription> description = ParseSsdl(kCarsSsdl);
+  EXPECT_TRUE(description.ok());
+  auto table = std::make_unique<Table>("cars", description->schema());
+  const char* makes[] = {"BMW", "Toyota", "Honda"};
+  const char* colors[] = {"red", "black", "blue"};
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(table
+                    ->AppendValues({Value::String(makes[i % 3]),
+                                    Value::String("m" + std::to_string(i % 17)),
+                                    Value::Int(1990 + i % 10),
+                                    Value::String(colors[i % 3]),
+                                    Value::Int(10000 + (i % 40) * 1000)})
+                    .ok());
+  }
+  return table;
+}
+
+TEST(BatchConcurrencyTest, ConcurrentClientsOnBatchedMediator) {
+  // Union-shaped queries: parallel children race on the shared ColumnStore
+  // build and the in-place batched set combines.
+  const std::vector<std::string> queries = {
+      "SELECT make, model FROM cars WHERE (make = \"BMW\" and price < 30000) "
+      "or (make = \"Toyota\" and color = \"red\")",
+      "SELECT make, model, year FROM cars WHERE (make = \"Honda\" and price "
+      "< 25000) or (make = \"BMW\" and color = \"black\")",
+      "SELECT model FROM cars WHERE make = \"Toyota\" and price < 40000",
+  };
+
+  // Reference answers from a single-threaded row-path mediator.
+  Mediator reference;
+  {
+    Result<SourceDescription> description = ParseSsdl(kCarsSsdl);
+    ASSERT_TRUE(description.ok());
+    ASSERT_TRUE(reference
+                    .RegisterSource(std::move(description).value(),
+                                    ConcurrencyCars())
+                    .ok());
+  }
+  std::vector<std::vector<std::string>> want;
+  for (const std::string& sql : queries) {
+    const Result<Mediator::QueryResult> result = reference.Query(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    want.push_back(Signature(result->rows));
+  }
+
+  Mediator::Options options;
+  options.num_threads = 4;
+  options.batch_width = 64;
+  Mediator mediator(options);
+  {
+    Result<SourceDescription> description = ParseSsdl(kCarsSsdl);
+    ASSERT_TRUE(description.ok());
+    ASSERT_TRUE(mediator
+                    .RegisterSource(std::move(description).value(),
+                                    ConcurrencyCars())
+                    .ok());
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t q = static_cast<size_t>(c + round) % queries.size();
+        const Result<Mediator::QueryResult> result =
+            mediator.Query(queries[q]);
+        if (!result.ok()) {
+          errors[c] = result.status().ToString();
+          return;
+        }
+        if (Signature(result->rows) != want[q]) {
+          errors[c] = "answer mismatch on " + queries[q];
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(errors[c].empty()) << "client " << c << ": " << errors[c];
+  }
+}
+
+}  // namespace
+}  // namespace gencompact
