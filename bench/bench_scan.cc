@@ -63,7 +63,9 @@ Cell RunCell(const Table& table, const Workload& workload, size_t width) {
   cell.width = width;
   ScanOptions options;
   options.batch_width = width;
-  options.wire_encode = width > 0;  // what Source::Execute does
+  // What Source::Execute does: unconditioned local download-all scans skip
+  // the wire round-trip (nothing crosses a "network" for a local table dump).
+  options.wire_encode = width > 0 && !workload.condition->is_true();
   double best_ms = 0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     ScanMetrics metrics;

@@ -1,14 +1,17 @@
 #ifndef GENCOMPACT_COST_COST_MODEL_H_
 #define GENCOMPACT_COST_COST_MODEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 
 #include "common/rng.h"
 #include "cost/cardinality.h"
 #include "plan/plan.h"
 #include "plan/sub_query_key.h"
+#include "ssdl/description.h"
 
 namespace gencompact {
 
@@ -91,11 +94,53 @@ class CostModel {
     return estimator_->EstimateResultRows(cond, attrs);
   }
 
+  /// The source's result bound, copied from its description at registration.
+  /// Default-constructed (bound 0 = unbounded) keeps the model exactly
+  /// Equation 1.
+  void set_result_bound(const ResultBound& bound) { result_bound_ = bound; }
+  const ResultBound& result_bound() const { return result_bound_; }
+
+  /// k1 multiplier charged to a non-paging bounded source query whose
+  /// estimate exceeds the bound — the truncation-risk analogue of the
+  /// breaker's open_multiplier: Choice resolution steers toward
+  /// alternatives that can answer exactly before the truncation happens.
+  void set_truncation_risk_multiplier(double m) {
+    truncation_risk_multiplier_ = m;
+  }
+  double truncation_risk_multiplier() const {
+    return truncation_risk_multiplier_;
+  }
+
   /// Cost of one source query: k1 + k2·estimated result rows (with k1
   /// inflated by the health penalty when one is attached and active).
+  ///
+  /// Against a result-bounded interface the k1 term changes shape once the
+  /// estimate exceeds the bound (a fitting query is one plain call — exactly
+  /// Equation 1, whatever the source declares):
+  ///  - paging source: one k1 per page the loop will drive —
+  ///    k1·ceil(est / page_size) — because each page is a full round trip;
+  ///  - non-paging source: the whole query cost is inflated by the
+  ///    truncation-risk multiplier, so a plan that would come back provably
+  ///    partial loses ties against an unbounded (or refinable) alternative.
+  /// With no bound declared this is exactly Equation 1.
   double SourceQueryCost(const ConditionNode& cond,
                          const AttributeSet& attrs) const {
-    return effective_k1() + k2_ * EstimateResultRows(cond, attrs);
+    const double est = EstimateResultRows(cond, attrs);
+    if (!result_bound_.bounded() ||
+        est <= static_cast<double>(result_bound_.result_bound)) {
+      return effective_k1() + k2_ * est;
+    }
+    if (result_bound_.supports_paging) {
+      const double page =
+          static_cast<double>(result_bound_.EffectivePageSize());
+      double pages = std::ceil(std::max(est, 1.0) / page);
+      if (result_bound_.max_accesses > 0) {
+        pages = std::min(pages,
+                         static_cast<double>(result_bound_.max_accesses));
+      }
+      return effective_k1() * pages + k2_ * est;
+    }
+    return (effective_k1() + k2_ * est) * truncation_risk_multiplier_;
   }
 
   /// Cost of a plan. Choice nodes cost the minimum over their children
@@ -128,6 +173,8 @@ class CostModel {
   double mediator_k3_;
   const CardinalityEstimator* estimator_;
   const HealthPenalty* health_penalty_ = nullptr;
+  ResultBound result_bound_;  // bound 0 = unbounded (exactly Equation 1)
+  double truncation_risk_multiplier_ = 8.0;
 };
 
 }  // namespace gencompact

@@ -21,6 +21,7 @@ Result<RowSet> Executor::Execute(const PlanNode& plan) {
     std::lock_guard<std::mutex> lock(degrade_mu_);
     dropped_.clear();
     failed_keys_.clear();
+    truncated_.clear();
   }
   budget_->store(options_.retry.retry_budget, std::memory_order_relaxed);
   return Exec(plan);
@@ -51,11 +52,19 @@ void Executor::FoldJobCounters(const FetchJob& job) {
 }
 
 Result<RowSet> Executor::RunRetryLoop(FetchJob* job) {
+  PageInfo ignored;
+  return RunPageRetryLoop(job, 0, &ignored);
+}
+
+Result<RowSet> Executor::RunPageRetryLoop(FetchJob* job, uint64_t offset,
+                                          PageInfo* info) {
   const RetryPolicy& retry = job->retry;
   // Seeded per sub-query identity: parallel branches draw independent but
   // reproducible jitter streams; re-executing the same plan replays them.
-  DecorrelatedJitterBackoff backoff(retry.backoff,
-                                    retry.seed ^ SubQueryKeyHash{}(job->key));
+  // The page offset perturbs the stream so successive pages of one
+  // sub-query do not share jitter.
+  DecorrelatedJitterBackoff backoff(
+      retry.backoff, retry.seed ^ SubQueryKeyHash{}(job->key) ^ offset);
   const std::chrono::steady_clock::time_point start = job->clock->Now();
   for (size_t attempt = 1;; ++attempt) {
     if (job->breaker != nullptr && !job->breaker->Allow()) {
@@ -67,7 +76,11 @@ Result<RowSet> Executor::RunRetryLoop(FetchJob* job) {
     }
     const std::chrono::steady_clock::time_point attempt_start =
         job->latency != nullptr ? job->clock->Now() : start;
-    Result<RowSet> result = job->source->Execute(*job->condition, job->attrs);
+    // A retried page re-requests the SAME offset: the source's canonical
+    // order is deterministic, so the retry ships exactly the rows the
+    // failed attempt would have — no duplicates, no gaps.
+    Result<RowSet> result = job->source->ExecutePage(
+        *job->condition, job->attrs, PageRequest{offset}, info);
     const bool retryable_failure =
         !result.ok() && IsRetryable(result.status().code());
     if (job->breaker != nullptr) {
@@ -134,8 +147,83 @@ Result<RowSet> Executor::RunHedgeAttempt(FetchJob* job) {
   return result;
 }
 
+Result<RowSet> Executor::FetchPaged(const PlanNode& plan,
+                                    const SubQueryKey& key) {
+  const ResultBound& bound = source_->description().result_bound();
+  FetchJob job;
+  InitJob(&job, plan, key);
+
+  RowSet acc;
+  uint64_t offset = 0;
+  uint64_t pages = 0;
+  bool truncated = false;
+  std::string reason;
+  for (;;) {
+    PageInfo info;
+    Result<RowSet> page = RunPageRetryLoop(&job, offset, &info);
+    if (!page.ok()) {
+      // Mid-loop failure. With partial paging enabled and at least one page
+      // landed, the prefix is a usable (truncated) partial answer — breaker
+      // trips, budget exhaustion, and persistent transients all degrade
+      // instead of discarding the rows already paid for. Otherwise the
+      // sub-query fails exactly like an unbounded fetch would.
+      if (pages > 0 && options_.partial_pages &&
+          IsRetryable(page.status().code())) {
+        truncated = true;
+        reason = "paging interrupted: " + page.status().message();
+        break;
+      }
+      FoldJobCounters(job);
+      return page;
+    }
+    ++pages;
+    pages_fetched_.fetch_add(1, std::memory_order_relaxed);
+    if (pages == 1) {
+      acc = std::move(page).value();
+    } else {
+      acc.MergeFrom(std::move(page).value());
+    }
+    if (!info.has_more) break;  // exhausted: the answer is exact
+    if (!bound.supports_paging) {
+      truncated = true;
+      reason = "result bound " + std::to_string(bound.result_bound) +
+               " hit and the source does not page";
+      break;
+    }
+    if (bound.max_accesses > 0 && pages >= bound.max_accesses) {
+      truncated = true;
+      reason = "access limit " + std::to_string(bound.max_accesses) +
+               " reached with rows remaining";
+      break;
+    }
+    offset = info.next_offset;
+  }
+  FoldJobCounters(job);
+
+  if (truncated) {
+    truncated_sub_queries_.fetch_add(1, std::memory_order_relaxed);
+    TruncationRecord record;
+    record.key = key;
+    record.source = source_->description().source_name();
+    record.sub_query = "SP(" + plan.condition()->ToString() + ", " +
+                       plan.attrs().ToString(source_->table().schema()) + ")";
+    record.bound = bound.result_bound;
+    record.rows_lower_bound = acc.size();
+    record.reason = std::move(reason);
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    truncated_.push_back(std::move(record));
+  }
+  return acc;
+}
+
 Result<RowSet> Executor::FetchResolving(const PlanNode& plan,
                                         const SubQueryKey& key) {
+  if (source_->description().result_bound().bounded()) {
+    // Bounded interface: the paging loop owns the fetch. Hedging is
+    // bypassed — pages must advance in order, and racing a multi-call
+    // conversation against itself would interleave offsets.
+    return FetchPaged(plan, key);
+  }
   const HedgePolicy& hedge = options_.hedge;
   const bool hedging_armed =
       hedge.enabled && pool_ != nullptr && options_.latency != nullptr &&

@@ -44,6 +44,10 @@ struct ExecStats {
   uint64_t hedges_won = 0;        ///< hedges whose success was adopted as the answer
   uint64_t hedges_cancelled = 0;  ///< primaries cancelled before ever starting
 
+  // Result-bounded-source counters (zero unless a source declares a bound).
+  uint64_t pages_fetched = 0;         ///< bounded responses consumed
+  uint64_t truncated_sub_queries = 0; ///< sub-queries answered incompletely
+
   /// Equation-1 cost with the actual row counts.
   double TrueCost(double k1, double k2) const {
     return k1 * static_cast<double>(source_queries) +
@@ -80,6 +84,14 @@ struct ExecOptions {
   /// with a `latency` digest and a ThreadPool.
   HedgePolicy hedge;
 
+  /// Partial paging prefixes: when a bounded source's paging loop fails
+  /// retryably *after* at least one page landed (breaker trip, retry-budget
+  /// exhaustion, persistent transient), keep the pages already fetched as a
+  /// truncated partial answer — recorded in truncation_records() — instead
+  /// of failing the sub-query. Off (default): a mid-loop failure fails the
+  /// whole sub-query, exactly like an unbounded fetch.
+  bool partial_pages = false;
+
   /// Batch width of the mediator-side data plane. 0 (default): the
   /// row-at-a-time reference path — per-row evaluation for mediator SPs and
   /// copying UnionOf/IntersectOf combines, bit-identical to the original
@@ -87,6 +99,19 @@ struct ExecOptions {
   /// compiled kernels, see exec/scan.h) and set operations combine by
   /// in-place merge/intersect without copying rows.
   size_t batch_width = 0;
+};
+
+/// One sub-query whose answer provably misses rows: a result-bounded source
+/// stopped shipping before exhaustion. The recovered rows are a *lower
+/// bound* on the true answer (pages are disjoint slices of it), which is
+/// exactly what the completeness marker on a partial answer must say.
+struct TruncationRecord {
+  SubQueryKey key;                ///< identity, for avoid-set re-planning
+  std::string source;             ///< the bounded source's name
+  std::string sub_query;          ///< human-readable SP(C, A, R) rendering
+  uint64_t bound = 0;             ///< the result bound that was hit
+  uint64_t rows_lower_bound = 0;  ///< rows recovered before the cut
+  std::string reason;             ///< why the loop stopped (bound/limit/fault)
 };
 
 /// Executes resolved plans against one source, performing the mediator
@@ -150,6 +175,9 @@ class Executor {
     snapshot.hedges_won = hedges_won_.load(std::memory_order_relaxed);
     snapshot.hedges_cancelled =
         hedges_cancelled_.load(std::memory_order_relaxed);
+    snapshot.pages_fetched = pages_fetched_.load(std::memory_order_relaxed);
+    snapshot.truncated_sub_queries =
+        truncated_sub_queries_.load(std::memory_order_relaxed);
     return snapshot;
   }
   void ResetStats() {
@@ -163,6 +191,8 @@ class Executor {
     hedges_launched_.store(0, std::memory_order_relaxed);
     hedges_won_.store(0, std::memory_order_relaxed);
     hedges_cancelled_.store(0, std::memory_order_relaxed);
+    pages_fetched_.store(0, std::memory_order_relaxed);
+    truncated_sub_queries_.store(0, std::memory_order_relaxed);
   }
 
   /// Human-readable descriptions of the ∨-branches dropped by the last
@@ -178,6 +208,15 @@ class Executor {
   std::vector<SubQueryKey> failed_sub_query_keys() const {
     std::lock_guard<std::mutex> lock(degrade_mu_);
     return failed_keys_;
+  }
+
+  /// Sub-queries whose answers are provably incomplete in the last
+  /// Execute() — a result-bounded source stopped before exhaustion (no
+  /// paging, access limit, or a tolerated mid-loop failure). Empty for
+  /// unbounded sources and whenever every paging loop ran to exhaustion.
+  std::vector<TruncationRecord> truncation_records() const {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    return truncated_;
   }
 
  private:
@@ -231,10 +270,20 @@ class Executor {
   Result<RowSet> ExecSetOp(const PlanNode& plan);
 
   /// One logical fetch: the plain retry loop, or the hedged race when the
-  /// policy arms (digest warm, pool available).
+  /// policy arms (digest warm, pool available). Result-bounded sources take
+  /// the paging loop instead (and never hedge: a bounded fetch is an ordered
+  /// multi-call conversation, not a single race-able round trip).
   Result<RowSet> FetchResolving(const PlanNode& plan, const SubQueryKey& key);
   Result<RowSet> FetchHedged(const std::shared_ptr<FetchJob>& job,
                              std::chrono::microseconds delay);
+
+  /// The paging loop for a result-bounded source: drives page offsets until
+  /// the source reports exhaustion (exact answer), the interface runs out
+  /// of pages/accesses, or a tolerated mid-loop failure cuts it short (both
+  /// partial — recorded in truncation_records()). Every page runs under the
+  /// full retry/breaker/deadline discipline at its own offset, so a retried
+  /// page resumes exactly where the failed attempt would have read.
+  Result<RowSet> FetchPaged(const PlanNode& plan, const SubQueryKey& key);
 
   void InitJob(FetchJob* job, const PlanNode& plan,
                const SubQueryKey& key) const;
@@ -242,7 +291,12 @@ class Executor {
 
   /// The retry/breaker/deadline loop around one physical source fetch.
   /// Static: runs identically on the owner thread and on a detached task.
+  /// The paged form retries the page at `offset` until it lands or the
+  /// discipline gives up; the plain form is the offset-0 page of an
+  /// unbounded source (identical behaviour to before bounds existed).
   static Result<RowSet> RunRetryLoop(FetchJob* job);
+  static Result<RowSet> RunPageRetryLoop(FetchJob* job, uint64_t offset,
+                                         PageInfo* info);
 
   /// One breaker-gated speculative call — a hedge is a bet that a second
   /// sample beats the primary's tail, not a second retry discipline.
@@ -274,6 +328,8 @@ class Executor {
   std::atomic<uint64_t> hedges_launched_{0};
   std::atomic<uint64_t> hedges_won_{0};
   std::atomic<uint64_t> hedges_cancelled_{0};
+  std::atomic<uint64_t> pages_fetched_{0};
+  std::atomic<uint64_t> truncated_sub_queries_{0};
   // Heap-shared so a detached hedge loser can keep drawing (and failing to
   // draw) tokens safely even if the Executor is gone; reset per execution.
   std::shared_ptr<std::atomic<size_t>> budget_ =
@@ -283,9 +339,10 @@ class Executor {
   // execution hot path costs two field loads, not a string concatenation.
   std::unordered_map<SubQueryKey, std::shared_ptr<Fetch>, SubQueryKeyHash>
       fetches_;
-  mutable std::mutex degrade_mu_;  // guards dropped_, failed_keys_
+  mutable std::mutex degrade_mu_;  // guards dropped_, failed_keys_, truncated_
   std::vector<std::string> dropped_;
   std::vector<SubQueryKey> failed_keys_;
+  std::vector<TruncationRecord> truncated_;
 };
 
 }  // namespace gencompact

@@ -16,7 +16,7 @@ uint64_t MixSeed(uint64_t seed, uint64_t index) {
 
 }  // namespace
 
-FaultInjector::Decision FaultInjector::NextCall() {
+FaultInjector::Decision FaultInjector::NextCall(uint64_t page_offset) {
   const uint64_t index = calls_.fetch_add(1, std::memory_order_relaxed);
   Decision decision;
 
@@ -28,6 +28,21 @@ FaultInjector::Decision FaultInjector::NextCall() {
       unavailable_.fetch_add(1, std::memory_order_relaxed);
       decision.code = StatusCode::kUnavailable;
       decision.reason = "scripted failure";
+      return decision;
+    }
+  }
+
+  // Page-indexed schedule: faults keyed on the requested page offset, so
+  // tests can fail a specific page mid-loop regardless of how many calls
+  // (retries, other pages) came before it.
+  if (!policy_.page_faults.empty()) {
+    const std::lock_guard<std::mutex> lock(page_mu_);
+    const auto it = page_fail_remaining_.find(page_offset);
+    if (it != page_fail_remaining_.end() && it->second > 0) {
+      --it->second;
+      unavailable_.fetch_add(1, std::memory_order_relaxed);
+      decision.code = StatusCode::kUnavailable;
+      decision.reason = "page fault";
       return decision;
     }
   }

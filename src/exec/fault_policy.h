@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -44,10 +46,21 @@ struct FaultPolicy {
   };
   std::vector<Outage> outages;
 
+  /// Page-indexed fault schedule for result-bounded sources: the first
+  /// `fail_count` calls that request the page starting at row `offset` fail
+  /// fast with kUnavailable, independent of the call index. This is how the
+  /// paging tests script "the second page fails once, then succeeds" —
+  /// a mid-loop transient whose retry must resume at the same offset.
+  struct PageFault {
+    uint64_t offset = 0;      ///< page start offset the fault is keyed on
+    uint64_t fail_count = 1;  ///< how many requests for this page fail
+  };
+  std::vector<PageFault> page_faults;
+
   /// True if any mechanism can fire (the zero policy is a guaranteed no-op).
   bool active() const {
     return transient_error_rate > 0 || stuck_call_rate > 0 ||
-           slow_call_rate > 0 || !outages.empty();
+           slow_call_rate > 0 || !outages.empty() || !page_faults.empty();
   }
 };
 
@@ -56,7 +69,11 @@ struct FaultPolicy {
 /// fail" at any point, independent of the policy's random schedule).
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultPolicy policy) : policy_(std::move(policy)) {}
+  explicit FaultInjector(FaultPolicy policy) : policy_(std::move(policy)) {
+    for (const FaultPolicy::PageFault& fault : policy_.page_faults) {
+      page_fail_remaining_[fault.offset] += fault.fail_count;
+    }
+  }
 
   /// What the injector decided for one call.
   struct Decision {
@@ -66,7 +83,9 @@ class FaultInjector {
   };
 
   /// Draws the decision for the next call (advances the call index).
-  Decision NextCall();
+  /// `page_offset` is the starting row of the requested page (0 for plain,
+  /// unpaged calls) — it keys the policy's page-indexed fault schedule.
+  Decision NextCall(uint64_t page_offset = 0);
 
   /// Scripts the next `n` calls to fail with kUnavailable, on top of
   /// whatever the policy would have decided.
@@ -93,6 +112,10 @@ class FaultInjector {
 
  private:
   FaultPolicy policy_;
+  /// Remaining scripted failures per page offset (guarded by page_mu_;
+  /// empty and never locked unless the policy lists page faults).
+  std::mutex page_mu_;
+  std::unordered_map<uint64_t, uint64_t> page_fail_remaining_;
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> fail_next_{0};
   std::atomic<uint64_t> unavailable_{0};

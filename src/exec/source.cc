@@ -1,6 +1,8 @@
 #include "exec/source.h"
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
 #include "exec/scan.h"
 
@@ -8,6 +10,17 @@ namespace gencompact {
 
 Result<RowSet> Source::Execute(const ConditionNode& cond,
                                const AttributeSet& attrs) {
+  // Offset 0 of the paged protocol IS the plain call; a bounded source
+  // silently truncates here (info is dropped), like a real top-k form
+  // answering a caller that never looks at the "more results" banner. The
+  // executor's paging loop is the caller that does look.
+  PageInfo info;
+  return ExecutePage(cond, attrs, PageRequest{}, &info);
+}
+
+Result<RowSet> Source::ExecutePage(const ConditionNode& cond,
+                                   const AttributeSet& attrs,
+                                   const PageRequest& request, PageInfo* info) {
   queries_received_.fetch_add(1, std::memory_order_relaxed);
 
   std::chrono::microseconds latency = simulated_latency();
@@ -15,7 +28,8 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
   // Fault injection happens before the capability check: a dead or flaky
   // network fails the round trip whether or not the form could have answered.
   if (fault_injector_ != nullptr) {
-    const FaultInjector::Decision decision = fault_injector_->NextCall();
+    const FaultInjector::Decision decision =
+        fault_injector_->NextCall(request.offset);
     latency += decision.extra_latency;
     if (decision.code != StatusCode::kOk) {
       // A stuck call burns its timeout before failing; a fast failure does
@@ -43,6 +57,16 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
                                ", " + attrs.ToString(table_->schema()) + ")");
   }
 
+  const ResultBound& bound = description_->result_bound();
+  if (request.offset > 0 && (!bound.bounded() || !bound.supports_paging)) {
+    // A form with no "next page" link: there is nothing to request past
+    // offset 0. Non-retryable, like any other interface violation.
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unsupported("source '" + description_->source_name() +
+                               "' does not support paging (offset " +
+                               std::to_string(request.offset) + ")");
+  }
+
   // The round trip happens with no lock held: concurrent queries wait in
   // parallel, exactly like independent HTTP requests.
   if (latency.count() > 0) std::this_thread::sleep_for(latency);
@@ -50,17 +74,53 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
   // The scan itself: row-at-a-time at batch_width 0 (the reference path),
   // vectorized batches + columnar wire transfer otherwise. Either way the
   // condition compiles once per scan — no per-row schema lookups.
+  //
+  // Wire bypass: an unconditioned full download from a local table skips
+  // the encode/decode round trip — there is no selective transfer to win,
+  // every row ships anyway, so GCWF only added CPU (the documented ~0.5x
+  // regression on download-all in BENCH_scan.json).
   ScanOptions scan_options;
   scan_options.batch_width = batch_width_.load(std::memory_order_relaxed);
-  scan_options.wire_encode = scan_options.batch_width > 0;
+  scan_options.wire_encode = scan_options.batch_width > 0 && !cond.is_true();
   ScanMetrics scan_metrics;
   GC_ASSIGN_OR_RETURN(RowSet result,
                       ScanTable(*table_, cond, attrs, scan_options,
                                 &scan_metrics));
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
-  rows_returned_.fetch_add(result.size(), std::memory_order_relaxed);
   wire_bytes_.fetch_add(scan_metrics.wire_bytes, std::memory_order_relaxed);
-  return result;
+
+  if (!bound.bounded()) {
+    info->bounded = false;
+    info->rows = result.size();
+    info->next_offset = result.size();
+    info->has_more = false;
+    rows_returned_.fetch_add(result.size(), std::memory_order_relaxed);
+    return result;
+  }
+
+  // Bounded response: ship the page [offset, offset + page_size) of the
+  // answer in canonical (Value-lexicographic) order. The order is a pure
+  // function of the immutable table and the condition, so a retried page
+  // request resumes at exactly the rows the failed attempt would have
+  // shipped — no duplicates, no gaps.
+  const uint64_t page_size = bound.EffectivePageSize();
+  const std::vector<Row> sorted = result.SortedRows();
+  const uint64_t total = sorted.size();
+  const uint64_t begin = std::min<uint64_t>(request.offset, total);
+  const uint64_t end = std::min<uint64_t>(begin + page_size, total);
+  RowSet page(result.layout());
+  for (uint64_t i = begin; i < end; ++i) page.Insert(sorted[i]);
+
+  info->bounded = true;
+  info->rows = end - begin;
+  info->next_offset = end;
+  info->has_more = end < total;
+  pages_served_.fetch_add(1, std::memory_order_relaxed);
+  if (info->has_more) {
+    truncated_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  rows_returned_.fetch_add(page.size(), std::memory_order_relaxed);
+  return page;
 }
 
 }  // namespace gencompact

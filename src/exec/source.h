@@ -14,6 +14,23 @@
 
 namespace gencompact {
 
+/// One page request against a result-bounded source: start serving rows at
+/// `offset` in the source's canonical (deterministic) result order. Offset 0
+/// is the plain first call; a paging loop passes the previous response's
+/// `next_offset` to continue.
+struct PageRequest {
+  uint64_t offset = 0;
+};
+
+/// What a (possibly bounded) response says about itself — the "showing
+/// 1-25 of 1000, next page ->" banner of a real web form.
+struct PageInfo {
+  bool bounded = false;      ///< a result bound was in force for this call
+  uint64_t rows = 0;         ///< rows in this response
+  uint64_t next_offset = 0;  ///< offset of the first row after this response
+  bool has_more = false;     ///< rows beyond next_offset were withheld
+};
+
 /// A simulated Internet source: an in-memory relation behind a
 /// capability-enforcing query interface. Execute() REJECTS any SP query the
 /// SSDL description does not support — exactly like a real web form that
@@ -55,7 +72,25 @@ class Source {
   /// Executes SP(cond, attrs, R) with set semantics; kUnsupported if the
   /// description does not accept the query; kUnavailable/kDeadlineExceeded
   /// when the configured fault policy injects a failure.
+  ///
+  /// When the description carries a result bound, the response is SILENTLY
+  /// truncated to the first bound rows (in the source's canonical order) —
+  /// exactly what a top-k web form does to a caller that ignores the "more
+  /// results" banner. Callers that must notice use ExecutePage.
   Result<RowSet> Execute(const ConditionNode& cond, const AttributeSet& attrs);
+
+  /// The paged form: serves the slice of the full answer starting at
+  /// `request.offset` in the source's canonical order (Value-lexicographic,
+  /// deterministic across calls and retries — the table is immutable), at
+  /// most one bound/page worth of rows, and reports via `info` whether rows
+  /// were withheld and where the next page starts. Unbounded sources answer
+  /// fully at offset 0 and reject offset > 0; bounded but non-paging
+  /// sources likewise reject offset > 0 (kUnsupported — a form with no
+  /// "next page" link). Each call re-runs fault injection, the capability
+  /// check, latency, and the scan: a page fetch is a full round trip.
+  Result<RowSet> ExecutePage(const ConditionNode& cond,
+                             const AttributeSet& attrs,
+                             const PageRequest& request, PageInfo* info);
 
   /// Per-query latency injected at the start of every Execute() call,
   /// modelling the Internet round trip the paper's k1 stands for. Threads
@@ -101,6 +136,8 @@ class Source {
     size_t queries_unavailable = 0;  ///< injected kUnavailable / kDeadline
     uint64_t rows_returned = 0;
     uint64_t wire_bytes = 0;  ///< columnar transfer bytes (batch mode only)
+    uint64_t pages_served = 0;         ///< bounded responses (each is a page)
+    uint64_t truncated_responses = 0;  ///< responses that withheld rows
   };
   /// A snapshot of the atomic counters (consistent enough for tests and
   /// observability; individual counters never tear).
@@ -113,6 +150,9 @@ class Source {
         queries_unavailable_.load(std::memory_order_relaxed);
     s.rows_returned = rows_returned_.load(std::memory_order_relaxed);
     s.wire_bytes = wire_bytes_.load(std::memory_order_relaxed);
+    s.pages_served = pages_served_.load(std::memory_order_relaxed);
+    s.truncated_responses =
+        truncated_responses_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
@@ -122,6 +162,8 @@ class Source {
     queries_unavailable_.store(0, std::memory_order_relaxed);
     rows_returned_.store(0, std::memory_order_relaxed);
     wire_bytes_.store(0, std::memory_order_relaxed);
+    pages_served_.store(0, std::memory_order_relaxed);
+    truncated_responses_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -137,6 +179,8 @@ class Source {
   std::atomic<size_t> queries_unavailable_{0};
   std::atomic<uint64_t> rows_returned_{0};
   std::atomic<uint64_t> wire_bytes_{0};
+  std::atomic<uint64_t> pages_served_{0};
+  std::atomic<uint64_t> truncated_responses_{0};
 };
 
 }  // namespace gencompact

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "expr/simplify.h"
+#include "plan/bounded.h"
 #include "plan/plan_printer.h"
 
 namespace gencompact {
@@ -102,6 +103,21 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
       MakePlanner(strategy, prepared.entry->handle());
   GC_ASSIGN_OR_RETURN(PlanPtr plan,
                       planner->Plan(prepared.condition, prepared.attrs));
+  // Exact-via-refinement against a result-bounded, non-paging interface:
+  // split an over-bound source query into a union of selective DNF pieces
+  // that each fit under the bound. Deterministic, so the refined plan is
+  // what gets validated and cached.
+  const ResultBound& result_bound =
+      prepared.entry->handle()->description().result_bound();
+  if (options_.bounded_refinement && result_bound.bounded()) {
+    BoundedRefinement refined = RefineBoundedPlan(
+        plan, result_bound, prepared.entry->handle()->cost_model(),
+        prepared.entry->handle()->checker());
+    if (refined.splits > 0) {
+      plan = std::move(refined.plan);
+      refinement_splits_.fetch_add(refined.splits, std::memory_order_relaxed);
+    }
+  }
   // Feasibility guarantee: validate capability-aware strategies' plans
   // before execution. (The naive baseline intentionally emits plans the
   // source may reject; its failures surface at execution time.)
@@ -118,12 +134,14 @@ Result<PlanPtr> Mediator::PlanPrepared(const Prepared& prepared,
 
 Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
                                  const PlanNode& plan, QueryResult* result,
-                                 SubQueryAvoidSet* failed_keys) {
+                                 SubQueryAvoidSet* failed_keys,
+                                 SubQueryAvoidSet* truncated_keys) {
   ExecOptions exec_options;
   exec_options.retry = options_.retry;
   exec_options.breaker = prepared.entry->breaker();
   exec_options.clock = options_.clock;
   exec_options.degrade_unions = options_.partial_results;
+  exec_options.partial_pages = options_.partial_results;
   exec_options.latency = prepared.entry->latency_tracker();
   exec_options.hedge = options_.hedge;
   exec_options.batch_width = options_.batch_width;
@@ -140,6 +158,7 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
                               std::memory_order_relaxed);
   hedges_launched_.fetch_add(stats.hedges_launched, std::memory_order_relaxed);
   hedges_won_.fetch_add(stats.hedges_won, std::memory_order_relaxed);
+  pages_fetched_.fetch_add(stats.pages_fetched, std::memory_order_relaxed);
 
   result->exec = stats;
   if (rows.ok()) {
@@ -147,6 +166,19 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
     if (!dropped.empty()) {
       result->completeness.complete = false;
       result->completeness.dropped_sub_queries = std::move(dropped);
+    }
+    // Bounded sources that withheld rows: every truncation the executor saw
+    // becomes an explicit marker — no answer is silently short.
+    for (const TruncationRecord& record : executor.truncation_records()) {
+      result->completeness.complete = false;
+      TruncatedSource truncated;
+      truncated.source = record.source;
+      truncated.sub_query = record.sub_query;
+      truncated.bound = record.bound;
+      truncated.rows_lower_bound = record.rows_lower_bound;
+      truncated.reason = record.reason;
+      result->completeness.truncated_sources.push_back(std::move(truncated));
+      if (truncated_keys != nullptr) truncated_keys->insert(record.key);
     }
   } else if (failed_keys != nullptr) {
     // The avoid-set for a potential re-plan around what just failed.
@@ -182,7 +214,36 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
   GC_ASSIGN_OR_RETURN(PlanPtr plan, PlanPrepared(prepared, strategy));
 
   SubQueryAvoidSet failed_keys;
-  Result<RowSet> rows = RunPlan(prepared, *plan, &result, &failed_keys);
+  SubQueryAvoidSet truncated_keys;
+  Result<RowSet> rows =
+      RunPlan(prepared, *plan, &result, &failed_keys, &truncated_keys);
+
+  if (rows.ok() && options_.replan_on_truncation && !truncated_keys.empty()) {
+    // The answer arrived, but a bounded source withheld rows. If the plan
+    // space can route around the truncated sub-queries (an unbounded
+    // alternate covers the same slice), the complete answer beats the
+    // marked-partial one. The recovery plan is NOT cached, and it is only
+    // adopted when it really is complete — otherwise the original partial
+    // answer (with its markers) stands.
+    const std::unique_ptr<PlannerStrategy> planner =
+        MakePlanner(strategy, prepared.entry->handle());
+    const Result<PlanPtr> alternative = planner->PlanAvoiding(
+        prepared.condition, prepared.attrs, truncated_keys);
+    if (alternative.ok()) {
+      QueryResult retry_result;
+      SubQueryAvoidSet retry_truncated;
+      Result<RowSet> retry_rows = RunPlan(prepared, **alternative,
+                                          &retry_result, nullptr,
+                                          &retry_truncated);
+      if (retry_rows.ok() && retry_result.completeness.complete) {
+        rows = std::move(retry_rows);
+        result = std::move(retry_result);
+        plan = *alternative;
+        result.replanned = true;
+        queries_replanned_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   if (!rows.ok() && options_.replan_on_failure &&
       IsRetryable(rows.status().code()) && !failed_keys.empty()) {
@@ -211,6 +272,9 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
   queries_ok_.fetch_add(1, std::memory_order_relaxed);
   if (!result.completeness.complete) {
     queries_partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.completeness.truncated_sources.empty()) {
+    truncated_answers_.fetch_add(1, std::memory_order_relaxed);
   }
 
   result.rows = std::move(rows).value();
@@ -354,6 +418,7 @@ Mediator::Stats Mediator::StatsSnapshot() const {
     stats.check_memo.invalidated = memo.invalidated;
     stats.check_memo.verified_hits = memo.verified_hits;
     stats.check_memo.verify_mismatches = memo.verify_mismatches;
+    stats.check_memo.auto_disabled = memo.auto_disabled;
     stats.check_memo.size = memo.size;
     stats.check_memo.capacity = memo.capacity;
     stats.check_memo.shards = memo.shards;
@@ -410,6 +475,12 @@ Mediator::Stats Mediator::StatsSnapshot() const {
       hedges_won_.load(std::memory_order_relaxed);
   stats.fault_tolerance.join_failovers =
       join_failovers_.load(std::memory_order_relaxed);
+  stats.bounded.pages_fetched =
+      pages_fetched_.load(std::memory_order_relaxed);
+  stats.bounded.truncated_answers =
+      truncated_answers_.load(std::memory_order_relaxed);
+  stats.bounded.refinement_splits =
+      refinement_splits_.load(std::memory_order_relaxed);
   stats.captured_at = options_.clock->Now();
   return stats;
 }
@@ -501,6 +572,9 @@ std::string Mediator::Stats::ToString() const {
     append("check_memo.invalidated   %zu\n", check_memo.invalidated);
     append("check_memo.verified      %zu\n", check_memo.verified_hits);
     append("check_memo.mismatches    %zu\n", check_memo.verify_mismatches);
+    if (check_memo.auto_disabled) {
+      append("check_memo.auto_disabled 1\n");
+    }
     append("check_memo.size          %zu\n", check_memo.size);
     append("check_memo.capacity      %zu\n", check_memo.capacity);
     append("check_memo.shards        %zu\n", check_memo.shards);
@@ -529,6 +603,15 @@ std::string Mediator::Stats::ToString() const {
          (unsigned long long)fault_tolerance.hedges_won);
   append("join.failovers           %llu\n",
          (unsigned long long)fault_tolerance.join_failovers);
+  if (bounded.pages_fetched > 0 || bounded.truncated_answers > 0 ||
+      bounded.refinement_splits > 0) {
+    append("pages.fetched            %llu\n",
+           (unsigned long long)bounded.pages_fetched);
+    append("answers.truncated        %llu\n",
+           (unsigned long long)bounded.truncated_answers);
+    append("refinement.splits        %llu\n",
+           (unsigned long long)bounded.refinement_splits);
+  }
   for (const PerSource& s : sources) {
     const char* prefix = s.name.c_str();
     append("source[%s].received      %zu\n", prefix, s.source.queries_received);
@@ -541,6 +624,12 @@ std::string Mediator::Stats::ToString() const {
     if (s.source.wire_bytes > 0) {
       append("source[%s].wire_bytes    %llu\n", prefix,
              (unsigned long long)s.source.wire_bytes);
+    }
+    if (s.source.pages_served > 0) {
+      append("source[%s].pages         %llu\n", prefix,
+             (unsigned long long)s.source.pages_served);
+      append("source[%s].truncated     %llu\n", prefix,
+             (unsigned long long)s.source.truncated_responses);
     }
     append("source[%s].check_calls   %zu\n", prefix, s.check_calls);
     append("source[%s].check_hits    %zu\n", prefix, s.check_memo_hits);

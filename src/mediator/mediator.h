@@ -117,6 +117,22 @@ class Mediator {
     /// right_alternates with schema-compatible catalog entries, so the
     /// non-driving side falls over to a replica on retryable failure.
     bool join_failover = false;
+
+    // ---- Result-bounded sources (no-ops unless a description declares
+    // ---- `bound N ...`; with no bound, behaviour is bit-identical). ----
+
+    /// Exact-via-refinement: rewrite an over-bound source query against a
+    /// non-paging bounded source into a union of selective sub-conditions
+    /// (DNF disjuncts) that each fit under the bound and pass the
+    /// capability check. Applied at planning time; counted in
+    /// Stats::bounded.refinement_splits.
+    bool bounded_refinement = true;
+    /// After an answer comes back truncated (a bounded source withheld
+    /// rows and no exact strategy recovered them), re-plan avoiding the
+    /// truncated sub-queries and adopt the alternative iff it answers
+    /// completely — planning around a bounded source when an unbounded
+    /// alternate exists in the Choice space.
+    bool replan_on_truncation = false;
   };
 
   explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
@@ -150,14 +166,30 @@ class Mediator {
   /// while no queries are in flight.
   Status ReloadSource(SourceDescription description);
 
+  /// One bounded source that truncated its contribution to an answer: the
+  /// "provably partial" marker of the result-bound model. rows_lower_bound
+  /// is what DID arrive — the answer holds at least this many of the
+  /// sub-query's true rows.
+  struct TruncatedSource {
+    std::string source;         ///< source that withheld rows
+    std::string sub_query;      ///< rendering of the truncated SP(C, A, R)
+    uint64_t bound = 0;         ///< the declared result bound
+    uint64_t rows_lower_bound = 0;  ///< rows actually recovered
+    std::string reason;         ///< why the loop stopped short
+  };
+
   /// Completeness marker of a (possibly degraded) answer: when the
   /// fault-tolerance policy drops failed ∨-branches instead of failing the
-  /// query, the answer is a subset of the true answer and lists exactly
-  /// which sub-plans it is missing.
+  /// query, or a result-bounded source truncated a sub-query with no exact
+  /// recovery, the answer is a subset of the true answer and lists exactly
+  /// what it is missing. An answer is complete iff both lists are empty —
+  /// there are NO silently-truncated answers.
   struct Completeness {
     bool complete = true;
-    /// Short renderings of the dropped ∨-branches (empty iff complete).
+    /// Short renderings of the dropped ∨-branches.
     std::vector<std::string> dropped_sub_queries;
+    /// Bounded sources that hit their bound with rows remaining.
+    std::vector<TruncatedSource> truncated_sources;
   };
 
   struct QueryResult {
@@ -249,6 +281,8 @@ class Mediator {
       size_t invalidated = 0;        ///< dropped by description reloads
       size_t verified_hits = 0;      ///< hits re-checked by a fresh Earley run
       size_t verify_mismatches = 0;  ///< collisions / stale entries caught
+      /// True once a verified mismatch latched the memo off for good.
+      bool auto_disabled = false;
       size_t size = 0;
       size_t capacity = 0;
       size_t shards = 0;
@@ -292,6 +326,14 @@ class Mediator {
       uint64_t hedges_won = 0;
       uint64_t join_failovers = 0;  ///< right-side alternates attempted
     } fault_tolerance;
+
+    /// Result-bounded interface activity (zeros while no source declares a
+    /// bound).
+    struct {
+      uint64_t pages_fetched = 0;      ///< bounded pages the loops drove
+      uint64_t truncated_answers = 0;  ///< answers carrying a truncation marker
+      uint64_t refinement_splits = 0;  ///< source queries split at plan time
+    } bounded;
 
     /// When this snapshot was taken (the mediator's injected clock), so two
     /// snapshots diff into rates deterministically under a FakeClock.
@@ -348,9 +390,13 @@ class Mediator {
   /// One executor pass with this mediator's fault-tolerance options; folds
   /// the executor's counters into the mediator-wide aggregates. On failure,
   /// the keys of failed sub-queries are added to `failed_keys` (if given) —
-  /// the avoid-set for a recovery re-plan.
+  /// the avoid-set for a recovery re-plan. Truncated sub-queries (bounded
+  /// sources that withheld rows) land in the result's completeness marker
+  /// and, if given, in `truncated_keys` — the avoid-set for
+  /// replan_on_truncation.
   Result<RowSet> RunPlan(const Prepared& prepared, const PlanNode& plan,
-                         QueryResult* result, SubQueryAvoidSet* failed_keys);
+                         QueryResult* result, SubQueryAvoidSet* failed_keys,
+                         SubQueryAvoidSet* truncated_keys = nullptr);
 
   Options options_;
   Strategy default_strategy_;
@@ -374,6 +420,9 @@ class Mediator {
   std::atomic<uint64_t> hedges_launched_{0};
   std::atomic<uint64_t> hedges_won_{0};
   std::atomic<uint64_t> join_failovers_{0};
+  std::atomic<uint64_t> pages_fetched_{0};
+  std::atomic<uint64_t> truncated_answers_{0};
+  std::atomic<uint64_t> refinement_splits_{0};
 };
 
 }  // namespace gencompact

@@ -1,0 +1,161 @@
+#include "plan/bounded.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "expr/normal_forms.h"
+
+namespace gencompact {
+namespace {
+
+/// DNF terms kept small: refinement is a planning-time rewrite and a
+/// combinatorial blow-up would itself be a planning failure mode.
+constexpr size_t kMaxRefinementTerms = 64;
+
+/// The candidate refinement pieces of C: its DNF disjuncts. nullopt when C
+/// does not split (single term — refinement has nothing to divide) or the
+/// DNF would explode.
+std::optional<std::vector<ConditionPtr>> RefinementPieces(
+    const ConditionPtr& cond) {
+  Result<ConditionPtr> dnf = ToDnf(cond, kMaxRefinementTerms);
+  if (!dnf.ok()) return std::nullopt;
+  const ConditionPtr& normalized = *dnf;
+  if (normalized->kind() != ConditionNode::Kind::kOr) return std::nullopt;
+  return normalized->children();
+}
+
+/// True iff every piece is individually answerable: the capability grammar
+/// accepts SP(piece, attrs) and the estimate fits in one bounded response.
+bool PiecesFit(const std::vector<ConditionPtr>& pieces,
+               const AttributeSet& attrs, const ResultBound& bound,
+               const CostModel& cost, Checker* checker) {
+  for (const ConditionPtr& piece : pieces) {
+    if (cost.EstimateResultRows(*piece, attrs) >
+        static_cast<double>(bound.result_bound)) {
+      return false;
+    }
+    if (checker != nullptr && !checker->Supports(*piece, attrs)) return false;
+  }
+  return true;
+}
+
+/// Largest row count a paging loop can recover before the access limit cuts
+/// it off (0 = unlimited).
+double PagingCeiling(const ResultBound& bound) {
+  if (bound.max_accesses == 0) return 0.0;
+  return static_cast<double>(bound.max_accesses) *
+         static_cast<double>(bound.EffectivePageSize());
+}
+
+PlanPtr Rewrite(const PlanPtr& plan, const ResultBound& bound,
+                const CostModel& cost, Checker* checker, size_t* splits) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kSourceQuery: {
+      if (ClassifySourceQuery(plan->condition(), plan->attrs(), bound, cost,
+                              checker) != BoundedOutcome::kExactViaRefinement) {
+        return plan;
+      }
+      std::optional<std::vector<ConditionPtr>> pieces =
+          RefinementPieces(plan->condition());
+      // Classification already validated the pieces; re-derive them here so
+      // the rewrite has no hidden state to fall out of sync with.
+      if (!pieces.has_value()) return plan;
+      std::vector<PlanPtr> children;
+      children.reserve(pieces->size());
+      for (ConditionPtr& piece : *pieces) {
+        children.push_back(
+            PlanNode::SourceQuery(std::move(piece), plan->attrs()));
+      }
+      ++*splits;
+      return PlanNode::UnionOf(std::move(children));
+    }
+    case PlanNode::Kind::kMediatorSp: {
+      PlanPtr child = Rewrite(plan->children()[0], bound, cost, checker,
+                              splits);
+      if (child == plan->children()[0]) return plan;
+      return PlanNode::MediatorSp(plan->condition(), plan->attrs(),
+                                  std::move(child));
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect:
+    case PlanNode::Kind::kChoice: {
+      std::vector<PlanPtr> children;
+      children.reserve(plan->children().size());
+      bool changed = false;
+      for (const PlanPtr& child : plan->children()) {
+        PlanPtr rewritten = Rewrite(child, bound, cost, checker, splits);
+        changed = changed || rewritten != child;
+        children.push_back(std::move(rewritten));
+      }
+      if (!changed) return plan;
+      switch (plan->kind()) {
+        case PlanNode::Kind::kUnion:
+          return PlanNode::UnionOf(std::move(children));
+        case PlanNode::Kind::kIntersect:
+          return PlanNode::IntersectOf(std::move(children));
+        default:
+          return PlanNode::Choice(std::move(children));
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+const char* ToString(BoundedOutcome outcome) {
+  switch (outcome) {
+    case BoundedOutcome::kUnbounded:
+      return "unbounded";
+    case BoundedOutcome::kFitsUnderBound:
+      return "fits-under-bound";
+    case BoundedOutcome::kExactViaPaging:
+      return "exact-via-paging";
+    case BoundedOutcome::kExactViaRefinement:
+      return "exact-via-refinement";
+    case BoundedOutcome::kLikelyPartial:
+      return "likely-partial";
+  }
+  return "unknown";
+}
+
+BoundedOutcome ClassifySourceQuery(const ConditionPtr& cond,
+                                   const AttributeSet& attrs,
+                                   const ResultBound& bound,
+                                   const CostModel& cost, Checker* checker) {
+  if (!bound.bounded()) return BoundedOutcome::kUnbounded;
+  const double est = cost.EstimateResultRows(*cond, attrs);
+  if (est <= static_cast<double>(bound.result_bound)) {
+    return BoundedOutcome::kFitsUnderBound;
+  }
+  if (bound.supports_paging) {
+    const double ceiling = PagingCeiling(bound);
+    if (ceiling == 0.0 || est <= ceiling) {
+      return BoundedOutcome::kExactViaPaging;
+    }
+    // The access limit cuts the loop off before exhaustion; fall through to
+    // refinement — splitting the condition may still recover exactness.
+  }
+  std::optional<std::vector<ConditionPtr>> pieces = RefinementPieces(cond);
+  if (pieces.has_value() &&
+      PiecesFit(*pieces, attrs, bound, cost, checker)) {
+    return BoundedOutcome::kExactViaRefinement;
+  }
+  return BoundedOutcome::kLikelyPartial;
+}
+
+BoundedRefinement RefineBoundedPlan(const PlanPtr& plan,
+                                    const ResultBound& bound,
+                                    const CostModel& cost, Checker* checker) {
+  BoundedRefinement result;
+  result.splits = 0;
+  if (plan == nullptr || !bound.bounded()) {
+    result.plan = plan;
+    return result;
+  }
+  result.plan = Rewrite(plan, bound, cost, checker, &result.splits);
+  return result;
+}
+
+}  // namespace gencompact

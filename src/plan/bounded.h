@@ -1,0 +1,65 @@
+#ifndef GENCOMPACT_PLAN_BOUNDED_H_
+#define GENCOMPACT_PLAN_BOUNDED_H_
+
+#include <cstddef>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "ssdl/check.h"
+#include "ssdl/description.h"
+
+namespace gencompact {
+
+/// Planner-side classification of one source query SP(C, A, R) against a
+/// result-bounded interface — the three outcomes of the tentpole analysis
+/// (see DESIGN.md, "Result bounds & completeness"):
+///
+///  - exact via a paging loop (the executor drives pages to exhaustion),
+///  - exact via condition refinement (split C into selective sub-conditions
+///    that each fit under the bound; union the pieces), or
+///  - provably partial (no exact strategy exists; the answer will carry a
+///    truncation marker).
+///
+/// Classification uses the cost model's cardinality estimates, so it is a
+/// planning-time *prediction*; the executor's runtime truncation marking is
+/// the safety net that keeps "zero silently-truncated answers" true even
+/// when an estimate is wrong.
+enum class BoundedOutcome {
+  kUnbounded,           ///< no result bound in force — nothing to do
+  kFitsUnderBound,      ///< estimate fits in one bounded response
+  kExactViaPaging,      ///< over bound, but the paging loop recovers it all
+  kExactViaRefinement,  ///< over bound, non-paging, but C splits into
+                        ///< supported sub-conditions that each fit
+  kLikelyPartial,       ///< over bound with no exact strategy in sight
+};
+
+const char* ToString(BoundedOutcome outcome);
+
+/// Classifies SP(cond, attrs, R) against `bound`. `cost` supplies
+/// cardinality estimates; `checker` validates that refinement pieces stay
+/// inside the source's capability grammar (a piece the source rejects is no
+/// refinement at all).
+BoundedOutcome ClassifySourceQuery(const ConditionPtr& cond,
+                                   const AttributeSet& attrs,
+                                   const ResultBound& bound,
+                                   const CostModel& cost, Checker* checker);
+
+/// Result of rewriting a plan around a bounded interface.
+struct BoundedRefinement {
+  PlanPtr plan;       ///< rewritten plan (== input when nothing changed)
+  size_t splits = 0;  ///< source queries replaced by unions of refinements
+};
+
+/// Walks `plan` and replaces every kSourceQuery classified
+/// kExactViaRefinement with a union of per-piece source queries, each piece
+/// a DNF disjunct of the original condition that (a) the capability grammar
+/// accepts and (b) is estimated to fit under the bound. Semantics-preserving
+/// under set semantics: SP(C1 ∨ C2, A, R) = SP(C1, A, R) ∪ SP(C2, A, R).
+/// Unchanged subtrees are shared with the input.
+BoundedRefinement RefineBoundedPlan(const PlanPtr& plan,
+                                    const ResultBound& bound,
+                                    const CostModel& cost, Checker* checker);
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLAN_BOUNDED_H_

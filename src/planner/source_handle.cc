@@ -23,6 +23,9 @@ SourceHandle::SourceHandle(SourceDescription description, const Table* table,
   checker_ = std::make_unique<Checker>(&description_);
   cost_model_ = std::make_unique<CostModel>(
       description_.k1(), description_.k2(), estimator_.get(), mediator_k3);
+  // The result bound shapes the k1 term (one per page, truncation-risk
+  // inflation); bound 0 leaves the model exactly Equation 1.
+  cost_model_->set_result_bound(description_.result_bound());
 }
 
 }  // namespace gencompact

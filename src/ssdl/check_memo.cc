@@ -100,7 +100,14 @@ bool CheckMemo::SampleVerifyHit() {
 
 void CheckMemo::RecordVerifyOutcome(bool matched) {
   verified_hits_.fetch_add(1, std::memory_order_relaxed);
-  if (!matched) verify_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  if (matched) return;
+  verify_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  // One observed collision condemns the whole key space: latch the memo
+  // off (one-way) and drop the entries. Callers fall back to fresh Earley
+  // runs — strictly slower, never wrong.
+  if (!auto_disabled_.exchange(true, std::memory_order_relaxed)) {
+    Clear();
+  }
 }
 
 size_t CheckMemo::size() const {
@@ -127,6 +134,7 @@ CheckMemo::Stats CheckMemo::stats() const {
   stats.verified_hits = verified_hits_.load(std::memory_order_relaxed);
   stats.verify_mismatches =
       verify_mismatches_.load(std::memory_order_relaxed);
+  stats.auto_disabled = auto_disabled_.load(std::memory_order_relaxed);
   stats.capacity = capacity();
   stats.shards = num_shards();
   if (stats.hits + stats.misses > 0) {

@@ -83,8 +83,18 @@ class CheckMemo {
   CheckMemo(const CheckMemo&) = delete;
   CheckMemo& operator=(const CheckMemo&) = delete;
 
-  /// False iff constructed with capacity 0 (the memo is a no-op then).
-  bool enabled() const { return shard_capacity_ > 0; }
+  /// False iff constructed with capacity 0 (the memo is a no-op then) or
+  /// the auto-disable latch has tripped.
+  bool enabled() const {
+    return shard_capacity_ > 0 &&
+           !auto_disabled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once a sampled verification observed a fingerprint collision and
+  /// permanently disabled the memo (see RecordVerifyOutcome).
+  bool auto_disabled() const {
+    return auto_disabled_.load(std::memory_order_relaxed);
+  }
 
   /// Returns a copy of the memoized maximal-export-set family and refreshes
   /// the entry's recency, or nullopt on miss (or when disabled).
@@ -107,7 +117,11 @@ class CheckMemo {
 
   /// Records the outcome of one sampled verification. A mismatch means a
   /// fingerprint collision or a stale entry slipped through — the caller
-  /// repairs the entry; this just keeps the books.
+  /// repairs the entry, and the memo DISABLES ITSELF permanently (one-way
+  /// latch): a cache whose keys have demonstrably collided cannot be
+  /// trusted on the un-sampled hits either, and correctness beats the memo's
+  /// latency win. Lookup then always misses and Insert no-ops, exactly like
+  /// capacity 0; entries are dropped so the memory comes back too.
   void RecordVerifyOutcome(bool matched);
 
   double verify_rate() const { return verify_rate_; }
@@ -124,6 +138,7 @@ class CheckMemo {
     size_t invalidated = 0;        ///< dropped by InvalidateSource
     size_t verified_hits = 0;      ///< sampled hits re-checked by Earley
     size_t verify_mismatches = 0;  ///< verifications that caught a bad entry
+    bool auto_disabled = false;    ///< latched off after a verified mismatch
     size_t size = 0;
     size_t capacity = 0;
     size_t shards = 0;
@@ -161,6 +176,7 @@ class CheckMemo {
   std::atomic<size_t> invalidated_{0};
   std::atomic<size_t> verified_hits_{0};
   std::atomic<size_t> verify_mismatches_{0};
+  std::atomic<bool> auto_disabled_{false};  // one-way latch
 };
 
 }  // namespace gencompact

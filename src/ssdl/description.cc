@@ -30,6 +30,16 @@ AttributeSet SourceDescription::ExportsOf(int id) const {
   return AttributeSet();
 }
 
+std::string ResultBound::ToString() const {
+  if (!bounded()) return "";
+  std::string out = "bound " + std::to_string(result_bound);
+  if (supports_paging) {
+    out += " page " + std::to_string(EffectivePageSize());
+  }
+  if (max_accesses > 0) out += " accesses " + std::to_string(max_accesses);
+  return out;
+}
+
 std::string SourceDescription::ToString() const {
   std::string out = "source " + source_name_ + " " + schema_.ToString() + "\n";
   out += grammar_.ToString();
@@ -37,6 +47,7 @@ std::string SourceDescription::ToString() const {
     out += "export " + grammar_.NonterminalName(nt) + " : " +
            exports.ToString(schema_) + "\n";
   }
+  if (result_bound_.bounded()) out += result_bound_.ToString() + "\n";
   return out;
 }
 

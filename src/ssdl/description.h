@@ -1,6 +1,8 @@
 #ifndef GENCOMPACT_SSDL_DESCRIPTION_H_
 #define GENCOMPACT_SSDL_DESCRIPTION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +11,53 @@
 #include "ssdl/grammar.h"
 
 namespace gencompact {
+
+/// The result-bound/access-limit contract of one source interface: how much
+/// of an answer the source is willing to ship per call, and how often it may
+/// be called per sub-query. Real web forms return top-k results, paginate,
+/// or rate-limit; the paper's capability model says which conditions a form
+/// accepts but not how much it returns, so this rides next to the grammar in
+/// the SSDL description (and, like the grammar, is covered by the source's
+/// description epoch — reloading a description with different bounds orphans
+/// every cached plan and memoized Check result).
+///
+/// The zero value means "unbounded": with result_bound == 0 every consumer
+/// of the description behaves bit-identically to a build without bounds.
+struct ResultBound {
+  /// Maximum rows the source returns per call; 0 = unlimited (off).
+  uint64_t result_bound = 0;
+  /// The source accepts an offset and serves successive pages, so a paging
+  /// loop can recover the exact answer bound-sized slice by slice.
+  bool supports_paging = false;
+  /// Rows per page when paging (<= result_bound enforced at use); 0 means
+  /// "pages are result_bound rows".
+  uint64_t page_size = 0;
+  /// Maximum calls the source allows per sub-query (access limit); 0 =
+  /// unlimited. A paging loop that hits this stops with a partial answer.
+  uint64_t max_accesses = 0;
+
+  /// True when a bound is in force.
+  bool bounded() const { return result_bound > 0; }
+
+  /// Rows one call actually ships: the page size clamped to the bound.
+  uint64_t EffectivePageSize() const {
+    if (!bounded()) return 0;
+    return supports_paging && page_size > 0
+               ? std::min(page_size, result_bound)
+               : result_bound;
+  }
+
+  bool operator==(const ResultBound& other) const {
+    return result_bound == other.result_bound &&
+           supports_paging == other.supports_paging &&
+           page_size == other.page_size && max_accesses == other.max_accesses;
+  }
+  bool operator!=(const ResultBound& other) const { return !(*this == other); }
+
+  /// `bound 100 page 25 accesses 8` (only the clauses in force), empty when
+  /// unbounded.
+  std::string ToString() const;
+};
 
 /// An SSDL source description: the triplet <S, G, A> of Section 4 — a set of
 /// condition nonterminals S, CFG rules G over the condition-token alphabet,
@@ -52,6 +101,13 @@ class SourceDescription {
     k2_ = k2;
   }
 
+  /// Result-bound/access-limit contract (see ResultBound). The default is
+  /// unbounded; copied along with the rest of the description by the
+  /// commutativity closure, so planners and the enforcing source see the
+  /// same bound.
+  const ResultBound& result_bound() const { return result_bound_; }
+  void set_result_bound(const ResultBound& bound) { result_bound_ = bound; }
+
   /// Multi-line dump (grammar + exports) for diagnostics.
   std::string ToString() const;
 
@@ -63,6 +119,7 @@ class SourceDescription {
   std::vector<std::pair<int, AttributeSet>> condition_nonterminals_;
   double k1_ = 1.0;
   double k2_ = 0.01;
+  ResultBound result_bound_;
 };
 
 }  // namespace gencompact

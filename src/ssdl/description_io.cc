@@ -91,6 +91,9 @@ Result<std::string> WriteSsdl(const SourceDescription& description) {
   }
   out << ") {\n";
   out << "  cost " << description.k1() << " " << description.k2() << ";\n";
+  if (description.result_bound().bounded()) {
+    out << "  " << description.result_bound().ToString() << ";\n";
+  }
 
   for (const GrammarRule& rule : grammar.rules()) {
     if (rule.lhs == description.start_symbol()) continue;  // implicit

@@ -233,6 +233,8 @@ class SsdlParser {
         GC_RETURN_IF_ERROR(ParseExport());
       } else if (keyword == "cost") {
         GC_RETURN_IF_ERROR(ParseCost());
+      } else if (keyword == "bound") {
+        GC_RETURN_IF_ERROR(ParseBound());
       } else {
         return Status::InvalidArgument("SSDL: unknown declaration '" + keyword +
                                        "' on line " + std::to_string(Peek().line));
@@ -314,6 +316,44 @@ class SsdlParser {
     };
     GC_ASSIGN_OR_RETURN(k1_, number());
     GC_ASSIGN_OR_RETURN(k2_, number());
+    GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ";"));
+    return Status::OK();
+  }
+
+  /// `bound N [page M] [accesses K];` — the result-bound contract. `page M`
+  /// declares the source pageable with M rows per page; `accesses K` caps
+  /// calls per sub-query.
+  Status ParseBound() {
+    const auto count = [this](const char* what) -> Result<uint64_t> {
+      if (Peek().type != Tok::Type::kInt || Peek().int_value <= 0) {
+        return Status::InvalidArgument(
+            std::string("SSDL: expected positive integer for ") + what +
+            " on line " + std::to_string(Peek().line));
+      }
+      const uint64_t v = static_cast<uint64_t>(Peek().int_value);
+      Advance();
+      return v;
+    };
+    GC_ASSIGN_OR_RETURN(result_bound_.result_bound, count("bound"));
+    while (Peek().type == Tok::Type::kIdent) {
+      const std::string keyword = Peek().text;
+      Advance();
+      if (keyword == "page") {
+        GC_ASSIGN_OR_RETURN(result_bound_.page_size, count("page"));
+        result_bound_.supports_paging = true;
+        if (result_bound_.page_size > result_bound_.result_bound) {
+          return Status::InvalidArgument(
+              "SSDL: page size exceeds the result bound on line " +
+              std::to_string(Peek().line));
+        }
+      } else if (keyword == "accesses") {
+        GC_ASSIGN_OR_RETURN(result_bound_.max_accesses, count("accesses"));
+      } else {
+        return Status::InvalidArgument("SSDL: unknown bound clause '" +
+                                       keyword + "' on line " +
+                                       std::to_string(Peek().line));
+      }
+    }
     GC_RETURN_IF_ERROR(Expect(Tok::Type::kSymbol, ";"));
     return Status::OK();
   }
@@ -400,6 +440,7 @@ class SsdlParser {
   Result<SourceDescription> BuildDescription() {
     SourceDescription description(source_name_, schema_);
     description.set_cost_constants(k1_, k2_);
+    description.set_result_bound(result_bound_);
     Grammar& grammar = description.mutable_grammar();
 
     // Declare exports first so condition nonterminals get start rules.
@@ -437,6 +478,7 @@ class SsdlParser {
   Schema schema_;
   double k1_ = 1.0;
   double k2_ = 0.01;
+  ResultBound result_bound_;
   std::vector<RawRule> raw_rules_;
   std::vector<RawExport> raw_exports_;
   std::unordered_set<std::string> lhs_names_;

@@ -14,6 +14,7 @@ namespace gencompact {
 ///   source R(make: string, model: string, year: int,
 ///            color: string, price: int) {
 ///     cost 10.0 0.5;                # k1 k2, optional
+///     bound 100 page 25 accesses 8; # result bound, optional (see below)
 ///     rule s1 -> make = $string and price < $int;
 ///     rule s2 -> make = $string and color = $string;
 ///     export s1 : {make, model, year, color};
@@ -31,6 +32,9 @@ namespace gencompact {
 ///    (nonterminal references — used for value-list and recursive shapes).
 ///  * `export N : {a, b}` declares N as a condition nonterminal (adding the
 ///    implicit start rule s -> N) exporting attributes {a, b}.
+///  * `bound N [page M] [accesses K];` declares the source result-bounded:
+///    at most N rows per response; `page M` makes it pageable in M-row pages
+///    (M <= N); `accesses K` caps calls per sub-query. Omitted = unbounded.
 ///  * Rule names must not collide with attribute names.
 Result<SourceDescription> ParseSsdl(std::string_view text);
 

@@ -193,17 +193,29 @@ TEST(CheckMemoCheckerTest, VerifyOnHitRepairsPoisonedEntry) {
   Checker checker(&description);
   checker.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
   // The hit is sampled (rate 1.0), re-checked against a fresh Earley run,
-  // found wrong, counted, and repaired — the caller sees the true family.
+  // found wrong, and counted — the caller sees the true family.
   EXPECT_EQ(Sorted(checker.Check(**cond)), Sorted(truth));
   EXPECT_EQ(memo.stats().verify_mismatches, 1u);
   EXPECT_EQ(memo.stats().verified_hits, 1u);
 
-  // The repaired entry now verifies clean for the next fresh Checker.
+  // One observed collision condemns the whole key space: the memo latches
+  // itself off (enabled() false, entries dropped) and every later Check
+  // falls back to a fresh Earley run — slower, never wrong.
+  EXPECT_TRUE(memo.auto_disabled());
+  EXPECT_FALSE(memo.enabled());
+  EXPECT_EQ(memo.stats().size, 0u);
+  EXPECT_TRUE(memo.stats().auto_disabled);
   Checker after(&description);
   after.EnableSharedMemo(&memo, /*source_id=*/0, /*epoch=*/0);
   EXPECT_EQ(Sorted(after.Check(**cond)), Sorted(truth));
   EXPECT_EQ(memo.stats().verify_mismatches, 1u);  // no new mismatch
-  EXPECT_EQ(memo.stats().verified_hits, 2u);
+  EXPECT_EQ(memo.stats().verified_hits, 1u);      // no hit, so no new sample
+  EXPECT_EQ(after.num_shared_hits(), 0u);
+
+  // The latch is one-way: inserts stay no-ops.
+  memo.Insert(key, Family(0b1));
+  EXPECT_FALSE(memo.Lookup(key).has_value());
+  EXPECT_EQ(memo.stats().size, 0u);
 }
 
 // ---------------------------------------------------------------------------
