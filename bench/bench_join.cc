@@ -7,9 +7,19 @@
 // (fewer distinct join keys), the bind-join transfers dramatically fewer
 // rows than evaluating the right side independently; with an unselective
 // left side, independent evaluation wins.
+//
+// E17: N-source federation planning — star and chain query graphs at 3, 5,
+// and 8 sources, comparing the DPccp-style DP enumerator against the greedy
+// and left-deep baselines on modeled plan cost, planning wall-clock, and
+// execution wall-clock. Emitted as BENCH_join.json; exits nonzero when DP
+// loses its optimality guarantee (a baseline beats it) or the three modes
+// disagree on the answer.
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "expr/condition_parser.h"
+#include "mediator/federation.h"
 #include "mediator/join.h"
 #include "ssdl/capability_builder.h"
 #include "workload/datasets.h"
@@ -137,6 +147,247 @@ void Run() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// E17: N-source federation planning (DP vs greedy vs left-deep)
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kFedSeed = 1717;
+
+struct FedCell {
+  std::string topology;
+  int sources = 0;
+  std::string mode;
+  bool feasible = false;
+  double plan_cost = 0.0;
+  double plan_ms = 0.0;
+  double exec_ms = 0.0;
+  size_t rows = 0;
+  size_t dp_subsets = 0;
+  bool greedy_used = false;
+};
+
+std::string FedKey(const Rng& /*unused*/, int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%03d", i);
+  return buf;
+}
+
+// Star: r0(k, v) at the center, satellites r1..r{n-1}(k, w) each joined to
+// the center on k. Satellites hold one row per key, so the answer size stays
+// flat as sources are added — the planner's job, not the data's, grows.
+void BuildStar(int n, Catalog* catalog, FederatedQuery* query) {
+  Rng rng(kFedSeed + static_cast<uint64_t>(n));
+  {
+    Schema schema({{"k", ValueType::kString}, {"v", ValueType::kInt}});
+    CapabilityBuilder builder("r0", schema);
+    (void)builder.AddConjunctiveForm(
+        "f",
+        {{"v", {CompareOp::kLt}, true, false}, {"k", {CompareOp::kEq}, true, true}},
+        {"k", "v"});
+    (void)builder.AddDownload("dl", {"k", "v"});
+    SourceDescription desc = builder.Build();
+    desc.set_cost_constants(10.0, 1.0);
+    auto table = std::make_unique<Table>("r0", schema);
+    for (int i = 0; i < 400; ++i) {
+      (void)table->AppendValues({Value::String(FedKey(rng, rng.NextInt(0, 63))),
+                                 Value::Int(rng.NextInt(0, 999))});
+    }
+    (void)catalog->Register(std::move(desc), std::move(table));
+  }
+  query->sources = {"r0"};
+  for (int s = 1; s < n; ++s) {
+    const std::string name = "r" + std::to_string(s);
+    Schema schema({{"k", ValueType::kString}, {"w", ValueType::kInt}});
+    CapabilityBuilder builder(name, schema);
+    (void)builder.AddConjunctiveForm(
+        "f", {{"k", {CompareOp::kEq}, false, true}}, {"k", "w"});
+    (void)builder.AddDownload("dl", {"k", "w"});
+    SourceDescription desc = builder.Build();
+    desc.set_cost_constants(5.0, 1.0);
+    auto table = std::make_unique<Table>(name, schema);
+    for (int i = 0; i < 64; ++i) {
+      (void)table->AppendValues(
+          {Value::String(FedKey(rng, i)), Value::Int(rng.NextInt(0, 999))});
+    }
+    (void)catalog->Register(std::move(desc), std::move(table));
+    query->sources.push_back(name);
+    query->keys.push_back({"r0.k", name + ".k"});
+  }
+  query->condition = *ParseCondition("r0.v < 100");
+  query->select = {"r0.k", "r0.v"};
+}
+
+// Chain: r0 — r1 — ... — r{n-1}, each hop joining r_i.right to r_{i+1}.left
+// over a shared 256-value link domain, one row per key on average.
+void BuildChain(int n, Catalog* catalog, FederatedQuery* query) {
+  Rng rng(kFedSeed * 31 + static_cast<uint64_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const std::string name = "r" + std::to_string(s);
+    Schema schema({{"left", ValueType::kString},
+                   {"right", ValueType::kString},
+                   {"v", ValueType::kInt}});
+    CapabilityBuilder builder(name, schema);
+    (void)builder.AddConjunctiveForm(
+        "f",
+        {{"v", {CompareOp::kLt}, true, false},
+         {"left", {CompareOp::kEq}, true, true},
+         {"right", {CompareOp::kEq}, true, true}},
+        {"left", "right", "v"});
+    (void)builder.AddDownload("dl", {"left", "right", "v"});
+    SourceDescription desc = builder.Build();
+    desc.set_cost_constants(10.0, 1.0);
+    auto table = std::make_unique<Table>(name, schema);
+    for (int i = 0; i < 256; ++i) {
+      char left[16], right[16];
+      std::snprintf(left, sizeof(left), "x%03d", rng.NextInt(0, 255));
+      std::snprintf(right, sizeof(right), "x%03d", rng.NextInt(0, 255));
+      (void)table->AppendValues({Value::String(left), Value::String(right),
+                                 Value::Int(rng.NextInt(0, 999))});
+    }
+    (void)catalog->Register(std::move(desc), std::move(table));
+    query->sources.push_back(name);
+    if (s > 0) {
+      query->keys.push_back(
+          {"r" + std::to_string(s - 1) + ".right", name + ".left"});
+    }
+  }
+  query->condition = *ParseCondition("r0.v < 100");
+  query->select = {"r0.left", "r0.v"};
+}
+
+FedCell RunFedMode(Catalog* catalog, const FederatedQuery& query,
+                   const std::string& topology, int n,
+                   JoinEnumerator::Mode mode, const std::string& label) {
+  FedCell cell;
+  cell.topology = topology;
+  cell.sources = n;
+  cell.mode = label;
+
+  std::vector<CatalogEntry*> entries;
+  for (const std::string& name : query.sources) {
+    entries.push_back(*catalog->Find(name));
+  }
+  FederationOptions options;
+  options.enumerate.mode = mode;
+  FederationProcessor processor(std::move(entries), options);
+
+  const auto plan_start = std::chrono::steady_clock::now();
+  const Result<FederationPlanOutcome> outcome = processor.Plan(query);
+  cell.plan_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - plan_start)
+                     .count();
+  if (!outcome.ok()) return cell;
+  cell.plan_cost = outcome->estimated_cost;
+  cell.dp_subsets = outcome->enumeration.stats.subsets_expanded;
+  cell.greedy_used = outcome->enumeration.stats.used_greedy;
+
+  const auto exec_start = std::chrono::steady_clock::now();
+  const Result<RowSet> rows = processor.Execute(query);
+  cell.exec_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - exec_start)
+                     .count();
+  if (!rows.ok()) return cell;
+  cell.feasible = true;
+  cell.rows = rows->size();
+  return cell;
+}
+
+void WriteFedJson(const std::vector<FedCell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"join\",\n");
+  std::fprintf(f, "  \"experiment\": \"E17\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kFedSeed));
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const FedCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"topology\": \"%s\", \"sources\": %d, \"mode\": \"%s\", "
+        "\"feasible\": %s, \"plan_cost\": %.3f, \"plan_ms\": %.3f, "
+        "\"exec_ms\": %.3f, \"rows\": %zu, \"dp_subsets\": %zu, "
+        "\"greedy_used\": %s}%s\n",
+        c.topology.c_str(), c.sources, c.mode.c_str(),
+        c.feasible ? "true" : "false", c.plan_cost, c.plan_ms, c.exec_ms,
+        c.rows, c.dp_subsets, c.greedy_used ? "true" : "false",
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+bool RunE17() {
+  const std::vector<int> widths = {8, 7, 9, 12, 10, 10, 8, 11};
+  PrintRow({"topology", "sources", "mode", "plan cost", "plan ms", "exec ms",
+            "rows", "dp subsets"},
+           widths);
+  PrintRule(widths);
+
+  std::vector<FedCell> cells;
+  bool dp_optimal = true;
+  bool answers_agree = true;
+  bool all_feasible = true;
+
+  const struct {
+    const char* name;
+    void (*build)(int, Catalog*, FederatedQuery*);
+  } kTopologies[] = {{"star", BuildStar}, {"chain", BuildChain}};
+  const struct {
+    JoinEnumerator::Mode mode;
+    const char* label;
+  } kModes[] = {{JoinEnumerator::Mode::kDp, "dp"},
+                {JoinEnumerator::Mode::kGreedy, "greedy"},
+                {JoinEnumerator::Mode::kLeftDeep, "leftdeep"}};
+
+  for (const auto& topology : kTopologies) {
+    for (const int n : {3, 5, 8}) {
+      Catalog catalog;
+      FederatedQuery query;
+      topology.build(n, &catalog, &query);
+
+      double dp_cost = 0.0;
+      size_t dp_rows = 0;
+      for (const auto& m : kModes) {
+        FedCell cell =
+            RunFedMode(&catalog, query, topology.name, n, m.mode, m.label);
+        if (!cell.feasible) all_feasible = false;
+        if (m.mode == JoinEnumerator::Mode::kDp) {
+          dp_cost = cell.plan_cost;
+          dp_rows = cell.rows;
+        } else if (cell.feasible) {
+          // DP is exact over the same cost model: a baseline beating it is
+          // an enumerator regression, and the answer never depends on the
+          // join order chosen.
+          if (dp_cost > cell.plan_cost * (1.0 + 1e-9)) dp_optimal = false;
+          if (cell.rows != dp_rows) answers_agree = false;
+        }
+        PrintRow({cell.topology, std::to_string(cell.sources), cell.mode,
+                  FormatDouble(cell.plan_cost, 1),
+                  FormatDouble(cell.plan_ms, 3), FormatDouble(cell.exec_ms, 3),
+                  std::to_string(cell.rows), std::to_string(cell.dp_subsets)},
+                 widths);
+        cells.push_back(std::move(cell));
+      }
+      PrintRule(widths);
+    }
+  }
+
+  std::printf("\nACCEPTANCE every mode plans and executes: %s\n",
+              all_feasible ? "PASS" : "FAIL");
+  std::printf("ACCEPTANCE DP cost <= greedy and left-deep cost: %s\n",
+              dp_optimal ? "PASS" : "FAIL");
+  std::printf("ACCEPTANCE all modes return the same answer: %s\n",
+              answers_agree ? "PASS" : "FAIL");
+
+  WriteFedJson(cells, "BENCH_join.json");
+  return all_feasible && dp_optimal && answers_agree;
+}
+
 }  // namespace
 }  // namespace gencompact::bench
 
@@ -149,5 +400,11 @@ int main() {
       "small fraction of the dealer directory and is chosen; as left "
       "selectivity vanishes the independent download becomes cheaper and "
       "the cost model switches methods.\n");
-  return 0;
+  std::printf("\n# E17: N-source federation planning (DP vs baselines)\n\n");
+  const bool ok = gencompact::bench::RunE17();
+  std::printf(
+      "\nExpected shape: DP's modeled cost lower-bounds both baselines at "
+      "every size; planning stays sub-millisecond through 8 sources while "
+      "the baselines' plan quality drifts.\n");
+  return ok ? 0 : 1;
 }

@@ -4,7 +4,8 @@
 # that gates commits plus four fresh bases — GENCOMPACT_TEST_SEED reseeds
 # the random capability/query generators, so each base is a brand-new set of
 # planner-equivalence, Choice-resolution, row-vs-batch data-plane parity,
-# and bounded-source paging/truncation cases), then a ThreadSanitizer
+# bounded-source paging/truncation, join-order-enumeration oracle, and
+# multi-source federation answer-equivalence cases), then a ThreadSanitizer
 # build running the concurrency tests (thread pool, sharded plan cache,
 # condition interner, cross-query Check memo, parallel executor, concurrent
 # mediator clients, hedge races), then an AddressSanitizer pass over the
@@ -32,7 +33,7 @@ for seed in 439 1009 2027 4391 9001; do
   echo "--- GENCOMPACT_TEST_SEED=${seed} ---"
   GENCOMPACT_TEST_SEED="${seed}" \
     "${PREFIX}-release/tests/gencompact_tests" \
-    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:BoundedFuzzTest*' \
+    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:BoundedFuzzTest*:JoinEnum*:JoinFuzzTest*' \
     --gtest_brief=1
 done
 
@@ -46,13 +47,13 @@ echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:BatchConcurrency*:Bounded*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:BatchConcurrency*:Bounded*:Federation*:JoinFuzzTest*'
 
 echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:Batch*:ColumnStore*:WireFormat*:RowHash*:Bounded*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:Batch*:ColumnStore*:WireFormat*:RowHash*:Bounded*:JoinEnum*:JoinFuzzTest*:Federation*'
 
 echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
@@ -79,5 +80,11 @@ echo "=== Bounded bench smoke (writes BENCH_bounded.json) ==="
 # unbounded answer and every short answer carries a truncation marker.
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_bounded
 "${PREFIX}-release/bench/bench_bounded"
+
+echo "=== Join bench smoke (writes BENCH_join.json) ==="
+# E17: exits non-zero unless the DP enumerator's modeled cost lower-bounds
+# the greedy and left-deep baselines and all modes agree on the answer.
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_join
+"${PREFIX}-release/bench/bench_join"
 
 echo "=== CI OK ==="

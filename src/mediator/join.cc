@@ -22,6 +22,24 @@ const char* JoinMethodName(JoinMethod method) {
   return "?";
 }
 
+ConditionPtr BindBatchCondition(const ConditionPtr& cond,
+                                const std::string& key_attr,
+                                const std::vector<Value>& values) {
+  std::vector<ConditionPtr> eqs;
+  eqs.reserve(values.size());
+  for (const Value& v : values) {
+    eqs.push_back(ConditionNode::Atom(key_attr, CompareOp::kEq, v));
+  }
+  ConditionPtr in_list = ConditionNode::Or(std::move(eqs));
+  if (cond->is_true()) return in_list;
+  std::vector<ConditionPtr> conjuncts =
+      cond->kind() == ConditionNode::Kind::kAnd
+          ? cond->children()
+          : std::vector<ConditionPtr>{cond};
+  conjuncts.push_back(std::move(in_list));
+  return ConditionNode::And(std::move(conjuncts));
+}
+
 namespace {
 
 std::string Qualify(const std::string& source, const std::string& attr) {
@@ -243,25 +261,6 @@ Result<PlanPtr> PlanSide(CatalogEntry* entry, const ConditionPtr& cond,
   return plan;
 }
 
-/// right_cond ∧ (key = v1 or key = v2 or ...) — the bind-batch condition.
-ConditionPtr BindBatchCondition(const ConditionPtr& right_cond,
-                                const std::string& key_attr,
-                                const std::vector<Value>& values) {
-  std::vector<ConditionPtr> eqs;
-  eqs.reserve(values.size());
-  for (const Value& v : values) {
-    eqs.push_back(ConditionNode::Atom(key_attr, CompareOp::kEq, v));
-  }
-  ConditionPtr in_list = ConditionNode::Or(std::move(eqs));
-  if (right_cond->is_true()) return in_list;
-  std::vector<ConditionPtr> conjuncts = right_cond->kind() ==
-                                                ConditionNode::Kind::kAnd
-                                            ? right_cond->children()
-                                            : std::vector<ConditionPtr>{right_cond};
-  conjuncts.push_back(std::move(in_list));
-  return ConditionNode::And(std::move(conjuncts));
-}
-
 /// Folds one executor pass into the running right-side totals — failover can
 /// run the right side more than once, and every attempt's work is real cost.
 void AccumulateExecStats(ExecStats* into, const ExecStats& from) {
@@ -287,8 +286,11 @@ Result<RowSet> RunRightSide(CatalogEntry* entry, JoinMethod method,
                             PlanPtr right_plan, const ConditionPtr& right_cond,
                             const SideNeeds& right_needs,
                             const RowSet& left_rows, int left_key,
-                            size_t bind_batch_size, JoinExecStats* stats) {
-  Executor exec(entry->source());
+                            size_t bind_batch_size, size_t batch_width,
+                            JoinExecStats* stats) {
+  ExecOptions exec_options;
+  exec_options.batch_width = batch_width;
+  Executor exec(entry->source(), /*pool=*/nullptr, exec_options);
   Result<RowSet> rows = [&]() -> Result<RowSet> {
     if (method == JoinMethod::kIndependent) {
       if (right_plan == nullptr) {
@@ -321,12 +323,30 @@ Result<RowSet> RunRightSide(CatalogEntry* entry, JoinMethod method,
       GC_ASSIGN_OR_RETURN(PlanPtr batch_plan,
                           PlanSide(entry, batch_cond, right_needs.attrs));
       GC_ASSIGN_OR_RETURN(RowSet batch_rows, exec.Execute(*batch_plan));
-      acc = RowSet::UnionOf(acc, batch_rows);
+      if (batch_width > 0) {
+        // PR 6 data plane: fold each batch in place — rows move with their
+        // cached hashes instead of being copied into a fresh union per
+        // probe (which was quadratic in the accumulated size).
+        acc.MergeFrom(std::move(batch_rows));
+      } else {
+        acc = RowSet::UnionOf(acc, batch_rows);
+      }
       ++stats->bind_batches;
     }
     return acc;
   }();
   AccumulateExecStats(&stats->right, exec.stats());
+  if (rows.ok()) {
+    // Only a side that actually contributed rows can mark the answer
+    // partial; failed attempts are discarded wholesale (and surface as an
+    // error or a failover instead).
+    for (TruncationRecord record : exec.truncation_records()) {
+      stats->truncations.push_back(std::move(record));
+    }
+    for (std::string dropped : exec.dropped_sub_queries()) {
+      stats->dropped_sub_queries.push_back(std::move(dropped));
+    }
+  }
   return rows;
 }
 
@@ -467,10 +487,18 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
       ComputeNeeds(query, /*is_left=*/false, right_->schema(), split.residual));
 
   // Left side.
-  Executor left_exec(left_->source());
+  ExecOptions left_options;
+  left_options.batch_width = options_.batch_width;
+  Executor left_exec(left_->source(), /*pool=*/nullptr, left_options);
   GC_ASSIGN_OR_RETURN(const RowSet left_rows,
                       left_exec.Execute(*outcome.left_plan));
   stats_.left = left_exec.stats();
+  for (TruncationRecord record : left_exec.truncation_records()) {
+    stats_.truncations.push_back(std::move(record));
+  }
+  for (std::string dropped : left_exec.dropped_sub_queries()) {
+    stats_.dropped_sub_queries.push_back(std::move(dropped));
+  }
 
   // Right side: the primary entry first; on a *retryable* failure, each
   // schema-compatible alternate in turn (cross-source failover). Alternates
@@ -480,7 +508,8 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
   stats_.right_source_used = right_->name();
   Result<RowSet> right_result = RunRightSide(
       right_, outcome.method, outcome.right_plan, split.right, right_needs,
-      left_rows, left_needs.key_indices[0], options_.bind_batch_size, &stats_);
+      left_rows, left_needs.key_indices[0], options_.bind_batch_size,
+      options_.batch_width, &stats_);
   if (!right_result.ok() && IsRetryable(right_result.status().code())) {
     for (CatalogEntry* alternate : options_.right_alternates) {
       if (alternate == right_) continue;
@@ -493,7 +522,7 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
       Result<RowSet> attempt = RunRightSide(
           alternate, outcome.method, /*right_plan=*/nullptr, split.right,
           right_needs, left_rows, left_needs.key_indices[0],
-          options_.bind_batch_size, &stats_);
+          options_.bind_batch_size, options_.batch_width, &stats_);
       if (attempt.ok()) {
         stats_.right_source_used = alternate->name();
         right_result = std::move(attempt);
@@ -505,23 +534,6 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
   }
   if (!right_result.ok()) return right_result.status();
   const RowSet right_rows = std::move(right_result).value();
-
-  // Mediator hash join on all key pairs.
-  const auto key_tuple = [](const Row& row, const RowLayout& layout,
-                            const std::vector<int>& keys) {
-    std::vector<Value> tuple;
-    tuple.reserve(keys.size());
-    for (int key : keys) {
-      tuple.push_back(row.value(static_cast<size_t>(layout.SlotOf(key))));
-    }
-    return Row(std::move(tuple));
-  };
-
-  std::unordered_map<Row, std::vector<const Row*>, RowHash> right_index;
-  for (const Row& row : right_rows.rows()) {
-    right_index[key_tuple(row, right_rows.layout(), right_needs.key_indices)]
-        .push_back(&row);
-  }
 
   // Joined schema: left needed attrs then right needed attrs, qualified.
   std::vector<AttributeDef> joined_attrs;
@@ -549,25 +561,87 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
   const RowLayout out_layout(select_attrs, joined_schema.num_attributes());
   RowSet output(out_layout);
 
+  const auto emit = [&](Row joined) -> Result<bool> {
+    if (!outcome.residual->is_true()) {
+      GC_ASSIGN_OR_RETURN(const bool keep,
+                          EvalCondition(*outcome.residual, joined,
+                                        joined_layout, joined_schema));
+      if (!keep) return false;
+    }
+    ++stats_.joined_rows;
+    output.Insert(joined_layout.Project(joined, out_layout));
+    return true;
+  };
+
+  const auto key_slots = [](const RowLayout& layout,
+                            const std::vector<int>& keys) {
+    std::vector<size_t> slots;
+    slots.reserve(keys.size());
+    for (int key : keys) slots.push_back(static_cast<size_t>(layout.SlotOf(key)));
+    return slots;
+  };
+  const std::vector<size_t> left_slots =
+      key_slots(left_rows.layout(), left_needs.key_indices);
+  const std::vector<size_t> right_slots =
+      key_slots(right_rows.layout(), right_needs.key_indices);
+
+  if (options_.batch_width > 0) {
+    // Batch data plane through the join boundary: build and probe on folded
+    // key-value hashes (no key Row is materialized), verify candidates by
+    // direct slot comparison, and compose each joined row's hash from the
+    // left row's cached hash plus the appended right values — the payloads
+    // are never re-folded.
+    const auto key_hash = [](const Row& row, const std::vector<size_t>& slots) {
+      size_t h = Row::kEmptyHash;
+      for (size_t slot : slots) h = Row::ExtendHash(h, &row.value(slot), 1);
+      return h;
+    };
+    const auto keys_match = [&](const Row& l, const Row& r) {
+      for (size_t i = 0; i < left_slots.size(); ++i) {
+        if (!(l.value(left_slots[i]) == r.value(right_slots[i]))) return false;
+      }
+      return true;
+    };
+    std::unordered_map<size_t, std::vector<const Row*>> right_index;
+    for (const Row& row : right_rows.rows()) {
+      right_index[key_hash(row, right_slots)].push_back(&row);
+    }
+    for (const Row& left_row : left_rows.rows()) {
+      const auto it = right_index.find(key_hash(left_row, left_slots));
+      if (it == right_index.end()) continue;
+      for (const Row* right_row : it->second) {
+        if (!keys_match(left_row, *right_row)) continue;
+        std::vector<Value> combined = left_row.values();
+        combined.insert(combined.end(), right_row->values().begin(),
+                        right_row->values().end());
+        const size_t hash =
+            Row::ExtendHash(left_row.Hash(), right_row->values());
+        GC_RETURN_IF_ERROR(emit(Row(std::move(combined), hash)).status());
+      }
+    }
+    return output;
+  }
+
+  // Row-at-a-time reference path (bit-identical to the original join).
+  const auto key_tuple = [](const Row& row, const std::vector<size_t>& slots) {
+    std::vector<Value> tuple;
+    tuple.reserve(slots.size());
+    for (size_t slot : slots) tuple.push_back(row.value(slot));
+    return Row(std::move(tuple));
+  };
+  std::unordered_map<Row, std::vector<const Row*>, RowHash> right_index;
+  for (const Row& row : right_rows.rows()) {
+    right_index[key_tuple(row, right_slots)].push_back(&row);
+  }
   for (const Row& left_row : left_rows.rows()) {
-    const Row key =
-        key_tuple(left_row, left_rows.layout(), left_needs.key_indices);
+    const Row key = key_tuple(left_row, left_slots);
     const auto it = right_index.find(key);
     if (it == right_index.end()) continue;
     for (const Row* right_row : it->second) {
       std::vector<Value> combined = left_row.values();
       combined.insert(combined.end(), right_row->values().begin(),
                       right_row->values().end());
-      const Row joined(std::move(combined));
-      if (!outcome.residual->is_true()) {
-        GC_ASSIGN_OR_RETURN(
-            const bool keep,
-            EvalCondition(*outcome.residual, joined, joined_layout,
-                          joined_schema));
-        if (!keep) continue;
-      }
-      ++stats_.joined_rows;
-      output.Insert(joined_layout.Project(joined, out_layout));
+      GC_RETURN_IF_ERROR(emit(Row(std::move(combined))).status());
     }
   }
   return output;

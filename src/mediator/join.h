@@ -47,6 +47,14 @@ enum class JoinMethod {
 
 const char* JoinMethodName(JoinMethod method);
 
+/// cond ∧ (key = v1 or key = v2 or ...) — the bound value-list query shape
+/// a bind-join pushes to the non-driving source (exactly what many web
+/// forms accept). Shared by the two-source processor, the federation
+/// processor's bind edges, and their feasibility probes.
+ConditionPtr BindBatchCondition(const ConditionPtr& cond,
+                                const std::string& key_attr,
+                                const std::vector<Value>& values);
+
 struct JoinPlanOutcome {
   JoinMethod method = JoinMethod::kIndependent;
   PlanPtr left_plan;
@@ -64,6 +72,11 @@ struct JoinExecStats {
   ExecStats right;  ///< accumulated over every right-side attempt (failover)
   size_t bind_batches = 0;
   size_t joined_rows = 0;
+  /// Completeness composition: markers from both sides' executors. A
+  /// truncated side shrinks the join silently unless these surface — the
+  /// mediator folds them into QueryResult::completeness.
+  std::vector<TruncationRecord> truncations;
+  std::vector<std::string> dropped_sub_queries;
   /// Alternate sources tried after the primary right side failed retryably.
   size_t right_failovers = 0;
   /// The source that actually answered the right side (the primary unless a
@@ -76,6 +89,14 @@ struct JoinOptions {
   /// Distinct left-side join values per bind batch (web forms limit list
   /// lengths).
   size_t bind_batch_size = 8;
+  /// Batch width of the data plane (0 = the row-at-a-time reference path).
+  /// > 0 keeps columnar batches through the join boundary: side executors
+  /// run batched, bind batches accumulate by in-place merge (reusing cached
+  /// row hashes), and the mediator hash join builds/probes on folded key
+  /// hashes, composing joined-row hashes from the cached side hashes
+  /// instead of re-hashing payloads. Results are value-identical to the
+  /// row path.
+  size_t batch_width = 0;
   /// Consider the bind-join method at all.
   bool enable_bind = true;
   /// Force a method instead of costing both (for tests/benchmarks).

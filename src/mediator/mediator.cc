@@ -287,7 +287,14 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
 
 Result<Mediator::QueryResult> Mediator::Query(const std::string& sql,
                                               Strategy strategy) {
-  if (IsJoinQuery(sql)) return QueryJoin(sql);
+  if (IsJoinQuery(sql)) {
+    // Two-source joins keep the existing processor (bit-identical plans and
+    // answers); three or more sources go through the federation planner.
+    GC_ASSIGN_OR_RETURN(const ParsedFederatedQuery parsed,
+                        ParseFederatedSql(sql));
+    if (parsed.sources.size() > 2) return QueryFederated(sql);
+    return QueryJoin(sql);
+  }
   GC_ASSIGN_OR_RETURN(const Prepared prepared, Prepare(sql));
   return ExecutePrepared(prepared, strategy);
 }
@@ -310,6 +317,7 @@ Result<Mediator::QueryResult> Mediator::QueryJoin(
   if (options_.join_failover && options.right_alternates.empty()) {
     options.right_alternates = catalog_.SchemaCompatibleAlternates(*right);
   }
+  if (options.batch_width == 0) options.batch_width = options_.batch_width;
 
   JoinProcessor processor(left, right, options);
   GC_ASSIGN_OR_RETURN(const JoinPlanOutcome outcome, processor.Plan(join));
@@ -331,6 +339,128 @@ Result<Mediator::QueryResult> Mediator::QueryJoin(
                           left->handle()->description().k2()) +
       stats.right.TrueCost(right->handle()->description().k1(),
                            right->handle()->description().k2());
+
+  // Completeness composes through the join exactly as it does for single
+  // sources and federated trees: a truncated or degraded side makes the
+  // joined answer partial, never silently short.
+  result.completeness.dropped_sub_queries = stats.dropped_sub_queries;
+  for (const TruncationRecord& record : stats.truncations) {
+    result.completeness.truncated_sources.push_back(
+        {record.source, record.sub_query, record.bound,
+         record.rows_lower_bound, record.reason});
+  }
+  result.completeness.complete =
+      result.completeness.dropped_sub_queries.empty() &&
+      result.completeness.truncated_sources.empty();
+  if (!result.completeness.complete) {
+    queries_partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.completeness.truncated_sources.empty()) {
+    truncated_answers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Result<Mediator::QueryResult> Mediator::QueryFederated(
+    const std::string& sql, FederationOptions options) {
+  GC_ASSIGN_OR_RETURN(const ParsedFederatedQuery parsed, ParseFederatedSql(sql));
+
+  FederatedQuery query;
+  query.sources = parsed.sources;
+  for (const auto& [l, r] : parsed.keys) query.keys.push_back({l, r});
+  query.condition = parsed.condition;
+  query.select = parsed.select_list;
+
+  std::vector<CatalogEntry*> entries;
+  entries.reserve(parsed.sources.size());
+  for (const std::string& name : parsed.sources) {
+    GC_ASSIGN_OR_RETURN(CatalogEntry * entry, catalog_.Find(name));
+    // Leaf costs the enumerator compares must reflect health right now.
+    if (options_.breaker_aware_costs) entry->RefreshCostPenalty();
+    entries.push_back(entry);
+  }
+
+  options.exec.retry = options_.retry;
+  options.exec.clock = options_.clock;
+  options.exec.degrade_unions = options_.partial_results;
+  options.exec.partial_pages = options_.partial_results;
+  options.exec.hedge = options_.hedge;
+  options.exec.batch_width = options_.batch_width;
+  if (options.max_replans == 0 && options_.replan_on_failure) {
+    options.max_replans = 1;
+  }
+  options.pool = pool_.get();
+
+  FederationProcessor processor(std::move(entries), options);
+  Result<RowSet> rows = processor.Execute(query);
+  const FederationExecStats& stats = processor.stats();
+
+  // Fault-tolerance counters fold whether or not the query answered: a
+  // failing federated query still burned retries and breaker rejections,
+  // and the snapshot must show them.
+  retries_.fetch_add(stats.exec.retries, std::memory_order_relaxed);
+  breaker_rejections_.fetch_add(stats.exec.breaker_rejections,
+                                std::memory_order_relaxed);
+  deadlines_exceeded_.fetch_add(stats.exec.deadlines_exceeded,
+                                std::memory_order_relaxed);
+  if (!rows.ok()) return rows.status();
+
+  federated_queries_.fetch_add(1, std::memory_order_relaxed);
+  fed_plans_enumerated_.fetch_add(stats.plans_enumerated,
+                                  std::memory_order_relaxed);
+  fed_dp_subsets_.fetch_add(stats.dp_subsets, std::memory_order_relaxed);
+  fed_bind_edges_.fetch_add(stats.bind_edges, std::memory_order_relaxed);
+  fed_independent_edges_.fetch_add(stats.independent_edges,
+                                   std::memory_order_relaxed);
+  if (stats.used_greedy) {
+    fed_greedy_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  fed_replans_.fetch_add(stats.replans, std::memory_order_relaxed);
+  dropped_branches_.fetch_add(stats.exec.dropped_branches,
+                              std::memory_order_relaxed);
+  hedges_launched_.fetch_add(stats.exec.hedges_launched,
+                             std::memory_order_relaxed);
+  hedges_won_.fetch_add(stats.exec.hedges_won, std::memory_order_relaxed);
+  pages_fetched_.fetch_add(stats.exec.pages_fetched,
+                           std::memory_order_relaxed);
+  if (stats.replans > 0) {
+    queries_replanned_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  QueryResult result;
+  result.rows = std::move(rows).value();
+  result.exec = stats.exec;
+  result.true_cost = stats.true_cost;
+  result.replanned = stats.replans > 0;
+  result.completeness.dropped_sub_queries = stats.dropped_sub_queries;
+  for (const TruncationRecord& record : stats.truncations) {
+    result.completeness.truncated_sources.push_back(
+        {record.source, record.sub_query, record.bound,
+         record.rows_lower_bound, record.reason});
+  }
+  result.completeness.complete =
+      result.completeness.dropped_sub_queries.empty() &&
+      result.completeness.truncated_sources.empty();
+  if (!result.completeness.complete) {
+    queries_partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.completeness.truncated_sources.empty()) {
+    truncated_answers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // A fresh Plan() pass (Execute() does not expose the outcome it ran) for
+  // the estimate and the representative plan; deterministic, so it matches
+  // what Execute() chose on its first round.
+  Result<FederationPlanOutcome> outcome = processor.Plan(query);
+  if (outcome.ok()) {
+    result.estimated_cost = outcome->estimated_cost;
+    for (const PlanPtr& leaf : outcome->leaf_plans) {
+      if (leaf != nullptr) {
+        result.plan = leaf;
+        break;
+      }
+    }
+  }
   return result;
 }
 
@@ -481,6 +611,19 @@ Mediator::Stats Mediator::StatsSnapshot() const {
       truncated_answers_.load(std::memory_order_relaxed);
   stats.bounded.refinement_splits =
       refinement_splits_.load(std::memory_order_relaxed);
+  stats.join.federated_queries =
+      federated_queries_.load(std::memory_order_relaxed);
+  stats.join.plans_enumerated =
+      fed_plans_enumerated_.load(std::memory_order_relaxed);
+  stats.join.dp_subsets_expanded =
+      fed_dp_subsets_.load(std::memory_order_relaxed);
+  stats.join.bind_edges_chosen =
+      fed_bind_edges_.load(std::memory_order_relaxed);
+  stats.join.independent_edges_chosen =
+      fed_independent_edges_.load(std::memory_order_relaxed);
+  stats.join.greedy_fallbacks =
+      fed_greedy_fallbacks_.load(std::memory_order_relaxed);
+  stats.join.replans = fed_replans_.load(std::memory_order_relaxed);
   stats.captured_at = options_.clock->Now();
   return stats;
 }
@@ -611,6 +754,22 @@ std::string Mediator::Stats::ToString() const {
            (unsigned long long)bounded.truncated_answers);
     append("refinement.splits        %llu\n",
            (unsigned long long)bounded.refinement_splits);
+  }
+  if (join.federated_queries > 0) {
+    append("join.federated_queries   %llu\n",
+           (unsigned long long)join.federated_queries);
+    append("join.plans_enumerated    %llu\n",
+           (unsigned long long)join.plans_enumerated);
+    append("join.dp_subsets          %llu\n",
+           (unsigned long long)join.dp_subsets_expanded);
+    append("join.bind_edges          %llu\n",
+           (unsigned long long)join.bind_edges_chosen);
+    append("join.independent_edges   %llu\n",
+           (unsigned long long)join.independent_edges_chosen);
+    append("join.greedy_fallbacks    %llu\n",
+           (unsigned long long)join.greedy_fallbacks);
+    append("join.replans             %llu\n",
+           (unsigned long long)join.replans);
   }
   for (const PerSource& s : sources) {
     const char* prefix = s.name.c_str();

@@ -11,6 +11,7 @@
 #include "expr/intern.h"
 #include "exec/executor.h"
 #include "mediator/catalog.h"
+#include "mediator/federation.h"
 #include "mediator/join.h"
 #include "mediator/sql_parser.h"
 #include "plan/plan_validator.h"
@@ -219,6 +220,16 @@ class Mediator {
   Result<QueryResult> QueryJoin(const std::string& sql,
                                 JoinProcessor::Options options = {});
 
+  /// N-source federated queries (a FROM chain of two or more JOINs):
+  /// capability-sensitive pushdown per relation, DP join-order enumeration
+  /// over the query graph, bind-join vs independent fetch per edge. Query()
+  /// dispatches here when the chain names three or more sources; two-source
+  /// joins keep going through QueryJoin, bit-identically. QueryResult::plan
+  /// is the first relation's independent-fetch plan (null when the chosen
+  /// tree reaches that relation only through a bind edge).
+  Result<QueryResult> QueryFederated(const std::string& sql,
+                                     FederationOptions options = {});
+
   /// Programmatic form: SP(condition, attrs, source).
   Result<QueryResult> QueryCondition(const std::string& source,
                                      const ConditionPtr& condition,
@@ -335,6 +346,17 @@ class Mediator {
       uint64_t refinement_splits = 0;  ///< source queries split at plan time
     } bounded;
 
+    /// N-source federation planning (zeros until a ≥3-source query runs).
+    struct {
+      uint64_t federated_queries = 0;
+      uint64_t plans_enumerated = 0;  ///< (left, right, method) candidates costed
+      uint64_t dp_subsets_expanded = 0;  ///< PlanTable entries materialized
+      uint64_t bind_edges_chosen = 0;
+      uint64_t independent_edges_chosen = 0;
+      uint64_t greedy_fallbacks = 0;  ///< DP size threshold exceeded
+      uint64_t replans = 0;  ///< alternate join orders adopted mid-query
+    } join;
+
     /// When this snapshot was taken (the mediator's injected clock), so two
     /// snapshots diff into rates deterministically under a FakeClock.
     std::chrono::steady_clock::time_point captured_at{};
@@ -423,6 +445,13 @@ class Mediator {
   std::atomic<uint64_t> pages_fetched_{0};
   std::atomic<uint64_t> truncated_answers_{0};
   std::atomic<uint64_t> refinement_splits_{0};
+  std::atomic<uint64_t> federated_queries_{0};
+  std::atomic<uint64_t> fed_plans_enumerated_{0};
+  std::atomic<uint64_t> fed_dp_subsets_{0};
+  std::atomic<uint64_t> fed_bind_edges_{0};
+  std::atomic<uint64_t> fed_independent_edges_{0};
+  std::atomic<uint64_t> fed_greedy_fallbacks_{0};
+  std::atomic<uint64_t> fed_replans_{0};
 };
 
 }  // namespace gencompact

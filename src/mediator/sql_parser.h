@@ -49,6 +49,29 @@ bool IsJoinQuery(std::string_view sql);
 /// must be source-qualified ("src.attr").
 Result<ParsedJoinQuery> ParseJoinSql(std::string_view sql);
 
+/// An N-source conjunctive query over a query graph: the FROM clause chains
+/// JOINs, and every ON term contributes one equi-join edge key pair. Two
+/// sources parse to the same information as ParsedJoinQuery (the mediator
+/// dispatches that case to the two-source JoinProcessor unchanged).
+struct ParsedFederatedQuery {
+  std::vector<std::string> select_list;  ///< qualified; empty means *
+  std::vector<std::string> sources;      ///< FROM order; at least 2, distinct
+  /// Equi-join key pairs from every ON clause (each side qualified).
+  std::vector<std::pair<std::string, std::string>> keys;
+  ConditionPtr condition;  ///< qualified; True when no WHERE clause
+};
+
+/// Parses
+///
+///   SELECT ... FROM s0 JOIN s1 ON s0.k = s1.k [and ...]
+///     [JOIN s2 ON sX.k = s2.k [and ...]]...
+///     [WHERE cond-over-qualified-attrs]
+///
+/// Every JOIN must carry its own ON clause; key-pair sides must be
+/// source-qualified. Which relations each pair connects is resolved by the
+/// federation processor against the catalog.
+Result<ParsedFederatedQuery> ParseFederatedSql(std::string_view sql);
+
 }  // namespace gencompact
 
 #endif  // GENCOMPACT_MEDIATOR_SQL_PARSER_H_

@@ -1,0 +1,377 @@
+#include "planner/join_enum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gencompact {
+
+const char* EdgeMethodName(EdgeMethod method) {
+  switch (method) {
+    case EdgeMethod::kIndependent:
+      return "independent";
+    case EdgeMethod::kBind:
+      return "bind-join";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t LowestBit(uint64_t set) { return set & (~set + 1); }
+
+}  // namespace
+
+double JoinEnumerator::SubsetRows(const JoinGraph& graph, uint64_t set) {
+  double rows = 1.0;
+  for (size_t i = 0; i < graph.size(); ++i) {
+    if ((set >> i) & 1u) rows *= std::max(graph.rows[i], 0.0);
+  }
+  for (const JoinEdge& e : graph.edges) {
+    if (((set >> e.a) & 1u) && ((set >> e.b) & 1u)) rows *= e.selectivity;
+  }
+  return rows;
+}
+
+bool JoinEnumerator::Connected(const JoinGraph& graph, uint64_t set) {
+  if (set == 0) return false;
+  uint64_t reached = LowestBit(set);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const JoinEdge& e : graph.edges) {
+      const uint64_t a = uint64_t{1} << e.a;
+      const uint64_t b = uint64_t{1} << e.b;
+      if ((set & a) == 0 || (set & b) == 0) continue;
+      if ((reached & a) != 0 && (reached & b) == 0) {
+        reached |= b;
+        grew = true;
+      } else if ((reached & b) != 0 && (reached & a) == 0) {
+        reached |= a;
+        grew = true;
+      }
+    }
+  }
+  return reached == set;
+}
+
+bool JoinEnumerator::HasCrossEdge(const JoinGraph& graph, uint64_t s1,
+                                  uint64_t s2) {
+  for (const JoinEdge& e : graph.edges) {
+    const uint64_t a = uint64_t{1} << e.a;
+    const uint64_t b = uint64_t{1} << e.b;
+    if (((s1 & a) && (s2 & b)) || ((s1 & b) && (s2 & a))) return true;
+  }
+  return false;
+}
+
+JoinEnumerator::BindChoice JoinEnumerator::BestBindCost(const JoinGraph& graph,
+                                                        uint64_t s1,
+                                                        double s1_rows,
+                                                        double s1_cost, int r) {
+  BindChoice best;
+  if (s1_cost >= kInf) return best;
+  const uint64_t r_bit = uint64_t{1} << r;
+  const double batch = static_cast<double>(std::max<size_t>(
+      graph.bind_batch_size, 1));
+  for (size_t i = 0; i < graph.edges.size(); ++i) {
+    const JoinEdge& e = graph.edges[i];
+    double drive_ndv, bound_ndv, setup, per_row;
+    bool bindable;
+    if (e.b == r && ((s1 >> e.a) & 1u)) {
+      bindable = e.bind_b;
+      drive_ndv = e.a_ndv;
+      bound_ndv = e.b_ndv;
+      setup = e.bind_b_setup;
+      per_row = e.bind_b_per_row;
+    } else if (e.a == r && ((s1 >> e.b) & 1u)) {
+      bindable = e.bind_a;
+      drive_ndv = e.b_ndv;
+      bound_ndv = e.a_ndv;
+      setup = e.bind_a_setup;
+      per_row = e.bind_a_per_row;
+    } else {
+      continue;
+    }
+    if (!bindable) continue;
+    if ((s1 & r_bit) != 0) continue;
+    // Distinct driving values: capped by both the driving subset's rows and
+    // its key's distinct-value count.
+    const double distinct =
+        std::max(1.0, std::min(s1_rows, std::max(drive_ndv, 1.0)));
+    const double batches = std::ceil(distinct / batch);
+    // Matched rows shipped back: the bound relation's rows thinned to the
+    // fraction of its key domain the value lists actually name.
+    const double matched = std::max(graph.rows[r], 0.0) *
+                           std::min(1.0, distinct / std::max(bound_ndv, 1.0));
+    const double cost = s1_cost + batches * setup + per_row * matched;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.edge = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+JoinEnumerator::Result JoinEnumerator::Enumerate(const JoinGraph& graph,
+                                                 const Options& options) {
+  JoinEnumStats stats;
+  if (graph.size() == 0 || graph.size() > 63) return Result{};
+  switch (options.mode) {
+    case Mode::kGreedy:
+      stats.used_greedy = true;
+      return EnumerateGreedy(graph, stats);
+    case Mode::kLeftDeep:
+      return EnumerateLeftDeep(graph, stats);
+    case Mode::kDp:
+      if (graph.size() > options.dp_max_relations) {
+        stats.used_greedy = true;
+        return EnumerateGreedy(graph, stats);
+      }
+      return EnumerateDp(graph, stats);
+  }
+  return Result{};
+}
+
+JoinEnumerator::Result JoinEnumerator::EnumerateDp(const JoinGraph& graph,
+                                                   JoinEnumStats stats) {
+  Result result;
+  const size_t n = graph.size();
+
+  // Seed the leaves. An infeasible independent fetch keeps its entry (with
+  // infinite cost): the relation is still *connected*, and still reachable
+  // as the bound side of a bind edge, which never uses the leaf plan.
+  for (size_t i = 0; i < n; ++i) {
+    SubsetPlan leaf;
+    leaf.set = uint64_t{1} << i;
+    leaf.cost = graph.fetch_cost[i] >= 0.0 ? graph.fetch_cost[i] : kInf;
+    leaf.rows = graph.rows[i];
+    result.table.emplace(leaf.set, leaf);
+    ++stats.subsets_expanded;
+  }
+
+  // Ascending bitmask order visits every proper subset before its superset.
+  // Table membership doubles as the connectivity test: a subset has an
+  // entry iff it decomposes into two connected halves joined by an edge —
+  // exactly the csg-cmp-pair property DPccp enumerates.
+  const uint64_t full = n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  for (uint64_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton: already seeded
+    SubsetPlan best;
+    best.set = s;
+    bool connected = false;
+    const uint64_t low = LowestBit(s);
+    for (uint64_t s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+      const uint64_t s2 = s ^ s1;
+      const auto it1 = result.table.find(s1);
+      const auto it2 = result.table.find(s2);
+      if (it1 == result.table.end() || it2 == result.table.end()) continue;
+      if (!HasCrossEdge(graph, s1, s2)) continue;
+      connected = true;
+      const SubsetPlan& p1 = it1->second;
+      const SubsetPlan& p2 = it2->second;
+
+      // Independent join: count each unordered split once (the half holding
+      // the lowest bit is the canonical left).
+      if ((s1 & low) != 0 && p1.feasible() && p2.feasible()) {
+        ++stats.plans_considered;
+        const double cost = IndependentCost(p1.cost, p2.cost);
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.left = s1;
+          best.right = s2;
+          best.method = EdgeMethod::kIndependent;
+          best.bind_relation = -1;
+          best.bind_edge = -1;
+        }
+      }
+
+      // Bind join: s1 drives, s2 must be a single relation fetched bound.
+      // The s1 loop enumerates every subset, so each (driver, bound) pair
+      // appears exactly once without extra canonicalization.
+      if ((s2 & (s2 - 1)) == 0 && p1.feasible()) {
+        int r = 0;
+        while (((s2 >> r) & 1u) == 0) ++r;
+        ++stats.plans_considered;
+        const BindChoice bind = BestBindCost(graph, s1, p1.rows, p1.cost, r);
+        if (bind.feasible() && bind.cost < best.cost) {
+          best.cost = bind.cost;
+          best.left = s1;
+          best.right = s2;
+          best.method = EdgeMethod::kBind;
+          best.bind_relation = r;
+          best.bind_edge = bind.edge;
+        }
+      }
+    }
+    if (!connected) continue;
+    best.rows = SubsetRows(graph, s);
+    result.table.emplace(s, best);
+    ++stats.subsets_expanded;
+  }
+
+  const auto it = result.table.find(full);
+  if (it != result.table.end() && it->second.feasible()) {
+    result.feasible = true;
+    result.best = it->second;
+  }
+  result.stats = stats;
+  return result;
+}
+
+JoinEnumerator::Result JoinEnumerator::EnumerateGreedy(const JoinGraph& graph,
+                                                       JoinEnumStats stats) {
+  Result result;
+  const size_t n = graph.size();
+  std::vector<SubsetPlan> components;
+  for (size_t i = 0; i < n; ++i) {
+    SubsetPlan leaf;
+    leaf.set = uint64_t{1} << i;
+    leaf.cost = graph.fetch_cost[i] >= 0.0 ? graph.fetch_cost[i] : kInf;
+    leaf.rows = graph.rows[i];
+    result.table.emplace(leaf.set, leaf);
+    components.push_back(leaf);
+    ++stats.subsets_expanded;
+  }
+
+  while (components.size() > 1) {
+    SubsetPlan best;
+    int best_i = -1, best_j = -1;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = 0; j < components.size(); ++j) {
+        if (i == j) continue;
+        const SubsetPlan& ci = components[i];
+        const SubsetPlan& cj = components[j];
+        if (!HasCrossEdge(graph, ci.set, cj.set)) continue;
+
+        // Independent merge (unordered: count i < j only).
+        if (i < j && ci.feasible() && cj.feasible()) {
+          ++stats.plans_considered;
+          const double cost = IndependentCost(ci.cost, cj.cost);
+          if (cost < best.cost) {
+            best = SubsetPlan();
+            best.set = ci.set | cj.set;
+            best.cost = cost;
+            best.left = ci.set;
+            best.right = cj.set;
+            best.method = EdgeMethod::kIndependent;
+            best_i = static_cast<int>(i);
+            best_j = static_cast<int>(j);
+          }
+        }
+
+        // Bind merge: cj must still be a single relation.
+        if ((cj.set & (cj.set - 1)) == 0 && ci.feasible()) {
+          int r = 0;
+          while (((cj.set >> r) & 1u) == 0) ++r;
+          ++stats.plans_considered;
+          const BindChoice bind =
+              BestBindCost(graph, ci.set, ci.rows, ci.cost, r);
+          if (bind.feasible() && bind.cost < best.cost) {
+            best = SubsetPlan();
+            best.set = ci.set | cj.set;
+            best.cost = bind.cost;
+            best.left = ci.set;
+            best.right = cj.set;
+            best.method = EdgeMethod::kBind;
+            best.bind_relation = r;
+            best.bind_edge = bind.edge;
+            best_i = static_cast<int>(i);
+            best_j = static_cast<int>(j);
+          }
+        }
+      }
+    }
+    if (best_i < 0) {
+      // No feasible merge anywhere: some component is unreachable.
+      result.stats = stats;
+      return result;
+    }
+    best.rows = SubsetRows(graph, best.set);
+    result.table[best.set] = best;
+    ++stats.subsets_expanded;
+    // Replace the two merged components by the merge (erase higher first).
+    const size_t hi = static_cast<size_t>(std::max(best_i, best_j));
+    const size_t lo = static_cast<size_t>(std::min(best_i, best_j));
+    components.erase(components.begin() + hi);
+    components[lo] = best;
+  }
+
+  if (components[0].feasible()) {
+    result.feasible = true;
+    result.best = components[0];
+  }
+  result.stats = stats;
+  return result;
+}
+
+JoinEnumerator::Result JoinEnumerator::EnumerateLeftDeep(const JoinGraph& graph,
+                                                         JoinEnumStats stats) {
+  Result result;
+  const size_t n = graph.size();
+  SubsetPlan cur;
+  cur.set = 1;
+  cur.cost = graph.fetch_cost[0] >= 0.0 ? graph.fetch_cost[0] : kInf;
+  cur.rows = graph.rows[0];
+  result.table.emplace(cur.set, cur);
+  ++stats.subsets_expanded;
+
+  uint64_t remaining = (n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1) & ~1ull;
+  while (remaining != 0) {
+    // Next relation in FROM order that the prefix connects to.
+    int r = -1;
+    for (size_t i = 1; i < n; ++i) {
+      if (((remaining >> i) & 1u) == 0) continue;
+      if (HasCrossEdge(graph, cur.set, uint64_t{1} << i)) {
+        r = static_cast<int>(i);
+        break;
+      }
+    }
+    if (r < 0) {
+      result.stats = stats;  // disconnected graph
+      return result;
+    }
+    const uint64_t r_bit = uint64_t{1} << r;
+    SubsetPlan leaf;
+    leaf.set = r_bit;
+    leaf.cost = graph.fetch_cost[r] >= 0.0 ? graph.fetch_cost[r] : kInf;
+    leaf.rows = graph.rows[r];
+    result.table.emplace(r_bit, leaf);
+    ++stats.subsets_expanded;
+
+    SubsetPlan next;
+    next.set = cur.set | r_bit;
+    next.left = cur.set;
+    next.right = r_bit;
+    if (cur.feasible() && leaf.feasible()) {
+      ++stats.plans_considered;
+      next.cost = IndependentCost(cur.cost, leaf.cost);
+      next.method = EdgeMethod::kIndependent;
+    }
+    ++stats.plans_considered;
+    const BindChoice bind = BestBindCost(graph, cur.set, cur.rows, cur.cost, r);
+    if (bind.feasible() && bind.cost < next.cost) {
+      next.cost = bind.cost;
+      next.method = EdgeMethod::kBind;
+      next.bind_relation = r;
+      next.bind_edge = bind.edge;
+    }
+    if (!next.feasible()) {
+      result.stats = stats;
+      return result;
+    }
+    next.rows = SubsetRows(graph, next.set);
+    result.table[next.set] = next;
+    ++stats.subsets_expanded;
+    cur = next;
+    remaining &= ~r_bit;
+  }
+
+  result.feasible = true;
+  result.best = cur;
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace gencompact

@@ -1,0 +1,162 @@
+#ifndef GENCOMPACT_PLANNER_JOIN_ENUM_H_
+#define GENCOMPACT_PLANNER_JOIN_ENUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace gencompact {
+
+/// Cost-level view of one equi-join edge of the query graph. The ends `a`
+/// and `b` are relation indices; `selectivity` is the row-count multiplier
+/// the edge applies when both ends are in one subset (∏ base rows ×
+/// ∏ internal-edge selectivities = estimated subset rows). The bind fields
+/// describe fetching one end as a bound value-list query driven by the
+/// other end: `bind_a` means relation `a` accepts the value-list shape on
+/// this edge's key (probed against its Checker), `bind_a_setup` is the
+/// effective per-batch k1 (health penalty folded in) and `bind_a_per_row`
+/// its k2.
+struct JoinEdge {
+  int a = 0;
+  int b = 0;
+  double selectivity = 1.0;
+  /// Distinct join-key values on each end (≥ 1), from table statistics.
+  double a_ndv = 1.0;
+  double b_ndv = 1.0;
+  bool bind_a = false;
+  bool bind_b = false;
+  double bind_a_setup = 0.0;
+  double bind_b_setup = 0.0;
+  double bind_a_per_row = 0.0;
+  double bind_b_per_row = 0.0;
+};
+
+/// The cost-level query graph the enumerator searches: everything about the
+/// federation reduced to numbers, so the search is decoupled from catalogs,
+/// planners, and checkers (and an oracle can brute-force the same space).
+struct JoinGraph {
+  /// Independent-fetch cost per relation: the validated GenCompact plan's
+  /// PlanCost (health penalties, paging cost, and the truncation-risk
+  /// multiplier all folded in). Negative = the source cannot answer its
+  /// pushdown unbound; the relation is only reachable via a bind edge.
+  std::vector<double> fetch_cost;
+  /// Estimated rows after per-source pushdown.
+  std::vector<double> rows;
+  std::vector<JoinEdge> edges;
+  /// Distinct driving-side values per bound value-list batch.
+  size_t bind_batch_size = 8;
+
+  size_t size() const { return fetch_cost.size(); }
+};
+
+/// Per-edge strategy: fetch both subtrees independently and hash-join at
+/// the mediator, or drive the (single-relation) right side as a bind-join —
+/// one bound value-list query per batch of distinct left join values.
+enum class EdgeMethod { kIndependent, kBind };
+const char* EdgeMethodName(EdgeMethod method);
+
+/// One PlanTable entry: the best join tree found for a connected subset,
+/// keyed by its bitmask. Leaves have left == right == 0.
+struct SubsetPlan {
+  uint64_t set = 0;
+  double cost = std::numeric_limits<double>::infinity();
+  double rows = 0.0;
+  uint64_t left = 0;
+  uint64_t right = 0;
+  EdgeMethod method = EdgeMethod::kIndependent;
+  /// kBind: the bound relation (right is its singleton set) and the edge
+  /// (index into JoinGraph::edges) whose key drives the value lists.
+  int bind_relation = -1;
+  int bind_edge = -1;
+
+  bool feasible() const { return cost < std::numeric_limits<double>::infinity(); }
+};
+
+struct JoinEnumStats {
+  size_t subsets_expanded = 0;   ///< PlanTable entries materialized
+  size_t plans_considered = 0;   ///< (left, right, method) candidates costed
+  bool used_greedy = false;      ///< DP threshold exceeded (or forced)
+};
+
+/// Join-order search over a JoinGraph.
+///
+/// kDp: dynamic programming over *connected* subgraphs — a DPccp-style
+/// PlanTable keyed by subset bitmask, exact over the modeled cost space
+/// (3^n subset decompositions, fine up to the dp_max_relations threshold).
+/// kGreedy: greedy operator ordering — start from singleton components and
+/// repeatedly take the cheapest feasible merge; linear in edges per round.
+/// kLeftDeep: the naive baseline — fold relations in index (FROM) order
+/// into a left-deep chain, choosing only the per-step method. Used by the
+/// bench as the "no enumeration" strawman.
+class JoinEnumerator {
+ public:
+  enum class Mode { kDp, kGreedy, kLeftDeep };
+
+  struct Options {
+    Mode mode = Mode::kDp;
+    /// Above this many relations kDp falls back to greedy (DP is 3^n).
+    size_t dp_max_relations = 12;
+  };
+
+  struct Result {
+    bool feasible = false;
+    SubsetPlan best;
+    /// Every subset expanded (DP mode: all connected subsets; greedy /
+    /// left-deep: the merge path), keyed by bitmask — the execution walker
+    /// and tests read decompositions out of this table.
+    std::unordered_map<uint64_t, SubsetPlan> table;
+    JoinEnumStats stats;
+  };
+
+  static Result Enumerate(const JoinGraph& graph, const Options& options);
+  static Result Enumerate(const JoinGraph& graph) {
+    return Enumerate(graph, Options());
+  }
+
+  // ---- Shared cost primitives. The exhaustive-oracle test calls these
+  // ---- directly, so the differential tests the *search* (subset
+  // ---- enumeration, connectivity, canonicalization), not the arithmetic.
+
+  /// Estimated rows of a joined subset: ∏ member base rows × ∏ selectivity
+  /// of edges internal to the subset. Decomposition-independent.
+  static double SubsetRows(const JoinGraph& graph, uint64_t set);
+
+  /// True iff `set` induces a connected subgraph (singletons are connected).
+  static bool Connected(const JoinGraph& graph, uint64_t set);
+
+  /// True iff some edge crosses between the two (disjoint) subsets.
+  static bool HasCrossEdge(const JoinGraph& graph, uint64_t s1, uint64_t s2);
+
+  /// Cost of joining independently-produced subtrees: the join itself is
+  /// mediator-local, so the modeled cost is just both inputs' costs.
+  static double IndependentCost(double left_cost, double right_cost) {
+    return left_cost + right_cost;
+  }
+
+  /// Cheapest way to fetch relation `r` as a bind-join driven by the
+  /// finished subset `s1` (cost `s1_cost`, estimated `s1_rows` rows):
+  /// minimum over crossing edges that allow binding `r`, charging one
+  /// bound batch setup per ceil(distinct / bind_batch_size) value chunk
+  /// plus per-row transfer of the estimated matches. Returns infinity cost
+  /// when no crossing edge can bind `r`.
+  struct BindChoice {
+    double cost = std::numeric_limits<double>::infinity();
+    int edge = -1;
+    bool feasible() const {
+      return cost < std::numeric_limits<double>::infinity();
+    }
+  };
+  static BindChoice BestBindCost(const JoinGraph& graph, uint64_t s1,
+                                 double s1_rows, double s1_cost, int r);
+
+ private:
+  static Result EnumerateDp(const JoinGraph& graph, JoinEnumStats stats);
+  static Result EnumerateGreedy(const JoinGraph& graph, JoinEnumStats stats);
+  static Result EnumerateLeftDeep(const JoinGraph& graph, JoinEnumStats stats);
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_PLANNER_JOIN_ENUM_H_

@@ -4,10 +4,9 @@
 
 namespace gencompact {
 
-size_t Row::ComputeHash(const std::vector<Value>& values) {
-  size_t h = 0x51ed270b7a2cf321ull;
-  for (const Value& v : values) {
-    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+size_t Row::ExtendHash(size_t h, const Value* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    h ^= values[i].Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   }
   return h;
 }

@@ -38,13 +38,28 @@ class Row {
   /// insertion, dedup and rehashing never re-fold the values.
   size_t Hash() const { return hash_; }
 
+  /// Continues the sequential value fold from `h`:
+  /// ExtendHash(a.Hash(), b) == Row(a ++ b).Hash(). The join build/probe
+  /// path composes a concatenated row's hash from the left row's cached
+  /// hash plus the appended values, then hands it to the trusted-hash
+  /// constructor without re-folding the left side.
+  static size_t ExtendHash(size_t h, const Value* values, size_t count);
+  static size_t ExtendHash(size_t h, const std::vector<Value>& values) {
+    return ExtendHash(h, values.data(), values.size());
+  }
+
+  /// ComputeHash({}) — the fold seed ExtendHash starts from.
+  static constexpr size_t kEmptyHash = 0x51ed270b7a2cf321ull;
+
   std::string ToString() const;
 
  private:
-  static size_t ComputeHash(const std::vector<Value>& values);
+  static size_t ComputeHash(const std::vector<Value>& values) {
+    return ExtendHash(kEmptyHash, values);
+  }
 
   std::vector<Value> values_;
-  size_t hash_ = 0x51ed270b7a2cf321ull;  // ComputeHash({}) — the fold seed
+  size_t hash_ = kEmptyHash;
 };
 
 struct RowHash {

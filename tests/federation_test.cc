@@ -1,0 +1,624 @@
+// N-source federation: parsing, planning, execution, two-source parity with
+// the original JoinProcessor, row-vs-batch data-plane parity, and the fault
+// interactions the ISSUE calls out — a breaker tripping mid-join, a paged
+// result-bounded relation inside a 3-source join, and the avoid-set replan
+// that adopts an alternate join order after a leaf failure. Every schedule
+// runs on a FakeClock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/fault_policy.h"
+#include "expr/condition_parser.h"
+#include "mediator/federation.h"
+#include "mediator/join.h"
+#include "mediator/mediator.h"
+#include "mediator/sql_parser.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+// cars: independent fetches by make/price, bindable on make (value lists).
+// `extra` parameterizes the description (e.g. a result bound) per test.
+constexpr const char* kCarsSsdlTemplate = R"(
+  source cars(make: string, model: string, price: int) {
+    cost 10.0 1.0;
+    %s
+    rule mlist -> make = $string or make = $string
+                | make = $string or mlist;
+    rule f -> make = $string
+            | mlist
+            | ( mlist )
+            | price < $int
+            | make = $string and price < $int;
+    export f : {make, model, price};
+  })";
+
+// dealers: bind-only — every query must name a make (or a list of makes);
+// there is no independent download.
+constexpr const char* kDealersSsdl = R"(
+  source dealers(make: string, city: string, rating: int) {
+    cost 5.0 1.0;
+    rule mlist -> make = $string or make = $string
+                | make = $string or mlist;
+    rule f -> make = $string
+            | mlist
+            | ( mlist )
+            | make = $string and rating >= $int
+            | ( mlist ) and rating >= $int;
+    export f : {make, city, rating};
+  })";
+
+// reviews: independent fetches by score, bindable on model. `extra`
+// parameterizes the description (e.g. a result bound) per test.
+constexpr const char* kReviewsSsdlTemplate = R"(
+  source reviews(model: string, score: int) {
+    cost 10.0 1.0;
+    %s
+    rule mlist -> model = $string or model = $string
+                | model = $string or mlist;
+    rule f -> model = $string
+            | mlist
+            | ( mlist )
+            | score >= $int
+            | score >= $int and ( mlist )
+            | score >= $int and model = $string
+            | ( mlist ) and score >= $int
+            | model = $string and score >= $int;
+    export f : {model, score};
+  })";
+
+constexpr const char* kThreeWaySql =
+    "SELECT cars.model, dealers.city, reviews.score FROM cars "
+    "JOIN dealers ON cars.make = dealers.make "
+    "JOIN reviews ON cars.model = reviews.model "
+    "WHERE cars.price < 30000 and reviews.score >= 4";
+
+// Ground truth for kThreeWaySql over the fixture tables:
+//   (318i, Palo Alto, 4), (318i, San Jose, 4), (Camry, Palo Alto, 5).
+constexpr size_t kThreeWayRows = 3;
+
+std::vector<std::string> Signature(const RowSet& rows) {
+  std::vector<std::string> out;
+  for (const Row& row : rows.SortedRows()) {
+    std::string sig;
+    for (const Value& v : row.values()) {
+      sig += ValueTypeName(v.type());
+      sig += ':';
+      sig += v.ToString();
+      sig += '|';
+    }
+    out.push_back(std::move(sig));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RegisterFixtureSources(Mediator* mediator,
+                            const std::string& reviews_extra = "",
+                            const std::string& cars_extra = "") {
+  char cars_ssdl[1024];
+  std::snprintf(cars_ssdl, sizeof(cars_ssdl), kCarsSsdlTemplate,
+                cars_extra.c_str());
+  Result<SourceDescription> cars = ParseSsdl(cars_ssdl);
+  Result<SourceDescription> dealers = ParseSsdl(kDealersSsdl);
+  char reviews_ssdl[1024];
+  std::snprintf(reviews_ssdl, sizeof(reviews_ssdl), kReviewsSsdlTemplate,
+                reviews_extra.c_str());
+  Result<SourceDescription> reviews = ParseSsdl(reviews_ssdl);
+  ASSERT_TRUE(cars.ok()) << cars.status().ToString();
+  ASSERT_TRUE(dealers.ok()) << dealers.status().ToString();
+  ASSERT_TRUE(reviews.ok()) << reviews.status().ToString();
+
+  auto cars_table = std::make_unique<Table>("cars", cars->schema());
+  const auto add_car = [&](const char* make, const char* model,
+                           int64_t price) {
+    ASSERT_TRUE(cars_table
+                    ->AppendValues({Value::String(make), Value::String(model),
+                                    Value::Int(price)})
+                    .ok());
+  };
+  add_car("BMW", "318i", 21000);
+  add_car("BMW", "528i", 38000);
+  add_car("Toyota", "Corolla", 13000);
+  add_car("Toyota", "Camry", 19000);
+  add_car("Saab", "900", 16000);
+
+  auto dealers_table = std::make_unique<Table>("dealers", dealers->schema());
+  const auto add_dealer = [&](const char* make, const char* city,
+                              int64_t rating) {
+    ASSERT_TRUE(dealers_table
+                    ->AppendValues({Value::String(make), Value::String(city),
+                                    Value::Int(rating)})
+                    .ok());
+  };
+  add_dealer("BMW", "Palo Alto", 5);
+  add_dealer("BMW", "San Jose", 3);
+  add_dealer("Toyota", "Palo Alto", 4);
+  add_dealer("Honda", "Fremont", 4);
+
+  auto reviews_table = std::make_unique<Table>("reviews", reviews->schema());
+  const auto add_review = [&](const char* model, int64_t score) {
+    ASSERT_TRUE(
+        reviews_table->AppendValues({Value::String(model), Value::Int(score)})
+            .ok());
+  };
+  add_review("318i", 4);
+  add_review("528i", 5);
+  add_review("Corolla", 3);
+  add_review("Camry", 5);
+  add_review("900", 4);
+
+  ASSERT_TRUE(
+      mediator->RegisterSource(std::move(cars).value(), std::move(cars_table))
+          .ok());
+  ASSERT_TRUE(mediator
+                  ->RegisterSource(std::move(dealers).value(),
+                                   std::move(dealers_table))
+                  .ok());
+  ASSERT_TRUE(mediator
+                  ->RegisterSource(std::move(reviews).value(),
+                                   std::move(reviews_table))
+                  .ok());
+}
+
+class FederationFixture : public ::testing::Test {
+ protected:
+  FederationFixture() {
+    Mediator::Options options;
+    options.partial_results = true;
+    options.clock = &clock_;
+    mediator_ = std::make_unique<Mediator>(options);
+    RegisterFixtureSources(mediator_.get());
+    entries_ = {*mediator_->catalog()->Find("cars"),
+                *mediator_->catalog()->Find("dealers"),
+                *mediator_->catalog()->Find("reviews")};
+  }
+
+  FederatedQuery ThreeWayQuery() {
+    FederatedQuery query;
+    query.sources = {"cars", "dealers", "reviews"};
+    query.keys = {{"cars.make", "dealers.make"},
+                  {"cars.model", "reviews.model"}};
+    query.condition =
+        std::move(ParseCondition(
+                      "cars.price < 30000 and reviews.score >= 4"))
+            .value();
+    query.select = {"cars.model", "dealers.city", "reviews.score"};
+    return query;
+  }
+
+  FakeClock clock_;
+  std::unique_ptr<Mediator> mediator_;
+  std::vector<CatalogEntry*> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Federated SQL parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseFederatedSqlTest, ParsesThreeSourceChain) {
+  const Result<ParsedFederatedQuery> parsed = ParseFederatedSql(kThreeWaySql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sources,
+            (std::vector<std::string>{"cars", "dealers", "reviews"}));
+  ASSERT_EQ(parsed->keys.size(), 2u);
+  EXPECT_EQ(parsed->keys[0].first, "cars.make");
+  EXPECT_EQ(parsed->keys[1].second, "reviews.model");
+  EXPECT_EQ(parsed->select_list.size(), 3u);
+  EXPECT_FALSE(parsed->condition->is_true());
+}
+
+TEST(ParseFederatedSqlTest, MultiKeyOnClause) {
+  const Result<ParsedFederatedQuery> parsed = ParseFederatedSql(
+      "SELECT * FROM a JOIN b ON a.x = b.x AND a.y = b.y JOIN c ON b.x = c.x");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sources.size(), 3u);
+  EXPECT_EQ(parsed->keys.size(), 3u);
+  EXPECT_TRUE(parsed->condition->is_true());
+}
+
+TEST(ParseFederatedSqlTest, RejectsDuplicateSourcesAndMissingOn) {
+  EXPECT_FALSE(
+      ParseFederatedSql("SELECT * FROM a JOIN a ON a.x = a.y").ok());
+  EXPECT_FALSE(
+      ParseFederatedSql("SELECT * FROM a JOIN b ON a.x = b.x JOIN c").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Planning and execution
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationFixture, OutputSchemaQualifiesEveryRelation) {
+  FederationProcessor processor(entries_);
+  const Result<Schema> schema = processor.OutputSchema(ThreeWayQuery());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->num_attributes(), 8u);
+  EXPECT_TRUE(schema->IndexOf("cars.make").has_value());
+  EXPECT_TRUE(schema->IndexOf("dealers.city").has_value());
+  EXPECT_TRUE(schema->IndexOf("reviews.score").has_value());
+}
+
+TEST_F(FederationFixture, PlanEnumeratesTheQueryGraph) {
+  FederationProcessor processor(entries_);
+  const Result<FederationPlanOutcome> outcome =
+      processor.Plan(ThreeWayQuery());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->graph.size(), 3u);
+  EXPECT_EQ(outcome->graph.edges.size(), 2u);
+  EXPECT_GT(outcome->estimated_cost, 0.0);
+  EXPECT_GT(outcome->enumeration.stats.subsets_expanded, 0u);
+  // The rendered tree names every relation.
+  EXPECT_NE(outcome->tree.find("cars"), std::string::npos);
+  EXPECT_NE(outcome->tree.find("dealers"), std::string::npos);
+  EXPECT_NE(outcome->tree.find("reviews"), std::string::npos);
+  // dealers is bind-only (no download): its independent fetch is infeasible
+  // and its leaf plan absent.
+  EXPECT_LT(outcome->graph.fetch_cost[1], 0.0);
+  EXPECT_EQ(outcome->leaf_plans[1], nullptr);
+}
+
+TEST_F(FederationFixture, ExecutesThreeWayGroundTruth) {
+  FederationProcessor processor(entries_);
+  const Result<RowSet> rows = processor.Execute(ThreeWayQuery());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), kThreeWayRows);
+  EXPECT_GE(processor.stats().bind_batches, 1u);  // dealers must be bound
+  EXPECT_EQ(processor.stats().joined_rows, kThreeWayRows);
+}
+
+TEST_F(FederationFixture, MixedResidualEvaluatesAtTheRoot) {
+  FederatedQuery query = ThreeWayQuery();
+  // A disjunction spanning cars and reviews cannot push down anywhere.
+  query.condition =
+      std::move(ParseCondition("cars.price < 30000 and "
+                               "(cars.price < 15000 or reviews.score >= 5)"))
+          .value();
+  FederationProcessor processor(entries_);
+  const Result<FederationPlanOutcome> outcome = processor.Plan(query);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->residual->is_true());
+
+  const Result<RowSet> rows = processor.Execute(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // price < 30000 joins: 318i (21000, score 4), Corolla (13000, score 3),
+  // Camry (19000, score 5), each × their make's dealers. The residual keeps
+  // Corolla (price < 15000; Toyota dealer Palo Alto) and Camry (score 5).
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(FederationFixture, ErrorsAreDiagnosable) {
+  FederationProcessor processor(entries_);
+  FederatedQuery query = ThreeWayQuery();
+  query.condition = std::move(ParseCondition("cars.bogus = 1")).value();
+  EXPECT_EQ(processor.Plan(query).status().code(), StatusCode::kNotFound);
+
+  query = ThreeWayQuery();
+  query.keys = {{"cars.make", "dealers.make"}};  // reviews disconnected
+  EXPECT_EQ(processor.Plan(query).status().code(),
+            StatusCode::kInvalidArgument);
+
+  query = ThreeWayQuery();
+  FederationOptions force;
+  force.force_method = EdgeMethod::kBind;
+  FederationProcessor forced(entries_, force);
+  // force_method is a two-relation parity knob only.
+  EXPECT_EQ(forced.Plan(query).status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Two-source regression parity with JoinProcessor
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationFixture, TwoSourceParityWithJoinProcessor) {
+  const auto join_query = [&]() {
+    JoinQuery q;
+    q.left_source = "cars";
+    q.right_source = "dealers";
+    q.keys = {{"cars.make", "dealers.make"}};
+    q.condition = std::move(ParseCondition("cars.price < 30000")).value();
+    q.select = {"cars.model", "dealers.city"};
+    return q;
+  }();
+  const auto fed_query = [&]() {
+    FederatedQuery q;
+    q.sources = {"cars", "dealers"};
+    q.keys = {{"cars.make", "dealers.make"}};
+    q.condition = std::move(ParseCondition("cars.price < 30000")).value();
+    q.select = {"cars.model", "dealers.city"};
+    return q;
+  }();
+
+  JoinProcessor join_processor(entries_[0], entries_[1]);
+  const Result<RowSet> join_rows = join_processor.Execute(join_query);
+  ASSERT_TRUE(join_rows.ok()) << join_rows.status().ToString();
+
+  FederationProcessor fed_processor({entries_[0], entries_[1]});
+  const Result<RowSet> fed_rows = fed_processor.Execute(fed_query);
+  ASSERT_TRUE(fed_rows.ok()) << fed_rows.status().ToString();
+
+  EXPECT_EQ(Signature(*join_rows), Signature(*fed_rows));
+  EXPECT_GT(join_rows->size(), 0u);
+
+  // Forced methods agree too. dealers cannot run independently, so only the
+  // bind side is feasible — kIndependent must fail identically in both.
+  JoinOptions join_bind;
+  join_bind.force_method = JoinMethod::kBind;
+  JoinProcessor join_forced(entries_[0], entries_[1], join_bind);
+  const Result<RowSet> join_bound = join_forced.Execute(join_query);
+  ASSERT_TRUE(join_bound.ok()) << join_bound.status().ToString();
+
+  FederationOptions fed_bind;
+  fed_bind.force_method = EdgeMethod::kBind;
+  FederationProcessor fed_forced({entries_[0], entries_[1]}, fed_bind);
+  const Result<RowSet> fed_bound = fed_forced.Execute(fed_query);
+  ASSERT_TRUE(fed_bound.ok()) << fed_bound.status().ToString();
+  EXPECT_EQ(Signature(*join_bound), Signature(*fed_bound));
+
+  JoinOptions join_ind;
+  join_ind.force_method = JoinMethod::kIndependent;
+  JoinProcessor join_ind_proc(entries_[0], entries_[1], join_ind);
+  FederationOptions fed_ind;
+  fed_ind.force_method = EdgeMethod::kIndependent;
+  FederationProcessor fed_ind_proc({entries_[0], entries_[1]}, fed_ind);
+  EXPECT_FALSE(join_ind_proc.Execute(join_query).ok());
+  EXPECT_FALSE(fed_ind_proc.Execute(fed_query).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Row-vs-batch data-plane parity (PR 6 follow-through)
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationFixture, RowAndBatchPlanesAgree) {
+  FederationOptions row_options;
+  row_options.exec.batch_width = 0;
+  FederationProcessor row_processor(entries_, row_options);
+  const Result<RowSet> row_rows = row_processor.Execute(ThreeWayQuery());
+  ASSERT_TRUE(row_rows.ok()) << row_rows.status().ToString();
+
+  for (const size_t width : {1u, 3u, 64u}) {
+    FederationOptions batch_options;
+    batch_options.exec.batch_width = width;
+    FederationProcessor batch_processor(entries_, batch_options);
+    const Result<RowSet> batch_rows =
+        batch_processor.Execute(ThreeWayQuery());
+    ASSERT_TRUE(batch_rows.ok())
+        << "width " << width << ": " << batch_rows.status().ToString();
+    EXPECT_EQ(Signature(*row_rows), Signature(*batch_rows))
+        << "width " << width;
+  }
+  EXPECT_EQ(row_rows->size(), kThreeWayRows);
+}
+
+// ---------------------------------------------------------------------------
+// Mediator dispatch and observability
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationFixture, MediatorDispatchesThreeSourceSql) {
+  const Result<Mediator::QueryResult> result = mediator_->Query(kThreeWaySql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), kThreeWayRows);
+  EXPECT_TRUE(result->completeness.complete);
+  EXPECT_GE(result->exec.source_queries, 3u);
+  EXPECT_GT(result->true_cost, 0.0);
+  EXPECT_GT(result->estimated_cost, 0.0);
+
+  const Mediator::Stats stats = mediator_->StatsSnapshot();
+  EXPECT_EQ(stats.join.federated_queries, 1u);
+  EXPECT_GT(stats.join.plans_enumerated, 0u);
+  EXPECT_GT(stats.join.dp_subsets_expanded, 0u);
+  EXPECT_GE(stats.join.bind_edges_chosen, 1u);  // dealers is bind-only
+  EXPECT_EQ(stats.join.greedy_fallbacks, 0u);
+  // The /varz rendering carries the join block once federated queries ran.
+  EXPECT_NE(stats.ToString().find("join.federated_queries"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault interactions
+// ---------------------------------------------------------------------------
+
+TEST_F(FederationFixture, BreakerTripsMidJoin) {
+  // Fresh mediator with breakers on and a dead reviews source: the 3-way
+  // join must fail (reviews is not an ∨-branch), the breaker must trip from
+  // the join's own retries, and the next query must be rejected by the
+  // breaker without burning source calls.
+  FakeClock clock;
+  Mediator::Options options;
+  options.clock = &clock;
+  options.enable_circuit_breaker = true;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration = std::chrono::microseconds(50000);
+  options.retry.max_attempts = 2;
+  options.retry.backoff.base = std::chrono::microseconds(1);
+  options.retry.backoff.cap = std::chrono::microseconds(2);
+  Mediator mediator(options);
+  RegisterFixtureSources(&mediator);
+
+  CatalogEntry* reviews = *mediator.catalog()->Find("reviews");
+  FaultPolicy dead;
+  dead.outages.push_back({0, 1000000});
+  reviews->source()->set_fault_policy(dead);
+
+  const Result<Mediator::QueryResult> first = mediator.Query(kThreeWaySql);
+  EXPECT_FALSE(first.ok());
+  ASSERT_NE(reviews->breaker(), nullptr);
+  EXPECT_EQ(reviews->breaker()->state(), CircuitBreaker::State::kOpen);
+
+  const uint64_t calls_after_first =
+      reviews->source()->fault_injector()->stats().calls;
+  const Result<Mediator::QueryResult> second = mediator.Query(kThreeWaySql);
+  EXPECT_FALSE(second.ok());
+  // The open breaker rejected the second query's reviews fetches up front.
+  EXPECT_EQ(reviews->source()->fault_injector()->stats().calls,
+            calls_after_first);
+  EXPECT_GT(mediator.StatsSnapshot().fault_tolerance.breaker_rejections, 0u);
+
+  // Healthy sources are unaffected: a two-source join that never touches
+  // reviews still answers.
+  const Result<Mediator::QueryResult> healthy = mediator.Query(
+      "SELECT cars.model, dealers.city FROM cars JOIN dealers "
+      "ON cars.make = dealers.make WHERE cars.price < 30000");
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->rows.size(), 4u);
+}
+
+TEST_F(FederationFixture, PagedBoundedRelationInsideThreeWayJoin) {
+  // reviews declares `bound 2 page 2`: every fetch of it is chunked into
+  // bounded pages. The paging loop must recover exactness inside the join —
+  // same answer, completeness intact, pages actually driven.
+  FakeClock clock;
+  Mediator::Options options;
+  options.partial_results = true;
+  options.clock = &clock;
+  Mediator mediator(options);
+  RegisterFixtureSources(&mediator, "bound 2 page 2;");
+
+  const Result<Mediator::QueryResult> result = mediator.Query(kThreeWaySql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), kThreeWayRows);
+  EXPECT_TRUE(result->completeness.complete)
+      << "paging must recover exactness, not truncate";
+  EXPECT_GT(result->exec.pages_fetched, 0u);
+  EXPECT_GT(mediator.StatsSnapshot().bounded.pages_fetched, 0u);
+}
+
+TEST_F(FederationFixture, UnpagedBoundMarksTheJoinPartial) {
+  // Without paging a bound silently drops rows at the source — the federated
+  // answer must surface that as a truncation marker, never as a
+  // complete-looking subset. The bound goes on cars: its single-atom
+  // pushdown (price < 30000, 4 true rows) cannot be refined into
+  // under-bound pieces, so truncation is unavoidable. (A bound on a
+  // bind-side value list would be legitimately recovered by splitting the
+  // list — the planner's exactness strategies are tested elsewhere.)
+  FakeClock clock;
+  Mediator::Options options;
+  options.partial_results = true;
+  options.clock = &clock;
+  Mediator mediator(options);
+  RegisterFixtureSources(&mediator, /*reviews_extra=*/"",
+                         /*cars_extra=*/"bound 2;");
+
+  const Result<Mediator::QueryResult> result = mediator.Query(kThreeWaySql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_LT(result->rows.size(), kThreeWayRows);
+  EXPECT_FALSE(result->completeness.complete);
+  ASSERT_FALSE(result->completeness.truncated_sources.empty());
+  bool names_cars = false;
+  for (const Mediator::TruncatedSource& marker :
+       result->completeness.truncated_sources) {
+    if (marker.source == "cars") names_cars = true;
+  }
+  EXPECT_TRUE(names_cars);
+}
+
+TEST(FederationReplanTest, AvoidSetReplanAdoptsAlternateJoinOrder) {
+  // Two relations where the optimizer's first tree fetches B independently
+  // (B's estimated independent fetch undercuts the bind: A drives as many
+  // distinct keys as B has, so the modeled bind transfers all of B). B's
+  // first call fails retryably; the avoid-set replan marks B's independent
+  // fetch infeasible, re-enumerates, and the alternate tree reaches B
+  // through the bind edge — which succeeds, because the transient is gone.
+  constexpr const char* kASsdl = R"(
+    source A(k: string, v: int) {
+      cost 10.0 1.0;
+      rule f -> v >= $int | v < $int;
+      export f : {k, v};
+    })";
+  constexpr const char* kBSsdl = R"(
+    source B(k: string, w: int) {
+      cost 10.0 1.0;
+      rule klist -> k = $string or k = $string
+                  | k = $string or klist;
+      rule f -> k = $string
+              | klist
+              | ( klist )
+              | w >= $int
+              | w >= $int and ( klist )
+              | w >= $int and k = $string
+              | ( klist ) and w >= $int
+              | k = $string and w >= $int;
+      export f : {k, w};
+    })";
+  Catalog catalog;
+  Result<SourceDescription> a = ParseSsdl(kASsdl);
+  Result<SourceDescription> b = ParseSsdl(kBSsdl);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto a_table = std::make_unique<Table>("A", a->schema());
+  auto b_table = std::make_unique<Table>("B", b->schema());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a_table
+                    ->AppendValues({Value::String("k" + std::to_string(i)),
+                                    Value::Int(i)})
+                    .ok());
+    ASSERT_TRUE(b_table
+                    ->AppendValues({Value::String("k" + std::to_string(i)),
+                                    Value::Int(100 + i)})
+                    .ok());
+    ASSERT_TRUE(b_table
+                    ->AppendValues({Value::String("k" + std::to_string(i)),
+                                    Value::Int(200 + i)})
+                    .ok());
+  }
+  ASSERT_TRUE(catalog.Register(std::move(a).value(), std::move(a_table)).ok());
+  ASSERT_TRUE(catalog.Register(std::move(b).value(), std::move(b_table)).ok());
+  CatalogEntry* entry_a = *catalog.Find("A");
+  CatalogEntry* entry_b = *catalog.Find("B");
+
+  FederatedQuery query;
+  query.sources = {"A", "B"};
+  query.keys = {{"A.k", "B.k"}};
+  query.condition =
+      std::move(ParseCondition("A.v >= 0 and B.w >= 0")).value();
+
+  FakeClock clock;
+  FederationOptions options;
+  options.max_replans = 1;
+  // A drives 6 distinct keys = B's full key domain, so a bind is modeled to
+  // transfer all of B anyway; at batch size 4 its two setup round-trips make
+  // it strictly dearer than B's single independent fetch.
+  options.bind_batch_size = 4;
+  options.exec.retry.max_attempts = 1;  // no in-executor retry: fail fast
+  options.exec.clock = &clock;
+  FederationProcessor processor({entry_a, entry_b}, options);
+
+  // Round 0 must plan B's leaf as an independent fetch.
+  const Result<FederationPlanOutcome> outcome = processor.Plan(query);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->enumeration.best.method, EdgeMethod::kIndependent)
+      << outcome->tree;
+
+  // B answers its first query with a transient failure, then recovers.
+  FaultPolicy flaky;
+  flaky.outages.push_back({0, 1});
+  entry_b->source()->set_fault_policy(flaky);
+
+  const Result<RowSet> rows = processor.Execute(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(processor.stats().replans, 1u);
+  EXPECT_GE(processor.stats().bind_batches, 1u);  // round 1 bound B
+  EXPECT_EQ(rows->size(), 12u);  // 6 keys × 2 B-rows each
+
+  // Without the replan budget the same failure is terminal.
+  entry_b->source()->set_fault_policy(FaultPolicy{});
+  FaultPolicy flaky2;
+  flaky2.outages.push_back({0, 1});
+  FederationOptions no_replan;
+  no_replan.exec.retry.max_attempts = 1;
+  no_replan.exec.clock = &clock;
+  FederationProcessor rigid({entry_a, entry_b}, no_replan);
+  entry_b->source()->set_fault_policy(flaky2);
+  EXPECT_FALSE(rigid.Execute(query).ok());
+  entry_b->source()->set_fault_policy(FaultPolicy{});
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,335 @@
+// Exhaustive-oracle differential for the join-order enumerator.
+//
+// The oracle brute-forces EVERY binary join tree over a query graph by
+// explicit recursion on subset partitions — no PlanTable, no subset-order
+// cleverness, no canonicalization — using only the enumerator's public cost
+// primitives (SubsetRows / Connected / HasCrossEdge / IndependentCost /
+// BestBindCost). The differential therefore tests the *search* (DP subset
+// enumeration, connectivity via table membership, split canonicalization,
+// bind-candidate generation), not the cost arithmetic both sides share.
+//
+// Coverage: every connected graph topology on up to 5 relations (all edge
+// subsets of K5 that connect), each under several seeded random
+// parameterizations (rows, fetch costs — some infeasible —, selectivities,
+// ndvs, bind flags). DP must return exactly the oracle minimum; greedy must
+// stay within a logged ratio whenever it finds a plan.
+//
+// The base seed comes from GENCOMPACT_TEST_SEED (default 439) so CI can run
+// a seed matrix.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "planner/join_enum.h"
+
+namespace gencompact {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("GENCOMPACT_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 439;
+}
+
+// Minimal modeled cost over ALL binary join trees producing `set`, by
+// explicit recursion over every (s1, s2) partition. Exponential, fine for
+// n <= 5. Returns infinity when no tree is feasible.
+double OracleBest(const JoinGraph& graph, uint64_t set) {
+  if ((set & (set - 1)) == 0) {  // singleton
+    int r = 0;
+    while (((set >> r) & 1u) == 0) ++r;
+    return graph.fetch_cost[r] >= 0.0 ? graph.fetch_cost[r] : kInf;
+  }
+  double best = kInf;
+  const uint64_t low = set & (~set + 1);
+  for (uint64_t s1 = (set - 1) & set; s1 != 0; s1 = (s1 - 1) & set) {
+    const uint64_t s2 = set ^ s1;
+    if (!JoinEnumerator::Connected(graph, s1) ||
+        !JoinEnumerator::Connected(graph, s2) ||
+        !JoinEnumerator::HasCrossEdge(graph, s1, s2)) {
+      continue;
+    }
+    const double c1 = OracleBest(graph, s1);
+    // Independent join: count each unordered split once.
+    if ((s1 & low) != 0 && c1 < kInf) {
+      const double c2 = OracleBest(graph, s2);
+      if (c2 < kInf) {
+        best = std::min(best, JoinEnumerator::IndependentCost(c1, c2));
+      }
+    }
+    // Bind join: s2 must be a single relation, driven by the finished s1.
+    if ((s2 & (s2 - 1)) == 0 && c1 < kInf) {
+      int r = 0;
+      while (((s2 >> r) & 1u) == 0) ++r;
+      const JoinEnumerator::BindChoice bind = JoinEnumerator::BestBindCost(
+          graph, s1, JoinEnumerator::SubsetRows(graph, s1), c1, r);
+      best = std::min(best, bind.cost);
+    }
+  }
+  return best;
+}
+
+// A random parameterization of a fixed topology. Roughly a quarter of the
+// relations lose their independent fetch (fetch_cost < 0); they must then
+// be reached via bind edges, or the whole graph becomes infeasible — both
+// outcomes are valid oracle subjects.
+JoinGraph RandomGraph(size_t n, const std::vector<std::pair<int, int>>& edges,
+                      std::mt19937_64* rng) {
+  JoinGraph graph;
+  std::uniform_real_distribution<double> rows_dist(1.0, 2000.0);
+  std::uniform_real_distribution<double> cost_dist(5.0, 500.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> ndv_dist(1.0, 200.0);
+  graph.fetch_cost.resize(n);
+  graph.rows.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    graph.rows[i] = rows_dist(*rng);
+    graph.fetch_cost[i] = unit(*rng) < 0.25 ? -1.0 : cost_dist(*rng);
+  }
+  for (const auto& [a, b] : edges) {
+    JoinEdge e;
+    e.a = a;
+    e.b = b;
+    e.a_ndv = ndv_dist(*rng);
+    e.b_ndv = ndv_dist(*rng);
+    e.selectivity = 1.0 / std::max(e.a_ndv, e.b_ndv);
+    e.bind_a = unit(*rng) < 0.6;
+    e.bind_b = unit(*rng) < 0.6;
+    e.bind_a_setup = cost_dist(*rng);
+    e.bind_b_setup = cost_dist(*rng);
+    e.bind_a_per_row = unit(*rng) * 3.0;
+    e.bind_b_per_row = unit(*rng) * 3.0;
+    graph.edges.push_back(e);
+  }
+  graph.bind_batch_size = 1 + static_cast<size_t>(unit(*rng) * 15.0);
+  return graph;
+}
+
+// All edges of the complete graph on n nodes, index order.
+std::vector<std::pair<int, int>> CompleteEdges(size_t n) {
+  std::vector<std::pair<int, int>> edges;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
+    }
+  }
+  return edges;
+}
+
+bool TopologyConnected(size_t n,
+                       const std::vector<std::pair<int, int>>& edges) {
+  JoinGraph probe;
+  probe.fetch_cost.assign(n, 1.0);
+  probe.rows.assign(n, 1.0);
+  for (const auto& [a, b] : edges) {
+    JoinEdge e;
+    e.a = a;
+    e.b = b;
+    probe.edges.push_back(e);
+  }
+  return JoinEnumerator::Connected(probe, (uint64_t{1} << n) - 1);
+}
+
+TEST(JoinEnumOracleTest, DpMatchesExhaustiveOracleOnAllTopologiesUpTo5) {
+  const uint64_t base = BaseSeed();
+  size_t graphs = 0, feasible_graphs = 0, greedy_feasible = 0;
+  double worst_greedy_ratio = 1.0;
+
+  for (size_t n = 2; n <= 5; ++n) {
+    const std::vector<std::pair<int, int>> all = CompleteEdges(n);
+    for (uint64_t mask = 1; mask < (uint64_t{1} << all.size()); ++mask) {
+      std::vector<std::pair<int, int>> edges;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if ((mask >> i) & 1u) edges.push_back(all[i]);
+      }
+      if (!TopologyConnected(n, edges)) continue;
+
+      // Several random parameterizations per topology; n=5 has hundreds of
+      // connected topologies, so keep the per-topology count modest.
+      const size_t trials = n <= 3 ? 8 : (n == 4 ? 4 : 2);
+      for (size_t t = 0; t < trials; ++t) {
+        std::mt19937_64 rng(base * 1000003ull + n * 7919ull +
+                            mask * 104729ull + t);
+        const JoinGraph graph = RandomGraph(n, edges, &rng);
+        ++graphs;
+
+        const uint64_t full = (uint64_t{1} << n) - 1;
+        const double oracle = OracleBest(graph, full);
+        const JoinEnumerator::Result dp = JoinEnumerator::Enumerate(graph);
+
+        ASSERT_EQ(dp.feasible, oracle < kInf)
+            << "n=" << n << " mask=" << mask << " trial=" << t;
+        if (!dp.feasible) continue;
+        ++feasible_graphs;
+        EXPECT_NEAR(dp.best.cost, oracle, 1e-9 * std::max(1.0, oracle))
+            << "DP missed the oracle minimum: n=" << n << " mask=" << mask
+            << " trial=" << t;
+        EXPECT_FALSE(dp.stats.used_greedy);
+
+        // The chosen tree must be walkable: every decomposition present in
+        // the table, and the tree's recomputed cost equal to the reported
+        // best (i.e. the table is self-consistent, not just the scalar).
+        bool walk_ok = true;
+        const std::function<double(uint64_t)> walk =
+            [&](uint64_t set) -> double {
+          const auto it = dp.table.find(set);
+          if (it == dp.table.end()) {
+            walk_ok = false;
+            return kInf;
+          }
+          const SubsetPlan& node = it->second;
+          if (node.left == 0) return node.cost;
+          const double left = walk(node.left);
+          const double right = walk(node.right);
+          if (node.method == EdgeMethod::kIndependent) {
+            return JoinEnumerator::IndependentCost(left, right);
+          }
+          const JoinEnumerator::BindChoice bind =
+              JoinEnumerator::BestBindCost(
+                  graph, node.left,
+                  JoinEnumerator::SubsetRows(graph, node.left), left,
+                  node.bind_relation);
+          return bind.cost;
+        };
+        const double recomputed = walk(full);
+        EXPECT_TRUE(walk_ok) << "n=" << n << " mask=" << mask;
+        EXPECT_NEAR(recomputed, dp.best.cost,
+                    1e-9 * std::max(1.0, dp.best.cost));
+
+        // Greedy: never better than DP (DP is exact over the same space).
+        JoinEnumerator::Options greedy_options;
+        greedy_options.mode = JoinEnumerator::Mode::kGreedy;
+        const JoinEnumerator::Result greedy =
+            JoinEnumerator::Enumerate(graph, greedy_options);
+        if (greedy.feasible) {
+          ++greedy_feasible;
+          EXPECT_GE(greedy.best.cost, dp.best.cost - 1e-9);
+          worst_greedy_ratio =
+              std::max(worst_greedy_ratio, greedy.best.cost / dp.best.cost);
+        }
+      }
+    }
+  }
+  EXPECT_GT(graphs, 700u);
+  EXPECT_GT(feasible_graphs, 100u);
+  std::printf(
+      "join_enum oracle: %zu graphs, %zu feasible, greedy feasible on %zu, "
+      "worst greedy/dp ratio %.3f\n",
+      graphs, feasible_graphs, greedy_feasible, worst_greedy_ratio);
+  // Greedy is a heuristic; on graphs this small it should stay within a
+  // generous constant of optimal. A blow-up here means its merge rule broke.
+  EXPECT_LT(worst_greedy_ratio, 50.0);
+}
+
+TEST(JoinEnumTest, DpTableContainsExactlyConnectedSubsets) {
+  // Chain 0-1-2-3: subsets like {0,2} are disconnected and must be absent
+  // from the PlanTable (membership doubles as the connectivity test).
+  std::mt19937_64 rng(BaseSeed());
+  JoinGraph graph = RandomGraph(4, {{0, 1}, {1, 2}, {2, 3}}, &rng);
+  for (double& c : graph.fetch_cost) {
+    if (c < 0.0) c = 50.0;  // keep every leaf feasible
+  }
+  const JoinEnumerator::Result dp = JoinEnumerator::Enumerate(graph);
+  for (uint64_t s = 1; s < 16; ++s) {
+    EXPECT_EQ(dp.table.count(s) > 0, JoinEnumerator::Connected(graph, s))
+        << "subset " << s;
+  }
+}
+
+TEST(JoinEnumTest, SubsetRowsIsDecompositionIndependent) {
+  std::mt19937_64 rng(BaseSeed() + 1);
+  const JoinGraph graph = RandomGraph(5, CompleteEdges(5), &rng);
+  // rows(S) must depend only on S, never on how the DP reached it: compare
+  // against the direct product formula for every subset.
+  for (uint64_t s = 1; s < 32; ++s) {
+    double expect = 1.0;
+    for (int i = 0; i < 5; ++i) {
+      if ((s >> i) & 1u) expect *= std::max(graph.rows[i], 0.0);
+    }
+    for (const JoinEdge& e : graph.edges) {
+      if (((s >> e.a) & 1u) && ((s >> e.b) & 1u)) expect *= e.selectivity;
+    }
+    EXPECT_DOUBLE_EQ(JoinEnumerator::SubsetRows(graph, s), expect);
+  }
+}
+
+TEST(JoinEnumTest, InfeasibleLeafReachableOnlyThroughBind) {
+  // 0 -- 1 where 1 cannot fetch independently but can be bound.
+  JoinGraph graph;
+  graph.fetch_cost = {10.0, -1.0};
+  graph.rows = {100.0, 1000.0};
+  JoinEdge e;
+  e.a = 0;
+  e.b = 1;
+  e.a_ndv = 10.0;
+  e.b_ndv = 10.0;
+  e.selectivity = 0.1;
+  e.bind_b = true;
+  e.bind_b_setup = 5.0;
+  e.bind_b_per_row = 1.0;
+  graph.edges.push_back(e);
+
+  const JoinEnumerator::Result dp = JoinEnumerator::Enumerate(graph);
+  ASSERT_TRUE(dp.feasible);
+  EXPECT_EQ(dp.best.method, EdgeMethod::kBind);
+  EXPECT_EQ(dp.best.bind_relation, 1);
+
+  // Strip the bind flag: now nothing can reach relation 1.
+  graph.edges[0].bind_b = false;
+  EXPECT_FALSE(JoinEnumerator::Enumerate(graph).feasible);
+}
+
+TEST(JoinEnumTest, DisconnectedGraphIsInfeasible) {
+  JoinGraph graph;
+  graph.fetch_cost = {10.0, 10.0, 10.0};
+  graph.rows = {10.0, 10.0, 10.0};
+  JoinEdge e;
+  e.a = 0;
+  e.b = 1;
+  graph.edges.push_back(e);  // relation 2 has no edge to anything
+  EXPECT_FALSE(JoinEnumerator::Enumerate(graph).feasible);
+}
+
+TEST(JoinEnumTest, GreedyFallbackAboveDpThreshold) {
+  std::mt19937_64 rng(BaseSeed() + 2);
+  JoinGraph graph = RandomGraph(5, CompleteEdges(5), &rng);
+  for (double& c : graph.fetch_cost) {
+    if (c < 0.0) c = 50.0;  // keep everything feasible
+  }
+  JoinEnumerator::Options options;
+  options.dp_max_relations = 4;
+  const JoinEnumerator::Result result =
+      JoinEnumerator::Enumerate(graph, options);
+  EXPECT_TRUE(result.stats.used_greedy);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(JoinEnumTest, LeftDeepNeverBeatsDp) {
+  for (uint64_t t = 0; t < 32; ++t) {
+    std::mt19937_64 rng(BaseSeed() * 31ull + t);
+    const JoinGraph graph = RandomGraph(4, CompleteEdges(4), &rng);
+    const JoinEnumerator::Result dp = JoinEnumerator::Enumerate(graph);
+    JoinEnumerator::Options options;
+    options.mode = JoinEnumerator::Mode::kLeftDeep;
+    const JoinEnumerator::Result ld =
+        JoinEnumerator::Enumerate(graph, options);
+    if (ld.feasible) {
+      ASSERT_TRUE(dp.feasible);
+      EXPECT_GE(ld.best.cost, dp.best.cost - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gencompact
