@@ -33,7 +33,7 @@ for seed in 439 1009 2027 4391 9001; do
   echo "--- GENCOMPACT_TEST_SEED=${seed} ---"
   GENCOMPACT_TEST_SEED="${seed}" \
     "${PREFIX}-release/tests/gencompact_tests" \
-    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:BoundedFuzzTest*:JoinEnum*:JoinFuzzTest*' \
+    --gtest_filter='Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:BoundedFuzzTest*:JoinEnum*:JoinFuzzTest*:Seeds/AsyncParityTest*' \
     --gtest_brief=1
 done
 
@@ -47,13 +47,13 @@ echo "=== ThreadSanitizer build + concurrency tests ==="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:BatchConcurrency*:Bounded*:Federation*:JoinFuzzTest*'
+"${PREFIX}-tsan/tests/gencompact_tests" --gtest_filter='ThreadPool*:PlanCacheConcurrency*:MediatorConcurrency*:ConditionInternHammer*:CheckMemo*:ExecFixture.Parallel*:ExecFixture.Duplicate*:ExecFixture.Concurrent*:FaultInjector*:CircuitBreaker*:FaultExec*:MediatorFault*:FaultAcceptance*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:BatchConcurrency*:Bounded*:Federation*:JoinFuzzTest*:EventLoop*:InflightLimiter*:AdmissionController*:AdaptiveHedge*:AsyncExec*:AsyncMediator*:JoinDeadline*'
 
 echo "=== AddressSanitizer build + interner hammer (leak check) + fault suite ==="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGENCOMPACT_SANITIZE=address
 cmake --build "${PREFIX}-asan" -j "${JOBS}" --target gencompact_tests
-"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:Batch*:ColumnStore*:WireFormat*:RowHash*:Bounded*:JoinEnum*:JoinFuzzTest*:Federation*'
+"${PREFIX}-asan/tests/gencompact_tests" --gtest_filter='ConditionIntern*:CheckMemo*:PlanCache*:Fault*:CircuitBreaker*:MediatorFault*:HedgeFixture*:LatencyTracker*:P2Quantile*:JoinFailover*:Seeds/DifferentialTest*:Seeds/CheckFuzzTest*:Seeds/BatchParityTest*:Batch*:ColumnStore*:WireFormat*:RowHash*:Bounded*:JoinEnum*:JoinFuzzTest*:Federation*:EventLoop*:InflightLimiter*:AdmissionController*:AdaptiveHedge*:AsyncExec*:AsyncMediator*:SyncDeadline*:Seeds/AsyncParityTest*'
 
 echo "=== Fault-sweep bench smoke (writes BENCH_fault.json) ==="
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_fault_sweep
@@ -86,5 +86,21 @@ echo "=== Join bench smoke (writes BENCH_join.json) ==="
 # the greedy and left-deep baselines and all modes agree on the answer.
 cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_join
 "${PREFIX}-release/bench/bench_join"
+
+echo "=== Async-executor forced-on leg (GENCOMPACT_ASYNC=1) ==="
+# Every mediator constructed in these suites runs the event-loop executor
+# instead of the thread pool; answers, completeness markers, and the seeded
+# differential harness must not notice.
+GENCOMPACT_ASYNC=1 \
+  "${PREFIX}-release/tests/gencompact_tests" \
+  --gtest_filter='MediatorFixture*:MediatorFault*:MediatorCheckMemo*:MediatorConcurrency*:Seeds/DifferentialTest*:Bounded*:Federation*' \
+  --gtest_brief=1
+
+echo "=== Async bench smoke (writes BENCH_async.json) ==="
+# E18: exits non-zero unless the event loop sustains >= 4x the pool path's
+# in-flight transfers per worker thread (or >= 4x its throughput) and
+# admission keeps p99 time-to-answer bounded under overload.
+cmake --build "${PREFIX}-release" -j "${JOBS}" --target bench_async
+"${PREFIX}-release/bench/bench_async"
 
 echo "=== CI OK ==="

@@ -53,6 +53,11 @@ class ThreadPool {
     return future;
   }
 
+  /// Fire-and-forget enqueue for callers that track completion themselves
+  /// (the async scheduler's scan offload posts its continuation back to the
+  /// event loop) — skips the packaged_task/future machinery of Submit.
+  void Post(std::function<void()> task) { Enqueue(std::move(task)); }
+
   /// Runs body(i) for every i in [0, n), using the workers plus the calling
   /// thread, and returns when all n iterations completed. If any iteration
   /// throws, the first exception is rethrown here and the remaining

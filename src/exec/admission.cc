@@ -1,0 +1,54 @@
+#include "exec/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gencompact {
+
+Status AdmissionController::Admit(size_t pending,
+                                  std::chrono::microseconds est,
+                                  std::chrono::microseconds budget) {
+  if (!options_.enabled) return Status::OK();
+  if (options_.max_pending > 0 && pending >= options_.max_pending) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "admission control: backlog at capacity (" +
+        std::to_string(pending) + " pending >= max_pending " +
+        std::to_string(options_.max_pending) + ")");
+  }
+  if (budget.count() > 0 && est.count() > 0) {
+    // This query plus the backlog ahead of it, drained `drain_width` fetches
+    // at a time, each costing ~est: expected completion is est * (1 + ceil-ish
+    // queue depth / width). If that already exceeds the deadline the query is
+    // doomed before planning — shed it while it is still cheap to do so.
+    const size_t width = std::max<size_t>(1, options_.drain_width);
+    const double expected_us =
+        static_cast<double>(est.count()) *
+        (1.0 + static_cast<double>(pending) / static_cast<double>(width));
+    if (expected_us > static_cast<double>(budget.count())) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "admission control: expected completion " +
+          std::to_string(static_cast<long long>(expected_us)) + "us (" +
+          std::to_string(pending) + " pending, ~" +
+          std::to_string(static_cast<long long>(est.count())) +
+          "us per trip) exceeds deadline " +
+          std::to_string(static_cast<long long>(budget.count())) + "us");
+    }
+  }
+  return Status::OK();
+}
+
+Status AdmissionController::AdmitQuery(size_t active, size_t max_inflight,
+                                       size_t queue_limit) {
+  if (max_inflight == 0) return Status::OK();
+  if (active < max_inflight + queue_limit) return Status::OK();
+  rejections_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable(
+      "admission control: " + std::to_string(active) +
+      " queries in flight >= max_inflight_queries " +
+      std::to_string(max_inflight) + " + admission_queue_limit " +
+      std::to_string(queue_limit));
+}
+
+}  // namespace gencompact

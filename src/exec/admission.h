@@ -1,0 +1,64 @@
+#ifndef GENCOMPACT_EXEC_ADMISSION_H_
+#define GENCOMPACT_EXEC_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace gencompact {
+
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Hard cap on backlog (in-flight + queued fetches); 0 = no cap.
+  size_t max_pending = 0;
+  /// Which observed-latency quantile estimates one round trip (0.5 = median).
+  double latency_quantile = 0.5;
+  /// How many fetches drain concurrently — the divisor that turns backlog
+  /// into expected queueing delay. The mediator defaults this to the
+  /// limiter's global cap when left 0.
+  size_t drain_width = 0;
+};
+
+/// Sheds hopeless queries *before* planning: if the backlog ahead of a query,
+/// drained `drain_width` at a time at the observed per-trip latency, cannot
+/// finish inside the query's deadline, reject now — planning and queueing it
+/// would only burn work that is already doomed and add to everyone else's
+/// wait. Complements load shedding (breaker-open sheds) which fires on
+/// source *health*; this fires on *queue depth x latency vs deadline*.
+///
+/// A second, simpler gate works in whole queries rather than fetches:
+/// AdmitQuery caps the number of queries the mediator lets into execution at
+/// once (`Mediator::Options::max_inflight_queries`), with a bounded waiting
+/// allowance past the cap (`admission_queue_limit`) before newcomers shed.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options) : options_(options) {}
+
+  /// `pending` = current backlog (limiter inflight + queued), `est` = one
+  /// observed round trip at latency_quantile (0 = no signal yet), `budget` =
+  /// the query's deadline (0 = none). OK admits; kUnavailable sheds.
+  Status Admit(size_t pending, std::chrono::microseconds est,
+               std::chrono::microseconds budget);
+
+  /// Query-count gate: `active` queries are already past admission and not
+  /// yet answered. The first `max_inflight` run concurrently; the next
+  /// `queue_limit` are tolerated as backlog (they contend at the in-flight
+  /// limiter); anything beyond sheds. `max_inflight` 0 = gate disabled.
+  Status AdmitQuery(size_t active, size_t max_inflight, size_t queue_limit);
+
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::atomic<uint64_t> rejections_{0};
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_ADMISSION_H_

@@ -1,0 +1,945 @@
+#include "exec/async_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/backoff.h"
+#include "exec/circuit_breaker.h"
+#include "exec/latency_tracker.h"
+#include "exec/scan.h"
+
+namespace gencompact {
+namespace {
+
+using Cb = std::function<void(Result<RowSet>)>;
+
+/// One deduplicated fetch slot in the loop-confined dedup map. Invariant
+/// (mirrors Executor): an entry with done == true always holds a success —
+/// failed fetches are evicted before anyone can observe them done.
+struct FetchEntry {
+  bool done = false;
+  Result<RowSet> result = Status::Internal("fetch not completed");
+  struct Waiter {
+    const PlanNode* plan = nullptr;  // pinned by ExecState::root
+    Cb cb;
+  };
+  std::vector<Waiter> waiters;
+};
+
+/// Everything one async execution owns. Loop-confined: every field except
+/// the catalog-lifetime collaborators behind the pointers is touched only
+/// from loop-thread continuations, so there are no locks anywhere in the
+/// DAG walk. Kept alive by shared_ptr from every pending continuation — an
+/// abandoned hedged primary may outlive the published answer (and the
+/// AsyncScheduler itself), exactly like the sync FetchJob outlives its race.
+struct ExecState {
+  Source* source = nullptr;
+  EventLoop* loop = nullptr;
+  AsyncExecOptions opts;
+  Clock* clock = nullptr;
+  PlanPtr root;  // pins every PlanNode* the waiters hold
+
+  std::unordered_map<SubQueryKey, std::shared_ptr<FetchEntry>, SubQueryKeyHash>
+      fetches;
+  /// Execution-wide retry/hedge token pool (plain: loop-confined).
+  size_t budget = 0;
+
+  /// Plain counters, folded into the scheduler when the root completes.
+  /// Late increments from abandoned primaries are structurally impossible:
+  /// every counter mutation sits behind a `completed` check.
+  ExecStats stats;
+  std::vector<std::string> dropped;
+  std::vector<SubQueryKey> failed_keys;
+  std::vector<TruncationRecord> truncated;
+};
+
+using StatePtr = std::shared_ptr<ExecState>;
+
+void ExecNode(const StatePtr& st, const PlanNode& plan, Cb cb);
+void ExecSource(const StatePtr& st, const PlanNode& plan, Cb cb);
+
+std::chrono::microseconds Since(Clock* clock,
+                                std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock->Now() -
+                                                               from);
+}
+
+/// Publishes a fetch's answer into the dedup map and wakes everyone — the
+/// shared tail of both the unbounded retry/hedge machine and the paging
+/// loop. Success stays in the map for later duplicates; failure is evicted
+/// FIRST, so a retryable-failure waiter that re-enters finds the doomed
+/// entry gone (or replaced by a fresh in-flight fetch) — same discipline as
+/// the sync executor's evict-before-ready protocol.
+void PublishEntry(const StatePtr& st, const std::shared_ptr<FetchEntry>& entry,
+                  const SubQueryKey& key, Cb owner, Result<RowSet> result) {
+  const bool retryable = !result.ok() && IsRetryable(result.status().code());
+  if (result.ok()) {
+    st->stats.source_queries += 1;
+    st->stats.rows_transferred += result->size();
+    entry->result = result;
+    entry->done = true;
+  } else {
+    st->stats.failed_sub_queries += 1;
+    if (retryable) st->failed_keys.push_back(key);
+    const auto it = st->fetches.find(key);
+    if (it != st->fetches.end() && it->second == entry) st->fetches.erase(it);
+  }
+  std::vector<FetchEntry::Waiter> waiters = std::move(entry->waiters);
+  entry->waiters.clear();
+  owner(result);
+  for (FetchEntry::Waiter& w : waiters) {
+    if (result.ok() || !retryable) {
+      w.cb(result);
+    } else {
+      // The owner failed retryably and evicted the entry: re-enter the
+      // dedup race instead of inheriting the doomed result.
+      ExecSource(st, *w.plan, std::move(w.cb));
+    }
+  }
+}
+
+/// The retry/hedge state machine of one physical fetch against an UNBOUNDED
+/// source — the non-blocking mirror of Executor's RunRetryLoop +
+/// FetchHedged. Single-threaded: every transition runs on the loop thread
+/// (scan offloads post their result back), so the flags below need no
+/// synchronization. Bounded sources take PageOp instead.
+struct FetchOp {
+  FetchOp(StatePtr state, const PlanNode& plan, const SubQueryKey& k,
+          std::shared_ptr<FetchEntry> e, Cb cb)
+      : st(std::move(state)),
+        entry(std::move(e)),
+        condition(plan.condition()),
+        attrs(plan.attrs()),
+        key(k),
+        request{0, FaultFingerprint(*condition, attrs)},
+        owner_cb(std::move(cb)),
+        backoff(st->opts.exec.retry.backoff,
+                st->opts.exec.retry.seed ^ FaultFingerprint(*condition, attrs)) {}
+
+  StatePtr st;
+  std::shared_ptr<FetchEntry> entry;
+  ConditionPtr condition;  // pins the interned condition
+  AttributeSet attrs;
+  SubQueryKey key;
+  PageRequest request;  // offset 0 + the key's fingerprint (keyed faults)
+  Cb owner_cb;
+
+  DecorrelatedJitterBackoff backoff;
+  std::chrono::steady_clock::time_point start{};
+  std::chrono::steady_clock::time_point attempt_start{};
+  std::chrono::steady_clock::time_point hedge_start{};
+  /// Absolute bound for limiter waits: min(execution deadline, fetch start
+  /// + sub_query_deadline); zero = wait indefinitely.
+  std::chrono::steady_clock::time_point permit_deadline{};
+  size_t attempt = 0;
+
+  bool completed = false;  ///< the answer for this fetch was published
+  bool holds_permit = false;
+  bool primary_in_flight = false;  ///< a primary round trip is on the wire
+  bool primary_concluded = false;  ///< the retry chain produced its verdict
+  Result<RowSet> primary_final = Status::Internal("primary not completed");
+
+  EventLoop::TimerId hedge_timer = 0;
+  bool hedge_armed = false;
+  bool hedge_in_flight = false;
+  bool hedge_holds_permit = false;
+};
+
+using OpPtr = std::shared_ptr<FetchOp>;
+
+void AcquireAndBegin(const OpPtr& op);
+void BeginAttempt(const OpPtr& op);
+void FinishPrimary(const OpPtr& op, const Source::SourceCall& call);
+void OnAttemptResult(const OpPtr& op, Result<RowSet> result);
+void ConcludePrimary(const OpPtr& op);
+void OnHedgeTimer(const OpPtr& op);
+void FinishHedge(const OpPtr& op, const Source::SourceCall& call);
+void OnHedgeResult(const OpPtr& op, Result<RowSet> result, bool admitted);
+void Publish(const OpPtr& op, Result<RowSet> result);
+
+void ReleasePrimaryPermit(const OpPtr& op) {
+  if (!op->holds_permit) return;
+  op->holds_permit = false;
+  op->st->opts.limiter->Release(op->st->opts.source_id);
+}
+
+void ReleaseHedgePermit(const OpPtr& op) {
+  if (!op->hedge_holds_permit) return;
+  op->hedge_holds_permit = false;
+  op->st->opts.limiter->Release(op->st->opts.source_id);
+}
+
+void Publish(const OpPtr& op, Result<RowSet> result) {
+  op->completed = true;
+  if (op->hedge_armed) {
+    op->st->loop->Cancel(op->hedge_timer);
+    op->hedge_armed = false;
+  }
+  PublishEntry(op->st, op->entry, op->key, std::move(op->owner_cb),
+               std::move(result));
+}
+
+void ConcludePrimary(const OpPtr& op) {
+  op->primary_concluded = true;
+  ReleasePrimaryPermit(op);
+  if (op->completed) return;  // the hedge already won; late verdict dropped
+  if (!op->primary_final.ok() && op->hedge_in_flight) {
+    // The race is still open: a winning hedge may yet save this fetch, so
+    // stash the failure and let OnHedgeResult decide (sync: the owner waits
+    // for the hedge before surfacing the primary's failure).
+    return;
+  }
+  Publish(op, std::move(op->primary_final));
+}
+
+void AcquireAndBegin(const OpPtr& op) {
+  if (op->completed) return;  // hedge won while we slept in backoff
+  InflightLimiter* limiter = op->st->opts.limiter;
+  if (limiter == nullptr) {
+    BeginAttempt(op);
+    return;
+  }
+  limiter->Acquire(op->st->opts.source_id, op->permit_deadline,
+                   [op](Status status) {
+                     if (op->completed) {
+                       // Published while we queued: give the slot straight
+                       // back, nothing left to do.
+                       if (status.ok()) {
+                         op->st->opts.limiter->Release(op->st->opts.source_id);
+                       }
+                       return;
+                     }
+                     if (!status.ok()) {
+                       op->st->stats.deadlines_exceeded += 1;
+                       op->primary_final =
+                           Status::DeadlineExceeded(status.message());
+                       ConcludePrimary(op);
+                       return;
+                     }
+                     op->holds_permit = true;
+                     BeginAttempt(op);
+                   });
+}
+
+void BeginAttempt(const OpPtr& op) {
+  ExecState& st = *op->st;
+  ++op->attempt;
+  if (st.opts.deadline != std::chrono::steady_clock::time_point{} &&
+      st.clock->Now() >= st.opts.deadline) {
+    // The query's absolute deadline has already passed: fail fast without
+    // spending a round trip (same message as the sync retry loop).
+    st.stats.deadlines_exceeded += 1;
+    op->primary_final = Status::DeadlineExceeded(
+        "query deadline expired before attempt " +
+        std::to_string(op->attempt) + " against source '" +
+        st.source->description().source_name() + "'");
+    ConcludePrimary(op);
+    return;
+  }
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (breaker != nullptr && !breaker->Allow()) {
+    // A breaker rejection ends the retry chain, same as the sync loop.
+    st.stats.breaker_rejections += 1;
+    op->primary_final = Status::Unavailable(
+        "circuit breaker open for source '" +
+        st.source->description().source_name() +
+        "': failing fast without contacting the source");
+    ConcludePrimary(op);
+    return;
+  }
+  op->attempt_start =
+      st.opts.exec.latency != nullptr ? st.clock->Now() : op->start;
+  const Source::SourceCall call =
+      st.source->BeginCall(*op->condition, op->attrs, op->request);
+  op->primary_in_flight = true;
+  if (call.delay.count() > 0) {
+    // The simulated wire wait: a timer, not a parked thread — this is the
+    // whole point of the async executor.
+    st.loop->ScheduleAfter(call.delay, [op, call] { FinishPrimary(op, call); });
+  } else {
+    FinishPrimary(op, call);
+  }
+}
+
+void FinishPrimary(const OpPtr& op, const Source::SourceCall& call) {
+  ExecState& st = *op->st;
+  ThreadPool* pool = st.opts.scan_pool;
+  if (pool != nullptr && call.fail_code == StatusCode::kOk && !call.rejected) {
+    // Offload the CPU-bound scan; the loop thread keeps driving other
+    // fetches meanwhile. FinishCall touches only the Source's atomics, so
+    // running it off-loop is safe; the verdict posts back to the loop.
+    pool->Post([op, call] {
+      PageInfo info;
+      Result<RowSet> result = op->st->source->FinishCall(
+          *op->condition, op->attrs, op->request, call, &info);
+      op->st->loop->Post([op, result = std::move(result)]() mutable {
+        OnAttemptResult(op, std::move(result));
+      });
+    });
+    return;
+  }
+  PageInfo info;
+  OnAttemptResult(op, st.source->FinishCall(*op->condition, op->attrs,
+                                            op->request, call, &info));
+}
+
+void OnAttemptResult(const OpPtr& op, Result<RowSet> result) {
+  ExecState& st = *op->st;
+  op->primary_in_flight = false;
+  const bool retryable = !result.ok() && IsRetryable(result.status().code());
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (breaker != nullptr) {
+    // A capability rejection is an *answer* — the source is healthy. Only
+    // unavailable/timeout outcomes count against its health.
+    if (retryable) {
+      breaker->OnFailure();
+    } else {
+      breaker->OnSuccess();
+    }
+  }
+  if (!retryable) {
+    if (result.ok() && st.opts.exec.latency != nullptr) {
+      st.opts.exec.latency->Record(Since(st.clock, op->attempt_start));
+    }
+    op->primary_final = std::move(result);
+    ConcludePrimary(op);
+    return;
+  }
+  const RetryPolicy& retry = st.opts.exec.retry;
+  if (op->attempt >= retry.max_attempts || op->completed) {
+    // Out of attempts — or the hedge already won and published; either way
+    // the chain concludes without touching the execution's counters again.
+    op->primary_final = std::move(result);
+    ConcludePrimary(op);
+    return;
+  }
+  const std::chrono::microseconds delay = op->backoff.NextDelay();
+  if (retry.sub_query_deadline.count() > 0 &&
+      Since(st.clock, op->start) + delay > retry.sub_query_deadline) {
+    st.stats.deadlines_exceeded += 1;
+    op->primary_final = Status::DeadlineExceeded(
+        "sub-query deadline exceeded after " + std::to_string(op->attempt) +
+        " attempt(s); last error: " + result.status().message());
+    ConcludePrimary(op);
+    return;
+  }
+  if (st.opts.deadline != std::chrono::steady_clock::time_point{} &&
+      st.clock->Now() + delay > st.opts.deadline) {
+    // The backoff timer would fire past the query's absolute deadline:
+    // give up NOW (same message as the sync loop's never-sleep-past-it
+    // check; here the saving is a dead timer, there a parked thread).
+    st.stats.deadlines_exceeded += 1;
+    op->primary_final = Status::DeadlineExceeded(
+        "query deadline exceeded after " + std::to_string(op->attempt) +
+        " attempt(s); last error: " + result.status().message());
+    ConcludePrimary(op);
+    return;
+  }
+  if (st.budget == 0) {
+    op->primary_final = std::move(result);  // execution budget spent
+    ConcludePrimary(op);
+    return;
+  }
+  --st.budget;
+  st.stats.retries += 1;
+  // Free the wire slot for the duration of the backoff sleep — a source at
+  // its cap should serve someone else while this fetch cools off.
+  ReleasePrimaryPermit(op);
+  st.loop->ScheduleAfter(delay, [op] { AcquireAndBegin(op); });
+}
+
+void OnHedgeTimer(const OpPtr& op) {
+  ExecState& st = *op->st;
+  op->hedge_armed = false;
+  if (op->completed || op->primary_concluded) return;
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (breaker != nullptr &&
+      breaker->state() == CircuitBreaker::State::kHalfOpen) {
+    return;  // probes must measure the source, not the race
+  }
+  InflightLimiter* limiter = st.opts.limiter;
+  if (limiter != nullptr && !limiter->TryAcquire(st.opts.source_id)) {
+    return;  // hedges are optional load: never queue for a permit
+  }
+  if (st.budget == 0) {
+    // Hedges and retries draw from one pool — a hedge storm is bounded.
+    if (limiter != nullptr) limiter->Release(st.opts.source_id);
+    return;
+  }
+  --st.budget;
+  op->hedge_holds_permit = limiter != nullptr;
+  st.stats.hedges_launched += 1;
+  if (breaker != nullptr && !breaker->Allow()) {
+    st.stats.breaker_rejections += 1;
+    OnHedgeResult(op,
+                  Status::Unavailable("circuit breaker open for source '" +
+                                      st.source->description().source_name() +
+                                      "': hedge attempt failing fast"),
+                  /*admitted=*/false);
+    return;
+  }
+  op->hedge_start = st.clock->Now();
+  const Source::SourceCall call =
+      st.source->BeginCall(*op->condition, op->attrs, op->request);
+  op->hedge_in_flight = true;
+  if (call.delay.count() > 0) {
+    st.loop->ScheduleAfter(call.delay, [op, call] { FinishHedge(op, call); });
+  } else {
+    FinishHedge(op, call);
+  }
+}
+
+void FinishHedge(const OpPtr& op, const Source::SourceCall& call) {
+  ExecState& st = *op->st;
+  ThreadPool* pool = st.opts.scan_pool;
+  if (pool != nullptr && call.fail_code == StatusCode::kOk && !call.rejected) {
+    pool->Post([op, call] {
+      PageInfo info;
+      Result<RowSet> result = op->st->source->FinishCall(
+          *op->condition, op->attrs, op->request, call, &info);
+      op->st->loop->Post([op, result = std::move(result)]() mutable {
+        OnHedgeResult(op, std::move(result), /*admitted=*/true);
+      });
+    });
+    return;
+  }
+  PageInfo info;
+  OnHedgeResult(op,
+                st.source->FinishCall(*op->condition, op->attrs, op->request,
+                                      call, &info),
+                /*admitted=*/true);
+}
+
+void OnHedgeResult(const OpPtr& op, Result<RowSet> result, bool admitted) {
+  ExecState& st = *op->st;
+  op->hedge_in_flight = false;
+  const bool retryable = !result.ok() && IsRetryable(result.status().code());
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (admitted && breaker != nullptr) {
+    if (retryable) {
+      breaker->OnFailure();
+    } else {
+      breaker->OnSuccess();
+    }
+  }
+  if (admitted && result.ok() && st.opts.exec.latency != nullptr) {
+    st.opts.exec.latency->Record(Since(st.clock, op->hedge_start));
+  }
+  ReleaseHedgePermit(op);
+  if (op->completed) return;
+  if (result.ok()) {
+    // First success wins.
+    st.stats.hedges_won += 1;
+    if (!op->primary_in_flight && !op->primary_concluded) {
+      // The primary never reached the source (backoff sleep or permit
+      // queue): cancelled outright, the async analogue of the sync claim
+      // CAS on a never-started pool task.
+      st.stats.hedges_cancelled += 1;
+    }
+    Publish(op, std::move(result));
+    return;
+  }
+  if (op->primary_concluded) {
+    // Hedge lost and the primary's verdict is already in: surface it.
+    Publish(op, std::move(op->primary_final));
+  }
+  // Else: hedge lost, primary still running — it publishes on conclusion.
+}
+
+/// The paging loop of one fetch against a RESULT-BOUNDED source — the
+/// non-blocking mirror of Executor::FetchPaged + RunPageRetryLoop. Bounded
+/// fetches never hedge (pages must advance in order; racing a multi-call
+/// conversation against itself would interleave offsets), so this machine
+/// is the simpler one: per-page retry chains feeding an accumulator.
+struct PageOp {
+  StatePtr st;
+  std::shared_ptr<FetchEntry> entry;
+  ConditionPtr condition;
+  AttributeSet attrs;
+  SubQueryKey key;
+  Cb owner_cb;
+
+  RowSet acc;
+  uint64_t offset = 0;
+  uint64_t pages = 0;
+  PageInfo info;
+
+  // Per-page retry-chain state, reset by StartPage for every offset.
+  std::optional<DecorrelatedJitterBackoff> backoff;
+  std::chrono::steady_clock::time_point page_start{};
+  std::chrono::steady_clock::time_point attempt_start{};
+  std::chrono::steady_clock::time_point permit_deadline{};
+  size_t attempt = 0;
+  bool holds_permit = false;
+};
+
+using PagePtr = std::shared_ptr<PageOp>;
+
+void StartPage(const PagePtr& op);
+void PageAcquire(const PagePtr& op);
+void PageBeginAttempt(const PagePtr& op);
+void PageFinish(const PagePtr& op, const Source::SourceCall& call);
+void PageOnResult(const PagePtr& op, Result<RowSet> result);
+void PageConclude(const PagePtr& op, Result<RowSet> result);
+void FinishPaged(const PagePtr& op, bool truncated, std::string reason);
+
+void ReleasePagePermit(const PagePtr& op) {
+  if (!op->holds_permit) return;
+  op->holds_permit = false;
+  op->st->opts.limiter->Release(op->st->opts.source_id);
+}
+
+void StartPage(const PagePtr& op) {
+  ExecState& st = *op->st;
+  const RetryPolicy& retry = st.opts.exec.retry;
+  // Same stream the sync loop draws: seeded per (sub-query, offset), with a
+  // fresh per-page start for the sub-query deadline — a retried page resumes
+  // its own discipline, not the loop's.
+  op->backoff.emplace(
+      retry.backoff,
+      retry.seed ^ FaultFingerprint(*op->condition, op->attrs) ^ op->offset);
+  op->page_start = st.clock->Now();
+  op->attempt = 0;
+  std::chrono::steady_clock::time_point deadline = st.opts.deadline;
+  if (retry.sub_query_deadline.count() > 0) {
+    const auto page_deadline = op->page_start + retry.sub_query_deadline;
+    deadline = deadline == std::chrono::steady_clock::time_point{}
+                   ? page_deadline
+                   : std::min(deadline, page_deadline);
+  }
+  op->permit_deadline = deadline;
+  PageAcquire(op);
+}
+
+void PageAcquire(const PagePtr& op) {
+  InflightLimiter* limiter = op->st->opts.limiter;
+  if (limiter == nullptr) {
+    PageBeginAttempt(op);
+    return;
+  }
+  limiter->Acquire(op->st->opts.source_id, op->permit_deadline,
+                   [op](Status status) {
+                     if (!status.ok()) {
+                       op->st->stats.deadlines_exceeded += 1;
+                       PageConclude(op,
+                                    Status::DeadlineExceeded(status.message()));
+                       return;
+                     }
+                     op->holds_permit = true;
+                     PageBeginAttempt(op);
+                   });
+}
+
+void PageBeginAttempt(const PagePtr& op) {
+  ExecState& st = *op->st;
+  ++op->attempt;
+  if (st.opts.deadline != std::chrono::steady_clock::time_point{} &&
+      st.clock->Now() >= st.opts.deadline) {
+    st.stats.deadlines_exceeded += 1;
+    PageConclude(op, Status::DeadlineExceeded(
+                         "query deadline expired before attempt " +
+                         std::to_string(op->attempt) + " against source '" +
+                         st.source->description().source_name() + "'"));
+    return;
+  }
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (breaker != nullptr && !breaker->Allow()) {
+    st.stats.breaker_rejections += 1;
+    PageConclude(op, Status::Unavailable(
+                         "circuit breaker open for source '" +
+                         st.source->description().source_name() +
+                         "': failing fast without contacting the source"));
+    return;
+  }
+  op->attempt_start =
+      st.opts.exec.latency != nullptr ? st.clock->Now() : op->page_start;
+  const PageRequest request{
+      op->offset, FaultFingerprint(*op->condition, op->attrs)};
+  const Source::SourceCall call =
+      st.source->BeginCall(*op->condition, op->attrs, request);
+  if (call.delay.count() > 0) {
+    st.loop->ScheduleAfter(call.delay, [op, call] { PageFinish(op, call); });
+  } else {
+    PageFinish(op, call);
+  }
+}
+
+void PageFinish(const PagePtr& op, const Source::SourceCall& call) {
+  ExecState& st = *op->st;
+  const PageRequest request{
+      op->offset, FaultFingerprint(*op->condition, op->attrs)};
+  ThreadPool* pool = st.opts.scan_pool;
+  if (pool != nullptr && call.fail_code == StatusCode::kOk && !call.rejected &&
+      !call.paging_rejected) {
+    pool->Post([op, call, request] {
+      // op->info is safe to fill off-loop: exactly one page task exists per
+      // PageOp at a time, and the Post below sequences the read after it.
+      Result<RowSet> result = op->st->source->FinishCall(
+          *op->condition, op->attrs, request, call, &op->info);
+      op->st->loop->Post([op, result = std::move(result)]() mutable {
+        PageOnResult(op, std::move(result));
+      });
+    });
+    return;
+  }
+  PageOnResult(op, st.source->FinishCall(*op->condition, op->attrs, request,
+                                         call, &op->info));
+}
+
+void PageOnResult(const PagePtr& op, Result<RowSet> result) {
+  ExecState& st = *op->st;
+  const bool retryable = !result.ok() && IsRetryable(result.status().code());
+  CircuitBreaker* breaker = st.opts.exec.breaker;
+  if (breaker != nullptr) {
+    if (retryable) {
+      breaker->OnFailure();
+    } else {
+      breaker->OnSuccess();
+    }
+  }
+  if (!retryable) {
+    if (result.ok() && st.opts.exec.latency != nullptr) {
+      st.opts.exec.latency->Record(Since(st.clock, op->attempt_start));
+    }
+    PageConclude(op, std::move(result));
+    return;
+  }
+  const RetryPolicy& retry = st.opts.exec.retry;
+  if (op->attempt >= retry.max_attempts) {
+    PageConclude(op, std::move(result));
+    return;
+  }
+  const std::chrono::microseconds delay = op->backoff->NextDelay();
+  if (retry.sub_query_deadline.count() > 0 &&
+      Since(st.clock, op->page_start) + delay > retry.sub_query_deadline) {
+    st.stats.deadlines_exceeded += 1;
+    PageConclude(op, Status::DeadlineExceeded(
+                         "sub-query deadline exceeded after " +
+                         std::to_string(op->attempt) +
+                         " attempt(s); last error: " +
+                         result.status().message()));
+    return;
+  }
+  if (st.opts.deadline != std::chrono::steady_clock::time_point{} &&
+      st.clock->Now() + delay > st.opts.deadline) {
+    st.stats.deadlines_exceeded += 1;
+    PageConclude(op, Status::DeadlineExceeded(
+                         "query deadline exceeded after " +
+                         std::to_string(op->attempt) +
+                         " attempt(s); last error: " +
+                         result.status().message()));
+    return;
+  }
+  if (st.budget == 0) {
+    PageConclude(op, std::move(result));  // execution budget spent
+    return;
+  }
+  --st.budget;
+  st.stats.retries += 1;
+  ReleasePagePermit(op);
+  st.loop->ScheduleAfter(delay, [op] {
+    InflightLimiter* limiter = op->st->opts.limiter;
+    if (limiter == nullptr) {
+      PageBeginAttempt(op);
+      return;
+    }
+    PageAcquire(op);
+  });
+}
+
+/// The per-page retry chain's verdict is in: fold it into the loop exactly
+/// like the sync FetchPaged folds a RunPageRetryLoop return.
+void PageConclude(const PagePtr& op, Result<RowSet> result) {
+  ExecState& st = *op->st;
+  ReleasePagePermit(op);
+  if (!result.ok()) {
+    // Mid-loop failure. With partial paging enabled and at least one page
+    // landed, the prefix is a usable (truncated) partial answer — breaker
+    // trips, budget exhaustion, and persistent transients all degrade
+    // instead of discarding the rows already paid for. Otherwise the
+    // sub-query fails exactly like an unbounded fetch would.
+    if (op->pages > 0 && st.opts.exec.partial_pages &&
+        IsRetryable(result.status().code())) {
+      FinishPaged(op, /*truncated=*/true,
+                  "paging interrupted: " + result.status().message());
+      return;
+    }
+    PublishEntry(op->st, op->entry, op->key, std::move(op->owner_cb),
+                 std::move(result));
+    return;
+  }
+  ++op->pages;
+  st.stats.pages_fetched += 1;
+  if (op->pages == 1) {
+    op->acc = std::move(result).value();
+  } else {
+    op->acc.MergeFrom(std::move(result).value());
+  }
+  const ResultBound& bound = st.source->description().result_bound();
+  if (!op->info.has_more) {  // exhausted: the answer is exact
+    FinishPaged(op, /*truncated=*/false, "");
+    return;
+  }
+  if (!bound.supports_paging) {
+    FinishPaged(op, /*truncated=*/true,
+                "result bound " + std::to_string(bound.result_bound) +
+                    " hit and the source does not page");
+    return;
+  }
+  if (bound.max_accesses > 0 && op->pages >= bound.max_accesses) {
+    FinishPaged(op, /*truncated=*/true,
+                "access limit " + std::to_string(bound.max_accesses) +
+                    " reached with rows remaining");
+    return;
+  }
+  op->offset = op->info.next_offset;
+  StartPage(op);
+}
+
+void FinishPaged(const PagePtr& op, bool truncated, std::string reason) {
+  ExecState& st = *op->st;
+  if (truncated) {
+    st.stats.truncated_sub_queries += 1;
+    TruncationRecord record;
+    record.key = op->key;
+    record.source = st.source->description().source_name();
+    record.sub_query = "SP(" + op->condition->ToString() + ", " +
+                       op->attrs.ToString(st.source->table().schema()) + ")";
+    record.bound = st.source->description().result_bound().result_bound;
+    record.rows_lower_bound = op->acc.size();
+    record.reason = std::move(reason);
+    st.truncated.push_back(std::move(record));
+  }
+  PublishEntry(op->st, op->entry, op->key, std::move(op->owner_cb),
+               std::move(op->acc));
+}
+
+void StartFetch(const StatePtr& st, const PlanNode& plan,
+                const SubQueryKey& key, std::shared_ptr<FetchEntry> entry,
+                Cb cb) {
+  if (st->source->description().result_bound().bounded()) {
+    // Bounded interface: the paging loop owns the fetch (and never hedges).
+    auto op = std::make_shared<PageOp>();
+    op->st = st;
+    op->entry = std::move(entry);
+    op->condition = plan.condition();
+    op->attrs = plan.attrs();
+    op->key = key;
+    op->owner_cb = std::move(cb);
+    StartPage(op);
+    return;
+  }
+  auto op =
+      std::make_shared<FetchOp>(st, plan, key, std::move(entry), std::move(cb));
+  op->start = st->clock->Now();
+  std::chrono::steady_clock::time_point deadline = st->opts.deadline;
+  const RetryPolicy& retry = st->opts.exec.retry;
+  if (retry.sub_query_deadline.count() > 0) {
+    const auto sub_deadline = op->start + retry.sub_query_deadline;
+    deadline = deadline == std::chrono::steady_clock::time_point{}
+                   ? sub_deadline
+                   : std::min(deadline, sub_deadline);
+  }
+  op->permit_deadline = deadline;
+
+  const HedgePolicy& hedge = st->opts.exec.hedge;
+  LatencyTracker* latency = st->opts.exec.latency;
+  // Same arming rule as the sync executor, minus the pool requirement — the
+  // loop plays the role the pool played (somewhere to run the race).
+  const bool hedging_armed = hedge.enabled && latency != nullptr &&
+                             latency->count() >= hedge.min_samples;
+  if (hedging_armed) {
+    std::chrono::microseconds delay =
+        latency->Quantile(EffectiveHedgeQuantile(hedge, *latency));
+    delay = std::max(delay, hedge.min_delay);
+    if (hedge.max_delay.count() > 0) delay = std::min(delay, hedge.max_delay);
+    op->hedge_armed = true;
+    // Armed once against the whole primary retry chain, exactly like the
+    // sync owner's single AwaitFor against the pool task.
+    op->hedge_timer =
+        st->loop->ScheduleAfter(delay, [op] { OnHedgeTimer(op); });
+  }
+  AcquireAndBegin(op);
+}
+
+void ExecSource(const StatePtr& st, const PlanNode& plan, Cb cb) {
+  // Dedup key of one SP(C, A, R): interned condition id + projection bits.
+  const SubQueryKey key(*plan.condition(), plan.attrs());
+  const auto it = st->fetches.find(key);
+  if (it != st->fetches.end()) {
+    if (it->second->done) {
+      cb(it->second->result);  // done entries always hold a success
+      return;
+    }
+    it->second->waiters.push_back(FetchEntry::Waiter{&plan, std::move(cb)});
+    return;
+  }
+  auto entry = std::make_shared<FetchEntry>();
+  st->fetches.emplace(key, entry);
+  StartFetch(st, plan, key, std::move(entry), std::move(cb));
+}
+
+/// Combine of one Union/Intersect once every child completed — line for line
+/// the same logic as Executor::ExecSetOp's combine (plan-order first error,
+/// degrade drops retryable ∨-branches, batch mode combines in place).
+Result<RowSet> CombineSetOp(const StatePtr& st, const PlanNode& plan,
+                            std::vector<std::optional<Result<RowSet>>>& results) {
+  const std::vector<PlanPtr>& children = plan.children();
+  const bool is_union = plan.kind() == PlanNode::Kind::kUnion;
+  const bool degrade = st->opts.exec.degrade_unions && is_union;
+  std::vector<size_t> alive;
+  alive.reserve(results.size());
+  const Status* first_dropped_status = nullptr;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<RowSet>& r = *results[i];
+    if (r.ok()) {
+      alive.push_back(i);
+      continue;
+    }
+    if (degrade && IsRetryable(r.status().code())) {
+      if (first_dropped_status == nullptr) first_dropped_status = &r.status();
+      st->stats.dropped_branches += 1;
+      st->dropped.push_back(children[i]->ToShortString());
+      continue;
+    }
+    return r.status();
+  }
+  if (alive.empty()) {
+    return *first_dropped_status;
+  }
+  RowSet acc = std::move(*results[alive.front()]).value();
+  if (st->opts.exec.batch_width > 0) {
+    for (size_t i = 1; i < alive.size(); ++i) {
+      if (is_union) {
+        acc.MergeFrom(std::move(*results[alive[i]]).value());
+      } else {
+        acc.IntersectWith(*(*results[alive[i]]));
+      }
+    }
+    return acc;
+  }
+  for (size_t i = 1; i < alive.size(); ++i) {
+    const RowSet& next = *(*results[alive[i]]);
+    acc =
+        is_union ? RowSet::UnionOf(acc, next) : RowSet::IntersectOf(acc, next);
+  }
+  return acc;
+}
+
+/// Shared completion state of one set-op's children (loop-confined).
+struct SetOpJoin {
+  std::vector<std::optional<Result<RowSet>>> results;
+  size_t remaining = 0;
+};
+
+void ExecSetOp(const StatePtr& st, const PlanNode& plan, Cb cb) {
+  const std::vector<PlanPtr>& children = plan.children();
+  if (children.empty()) {
+    cb(Status::Internal("set operation with no children"));
+    return;
+  }
+  const size_t fan_out = children.size();
+  auto join = std::make_shared<SetOpJoin>();
+  join->results.resize(fan_out);
+  join->remaining = fan_out;
+  auto shared_cb = std::make_shared<Cb>(std::move(cb));
+  const PlanNode* node = &plan;
+  // Every child starts immediately — this is where the DAG fans out; the
+  // combine runs when the last outstanding child reports in. The loop bound
+  // must be a local: the last child can complete synchronously, and once its
+  // callback hands the answer out a blocking caller is free to destroy the
+  // plan — re-reading `children` from the node after that is a use-after-free.
+  for (size_t i = 0; i < fan_out; ++i) {
+    ExecNode(st, *children[i], [st, node, join, shared_cb, i](Result<RowSet> r) {
+      join->results[i] = std::move(r);
+      if (--join->remaining > 0) return;
+      (*shared_cb)(CombineSetOp(st, *node, join->results));
+    });
+  }
+}
+
+void ExecNode(const StatePtr& st, const PlanNode& plan, Cb cb) {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kSourceQuery:
+      ExecSource(st, plan, std::move(cb));
+      return;
+    case PlanNode::Kind::kMediatorSp: {
+      const PlanNode* node = &plan;
+      ExecNode(st, *plan.children().front(),
+               [st, node, cb = std::move(cb)](Result<RowSet> r) {
+                 if (!r.ok()) {
+                   cb(r.status());
+                   return;
+                 }
+                 cb(FilterRows(*r, *node->condition(), node->attrs(),
+                               st->source->table().schema(),
+                               st->opts.exec.batch_width));
+               });
+      return;
+    }
+    case PlanNode::Kind::kUnion:
+    case PlanNode::Kind::kIntersect:
+      ExecSetOp(st, plan, std::move(cb));
+      return;
+    case PlanNode::Kind::kChoice:
+      cb(Status::Internal("cannot execute a plan with unresolved Choice nodes"));
+      return;
+  }
+  cb(Status::Internal("unknown plan kind"));
+}
+
+}  // namespace
+
+AsyncScheduler::AsyncScheduler(Source* source, EventLoop* loop,
+                               AsyncExecOptions options)
+    : source_(source), loop_(loop), options_(std::move(options)) {
+  if (options_.exec.clock == nullptr) options_.exec.clock = loop_->clock();
+  if (options_.deadline == std::chrono::steady_clock::time_point{}) {
+    options_.deadline = options_.exec.deadline;
+  }
+}
+
+AsyncScheduler::~AsyncScheduler() = default;
+
+void AsyncScheduler::ExecuteAsync(PlanPtr plan,
+                                  std::function<void(Result<RowSet>)> done) {
+  auto st = std::make_shared<ExecState>();
+  st->source = source_;
+  st->loop = loop_;
+  st->opts = options_;
+  st->clock = options_.exec.clock;
+  st->root = std::move(plan);
+  st->budget = options_.exec.retry.retry_budget;
+  loop_->Post([this, st, done = std::move(done)]() {
+    ExecNode(st, *st->root, [this, st, done](Result<RowSet> result) {
+      // Fold the loop-confined counters into the scheduler before handing
+      // the answer out; the caller's synchronization with `done` (the
+      // Execute() future, or reading from inside the callback) publishes
+      // them.
+      stats_ = st->stats;
+      dropped_ = std::move(st->dropped);
+      failed_keys_ = std::move(st->failed_keys);
+      truncated_ = std::move(st->truncated);
+      done(std::move(result));
+    });
+  });
+}
+
+Result<RowSet> AsyncScheduler::Execute(const PlanNode& plan) {
+  assert(!loop_->InLoopThread() &&
+         "blocking Execute would park the loop on itself");
+  // Non-owning pin: the caller guarantees `plan` outlives this blocking call.
+  PlanPtr root(&plan, [](const PlanNode*) {});
+  std::promise<Result<RowSet>> promise;
+  std::future<Result<RowSet>> future = promise.get_future();
+  ExecuteAsync(std::move(root), [&promise](Result<RowSet> result) {
+    promise.set_value(std::move(result));
+  });
+  return future.get();
+}
+
+}  // namespace gencompact

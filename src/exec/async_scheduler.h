@@ -1,0 +1,123 @@
+#ifndef GENCOMPACT_EXEC_ASYNC_SCHEDULER_H_
+#define GENCOMPACT_EXEC_ASYNC_SCHEDULER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/event_loop.h"
+#include "exec/executor.h"
+#include "exec/inflight_limiter.h"
+#include "exec/source.h"
+#include "plan/plan.h"
+#include "plan/sub_query_key.h"
+
+namespace gencompact {
+
+/// Configuration of one async execution. `exec` carries the same knobs the
+/// blocking Executor takes (retry, breaker, latency digest, hedge policy,
+/// degrade, partial pages, batch width) with identical semantics.
+struct AsyncExecOptions {
+  ExecOptions exec;
+
+  /// Shared in-flight limiter (owned by the mediator); may be null. Each
+  /// source round trip holds one permit for exactly the duration of its
+  /// simulated wire wait — permits are released across backoff sleeps, and
+  /// hedges only launch when TryAcquire succeeds (optional load never queues).
+  InflightLimiter* limiter = nullptr;
+
+  /// Pool for offloading CPU-bound scan work (Source::FinishCall) off the
+  /// loop thread; may be null (scans run inline on the loop).
+  ThreadPool* scan_pool = nullptr;
+
+  /// The source's catalog id — the limiter's per-source accounting key.
+  uint32_t source_id = 0;
+
+  /// Absolute deadline of the whole execution on `exec.clock` (zero time
+  /// point = none; defaults from exec.deadline when unset). Bounds limiter
+  /// waits — a fetch still queued past this is failed with
+  /// kDeadlineExceeded instead of occupying the queue — and feeds the same
+  /// fail-before-attempt / never-sleep-past-it checks the sync retry loop
+  /// runs against ExecOptions::deadline.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Event-loop counterpart of the blocking Executor: walks the plan's
+/// Union/Intersect/SP DAG as a graph of continuation tasks on one EventLoop,
+/// so a single loop thread drives many outstanding simulated source round
+/// trips instead of parking a pool thread on each one. Retries, backoff
+/// sleeps, hedge delays, paging loops, and the simulated wire wait itself
+/// are all timer events (see Source::BeginCall/FinishCall).
+///
+/// Semantics mirror Executor exactly — same dedup map discipline (failed
+/// fetches evicted, duplicates re-fetch), same retry/breaker/deadline loop
+/// with the same message strings, same paging-loop truncation rules, same
+/// hedge race rules, same degrade and combine logic — so async and pool
+/// execution produce identical answers and transfer stats (asserted by the
+/// seeded parity fuzzer). All execution state is loop-confined: no locks
+/// anywhere in the DAG walk.
+///
+/// One AsyncScheduler runs one plan at a time (like one Executor); many
+/// schedulers share one EventLoop and one InflightLimiter concurrently.
+class AsyncScheduler {
+ public:
+  /// `source` and everything in `options` must outlive the execution (not
+  /// just the scheduler: an abandoned hedged primary may complete after the
+  /// result is published — it only touches catalog-lifetime collaborators).
+  AsyncScheduler(Source* source, EventLoop* loop, AsyncExecOptions options);
+  ~AsyncScheduler();
+
+  AsyncScheduler(const AsyncScheduler&) = delete;
+  AsyncScheduler& operator=(const AsyncScheduler&) = delete;
+
+  /// Blocking wrapper: runs `plan` on the loop and waits for the answer.
+  /// Must NOT be called from the loop thread (it would park the loop on
+  /// itself). Stats accessors are valid once this returns.
+  Result<RowSet> Execute(const PlanNode& plan);
+
+  /// Non-blocking execution: `done` runs on the loop thread once the answer
+  /// is ready. The caller must keep this scheduler alive until `done` fires
+  /// (stats accessors are valid from inside `done` onward).
+  void ExecuteAsync(PlanPtr plan, std::function<void(Result<RowSet>)> done);
+
+  /// Transfer/fault counters of the last completed execution (same meaning
+  /// as Executor::stats()).
+  ExecStats stats() const { return stats_; }
+
+  /// Dropped ∨-branch descriptions of the last execution (degrade mode).
+  const std::vector<std::string>& dropped_sub_queries() const {
+    return dropped_;
+  }
+
+  /// Retryably-failed sub-query identities of the last execution — the
+  /// avoid-set for re-planning.
+  const std::vector<SubQueryKey>& failed_sub_query_keys() const {
+    return failed_keys_;
+  }
+
+  /// Provably-incomplete sub-queries of the last execution (same meaning as
+  /// Executor::truncation_records()) — the completeness markers.
+  const std::vector<TruncationRecord>& truncation_records() const {
+    return truncated_;
+  }
+
+ private:
+  Source* source_;
+  EventLoop* loop_;
+  AsyncExecOptions options_;
+
+  // Last-run results, written on the loop thread before `done` is invoked;
+  // the promise/future handshake in Execute() publishes them to the caller.
+  ExecStats stats_;
+  std::vector<std::string> dropped_;
+  std::vector<SubQueryKey> failed_keys_;
+  std::vector<TruncationRecord> truncated_;
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_ASYNC_SCHEDULER_H_

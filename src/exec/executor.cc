@@ -34,6 +34,7 @@ void Executor::InitJob(FetchJob* job, const PlanNode& plan,
   job->clock = clock_;
   job->latency = options_.latency;
   job->retry = options_.retry;
+  job->deadline = options_.deadline;
   job->budget = budget_;
   job->condition = plan.condition();
   job->attrs = plan.attrs();
@@ -64,9 +65,21 @@ Result<RowSet> Executor::RunPageRetryLoop(FetchJob* job, uint64_t offset,
   // The page offset perturbs the stream so successive pages of one
   // sub-query do not share jitter.
   DecorrelatedJitterBackoff backoff(
-      retry.backoff, retry.seed ^ SubQueryKeyHash{}(job->key) ^ offset);
+      retry.backoff,
+      retry.seed ^ FaultFingerprint(*job->condition, job->attrs) ^ offset);
+  const bool has_deadline =
+      job->deadline != std::chrono::steady_clock::time_point{};
   const std::chrono::steady_clock::time_point start = job->clock->Now();
   for (size_t attempt = 1;; ++attempt) {
+    if (has_deadline && job->clock->Now() >= job->deadline) {
+      // The query's absolute deadline has already passed: nobody is waiting
+      // for this answer. Fail fast instead of spending a round trip on it.
+      job->deadlines_exceeded.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "query deadline expired before attempt " + std::to_string(attempt) +
+          " against source '" + job->source->description().source_name() +
+          "'");
+    }
     if (job->breaker != nullptr && !job->breaker->Allow()) {
       job->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(
@@ -78,9 +91,12 @@ Result<RowSet> Executor::RunPageRetryLoop(FetchJob* job, uint64_t offset,
         job->latency != nullptr ? job->clock->Now() : start;
     // A retried page re-requests the SAME offset: the source's canonical
     // order is deterministic, so the retry ships exactly the rows the
-    // failed attempt would have — no duplicates, no gaps.
+    // failed attempt would have — no duplicates, no gaps. The fingerprint
+    // carries the sub-query's identity into keyed fault schedules.
     Result<RowSet> result = job->source->ExecutePage(
-        *job->condition, job->attrs, PageRequest{offset}, info);
+        *job->condition, job->attrs,
+        PageRequest{offset, FaultFingerprint(*job->condition, job->attrs)},
+        info);
     const bool retryable_failure =
         !result.ok() && IsRetryable(result.status().code());
     if (job->breaker != nullptr) {
@@ -112,6 +128,15 @@ Result<RowSet> Executor::RunPageRetryLoop(FetchJob* job, uint64_t offset,
           "sub-query deadline exceeded after " + std::to_string(attempt) +
           " attempt(s); last error: " + result.status().message());
     }
+    if (has_deadline && job->clock->Now() + delay > job->deadline) {
+      // The backoff sleep would overshoot the query's absolute deadline:
+      // give up NOW rather than park a pool thread on a sleep whose wake-up
+      // can only ever report "too late".
+      job->deadlines_exceeded.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "query deadline exceeded after " + std::to_string(attempt) +
+          " attempt(s); last error: " + result.status().message());
+    }
     if (!TryConsumeToken(job->budget.get())) {
       return result;  // execution budget spent
     }
@@ -130,7 +155,12 @@ Result<RowSet> Executor::RunHedgeAttempt(FetchJob* job) {
   }
   const std::chrono::steady_clock::time_point attempt_start =
       job->clock->Now();
-  Result<RowSet> result = job->source->Execute(*job->condition, job->attrs);
+  // Hedges only arm for unbounded sources, where the offset-0 page IS the
+  // plain call; the fingerprint keeps keyed fault schedules consistent.
+  PageInfo ignored;
+  Result<RowSet> result = job->source->ExecutePage(
+      *job->condition, job->attrs,
+      PageRequest{0, FaultFingerprint(*job->condition, job->attrs)}, &ignored);
   const bool retryable_failure =
       !result.ok() && IsRetryable(result.status().code());
   if (job->breaker != nullptr) {
@@ -236,7 +266,8 @@ Result<RowSet> Executor::FetchResolving(const PlanNode& plan,
     return result;
   }
 
-  std::chrono::microseconds delay = options_.latency->Quantile(hedge.quantile);
+  std::chrono::microseconds delay = options_.latency->Quantile(
+      EffectiveHedgeQuantile(hedge, *options_.latency));
   delay = std::max(delay, hedge.min_delay);
   if (hedge.max_delay.count() > 0) delay = std::min(delay, hedge.max_delay);
 

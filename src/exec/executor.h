@@ -68,6 +68,15 @@ struct ExecOptions {
   /// Time source for backoff sleeps and deadlines; null = Clock::Real().
   Clock* clock = nullptr;
 
+  /// Absolute query-level deadline (on `clock`'s timeline); the zero
+  /// time_point means none. Unlike RetryPolicy::sub_query_deadline — a
+  /// per-fetch budget measured from each fetch's own start — this is one
+  /// wall-clock point every fetch in the execution shares: a fetch whose
+  /// deadline has already passed fails fast without contacting the source,
+  /// and a backoff sleep that would overshoot it is never scheduled (the
+  /// sleep used to hold a pool thread past the point any answer mattered).
+  std::chrono::steady_clock::time_point deadline{};
+
   /// Graceful degradation: a Union child that fails with a *retryable*
   /// status (after retries) is dropped from the answer instead of failing
   /// the plan, and recorded in dropped_sub_queries(). ∧/∩ branches and
@@ -242,6 +251,7 @@ class Executor {
     Clock* clock = nullptr;
     LatencyTracker* latency = nullptr;
     RetryPolicy retry;
+    std::chrono::steady_clock::time_point deadline{};  ///< zero = none
     std::shared_ptr<std::atomic<size_t>> budget;
     ConditionPtr condition;
     AttributeSet attrs;

@@ -16,7 +16,8 @@ uint64_t MixSeed(uint64_t seed, uint64_t index) {
 
 }  // namespace
 
-FaultInjector::Decision FaultInjector::NextCall(uint64_t page_offset) {
+FaultInjector::Decision FaultInjector::NextCall(uint64_t page_offset,
+                                                uint64_t fingerprint) {
   const uint64_t index = calls_.fetch_add(1, std::memory_order_relaxed);
   Decision decision;
 
@@ -58,7 +59,20 @@ FaultInjector::Decision FaultInjector::NextCall(uint64_t page_offset) {
 
   if (policy_.transient_error_rate > 0 || policy_.stuck_call_rate > 0 ||
       policy_.slow_call_rate > 0) {
-    Rng rng(MixSeed(policy_.seed, index));
+    uint64_t draw_key = index;
+    if (policy_.keyed_schedule) {
+      // Interleaving-independent stream: the draw depends only on which
+      // logical call this is — (fingerprint, offset, attempt number) — not
+      // on how many other calls the source happened to serve first.
+      const uint64_t slot = MixSeed(fingerprint, page_offset);
+      uint64_t attempt;
+      {
+        const std::lock_guard<std::mutex> lock(keyed_mu_);
+        attempt = keyed_attempts_[slot]++;
+      }
+      draw_key = MixSeed(slot, attempt);
+    }
+    Rng rng(MixSeed(policy_.seed, draw_key));
     if (policy_.transient_error_rate > 0 &&
         rng.NextDouble() < policy_.transient_error_rate) {
       unavailable_.fetch_add(1, std::memory_order_relaxed);

@@ -57,6 +57,18 @@ struct FaultPolicy {
   };
   std::vector<PageFault> page_faults;
 
+  /// Interleaving-independent draws: each call's random decision becomes a
+  /// pure function of (seed, sub-query fingerprint, page offset, per-key
+  /// attempt index) instead of the global per-source call index. Two
+  /// executors that issue the same *multiset* of calls in different global
+  /// orders — the thread-pool path vs the event-loop path — then observe the
+  /// exact same fault outcome on every corresponding call, which is what the
+  /// async-vs-pool differential fuzzer needs to demand identical retry
+  /// statistics, not just identical answers. Only the random rates key this
+  /// way; outages and page_faults stay in call-index space (they are
+  /// order-dependent scripting constructs by design).
+  bool keyed_schedule = false;
+
   /// True if any mechanism can fire (the zero policy is a guaranteed no-op).
   bool active() const {
     return transient_error_rate > 0 || stuck_call_rate > 0 ||
@@ -85,7 +97,12 @@ class FaultInjector {
   /// Draws the decision for the next call (advances the call index).
   /// `page_offset` is the starting row of the requested page (0 for plain,
   /// unpaged calls) — it keys the policy's page-indexed fault schedule.
-  Decision NextCall(uint64_t page_offset = 0);
+  /// `fingerprint` identifies the sub-query issuing the call; under
+  /// `FaultPolicy::keyed_schedule` the random-rate draw is a pure function
+  /// of (seed, fingerprint, page_offset, per-key attempt index), so two
+  /// executors replaying the same logical calls in any global order see the
+  /// same faults. Ignored (may stay 0) when keyed_schedule is off.
+  Decision NextCall(uint64_t page_offset = 0, uint64_t fingerprint = 0);
 
   /// Scripts the next `n` calls to fail with kUnavailable, on top of
   /// whatever the policy would have decided.
@@ -116,6 +133,10 @@ class FaultInjector {
   /// empty and never locked unless the policy lists page faults).
   std::mutex page_mu_;
   std::unordered_map<uint64_t, uint64_t> page_fail_remaining_;
+  /// Per-(fingerprint, offset) attempt counters for keyed_schedule draws
+  /// (guarded by keyed_mu_; untouched unless the policy opts in).
+  std::mutex keyed_mu_;
+  std::unordered_map<uint64_t, uint64_t> keyed_attempts_;
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> fail_next_{0};
   std::atomic<uint64_t> unavailable_{0};

@@ -1,0 +1,127 @@
+#include "exec/inflight_limiter.h"
+
+#include <utility>
+#include <vector>
+
+namespace gencompact {
+
+namespace {
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+
+void BumpPeak(std::atomic<size_t>& peak, size_t value) {
+  size_t prev = peak.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !peak.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool InflightLimiter::HasCapacity(uint32_t source_id) const {
+  const size_t total = inflight_.load(std::memory_order_relaxed);
+  if (options_.global > 0 && total >= options_.global) return false;
+  if (options_.per_source > 0) {
+    const auto it = per_source_inflight_.find(source_id);
+    if (it != per_source_inflight_.end() && it->second >= options_.per_source) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InflightLimiter::Take(uint32_t source_id) {
+  const size_t total = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  BumpPeak(peak_inflight_, total);
+  ++per_source_inflight_[source_id];
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void InflightLimiter::Acquire(uint32_t source_id,
+                              std::chrono::steady_clock::time_point deadline,
+                              Grant grant) {
+  // FIFO fairness: an earlier waiter for the same source must not be starved
+  // by a newcomer, so capacity only admits directly when no one is queued
+  // ahead for that source (waiters for *other* sources don't block us — a
+  // per-source cap on R shouldn't idle capacity on S).
+  bool blocked_by_queue = false;
+  for (const Waiter& w : waiters_) {
+    if (w.source_id == source_id) {
+      blocked_by_queue = true;
+      break;
+    }
+  }
+  if (!blocked_by_queue && HasCapacity(source_id)) {
+    Take(source_id);
+    grant(Status::OK());
+    return;
+  }
+  if (deadline != kNoDeadline && clock_->Now() >= deadline) {
+    deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+    grant(Status::DeadlineExceeded(
+        "in-flight limiter: deadline expired before a permit freed up"));
+    return;
+  }
+  Waiter waiter;
+  waiter.source_id = source_id;
+  waiter.deadline = deadline;
+  waiter.grant = std::move(grant);
+  waiters_.push_back(std::move(waiter));
+  const size_t depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  BumpPeak(peak_queue_depth_, depth);
+}
+
+bool InflightLimiter::TryAcquire(uint32_t source_id) {
+  if (!HasCapacity(source_id)) return false;
+  Take(source_id);
+  return true;
+}
+
+void InflightLimiter::Release(uint32_t source_id) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  const auto it = per_source_inflight_.find(source_id);
+  if (it != per_source_inflight_.end() && --it->second == 0) {
+    per_source_inflight_.erase(it);
+  }
+  PumpQueue();
+}
+
+void InflightLimiter::PumpQueue() {
+  // Sweep expired waiters out (failing them), then grant in FIFO order while
+  // capacity lasts. Grants can release and re-acquire synchronously, but only
+  // on this (the loop) thread, so iteration by index over the deque is safe
+  // as long as we restart after every callback.
+  const auto now = clock_->Now();
+  for (;;) {
+    bool acted = false;
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      Waiter& w = waiters_[i];
+      if (w.deadline != kNoDeadline && now >= w.deadline) {
+        Grant grant = std::move(w.grant);
+        waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(i));
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+        grant(Status::DeadlineExceeded(
+            "in-flight limiter: deadline expired before a permit freed up"));
+        acted = true;
+        break;
+      }
+      if (HasCapacity(w.source_id)) {
+        const uint32_t sid = w.source_id;
+        Grant grant = std::move(w.grant);
+        waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(i));
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        Take(sid);
+        grant(Status::OK());
+        acted = true;
+        break;
+      }
+      // Head-of-line wait for this source: skip only waiters whose source
+      // still has capacity blocked; a later waiter for a *different*
+      // unconstrained source may be granted (no cross-source starvation).
+    }
+    if (!acted) return;
+  }
+}
+
+}  // namespace gencompact

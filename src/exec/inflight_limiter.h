@@ -1,0 +1,103 @@
+#ifndef GENCOMPACT_EXEC_INFLIGHT_LIMITER_H_
+#define GENCOMPACT_EXEC_INFLIGHT_LIMITER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace gencompact {
+
+struct InflightLimiterOptions {
+  /// Max concurrent round trips per source (0 = unlimited).
+  size_t per_source = 0;
+  /// Max concurrent round trips across all sources (0 = unlimited).
+  size_t global = 0;
+};
+
+/// Bounds the number of source round trips on the wire at once. Fetches that
+/// exceed a cap wait in FIFO order for a permit; a waiter whose deadline
+/// passes before a permit frees up is failed with kDeadlineExceeded instead
+/// of being granted a hopeless slot (deadline-aware waiting).
+///
+/// Loop-confined by design: Acquire/TryAcquire/Release run on the event-loop
+/// thread only (grant callbacks fire synchronously on that thread, inside
+/// the Acquire or the Release that freed the permit), so the waiter queue
+/// needs no lock. The gauges are atomics, readable from any thread — they
+/// feed the mediator's stats snapshot and the admission controller.
+class InflightLimiter {
+ public:
+  /// Grant callback: OK = permit held (caller must Release exactly once);
+  /// kDeadlineExceeded = the wait outlived the fetch deadline.
+  using Grant = std::function<void(Status)>;
+
+  explicit InflightLimiter(InflightLimiterOptions options,
+                           Clock* clock = nullptr)
+      : options_(options), clock_(clock != nullptr ? clock : Clock::Real()) {}
+
+  /// Acquires a permit for `source_id`, or queues. `deadline` is absolute on
+  /// the limiter's clock; a zero time_point means "wait indefinitely".
+  /// Expired waiters are failed on every subsequent grant pass.
+  void Acquire(uint32_t source_id,
+               std::chrono::steady_clock::time_point deadline, Grant grant);
+
+  /// Non-queueing acquire for optional load (hedge attempts): true = permit
+  /// held, false = at a cap, skip the extra attempt.
+  bool TryAcquire(uint32_t source_id);
+
+  /// Returns one permit and grants the longest-waiting eligible waiter.
+  void Release(uint32_t source_id);
+
+  // ---- Gauges (atomics; any thread). ----
+  size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// inflight + queued: the backlog the admission controller reasons about.
+  size_t pending() const { return inflight() + queue_depth(); }
+  size_t peak_inflight() const {
+    return peak_inflight_.load(std::memory_order_relaxed);
+  }
+  size_t peak_queue_depth() const {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t deadline_failures() const {
+    return deadline_failures_.load(std::memory_order_relaxed);
+  }
+
+  const InflightLimiterOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    uint32_t source_id = 0;
+    std::chrono::steady_clock::time_point deadline;  // zero = none
+    Grant grant;
+  };
+
+  bool HasCapacity(uint32_t source_id) const;
+  void Take(uint32_t source_id);
+  /// Fails expired waiters and grants the first eligible one (FIFO).
+  void PumpQueue();
+
+  InflightLimiterOptions options_;
+  Clock* clock_;
+  std::deque<Waiter> waiters_;
+  std::unordered_map<uint32_t, size_t> per_source_inflight_;
+
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> peak_inflight_{0};
+  std::atomic<size_t> peak_queue_depth_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> deadline_failures_{0};
+};
+
+}  // namespace gencompact
+
+#endif  // GENCOMPACT_EXEC_INFLIGHT_LIMITER_H_

@@ -106,6 +106,17 @@ void LatencyTracker::Record(std::chrono::microseconds duration) {
   }
   ++count_;
   sum_us_ += us;
+  // Judge the observation against the running median *before* it is folded
+  // in, so a burst of stragglers cannot drag the reference up under itself.
+  if (count_ > kStragglerMinSamples) {
+    for (const P2Quantile& estimator : estimators_) {
+      if (estimator.quantile() == 0.5) {
+        ++straggler_eligible_;
+        if (us > kStragglerFactor * estimator.Value()) ++stragglers_;
+        break;
+      }
+    }
+  }
   for (P2Quantile& estimator : estimators_) estimator.Add(us);
 }
 
@@ -127,6 +138,13 @@ uint64_t LatencyTracker::count() const {
   return count_;
 }
 
+double LatencyTracker::straggler_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (straggler_eligible_ == 0) return 0.0;
+  return static_cast<double>(stragglers_) /
+         static_cast<double>(straggler_eligible_);
+}
+
 LatencyTracker::Snapshot LatencyTracker::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
@@ -142,7 +160,19 @@ LatencyTracker::Snapshot LatencyTracker::snapshot() const {
     if (estimator.quantile() == 0.5) snap.p50 = us(estimator.Value());
     if (estimator.quantile() == 0.99) snap.p99 = us(estimator.Value());
   }
+  snap.stragglers = stragglers_;
+  if (straggler_eligible_ > 0) {
+    snap.straggler_rate = static_cast<double>(stragglers_) /
+                          static_cast<double>(straggler_eligible_);
+  }
   return snap;
+}
+
+double EffectiveHedgeQuantile(const HedgePolicy& policy,
+                              const LatencyTracker& tracker) {
+  if (!policy.adaptive) return policy.quantile;
+  const double q = 1.0 - tracker.straggler_rate();
+  return std::min(policy.max_quantile, std::max(policy.min_quantile, q));
 }
 
 }  // namespace gencompact

@@ -67,6 +67,13 @@ class LatencyTracker {
 
   uint64_t count() const;
 
+  /// Fraction of observations that were stragglers: calls slower than 2x the
+  /// digest's running median at the moment they landed (counting starts once
+  /// the median has a few samples behind it). This is the signal the adaptive
+  /// hedge quantile feeds on — a source with a fat straggler tail should
+  /// hedge earlier (lower quantile), a uniformly fast one later.
+  double straggler_rate() const;
+
   struct Snapshot {
     uint64_t count = 0;
     std::chrono::microseconds mean{0};
@@ -74,13 +81,22 @@ class LatencyTracker {
     std::chrono::microseconds max{0};
     std::chrono::microseconds p50{0};
     std::chrono::microseconds p99{0};
+    uint64_t stragglers = 0;
+    double straggler_rate = 0.0;
   };
   Snapshot snapshot() const;
 
  private:
+  /// Observations before straggler counting starts (median too noisy below).
+  static constexpr uint64_t kStragglerMinSamples = 10;
+  /// A straggler is an observation beyond this multiple of the running p50.
+  static constexpr double kStragglerFactor = 2.0;
+
   mutable std::mutex mu_;
   std::vector<P2Quantile> estimators_;
   uint64_t count_ = 0;
+  uint64_t stragglers_ = 0;
+  uint64_t straggler_eligible_ = 0;  ///< observations judged for straggling
   double sum_us_ = 0;
   double min_us_ = 0;
   double max_us_ = 0;
@@ -112,7 +128,22 @@ struct HedgePolicy {
   /// A zero max means "no ceiling".
   std::chrono::microseconds min_delay{0};
   std::chrono::microseconds max_delay{0};
+
+  /// When set, `quantile` is ignored and the hedge quantile is derived from
+  /// the digest's measured straggler rate: hedge past the (1 - straggler
+  /// rate) quantile, clamped to [min_quantile, max_quantile]. A source where
+  /// 5% of calls straggle hedges past ~p95; one with no stragglers stays at
+  /// max_quantile and almost never hedges.
+  bool adaptive = false;
+  double min_quantile = 0.90;
+  double max_quantile = 0.99;
 };
+
+/// The quantile a hedge timer should arm at under `policy` given what
+/// `tracker` has measured: `policy.quantile` when not adaptive, otherwise
+/// 1 - straggler_rate clamped to the policy's [min_quantile, max_quantile].
+double EffectiveHedgeQuantile(const HedgePolicy& policy,
+                              const LatencyTracker& tracker);
 
 }  // namespace gencompact
 

@@ -21,29 +21,41 @@ Result<RowSet> Source::Execute(const ConditionNode& cond,
 Result<RowSet> Source::ExecutePage(const ConditionNode& cond,
                                    const AttributeSet& attrs,
                                    const PageRequest& request, PageInfo* info) {
-  queries_received_.fetch_add(1, std::memory_order_relaxed);
+  const SourceCall call = BeginCall(cond, attrs, request);
+  // The round trip happens with no lock held: concurrent queries wait in
+  // parallel, exactly like independent HTTP requests.
+  if (call.delay.count() > 0) std::this_thread::sleep_for(call.delay);
+  return FinishCall(cond, attrs, request, call, info);
+}
 
+Source::SourceCall Source::BeginCall(const ConditionNode& cond,
+                                     const AttributeSet& attrs,
+                                     const PageRequest& request) {
+  queries_received_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = peak_inflight_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_inflight_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+
+  SourceCall call;
   std::chrono::microseconds latency = simulated_latency();
 
   // Fault injection happens before the capability check: a dead or flaky
   // network fails the round trip whether or not the form could have answered.
   if (fault_injector_ != nullptr) {
     const FaultInjector::Decision decision =
-        fault_injector_->NextCall(request.offset);
+        fault_injector_->NextCall(request.offset, request.fingerprint);
     latency += decision.extra_latency;
     if (decision.code != StatusCode::kOk) {
-      // A stuck call burns its timeout before failing; a fast failure does
-      // not sleep at all (extra_latency is zero for those).
-      if (latency.count() > 0 && decision.extra_latency.count() > 0) {
-        std::this_thread::sleep_for(latency);
-      }
       queries_unavailable_.fetch_add(1, std::memory_order_relaxed);
-      const std::string message = "source '" + description_->source_name() +
-                                  "' " + decision.reason + " on SP(" +
-                                  cond.ToString() + ")";
-      return decision.code == StatusCode::kDeadlineExceeded
-                 ? Status::DeadlineExceeded(message)
-                 : Status::Unavailable(message);
+      call.fail_code = decision.code;
+      call.fail_reason = decision.reason;
+      // A stuck call burns its timeout before failing; a fast failure does
+      // not wait at all (extra_latency is zero for those).
+      if (decision.extra_latency.count() > 0) call.delay = latency;
+      return call;
     }
   }
 
@@ -52,9 +64,8 @@ Result<RowSet> Source::ExecutePage(const ConditionNode& cond,
   // against one source no longer serialize here.
   if (!checker_.Supports(cond, attrs)) {
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Unsupported("source '" + description_->source_name() +
-                               "' rejects query: SP(" + cond.ToString() +
-                               ", " + attrs.ToString(table_->schema()) + ")");
+    call.rejected = true;
+    return call;
   }
 
   const ResultBound& bound = description_->result_bound();
@@ -62,14 +73,38 @@ Result<RowSet> Source::ExecutePage(const ConditionNode& cond,
     // A form with no "next page" link: there is nothing to request past
     // offset 0. Non-retryable, like any other interface violation.
     queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    call.paging_rejected = true;
+    return call;
+  }
+
+  call.delay = latency;
+  return call;
+}
+
+Result<RowSet> Source::FinishCall(const ConditionNode& cond,
+                                  const AttributeSet& attrs,
+                                  const PageRequest& request,
+                                  const SourceCall& call, PageInfo* info) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+
+  if (call.fail_code != StatusCode::kOk) {
+    const std::string message = "source '" + description_->source_name() +
+                                "' " + call.fail_reason + " on SP(" +
+                                cond.ToString() + ")";
+    return call.fail_code == StatusCode::kDeadlineExceeded
+               ? Status::DeadlineExceeded(message)
+               : Status::Unavailable(message);
+  }
+  if (call.rejected) {
+    return Status::Unsupported("source '" + description_->source_name() +
+                               "' rejects query: SP(" + cond.ToString() +
+                               ", " + attrs.ToString(table_->schema()) + ")");
+  }
+  if (call.paging_rejected) {
     return Status::Unsupported("source '" + description_->source_name() +
                                "' does not support paging (offset " +
                                std::to_string(request.offset) + ")");
   }
-
-  // The round trip happens with no lock held: concurrent queries wait in
-  // parallel, exactly like independent HTTP requests.
-  if (latency.count() > 0) std::this_thread::sleep_for(latency);
 
   // The scan itself: row-at-a-time at batch_width 0 (the reference path),
   // vectorized batches + columnar wire transfer otherwise. Either way the
@@ -89,6 +124,7 @@ Result<RowSet> Source::ExecutePage(const ConditionNode& cond,
   queries_answered_.fetch_add(1, std::memory_order_relaxed);
   wire_bytes_.fetch_add(scan_metrics.wire_bytes, std::memory_order_relaxed);
 
+  const ResultBound& bound = description_->result_bound();
   if (!bound.bounded()) {
     info->bounded = false;
     info->rows = result.size();

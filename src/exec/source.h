@@ -20,6 +20,12 @@ namespace gencompact {
 /// `next_offset` to continue.
 struct PageRequest {
   uint64_t offset = 0;
+  /// Sub-query identity for keyed fault schedules (FaultPolicy::
+  /// keyed_schedule): executors stamp the hash of the sub-query key here so
+  /// fault draws are a function of WHAT is being asked, not of global call
+  /// order. Zero (the default) is a valid fingerprint for callers that do
+  /// not care.
+  uint64_t fingerprint = 0;
 };
 
 /// What a (possibly bounded) response says about itself — the "showing
@@ -92,6 +98,37 @@ class Source {
                              const AttributeSet& attrs,
                              const PageRequest& request, PageInfo* info);
 
+  /// The outcome of admitting one call, decided before the wire wait. The
+  /// async executor uses the split protocol — BeginCall, then a timer for
+  /// `delay`, then FinishCall — so one thread can hold many calls "on the
+  /// wire" at once; ExecutePage is exactly BeginCall + sleep + FinishCall.
+  struct SourceCall {
+    /// Wire wait the caller must serve before FinishCall (simulated round
+    /// trip plus any injected slow/stuck penalty; zero for fast failures
+    /// and capability rejections, which never reach the wire).
+    std::chrono::microseconds delay{0};
+    StatusCode fail_code = StatusCode::kOk;  ///< injected failure, if any
+    const char* fail_reason = "";
+    bool rejected = false;         ///< capability rejection (kUnsupported)
+    bool paging_rejected = false;  ///< offset > 0 on a non-paging source
+  };
+
+  /// Phase 1 of a call: counts the query, draws the fault schedule, runs the
+  /// capability and paging checks, computes the wire delay, and raises the
+  /// in-flight gauge. Every BeginCall MUST be paired with exactly one
+  /// FinishCall (even on the failure paths — FinishCall materializes the
+  /// error), or the gauge leaks.
+  SourceCall BeginCall(const ConditionNode& cond, const AttributeSet& attrs,
+                       const PageRequest& request = {});
+
+  /// Phase 2, after the caller served `call.delay`: materializes the
+  /// injected failure / rejection as a Status, or runs the scan and the
+  /// bounded-page slice, and drops the in-flight gauge.
+  Result<RowSet> FinishCall(const ConditionNode& cond,
+                            const AttributeSet& attrs,
+                            const PageRequest& request, const SourceCall& call,
+                            PageInfo* info);
+
   /// Per-query latency injected at the start of every Execute() call,
   /// modelling the Internet round trip the paper's k1 stands for. Threads
   /// sleep concurrently, so parallel dispatch collapses the wall-clock cost
@@ -138,6 +175,8 @@ class Source {
     uint64_t wire_bytes = 0;  ///< columnar transfer bytes (batch mode only)
     uint64_t pages_served = 0;         ///< bounded responses (each is a page)
     uint64_t truncated_responses = 0;  ///< responses that withheld rows
+    uint64_t inflight = 0;       ///< calls currently on the wire
+    uint64_t peak_inflight = 0;  ///< high-water mark of the in-flight gauge
   };
   /// A snapshot of the atomic counters (consistent enough for tests and
   /// observability; individual counters never tear).
@@ -153,7 +192,20 @@ class Source {
     s.pages_served = pages_served_.load(std::memory_order_relaxed);
     s.truncated_responses =
         truncated_responses_.load(std::memory_order_relaxed);
+    s.inflight = inflight_.load(std::memory_order_relaxed);
+    s.peak_inflight = peak_inflight_.load(std::memory_order_relaxed);
     return s;
+  }
+
+  /// Calls between BeginCall and FinishCall right now, and the high-water
+  /// mark since the last reset. The bench's "outstanding sub-queries" metric:
+  /// under the thread-per-fetch executor the peak is capped by pool threads;
+  /// under the event loop it is capped only by the in-flight limiter.
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_inflight() const {
+    return peak_inflight_.load(std::memory_order_relaxed);
   }
   void ResetStats() {
     queries_received_.store(0, std::memory_order_relaxed);
@@ -164,6 +216,8 @@ class Source {
     wire_bytes_.store(0, std::memory_order_relaxed);
     pages_served_.store(0, std::memory_order_relaxed);
     truncated_responses_.store(0, std::memory_order_relaxed);
+    peak_inflight_.store(inflight_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   }
 
  private:
@@ -181,6 +235,8 @@ class Source {
   std::atomic<uint64_t> wire_bytes_{0};
   std::atomic<uint64_t> pages_served_{0};
   std::atomic<uint64_t> truncated_responses_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> peak_inflight_{0};
 };
 
 }  // namespace gencompact

@@ -286,10 +286,9 @@ Result<RowSet> RunRightSide(CatalogEntry* entry, JoinMethod method,
                             PlanPtr right_plan, const ConditionPtr& right_cond,
                             const SideNeeds& right_needs,
                             const RowSet& left_rows, int left_key,
-                            size_t bind_batch_size, size_t batch_width,
+                            size_t bind_batch_size, ExecOptions exec_options,
                             JoinExecStats* stats) {
-  ExecOptions exec_options;
-  exec_options.batch_width = batch_width;
+  const size_t batch_width = exec_options.batch_width;
   Executor exec(entry->source(), /*pool=*/nullptr, exec_options);
   Result<RowSet> rows = [&]() -> Result<RowSet> {
     if (method == JoinMethod::kIndependent) {
@@ -486,9 +485,27 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
       const SideNeeds right_needs,
       ComputeNeeds(query, /*is_left=*/false, right_->schema(), split.residual));
 
+  // Deadline budget: the left side may spend at most the whole budget; the
+  // right side inherits whatever the left leaves over.
+  Clock* clock = options_.clock != nullptr ? options_.clock : Clock::Real();
+  const std::chrono::microseconds deadline = options_.deadline;
+  const std::chrono::steady_clock::time_point started = clock->Now();
+
+  const auto cap_deadline = [](RetryPolicy retry,
+                               std::chrono::microseconds budget) {
+    if (budget.count() > 0 && (retry.sub_query_deadline.count() == 0 ||
+                               budget < retry.sub_query_deadline)) {
+      retry.sub_query_deadline = budget;
+    }
+    return retry;
+  };
+
   // Left side.
   ExecOptions left_options;
   left_options.batch_width = options_.batch_width;
+  left_options.retry = cap_deadline(options_.retry, deadline);
+  left_options.clock = clock;
+  if (deadline.count() > 0) left_options.deadline = started + deadline;
   Executor left_exec(left_->source(), /*pool=*/nullptr, left_options);
   GC_ASSIGN_OR_RETURN(const RowSet left_rows,
                       left_exec.Execute(*outcome.left_plan));
@@ -500,6 +517,25 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
     stats_.dropped_sub_queries.push_back(std::move(dropped));
   }
 
+  // What the left consumed comes off the right side's budget; an exhausted
+  // budget sheds the right side before it is planned — no source contact.
+  std::chrono::microseconds remaining = deadline;
+  if (deadline.count() > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        clock->Now() - started);
+    remaining = deadline - elapsed;
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded(
+          "join deadline exhausted by the left side; the right side was not "
+          "started");
+    }
+  }
+  ExecOptions right_options;
+  right_options.batch_width = options_.batch_width;
+  right_options.retry = cap_deadline(options_.retry, remaining);
+  right_options.clock = clock;
+  if (deadline.count() > 0) right_options.deadline = started + deadline;
+
   // Right side: the primary entry first; on a *retryable* failure, each
   // schema-compatible alternate in turn (cross-source failover). Alternates
   // whose breaker is effectively open are skipped — they would only burn the
@@ -509,7 +545,7 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
   Result<RowSet> right_result = RunRightSide(
       right_, outcome.method, outcome.right_plan, split.right, right_needs,
       left_rows, left_needs.key_indices[0], options_.bind_batch_size,
-      options_.batch_width, &stats_);
+      right_options, &stats_);
   if (!right_result.ok() && IsRetryable(right_result.status().code())) {
     for (CatalogEntry* alternate : options_.right_alternates) {
       if (alternate == right_) continue;
@@ -522,7 +558,7 @@ Result<RowSet> JoinProcessor::Execute(const JoinQuery& query) {
       Result<RowSet> attempt = RunRightSide(
           alternate, outcome.method, /*right_plan=*/nullptr, split.right,
           right_needs, left_rows, left_needs.key_indices[0],
-          options_.bind_batch_size, options_.batch_width, &stats_);
+          options_.bind_batch_size, right_options, &stats_);
       if (attempt.ok()) {
         stats_.right_source_used = alternate->name();
         right_result = std::move(attempt);

@@ -1,6 +1,7 @@
 #ifndef GENCOMPACT_MEDIATOR_JOIN_H_
 #define GENCOMPACT_MEDIATOR_JOIN_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,6 +98,17 @@ struct JoinOptions {
   /// instead of re-hashing payloads. Results are value-identical to the
   /// row path.
   size_t batch_width = 0;
+  /// Whole-join deadline (0 = none). The left side runs with its per-sub-query
+  /// deadline capped to this budget; the right side inherits whatever budget
+  /// remains once the left completes — and when nothing remains it is failed
+  /// with kDeadlineExceeded *before* planning, so zero right-side source
+  /// calls are made for an already-doomed join.
+  std::chrono::microseconds deadline{0};
+  /// Clock the deadline is measured on (null = the real clock). The mediator
+  /// injects its own clock so FakeClock tests drive join deadlines.
+  Clock* clock = nullptr;
+  /// Retry/backoff policy applied to both sides' executors.
+  RetryPolicy retry;
   /// Consider the bind-join method at all.
   bool enable_bind = true;
   /// Force a method instead of costing both (for tests/benchmarks).

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "expr/simplify.h"
 #include "plan/bounded.h"
@@ -9,13 +10,43 @@
 
 namespace gencompact {
 
+namespace {
+
+/// Increments a gauge for the enclosing scope — the active-query count the
+/// AdmitQuery gate reads must drop on every return path, success or error.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(std::atomic<size_t>* gauge) : gauge_(gauge) {
+    gauge_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~GaugeGuard() { gauge_->fetch_sub(1, std::memory_order_relaxed); }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  std::atomic<size_t>* gauge_;
+};
+
+}  // namespace
+
+void Mediator::ApplyAsyncEnvOverride() {
+  // GENCOMPACT_ASYNC=1 forces the event-loop executor on — the CI lever that
+  // re-runs the whole mediator/differential suite against the async path
+  // without touching any test's Options.
+  const char* env = std::getenv("GENCOMPACT_ASYNC");
+  if (env != nullptr && env[0] == '1') options_.async_executor = true;
+}
+
 Status Mediator::RegisterSource(SourceDescription description,
                                 std::unique_ptr<Table> table) {
   plan_cache_.Clear();  // a new source invalidates nothing, but keep simple
   const std::string name = description.source_name();
   GC_RETURN_IF_ERROR(
       catalog_.Register(std::move(description), std::move(table)));
+  // Async mediators always track latency: the admission controller's
+  // per-trip estimate and the adaptive hedge quantile both read it.
   const bool wants_latency = options_.hedge.enabled || options_.track_latency ||
+                             options_.async_executor ||
                              (options_.breaker_aware_costs &&
                               options_.cost_penalty.slow_multiplier > 1.0);
   if (options_.enable_circuit_breaker || wants_latency ||
@@ -145,10 +176,44 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
   exec_options.latency = prepared.entry->latency_tracker();
   exec_options.hedge = options_.hedge;
   exec_options.batch_width = options_.batch_width;
-  Executor executor(prepared.entry->source(), pool_.get(), exec_options);
-  Result<RowSet> rows = executor.Execute(plan);
+  if (options_.query_deadline.count() > 0) {
+    // The whole-query wall budget: fail-fast before attempts and never park
+    // a retry sleep past it — on both executors.
+    exec_options.deadline = options_.clock->Now() + options_.query_deadline;
+    if (exec_options.retry.sub_query_deadline.count() == 0 ||
+        options_.query_deadline < exec_options.retry.sub_query_deadline) {
+      exec_options.retry.sub_query_deadline = options_.query_deadline;
+    }
+  }
 
-  const ExecStats stats = executor.stats();
+  Result<RowSet> rows = Status::Internal("plan not executed");
+  ExecStats stats;
+  std::vector<std::string> dropped;
+  std::vector<SubQueryKey> exec_failed_keys;
+  std::vector<TruncationRecord> truncations;
+  if (loop_ != nullptr) {
+    // Async path: the loop drives every round trip; the query deadline caps
+    // each sub-query's retry chain and bounds limiter waits.
+    AsyncExecOptions async_options;
+    async_options.exec = exec_options;
+    async_options.limiter = limiter_.get();
+    async_options.scan_pool = pool_.get();
+    async_options.source_id = prepared.entry->source_id();
+    AsyncScheduler scheduler(prepared.entry->source(), loop_.get(),
+                             async_options);
+    rows = scheduler.Execute(plan);
+    stats = scheduler.stats();
+    dropped = scheduler.dropped_sub_queries();
+    exec_failed_keys = scheduler.failed_sub_query_keys();
+    truncations = scheduler.truncation_records();
+  } else {
+    Executor executor(prepared.entry->source(), pool_.get(), exec_options);
+    rows = executor.Execute(plan);
+    stats = executor.stats();
+    dropped = executor.dropped_sub_queries();
+    exec_failed_keys = executor.failed_sub_query_keys();
+    truncations = executor.truncation_records();
+  }
   retries_.fetch_add(stats.retries, std::memory_order_relaxed);
   breaker_rejections_.fetch_add(stats.breaker_rejections,
                                 std::memory_order_relaxed);
@@ -162,14 +227,13 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
 
   result->exec = stats;
   if (rows.ok()) {
-    std::vector<std::string> dropped = executor.dropped_sub_queries();
     if (!dropped.empty()) {
       result->completeness.complete = false;
       result->completeness.dropped_sub_queries = std::move(dropped);
     }
     // Bounded sources that withheld rows: every truncation the executor saw
     // becomes an explicit marker — no answer is silently short.
-    for (const TruncationRecord& record : executor.truncation_records()) {
+    for (const TruncationRecord& record : truncations) {
       result->completeness.complete = false;
       TruncatedSource truncated;
       truncated.source = record.source;
@@ -182,7 +246,7 @@ Result<RowSet> Mediator::RunPlan(const Prepared& prepared,
     }
   } else if (failed_keys != nullptr) {
     // The avoid-set for a potential re-plan around what just failed.
-    for (const SubQueryKey& key : executor.failed_sub_query_keys()) {
+    for (const SubQueryKey& key : exec_failed_keys) {
       failed_keys->insert(key);
     }
   }
@@ -198,6 +262,29 @@ Result<Mediator::QueryResult> Mediator::ExecutePrepared(
         prepared.attrs, prepared.entry->schema().num_attributes()));
     return result;
   }
+  // Admission control, before any planning work: first the hard cap on
+  // queries concurrently inside the mediator, then the backlog gate — shed
+  // when the fetches already queued at the limiter, drained at the observed
+  // per-trip latency, cannot finish inside this query's deadline.
+  if (admission_ != nullptr) {
+    Status admit = admission_->AdmitQuery(
+        active_queries_.load(std::memory_order_relaxed),
+        options_.max_inflight_queries, options_.admission_queue_limit);
+    if (admit.ok() && limiter_ != nullptr) {
+      std::chrono::microseconds est{0};
+      const LatencyTracker* latency = prepared.entry->latency_tracker();
+      if (latency != nullptr) {
+        est = latency->Quantile(admission_->options().latency_quantile);
+      }
+      admit = admission_->Admit(limiter_->pending(), est,
+                                options_.query_deadline);
+    }
+    if (!admit.ok()) {
+      queries_shed_.fetch_add(1, std::memory_order_relaxed);
+      return admit;
+    }
+  }
+  const GaugeGuard active(&active_queries_);
   // Load shedding: the only source that can answer this query is
   // open-circuit, so every sub-query would be breaker-rejected anyway.
   // Fail fast before planning or executing anything. EffectiveState (not
@@ -299,6 +386,144 @@ Result<Mediator::QueryResult> Mediator::Query(const std::string& sql,
   return ExecutePrepared(prepared, strategy);
 }
 
+void Mediator::QueryAsync(const std::string& sql,
+                          std::function<void(Result<QueryResult>)> done) {
+  if (loop_ == nullptr || IsJoinQuery(sql)) {
+    // No loop to hand off to (or a join, which is driven synchronously by
+    // the bind-join processor): answer inline.
+    done(Query(sql));
+    return;
+  }
+  Result<Prepared> prepared_or = Prepare(sql);
+  if (!prepared_or.ok()) {
+    done(prepared_or.status());
+    return;
+  }
+  const Prepared prepared = std::move(prepared_or).value();
+  if (prepared.unsatisfiable) {
+    QueryResult result;
+    result.rows = RowSet(RowLayout(
+        prepared.attrs, prepared.entry->schema().num_attributes()));
+    done(std::move(result));
+    return;
+  }
+  // Same pre-planning gates as ExecutePrepared: the in-flight query cap and
+  // the backlog-x-latency admission gate first, then breaker-open shedding.
+  if (admission_ != nullptr) {
+    Status admit = admission_->AdmitQuery(
+        active_queries_.load(std::memory_order_relaxed),
+        options_.max_inflight_queries, options_.admission_queue_limit);
+    if (admit.ok() && limiter_ != nullptr) {
+      std::chrono::microseconds est{0};
+      const LatencyTracker* latency = prepared.entry->latency_tracker();
+      if (latency != nullptr) {
+        est = latency->Quantile(admission_->options().latency_quantile);
+      }
+      admit = admission_->Admit(limiter_->pending(), est,
+                                options_.query_deadline);
+    }
+    if (!admit.ok()) {
+      queries_shed_.fetch_add(1, std::memory_order_relaxed);
+      done(admit);
+      return;
+    }
+  }
+  if (options_.load_shedding && prepared.entry->breaker() != nullptr &&
+      prepared.entry->breaker()->EffectiveState() ==
+          CircuitBreaker::State::kOpen) {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    done(Status::Unavailable("query shed: source '" + prepared.entry->name() +
+                             "' circuit breaker is open"));
+    return;
+  }
+  Result<PlanPtr> plan_or = PlanPrepared(prepared, default_strategy_);
+  if (!plan_or.ok()) {
+    done(plan_or.status());
+    return;
+  }
+  PlanPtr plan = std::move(plan_or).value();
+
+  ExecOptions exec_options;
+  exec_options.retry = options_.retry;
+  exec_options.breaker = prepared.entry->breaker();
+  exec_options.clock = options_.clock;
+  exec_options.degrade_unions = options_.partial_results;
+  exec_options.partial_pages = options_.partial_results;
+  exec_options.latency = prepared.entry->latency_tracker();
+  exec_options.hedge = options_.hedge;
+  exec_options.batch_width = options_.batch_width;
+  if (options_.query_deadline.count() > 0) {
+    exec_options.deadline = options_.clock->Now() + options_.query_deadline;
+    if (exec_options.retry.sub_query_deadline.count() == 0 ||
+        options_.query_deadline < exec_options.retry.sub_query_deadline) {
+      exec_options.retry.sub_query_deadline = options_.query_deadline;
+    }
+  }
+  AsyncExecOptions async_options;
+  async_options.exec = exec_options;
+  async_options.limiter = limiter_.get();
+  async_options.scan_pool = pool_.get();
+  async_options.source_id = prepared.entry->source_id();
+  auto scheduler = std::make_shared<AsyncScheduler>(
+      prepared.entry->source(), loop_.get(), async_options);
+  AsyncScheduler* raw = scheduler.get();
+  CatalogEntry* entry = prepared.entry;
+  active_queries_.fetch_add(1, std::memory_order_relaxed);
+  // The callback owns the scheduler; it fires on the loop thread. No
+  // recovery re-plan on this path — a failed answer is reported as-is.
+  raw->ExecuteAsync(
+      plan, [this, scheduler = std::move(scheduler), plan, entry,
+             done = std::move(done)](Result<RowSet> rows) mutable {
+        active_queries_.fetch_sub(1, std::memory_order_relaxed);
+        const ExecStats stats = scheduler->stats();
+        retries_.fetch_add(stats.retries, std::memory_order_relaxed);
+        breaker_rejections_.fetch_add(stats.breaker_rejections,
+                                      std::memory_order_relaxed);
+        deadlines_exceeded_.fetch_add(stats.deadlines_exceeded,
+                                      std::memory_order_relaxed);
+        dropped_branches_.fetch_add(stats.dropped_branches,
+                                    std::memory_order_relaxed);
+        hedges_launched_.fetch_add(stats.hedges_launched,
+                                   std::memory_order_relaxed);
+        hedges_won_.fetch_add(stats.hedges_won, std::memory_order_relaxed);
+        pages_fetched_.fetch_add(stats.pages_fetched,
+                                 std::memory_order_relaxed);
+        if (!rows.ok()) {
+          queries_failed_.fetch_add(1, std::memory_order_relaxed);
+          done(rows.status());
+          return;
+        }
+        QueryResult result;
+        result.exec = stats;
+        std::vector<std::string> dropped = scheduler->dropped_sub_queries();
+        if (!dropped.empty()) {
+          result.completeness.complete = false;
+          result.completeness.dropped_sub_queries = std::move(dropped);
+        }
+        for (const TruncationRecord& record :
+             scheduler->truncation_records()) {
+          result.completeness.complete = false;
+          result.completeness.truncated_sources.push_back(
+              {record.source, record.sub_query, record.bound,
+               record.rows_lower_bound, record.reason});
+        }
+        queries_ok_.fetch_add(1, std::memory_order_relaxed);
+        if (!result.completeness.complete) {
+          queries_partial_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!result.completeness.truncated_sources.empty()) {
+          truncated_answers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        result.rows = std::move(rows).value();
+        result.estimated_cost = entry->handle()->cost_model().PlanCost(*plan);
+        result.plan = std::move(plan);
+        const SourceDescription& description = entry->handle()->description();
+        result.true_cost =
+            result.exec.TrueCost(description.k1(), description.k2());
+        done(std::move(result));
+      });
+}
+
 Result<Mediator::QueryResult> Mediator::QueryJoin(
     const std::string& sql, JoinProcessor::Options options) {
   GC_ASSIGN_OR_RETURN(const ParsedJoinQuery parsed, ParseJoinSql(sql));
@@ -318,6 +543,13 @@ Result<Mediator::QueryResult> Mediator::QueryJoin(
     options.right_alternates = catalog_.SchemaCompatibleAlternates(*right);
   }
   if (options.batch_width == 0) options.batch_width = options_.batch_width;
+  // Deadline propagation: the mediator's query deadline (and clock) become
+  // the join's whole-query budget unless the caller set their own.
+  if (options.clock == nullptr) options.clock = options_.clock;
+  if (options.deadline.count() == 0) {
+    options.deadline = options_.query_deadline;
+  }
+  if (!options.retry.enabled()) options.retry = options_.retry;
 
   JoinProcessor processor(left, right, options);
   GC_ASSIGN_OR_RETURN(const JoinPlanOutcome outcome, processor.Plan(join));
@@ -555,7 +787,7 @@ Mediator::Stats Mediator::StatsSnapshot() const {
     stats.check_memo.hit_rate = memo.hit_rate;
   }
 
-  catalog_.ForEach([&stats](CatalogEntry* entry) {
+  catalog_.ForEach([this, &stats](CatalogEntry* entry) {
     Stats::PerSource per;
     per.name = entry->name();
     per.source = entry->source()->stats();
@@ -576,6 +808,9 @@ Mediator::Stats Mediator::StatsSnapshot() const {
     if (const LatencyTracker* latency = entry->latency_tracker()) {
       per.has_latency = true;
       per.latency = latency->snapshot();
+      if (options_.hedge.enabled) {
+        per.hedge_quantile = EffectiveHedgeQuantile(options_.hedge, *latency);
+      }
     }
     per.cost_penalty =
         entry->cost_penalty_enabled() ? entry->cost_penalty_multiplier() : 1.0;
@@ -605,6 +840,26 @@ Mediator::Stats Mediator::StatsSnapshot() const {
       hedges_won_.load(std::memory_order_relaxed);
   stats.fault_tolerance.join_failovers =
       join_failovers_.load(std::memory_order_relaxed);
+  if (limiter_ != nullptr) {
+    stats.scheduler.enabled = true;
+    stats.scheduler.inflight_fetches = limiter_->inflight();
+    stats.scheduler.peak_inflight = limiter_->peak_inflight();
+    stats.scheduler.limiter_queue_depth = limiter_->queue_depth();
+    stats.scheduler.peak_queue_depth = limiter_->peak_queue_depth();
+    stats.scheduler.limiter_admitted = limiter_->admitted();
+    stats.scheduler.limiter_deadline_failures = limiter_->deadline_failures();
+  }
+  if (admission_ != nullptr) {
+    stats.scheduler.admission_rejections = admission_->rejections();
+  }
+  stats.scheduler.active_queries =
+      active_queries_.load(std::memory_order_relaxed);
+  if (loop_ != nullptr) {
+    const EventLoop::Stats loop_stats = loop_->stats();
+    stats.scheduler.timer_wheel_size = loop_stats.timer_wheel_size;
+    stats.scheduler.timers_fired = loop_stats.timers_fired;
+    stats.scheduler.tasks_run = loop_stats.tasks_run;
+  }
   stats.bounded.pages_fetched =
       pages_fetched_.load(std::memory_order_relaxed);
   stats.bounded.truncated_answers =
@@ -657,6 +912,10 @@ Mediator::Stats::Rates Mediator::Stats::DiffSince(const Stats& earlier) const {
     rates.retry_rate =
         delta(fault_tolerance.retries, earlier.fault_tolerance.retries) /
         completed;
+    rates.admission_reject_rate =
+        delta(scheduler.admission_rejections,
+              earlier.scheduler.admission_rejections) /
+        completed;
   }
   const double hits =
       delta(plan_cache.hits, earlier.plan_cache.hits);
@@ -684,6 +943,7 @@ std::string Mediator::Stats::Rates::ToString() const {
   append("rates.hedge_rate         %.4f\n", hedge_rate);
   append("rates.shed_rate          %.4f\n", shed_rate);
   append("rates.retry_rate         %.4f\n", retry_rate);
+  append("rates.admission_rejects  %.4f\n", admission_reject_rate);
   append("rates.cache_hit_rate     %.4f\n", cache_hit_rate);
   append("rates.check_l2_hit_rate  %.4f\n", check_l2_hit_rate);
   return out;
@@ -746,6 +1006,24 @@ std::string Mediator::Stats::ToString() const {
          (unsigned long long)fault_tolerance.hedges_won);
   append("join.failovers           %llu\n",
          (unsigned long long)fault_tolerance.join_failovers);
+  if (scheduler.enabled) {
+    append("scheduler.inflight       %zu (peak %zu)\n",
+           scheduler.inflight_fetches, scheduler.peak_inflight);
+    append("scheduler.queue_depth    %zu (peak %zu)\n",
+           scheduler.limiter_queue_depth, scheduler.peak_queue_depth);
+    append("scheduler.admitted       %llu\n",
+           (unsigned long long)scheduler.limiter_admitted);
+    append("scheduler.queue_timeouts %llu\n",
+           (unsigned long long)scheduler.limiter_deadline_failures);
+    append("scheduler.adm_rejected   %llu\n",
+           (unsigned long long)scheduler.admission_rejections);
+    append("scheduler.active_queries %zu\n", scheduler.active_queries);
+    append("scheduler.timer_wheel    %zu\n", scheduler.timer_wheel_size);
+    append("scheduler.timers_fired   %llu\n",
+           (unsigned long long)scheduler.timers_fired);
+    append("scheduler.tasks_run      %llu\n",
+           (unsigned long long)scheduler.tasks_run);
+  }
   if (bounded.pages_fetched > 0 || bounded.truncated_answers > 0 ||
       bounded.refinement_splits > 0) {
     append("pages.fetched            %llu\n",
@@ -817,6 +1095,9 @@ std::string Mediator::Stats::ToString() const {
              (long long)s.latency.mean.count(),
              (long long)s.latency.p50.count(),
              (long long)s.latency.p99.count());
+    }
+    if (s.hedge_quantile > 0.0) {
+      append("source[%s].hedge_q       %.3f\n", prefix, s.hedge_quantile);
     }
     if (s.cost_penalty != 1.0) {
       append("source[%s].cost_penalty  %.1fx\n", prefix, s.cost_penalty);

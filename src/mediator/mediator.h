@@ -9,6 +9,8 @@
 
 #include "common/thread_pool.h"
 #include "expr/intern.h"
+#include "exec/admission.h"
+#include "exec/async_scheduler.h"
 #include "exec/executor.h"
 #include "mediator/catalog.h"
 #include "mediator/federation.h"
@@ -134,6 +136,38 @@ class Mediator {
     /// completely — planning around a bounded source when an unbounded
     /// alternate exists in the Choice space.
     bool replan_on_truncation = false;
+
+    // ---- Async event-loop execution (off by default: false runs the
+    // ---- existing pool path, bit-identical). ----
+
+    /// Execute plans on the event-loop DAG scheduler instead of blocking
+    /// pool threads: one loop thread drives every outstanding simulated
+    /// source round trip as timer events (retries, backoff, hedge delays,
+    /// paging loops included), so in-flight fan-out is no longer bounded by
+    /// num_threads. The pool, when present, is repurposed for CPU-bound
+    /// scan offload. The env var GENCOMPACT_ASYNC=1 forces this on — the
+    /// CI leg that re-runs the whole mediator suite through the loop.
+    bool async_executor = false;
+    /// Per-source / global caps on concurrent source round trips (async
+    /// path only; see InflightLimiter). Zeros = unlimited.
+    InflightLimiterOptions inflight;
+    /// Shed hopeless queries before planning when backlog x observed
+    /// latency exceeds the deadline (async path only; see
+    /// AdmissionController). drain_width defaults to inflight.global.
+    AdmissionOptions admission;
+    /// Wall-time budget for one query's execution: bounds limiter waits,
+    /// sub-query retry chains, and backoff sleeps (no sleep is ever
+    /// scheduled past it), feeds admission control, and propagates across
+    /// both sides of a bind-join (the right side inherits what the left
+    /// side did not consume). Zero = none.
+    std::chrono::microseconds query_deadline{0};
+    /// Query-count admission gate, checked before planning: at most
+    /// `max_inflight_queries` queries execute at once, the next
+    /// `admission_queue_limit` are tolerated as backlog (they contend at
+    /// the in-flight limiter), and anything beyond is shed with
+    /// kUnavailable. 0 = gate disabled.
+    size_t max_inflight_queries = 0;
+    size_t admission_queue_limit = 0;
   };
 
   explicit Mediator(Strategy default_strategy = Strategy::kGenCompact)
@@ -153,6 +187,19 @@ class Mediator {
                   ? std::make_unique<ThreadPool>(options.num_threads)
                   : nullptr) {
     if (options_.clock == nullptr) options_.clock = Clock::Real();
+    ApplyAsyncEnvOverride();
+    if (options_.async_executor) {
+      limiter_ =
+          std::make_unique<InflightLimiter>(options_.inflight, options_.clock);
+      if (options_.admission.drain_width == 0) {
+        options_.admission.drain_width =
+            options_.inflight.global > 0 ? options_.inflight.global : 1;
+      }
+      loop_ = std::make_unique<EventLoop>(options_.clock);
+    }
+    if (options_.async_executor || options_.max_inflight_queries > 0) {
+      admission_ = std::make_unique<AdmissionController>(options_.admission);
+    }
   }
 
   /// Registers a simulated Internet source (takes ownership of the table).
@@ -211,6 +258,16 @@ class Mediator {
     return Query(sql, default_strategy_);
   }
   Result<QueryResult> Query(const std::string& sql, Strategy strategy);
+
+  /// Non-blocking query intake (requires Options::async_executor): admission
+  /// control and planning run on the calling thread, execution on the event
+  /// loop, and `done` fires on the loop thread with the answer — so one
+  /// submitter thread keeps hundreds of queries in flight at once. Recovery
+  /// re-planning is not attempted on this path (fall back to Query for
+  /// that); join queries and non-async mediators execute synchronously
+  /// before `done` returns.
+  void QueryAsync(const std::string& sql,
+                  std::function<void(Result<QueryResult>)> done);
 
   /// Two-source equi-join queries — the complex-query extension ([2]):
   /// every per-source building block is planned with GenCompact, and the
@@ -319,8 +376,28 @@ class Mediator {
       LatencyTracker::Snapshot latency;
       /// k1 cost-penalty multiplier in force (1 when healthy/disabled).
       double cost_penalty = 1.0;
+      /// The hedge quantile currently in force for this source: the fixed
+      /// policy quantile, or the straggler-rate-derived one when adaptive
+      /// (0 when hedging is off or no digest exists).
+      double hedge_quantile = 0.0;
     };
     std::vector<PerSource> sources;
+
+    /// Async-executor gauges (zeros when Options::async_executor is off).
+    struct Scheduler {
+      bool enabled = false;
+      size_t inflight_fetches = 0;       ///< source round trips on the wire now
+      size_t peak_inflight = 0;
+      size_t limiter_queue_depth = 0;    ///< fetches waiting for a permit now
+      size_t peak_queue_depth = 0;
+      uint64_t limiter_admitted = 0;     ///< permits granted, lifetime
+      uint64_t limiter_deadline_failures = 0;  ///< waits that outlived deadlines
+      uint64_t admission_rejections = 0; ///< queries shed before planning
+      size_t active_queries = 0;         ///< past admission, not yet answered
+      size_t timer_wheel_size = 0;       ///< timers armed right now
+      uint64_t timers_fired = 0;
+      uint64_t tasks_run = 0;            ///< loop continuations executed
+    } scheduler;
 
     /// Aggregated over every execution this mediator ran.
     struct {
@@ -372,6 +449,8 @@ class Mediator {
       double cache_hit_rate = 0.0;  ///< plan-cache hits / lookups, interval
       /// Cross-query Check memo hits / lookups over the interval.
       double check_l2_hit_rate = 0.0;
+      /// Admission-control rejections / completed queries over the interval.
+      double admission_reject_rate = 0.0;
       std::string ToString() const;
     };
     /// Rates over (earlier, this]; `earlier` must be an older snapshot of
@@ -420,11 +499,24 @@ class Mediator {
                          QueryResult* result, SubQueryAvoidSet* failed_keys,
                          SubQueryAvoidSet* truncated_keys = nullptr);
 
+  /// Applies the GENCOMPACT_ASYNC=1 env override to options_ (called from
+  /// the constructor, before any async machinery is built).
+  void ApplyAsyncEnvOverride();
+
   Options options_;
   Strategy default_strategy_;
   Catalog catalog_;
   PlanCache plan_cache_;
   std::unique_ptr<CheckMemo> check_memo_;  ///< null when capacity is 0
+  // Async-executor machinery (all null unless Options::async_executor; the
+  // admission controller also exists when only the query-count gate is
+  // configured). Declaration order is destruction order in reverse, and it
+  // matters: the pool must drain first (in-flight scan offloads post back
+  // to the loop), then the loop (its leftover tasks may release limiter
+  // permits), then the limiter/admission gauges they touched.
+  std::unique_ptr<InflightLimiter> limiter_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<ThreadPool> pool_;
   bool simplify_conditions_ = true;
 
@@ -452,6 +544,9 @@ class Mediator {
   std::atomic<uint64_t> fed_independent_edges_{0};
   std::atomic<uint64_t> fed_greedy_fallbacks_{0};
   std::atomic<uint64_t> fed_replans_{0};
+  /// Queries past admission control and not yet answered — what the
+  /// query-count admission gate counts against its cap.
+  std::atomic<size_t> active_queries_{0};
 };
 
 }  // namespace gencompact

@@ -40,6 +40,23 @@ struct SubQueryKeyHash {
   }
 };
 
+/// Fingerprint carried into keyed fault schedules and backoff jitter streams
+/// (PageRequest::fingerprint): built from the condition's STRUCTURAL
+/// fingerprint plus the projection bits, not the intern id. Intern ids are
+/// monotonic and never reused, so they depend on the process's allocation
+/// history — a sub-query re-interned after its last reference died gets a
+/// fresh id. Keying fault schedules on structure instead makes (seed,
+/// fingerprint) replay the same schedule for the same logical sub-query in
+/// any process, which is what the deterministic-interleaving harness and the
+/// async/sync parity fuzzer rely on.
+inline uint64_t FaultFingerprint(const ConditionNode& condition,
+                                 const AttributeSet& attrs) {
+  uint64_t x = condition.fingerprint() * 0x9e3779b97f4a7c15ull ^ attrs.bits();
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// A set of sub-query identities the planner must route around — e.g. the
 /// SP(C, A, R) fetches that just failed with kUnavailable (see
 /// PlannerStrategy::PlanAvoiding and Mediator re-planning).

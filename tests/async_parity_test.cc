@@ -1,0 +1,317 @@
+// Seeded async-vs-pool differential fuzzer — the PR's acceptance bar: on
+// random capability mixes, random feasible queries, random keyed fault
+// schedules, and result-bounded/paged interfaces, the event-loop DAG walk
+// and the blocking thread-pool executor must produce identical rows,
+// identical completeness markers, and identical retry/transfer statistics.
+//
+// The fault side leans on FaultPolicy::keyed_schedule: every random-rate
+// draw is a pure function of (seed, sub-query fingerprint, page offset,
+// per-key attempt index), so two executors issuing the same *multiset* of
+// logical calls in different global orders observe the exact same fault on
+// every corresponding call. Each side runs against its own identically
+// seeded environment (same table, same capability, same injector seed) so
+// neither consumes the other's attempt counters.
+//
+// Runs under the ci.sh seed matrix via GENCOMPACT_TEST_SEED.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "exec/async_scheduler.h"
+#include "exec/event_loop.h"
+#include "exec/executor.h"
+#include "exec/fault_policy.h"
+#include "planner/gen_compact.h"
+#include "planner/source_handle.h"
+#include "ssdl/description.h"
+#include "workload/datasets.h"
+#include "workload/random_capability.h"
+#include "workload/random_condition.h"
+
+namespace gencompact {
+namespace {
+
+using std::chrono::microseconds;
+
+bool SameRows(const RowSet& a, const RowSet& b) {
+  if (a.size() != b.size()) return false;
+  for (const Row& row : a.rows()) {
+    if (!b.Contains(row)) return false;
+  }
+  return true;
+}
+
+uint64_t BaseSeed() {
+  const char* env = std::getenv("GENCOMPACT_TEST_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 439;
+}
+
+Schema ParitySchema() {
+  return Schema({{"s1", ValueType::kString},
+                 {"s2", ValueType::kString},
+                 {"n1", ValueType::kInt},
+                 {"n2", ValueType::kInt}});
+}
+
+// One execution environment: a random table behind a random capability,
+// optionally result-bounded, optionally under a keyed fault schedule.
+// Construction is a pure function of the config, so two instances built
+// from the same config are indistinguishable — the sync and async runs
+// each get a private one.
+struct ParityConfig {
+  uint64_t seed = 0;
+  // Result-bound shape: 0 = unbounded; otherwise rows per call.
+  uint64_t result_bound = 0;
+  bool supports_paging = false;
+  uint64_t page_size = 0;
+  uint64_t max_accesses = 0;
+  // Keyed fault schedule (0 = fault-free).
+  double transient_error_rate = 0.0;
+};
+
+struct ParityEnv {
+  std::unique_ptr<Table> table;
+  SourceDescription description{"src", ParitySchema()};
+  std::unique_ptr<SourceHandle> handle;
+  std::unique_ptr<Source> source;
+  std::vector<AttributeDomain> domains;
+
+  explicit ParityEnv(const ParityConfig& config) {
+    Rng rng(config.seed);
+    const Schema schema = ParitySchema();
+    table = MakeRandomTable("src", schema, /*rows=*/200, /*string_pool=*/10,
+                            /*value_range=*/40, &rng);
+    description =
+        RandomCapability("src", schema, RandomCapabilityOptions{}, &rng);
+    if (config.result_bound > 0) {
+      ResultBound bound;
+      bound.result_bound = config.result_bound;
+      bound.supports_paging = config.supports_paging;
+      bound.page_size = config.page_size;
+      bound.max_accesses = config.max_accesses;
+      description.set_result_bound(bound);
+    }
+    handle = std::make_unique<SourceHandle>(description, table.get());
+    source = std::make_unique<Source>(table.get(), &handle->description());
+    if (config.transient_error_rate > 0) {
+      FaultPolicy policy;
+      policy.seed = config.seed * 2654435761ull + 1;
+      policy.transient_error_rate = config.transient_error_rate;
+      policy.keyed_schedule = true;
+      source->set_fault_policy(policy);
+    }
+    domains = ExtractDomains(*table, /*max_samples=*/6, &rng);
+  }
+};
+
+// Normalized completeness markers for comparison: the async walk discovers
+// truncations in event order, the pool walk in branch order — the *set*
+// must match.
+std::vector<std::tuple<std::string, std::string, uint64_t, uint64_t>>
+NormalizedTruncations(const std::vector<TruncationRecord>& records) {
+  std::vector<std::tuple<std::string, std::string, uint64_t, uint64_t>> out;
+  out.reserve(records.size());
+  for (const TruncationRecord& record : records) {
+    out.emplace_back(record.sub_query, record.source, record.bound,
+                     record.rows_lower_bound);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RetryPolicy ParityRetry() {
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  // A shared budget is order-dependent when it runs out mid-execution; give
+  // both sides more than any schedule can consume so parity is exact.
+  retry.retry_budget = 1 << 20;
+  return retry;
+}
+
+struct SideResult {
+  Result<RowSet> rows = Status::Internal("not run");
+  ExecStats stats;
+  size_t received = 0;
+  std::vector<std::tuple<std::string, std::string, uint64_t, uint64_t>>
+      truncations;
+};
+
+SideResult RunSync(const ParityConfig& config, const ConditionPtr& cond,
+                   bool faulty) {
+  ParityEnv env(config);
+  GenCompactPlanner planner(env.handle.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(cond, env.handle->schema().AllAttributes());
+  SideResult result;
+  if (!plan.ok()) {
+    result.rows = plan.status();
+    return result;
+  }
+  FakeClock clock;
+  ExecOptions options;
+  options.clock = &clock;
+  if (faulty) options.retry = ParityRetry();
+  Executor executor(env.source.get(), /*pool=*/nullptr, options);
+  result.rows = executor.Execute(**plan);
+  result.stats = executor.stats();
+  result.received = env.source->stats().queries_received;
+  result.truncations = NormalizedTruncations(executor.truncation_records());
+  return result;
+}
+
+SideResult RunAsync(const ParityConfig& config, const ConditionPtr& cond,
+                    bool faulty) {
+  ParityEnv env(config);
+  GenCompactPlanner planner(env.handle.get());
+  const Result<PlanPtr> plan =
+      planner.Plan(cond, env.handle->schema().AllAttributes());
+  SideResult result;
+  if (!plan.ok()) {
+    result.rows = plan.status();
+    return result;
+  }
+  FakeClock clock;
+  EventLoop loop(&clock);
+  AsyncExecOptions options;
+  options.exec.clock = &clock;
+  if (faulty) options.exec.retry = ParityRetry();
+  AsyncScheduler scheduler(env.source.get(), &loop, options);
+  result.rows = scheduler.Execute(**plan);
+  result.stats = scheduler.stats();
+  result.received = env.source->stats().queries_received;
+  result.truncations = NormalizedTruncations(scheduler.truncation_records());
+  return result;
+}
+
+void ExpectParity(const ParityConfig& config, const ConditionPtr& cond,
+                  bool faulty, const std::string& label) {
+  const SideResult sync = RunSync(config, cond, faulty);
+  const SideResult async = RunAsync(config, cond, faulty);
+  if (!sync.rows.ok() || !async.rows.ok()) {
+    // A schedule that exhausts retries must doom both sides identically.
+    EXPECT_EQ(sync.rows.status().code(), async.rows.status().code())
+        << label << ": sync " << sync.rows.status().ToString() << " vs async "
+        << async.rows.status().ToString();
+    return;
+  }
+  EXPECT_TRUE(SameRows(*sync.rows, *async.rows))
+      << label << ": answers diverged on " << cond->ToString();
+  EXPECT_EQ(sync.stats.source_queries, async.stats.source_queries) << label;
+  EXPECT_EQ(sync.stats.rows_transferred, async.stats.rows_transferred)
+      << label;
+  EXPECT_EQ(sync.stats.retries, async.stats.retries) << label;
+  EXPECT_EQ(sync.stats.failed_sub_queries, async.stats.failed_sub_queries)
+      << label;
+  EXPECT_EQ(sync.stats.pages_fetched, async.stats.pages_fetched) << label;
+  EXPECT_EQ(sync.stats.truncated_sub_queries,
+            async.stats.truncated_sub_queries)
+      << label;
+  EXPECT_EQ(sync.received, async.received) << label;
+  EXPECT_EQ(sync.truncations, async.truncations) << label;
+}
+
+class AsyncParityTest : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t CaseSeed() const {
+    return BaseSeed() * 1000003ull +
+           static_cast<uint64_t>(GetParam()) * 7919ull;
+  }
+};
+
+TEST_P(AsyncParityTest, UnboundedFaultFree) {
+  Rng rng(CaseSeed() + 17);
+  for (int trial = 0; trial < 4; ++trial) {
+    ParityConfig config;
+    config.seed = CaseSeed() * 47 + static_cast<uint64_t>(trial);
+    ParityEnv probe(config);  // domains for condition generation
+    RandomConditionOptions cond_options;
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(probe.domains, cond_options, &rng);
+    ExpectParity(config, cond, /*faulty=*/false, "unbounded/clean");
+  }
+}
+
+TEST_P(AsyncParityTest, UnboundedKeyedFaults) {
+  Rng rng(CaseSeed() + 29);
+  for (int trial = 0; trial < 4; ++trial) {
+    ParityConfig config;
+    config.seed = CaseSeed() * 53 + static_cast<uint64_t>(trial);
+    config.transient_error_rate = 0.2;
+    ParityEnv probe(config);
+    RandomConditionOptions cond_options;
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(probe.domains, cond_options, &rng);
+    ExpectParity(config, cond, /*faulty=*/true, "unbounded/keyed-faults");
+  }
+}
+
+TEST_P(AsyncParityTest, BoundedPagedSources) {
+  Rng rng(CaseSeed() + 41);
+  for (int trial = 0; trial < 3; ++trial) {
+    ParityConfig config;
+    config.seed = CaseSeed() * 59 + static_cast<uint64_t>(trial);
+    config.result_bound = 16;
+    config.supports_paging = true;
+    config.page_size = 16;
+    ParityEnv probe(config);
+    RandomConditionOptions cond_options;
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(probe.domains, cond_options, &rng);
+    ExpectParity(config, cond, /*faulty=*/false, "bounded/paged");
+  }
+}
+
+TEST_P(AsyncParityTest, BoundedPagedSourcesUnderKeyedFaults) {
+  Rng rng(CaseSeed() + 43);
+  for (int trial = 0; trial < 3; ++trial) {
+    ParityConfig config;
+    config.seed = CaseSeed() * 61 + static_cast<uint64_t>(trial);
+    config.result_bound = 16;
+    config.supports_paging = true;
+    config.page_size = 16;
+    config.transient_error_rate = 0.15;
+    ParityEnv probe(config);
+    RandomConditionOptions cond_options;
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(probe.domains, cond_options, &rng);
+    ExpectParity(config, cond, /*faulty=*/true, "bounded/paged/keyed-faults");
+  }
+}
+
+TEST_P(AsyncParityTest, NonPagingBoundsTruncateIdentically) {
+  Rng rng(CaseSeed() + 47);
+  for (int trial = 0; trial < 3; ++trial) {
+    ParityConfig config;
+    config.seed = CaseSeed() * 67 + static_cast<uint64_t>(trial);
+    // A tight bound with no paging: broad sub-queries truncate, and both
+    // sides must emit the same completeness markers.
+    config.result_bound = 12;
+    config.supports_paging = false;
+    ParityEnv probe(config);
+    RandomConditionOptions cond_options;
+    cond_options.num_atoms = 2 + rng.NextIndex(3);
+    const ConditionPtr cond =
+        RandomCondition(probe.domains, cond_options, &rng);
+    ExpectParity(config, cond, /*faulty=*/false, "bounded/non-paging");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncParityTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gencompact

@@ -1,0 +1,945 @@
+// Async event-loop executor suite: the in-flight limiter, admission control
+// (both the backlog gate and the query-count gate), the AsyncScheduler DAG
+// walk, deadline discipline (including the fix for backoff sleeps that held
+// pool threads past expired deadlines), join deadline propagation, the
+// adaptive hedge quantile, and the mediator's QueryAsync entry point. Every
+// wait that can run on a FakeClock does (the loop's Clock::AwaitFor advances
+// virtual time instead of blocking); the handful of tests that need real
+// concurrency (the query-count shed, join budgets) use real sleeps with wide
+// margins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "exec/admission.h"
+#include "exec/async_scheduler.h"
+#include "exec/event_loop.h"
+#include "exec/executor.h"
+#include "exec/fault_policy.h"
+#include "exec/inflight_limiter.h"
+#include "exec/latency_tracker.h"
+#include "expr/condition_parser.h"
+#include "mediator/join.h"
+#include "mediator/mediator.h"
+#include "ssdl/ssdl_parser.h"
+
+namespace gencompact {
+namespace {
+
+using std::chrono::microseconds;
+
+constexpr std::chrono::steady_clock::time_point kNoDeadline{};
+
+ConditionPtr Parse(const std::string& text) {
+  Result<ConditionPtr> cond = ParseCondition(text);
+  EXPECT_TRUE(cond.ok()) << cond.status().ToString();
+  return std::move(cond).value();
+}
+
+bool SameRows(const RowSet& a, const RowSet& b) {
+  if (a.size() != b.size()) return false;
+  for (const Row& row : a.rows()) {
+    if (!b.Contains(row)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// InflightLimiter
+// ---------------------------------------------------------------------------
+
+TEST(InflightLimiterTest, UnlimitedByDefaultGrantsInline) {
+  InflightLimiter limiter(InflightLimiterOptions{});
+  int granted = 0;
+  for (int i = 0; i < 5; ++i) {
+    limiter.Acquire(1, kNoDeadline, [&](Status s) {
+      EXPECT_TRUE(s.ok());
+      ++granted;
+    });
+  }
+  EXPECT_EQ(granted, 5);
+  EXPECT_EQ(limiter.inflight(), 5u);
+  EXPECT_EQ(limiter.queue_depth(), 0u);
+  for (int i = 0; i < 5; ++i) limiter.Release(1);
+  EXPECT_EQ(limiter.inflight(), 0u);
+  EXPECT_EQ(limiter.admitted(), 5u);
+}
+
+TEST(InflightLimiterTest, GlobalCapQueuesAndGrantsFifoOnRelease) {
+  InflightLimiterOptions options;
+  options.global = 2;
+  InflightLimiter limiter(options);
+  std::vector<int> granted;
+  const auto grant = [&granted](int id) {
+    return [&granted, id](Status s) {
+      EXPECT_TRUE(s.ok());
+      granted.push_back(id);
+    };
+  };
+  limiter.Acquire(1, kNoDeadline, grant(0));
+  limiter.Acquire(1, kNoDeadline, grant(1));
+  limiter.Acquire(1, kNoDeadline, grant(2));
+  limiter.Acquire(2, kNoDeadline, grant(3));
+  EXPECT_EQ(granted, (std::vector<int>{0, 1}));
+  EXPECT_EQ(limiter.inflight(), 2u);
+  EXPECT_EQ(limiter.queue_depth(), 2u);
+  EXPECT_EQ(limiter.pending(), 4u);
+  limiter.Release(1);
+  EXPECT_EQ(granted, (std::vector<int>{0, 1, 2}));
+  limiter.Release(1);
+  EXPECT_EQ(granted, (std::vector<int>{0, 1, 2, 3}));
+  limiter.Release(1);
+  limiter.Release(2);
+  EXPECT_EQ(limiter.inflight(), 0u);
+  EXPECT_EQ(limiter.peak_inflight(), 2u);
+  EXPECT_EQ(limiter.peak_queue_depth(), 2u);
+  EXPECT_EQ(limiter.admitted(), 4u);
+}
+
+TEST(InflightLimiterTest, PerSourceCapDoesNotStarveOtherSources) {
+  InflightLimiterOptions options;
+  options.per_source = 1;
+  InflightLimiter limiter(options);
+  std::vector<int> granted;
+  const auto grant = [&granted](int id) {
+    return [&granted, id](Status s) {
+      EXPECT_TRUE(s.ok());
+      granted.push_back(id);
+    };
+  };
+  limiter.Acquire(1, kNoDeadline, grant(0));  // source 1 at cap
+  limiter.Acquire(1, kNoDeadline, grant(1));  // queued behind it
+  limiter.Acquire(2, kNoDeadline, grant(2));  // different source: not blocked
+  EXPECT_EQ(granted, (std::vector<int>{0, 2}));
+  // FIFO per source: a later fetch for source 1 queues behind the earlier
+  // waiter even though it would also fail the capacity check on its own.
+  limiter.Acquire(1, kNoDeadline, grant(3));
+  EXPECT_EQ(limiter.queue_depth(), 2u);
+  limiter.Release(1);
+  EXPECT_EQ(granted, (std::vector<int>{0, 2, 1}));
+  limiter.Release(1);
+  EXPECT_EQ(granted, (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(InflightLimiterTest, ExpiredWaitersFailOnTheNextGrantPass) {
+  FakeClock clock;
+  clock.Advance(std::chrono::seconds(1));  // keep Now() distinct from "none"
+  InflightLimiterOptions options;
+  options.global = 1;
+  InflightLimiter limiter(options, &clock);
+  limiter.Acquire(1, kNoDeadline, [](Status s) { EXPECT_TRUE(s.ok()); });
+  Status waiter = Status::OK();
+  limiter.Acquire(1, clock.Now() + microseconds(1000),
+                  [&waiter](Status s) { waiter = s; });
+  EXPECT_EQ(limiter.queue_depth(), 1u);
+  clock.Advance(microseconds(2000));  // the waiter's deadline passes
+  limiter.Release(1);
+  EXPECT_EQ(waiter.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(limiter.deadline_failures(), 1u);
+  EXPECT_EQ(limiter.inflight(), 0u);
+  EXPECT_EQ(limiter.queue_depth(), 0u);
+}
+
+TEST(InflightLimiterTest, AlreadyExpiredAcquireFailsWithoutQueueing) {
+  FakeClock clock;
+  clock.Advance(std::chrono::seconds(1));
+  InflightLimiterOptions options;
+  options.global = 1;
+  InflightLimiter limiter(options, &clock);
+  limiter.Acquire(1, kNoDeadline, [](Status s) { EXPECT_TRUE(s.ok()); });
+  Status late = Status::OK();
+  limiter.Acquire(1, clock.Now() - microseconds(1),
+                  [&late](Status s) { late = s; });
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(limiter.queue_depth(), 0u);
+  EXPECT_EQ(limiter.deadline_failures(), 1u);
+}
+
+TEST(InflightLimiterTest, TryAcquireNeverQueues) {
+  InflightLimiterOptions options;
+  options.global = 1;
+  InflightLimiter limiter(options);
+  EXPECT_TRUE(limiter.TryAcquire(1));
+  EXPECT_FALSE(limiter.TryAcquire(1));  // at the cap: skip, don't wait
+  EXPECT_EQ(limiter.queue_depth(), 0u);
+  limiter.Release(1);
+  EXPECT_TRUE(limiter.TryAcquire(2));
+  limiter.Release(2);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, DisabledAdmitsEverything) {
+  AdmissionController admission(AdmissionOptions{});
+  EXPECT_TRUE(
+      admission.Admit(1000, microseconds(10000), microseconds(1)).ok());
+  EXPECT_EQ(admission.rejections(), 0u);
+}
+
+TEST(AdmissionControllerTest, BacklogCapSheds) {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.max_pending = 4;
+  AdmissionController admission(options);
+  EXPECT_TRUE(admission.Admit(3, microseconds(0), microseconds(0)).ok());
+  const Status shed = admission.Admit(4, microseconds(0), microseconds(0));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.ToString().find("admission control"), std::string::npos);
+  EXPECT_EQ(admission.rejections(), 1u);
+}
+
+TEST(AdmissionControllerTest, DoomedDeadlineSheds) {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.drain_width = 1;
+  AdmissionController admission(options);
+  // One observed round trip already exceeds the budget: hopeless.
+  const Status shed =
+      admission.Admit(0, microseconds(10000), microseconds(1000));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.ToString().find("exceeds deadline"), std::string::npos);
+  // The same trip fits a 20ms budget.
+  EXPECT_TRUE(
+      admission.Admit(0, microseconds(10000), microseconds(20000)).ok());
+}
+
+TEST(AdmissionControllerTest, DrainWidthScalesTheExpectedWait) {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.drain_width = 4;
+  AdmissionController narrow(options);
+  // Backlog of 8 drained 4 at a time: (1 + 8/4) trips of 1ms = 3ms > 2ms.
+  EXPECT_FALSE(narrow.Admit(8, microseconds(1000), microseconds(2000)).ok());
+  options.drain_width = 8;
+  AdmissionController wide(options);
+  // Same backlog drained 8-wide: 2ms, exactly the budget — admitted.
+  EXPECT_TRUE(wide.Admit(8, microseconds(1000), microseconds(2000)).ok());
+}
+
+TEST(AdmissionControllerTest, NoLatencySignalOrNoDeadlineAdmits) {
+  AdmissionOptions options;
+  options.enabled = true;
+  options.drain_width = 1;
+  AdmissionController admission(options);
+  // No digest yet (est 0): nothing to reason with, admit.
+  EXPECT_TRUE(admission.Admit(50, microseconds(0), microseconds(1)).ok());
+  // No deadline (budget 0): nothing to miss, admit.
+  EXPECT_TRUE(admission.Admit(50, microseconds(10000), microseconds(0)).ok());
+}
+
+TEST(AdmissionControllerTest, QueryCountGateShedsPastCapPlusQueue) {
+  AdmissionController admission(AdmissionOptions{});
+  // Gate disabled: any load admits.
+  EXPECT_TRUE(admission.AdmitQuery(100, 0, 0).ok());
+  // Below the cap: run.
+  EXPECT_TRUE(admission.AdmitQuery(1, 2, 0).ok());
+  // At the cap with queue allowance: tolerated as backlog.
+  EXPECT_TRUE(admission.AdmitQuery(2, 2, 1).ok());
+  // Past cap + queue: shed.
+  const Status shed = admission.AdmitQuery(3, 2, 1);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.ToString().find("max_inflight_queries"), std::string::npos);
+  EXPECT_NE(shed.ToString().find("admission control"), std::string::npos);
+  EXPECT_EQ(admission.rejections(), 1u);
+  // Zero queue allowance sheds exactly at the cap.
+  EXPECT_FALSE(admission.AdmitQuery(1, 1, 0).ok());
+  EXPECT_EQ(admission.rejections(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive hedge quantile — straggler-rate convergence.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveHedgeTest, FixedPolicyIgnoresTheDigest) {
+  LatencyTracker tracker;
+  for (int i = 0; i < 100; ++i) {
+    tracker.Record(microseconds(i % 10 == 0 ? 10000 : 1000));
+  }
+  HedgePolicy policy;
+  policy.quantile = 0.97;
+  EXPECT_DOUBLE_EQ(EffectiveHedgeQuantile(policy, tracker), 0.97);
+}
+
+TEST(AdaptiveHedgeTest, NoStragglersStaysAtTheCeiling) {
+  LatencyTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.Record(microseconds(1000));
+  EXPECT_DOUBLE_EQ(tracker.straggler_rate(), 0.0);
+  HedgePolicy policy;
+  policy.adaptive = true;
+  EXPECT_DOUBLE_EQ(EffectiveHedgeQuantile(policy, tracker), 0.99);
+}
+
+TEST(AdaptiveHedgeTest, TenPercentStragglersConvergeToTheFloor) {
+  // Every 10th call takes 10x the median: the measured straggler rate
+  // converges to ~0.1, so the adaptive quantile (1 - rate) hits the 0.90
+  // floor — a fat-tailed source hedges as early as the policy allows.
+  LatencyTracker tracker;
+  for (int i = 1; i <= 300; ++i) {
+    tracker.Record(microseconds(i % 10 == 0 ? 10000 : 1000));
+  }
+  EXPECT_NEAR(tracker.straggler_rate(), 0.1, 0.02);
+  HedgePolicy policy;
+  policy.adaptive = true;
+  EXPECT_NEAR(EffectiveHedgeQuantile(policy, tracker), 0.90, 0.015);
+}
+
+TEST(AdaptiveHedgeTest, ModerateStragglerRateLandsBetweenTheClamps) {
+  // ~5% stragglers: the quantile settles near 0.95, strictly inside
+  // [min_quantile, max_quantile].
+  LatencyTracker tracker;
+  for (int i = 1; i <= 400; ++i) {
+    tracker.Record(microseconds(i % 20 == 0 ? 10000 : 1000));
+  }
+  EXPECT_NEAR(tracker.straggler_rate(), 0.05, 0.015);
+  HedgePolicy policy;
+  policy.adaptive = true;
+  const double quantile = EffectiveHedgeQuantile(policy, tracker);
+  EXPECT_NEAR(quantile, 0.95, 0.02);
+  EXPECT_GT(quantile, policy.min_quantile);
+  EXPECT_LT(quantile, policy.max_quantile);
+}
+
+// ---------------------------------------------------------------------------
+// Shared single-source fixture.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSingleSourceSsdl = R"(
+  source R(k: string, v: int) {
+    rule s1 -> k = $string;
+    rule s2 -> v < $int;
+    rule s3 -> v >= $int;
+    export s1 : {k, v};
+    export s2 : {k, v};
+    export s3 : {k, v};
+  })";
+
+// ---------------------------------------------------------------------------
+// Satellite fix regression: the SYNC executor's retry loop used to park a
+// pool thread on a backoff sleep even when the query's absolute deadline had
+// already passed (or the sleep itself would overshoot it). On a FakeClock
+// the old behavior is visible as virtual time spent past the deadline.
+// ---------------------------------------------------------------------------
+
+class SyncDeadlineTest : public ::testing::Test {
+ protected:
+  SyncDeadlineTest()
+      : description_(*ParseSsdl(kSingleSourceSsdl)),
+        table_("R", description_.schema()),
+        source_(&table_, &description_) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendValues({Value::String(i % 2 ? "odd" : "even"),
+                                     Value::Int(i)})
+                      .ok());
+    }
+    source_.set_fault_policy(FaultPolicy{});
+  }
+
+  SourceDescription description_;
+  Table table_;
+  Source source_;
+  FakeClock clock_;
+};
+
+TEST_F(SyncDeadlineTest, BackoffNeverSleepsPastTheQueryDeadline) {
+  source_.fault_injector()->FailNextN(100);
+  ExecOptions options;
+  options.clock = &clock_;
+  options.retry.max_attempts = 10;
+  // base == cap pins the jitter draw: every delay is exactly 10ms — double
+  // the 5ms budget, so the very first backoff would overshoot.
+  options.retry.backoff.base = microseconds(10000);
+  options.retry.backoff.cap = microseconds(10000);
+  const auto deadline_point = clock_.Now() + microseconds(5000);
+  options.deadline = deadline_point;
+  Executor executor(&source_, /*pool=*/nullptr, options);
+  const PlanPtr plan = PlanNode::SourceQuery(
+      Parse("v < 3"), *description_.schema().MakeSet({"v"}));
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rows.status().ToString().find("query deadline exceeded after 1"),
+            std::string::npos);
+  // The fix: the sleep was never scheduled — virtual time did not move, let
+  // alone past the deadline. (The old code slept first and noticed later.)
+  EXPECT_LT(clock_.Now(), deadline_point);
+  const ExecStats stats = executor.stats();
+  EXPECT_EQ(stats.deadlines_exceeded, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+}
+
+TEST_F(SyncDeadlineTest, ExpiredDeadlineFailsFastWithoutContactingTheSource) {
+  ExecOptions options;
+  options.clock = &clock_;
+  options.retry.max_attempts = 10;
+  options.deadline = clock_.Now() + microseconds(5000);
+  clock_.Advance(microseconds(6000));  // the deadline passes before we start
+  Executor executor(&source_, /*pool=*/nullptr, options);
+  const PlanPtr plan = PlanNode::SourceQuery(
+      Parse("v < 3"), *description_.schema().MakeSet({"v"}));
+  const Result<RowSet> rows = executor.Execute(*plan);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rows.status().ToString().find("query deadline expired before"),
+            std::string::npos);
+  EXPECT_EQ(source_.stats().queries_received, 0u);
+  EXPECT_EQ(executor.stats().deadlines_exceeded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncScheduler — on the 10-row R(k, v) source from the fault suite.
+// ---------------------------------------------------------------------------
+
+class AsyncExecFixture : public ::testing::Test {
+ protected:
+  AsyncExecFixture()
+      : description_(*ParseSsdl(kSingleSourceSsdl)),
+        table_("R", description_.schema()),
+        source_(&table_, &description_),
+        loop_(&clock_) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table_
+                      .AppendValues({Value::String(i % 2 ? "odd" : "even"),
+                                     Value::Int(i)})
+                      .ok());
+    }
+    source_.set_fault_policy(FaultPolicy{});  // injector for FailNextN
+  }
+
+  AttributeSet Attrs(const std::vector<std::string>& names) {
+    return *description_.schema().MakeSet(names);
+  }
+
+  Result<RowSet> Run(const PlanNode& plan, AsyncExecOptions options,
+                     ExecStats* stats = nullptr,
+                     std::vector<std::string>* dropped = nullptr) {
+    options.exec.clock = &clock_;
+    AsyncScheduler scheduler(&source_, &loop_, options);
+    Result<RowSet> rows = scheduler.Execute(plan);
+    if (stats != nullptr) *stats = scheduler.stats();
+    if (dropped != nullptr) *dropped = scheduler.dropped_sub_queries();
+    return rows;
+  }
+
+  SourceDescription description_;
+  Table table_;
+  Source source_;
+  FakeClock clock_;  // declared before loop_: the loop is destroyed first
+  EventLoop loop_;
+};
+
+TEST_F(AsyncExecFixture, MatchesBlockingExecutorOnUnions) {
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"k", "v"})),
+       PlanNode::SourceQuery(Parse("k = \"odd\""), Attrs({"k", "v"}))});
+  Executor blocking(&source_);
+  const Result<RowSet> sync_rows = blocking.Execute(*plan);
+  ASSERT_TRUE(sync_rows.ok()) << sync_rows.status().ToString();
+  const size_t sync_received = source_.stats().queries_received;
+  source_.ResetStats();
+
+  ExecStats stats;
+  const Result<RowSet> async_rows = Run(*plan, AsyncExecOptions{}, &stats);
+  ASSERT_TRUE(async_rows.ok()) << async_rows.status().ToString();
+  EXPECT_TRUE(SameRows(*async_rows, *sync_rows));
+  EXPECT_EQ(async_rows->size(), 7u);  // {0,1,2} plus odds, (odd,1) shared
+  EXPECT_EQ(stats.source_queries, blocking.stats().source_queries);
+  EXPECT_EQ(stats.rows_transferred, blocking.stats().rows_transferred);
+  EXPECT_EQ(source_.stats().queries_received, sync_received);
+}
+
+TEST_F(AsyncExecFixture, DuplicateSubQueriesAreFetchedOnce) {
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}))});
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, AsyncExecOptions{}, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(stats.source_queries, 1u);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+}
+
+TEST_F(AsyncExecFixture, RetriesRecoverScriptedTransientFailures) {
+  source_.fault_injector()->FailNextN(2);
+  AsyncExecOptions options;
+  options.exec.retry.max_attempts = 4;
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  const auto t0 = clock_.Now();
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failed_sub_queries, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 3u);
+  // Backoff sleeps were timers on the FakeClock: virtual time was spent
+  // without the test blocking.
+  EXPECT_GT((clock_.Now() - t0).count(), 0);
+}
+
+TEST_F(AsyncExecFixture, AttemptCapExhaustsAndPropagates) {
+  source_.fault_injector()->FailNextN(10);
+  AsyncExecOptions options;
+  options.exec.retry.max_attempts = 3;
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stats.retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(stats.failed_sub_queries, 1u);
+  EXPECT_EQ(source_.stats().queries_received, 3u);
+}
+
+TEST_F(AsyncExecFixture, SubQueryDeadlineCutsTheRetryLoop) {
+  source_.fault_injector()->FailNextN(100);
+  AsyncExecOptions options;
+  options.exec.retry.max_attempts = 100;
+  options.exec.retry.backoff.base = microseconds(10000);
+  options.exec.retry.sub_query_deadline = microseconds(25000);
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rows.status().ToString().find("sub-query deadline exceeded"),
+            std::string::npos);
+  EXPECT_EQ(stats.deadlines_exceeded, 1u);
+}
+
+TEST_F(AsyncExecFixture, QueryDeadlineFailsFastWithoutBackoffOvershoot) {
+  // The async counterpart of the SyncDeadlineTest regression: a backoff
+  // sleep that would overshoot ExecOptions::deadline is never armed as a
+  // timer either.
+  source_.fault_injector()->FailNextN(100);
+  AsyncExecOptions options;
+  options.exec.retry.max_attempts = 10;
+  options.exec.retry.backoff.base = microseconds(10000);
+  options.exec.retry.backoff.cap = microseconds(10000);
+  options.exec.deadline = clock_.Now() + microseconds(5000);
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats.deadlines_exceeded, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 1u);
+}
+
+TEST_F(AsyncExecFixture, DegradeDropsFailedUnionBranches) {
+  source_.fault_injector()->FailNextN(1);
+  AsyncExecOptions options;
+  options.exec.degrade_unions = true;
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 7"), Attrs({"v"}))});
+  ExecStats stats;
+  std::vector<std::string> dropped;
+  const Result<RowSet> rows = Run(*plan, options, &stats, &dropped);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);  // the surviving branch: {7, 8, 9}
+  EXPECT_EQ(stats.dropped_branches, 1u);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_NE(dropped[0].find("v < 3"), std::string::npos);
+}
+
+TEST_F(AsyncExecFixture, SimulatedLatencyIsATimerNotASleep) {
+  source_.set_simulated_latency(microseconds(5000));
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  const auto t0 = clock_.Now();
+  const Result<RowSet> rows = Run(*plan, AsyncExecOptions{});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  // The round trip elapsed on the virtual clock, not the wall clock.
+  EXPECT_GE(clock_.Now() - t0, microseconds(5000));
+}
+
+TEST_F(AsyncExecFixture, LimiterSerializesFetchesOfOnePlan) {
+  source_.set_simulated_latency(microseconds(1000));
+  InflightLimiterOptions limiter_options;
+  limiter_options.global = 1;
+  InflightLimiter limiter(limiter_options, &clock_);
+  AsyncExecOptions options;
+  options.limiter = &limiter;
+  options.source_id = 7;
+  const PlanPtr plan = PlanNode::UnionOf(
+      {PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("v >= 7"), Attrs({"v"})),
+       PlanNode::SourceQuery(Parse("k = \"odd\""), Attrs({"v"}))});
+  const auto t0 = clock_.Now();
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // {0,1,2} u {7,8,9} u {1,3,5,7,9}
+  EXPECT_EQ(rows->size(), 8u);
+  EXPECT_EQ(stats.source_queries, 3u);
+  // The union fans out all three fetches at once, but the limiter admits
+  // exactly one round trip to the wire at a time.
+  EXPECT_EQ(limiter.peak_inflight(), 1u);
+  EXPECT_EQ(limiter.peak_queue_depth(), 2u);
+  EXPECT_EQ(limiter.admitted(), 3u);
+  EXPECT_EQ(limiter.inflight(), 0u);
+  EXPECT_EQ(limiter.queue_depth(), 0u);
+  EXPECT_GE(clock_.Now() - t0, microseconds(3000));  // serialized trips
+}
+
+TEST_F(AsyncExecFixture, HedgeRacesASlowPrimary) {
+  // Warm digest says ~1ms; the source then serves 5ms calls, so the hedge
+  // timer fires long before the primary completes. Both calls take 5ms, and
+  // the primary's deadline is earlier — it wins the race deterministically.
+  LatencyTracker tracker;
+  for (int i = 0; i < 32; ++i) tracker.Record(microseconds(1000));
+  source_.set_simulated_latency(microseconds(5000));
+  AsyncExecOptions options;
+  options.exec.latency = &tracker;
+  options.exec.hedge.enabled = true;
+  const PlanPtr plan = PlanNode::SourceQuery(Parse("v < 3"), Attrs({"v"}));
+  ExecStats stats;
+  const Result<RowSet> rows = Run(*plan, options, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedges_won, 0u);
+  EXPECT_EQ(source_.stats().queries_received, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Join deadline propagation: the left side runs under the whole-join budget;
+// the right side inherits only what the left did not consume, and a budget
+// the left exhausted fails the join BEFORE the right side is planned or the
+// right source contacted. Real clock + real sleeps with wide margins (the
+// source's simulated latency in the blocking path is a real sleep).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kJoinCarsSsdl = R"(
+  source cars(make: string, model: string, price: int, year: int) {
+    cost 10.0 1.0;
+    rule f -> make = $string
+            | make = $string and price < $int
+            | price < $int;
+    export f : {make, model, price, year};
+  })";
+
+constexpr const char* kJoinDealersSsdl = R"(
+  source dealers(make: string, city: string, rating: int, since: int) {
+    cost 5.0 1.0;
+    rule mlist -> make = $string or make = $string
+                | make = $string or mlist;
+    rule f -> make = $string
+            | mlist
+            | ( mlist )
+            | make = $string and rating >= $int
+            | ( mlist ) and rating >= $int
+            | rating >= $int and make = $string
+            | rating >= $int and ( mlist );
+    export f : {make, city, rating, since};
+  })";
+
+class JoinDeadlineTest : public ::testing::Test {
+ protected:
+  JoinDeadlineTest() {
+    Result<SourceDescription> cars = ParseSsdl(kJoinCarsSsdl);
+    Result<SourceDescription> dealers = ParseSsdl(kJoinDealersSsdl);
+    EXPECT_TRUE(cars.ok()) << cars.status().ToString();
+    EXPECT_TRUE(dealers.ok()) << dealers.status().ToString();
+
+    auto cars_table = std::make_unique<Table>("cars", cars->schema());
+    const auto add_car = [&](const char* make, const char* model,
+                             int64_t price, int64_t year) {
+      EXPECT_TRUE(cars_table
+                      ->AppendValues({Value::String(make), Value::String(model),
+                                      Value::Int(price), Value::Int(year)})
+                      .ok());
+    };
+    add_car("BMW", "318i", 21000, 1996);
+    add_car("BMW", "528i", 38000, 1997);
+    add_car("Toyota", "Corolla", 13000, 1997);
+    add_car("Toyota", "Camry", 19000, 1998);
+    add_car("Saab", "900", 16000, 1995);
+
+    auto dealers_table = std::make_unique<Table>("dealers", dealers->schema());
+    const auto add_dealer = [&](const char* make, const char* city,
+                                int64_t rating, int64_t since) {
+      EXPECT_TRUE(dealers_table
+                      ->AppendValues({Value::String(make), Value::String(city),
+                                      Value::Int(rating), Value::Int(since)})
+                      .ok());
+    };
+    add_dealer("BMW", "Palo Alto", 5, 1990);
+    add_dealer("BMW", "San Jose", 3, 1995);
+    add_dealer("Toyota", "Palo Alto", 4, 1985);
+    add_dealer("Honda", "Fremont", 4, 1992);
+
+    EXPECT_TRUE(
+        catalog_.Register(std::move(cars).value(), std::move(cars_table)).ok());
+    EXPECT_TRUE(catalog_
+                    .Register(std::move(dealers).value(),
+                              std::move(dealers_table))
+                    .ok());
+    left_ = *catalog_.Find("cars");
+    right_ = *catalog_.Find("dealers");
+    right_->source()->set_fault_policy(FaultPolicy{});
+  }
+
+  JoinQuery MakeQuery() {
+    JoinQuery query;
+    query.left_source = "cars";
+    query.right_source = "dealers";
+    query.keys = {{"cars.make", "dealers.make"}};
+    query.condition = Parse("cars.price < 30000");
+    query.select = {"cars.model", "dealers.city"};
+    return query;
+  }
+
+  Catalog catalog_;
+  CatalogEntry* left_ = nullptr;
+  CatalogEntry* right_ = nullptr;
+};
+
+TEST_F(JoinDeadlineTest, LeftSideExhaustingTheBudgetSkipsTheRightSide) {
+  // The left side alone takes ~300ms against a 150ms budget: by the time it
+  // returns, the join is already doomed — the right side must be failed
+  // BEFORE planning, with zero right-source calls.
+  left_->source()->set_simulated_latency(std::chrono::milliseconds(300));
+  JoinOptions options;
+  options.deadline = std::chrono::milliseconds(150);
+  JoinProcessor processor(left_, right_, options);
+  const Result<RowSet> rows = processor.Execute(MakeQuery());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(
+      rows.status().ToString().find("exhausted by the left side"),
+      std::string::npos);
+  EXPECT_EQ(right_->source()->stats().queries_received, 0u);
+}
+
+TEST_F(JoinDeadlineTest, SlowLeftShrinksTheRightSideBudget) {
+  // Identical right-side fault schedule in both runs: one transient failure
+  // whose retry needs a 200ms backoff. With a fast left the 400ms budget
+  // absorbs the backoff and the retry recovers the join. With a left that
+  // burns ~300ms of the same budget first, the backoff no longer fits what
+  // remains — the fix refuses to schedule the sleep and the join fails with
+  // the deadline instead of sleeping into it.
+  JoinOptions options;
+  options.deadline = std::chrono::milliseconds(400);
+  options.retry.max_attempts = 3;
+  options.retry.backoff.base = std::chrono::milliseconds(200);
+  options.retry.backoff.cap = std::chrono::milliseconds(200);
+
+  // Fast left: the retry fits the remaining budget.
+  right_->source()->fault_injector()->FailNextN(1);
+  JoinProcessor recovered(left_, right_, options);
+  const Result<RowSet> ok_rows = recovered.Execute(MakeQuery());
+  ASSERT_TRUE(ok_rows.ok()) << ok_rows.status().ToString();
+  EXPECT_EQ(ok_rows->size(), 4u);
+  EXPECT_EQ(recovered.stats().right.retries, 1u);
+
+  // Slow left: same failure, but the left consumed the budget the backoff
+  // needed. The right side is attempted once (the deadline has not passed
+  // yet) and then fails instead of sleeping past the deadline.
+  left_->source()->set_simulated_latency(std::chrono::milliseconds(300));
+  const size_t right_received_before =
+      right_->source()->stats().queries_received;
+  right_->source()->fault_injector()->FailNextN(1);
+  JoinProcessor doomed(left_, right_, options);
+  const Result<RowSet> rows = doomed.Execute(MakeQuery());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(right_->source()->stats().queries_received,
+            right_received_before + 1);
+  EXPECT_EQ(doomed.stats().right.deadlines_exceeded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded interleaving confidence for the limiter + admission pair is in
+// event_loop_test.cc; mediator integration below.
+// ---------------------------------------------------------------------------
+
+class AsyncMediatorTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Mediator> MakeMediator(Mediator::Options options,
+                                         bool fake_clock = true) {
+    if (fake_clock) options.clock = &clock_;
+    auto mediator = std::make_unique<Mediator>(options);
+    Result<SourceDescription> description = ParseSsdl(kSingleSourceSsdl);
+    EXPECT_TRUE(description.ok()) << description.status().ToString();
+    auto table = std::make_unique<Table>("R", description->schema());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(table
+                      ->AppendValues({Value::String(i % 2 ? "odd" : "even"),
+                                      Value::Int(i)})
+                      .ok());
+    }
+    EXPECT_TRUE(mediator
+                    ->RegisterSource(std::move(description).value(),
+                                     std::move(table))
+                    .ok());
+    return mediator;
+  }
+
+  Source* SourceOf(Mediator* mediator) {
+    const Result<CatalogEntry*> entry = mediator->catalog()->Find("R");
+    EXPECT_TRUE(entry.ok());
+    return (*entry)->source();
+  }
+
+  FakeClock clock_;
+};
+
+TEST_F(AsyncMediatorTest, AsyncAnswersMatchPoolAnswers) {
+  Mediator::Options async_options;
+  async_options.async_executor = true;
+  const auto async_mediator = MakeMediator(async_options);
+  const auto pool_mediator = MakeMediator(Mediator::Options{});
+  for (const char* sql :
+       {"SELECT v FROM R WHERE v < 5",
+        "SELECT k, v FROM R WHERE k = \"odd\" or v >= 8",
+        "SELECT k FROM R WHERE v < 4 and k = \"even\""}) {
+    const Result<Mediator::QueryResult> a = async_mediator->Query(sql);
+    const Result<Mediator::QueryResult> b = pool_mediator->Query(sql);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    EXPECT_TRUE(SameRows(a->rows, b->rows)) << sql;
+    EXPECT_EQ(a->exec.source_queries, b->exec.source_queries) << sql;
+    EXPECT_EQ(a->exec.rows_transferred, b->exec.rows_transferred) << sql;
+  }
+}
+
+TEST_F(AsyncMediatorTest, QueryAsyncDeliversTheSameAnswer) {
+  Mediator::Options options;
+  options.async_executor = true;
+  const auto mediator = MakeMediator(options);
+  const char* sql = "SELECT v FROM R WHERE v < 5 or k = \"odd\"";
+  const Result<Mediator::QueryResult> sync = mediator->Query(sql);
+  ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+
+  std::promise<Result<Mediator::QueryResult>> promise;
+  mediator->QueryAsync(sql, [&promise](Result<Mediator::QueryResult> r) {
+    promise.set_value(std::move(r));
+  });
+  const Result<Mediator::QueryResult> async = promise.get_future().get();
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  EXPECT_TRUE(SameRows(async->rows, sync->rows));
+  EXPECT_EQ(async->exec.source_queries, sync->exec.source_queries);
+  EXPECT_TRUE(async->completeness.complete);
+}
+
+TEST_F(AsyncMediatorTest, AdmissionShedsHopelessQueriesBeforePlanning) {
+  Mediator::Options options;
+  options.async_executor = true;
+  options.admission.enabled = true;
+  options.query_deadline = microseconds(1000);
+  const auto mediator = MakeMediator(options);
+  // One warm query measures the source at ~10ms per round trip — ten times
+  // the 1ms deadline, so every later query is hopeless on arrival.
+  SourceOf(mediator.get())->set_simulated_latency(microseconds(10000));
+  const Result<Mediator::QueryResult> warm =
+      mediator->Query("SELECT v FROM R WHERE v < 5");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  const Mediator::Stats before = mediator->StatsSnapshot();
+  const Result<Mediator::QueryResult> shed =
+      mediator->Query("SELECT k FROM R WHERE v >= 7");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().ToString().find("admission control"),
+            std::string::npos);
+  const Mediator::Stats after = mediator->StatsSnapshot();
+  // Shed up front: no planning happened (no new plan-cache lookup) and the
+  // source was never contacted.
+  EXPECT_EQ(after.plan_cache.misses, before.plan_cache.misses);
+  EXPECT_EQ(after.plan_cache.hits, before.plan_cache.hits);
+  EXPECT_EQ(SourceOf(mediator.get())->stats().queries_received, 1u);
+  EXPECT_EQ(after.scheduler.admission_rejections, 1u);
+  EXPECT_EQ(after.fault_tolerance.queries_shed,
+            before.fault_tolerance.queries_shed + 1);
+}
+
+TEST_F(AsyncMediatorTest, QueryCountGateShedsOverloadBeforePlanning) {
+  // The query-count gate works on the POOL path too (no async executor):
+  // max_inflight_queries = 1 with no queue allowance means a second query
+  // arriving while the first still executes is shed before planning.
+  Mediator::Options options;
+  options.max_inflight_queries = 1;
+  options.admission_queue_limit = 0;
+  const auto mediator = MakeMediator(options, /*fake_clock=*/false);
+  // The blocking path serves simulated latency as a real sleep: the first
+  // query occupies the mediator for ~300ms.
+  SourceOf(mediator.get())->set_simulated_latency(microseconds(300000));
+
+  std::thread slow([&] {
+    const Result<Mediator::QueryResult> result =
+        mediator->Query("SELECT v FROM R WHERE v < 5");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+  // Wait until the slow query is provably past admission AND planning (its
+  // call is on the simulated wire), so the snapshot below is stable.
+  const auto wait_start = std::chrono::steady_clock::now();
+  while (SourceOf(mediator.get())->inflight() == 0 &&
+         std::chrono::steady_clock::now() - wait_start <
+             std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(SourceOf(mediator.get())->inflight(), 1u);
+
+  const Mediator::Stats before = mediator->StatsSnapshot();
+  EXPECT_EQ(before.scheduler.active_queries, 1u);
+  const Result<Mediator::QueryResult> shed =
+      mediator->Query("SELECT k FROM R WHERE v >= 7");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status().ToString().find("max_inflight_queries"),
+            std::string::npos);
+  const Mediator::Stats after = mediator->StatsSnapshot();
+  // Shed before planning: no new plan-cache traffic, no source contact.
+  EXPECT_EQ(after.plan_cache.misses, before.plan_cache.misses);
+  EXPECT_EQ(after.scheduler.admission_rejections, 1u);
+  EXPECT_EQ(after.fault_tolerance.queries_shed,
+            before.fault_tolerance.queries_shed + 1);
+  EXPECT_EQ(SourceOf(mediator.get())->stats().queries_received, 1u);
+
+  slow.join();
+  // With the slow query answered, the gate admits again.
+  const Result<Mediator::QueryResult> ok =
+      mediator->Query("SELECT k FROM R WHERE v >= 7");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(mediator->StatsSnapshot().scheduler.active_queries, 0u);
+}
+
+TEST_F(AsyncMediatorTest, SchedulerGaugesAppearOnlyWhenAsync) {
+  Mediator::Options options;
+  options.async_executor = true;
+  const auto async_mediator = MakeMediator(options);
+  ASSERT_TRUE(async_mediator->Query("SELECT v FROM R WHERE v < 5").ok());
+  const Mediator::Stats stats = async_mediator->StatsSnapshot();
+  EXPECT_TRUE(stats.scheduler.enabled);
+  EXPECT_GE(stats.scheduler.limiter_admitted, 1u);
+  EXPECT_GE(stats.scheduler.tasks_run, 1u);
+  EXPECT_EQ(stats.scheduler.inflight_fetches, 0u);  // nothing in flight now
+  EXPECT_NE(stats.ToString().find("scheduler.inflight"), std::string::npos);
+
+  const auto pool_mediator = MakeMediator(Mediator::Options{});
+  ASSERT_TRUE(pool_mediator->Query("SELECT v FROM R WHERE v < 5").ok());
+  const Mediator::Stats pool_stats = pool_mediator->StatsSnapshot();
+  EXPECT_FALSE(pool_stats.scheduler.enabled);
+  EXPECT_EQ(pool_stats.ToString().find("scheduler."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gencompact

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <set>
@@ -1315,11 +1316,18 @@ TEST_F(MediatorFaultTest, MediatorHedgesSlowFetchesEndToEnd) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->rows.size(), 5u);
   EXPECT_EQ(result->exec.hedges_launched, 1u);
-  EXPECT_EQ(result->exec.hedges_won, 1u);
+  // Who "wins" differs by executor. The pool path's owner thread runs the
+  // hedge inline and takes its success without re-checking the primary; the
+  // event loop (GENCOMPACT_ASYNC=1 leg) runs a true first-completion race,
+  // which the earlier-started primary wins when both calls take 10ms.
+  const char* async_env = std::getenv("GENCOMPACT_ASYNC");
+  const bool async_forced = async_env != nullptr && *async_env == '1';
+  const uint64_t expected_wins = async_forced ? 0u : 1u;
+  EXPECT_EQ(result->exec.hedges_won, expected_wins);
 
   const Mediator::Stats stats = mediator->StatsSnapshot();
   EXPECT_EQ(stats.fault_tolerance.hedges_launched, 1u);
-  EXPECT_EQ(stats.fault_tolerance.hedges_won, 1u);
+  EXPECT_EQ(stats.fault_tolerance.hedges_won, expected_wins);
   EXPECT_TRUE(stats.sources[0].has_latency);
   EXPECT_GT(stats.sources[0].latency.count, 50u);
   EXPECT_NE(stats.ToString().find("latency"), std::string::npos);
